@@ -1,0 +1,48 @@
+// Command odabench regenerates the paper's artifacts: every table and
+// figure has an experiment that prints its rows (see DESIGN.md §3 and
+// EXPERIMENTS.md).
+//
+// Usage:
+//
+//	odabench -exp table1            # one experiment
+//	odabench -exp all               # every experiment, paper order
+//	odabench -list                  # available experiment names
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/internal/experiments"
+)
+
+func main() {
+	exp := flag.String("exp", "all", "experiment name or 'all'")
+	seed := flag.Int64("seed", 1, "simulation seed")
+	list := flag.Bool("list", false, "list experiment names")
+	flag.Parse()
+
+	if *list {
+		fmt.Println(strings.Join(experiments.Names(), "\n"))
+		return
+	}
+	if *exp == "all" {
+		reports, err := experiments.All(*seed)
+		for _, r := range reports {
+			fmt.Printf("######## %s ########\n%s\n", r.Name, r.Text)
+		}
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "odabench:", err)
+			os.Exit(1)
+		}
+		return
+	}
+	r, err := experiments.ByName(*exp, *seed)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "odabench:", err)
+		os.Exit(1)
+	}
+	fmt.Println(r.Text)
+}

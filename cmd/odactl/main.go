@@ -1,0 +1,83 @@
+// Command odactl inspects the ODA framework itself: the 4x4 grid of
+// registered capabilities (Table I), the encoded literature survey, the
+// four analytics types and their questions, and the Fig. 3 composed
+// systems.
+//
+// Usage:
+//
+//	odactl grid        # render the capability grid as a markdown table
+//	odactl survey      # survey statistics from the paper's Table I
+//	odactl types       # the four analytics types and their questions
+//	odactl pillars     # the four pillars
+//	odactl systems     # Fig. 3 composed systems coverage
+//	odactl works       # every surveyed work and its cells
+package main
+
+import (
+	"fmt"
+	"os"
+	"strings"
+
+	"repro"
+	"repro/internal/experiments"
+	"repro/internal/oda"
+	"repro/internal/systems"
+)
+
+func usage() {
+	fmt.Fprintln(os.Stderr, "usage: odactl {grid|survey|types|pillars|systems|works}")
+	os.Exit(2)
+}
+
+func main() {
+	if len(os.Args) != 2 {
+		usage()
+	}
+	switch os.Args[1] {
+	case "grid":
+		g, err := repro.FullGrid()
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Println(g.RenderTable())
+		fmt.Printf("%d capabilities; multi-pillar: %d; multi-type: %d; empty cells: %d\n",
+			g.Len(), len(g.MultiPillar()), len(g.MultiType()), len(g.Gaps()))
+	case "survey":
+		r, err := experiments.Survey()
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Println(r.Text)
+	case "types":
+		for _, t := range oda.Types() {
+			fmt.Printf("%-14s %s\n", t, t.Question())
+		}
+	case "pillars":
+		for _, p := range oda.Pillars() {
+			fmt.Println(p)
+		}
+	case "systems":
+		all, err := systems.All()
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Println(systems.RenderFig3(all))
+	case "works":
+		works := oda.WorksFromCatalog(oda.Catalog())
+		for _, w := range works {
+			cells := make([]string, len(w.Cells))
+			for i, c := range w.Cells {
+				cells[i] = c.String()
+			}
+			fmt.Printf("%-6s %s\n", w.Ref, strings.Join(cells, ", "))
+		}
+		fmt.Printf("\n%d works\n", len(works))
+	default:
+		usage()
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "odactl:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,116 @@
+// Command odad is the telemetry aggregation daemon: it accepts batches
+// from collection agents over the wire protocol, archives them into the
+// embedded TSDB, and serves operator endpoints — the dashboard JSON, the
+// latest-state snapshot, and store statistics. It is the piece a
+// production deployment would run per cluster, with odasim (or real
+// agents) pointed at it.
+//
+// Usage:
+//
+//	odad -listen 127.0.0.1:9900 -http 127.0.0.1:9901
+//
+// Endpoints:
+//
+//	GET /dashboard    dashboard panels as JSON
+//	GET /snapshot     latest value of every series
+//	GET /stats        ingest and storage statistics
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+
+	"repro/internal/dashboard"
+	"repro/internal/timeseries"
+	"repro/internal/wire"
+)
+
+func main() {
+	listen := flag.String("listen", "127.0.0.1:9900", "wire-protocol ingest address")
+	httpAddr := flag.String("http", "127.0.0.1:9901", "HTTP query address")
+	chunkSize := flag.Int("chunk", 0, "TSDB samples per chunk (0 = default)")
+	retainHours := flag.Float64("retain", 0, "drop telemetry older than this many hours on each ingest (0 = keep all)")
+	flag.Parse()
+
+	store := timeseries.NewStore(*chunkSize)
+	var latest int64
+
+	srv, err := wire.NewServer(*listen, func(b *wire.Batch) {
+		for _, rec := range b.Records {
+			for _, sm := range rec.Samples {
+				// Ingest errors (out-of-order duplicates from agent
+				// restarts) are tolerated; the server counts batches.
+				_ = store.Append(rec.ID, rec.Kind, rec.Unit, sm.T, sm.V)
+				if sm.T > latest {
+					latest = sm.T
+				}
+			}
+		}
+		if *retainHours > 0 {
+			store.Retain(latest - int64(*retainHours*3600*1000))
+		}
+	})
+	if err != nil {
+		log.Fatalf("odad: %v", err)
+	}
+	defer srv.Close()
+	log.Printf("odad: ingesting on %s", srv.Addr())
+
+	db := &dashboard.Dashboard{
+		Store: store,
+		Panels: []dashboard.Panel{
+			{Title: "Facility", Name: "", Selector: nil, WindowMs: 6 * 3600 * 1000},
+		},
+	}
+	mux := http.NewServeMux()
+	mux.Handle("/dashboard", db.Handler())
+	mux.HandleFunc("/snapshot", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		type entry struct {
+			ID    string  `json:"id"`
+			T     int64   `json:"t"`
+			Value float64 `json:"value"`
+		}
+		var out []entry
+		for _, se := range store.Snapshot("", nil) {
+			out = append(out, entry{ID: se.ID.Key(), T: se.Sample.T, Value: se.Sample.V})
+		}
+		if err := json.NewEncoder(w).Encode(out); err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+		}
+	})
+	mux.HandleFunc("/stats", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		stats := map[string]any{
+			"series":            store.NumSeries(),
+			"samples":           store.NumSamples(),
+			"compressed_bytes":  store.CompressedBytes(),
+			"compression_ratio": store.CompressionRatio(),
+			"batches":           srv.Batches(),
+			"ingest_samples":    srv.Samples(),
+			"ingest_errors":     srv.Errors(),
+		}
+		if err := json.NewEncoder(w).Encode(stats); err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+		}
+	})
+
+	httpSrv := &http.Server{Addr: *httpAddr, Handler: mux}
+	go func() {
+		log.Printf("odad: serving queries on http://%s", *httpAddr)
+		if err := httpSrv.ListenAndServe(); err != http.ErrServerClosed {
+			log.Fatalf("odad: %v", err)
+		}
+	}()
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt)
+	<-sig
+	fmt.Println("odad: shutting down")
+	_ = httpSrv.Close()
+}

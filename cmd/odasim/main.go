@@ -1,0 +1,143 @@
+// Command odasim runs the virtual HPC data center with the full ODA stack
+// attached, prints the operator dashboards and KPIs, and can serve the
+// dashboard JSON over HTTP or export the generated workload trace.
+//
+// Usage:
+//
+//	odasim -nodes 64 -hours 24                 # headless run + report
+//	odasim -controllers -hours 48              # with the prescriptive suite
+//	odasim -http :8080 -hours 12               # serve the dashboard after the run
+//	odasim -trace jobs.swf -hours 24           # export the workload trace
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+
+	"repro/internal/dashboard"
+	"repro/internal/descriptive"
+	"repro/internal/oda"
+	"repro/internal/prescriptive"
+	"repro/internal/scheduler"
+	"repro/internal/simulation"
+	"repro/internal/workload"
+)
+
+func main() {
+	nodes := flag.Int("nodes", 64, "compute node count")
+	hours := flag.Float64("hours", 24, "virtual hours to simulate")
+	seed := flag.Int64("seed", 1, "simulation seed")
+	policy := flag.String("policy", "easy", "scheduling policy: fcfs|easy|plan|power")
+	controllers := flag.Bool("controllers", false, "attach the prescriptive ODA suite")
+	httpAddr := flag.String("http", "", "serve dashboard JSON at this address after the run")
+	tracePath := flag.String("trace", "", "write the executed workload as a trace file")
+	replayPath := flag.String("replay", "", "replay a recorded trace file instead of generating jobs")
+	flag.Parse()
+
+	cfg := simulation.DefaultConfig(*seed)
+	cfg.Nodes = *nodes
+	cfg.Workload.MaxNodes = *nodes / 2
+	if *replayPath != "" {
+		f, err := os.Open(*replayPath)
+		if err != nil {
+			log.Fatalf("odasim: %v", err)
+		}
+		jobs, err := workload.ReadTrace(f)
+		f.Close()
+		if err != nil {
+			log.Fatalf("odasim: %v", err)
+		}
+		cfg.TraceJobs = jobs
+		fmt.Printf("replaying %d jobs from %s\n", len(jobs), *replayPath)
+	}
+	switch *policy {
+	case "fcfs":
+		cfg.Policy = scheduler.FCFS{}
+	case "easy":
+		cfg.Policy = scheduler.EASY{}
+	case "plan":
+		cfg.Policy = scheduler.PlanBased{}
+	case "power":
+		cfg.Policy = scheduler.PowerAware{}
+	default:
+		log.Fatalf("odasim: unknown policy %q", *policy)
+	}
+	dc := simulation.New(cfg)
+	if *controllers {
+		dc.AddController(prescriptive.FanControl{}.Controller())
+		dc.AddController(prescriptive.SetpointOptimizer{}.Controller())
+		dc.AddController(prescriptive.CoolingModeSwitch{}.Controller())
+		dc.AddController(prescriptive.DVFSGovernor{}.Controller())
+	}
+	fmt.Printf("simulating %d nodes for %.0f virtual hours (policy %s, controllers %v)...\n",
+		*nodes, *hours, cfg.Policy.Name(), *controllers)
+	dc.RunFor(*hours * 3600)
+
+	ctx := &oda.RunContext{Store: dc.Store, From: 0, To: dc.Now() + 1, System: dc}
+	db := descriptive.Dashboards{}.Build(ctx)
+	fmt.Println(db.RenderText(dc.Now()))
+
+	m := dc.Cluster.MetricsAt(dc.Now())
+	fmt.Printf("jobs: %d submitted, %d finished, %d killed; utilization %.1f%%\n",
+		dc.SubmittedJobs, m.FinishedJobs, dc.KilledJobs, m.Utilization*100)
+	fmt.Printf("queue KPIs: mean wait %.0fs, mean slowdown %.2f, p95 slowdown %.2f\n",
+		m.MeanWaitSec, m.MeanSlowdown, m.P95Slowdown)
+	fmt.Printf("facility: cumulative PUE %.4f, setpoint %.1fC, mode %s\n",
+		dc.Facility.CumulativePUE(), dc.Facility.Setpoint(), dc.Facility.Mode())
+	fmt.Printf("telemetry: %d series, %d samples, %.1fx compressed\n",
+		dc.Store.NumSeries(), dc.Store.NumSamples(), dc.Store.CompressionRatio())
+	fmt.Printf("hardware: %d failure events\n", dc.FailureEvents)
+	fmt.Println(dashboard.Gauge("cumulative PUE", dc.Facility.CumulativePUE(), 1.0, 2.0, 40))
+
+	// Rack thermal heatmap: one row per rack of 16 nodes.
+	var grid [][]float64
+	for i := 0; i < len(dc.Nodes); i += 16 {
+		end := i + 16
+		if end > len(dc.Nodes) {
+			end = len(dc.Nodes)
+		}
+		row := make([]float64, 0, end-i)
+		for _, n := range dc.Nodes[i:end] {
+			row = append(row, n.Temperature())
+		}
+		grid = append(grid, row)
+	}
+	fmt.Println("rack temperature heatmap (one row per rack):")
+	for i, line := range dashboard.Heatmap(grid) {
+		fmt.Printf("  r%02d |%s|\n", i, line)
+	}
+
+	// Event-log summary: the structured side of the telemetry.
+	fmt.Printf("event log: %d events, SIE %.3f bits, error rate %.2f%%\n",
+		dc.Events.Len(), dc.Events.Entropy(0, dc.Now()+1), dc.Events.ErrorRate(0, dc.Now()+1)*100)
+	for _, kc := range dc.Events.CountsByKind(0, dc.Now()+1) {
+		fmt.Printf("  %-12s %6d\n", kc.Kind, kc.Count)
+	}
+
+	if *tracePath != "" {
+		var jobs []*workload.Job
+		for _, rec := range dc.Allocations() {
+			jobs = append(jobs, rec.Job)
+		}
+		f, err := os.Create(*tracePath)
+		if err != nil {
+			log.Fatalf("odasim: %v", err)
+		}
+		if err := workload.WriteTrace(f, jobs); err != nil {
+			log.Fatalf("odasim: %v", err)
+		}
+		if err := f.Close(); err != nil {
+			log.Fatalf("odasim: %v", err)
+		}
+		fmt.Printf("wrote %d jobs to %s\n", len(jobs), *tracePath)
+	}
+
+	if *httpAddr != "" {
+		fmt.Printf("serving dashboard JSON on %s (Ctrl-C to stop)\n", *httpAddr)
+		http.Handle("/dashboard", db.Handler())
+		log.Fatal(http.ListenAndServe(*httpAddr, nil))
+	}
+}

@@ -1,0 +1,56 @@
+// Job analytics: the applications pillar end to end. A day of operation
+// produces a finished-job corpus; the example then runs duration
+// prediction (beats the user's walltime request), resource prediction,
+// telemetry fingerprinting (catching cryptominers), roofline
+// classification and code recommendations.
+//
+// Run with: go run ./examples/jobanalytics
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/descriptive"
+	"repro/internal/diagnostic"
+	"repro/internal/oda"
+	"repro/internal/predictive"
+	"repro/internal/prescriptive"
+	"repro/internal/simulation"
+)
+
+func main() {
+	cfg := simulation.DefaultConfig(23)
+	cfg.Nodes = 16
+	cfg.Workload.MaxNodes = 8
+	cfg.Workload.MeanInterarrival = 45
+	cfg.Workload.MinerFrac = 0.05 // some abuse to catch
+	dc := simulation.New(cfg)
+	fmt.Println("simulating 24 hours of user jobs...")
+	dc.RunFor(24 * 3600)
+
+	ctx := &oda.RunContext{Store: dc.Store, From: 0, To: dc.Now() + 1, System: dc}
+	m := dc.Cluster.MetricsAt(dc.Now())
+	fmt.Printf("corpus: %d finished jobs, utilization %.0f%%\n\n", m.FinishedJobs, m.Utilization*100)
+
+	steps := []struct {
+		title string
+		cap   oda.Capability
+	}{
+		{"descriptive / roofline", descriptive.Roofline{}},
+		{"descriptive / slowdown KPI", descriptive.Slowdown{}},
+		{"diagnostic  / app fingerprint", diagnostic.AppFingerprint{Seed: 3}},
+		{"diagnostic  / perf patterns", diagnostic.PerfPatterns{}},
+		{"diagnostic  / code issues", diagnostic.CodeIssues{}},
+		{"predictive  / job duration", predictive.JobDuration{Seed: 3}},
+		{"predictive  / job power", predictive.ResourceUsage{Seed: 3}},
+		{"prescriptive/ code advice", prescriptive.CodeRecommend{}},
+	}
+	for _, s := range steps {
+		res, err := s.cap.Run(ctx)
+		if err != nil {
+			log.Fatalf("%s: %v", s.title, err)
+		}
+		fmt.Printf("%-30s %s\n", s.title, res.Summary)
+	}
+}

@@ -1,0 +1,86 @@
+// Power management: the GEOPM-like Fig. 3 system on the system-hardware
+// pillar. Instruction-mix signatures are predicted from telemetry and the
+// DVFS governor clocks memory-bound nodes down; the example measures the
+// energy/performance trade against an ungoverned twin and breaks the
+// saving down by application class.
+//
+// Run with: go run ./examples/powermanagement
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/oda"
+	"repro/internal/predictive"
+	"repro/internal/simulation"
+	"repro/internal/systems"
+	"repro/internal/workload"
+)
+
+func run(seed int64, governed bool, hours float64) *simulation.DataCenter {
+	cfg := simulation.DefaultConfig(seed)
+	cfg.Nodes = 16
+	cfg.Workload.MaxNodes = 8
+	cfg.Workload.MeanInterarrival = 90
+	dc := simulation.New(cfg)
+	if governed {
+		g, err := systems.NewGEOPM()
+		if err != nil {
+			log.Fatal(err)
+		}
+		g.Deploy(dc)
+	}
+	dc.RunFor(hours * 3600)
+	return dc
+}
+
+func itEnergy(dc *simulation.DataCenter) float64 {
+	var e float64
+	for _, n := range dc.Nodes {
+		e += n.Energy()
+	}
+	return e
+}
+
+func main() {
+	const hours = 12
+	fmt.Println("running ungoverned and governed twins (12 virtual hours each)...")
+	base := run(11, false, hours)
+	gov := run(11, true, hours)
+
+	baseE, govE := itEnergy(base), itEnergy(gov)
+	fmt.Printf("\nIT energy: baseline %.1f MJ -> governed %.1f MJ (%.1f%% saving)\n",
+		baseE/1e6, govE/1e6, (1-govE/baseE)*100)
+
+	// Runtime stretch per application class: the governor should cost
+	// compute-bound jobs almost nothing and memory-bound jobs little.
+	type acc struct{ stretch, n float64 }
+	perClass := map[workload.Class]*acc{}
+	for _, rec := range gov.Allocations() {
+		if rec.End == 0 || rec.Killed {
+			continue
+		}
+		a := perClass[rec.Job.Class]
+		if a == nil {
+			a = &acc{}
+			perClass[rec.Job.Class] = a
+		}
+		a.stretch += rec.Job.RuntimeSeconds() / rec.Job.IdealRuntime()
+		a.n++
+	}
+	fmt.Println("\nmean runtime stretch under the governor, by class:")
+	for c := workload.Class(0); int(c) < workload.NumClasses; c++ {
+		if a, ok := perClass[c]; ok && a.n > 0 {
+			fmt.Printf("  %-12s %.3fx over %.0f jobs\n", c, a.stretch/a.n, a.n)
+		}
+	}
+
+	// The predictive half: how well do intensity signatures extrapolate?
+	ctx := &oda.RunContext{Store: gov.Store, From: 0, To: gov.Now() + 1, System: gov}
+	res, err := predictive.InstMix{}.Run(ctx)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\ninstruction-mix prediction: %s\n", res.Summary)
+}

@@ -1,0 +1,33 @@
+package anomaly
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func benchSeries(n int) []float64 {
+	rng := rand.New(rand.NewSource(1))
+	xs := make([]float64, n)
+	for i := range xs {
+		xs[i] = 50 + rng.NormFloat64()
+	}
+	xs[n/2] = 500
+	return xs
+}
+
+// Detector throughput on a 10k-sample window with one spike.
+func benchDetector(b *testing.B, d Detector) {
+	xs := benchSeries(10_000)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if evs := d.Detect(xs); len(evs) == 0 {
+			b.Fatal("spike missed")
+		}
+	}
+}
+
+func BenchmarkDetectZScore(b *testing.B)    { benchDetector(b, &ZScore{Window: 60, Threshold: 4}) }
+func BenchmarkDetectMAD(b *testing.B)       { benchDetector(b, &MAD{}) }
+func BenchmarkDetectIQR(b *testing.B)       { benchDetector(b, &IQR{}) }
+func BenchmarkDetectCUSUM(b *testing.B)     { benchDetector(b, &CUSUM{Baseline: 100, H: 4}) }
+func BenchmarkDetectEWMAChart(b *testing.B) { benchDetector(b, &EWMAChart{Baseline: 100}) }

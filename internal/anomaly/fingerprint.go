@@ -1,0 +1,93 @@
+package anomaly
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"repro/internal/stats"
+)
+
+// Fingerprint summarizes a multi-metric system state epoch as a compact
+// vector of per-metric quantiles, following Bodik et al.'s "Fingerprinting
+// the datacenter": each metric contributes its P25/P50/P95 over the epoch,
+// which is robust to which individual node misbehaves.
+type Fingerprint struct {
+	Label  string    // crisis/state label, e.g. "overload", "healthy"
+	Vector []float64 // 3 entries per metric: P25, P50, P95
+}
+
+// MakeFingerprint builds a fingerprint from per-metric observations across
+// an epoch. metrics[i] holds all observations of metric i (e.g. one value
+// per node). Every metric must be non-empty.
+func MakeFingerprint(label string, metrics [][]float64) (Fingerprint, error) {
+	vec := make([]float64, 0, len(metrics)*3)
+	for i, m := range metrics {
+		qs, err := stats.Quantiles(m, 0.25, 0.5, 0.95)
+		if err != nil {
+			return Fingerprint{}, fmt.Errorf("anomaly: metric %d: %w", i, err)
+		}
+		vec = append(vec, qs...)
+	}
+	return Fingerprint{Label: label, Vector: vec}, nil
+}
+
+// FingerprintIndex matches observed fingerprints against a library of known
+// labelled crises, enabling "we have seen this before" diagnosis.
+type FingerprintIndex struct {
+	known []Fingerprint
+	// scale normalizes each vector dimension by its spread across the
+	// library so no single metric dominates the distance.
+	scale []float64
+}
+
+// NewFingerprintIndex builds an index over the given labelled fingerprints.
+// All fingerprints must share the same vector length.
+func NewFingerprintIndex(known []Fingerprint) (*FingerprintIndex, error) {
+	if len(known) == 0 {
+		return nil, errors.New("anomaly: empty fingerprint library")
+	}
+	d := len(known[0].Vector)
+	for _, f := range known {
+		if len(f.Vector) != d {
+			return nil, errors.New("anomaly: fingerprint dimension mismatch")
+		}
+	}
+	idx := &FingerprintIndex{known: known, scale: make([]float64, d)}
+	for j := 0; j < d; j++ {
+		col := make([]float64, len(known))
+		for i, f := range known {
+			col[i] = f.Vector[j]
+		}
+		s := stats.Std(col)
+		if s == 0 {
+			s = 1
+		}
+		idx.scale[j] = s
+	}
+	return idx, nil
+}
+
+// Match returns the label of the closest known fingerprint and the
+// normalized distance to it.
+func (idx *FingerprintIndex) Match(observed Fingerprint) (string, float64, error) {
+	if len(observed.Vector) != len(idx.scale) {
+		return "", 0, errors.New("anomaly: fingerprint dimension mismatch")
+	}
+	bestLabel, bestDist := "", math.Inf(1)
+	for _, f := range idx.known {
+		var d2 float64
+		for j := range f.Vector {
+			dd := (f.Vector[j] - observed.Vector[j]) / idx.scale[j]
+			d2 += dd * dd
+		}
+		d := math.Sqrt(d2)
+		if d < bestDist {
+			bestLabel, bestDist = f.Label, d
+		}
+	}
+	return bestLabel, bestDist, nil
+}
+
+// Size returns the number of fingerprints in the library.
+func (idx *FingerprintIndex) Size() int { return len(idx.known) }

@@ -1,0 +1,171 @@
+// Package bus provides the in-process publish/subscribe fabric that couples
+// telemetry producers (collectors, the simulator) to consumers (the TSDB
+// writer, streaming analytics, dashboards). Topics are hierarchical strings
+// ("hw.node3.power"); subscriptions match exact topics or prefixes.
+//
+// Publishing never blocks: each subscription has a bounded queue and a drop
+// policy, mirroring how production monitoring buses shed load when an
+// analysis consumer stalls. Drop counts are observable so lossiness is a
+// measured property, not a silent one.
+package bus
+
+import (
+	"strings"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/metric"
+)
+
+// Message is one telemetry event on the bus.
+type Message struct {
+	Topic  string
+	ID     metric.ID
+	Kind   metric.Kind
+	Unit   metric.Unit
+	Sample metric.Sample
+}
+
+// Subscription receives messages for one topic pattern.
+type Subscription struct {
+	bus     *Bus
+	pattern string
+	prefix  bool
+	ch      chan Message
+	dropped atomic.Uint64
+	closed  atomic.Bool
+}
+
+// C returns the receive channel. It is closed when the subscription is
+// cancelled or the bus shuts down.
+func (s *Subscription) C() <-chan Message { return s.ch }
+
+// Dropped returns how many messages were shed because the queue was full.
+func (s *Subscription) Dropped() uint64 { return s.dropped.Load() }
+
+// Cancel removes the subscription and closes its channel. Safe to call more
+// than once.
+func (s *Subscription) Cancel() { s.bus.cancel(s) }
+
+func (s *Subscription) matches(topic string) bool {
+	if s.prefix {
+		return strings.HasPrefix(topic, s.pattern)
+	}
+	return topic == s.pattern
+}
+
+// Bus is a topic-based broadcast hub. The zero value is not usable; call New.
+type Bus struct {
+	mu        sync.RWMutex
+	subs      []*Subscription
+	closed    bool
+	published atomic.Uint64
+}
+
+// New returns an empty bus.
+func New() *Bus { return &Bus{} }
+
+// Subscribe registers interest in a topic. A pattern ending in "*"
+// subscribes to the prefix before it ("hw.*" matches "hw.node3.power");
+// any other pattern matches exactly. buffer is the queue depth (minimum 1).
+func (b *Bus) Subscribe(pattern string, buffer int) *Subscription {
+	if buffer < 1 {
+		buffer = 1
+	}
+	sub := &Subscription{bus: b, pattern: pattern, ch: make(chan Message, buffer)}
+	if strings.HasSuffix(pattern, "*") {
+		sub.prefix = true
+		sub.pattern = strings.TrimSuffix(pattern, "*")
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.closed {
+		close(sub.ch)
+		sub.closed.Store(true)
+		return sub
+	}
+	b.subs = append(b.subs, sub)
+	return sub
+}
+
+func (b *Bus) cancel(sub *Subscription) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if sub.closed.Swap(true) {
+		return
+	}
+	for i, s := range b.subs {
+		if s == sub {
+			b.subs = append(b.subs[:i], b.subs[i+1:]...)
+			break
+		}
+	}
+	close(sub.ch)
+}
+
+// Publish fans the message out to every matching subscription without
+// blocking; full queues drop the message and bump the drop counter.
+// It reports how many subscribers received it.
+func (b *Bus) Publish(msg Message) int {
+	b.mu.RLock()
+	defer b.mu.RUnlock()
+	if b.closed {
+		return 0
+	}
+	b.published.Add(1)
+	delivered := 0
+	for _, sub := range b.subs {
+		if !sub.matches(msg.Topic) {
+			continue
+		}
+		select {
+		case sub.ch <- msg:
+			delivered++
+		default:
+			sub.dropped.Add(1)
+		}
+	}
+	return delivered
+}
+
+// Published returns the total number of messages published.
+func (b *Bus) Published() uint64 { return b.published.Load() }
+
+// NumSubscribers returns the current subscription count.
+func (b *Bus) NumSubscribers() int {
+	b.mu.RLock()
+	defer b.mu.RUnlock()
+	return len(b.subs)
+}
+
+// Close shuts the bus down, closing all subscription channels. Publishing
+// after Close is a no-op.
+func (b *Bus) Close() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.closed {
+		return
+	}
+	b.closed = true
+	for _, sub := range b.subs {
+		if !sub.closed.Swap(true) {
+			close(sub.ch)
+		}
+	}
+	b.subs = nil
+}
+
+// TopicFor builds the conventional bus topic for a metric ID: the pillar
+// prefix (the caller chooses, e.g. "hw"), then node label when present,
+// then metric name.
+func TopicFor(prefix string, id metric.ID) string {
+	var sb strings.Builder
+	sb.WriteString(prefix)
+	if node, ok := id.Labels.Get("node"); ok {
+		sb.WriteByte('.')
+		sb.WriteString(node)
+	}
+	sb.WriteByte('.')
+	sb.WriteString(id.Name)
+	return sb.String()
+}

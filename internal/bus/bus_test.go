@@ -1,0 +1,163 @@
+package bus
+
+import (
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/metric"
+)
+
+func msg(topic string) Message {
+	return Message{Topic: topic, Sample: metric.Sample{T: 1, V: 2}}
+}
+
+func TestExactSubscription(t *testing.T) {
+	b := New()
+	sub := b.Subscribe("hw.n0.power", 4)
+	defer sub.Cancel()
+	if n := b.Publish(msg("hw.n0.power")); n != 1 {
+		t.Fatalf("delivered = %d", n)
+	}
+	if n := b.Publish(msg("hw.n1.power")); n != 0 {
+		t.Fatalf("wrong topic delivered = %d", n)
+	}
+	select {
+	case m := <-sub.C():
+		if m.Topic != "hw.n0.power" {
+			t.Fatalf("got %q", m.Topic)
+		}
+	default:
+		t.Fatal("no message queued")
+	}
+}
+
+func TestPrefixSubscription(t *testing.T) {
+	b := New()
+	sub := b.Subscribe("hw.*", 10)
+	defer sub.Cancel()
+	b.Publish(msg("hw.n0.power"))
+	b.Publish(msg("hw.n1.temp"))
+	b.Publish(msg("facility.pue"))
+	if len(sub.ch) != 2 {
+		t.Fatalf("queued = %d", len(sub.ch))
+	}
+	all := b.Subscribe("*", 10)
+	defer all.Cancel()
+	b.Publish(msg("anything.at.all"))
+	if len(all.ch) != 1 {
+		t.Fatal("wildcard-all missed message")
+	}
+}
+
+func TestDropPolicy(t *testing.T) {
+	b := New()
+	sub := b.Subscribe("t", 2)
+	defer sub.Cancel()
+	for i := 0; i < 5; i++ {
+		b.Publish(msg("t"))
+	}
+	if sub.Dropped() != 3 {
+		t.Fatalf("dropped = %d", sub.Dropped())
+	}
+	if len(sub.ch) != 2 {
+		t.Fatalf("queued = %d", len(sub.ch))
+	}
+	if b.Published() != 5 {
+		t.Fatalf("published = %d", b.Published())
+	}
+}
+
+func TestCancelIdempotent(t *testing.T) {
+	b := New()
+	sub := b.Subscribe("t", 1)
+	sub.Cancel()
+	sub.Cancel() // must not panic
+	if _, ok := <-sub.C(); ok {
+		t.Fatal("channel should be closed")
+	}
+	if b.NumSubscribers() != 0 {
+		t.Fatal("subscription not removed")
+	}
+	if n := b.Publish(msg("t")); n != 0 {
+		t.Fatal("delivered to cancelled subscription")
+	}
+}
+
+func TestClose(t *testing.T) {
+	b := New()
+	sub := b.Subscribe("t", 1)
+	b.Close()
+	b.Close() // idempotent
+	if _, ok := <-sub.C(); ok {
+		t.Fatal("channel should be closed after bus Close")
+	}
+	if n := b.Publish(msg("t")); n != 0 {
+		t.Fatal("publish after close should deliver nothing")
+	}
+	late := b.Subscribe("t", 1)
+	if _, ok := <-late.C(); ok {
+		t.Fatal("subscription on closed bus should be closed immediately")
+	}
+	late.Cancel() // must not panic on already-closed
+}
+
+func TestMinimumBuffer(t *testing.T) {
+	b := New()
+	sub := b.Subscribe("t", 0)
+	defer sub.Cancel()
+	if cap(sub.ch) != 1 {
+		t.Fatalf("buffer = %d", cap(sub.ch))
+	}
+}
+
+func TestConcurrentPublishSubscribe(t *testing.T) {
+	b := New()
+	defer b.Close()
+	var wg sync.WaitGroup
+	received := make([]int, 4)
+	for i := 0; i < 4; i++ {
+		sub := b.Subscribe("load.*", 10000)
+		wg.Add(1)
+		go func(i int, sub *Subscription) {
+			defer wg.Done()
+			for range sub.C() {
+				received[i]++
+			}
+		}(i, sub)
+	}
+	var pwg sync.WaitGroup
+	for p := 0; p < 4; p++ {
+		pwg.Add(1)
+		go func() {
+			defer pwg.Done()
+			for i := 0; i < 1000; i++ {
+				b.Publish(msg("load.x"))
+			}
+		}()
+	}
+	pwg.Wait()
+	// Drain: give receivers a moment, then close.
+	deadline := time.Now().Add(2 * time.Second)
+	for b.Published() < 4000 && time.Now().Before(deadline) {
+		time.Sleep(time.Millisecond)
+	}
+	b.Close()
+	wg.Wait()
+	for i, n := range received {
+		if n != 4000 {
+			t.Fatalf("subscriber %d received %d, want 4000", i, n)
+		}
+	}
+}
+
+func TestTopicFor(t *testing.T) {
+	id := metric.ID{Name: "power", Labels: metric.NewLabels("node", "n7")}
+	if got := TopicFor("hw", id); got != "hw.n7.power" {
+		t.Fatalf("TopicFor = %q", got)
+	}
+	noNode := metric.ID{Name: "pue"}
+	if got := TopicFor("facility", noNode); got != "facility.pue" {
+		t.Fatalf("TopicFor = %q", got)
+	}
+}

@@ -1,0 +1,193 @@
+// Package collector implements the data-acquisition layer of the ODA stack:
+// sources expose instantaneous readings, agents sample them on a cadence and
+// dispatch the batches to sinks (the TSDB, the pub/sub bus, a wire client).
+//
+// Agents support two drive modes. Tick(now) lets the discrete-event
+// simulator advance collection on virtual time; Run(ctx) samples on wall
+// clock for live deployments. Both paths share the same collection logic,
+// so analytics behave identically on simulated and real time.
+package collector
+
+import (
+	"context"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/bus"
+	"repro/internal/metric"
+	"repro/internal/timeseries"
+	"repro/internal/wire"
+)
+
+// Reading is one instantaneous observation from a source.
+type Reading struct {
+	ID    metric.ID
+	Kind  metric.Kind
+	Unit  metric.Unit
+	Value float64
+}
+
+// Source produces readings on demand. Implementations live next to the
+// subsystem they instrument (facility plant, node hardware, scheduler).
+type Source interface {
+	// Name identifies the source in agent statistics.
+	Name() string
+	// Collect returns current readings at virtual time now (Unix millis).
+	Collect(now int64) []Reading
+}
+
+// SourceFunc adapts a function to the Source interface.
+type SourceFunc struct {
+	SourceName string
+	Fn         func(now int64) []Reading
+}
+
+// Name implements Source.
+func (s SourceFunc) Name() string { return s.SourceName }
+
+// Collect implements Source.
+func (s SourceFunc) Collect(now int64) []Reading { return s.Fn(now) }
+
+// Sink consumes a batch of readings collected at one instant.
+type Sink interface {
+	Consume(agent string, now int64, readings []Reading) error
+}
+
+// StoreSink writes readings into a TSDB store.
+type StoreSink struct {
+	Store *timeseries.Store
+	errs  atomic.Uint64
+}
+
+// Consume implements Sink; ingest errors are counted, not fatal, matching
+// monitoring-fabric behaviour where one bad sample must not stop the flow.
+func (s *StoreSink) Consume(_ string, now int64, readings []Reading) error {
+	for _, r := range readings {
+		if err := s.Store.Append(r.ID, r.Kind, r.Unit, now, r.Value); err != nil {
+			s.errs.Add(1)
+		}
+	}
+	return nil
+}
+
+// Errors returns the number of rejected samples.
+func (s *StoreSink) Errors() uint64 { return s.errs.Load() }
+
+// BusSink publishes readings on a message bus under the given topic prefix.
+type BusSink struct {
+	Bus    *bus.Bus
+	Prefix string
+}
+
+// Consume implements Sink.
+func (s *BusSink) Consume(_ string, now int64, readings []Reading) error {
+	for _, r := range readings {
+		s.Bus.Publish(bus.Message{
+			Topic:  bus.TopicFor(s.Prefix, r.ID),
+			ID:     r.ID,
+			Kind:   r.Kind,
+			Unit:   r.Unit,
+			Sample: metric.Sample{T: now, V: r.Value},
+		})
+	}
+	return nil
+}
+
+// WireSink pushes readings to a remote telemetry server over the wire
+// protocol, one batch per collection round.
+type WireSink struct {
+	Client *wire.Client
+}
+
+// Consume implements Sink.
+func (s *WireSink) Consume(agent string, now int64, readings []Reading) error {
+	b := &wire.Batch{Agent: agent, Records: make([]wire.Record, 0, len(readings))}
+	for _, r := range readings {
+		b.Records = append(b.Records, wire.Record{
+			ID:      r.ID,
+			Kind:    r.Kind,
+			Unit:    r.Unit,
+			Samples: []metric.Sample{{T: now, V: r.Value}},
+		})
+	}
+	return s.Client.Send(b)
+}
+
+// Agent samples a set of sources and fans readings out to sinks.
+type Agent struct {
+	Name     string
+	Interval time.Duration // wall-clock cadence for Run
+
+	mu      sync.Mutex
+	sources []Source
+	sinks   []Sink
+
+	rounds   atomic.Uint64
+	readings atomic.Uint64
+	sinkErrs atomic.Uint64
+}
+
+// NewAgent creates an agent with the given identity and Run cadence.
+func NewAgent(name string, interval time.Duration) *Agent {
+	return &Agent{Name: name, Interval: interval}
+}
+
+// AddSource registers a source.
+func (a *Agent) AddSource(s Source) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	a.sources = append(a.sources, s)
+}
+
+// AddSink registers a sink.
+func (a *Agent) AddSink(s Sink) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	a.sinks = append(a.sinks, s)
+}
+
+// Tick performs one collection round at virtual time now, returning the
+// number of readings gathered.
+func (a *Agent) Tick(now int64) int {
+	a.mu.Lock()
+	sources := append([]Source(nil), a.sources...)
+	sinks := append([]Sink(nil), a.sinks...)
+	a.mu.Unlock()
+
+	var all []Reading
+	for _, src := range sources {
+		all = append(all, src.Collect(now)...)
+	}
+	for _, sink := range sinks {
+		if err := sink.Consume(a.Name, now, all); err != nil {
+			a.sinkErrs.Add(1)
+		}
+	}
+	a.rounds.Add(1)
+	a.readings.Add(uint64(len(all)))
+	return len(all)
+}
+
+// Run ticks on wall clock until the context is cancelled.
+func (a *Agent) Run(ctx context.Context) {
+	interval := a.Interval
+	if interval <= 0 {
+		interval = time.Second
+	}
+	ticker := time.NewTicker(interval)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case t := <-ticker.C:
+			a.Tick(t.UnixMilli())
+		}
+	}
+}
+
+// Stats reports collection activity.
+func (a *Agent) Stats() (rounds, readings, sinkErrors uint64) {
+	return a.rounds.Load(), a.readings.Load(), a.sinkErrs.Load()
+}

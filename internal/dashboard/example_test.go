@@ -1,0 +1,21 @@
+package dashboard_test
+
+import (
+	"fmt"
+
+	"repro/internal/dashboard"
+)
+
+// ExampleSparkline renders a strip chart for a terminal dashboard.
+func ExampleSparkline() {
+	fmt.Println(dashboard.Sparkline([]float64{1, 2, 3, 4, 5, 6, 7, 8}))
+	// Output:
+	// ▁▂▃▄▅▆▇█
+}
+
+// ExampleGauge renders a bounded horizontal meter, here a PUE readout.
+func ExampleGauge() {
+	fmt.Println(dashboard.Gauge("PUE", 1.25, 1.0, 2.0, 20))
+	// Output:
+	// PUE                      [#####...............]     1.25
+}

@@ -1,0 +1,349 @@
+// Package descriptive implements the framework's first analytics row:
+// "what happened?". It computes the energy-efficiency KPIs the paper lists
+// (PUE, ITUE, SIE, job slowdown), derives roofline-style boundedness
+// classifications, and renders operator dashboards at the facility, system,
+// scheduler and job levels.
+//
+// Every capability here is pure observation: aggregation, normalization and
+// indicator computation over the telemetry archive — no knowledge
+// extraction, matching the paper's definition of the descriptive type.
+package descriptive
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/dashboard"
+	"repro/internal/metric"
+	"repro/internal/oda"
+	"repro/internal/simulation"
+	"repro/internal/stats"
+	"repro/internal/workload"
+)
+
+// profilePhases returns the canonical phases of an application class.
+func profilePhases(c workload.Class) []workload.Phase {
+	return workload.ProfileFor(c).Phases
+}
+
+// siteLabels selects facility-wide series.
+var siteLabels = metric.NewLabels("site", "vdc")
+
+// cell is a shorthand constructor.
+func cell(p oda.Pillar, t oda.Type) oda.Cell { return oda.Cell{Pillar: p, Type: t} }
+
+// PUE computes Power Usage Effectiveness statistics over the window from
+// facility telemetry — the canonical descriptive KPI of the building pillar.
+type PUE struct{}
+
+// Meta implements oda.Capability.
+func (PUE) Meta() oda.Meta {
+	return oda.Meta{
+		Name:        "pue-kpi",
+		Description: "PUE calculation from facility power telemetry",
+		Cells:       []oda.Cell{cell(oda.BuildingInfrastructure, oda.Descriptive)},
+		Refs:        []string{"[4]"},
+	}
+}
+
+// Run implements oda.Capability.
+func (PUE) Run(ctx *oda.RunContext) (oda.Result, error) {
+	id := metric.ID{Name: "facility_pue", Labels: siteLabels}
+	vals, err := ctx.Store.SeriesValues(id, ctx.From, ctx.To)
+	if err != nil {
+		return oda.Result{}, err
+	}
+	// Ignore the meaningless zero samples from before the first IT load.
+	clean := vals[:0:0]
+	for _, v := range vals {
+		if v > 0 {
+			clean = append(clean, v)
+		}
+	}
+	if len(clean) == 0 {
+		return oda.Result{}, fmt.Errorf("descriptive: no PUE samples in window")
+	}
+	s, _ := stats.Summarize(clean)
+	p95, _ := stats.Quantile(clean, 0.95)
+	return oda.Result{
+		Summary: fmt.Sprintf("PUE mean %.3f, p95 %.3f over %d samples", s.Mean, p95, s.Count),
+		Values: map[string]float64{
+			"pue_mean": s.Mean, "pue_min": s.Min, "pue_max": s.Max,
+			"pue_p95": p95, "pue_last": clean[len(clean)-1], "samples": float64(s.Count),
+		},
+	}, nil
+}
+
+// ITUE computes IT Power Usage Effectiveness: total node power over node
+// power net of node-internal cooling (fans), following Patterson et al.
+// Fan draw is reconstructed from fan-speed telemetry and the fleet's
+// cubic fan-power model.
+type ITUE struct {
+	// MaxFanPowerW is the per-node fan draw at 100% duty (default 28, the
+	// simulator's DefaultNodeConfig value).
+	MaxFanPowerW float64
+}
+
+// Meta implements oda.Capability.
+func (ITUE) Meta() oda.Meta {
+	return oda.Meta{
+		Name:        "itue-kpi",
+		Description: "ITUE calculation from node power and fan telemetry",
+		Cells:       []oda.Cell{cell(oda.SystemHardware, oda.Descriptive)},
+		Refs:        []string{"[59]"},
+	}
+}
+
+// Run implements oda.Capability.
+func (c ITUE) Run(ctx *oda.RunContext) (oda.Result, error) {
+	maxFan := c.MaxFanPowerW
+	if maxFan <= 0 {
+		maxFan = 28
+	}
+	powerIDs := ctx.Store.Select("node_power_watts", nil)
+	if len(powerIDs) == 0 {
+		return oda.Result{}, fmt.Errorf("descriptive: no node power telemetry")
+	}
+	var totalPower, fanPower float64
+	var nodes int
+	for _, pid := range powerIDs {
+		node, _ := pid.Labels.Get("node")
+		fanID := metric.ID{Name: "node_fan_speed", Labels: pid.Labels}
+		pvals, err := ctx.Store.SeriesValues(pid, ctx.From, ctx.To)
+		if err != nil || len(pvals) == 0 {
+			continue
+		}
+		fvals, err := ctx.Store.SeriesValues(fanID, ctx.From, ctx.To)
+		if err != nil || len(fvals) == 0 {
+			return oda.Result{}, fmt.Errorf("descriptive: node %s has power but no fan telemetry", node)
+		}
+		totalPower += stats.Mean(pvals)
+		fm := stats.Mean(fvals) / 100
+		fanPower += maxFan * fm * fm * fm
+		nodes++
+	}
+	useful := totalPower - fanPower
+	if useful <= 0 {
+		return oda.Result{}, fmt.Errorf("descriptive: degenerate ITUE (total %.1f, fans %.1f)", totalPower, fanPower)
+	}
+	itue := totalPower / useful
+	return oda.Result{
+		Summary: fmt.Sprintf("ITUE %.4f across %d nodes (%.0f W total, %.0f W fans)", itue, nodes, totalPower, fanPower),
+		Values: map[string]float64{
+			"itue": itue, "nodes": float64(nodes),
+			"total_power_w": totalPower, "fan_power_w": fanPower,
+		},
+	}, nil
+}
+
+// SIE computes a System Information Entropy indicator after Hui et al.:
+// the Shannon entropy of the node-utilization distribution. Low entropy
+// means the system sits in few states (all idle / all busy); spikes in
+// entropy mark state transitions worth an operator's attention.
+type SIE struct{}
+
+// Meta implements oda.Capability.
+func (SIE) Meta() oda.Meta {
+	return oda.Meta{
+		Name:        "sie-indicator",
+		Description: "System Information Entropy over node utilization states",
+		Cells:       []oda.Cell{cell(oda.SystemHardware, oda.Descriptive)},
+		Refs:        []string{"[14]"},
+	}
+}
+
+// Run implements oda.Capability.
+func (SIE) Run(ctx *oda.RunContext) (oda.Result, error) {
+	ids := ctx.Store.Select("node_utilization", nil)
+	if len(ids) == 0 {
+		return oda.Result{}, fmt.Errorf("descriptive: no utilization telemetry")
+	}
+	hist := stats.NewHistogram(0, 100.0000001, 10)
+	var samples int
+	for _, id := range ids {
+		vals, err := ctx.Store.SeriesValues(id, ctx.From, ctx.To)
+		if err != nil {
+			return oda.Result{}, err
+		}
+		for _, v := range vals {
+			hist.Add(v)
+			samples++
+		}
+	}
+	if samples == 0 {
+		return oda.Result{}, fmt.Errorf("descriptive: no utilization samples in window")
+	}
+	entropy := hist.Entropy()
+	maxEntropy := math.Log2(float64(len(hist.Counts)))
+	return oda.Result{
+		Summary: fmt.Sprintf("SIE %.3f bits (max %.3f) over %d samples", entropy, maxEntropy, samples),
+		Values: map[string]float64{
+			"sie_bits": entropy, "sie_max_bits": maxEntropy,
+			"sie_normalized": entropy / maxEntropy, "samples": float64(samples),
+		},
+	}, nil
+}
+
+// Slowdown computes the scheduler quality-of-service KPI (Feitelson's
+// bounded slowdown) over jobs finished in the window.
+type Slowdown struct{}
+
+// Meta implements oda.Capability.
+func (Slowdown) Meta() oda.Meta {
+	return oda.Meta{
+		Name:        "slowdown-kpi",
+		Description: "bounded job slowdown and wait statistics from the scheduler",
+		Cells:       []oda.Cell{cell(oda.SystemSoftware, oda.Descriptive)},
+		Refs:        []string{"[60]"},
+	}
+}
+
+// Run implements oda.Capability.
+func (Slowdown) Run(ctx *oda.RunContext) (oda.Result, error) {
+	dc, err := oda.SystemAs[*simulation.DataCenter](ctx)
+	if err != nil {
+		return oda.Result{}, err
+	}
+	var slows, waits []float64
+	for _, j := range dc.Cluster.Finished() {
+		if j.EndTime < ctx.From || j.EndTime >= ctx.To {
+			continue
+		}
+		slows = append(slows, j.Slowdown())
+		waits = append(waits, j.WaitSeconds())
+	}
+	if len(slows) == 0 {
+		return oda.Result{}, fmt.Errorf("descriptive: no finished jobs in window")
+	}
+	p95, _ := stats.Quantile(slows, 0.95)
+	m := dc.Cluster.MetricsAt(ctx.To)
+	return oda.Result{
+		Summary: fmt.Sprintf("mean slowdown %.2f (p95 %.2f) over %d jobs, utilization %.1f%%",
+			stats.Mean(slows), p95, len(slows), m.Utilization*100),
+		Values: map[string]float64{
+			"slowdown_mean": stats.Mean(slows), "slowdown_p95": p95,
+			"wait_mean_s": stats.Mean(waits), "jobs": float64(len(slows)),
+			"utilization": m.Utilization,
+		},
+	}, nil
+}
+
+// Roofline classifies finished jobs as compute- or memory/IO-bound from
+// their dominant execution phase, the operational use of Williams et al.'s
+// roofline model for spotting bottlenecked applications.
+type Roofline struct{}
+
+// Meta implements oda.Capability.
+func (Roofline) Meta() oda.Meta {
+	return oda.Meta{
+		Name:        "roofline-model",
+		Description: "roofline-style boundedness classification of finished jobs",
+		Cells:       []oda.Cell{cell(oda.Applications, oda.Descriptive)},
+		Refs:        []string{"[63]"},
+	}
+}
+
+// Run implements oda.Capability.
+func (Roofline) Run(ctx *oda.RunContext) (oda.Result, error) {
+	dc, err := oda.SystemAs[*simulation.DataCenter](ctx)
+	if err != nil {
+		return oda.Result{}, err
+	}
+	var computeBound, memoryBound, ioBound, total int
+	for _, j := range dc.Cluster.Finished() {
+		if j.EndTime < ctx.From || j.EndTime >= ctx.To {
+			continue
+		}
+		total++
+		// Weight phases by work fraction to find the dominant demand.
+		var cw, mw, iw float64
+		prof := j.Class
+		for _, ph := range profilePhases(prof) {
+			cw += ph.ComputeFrac * ph.WorkFrac
+			mw += ph.MemoryFrac * ph.WorkFrac
+			iw += ph.IOFrac * ph.WorkFrac
+		}
+		switch stats.ArgMax([]float64{cw, mw, iw}) {
+		case 0:
+			computeBound++
+		case 1:
+			memoryBound++
+		default:
+			ioBound++
+		}
+	}
+	if total == 0 {
+		return oda.Result{}, fmt.Errorf("descriptive: no finished jobs in window")
+	}
+	return oda.Result{
+		Summary: fmt.Sprintf("%d jobs: %d compute-bound, %d memory-bound, %d io-bound",
+			total, computeBound, memoryBound, ioBound),
+		Values: map[string]float64{
+			"jobs": float64(total), "compute_bound": float64(computeBound),
+			"memory_bound": float64(memoryBound), "io_bound": float64(ioBound),
+		},
+	}, nil
+}
+
+// Dashboards renders the four operator views (facility, system, scheduler,
+// job) the survey's descriptive column is full of: ClusterCockpit-, NERSC-
+// and XDMoD-style panels, here as text/JSON over the same store.
+type Dashboards struct{}
+
+// Meta implements oda.Capability.
+func (Dashboards) Meta() oda.Meta {
+	return oda.Meta{
+		Name:        "ops-dashboards",
+		Description: "facility/system/scheduler/job dashboards over the telemetry archive",
+		Cells: []oda.Cell{
+			cell(oda.BuildingInfrastructure, oda.Descriptive),
+			cell(oda.SystemHardware, oda.Descriptive),
+			cell(oda.SystemSoftware, oda.Descriptive),
+			cell(oda.Applications, oda.Descriptive),
+		},
+		Refs: []string{"[1]", "[5]", "[6]", "[7]", "[8]", "[10]", "[61]", "[62]"},
+	}
+}
+
+// Build returns the dashboard over a store, exported so binaries can mount
+// its HTTP handler directly.
+func (Dashboards) Build(ctx *oda.RunContext) *dashboard.Dashboard {
+	window := ctx.To - ctx.From
+	return &dashboard.Dashboard{
+		Store: ctx.Store,
+		Panels: []dashboard.Panel{
+			{Title: "Facility", Name: "", Selector: siteLabels, WindowMs: window},
+			{Title: "Node power", Name: "node_power_watts", WindowMs: window},
+			{Title: "Node temperature", Name: "node_cpu_temp_celsius", WindowMs: window},
+			{Title: "Network uplinks", Name: "net_uplink_utilization", WindowMs: window},
+			{Title: "Scheduler", Name: "sched_queue_length", WindowMs: window},
+		},
+	}
+}
+
+// Run implements oda.Capability.
+func (d Dashboards) Run(ctx *oda.RunContext) (oda.Result, error) {
+	db := d.Build(ctx)
+	panels := db.Snapshot(ctx.To)
+	var series int
+	for _, p := range panels {
+		series += len(p.Series)
+	}
+	if series == 0 {
+		return oda.Result{}, fmt.Errorf("descriptive: dashboards found no series")
+	}
+	return oda.Result{
+		Summary: fmt.Sprintf("rendered %d panels over %d series", len(panels), series),
+		Values:  map[string]float64{"panels": float64(len(panels)), "series": float64(series)},
+	}, nil
+}
+
+// Register adds every descriptive capability to the grid.
+func Register(g *oda.Grid) error {
+	for _, c := range []oda.Capability{PUE{}, ITUE{}, SIE{}, Slowdown{}, Roofline{}, Dashboards{}} {
+		if err := g.Register(c); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,174 @@
+package descriptive
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/oda"
+	"repro/internal/simulation"
+)
+
+// simCtx runs a small virtual center for a few hours and returns a context
+// over its telemetry. Shared by the test functions; the sim is deterministic
+// so caching per seed is safe.
+var cachedDC *simulation.DataCenter
+
+func simCtx(t *testing.T) *oda.RunContext {
+	t.Helper()
+	if cachedDC == nil {
+		cfg := simulation.DefaultConfig(101)
+		cfg.Nodes = 16
+		cfg.Workload.MaxNodes = 8
+		cfg.Workload.MeanInterarrival = 45
+		cachedDC = simulation.New(cfg)
+		cachedDC.RunFor(8 * 3600)
+	}
+	return &oda.RunContext{
+		Store:  cachedDC.Store,
+		From:   0,
+		To:     cachedDC.Now() + 1,
+		System: cachedDC,
+	}
+}
+
+func TestPUE(t *testing.T) {
+	res, err := PUE{}.Run(simCtx(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m := res.Value("pue_mean"); m <= 1 || m > 2 {
+		t.Fatalf("pue_mean = %v", m)
+	}
+	if res.Value("pue_p95") < res.Value("pue_mean")*0.9 {
+		t.Fatalf("p95 %v implausible vs mean %v", res.Value("pue_p95"), res.Value("pue_mean"))
+	}
+	if res.Value("samples") == 0 || res.Summary == "" {
+		t.Fatalf("res = %+v", res)
+	}
+	// Empty window errors.
+	ctx := simCtx(t)
+	ctx.From, ctx.To = 1, 2
+	if _, err := (PUE{}).Run(ctx); err == nil {
+		t.Fatal("empty window should error")
+	}
+}
+
+func TestITUE(t *testing.T) {
+	res, err := ITUE{}.Run(simCtx(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	itue := res.Value("itue")
+	if itue <= 1 || itue > 1.5 {
+		t.Fatalf("itue = %v", itue)
+	}
+	if res.Value("nodes") != 16 {
+		t.Fatalf("nodes = %v", res.Value("nodes"))
+	}
+	if res.Value("fan_power_w") <= 0 || res.Value("fan_power_w") >= res.Value("total_power_w") {
+		t.Fatalf("fan power = %v of %v", res.Value("fan_power_w"), res.Value("total_power_w"))
+	}
+}
+
+func TestSIE(t *testing.T) {
+	res, err := SIE{}.Run(simCtx(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := res.Value("sie_bits")
+	if e <= 0 || e > res.Value("sie_max_bits") {
+		t.Fatalf("entropy = %v (max %v)", e, res.Value("sie_max_bits"))
+	}
+	if n := res.Value("sie_normalized"); n <= 0 || n > 1 {
+		t.Fatalf("normalized = %v", n)
+	}
+}
+
+func TestSlowdown(t *testing.T) {
+	res, err := Slowdown{}.Run(simCtx(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Value("jobs") == 0 {
+		t.Fatal("no jobs scored")
+	}
+	if res.Value("slowdown_mean") < 1 {
+		t.Fatalf("slowdown_mean = %v", res.Value("slowdown_mean"))
+	}
+	if res.Value("slowdown_p95") < res.Value("slowdown_mean") {
+		t.Fatalf("p95 %v < mean %v", res.Value("slowdown_p95"), res.Value("slowdown_mean"))
+	}
+	// Without a system handle it fails cleanly.
+	ctx := simCtx(t)
+	ctx.System = nil
+	if _, err := (Slowdown{}).Run(ctx); err == nil {
+		t.Fatal("missing system handle should error")
+	}
+}
+
+func TestRoofline(t *testing.T) {
+	res, err := Roofline{}.Run(simCtx(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	total := res.Value("jobs")
+	sum := res.Value("compute_bound") + res.Value("memory_bound") + res.Value("io_bound")
+	if total == 0 || sum != total {
+		t.Fatalf("classification does not partition: %v of %v", sum, total)
+	}
+}
+
+func TestDashboards(t *testing.T) {
+	d := Dashboards{}
+	res, err := d.Run(simCtx(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Value("panels") != 5 || res.Value("series") == 0 {
+		t.Fatalf("res = %+v", res)
+	}
+	db := d.Build(simCtx(t))
+	text := db.RenderText(simCtx(t).To)
+	if !strings.Contains(text, "== Facility ==") || !strings.Contains(text, "node_power_watts") {
+		t.Fatalf("dashboard text missing sections:\n%.400s", text)
+	}
+}
+
+func TestRegister(t *testing.T) {
+	g := oda.NewGrid()
+	if err := Register(g); err != nil {
+		t.Fatal(err)
+	}
+	if g.Len() != 6 {
+		t.Fatalf("registered %d capabilities", g.Len())
+	}
+	// The descriptive row of every pillar is covered.
+	for _, p := range oda.Pillars() {
+		if len(g.At(oda.Cell{Pillar: p, Type: oda.Descriptive})) == 0 {
+			t.Fatalf("pillar %s descriptive cell empty", p)
+		}
+	}
+	// Registering twice fails on duplicates.
+	if err := Register(g); err == nil {
+		t.Fatal("duplicate registration should error")
+	}
+}
+
+func TestAllDescriptiveCapabilitiesRunViaGrid(t *testing.T) {
+	g := oda.NewGrid()
+	if err := Register(g); err != nil {
+		t.Fatal(err)
+	}
+	results, errs := g.RunAll(simCtx(t))
+	if len(errs) != 0 {
+		t.Fatalf("capability errors: %v", errs)
+	}
+	if len(results) != 6 {
+		t.Fatalf("results = %d", len(results))
+	}
+	for name, r := range results {
+		if r.Summary == "" {
+			t.Fatalf("%s produced no summary", name)
+		}
+	}
+}

@@ -1,0 +1,186 @@
+// Package events provides the structured event/log substrate of the ODA
+// stack: monitoring is not only numeric telemetry — job lifecycle, node
+// health transitions and controller actions arrive as discrete events, and
+// several surveyed works (LogSCAN's System Information Entropy, root-cause
+// analyses) consume exactly this stream.
+//
+// The Log is a bounded in-memory ring with time-range queries and per-kind
+// aggregation, the moral equivalent of a syslog retained window.
+package events
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"repro/internal/stats"
+)
+
+// Level classifies event severity.
+type Level uint8
+
+// Severity levels.
+const (
+	Info Level = iota
+	Warning
+	Error
+)
+
+// String returns the level name.
+func (l Level) String() string {
+	switch l {
+	case Info:
+		return "info"
+	case Warning:
+		return "warning"
+	case Error:
+		return "error"
+	default:
+		return fmt.Sprintf("level(%d)", uint8(l))
+	}
+}
+
+// Event is one structured log entry.
+type Event struct {
+	// T is the event time in Unix milliseconds.
+	T int64
+	// Level is the severity.
+	Level Level
+	// Source identifies the emitter ("scheduler", "node/n003", "facility").
+	Source string
+	// Kind is the machine-readable event type ("job_start", "node_fail").
+	Kind string
+	// Detail is free-form human context.
+	Detail string
+}
+
+// Log is a bounded, concurrency-safe event ring ordered by append time.
+type Log struct {
+	mu      sync.RWMutex
+	ring    []Event
+	head    int // next write position
+	size    int
+	dropped uint64
+}
+
+// NewLog returns a log retaining up to capacity events (minimum 16).
+func NewLog(capacity int) *Log {
+	if capacity < 16 {
+		capacity = 16
+	}
+	return &Log{ring: make([]Event, capacity)}
+}
+
+// Append records an event. Events should arrive in non-decreasing time
+// order (they are stored in arrival order regardless).
+func (l *Log) Append(e Event) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.size == len(l.ring) {
+		l.dropped++
+	} else {
+		l.size++
+	}
+	l.ring[l.head] = e
+	l.head = (l.head + 1) % len(l.ring)
+}
+
+// Appendf records an event with a formatted detail string.
+func (l *Log) Appendf(t int64, level Level, source, kind, format string, args ...any) {
+	l.Append(Event{T: t, Level: level, Source: source, Kind: kind, Detail: fmt.Sprintf(format, args...)})
+}
+
+// Len returns the number of retained events.
+func (l *Log) Len() int {
+	l.mu.RLock()
+	defer l.mu.RUnlock()
+	return l.size
+}
+
+// Dropped returns how many events were evicted by the ring bound.
+func (l *Log) Dropped() uint64 {
+	l.mu.RLock()
+	defer l.mu.RUnlock()
+	return l.dropped
+}
+
+// all returns retained events oldest-first (caller holds no lock).
+func (l *Log) all() []Event {
+	l.mu.RLock()
+	defer l.mu.RUnlock()
+	out := make([]Event, 0, l.size)
+	start := l.head - l.size
+	if start < 0 {
+		start += len(l.ring)
+	}
+	for i := 0; i < l.size; i++ {
+		out = append(out, l.ring[(start+i)%len(l.ring)])
+	}
+	return out
+}
+
+// Query returns retained events with from <= T < to, oldest first.
+func (l *Log) Query(from, to int64) []Event {
+	var out []Event
+	for _, e := range l.all() {
+		if e.T >= from && e.T < to {
+			out = append(out, e)
+		}
+	}
+	return out
+}
+
+// KindCount is an event-type frequency.
+type KindCount struct {
+	Kind  string
+	Count int
+}
+
+// CountsByKind aggregates the window's events per kind, sorted by
+// descending count then kind.
+func (l *Log) CountsByKind(from, to int64) []KindCount {
+	counts := map[string]int{}
+	for _, e := range l.Query(from, to) {
+		counts[e.Kind]++
+	}
+	out := make([]KindCount, 0, len(counts))
+	for k, c := range counts {
+		out = append(out, KindCount{Kind: k, Count: c})
+	}
+	sort.Slice(out, func(a, b int) bool {
+		if out[a].Count != out[b].Count {
+			return out[a].Count > out[b].Count
+		}
+		return out[a].Kind < out[b].Kind
+	})
+	return out
+}
+
+// Entropy returns the Shannon entropy (bits) of the window's event-kind
+// distribution — LogSCAN's System Information Entropy over log data. A
+// quiet system emits a routine mix (low-moderate entropy); incidents add
+// rare kinds and shift mass, moving the indicator.
+func (l *Log) Entropy(from, to int64) float64 {
+	counts := l.CountsByKind(from, to)
+	ws := make([]float64, len(counts))
+	for i, kc := range counts {
+		ws[i] = float64(kc.Count)
+	}
+	return stats.Entropy(ws)
+}
+
+// ErrorRate returns errors per retained event in the window (0 when the
+// window is empty).
+func (l *Log) ErrorRate(from, to int64) float64 {
+	evs := l.Query(from, to)
+	if len(evs) == 0 {
+		return 0
+	}
+	errs := 0
+	for _, e := range evs {
+		if e.Level == Error {
+			errs++
+		}
+	}
+	return float64(errs) / float64(len(evs))
+}

@@ -1,0 +1,125 @@
+package events
+
+import (
+	"math"
+	"sync"
+	"testing"
+)
+
+func TestAppendQueryOrder(t *testing.T) {
+	l := NewLog(64)
+	for i := int64(0); i < 10; i++ {
+		l.Append(Event{T: i * 1000, Kind: "tick", Source: "test"})
+	}
+	if l.Len() != 10 {
+		t.Fatalf("Len = %d", l.Len())
+	}
+	got := l.Query(2000, 5000)
+	if len(got) != 3 || got[0].T != 2000 || got[2].T != 4000 {
+		t.Fatalf("Query = %v", got)
+	}
+	if len(l.Query(100_000, 200_000)) != 0 {
+		t.Fatal("out-of-range query should be empty")
+	}
+}
+
+func TestRingEviction(t *testing.T) {
+	l := NewLog(16)
+	for i := int64(0); i < 40; i++ {
+		l.Append(Event{T: i, Kind: "k"})
+	}
+	if l.Len() != 16 {
+		t.Fatalf("Len = %d", l.Len())
+	}
+	if l.Dropped() != 24 {
+		t.Fatalf("Dropped = %d", l.Dropped())
+	}
+	evs := l.Query(0, 100)
+	if evs[0].T != 24 || evs[len(evs)-1].T != 39 {
+		t.Fatalf("ring kept wrong window: %d..%d", evs[0].T, evs[len(evs)-1].T)
+	}
+}
+
+func TestMinimumCapacity(t *testing.T) {
+	l := NewLog(0)
+	for i := int64(0); i < 20; i++ {
+		l.Append(Event{T: i})
+	}
+	if l.Len() != 16 {
+		t.Fatalf("minimum capacity not applied: %d", l.Len())
+	}
+}
+
+func TestCountsByKind(t *testing.T) {
+	l := NewLog(64)
+	for i := 0; i < 5; i++ {
+		l.Appendf(int64(i), Info, "s", "job_start", "j%d", i)
+	}
+	for i := 0; i < 3; i++ {
+		l.Appendf(int64(i+10), Info, "s", "job_end", "j%d", i)
+	}
+	l.Appendf(20, Error, "n", "node_fail", "boom")
+	counts := l.CountsByKind(0, 100)
+	if len(counts) != 3 {
+		t.Fatalf("kinds = %v", counts)
+	}
+	if counts[0].Kind != "job_start" || counts[0].Count != 5 {
+		t.Fatalf("top kind = %v", counts[0])
+	}
+	if counts[2].Kind != "node_fail" {
+		t.Fatalf("rare kind = %v", counts[2])
+	}
+}
+
+func TestEntropyAndErrorRate(t *testing.T) {
+	l := NewLog(64)
+	// Uniform over 4 kinds: entropy = 2 bits.
+	for i, k := range []string{"a", "b", "c", "d"} {
+		for j := 0; j < 5; j++ {
+			lvl := Info
+			if k == "d" {
+				lvl = Error
+			}
+			l.Append(Event{T: int64(i*10 + j), Kind: k, Level: lvl})
+		}
+	}
+	if h := l.Entropy(0, 100); math.Abs(h-2) > 1e-9 {
+		t.Fatalf("entropy = %v", h)
+	}
+	if r := l.ErrorRate(0, 100); math.Abs(r-0.25) > 1e-9 {
+		t.Fatalf("error rate = %v", r)
+	}
+	if l.ErrorRate(500, 600) != 0 {
+		t.Fatal("empty window error rate should be 0")
+	}
+	if l.Entropy(500, 600) != 0 {
+		t.Fatal("empty window entropy should be 0")
+	}
+}
+
+func TestLevelString(t *testing.T) {
+	if Info.String() != "info" || Warning.String() != "warning" || Error.String() != "error" {
+		t.Fatal("level strings")
+	}
+	if Level(9).String() == "" {
+		t.Fatal("unknown level should render")
+	}
+}
+
+func TestConcurrentAppend(t *testing.T) {
+	l := NewLog(1 << 12)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 500; i++ {
+				l.Appendf(int64(i), Info, "g", "k", "%d", g)
+			}
+		}(g)
+	}
+	wg.Wait()
+	if l.Len() != 4000 {
+		t.Fatalf("Len = %d", l.Len())
+	}
+}

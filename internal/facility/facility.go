@@ -1,0 +1,261 @@
+// Package facility models the Building Infrastructure pillar of the virtual
+// data center: outdoor weather, a cooling plant that can run a compression
+// chiller or free cooling, circulation pumps, power-distribution losses and
+// fixed overheads. It exposes the two knobs the surveyed prescriptive ODA
+// systems drive — cooling mode and supply (inlet) temperature setpoint — and
+// computes the PUE that descriptive ODA reports.
+package facility
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"repro/internal/collector"
+	"repro/internal/metric"
+)
+
+// CoolingMode selects how heat is rejected.
+type CoolingMode uint8
+
+// Cooling modes. Auto switches to free cooling whenever the outdoor
+// temperature allows, which is what the Jiang et al. fine-grained cooling
+// work automates.
+const (
+	ModeAuto CoolingMode = iota
+	ModeChiller
+	ModeFree
+)
+
+// String returns the mode name.
+func (m CoolingMode) String() string {
+	switch m {
+	case ModeAuto:
+		return "auto"
+	case ModeChiller:
+		return "chiller"
+	case ModeFree:
+		return "free"
+	default:
+		return fmt.Sprintf("mode(%d)", uint8(m))
+	}
+}
+
+// Config holds the facility's physical parameters.
+type Config struct {
+	// MeanOutdoorTemp and DailyAmplitude shape the diurnal weather cycle
+	// (degC).
+	MeanOutdoorTemp float64
+	DailyAmplitude  float64
+	// WeatherNoise is the stddev of the weather jitter per step.
+	WeatherNoise float64
+	// FreeCoolingApproach: free cooling works while outdoor temp is at
+	// least this many degC below the supply setpoint.
+	FreeCoolingApproach float64
+	// ChillerBaseCOP at reference conditions (18 degC supply, 20 degC out).
+	ChillerBaseCOP float64
+	// FreeCoolingOverheadFrac: fan power of dry coolers as a fraction of
+	// the heat moved.
+	FreeCoolingOverheadFrac float64
+	// PumpNominalPower at full flow (W); flow follows IT load.
+	PumpNominalPower float64
+	// DistLossFrac is the resistive distribution loss fraction of IT power.
+	DistLossFrac float64
+	// FixedOverheadW covers lighting, security, office loads.
+	FixedOverheadW float64
+	// DesignITPowerW is the plant's design IT load, used to normalize flow.
+	DesignITPowerW float64
+}
+
+// DefaultConfig returns a mid-size warm-water-capable plant.
+func DefaultConfig(designITPowerW float64) Config {
+	return Config{
+		MeanOutdoorTemp:         14,
+		DailyAmplitude:          7,
+		WeatherNoise:            0.3,
+		FreeCoolingApproach:     3,
+		ChillerBaseCOP:          4.5,
+		FreeCoolingOverheadFrac: 0.03,
+		PumpNominalPower:        0.02 * designITPowerW,
+		DistLossFrac:            0.035,
+		FixedOverheadW:          0.02 * designITPowerW,
+		DesignITPowerW:          designITPowerW,
+	}
+}
+
+// State is the facility's instantaneous condition after a step.
+type State struct {
+	OutdoorTemp  float64
+	SupplyTemp   float64 // air/water temperature delivered to racks
+	Mode         CoolingMode
+	ActiveFree   bool // whether free cooling carried the load this step
+	CoolingPower float64
+	PumpPower    float64
+	DistLoss     float64
+	Overhead     float64
+	ITPower      float64
+	TotalPower   float64
+	PUE          float64
+}
+
+// Facility simulates the building plant.
+type Facility struct {
+	Cfg Config
+
+	mode     CoolingMode
+	setpoint float64 // supply temperature setpoint, degC
+	state    State
+	rng      *rand.Rand
+	energyIT float64 // J
+	energyDC float64 // J
+}
+
+// New creates a facility with the given config and RNG seed.
+func New(cfg Config, seed int64) *Facility {
+	return &Facility{
+		Cfg:      cfg,
+		mode:     ModeAuto,
+		setpoint: 22,
+		rng:      rand.New(rand.NewSource(seed)),
+	}
+}
+
+// SetMode selects the cooling mode knob.
+func (f *Facility) SetMode(m CoolingMode) { f.mode = m }
+
+// Mode returns the configured cooling mode.
+func (f *Facility) Mode() CoolingMode { return f.mode }
+
+// SetSetpoint adjusts the supply-temperature setpoint, clamped to a safe
+// [14, 35] degC band (warm-water cooling territory at the top).
+func (f *Facility) SetSetpoint(t float64) {
+	f.setpoint = math.Max(14, math.Min(35, t))
+}
+
+// Setpoint returns the current supply setpoint.
+func (f *Facility) Setpoint() float64 { return f.setpoint }
+
+// OutdoorTemp computes weather at Unix-millis time now (diurnal sinusoid
+// plus jitter; the jitter draw mutates RNG state so calls should be
+// monotone in time).
+func (f *Facility) OutdoorTemp(now int64) float64 {
+	day := float64(24 * 3600 * 1000)
+	phase := 2 * math.Pi * (float64(now%int64(day))/day - 0.375) // peak ~15:00
+	return f.Cfg.MeanOutdoorTemp + f.Cfg.DailyAmplitude*math.Sin(phase) + f.rng.NormFloat64()*f.Cfg.WeatherNoise
+}
+
+// Step advances the plant by dt seconds at virtual time now given the
+// current IT power draw, and returns the resulting state.
+func (f *Facility) Step(dt float64, now int64, itPowerW float64) State {
+	out := f.OutdoorTemp(now)
+	freeOK := out <= f.setpoint-f.Cfg.FreeCoolingApproach
+
+	useFree := false
+	switch f.mode {
+	case ModeFree:
+		useFree = true // forced; efficiency degrades if outdoor is too warm
+	case ModeChiller:
+		useFree = false
+	default:
+		useFree = freeOK
+	}
+
+	var coolingPower float64
+	if useFree {
+		frac := f.Cfg.FreeCoolingOverheadFrac
+		if !freeOK {
+			// Forced free cooling above its envelope: dry coolers run flat
+			// out and still undershoot, burning far more fan power.
+			deficit := out - (f.setpoint - f.Cfg.FreeCoolingApproach)
+			frac += 0.02 * deficit
+		}
+		coolingPower = itPowerW * frac
+	} else {
+		cop := f.chillerCOP(out)
+		coolingPower = itPowerW / cop
+	}
+
+	flow := itPowerW / math.Max(1, f.Cfg.DesignITPowerW)
+	if flow < 0.2 {
+		flow = 0.2 // minimum circulation
+	}
+	if flow > 1.2 {
+		flow = 1.2
+	}
+	pump := f.Cfg.PumpNominalPower * flow * flow * flow
+	loss := itPowerW * f.Cfg.DistLossFrac
+	total := itPowerW + coolingPower + pump + loss + f.Cfg.FixedOverheadW
+
+	pue := 0.0
+	if itPowerW > 0 {
+		pue = total / itPowerW
+	}
+	// Supply temperature: setpoint plus a small load-dependent approach
+	// error when the plant is stressed.
+	supply := f.setpoint + 1.5*math.Max(0, flow-0.9)
+	if useFree && !freeOK {
+		supply += (out - (f.setpoint - f.Cfg.FreeCoolingApproach)) * 0.5
+	}
+
+	f.energyIT += itPowerW * dt
+	f.energyDC += total * dt
+	f.state = State{
+		OutdoorTemp:  out,
+		SupplyTemp:   supply,
+		Mode:         f.mode,
+		ActiveFree:   useFree,
+		CoolingPower: coolingPower,
+		PumpPower:    pump,
+		DistLoss:     loss,
+		Overhead:     f.Cfg.FixedOverheadW,
+		ITPower:      itPowerW,
+		TotalPower:   total,
+		PUE:          pue,
+	}
+	return f.state
+}
+
+// chillerCOP models compressor efficiency: better with warmer supply
+// (smaller lift) and cooler outdoor air (easier heat rejection).
+func (f *Facility) chillerCOP(outdoorTemp float64) float64 {
+	cop := f.Cfg.ChillerBaseCOP + 0.15*(f.setpoint-18) - 0.1*(outdoorTemp-20)
+	return math.Max(1.5, math.Min(9, cop))
+}
+
+// State returns the last computed state.
+func (f *Facility) State() State { return f.state }
+
+// CumulativePUE returns energy-weighted PUE since start (the KPI the paper's
+// descriptive examples compute), or 0 before any IT energy is consumed.
+func (f *Facility) CumulativePUE() float64 {
+	if f.energyIT == 0 {
+		return 0
+	}
+	return f.energyDC / f.energyIT
+}
+
+// Source exposes facility sensors to a collection agent.
+func (f *Facility) Source() collector.Source {
+	labels := metric.NewLabels("site", "vdc")
+	return collector.SourceFunc{
+		SourceName: "facility",
+		Fn: func(now int64) []collector.Reading {
+			s := f.state
+			freeVal := 0.0
+			if s.ActiveFree {
+				freeVal = 1
+			}
+			return []collector.Reading{
+				{ID: metric.ID{Name: "facility_outdoor_temp_celsius", Labels: labels}, Kind: metric.Gauge, Unit: metric.UnitCelsius, Value: s.OutdoorTemp},
+				{ID: metric.ID{Name: "facility_supply_temp_celsius", Labels: labels}, Kind: metric.Gauge, Unit: metric.UnitCelsius, Value: s.SupplyTemp},
+				{ID: metric.ID{Name: "facility_cooling_power_watts", Labels: labels}, Kind: metric.Gauge, Unit: metric.UnitWatt, Value: s.CoolingPower},
+				{ID: metric.ID{Name: "facility_pump_power_watts", Labels: labels}, Kind: metric.Gauge, Unit: metric.UnitWatt, Value: s.PumpPower},
+				{ID: metric.ID{Name: "facility_it_power_watts", Labels: labels}, Kind: metric.Gauge, Unit: metric.UnitWatt, Value: s.ITPower},
+				{ID: metric.ID{Name: "facility_total_power_watts", Labels: labels}, Kind: metric.Gauge, Unit: metric.UnitWatt, Value: s.TotalPower},
+				{ID: metric.ID{Name: "facility_pue", Labels: labels}, Kind: metric.Gauge, Unit: metric.UnitNone, Value: s.PUE},
+				{ID: metric.ID{Name: "facility_free_cooling_active", Labels: labels}, Kind: metric.Gauge, Unit: metric.UnitNone, Value: freeVal},
+				{ID: metric.ID{Name: "facility_setpoint_celsius", Labels: labels}, Kind: metric.Gauge, Unit: metric.UnitCelsius, Value: f.setpoint},
+			}
+		},
+	}
+}

@@ -1,0 +1,184 @@
+package facility
+
+import (
+	"math"
+	"testing"
+)
+
+func testFacility() *Facility {
+	return New(DefaultConfig(100_000), 1)
+}
+
+func TestPUEBounds(t *testing.T) {
+	f := testFacility()
+	s := f.Step(60, 12*3600*1000, 80_000)
+	if s.PUE <= 1 {
+		t.Fatalf("PUE = %v, must exceed 1", s.PUE)
+	}
+	if s.PUE > 2.5 {
+		t.Fatalf("PUE = %v, implausibly bad", s.PUE)
+	}
+	if s.TotalPower <= s.ITPower {
+		t.Fatal("total power must exceed IT power")
+	}
+	// Zero IT load: PUE reported as 0 (undefined), no NaN.
+	z := f.Step(60, 0, 0)
+	if z.PUE != 0 || math.IsNaN(z.TotalPower) {
+		t.Fatalf("zero-load state = %+v", z)
+	}
+}
+
+func TestFreeCoolingBeatsChiller(t *testing.T) {
+	cold := int64(4 * 3600 * 1000) // 4am, coldest
+	fFree := testFacility()
+	fFree.SetSetpoint(28)
+	fFree.SetMode(ModeFree)
+	fChill := testFacility()
+	fChill.SetSetpoint(28)
+	fChill.SetMode(ModeChiller)
+	sFree := fFree.Step(60, cold, 80_000)
+	sChill := fChill.Step(60, cold, 80_000)
+	if !sFree.ActiveFree || sChill.ActiveFree {
+		t.Fatalf("modes not honored: %+v %+v", sFree.ActiveFree, sChill.ActiveFree)
+	}
+	if sFree.CoolingPower >= sChill.CoolingPower {
+		t.Fatalf("free cooling (%v W) should beat chiller (%v W) in cold weather",
+			sFree.CoolingPower, sChill.CoolingPower)
+	}
+	if sFree.PUE >= sChill.PUE {
+		t.Fatalf("free PUE %v should beat chiller PUE %v", sFree.PUE, sChill.PUE)
+	}
+}
+
+func TestAutoModeSwitches(t *testing.T) {
+	f := testFacility()
+	f.SetSetpoint(24)
+	coldNight := int64(4 * 3600 * 1000)
+	hotNoon := int64((24*30 + 15) * 3600 * 1000) // 15:00 some day
+	sCold := f.Step(60, coldNight, 80_000)
+	if !sCold.ActiveFree {
+		t.Fatalf("auto should pick free cooling at %vC outdoor (setpoint 24)", sCold.OutdoorTemp)
+	}
+	// Force a hot outdoor condition by dropping the setpoint far below
+	// ambient: free cooling becomes infeasible.
+	f.SetSetpoint(14)
+	sHot := f.Step(60, hotNoon, 80_000)
+	if sHot.ActiveFree {
+		t.Fatalf("auto picked free cooling with outdoor %vC and setpoint 14", sHot.OutdoorTemp)
+	}
+}
+
+func TestWarmerSetpointImprovesChillerCOP(t *testing.T) {
+	now := int64(12 * 3600 * 1000)
+	low := testFacility()
+	low.SetMode(ModeChiller)
+	low.SetSetpoint(16)
+	high := testFacility()
+	high.SetMode(ModeChiller)
+	high.SetSetpoint(30)
+	sLow := low.Step(60, now, 80_000)
+	sHigh := high.Step(60, now, 80_000)
+	if sHigh.CoolingPower >= sLow.CoolingPower {
+		t.Fatalf("warm setpoint cooling %v W >= cold setpoint %v W",
+			sHigh.CoolingPower, sLow.CoolingPower)
+	}
+}
+
+func TestForcedFreeCoolingAboveEnvelopeIsPenalized(t *testing.T) {
+	f := testFacility()
+	f.SetMode(ModeFree)
+	f.SetSetpoint(14) // envelope requires outdoor <= 11C
+	noon := int64(15 * 3600 * 1000)
+	s := f.Step(60, noon, 80_000)
+	if !s.ActiveFree {
+		t.Fatal("forced free mode must stay free")
+	}
+	base := 80_000 * f.Cfg.FreeCoolingOverheadFrac
+	if s.CoolingPower <= base {
+		t.Fatalf("out-of-envelope free cooling should cost more than %v W, got %v", base, s.CoolingPower)
+	}
+	if s.SupplyTemp <= f.Setpoint() {
+		t.Fatal("supply temperature should exceed setpoint when plant is overwhelmed")
+	}
+}
+
+func TestDiurnalWeatherCycle(t *testing.T) {
+	f := New(Config{MeanOutdoorTemp: 14, DailyAmplitude: 7}, 1) // no noise
+	night := f.OutdoorTemp(3 * 3600 * 1000)
+	day := f.OutdoorTemp(15 * 3600 * 1000)
+	if day <= night {
+		t.Fatalf("3pm (%v) should be warmer than 3am (%v)", day, night)
+	}
+	if math.Abs(day-21) > 0.5 {
+		t.Fatalf("3pm temp = %v, want ~21", day)
+	}
+}
+
+func TestSetpointClamping(t *testing.T) {
+	f := testFacility()
+	f.SetSetpoint(100)
+	if f.Setpoint() != 35 {
+		t.Fatal("setpoint not clamped high")
+	}
+	f.SetSetpoint(-10)
+	if f.Setpoint() != 14 {
+		t.Fatal("setpoint not clamped low")
+	}
+}
+
+func TestCumulativePUE(t *testing.T) {
+	f := testFacility()
+	if f.CumulativePUE() != 0 {
+		t.Fatal("cumulative PUE before any step should be 0")
+	}
+	var wSum, dcSum float64
+	for i := int64(0); i < 100; i++ {
+		s := f.Step(60, i*60_000, 80_000)
+		wSum += 80_000 * 60
+		dcSum += s.TotalPower * 60
+	}
+	want := dcSum / wSum
+	if math.Abs(f.CumulativePUE()-want) > 1e-9 {
+		t.Fatalf("cumulative PUE = %v, want %v", f.CumulativePUE(), want)
+	}
+	if f.CumulativePUE() <= 1 {
+		t.Fatal("cumulative PUE must exceed 1")
+	}
+}
+
+func TestPumpPowerFollowsLoad(t *testing.T) {
+	f := testFacility()
+	sLow := f.Step(60, 0, 30_000)
+	sHigh := f.Step(60, 60_000, 100_000)
+	if sHigh.PumpPower <= sLow.PumpPower {
+		t.Fatalf("pump power should grow with load: %v vs %v", sLow.PumpPower, sHigh.PumpPower)
+	}
+}
+
+func TestFacilitySource(t *testing.T) {
+	f := testFacility()
+	f.Step(60, 12*3600*1000, 80_000)
+	readings := f.Source().Collect(0)
+	if len(readings) != 9 {
+		t.Fatalf("readings = %d", len(readings))
+	}
+	byName := map[string]float64{}
+	for _, r := range readings {
+		byName[r.ID.Name] = r.Value
+	}
+	if byName["facility_pue"] <= 1 {
+		t.Fatalf("pue reading = %v", byName["facility_pue"])
+	}
+	if byName["facility_it_power_watts"] != 80_000 {
+		t.Fatalf("it power reading = %v", byName["facility_it_power_watts"])
+	}
+}
+
+func TestModeString(t *testing.T) {
+	if ModeAuto.String() != "auto" || ModeChiller.String() != "chiller" || ModeFree.String() != "free" {
+		t.Fatal("mode strings")
+	}
+	if CoolingMode(9).String() == "" {
+		t.Fatal("unknown mode should render")
+	}
+}

@@ -1,0 +1,46 @@
+package forecast_test
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/forecast"
+)
+
+// ExampleHoltWinters forecasts a clean diurnal signal one season ahead.
+func ExampleHoltWinters() {
+	const period = 24
+	history := make([]float64, period*4)
+	for i := range history {
+		history[i] = 100 + 10*math.Sin(2*math.Pi*float64(i)/period)
+	}
+	hw := forecast.HoltWinters{Period: period}
+	if err := hw.Fit(history); err != nil {
+		panic(err)
+	}
+	pred := hw.Forecast(period)
+	// The forecast keeps the seasonal swing: max-min close to 20.
+	lo, hi := pred[0], pred[0]
+	for _, v := range pred {
+		lo = math.Min(lo, v)
+		hi = math.Max(hi, v)
+	}
+	fmt.Println("seasonal swing preserved:", hi-lo > 15)
+	// Output:
+	// seasonal swing preserved: true
+}
+
+// ExampleBacktest scores a forecaster against held-out history.
+func ExampleBacktest() {
+	series := make([]float64, 200)
+	for i := range series {
+		series[i] = float64(i) // pure trend
+	}
+	score, err := forecast.Backtest(&forecast.Drift{}, series, 100, 10, 10)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("drift model MAE on a pure trend: %.2f\n", score.MAE)
+	// Output:
+	// drift model MAE on a pure trend: 0.00
+}

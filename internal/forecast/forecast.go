@@ -1,0 +1,420 @@
+// Package forecast implements the time-series prediction models behind the
+// predictive ODA row: exponential smoothing (simple, Holt, Holt-Winters),
+// autoregressive models fit with Levinson-Durbin, seasonal-naive baselines,
+// an FFT toolkit used for the LLNL power-spike use case, and a backtesting
+// harness that scores forecasters against held-out history.
+package forecast
+
+import (
+	"errors"
+	"math"
+)
+
+// ErrShortSeries is returned when the input history is too short for the
+// requested model.
+var ErrShortSeries = errors.New("forecast: series too short")
+
+// Forecaster is a model that, given history, can predict the next h values.
+type Forecaster interface {
+	// Fit estimates model state from the history.
+	Fit(history []float64) error
+	// Forecast returns predictions for the next h steps.
+	Forecast(h int) []float64
+	// Name identifies the model in reports and benchmarks.
+	Name() string
+}
+
+// Naive repeats the last observed value (a random-walk forecast). It is the
+// baseline every surveyed predictive ODA paper compares against.
+type Naive struct {
+	last float64
+}
+
+// Name implements Forecaster.
+func (n *Naive) Name() string { return "naive" }
+
+// Fit implements Forecaster.
+func (n *Naive) Fit(history []float64) error {
+	if len(history) == 0 {
+		return ErrShortSeries
+	}
+	n.last = history[len(history)-1]
+	return nil
+}
+
+// Forecast implements Forecaster.
+func (n *Naive) Forecast(h int) []float64 {
+	out := make([]float64, h)
+	for i := range out {
+		out[i] = n.last
+	}
+	return out
+}
+
+// SeasonalNaive repeats the last observed season. With Period == daily
+// samples it captures the diurnal cycle of facility telemetry for free.
+type SeasonalNaive struct {
+	Period int
+	season []float64
+}
+
+// Name implements Forecaster.
+func (s *SeasonalNaive) Name() string { return "seasonal-naive" }
+
+// Fit implements Forecaster.
+func (s *SeasonalNaive) Fit(history []float64) error {
+	if s.Period <= 0 {
+		return errors.New("forecast: SeasonalNaive.Period must be positive")
+	}
+	if len(history) < s.Period {
+		return ErrShortSeries
+	}
+	s.season = append([]float64(nil), history[len(history)-s.Period:]...)
+	return nil
+}
+
+// Forecast implements Forecaster.
+func (s *SeasonalNaive) Forecast(h int) []float64 {
+	out := make([]float64, h)
+	for i := range out {
+		out[i] = s.season[i%s.Period]
+	}
+	return out
+}
+
+// SES is simple exponential smoothing: a level-only model for slowly
+// drifting sensors.
+type SES struct {
+	Alpha float64 // smoothing factor in (0,1]; default 0.3 when zero
+	level float64
+}
+
+// Name implements Forecaster.
+func (s *SES) Name() string { return "ses" }
+
+// Fit implements Forecaster.
+func (s *SES) Fit(history []float64) error {
+	if len(history) == 0 {
+		return ErrShortSeries
+	}
+	alpha := s.Alpha
+	if alpha <= 0 || alpha > 1 {
+		alpha = 0.3
+	}
+	s.level = history[0]
+	for _, x := range history[1:] {
+		s.level = alpha*x + (1-alpha)*s.level
+	}
+	return nil
+}
+
+// Forecast implements Forecaster.
+func (s *SES) Forecast(h int) []float64 {
+	out := make([]float64, h)
+	for i := range out {
+		out[i] = s.level
+	}
+	return out
+}
+
+// Holt is double exponential smoothing (level + trend).
+type Holt struct {
+	Alpha float64 // level smoothing, default 0.3
+	Beta  float64 // trend smoothing, default 0.1
+
+	level, trend float64
+}
+
+// Name implements Forecaster.
+func (ht *Holt) Name() string { return "holt" }
+
+// Fit implements Forecaster.
+func (ht *Holt) Fit(history []float64) error {
+	if len(history) < 2 {
+		return ErrShortSeries
+	}
+	alpha, beta := ht.Alpha, ht.Beta
+	if alpha <= 0 || alpha > 1 {
+		alpha = 0.3
+	}
+	if beta <= 0 || beta > 1 {
+		beta = 0.1
+	}
+	ht.level = history[0]
+	ht.trend = history[1] - history[0]
+	for _, x := range history[1:] {
+		prevLevel := ht.level
+		ht.level = alpha*x + (1-alpha)*(ht.level+ht.trend)
+		ht.trend = beta*(ht.level-prevLevel) + (1-beta)*ht.trend
+	}
+	return nil
+}
+
+// Forecast implements Forecaster.
+func (ht *Holt) Forecast(h int) []float64 {
+	out := make([]float64, h)
+	for i := range out {
+		out[i] = ht.level + float64(i+1)*ht.trend
+	}
+	return out
+}
+
+// HoltWinters is triple exponential smoothing with additive seasonality:
+// the default model for diurnal facility KPIs (cooling demand, PUE, power).
+type HoltWinters struct {
+	Period int     // season length in samples (required)
+	Alpha  float64 // level smoothing, default 0.3
+	Beta   float64 // trend smoothing, default 0.05
+	Gamma  float64 // seasonal smoothing, default 0.2
+
+	level, trend float64
+	seasonal     []float64
+	phase        int // index into seasonal for the next forecast step
+}
+
+// Name implements Forecaster.
+func (hw *HoltWinters) Name() string { return "holt-winters" }
+
+// Fit implements Forecaster.
+func (hw *HoltWinters) Fit(history []float64) error {
+	if hw.Period <= 1 {
+		return errors.New("forecast: HoltWinters.Period must be > 1")
+	}
+	m := hw.Period
+	if len(history) < 2*m {
+		return ErrShortSeries
+	}
+	alpha, beta, gamma := hw.Alpha, hw.Beta, hw.Gamma
+	if alpha <= 0 || alpha > 1 {
+		alpha = 0.3
+	}
+	if beta <= 0 || beta > 1 {
+		beta = 0.05
+	}
+	if gamma <= 0 || gamma > 1 {
+		gamma = 0.2
+	}
+	// Initialize level/trend from the first two seasons, seasonal indices
+	// from deviations of season one against its mean.
+	var mean1, mean2 float64
+	for i := 0; i < m; i++ {
+		mean1 += history[i]
+		mean2 += history[m+i]
+	}
+	mean1 /= float64(m)
+	mean2 /= float64(m)
+	hw.level = mean1
+	hw.trend = (mean2 - mean1) / float64(m)
+	hw.seasonal = make([]float64, m)
+	for i := 0; i < m; i++ {
+		hw.seasonal[i] = (history[i] - mean1 + history[m+i] - mean2) / 2
+	}
+	for t := 0; t < len(history); t++ {
+		x := history[t]
+		si := t % m
+		prevLevel := hw.level
+		hw.level = alpha*(x-hw.seasonal[si]) + (1-alpha)*(hw.level+hw.trend)
+		hw.trend = beta*(hw.level-prevLevel) + (1-beta)*hw.trend
+		hw.seasonal[si] = gamma*(x-hw.level) + (1-gamma)*hw.seasonal[si]
+	}
+	hw.phase = len(history) % m
+	return nil
+}
+
+// Forecast implements Forecaster.
+func (hw *HoltWinters) Forecast(h int) []float64 {
+	out := make([]float64, h)
+	for i := range out {
+		si := (hw.phase + i) % hw.Period
+		out[i] = hw.level + float64(i+1)*hw.trend + hw.seasonal[si]
+	}
+	return out
+}
+
+// AR is an autoregressive model of order P fit with the Levinson-Durbin
+// recursion over the sample autocovariance: x_t = mean + Σ φ_i (x_{t-i} - mean).
+type AR struct {
+	P int // model order (required)
+
+	Phi  []float64 // AR coefficients after Fit
+	mean float64
+	tail []float64 // last P observations, most recent last
+}
+
+// Name implements Forecaster.
+func (ar *AR) Name() string { return "ar" }
+
+// Fit implements Forecaster.
+func (ar *AR) Fit(history []float64) error {
+	if ar.P <= 0 {
+		return errors.New("forecast: AR.P must be positive")
+	}
+	if len(history) < ar.P+1 {
+		return ErrShortSeries
+	}
+	n := len(history)
+	var mean float64
+	for _, x := range history {
+		mean += x
+	}
+	mean /= float64(n)
+	// Sample autocovariances r[0..P].
+	r := make([]float64, ar.P+1)
+	for lag := 0; lag <= ar.P; lag++ {
+		var s float64
+		for t := lag; t < n; t++ {
+			s += (history[t] - mean) * (history[t-lag] - mean)
+		}
+		r[lag] = s / float64(n)
+	}
+	phi, err := levinsonDurbin(r, ar.P)
+	if err != nil {
+		return err
+	}
+	ar.Phi = phi
+	ar.mean = mean
+	ar.tail = append([]float64(nil), history[n-ar.P:]...)
+	return nil
+}
+
+// levinsonDurbin solves the Yule-Walker equations for an AR(p) model.
+func levinsonDurbin(r []float64, p int) ([]float64, error) {
+	if r[0] == 0 {
+		// Constant series: all coefficients zero (forecast = mean).
+		return make([]float64, p), nil
+	}
+	phi := make([]float64, p)
+	prev := make([]float64, p)
+	e := r[0]
+	for k := 1; k <= p; k++ {
+		acc := r[k]
+		for j := 1; j < k; j++ {
+			acc -= prev[j-1] * r[k-j]
+		}
+		if e == 0 {
+			return nil, errors.New("forecast: Levinson-Durbin breakdown")
+		}
+		kappa := acc / e
+		phi[k-1] = kappa
+		for j := 1; j < k; j++ {
+			phi[j-1] = prev[j-1] - kappa*prev[k-j-1]
+		}
+		e *= 1 - kappa*kappa
+		copy(prev, phi[:k])
+	}
+	return phi, nil
+}
+
+// Forecast implements Forecaster: iterated one-step-ahead prediction.
+func (ar *AR) Forecast(h int) []float64 {
+	out := make([]float64, h)
+	// Window of the most recent P values (centred), most recent last.
+	win := make([]float64, len(ar.tail))
+	for i, x := range ar.tail {
+		win[i] = x - ar.mean
+	}
+	for i := 0; i < h; i++ {
+		var pred float64
+		for j, phi := range ar.Phi {
+			pred += phi * win[len(win)-1-j]
+		}
+		out[i] = pred + ar.mean
+		win = append(win[1:], pred)
+	}
+	return out
+}
+
+// Drift forecasts with the average historical slope, the second classic
+// baseline after naive.
+type Drift struct {
+	last, slope float64
+}
+
+// Name implements Forecaster.
+func (d *Drift) Name() string { return "drift" }
+
+// Fit implements Forecaster.
+func (d *Drift) Fit(history []float64) error {
+	if len(history) < 2 {
+		return ErrShortSeries
+	}
+	d.last = history[len(history)-1]
+	d.slope = (history[len(history)-1] - history[0]) / float64(len(history)-1)
+	return nil
+}
+
+// Forecast implements Forecaster.
+func (d *Drift) Forecast(h int) []float64 {
+	out := make([]float64, h)
+	for i := range out {
+		out[i] = d.last + float64(i+1)*d.slope
+	}
+	return out
+}
+
+// Score holds backtest error metrics for one forecaster.
+type Score struct {
+	Model string
+	MAE   float64
+	RMSE  float64
+	MAPE  float64
+	N     int // forecast points scored
+}
+
+// Backtest walks the series with an expanding window: at each origin it fits
+// the forecaster on history[:origin], predicts horizon steps, and scores them
+// against the actual continuation. Origins advance by step.
+func Backtest(f Forecaster, series []float64, minTrain, horizon, step int) (Score, error) {
+	if minTrain <= 0 || horizon <= 0 || step <= 0 {
+		return Score{}, errors.New("forecast: invalid backtest parameters")
+	}
+	if len(series) < minTrain+horizon {
+		return Score{}, ErrShortSeries
+	}
+	var absSum, sqSum, pctSum float64
+	var n, pctN int
+	for origin := minTrain; origin+horizon <= len(series); origin += step {
+		if err := f.Fit(series[:origin]); err != nil {
+			return Score{}, err
+		}
+		pred := f.Forecast(horizon)
+		for i := 0; i < horizon; i++ {
+			actual := series[origin+i]
+			err := pred[i] - actual
+			absSum += math.Abs(err)
+			sqSum += err * err
+			if actual != 0 {
+				pctSum += math.Abs(err / actual)
+				pctN++
+			}
+			n++
+		}
+	}
+	if n == 0 {
+		return Score{}, ErrShortSeries
+	}
+	s := Score{
+		Model: f.Name(),
+		MAE:   absSum / float64(n),
+		RMSE:  math.Sqrt(sqSum / float64(n)),
+		N:     n,
+	}
+	if pctN > 0 {
+		s.MAPE = pctSum / float64(pctN) * 100
+	}
+	return s, nil
+}
+
+// Compare backtests several forecasters on the same series and returns their
+// scores in input order.
+func Compare(series []float64, minTrain, horizon, step int, fs ...Forecaster) ([]Score, error) {
+	out := make([]Score, 0, len(fs))
+	for _, f := range fs {
+		s, err := Backtest(f, series, minTrain, horizon, step)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, s)
+	}
+	return out, nil
+}

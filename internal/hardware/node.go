@@ -1,0 +1,284 @@
+// Package hardware models the System Hardware pillar of the virtual data
+// center: compute nodes with DVFS-capable CPUs, a cubic dynamic power model,
+// first-order RC thermal dynamics, fan control, sensor noise and
+// temperature-accelerated Weibull failures.
+//
+// The models are deliberately simple but preserve the couplings the ODA
+// analytics exploit: power rises with utilization and frequency cubed,
+// temperature follows power with a thermal time constant, fan power rises
+// with the cube of fan speed, and failure hazard grows with temperature.
+package hardware
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"repro/internal/collector"
+	"repro/internal/metric"
+)
+
+// NodeConfig describes one compute node's physical parameters.
+type NodeConfig struct {
+	Name string
+	Rack string
+
+	// IdlePower is the node's power draw at zero utilization, in watts.
+	IdlePower float64
+	// MaxDynamicPower is the extra draw at full utilization and top
+	// frequency, in watts.
+	MaxDynamicPower float64
+	// Frequencies are the available DVFS P-states in GHz, ascending.
+	Frequencies []float64
+	// ThermalResistance in degC per watt between silicon and inlet air.
+	ThermalResistance float64
+	// ThermalTau is the thermal time constant in seconds.
+	ThermalTau float64
+	// MaxFanPower is the fan draw at 100% speed, in watts.
+	MaxFanPower float64
+	// WeibullShape and WeibullScaleHours parameterize the base failure
+	// distribution; scale is the characteristic life in hours at 65 degC.
+	WeibullShape      float64
+	WeibullScaleHours float64
+	// MemoryGiB is installed memory, used by workload placement.
+	MemoryGiB float64
+}
+
+// DefaultNodeConfig returns a plausible dual-socket HPC node.
+func DefaultNodeConfig(name, rack string) NodeConfig {
+	return NodeConfig{
+		Name:              name,
+		Rack:              rack,
+		IdlePower:         90,
+		MaxDynamicPower:   310,
+		Frequencies:       []float64{1.2, 1.6, 2.0, 2.4, 2.8},
+		ThermalResistance: 0.12,
+		ThermalTau:        90,
+		MaxFanPower:       28,
+		WeibullShape:      1.6,
+		WeibullScaleHours: 9000,
+		MemoryGiB:         256,
+	}
+}
+
+// Load is the work a node is asked to perform during a step, produced by
+// the scheduler/application layer.
+type Load struct {
+	// Utilization in [0,1]: fraction of cycles doing work.
+	Utilization float64
+	// ComputeFrac / MemoryFrac / IOFrac describe the instruction mix of the
+	// running application; they sum to <= 1.
+	ComputeFrac float64
+	MemoryFrac  float64
+	IOFrac      float64
+	// NetworkSlowdown >= 1 scales effective progress down under contention.
+	NetworkSlowdown float64
+}
+
+// Node is the state of one compute node.
+type Node struct {
+	Cfg NodeConfig
+
+	freqIdx  int
+	fanSpeed float64 // [0,1]
+	temp     float64 // degC
+	power    float64 // W, last computed
+	energy   float64 // J accumulated
+	failed   bool
+	ageHours float64
+	load     Load
+
+	rng   *rand.Rand
+	noise float64 // sensor noise stddev factor
+}
+
+// NewNode builds a node at ambient temperature with a deterministic RNG.
+func NewNode(cfg NodeConfig, seed int64) *Node {
+	if len(cfg.Frequencies) == 0 {
+		cfg.Frequencies = []float64{2.0}
+	}
+	return &Node{
+		Cfg:      cfg,
+		freqIdx:  len(cfg.Frequencies) - 1,
+		fanSpeed: 0.3,
+		temp:     30,
+		rng:      rand.New(rand.NewSource(seed)),
+		noise:    0.005,
+	}
+}
+
+// Name returns the node's identity.
+func (n *Node) Name() string { return n.Cfg.Name }
+
+// Failed reports whether the node has suffered a (permanent until repaired)
+// hardware failure.
+func (n *Node) Failed() bool { return n.failed }
+
+// Repair clears the failed state and resets the age clock, modelling a
+// component swap.
+func (n *Node) Repair() {
+	n.failed = false
+	n.ageHours = 0
+	n.temp = 30
+}
+
+// Frequency returns the current DVFS frequency in GHz.
+func (n *Node) Frequency() float64 { return n.Cfg.Frequencies[n.freqIdx] }
+
+// MaxFrequency returns the top P-state in GHz.
+func (n *Node) MaxFrequency() float64 {
+	return n.Cfg.Frequencies[len(n.Cfg.Frequencies)-1]
+}
+
+// SetFrequencyIndex selects a P-state by index (clamped): the DVFS knob
+// prescriptive ODA drives.
+func (n *Node) SetFrequencyIndex(i int) {
+	if i < 0 {
+		i = 0
+	}
+	if i >= len(n.Cfg.Frequencies) {
+		i = len(n.Cfg.Frequencies) - 1
+	}
+	n.freqIdx = i
+}
+
+// FrequencyIndex returns the current P-state index.
+func (n *Node) FrequencyIndex() int { return n.freqIdx }
+
+// NumFrequencies returns the number of P-states.
+func (n *Node) NumFrequencies() int { return len(n.Cfg.Frequencies) }
+
+// SetFanSpeed sets the fan duty cycle in [0,1].
+func (n *Node) SetFanSpeed(s float64) {
+	n.fanSpeed = math.Max(0.1, math.Min(1, s))
+}
+
+// FanSpeed returns the current fan duty cycle.
+func (n *Node) FanSpeed() float64 { return n.fanSpeed }
+
+// SetLoad assigns the work for subsequent steps.
+func (n *Node) SetLoad(l Load) { n.load = l }
+
+// LoadState returns the currently assigned load.
+func (n *Node) LoadState() Load { return n.load }
+
+// Power returns the node's last computed power draw in watts.
+func (n *Node) Power() float64 { return n.power }
+
+// Temperature returns the CPU temperature in degC.
+func (n *Node) Temperature() float64 { return n.temp }
+
+// Energy returns the accumulated energy in joules.
+func (n *Node) Energy() float64 { return n.energy }
+
+// Progress returns how much effective work the node performs per wall
+// second under the current load: the frequency-scaled throughput the
+// application layer uses to advance jobs. Memory/IO-bound fractions scale
+// sub-linearly with frequency (they wait on memory or devices), which is
+// exactly the lever energy-aware DVFS governors exploit.
+func (n *Node) Progress() float64 {
+	if n.failed || n.load.Utilization <= 0 {
+		return 0
+	}
+	fRatio := n.Frequency() / n.MaxFrequency()
+	mix := n.load
+	computeShare := mix.ComputeFrac
+	stalled := mix.MemoryFrac + mix.IOFrac
+	if computeShare+stalled == 0 {
+		computeShare = 1
+	}
+	// Compute-bound work scales with f; stalled work barely does.
+	speed := computeShare*fRatio + stalled*(0.85+0.15*fRatio)
+	slow := mix.NetworkSlowdown
+	if slow < 1 {
+		slow = 1
+	}
+	return n.load.Utilization * speed / slow
+}
+
+// Step advances the node by dt seconds with the given inlet air
+// temperature, returning the power drawn during the step.
+func (n *Node) Step(dt, inletTemp float64) float64 {
+	if n.failed {
+		n.power = 0
+		return 0
+	}
+	fRatio := n.Frequency() / n.MaxFrequency()
+	util := math.Max(0, math.Min(1, n.load.Utilization))
+	// Memory-bound work draws less dynamic power than compute-bound.
+	intensity := 1.0
+	if s := n.load.ComputeFrac + n.load.MemoryFrac + n.load.IOFrac; s > 0 {
+		intensity = (n.load.ComputeFrac*1.0 + n.load.MemoryFrac*0.7 + n.load.IOFrac*0.45) / s
+	}
+	dynamic := n.Cfg.MaxDynamicPower * util * intensity * fRatio * fRatio * fRatio
+	fan := n.Cfg.MaxFanPower * n.fanSpeed * n.fanSpeed * n.fanSpeed
+	n.power = n.Cfg.IdlePower + dynamic + fan
+	n.energy += n.power * dt
+
+	// RC thermal model toward steady state; fan speed improves the
+	// effective thermal resistance.
+	rEff := n.Cfg.ThermalResistance / (0.4 + 0.6*n.fanSpeed)
+	target := inletTemp + (n.Cfg.IdlePower+dynamic)*rEff
+	alpha := 1 - math.Exp(-dt/n.Cfg.ThermalTau)
+	n.temp += (target - n.temp) * alpha
+
+	// Failure draw: Weibull hazard accelerated by temperature (doubling
+	// every 12 degC above 65), plus a steep over-temperature term past
+	// 95 degC where real silicon degrades within hours.
+	n.ageHours += dt / 3600
+	accel := math.Pow(2, (n.temp-65)/12)
+	if accel < 0.05 {
+		accel = 0.05
+	}
+	hazard := n.hazardPerHour() * accel * dt / 3600
+	if n.temp > 95 {
+		hazard += (n.temp - 95) / 100 * dt / 3600
+	}
+	if n.rng.Float64() < hazard {
+		n.failed = true
+		n.power = 0
+	}
+	return n.power
+}
+
+func (n *Node) hazardPerHour() float64 {
+	k, lambda := n.Cfg.WeibullShape, n.Cfg.WeibullScaleHours
+	if n.ageHours <= 0 {
+		return k / lambda * 1e-6
+	}
+	return k / lambda * math.Pow(n.ageHours/lambda, k-1)
+}
+
+// sensor adds multiplicative gaussian noise, as real IPMI/RAPL sensors do.
+func (n *Node) sensor(v float64) float64 {
+	return v * (1 + n.rng.NormFloat64()*n.noise)
+}
+
+// Source returns a collector.Source exposing the node's sensors.
+func (n *Node) Source() collector.Source {
+	labels := metric.NewLabels("node", n.Cfg.Name, "rack", n.Cfg.Rack)
+	return collector.SourceFunc{
+		SourceName: "node/" + n.Cfg.Name,
+		Fn: func(now int64) []collector.Reading {
+			up := 1.0
+			if n.failed {
+				up = 0
+			}
+			return []collector.Reading{
+				{ID: metric.ID{Name: "node_power_watts", Labels: labels}, Kind: metric.Gauge, Unit: metric.UnitWatt, Value: n.sensor(n.power)},
+				{ID: metric.ID{Name: "node_cpu_temp_celsius", Labels: labels}, Kind: metric.Gauge, Unit: metric.UnitCelsius, Value: n.sensor(n.temp)},
+				{ID: metric.ID{Name: "node_cpu_freq_ghz", Labels: labels}, Kind: metric.Gauge, Unit: metric.UnitHertz, Value: n.Frequency()},
+				{ID: metric.ID{Name: "node_utilization", Labels: labels}, Kind: metric.Gauge, Unit: metric.UnitPercent, Value: n.load.Utilization * 100},
+				{ID: metric.ID{Name: "node_fan_speed", Labels: labels}, Kind: metric.Gauge, Unit: metric.UnitPercent, Value: n.fanSpeed * 100},
+				{ID: metric.ID{Name: "node_energy_joules", Labels: labels}, Kind: metric.Counter, Unit: metric.UnitJoule, Value: n.energy},
+				{ID: metric.ID{Name: "node_up", Labels: labels}, Kind: metric.Gauge, Unit: metric.UnitNone, Value: up},
+			}
+		},
+	}
+}
+
+// String renders a one-line status.
+func (n *Node) String() string {
+	return fmt.Sprintf("%s: %.0fW %.1fC f=%.1fGHz util=%.0f%% failed=%v",
+		n.Cfg.Name, n.power, n.temp, n.Frequency(), n.load.Utilization*100, n.failed)
+}

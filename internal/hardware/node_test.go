@@ -1,0 +1,248 @@
+package hardware
+
+import (
+	"math"
+	"testing"
+)
+
+func testNode() *Node {
+	return NewNode(DefaultNodeConfig("n0", "r0"), 1)
+}
+
+func TestIdlePower(t *testing.T) {
+	n := testNode()
+	p := n.Step(1, 25)
+	fan := n.Cfg.MaxFanPower * math.Pow(0.3, 3)
+	want := n.Cfg.IdlePower + fan
+	if math.Abs(p-want) > 1 {
+		t.Fatalf("idle power = %v, want ~%v", p, want)
+	}
+}
+
+func TestPowerScalesWithUtilization(t *testing.T) {
+	lowN, highN := testNode(), testNode()
+	lowN.SetLoad(Load{Utilization: 0.2, ComputeFrac: 1})
+	highN.SetLoad(Load{Utilization: 1.0, ComputeFrac: 1})
+	pl := lowN.Step(1, 25)
+	ph := highN.Step(1, 25)
+	if ph <= pl {
+		t.Fatalf("power did not scale with utilization: %v vs %v", pl, ph)
+	}
+	if ph < lowN.Cfg.IdlePower+0.9*lowN.Cfg.MaxDynamicPower {
+		t.Fatalf("full-load power %v too low", ph)
+	}
+}
+
+func TestPowerCubicInFrequency(t *testing.T) {
+	n := testNode()
+	n.SetLoad(Load{Utilization: 1, ComputeFrac: 1})
+	n.SetFrequencyIndex(n.NumFrequencies() - 1)
+	pTop := n.Step(1, 25) - n.Cfg.IdlePower - n.Cfg.MaxFanPower*math.Pow(0.3, 3)
+	n.SetFrequencyIndex(0)
+	pBottom := n.Step(1, 25) - n.Cfg.IdlePower - n.Cfg.MaxFanPower*math.Pow(0.3, 3)
+	ratio := n.Cfg.Frequencies[0] / n.MaxFrequency()
+	wantRatio := math.Pow(ratio, 3)
+	if math.Abs(pBottom/pTop-wantRatio) > 0.02 {
+		t.Fatalf("dynamic power ratio = %v, want ~%v", pBottom/pTop, wantRatio)
+	}
+}
+
+func TestMemoryBoundDrawsLessPower(t *testing.T) {
+	cpu, mem := testNode(), testNode()
+	cpu.SetLoad(Load{Utilization: 1, ComputeFrac: 1})
+	mem.SetLoad(Load{Utilization: 1, MemoryFrac: 1})
+	if pc, pm := cpu.Step(1, 25), mem.Step(1, 25); pm >= pc {
+		t.Fatalf("memory-bound power %v >= compute-bound %v", pm, pc)
+	}
+}
+
+func TestThermalConvergence(t *testing.T) {
+	n := testNode()
+	n.SetLoad(Load{Utilization: 1, ComputeFrac: 1})
+	for i := 0; i < 1000; i++ {
+		n.Step(1, 25)
+		if n.Failed() {
+			t.Skip("node failed under stress before convergence (acceptable stochastic path)")
+		}
+	}
+	// Steady state: T = inlet + (idle+dyn) * Reff.
+	rEff := n.Cfg.ThermalResistance / (0.4 + 0.6*n.FanSpeed())
+	want := 25 + (n.Cfg.IdlePower+n.Cfg.MaxDynamicPower)*rEff
+	if math.Abs(n.Temperature()-want) > 2 {
+		t.Fatalf("steady temp = %v, want ~%v", n.Temperature(), want)
+	}
+	// Hotter inlet raises temperature.
+	n2 := testNode()
+	n2.SetLoad(Load{Utilization: 1, ComputeFrac: 1})
+	for i := 0; i < 1000; i++ {
+		n2.Step(1, 40)
+		if n2.Failed() {
+			t.Skip("node failed under hot inlet (acceptable stochastic path)")
+		}
+	}
+	if n2.Temperature() <= n.Temperature() {
+		t.Fatalf("hot inlet should raise temp: %v vs %v", n2.Temperature(), n.Temperature())
+	}
+}
+
+func TestFanCoolsAndCosts(t *testing.T) {
+	slow, fast := testNode(), testNode()
+	slow.SetLoad(Load{Utilization: 1, ComputeFrac: 1})
+	fast.SetLoad(Load{Utilization: 1, ComputeFrac: 1})
+	slow.SetFanSpeed(0.2)
+	fast.SetFanSpeed(1.0)
+	for i := 0; i < 600; i++ {
+		slow.Step(1, 25)
+		fast.Step(1, 25)
+	}
+	if !slow.Failed() && !fast.Failed() {
+		if fast.Temperature() >= slow.Temperature() {
+			t.Fatalf("full fan should cool: %v vs %v", fast.Temperature(), slow.Temperature())
+		}
+		if fast.Power() <= slow.Power() {
+			t.Fatalf("full fan should draw more power: %v vs %v", fast.Power(), slow.Power())
+		}
+	}
+}
+
+func TestProgressFrequencySensitivity(t *testing.T) {
+	n := testNode()
+	// Compute-bound progress scales ~linearly with frequency.
+	n.SetLoad(Load{Utilization: 1, ComputeFrac: 1})
+	n.SetFrequencyIndex(n.NumFrequencies() - 1)
+	pTop := n.Progress()
+	n.SetFrequencyIndex(0)
+	pLow := n.Progress()
+	wantRatio := n.Cfg.Frequencies[0] / n.MaxFrequency()
+	if math.Abs(pLow/pTop-wantRatio) > 1e-9 {
+		t.Fatalf("compute progress ratio = %v, want %v", pLow/pTop, wantRatio)
+	}
+	// Memory-bound progress barely changes.
+	n.SetLoad(Load{Utilization: 1, MemoryFrac: 1})
+	n.SetFrequencyIndex(0)
+	mLow := n.Progress()
+	n.SetFrequencyIndex(n.NumFrequencies() - 1)
+	mTop := n.Progress()
+	if mLow/mTop < 0.85 {
+		t.Fatalf("memory-bound progress dropped too much: %v", mLow/mTop)
+	}
+}
+
+func TestProgressNetworkSlowdown(t *testing.T) {
+	n := testNode()
+	n.SetLoad(Load{Utilization: 1, ComputeFrac: 1})
+	base := n.Progress()
+	n.SetLoad(Load{Utilization: 1, ComputeFrac: 1, NetworkSlowdown: 2})
+	if got := n.Progress(); math.Abs(got-base/2) > 1e-9 {
+		t.Fatalf("slowdown 2 progress = %v, want %v", got, base/2)
+	}
+}
+
+func TestFailureUnderSustainedHeat(t *testing.T) {
+	// Thermal runaway conditions must eventually fail some node.
+	failures := 0
+	for seed := int64(0); seed < 20; seed++ {
+		n := NewNode(DefaultNodeConfig("n", "r"), seed)
+		n.SetLoad(Load{Utilization: 1, ComputeFrac: 1})
+		n.SetFanSpeed(0.1)
+		for i := 0; i < 24*3600/10; i++ { // 24h at 10s steps, 55C inlet
+			n.Step(10, 55)
+			if n.Failed() {
+				failures++
+				break
+			}
+		}
+	}
+	if failures == 0 {
+		t.Fatal("no failures after 20 node-days at extreme conditions")
+	}
+	// Failed node draws nothing and makes no progress.
+	n := NewNode(DefaultNodeConfig("n", "r"), 3)
+	n.failed = true
+	if n.Step(10, 25) != 0 || n.Progress() != 0 {
+		t.Fatal("failed node still active")
+	}
+	n.Repair()
+	if n.Failed() {
+		t.Fatal("repair did not clear failure")
+	}
+}
+
+func TestFailureRareUnderNormalConditions(t *testing.T) {
+	failures := 0
+	for seed := int64(100); seed < 110; seed++ {
+		n := NewNode(DefaultNodeConfig("n", "r"), seed)
+		n.SetLoad(Load{Utilization: 0.6, ComputeFrac: 0.7, MemoryFrac: 0.3})
+		n.SetFanSpeed(0.6)
+		for i := 0; i < 24*360; i++ { // 24h at 10s steps, 22C inlet
+			n.Step(10, 22)
+		}
+		if n.Failed() {
+			failures++
+		}
+	}
+	if failures > 2 {
+		t.Fatalf("%d/10 nodes failed in one day under normal conditions", failures)
+	}
+}
+
+func TestKnobClamping(t *testing.T) {
+	n := testNode()
+	n.SetFrequencyIndex(-5)
+	if n.FrequencyIndex() != 0 {
+		t.Fatal("negative index not clamped")
+	}
+	n.SetFrequencyIndex(99)
+	if n.FrequencyIndex() != n.NumFrequencies()-1 {
+		t.Fatal("large index not clamped")
+	}
+	n.SetFanSpeed(2)
+	if n.FanSpeed() != 1 {
+		t.Fatal("fan > 1 not clamped")
+	}
+	n.SetFanSpeed(-1)
+	if n.FanSpeed() != 0.1 {
+		t.Fatal("fan < 0.1 not clamped")
+	}
+}
+
+func TestNodeSource(t *testing.T) {
+	n := testNode()
+	n.SetLoad(Load{Utilization: 0.5, ComputeFrac: 1})
+	n.Step(60, 25)
+	readings := n.Source().Collect(1000)
+	if len(readings) != 7 {
+		t.Fatalf("readings = %d", len(readings))
+	}
+	names := map[string]float64{}
+	for _, r := range readings {
+		names[r.ID.Name] = r.Value
+		if node, ok := r.ID.Labels.Get("node"); !ok || node != "n0" {
+			t.Fatalf("missing node label in %v", r.ID)
+		}
+	}
+	if names["node_up"] != 1 {
+		t.Fatal("node_up should be 1")
+	}
+	if names["node_power_watts"] <= 0 || names["node_energy_joules"] <= 0 {
+		t.Fatalf("power/energy readings = %v", names)
+	}
+	if names["node_utilization"] != 50 {
+		t.Fatalf("utilization reading = %v", names["node_utilization"])
+	}
+}
+
+func TestEnergyAccumulates(t *testing.T) {
+	n := testNode()
+	n.SetLoad(Load{Utilization: 1, ComputeFrac: 1})
+	var sum float64
+	for i := 0; i < 100; i++ {
+		sum += n.Step(10, 25) * 10
+	}
+	if math.Abs(n.Energy()-sum) > 1e-6 {
+		t.Fatalf("energy = %v, want %v", n.Energy(), sum)
+	}
+	if n.String() == "" {
+		t.Fatal("String empty")
+	}
+}

@@ -1,0 +1,337 @@
+// Package metric defines the telemetry data model shared by every layer of
+// the ODA stack: samples, labelled series, units and metric kinds.
+//
+// The model deliberately mirrors what production HPC monitoring fabrics
+// (LDMS, DCDB, Examon) ship on the wire: a metric name, a small set of
+// identifying labels (node, rack, component), and a stream of
+// (timestamp, float64) samples. Timestamps are Unix milliseconds.
+package metric
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"time"
+)
+
+// Kind describes how a metric's value evolves over time.
+type Kind uint8
+
+const (
+	// Gauge metrics move freely up and down (temperature, utilization).
+	Gauge Kind = iota
+	// Counter metrics are monotonically non-decreasing (energy, packets).
+	Counter
+)
+
+// String returns the lowercase name of the kind.
+func (k Kind) String() string {
+	switch k {
+	case Gauge:
+		return "gauge"
+	case Counter:
+		return "counter"
+	default:
+		return fmt.Sprintf("kind(%d)", uint8(k))
+	}
+}
+
+// Unit is the physical unit of a metric value.
+type Unit string
+
+// Units used across the virtual data center and its analytics.
+const (
+	UnitNone       Unit = ""
+	UnitWatt       Unit = "W"
+	UnitJoule      Unit = "J"
+	UnitCelsius    Unit = "degC"
+	UnitHertz      Unit = "Hz"
+	UnitPercent    Unit = "%"
+	UnitBytes      Unit = "B"
+	UnitBytesPerS  Unit = "B/s"
+	UnitSeconds    Unit = "s"
+	UnitRPM        Unit = "rpm"
+	UnitLitersPerS Unit = "l/s"
+	UnitCount      Unit = "count"
+	UnitFlops      Unit = "flop/s"
+)
+
+// Sample is a single timestamped observation. T is Unix milliseconds.
+type Sample struct {
+	T int64
+	V float64
+}
+
+// Time converts the sample timestamp to a time.Time.
+func (s Sample) Time() time.Time { return time.UnixMilli(s.T) }
+
+// Label is one key/value pair identifying the origin of a series.
+type Label struct {
+	Key   string
+	Value string
+}
+
+// Labels is a sorted, duplicate-free set of labels. The zero value is an
+// empty, usable label set. Construct with NewLabels to guarantee ordering.
+type Labels []Label
+
+// NewLabels builds a Labels set from alternating key, value strings. It
+// panics if given an odd number of arguments, since that is always a
+// programming error.
+func NewLabels(kv ...string) Labels {
+	if len(kv)%2 != 0 {
+		panic("metric: NewLabels requires an even number of arguments")
+	}
+	ls := make(Labels, 0, len(kv)/2)
+	for i := 0; i < len(kv); i += 2 {
+		ls = append(ls, Label{Key: kv[i], Value: kv[i+1]})
+	}
+	sort.Slice(ls, func(i, j int) bool { return ls[i].Key < ls[j].Key })
+	return ls
+}
+
+// Get returns the value for key and whether it was present.
+func (ls Labels) Get(key string) (string, bool) {
+	for _, l := range ls {
+		if l.Key == key {
+			return l.Value, true
+		}
+	}
+	return "", false
+}
+
+// With returns a copy of ls with key set to value, replacing any existing
+// entry and keeping the set sorted.
+func (ls Labels) With(key, value string) Labels {
+	out := make(Labels, 0, len(ls)+1)
+	inserted := false
+	for _, l := range ls {
+		switch {
+		case l.Key == key:
+			out = append(out, Label{Key: key, Value: value})
+			inserted = true
+		case l.Key > key && !inserted:
+			out = append(out, Label{Key: key, Value: value})
+			out = append(out, l)
+			inserted = true
+		default:
+			out = append(out, l)
+		}
+	}
+	if !inserted {
+		out = append(out, Label{Key: key, Value: value})
+	}
+	return out
+}
+
+// String renders the labels in canonical {k=v,...} form. Because labels are
+// sorted, equal sets render identically, so the string doubles as a map key.
+func (ls Labels) String() string {
+	if len(ls) == 0 {
+		return "{}"
+	}
+	var b strings.Builder
+	b.WriteByte('{')
+	for i, l := range ls {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(l.Key)
+		b.WriteByte('=')
+		b.WriteString(l.Value)
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+// Equal reports whether two label sets contain identical pairs.
+func (ls Labels) Equal(other Labels) bool {
+	if len(ls) != len(other) {
+		return false
+	}
+	for i := range ls {
+		if ls[i] != other[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// Matches reports whether every label in the (possibly partial) selector sel
+// is present in ls with the same value.
+func (ls Labels) Matches(sel Labels) bool {
+	for _, want := range sel {
+		got, ok := ls.Get(want.Key)
+		if !ok || got != want.Value {
+			return false
+		}
+	}
+	return true
+}
+
+// ID identifies a series: a metric name plus its label set.
+type ID struct {
+	Name   string
+	Labels Labels
+}
+
+// String renders the ID as name{labels}.
+func (id ID) String() string { return id.Name + id.Labels.String() }
+
+// Key returns a canonical string usable as a map key.
+func (id ID) Key() string { return id.String() }
+
+// Series is an ordered run of samples for one metric ID.
+type Series struct {
+	ID      ID
+	Kind    Kind
+	Unit    Unit
+	Samples []Sample
+}
+
+// NewSeries constructs an empty gauge series with the given name and labels.
+func NewSeries(name string, labels Labels) *Series {
+	return &Series{ID: ID{Name: name, Labels: labels}}
+}
+
+// Append adds a sample, enforcing monotonically increasing timestamps.
+// Out-of-order samples are dropped and reported via the return value, the
+// same policy a production TSDB ingest path applies.
+func (s *Series) Append(t int64, v float64) bool {
+	if n := len(s.Samples); n > 0 && t <= s.Samples[n-1].T {
+		return false
+	}
+	s.Samples = append(s.Samples, Sample{T: t, V: v})
+	return true
+}
+
+// Len returns the number of samples.
+func (s *Series) Len() int { return len(s.Samples) }
+
+// Values returns just the sample values, in order.
+func (s *Series) Values() []float64 {
+	out := make([]float64, len(s.Samples))
+	for i, sm := range s.Samples {
+		out[i] = sm.V
+	}
+	return out
+}
+
+// Times returns just the sample timestamps, in order.
+func (s *Series) Times() []int64 {
+	out := make([]int64, len(s.Samples))
+	for i, sm := range s.Samples {
+		out[i] = sm.T
+	}
+	return out
+}
+
+// Between returns the sub-series with from <= T < to. An empty or inverted
+// interval yields nil. The returned slice aliases the original samples.
+func (s *Series) Between(from, to int64) []Sample {
+	if from >= to {
+		return nil
+	}
+	lo := sort.Search(len(s.Samples), func(i int) bool { return s.Samples[i].T >= from })
+	hi := sort.Search(len(s.Samples), func(i int) bool { return s.Samples[i].T >= to })
+	return s.Samples[lo:hi]
+}
+
+// At returns the most recent sample with T <= t, or false if none exists.
+func (s *Series) At(t int64) (Sample, bool) {
+	i := sort.Search(len(s.Samples), func(i int) bool { return s.Samples[i].T > t })
+	if i == 0 {
+		return Sample{}, false
+	}
+	return s.Samples[i-1], true
+}
+
+// Last returns the most recent sample, or false if the series is empty.
+func (s *Series) Last() (Sample, bool) {
+	if len(s.Samples) == 0 {
+		return Sample{}, false
+	}
+	return s.Samples[len(s.Samples)-1], true
+}
+
+// Rate converts a counter series to a per-second rate gauge series.
+// Counter resets (value decreasing) start a fresh segment, mirroring how
+// monitoring systems handle daemon restarts.
+func (s *Series) Rate() *Series {
+	out := &Series{ID: s.ID, Kind: Gauge, Unit: s.Unit + "/s"}
+	for i := 1; i < len(s.Samples); i++ {
+		prev, cur := s.Samples[i-1], s.Samples[i]
+		if cur.V < prev.V || cur.T <= prev.T {
+			continue // counter reset or duplicate timestamp
+		}
+		dt := float64(cur.T-prev.T) / 1000.0
+		out.Samples = append(out.Samples, Sample{T: cur.T, V: (cur.V - prev.V) / dt})
+	}
+	return out
+}
+
+// Clone returns a deep copy of the series.
+func (s *Series) Clone() *Series {
+	cp := *s
+	cp.Samples = make([]Sample, len(s.Samples))
+	copy(cp.Samples, s.Samples)
+	return &cp
+}
+
+// Set is a collection of series indexed by ID key.
+type Set struct {
+	byKey map[string]*Series
+	order []string
+}
+
+// NewSet returns an empty series set.
+func NewSet() *Set {
+	return &Set{byKey: make(map[string]*Series)}
+}
+
+// Upsert returns the series for id, creating it when absent.
+func (ss *Set) Upsert(id ID, kind Kind, unit Unit) *Series {
+	k := id.Key()
+	if s, ok := ss.byKey[k]; ok {
+		return s
+	}
+	s := &Series{ID: id, Kind: kind, Unit: unit}
+	ss.byKey[k] = s
+	ss.order = append(ss.order, k)
+	return s
+}
+
+// Get returns the series with the given ID, if present.
+func (ss *Set) Get(id ID) (*Series, bool) {
+	s, ok := ss.byKey[id.Key()]
+	return s, ok
+}
+
+// Len returns the number of series in the set.
+func (ss *Set) Len() int { return len(ss.byKey) }
+
+// All returns every series in insertion order.
+func (ss *Set) All() []*Series {
+	out := make([]*Series, 0, len(ss.order))
+	for _, k := range ss.order {
+		out = append(out, ss.byKey[k])
+	}
+	return out
+}
+
+// Select returns every series whose name equals name (or any name if empty)
+// and whose labels match the selector.
+func (ss *Set) Select(name string, sel Labels) []*Series {
+	var out []*Series
+	for _, k := range ss.order {
+		s := ss.byKey[k]
+		if name != "" && s.ID.Name != name {
+			continue
+		}
+		if !s.ID.Labels.Matches(sel) {
+			continue
+		}
+		out = append(out, s)
+	}
+	return out
+}

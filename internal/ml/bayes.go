@@ -1,0 +1,146 @@
+package ml
+
+import (
+	"errors"
+	"math"
+)
+
+// GaussianNB is a Gaussian naive-Bayes classifier: each feature is modelled
+// as an independent normal distribution per class. It is the cheapest
+// fingerprinting model in the stack and a strong baseline for application
+// detection from monitoring vectors (Taxonomist-style use cases).
+type GaussianNB struct {
+	NumClasses int
+
+	priors [][2]float64 // per class: {count, logPrior}
+	mean   [][]float64  // [class][feature]
+	vari   [][]float64  // [class][feature]
+}
+
+const nbVarFloor = 1e-9 // variance floor to keep log-densities finite
+
+// Fit estimates per-class feature distributions; y holds class indices.
+func (nb *GaussianNB) Fit(x *Matrix, y []int, numClasses int) error {
+	if x.Rows != len(y) {
+		return ErrDimension
+	}
+	if x.Rows == 0 {
+		return errors.New("ml: no training data")
+	}
+	if numClasses < 2 {
+		return errors.New("ml: need at least two classes")
+	}
+	nb.NumClasses = numClasses
+	d := x.Cols
+	counts := make([]float64, numClasses)
+	nb.mean = make([][]float64, numClasses)
+	nb.vari = make([][]float64, numClasses)
+	for c := 0; c < numClasses; c++ {
+		nb.mean[c] = make([]float64, d)
+		nb.vari[c] = make([]float64, d)
+	}
+	for i := 0; i < x.Rows; i++ {
+		c := y[i]
+		if c < 0 || c >= numClasses {
+			return errors.New("ml: class index out of range")
+		}
+		counts[c]++
+		row := x.Row(i)
+		for j, v := range row {
+			nb.mean[c][j] += v
+		}
+	}
+	for c := 0; c < numClasses; c++ {
+		if counts[c] == 0 {
+			continue
+		}
+		inv := 1 / counts[c]
+		for j := range nb.mean[c] {
+			nb.mean[c][j] *= inv
+		}
+	}
+	for i := 0; i < x.Rows; i++ {
+		c := y[i]
+		row := x.Row(i)
+		for j, v := range row {
+			dlt := v - nb.mean[c][j]
+			nb.vari[c][j] += dlt * dlt
+		}
+	}
+	nb.priors = make([][2]float64, numClasses)
+	total := float64(x.Rows)
+	for c := 0; c < numClasses; c++ {
+		if counts[c] > 0 {
+			inv := 1 / counts[c]
+			for j := range nb.vari[c] {
+				nb.vari[c][j] = nb.vari[c][j]*inv + nbVarFloor
+			}
+			nb.priors[c] = [2]float64{counts[c], math.Log(counts[c] / total)}
+		} else {
+			for j := range nb.vari[c] {
+				nb.vari[c][j] = 1
+			}
+			nb.priors[c] = [2]float64{0, math.Inf(-1)}
+		}
+	}
+	return nil
+}
+
+// LogPosteriors returns the unnormalized log posterior per class.
+func (nb *GaussianNB) LogPosteriors(q []float64) ([]float64, error) {
+	if nb.priors == nil {
+		return nil, errors.New("ml: GaussianNB not fitted")
+	}
+	if len(q) != len(nb.mean[0]) {
+		return nil, ErrDimension
+	}
+	out := make([]float64, nb.NumClasses)
+	for c := 0; c < nb.NumClasses; c++ {
+		lp := nb.priors[c][1]
+		for j, v := range q {
+			d := v - nb.mean[c][j]
+			lp += -0.5*math.Log(2*math.Pi*nb.vari[c][j]) - d*d/(2*nb.vari[c][j])
+		}
+		out[c] = lp
+	}
+	return out, nil
+}
+
+// Classify returns the class with the highest posterior.
+func (nb *GaussianNB) Classify(q []float64) (int, error) {
+	lps, err := nb.LogPosteriors(q)
+	if err != nil {
+		return 0, err
+	}
+	best := 0
+	for c, lp := range lps {
+		if lp > lps[best] {
+			best = c
+		}
+	}
+	return best, nil
+}
+
+// Proba returns normalized class probabilities via the log-sum-exp trick.
+func (nb *GaussianNB) Proba(q []float64) ([]float64, error) {
+	lps, err := nb.LogPosteriors(q)
+	if err != nil {
+		return nil, err
+	}
+	maxLp := math.Inf(-1)
+	for _, lp := range lps {
+		if lp > maxLp {
+			maxLp = lp
+		}
+	}
+	var sum float64
+	out := make([]float64, len(lps))
+	for c, lp := range lps {
+		out[c] = math.Exp(lp - maxLp)
+		sum += out[c]
+	}
+	for c := range out {
+		out[c] /= sum
+	}
+	return out, nil
+}

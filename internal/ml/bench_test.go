@@ -1,0 +1,82 @@
+package ml
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func benchData(n, d int) (*Matrix, []float64) {
+	rng := rand.New(rand.NewSource(1))
+	x := NewMatrix(n, d)
+	y := make([]float64, n)
+	for i := 0; i < n; i++ {
+		for j := 0; j < d; j++ {
+			x.Set(i, j, rng.NormFloat64())
+		}
+		y[i] = 3*x.At(i, 0) - x.At(i, 1) + rng.NormFloat64()*0.1
+	}
+	return x, y
+}
+
+func BenchmarkLinearRegressionFit(b *testing.B) {
+	x, y := benchData(2000, 8)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		var lr LinearRegression
+		if err := lr.Fit(x, y); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkRandomForestFit(b *testing.B) {
+	x, y := benchData(500, 8)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rf := RandomForest{Trees: 10, MaxDepth: 6, Seed: 1}
+		if err := rf.FitRegressor(x, y); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkRandomForestPredict(b *testing.B) {
+	x, y := benchData(500, 8)
+	rf := RandomForest{Trees: 10, MaxDepth: 6, Seed: 1}
+	if err := rf.FitRegressor(x, y); err != nil {
+		b.Fatal(err)
+	}
+	q := x.Row(0)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := rf.Regress(q); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkPCAFit(b *testing.B) {
+	x, _ := benchData(1000, 12)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		var p PCA
+		if err := p.Fit(x); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkKNNRegress(b *testing.B) {
+	x, y := benchData(2000, 8)
+	knn := KNN{K: 5}
+	if err := knn.FitRegressor(x, y); err != nil {
+		b.Fatal(err)
+	}
+	q := x.Row(7)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := knn.Regress(q); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,174 @@
+package ml
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+)
+
+// RandomForest is a bagging ensemble of CART trees with per-split feature
+// subsampling. The surveyed job runtime/IO predictors (PRIONN, Evalix,
+// Matsunaga & Fortes) report tree ensembles as their strongest models.
+type RandomForest struct {
+	Trees          int // number of trees (default 50 when zero)
+	MaxDepth       int
+	MinSamplesLeaf int
+	MaxFeatures    int   // features per split; 0 = sqrt(d) for class, d/3 for reg
+	Seed           int64 // RNG seed
+	regression     bool
+	numClasses     int
+	members        []*DecisionTree
+}
+
+func (rf *RandomForest) numTrees() int {
+	if rf.Trees <= 0 {
+		return 50
+	}
+	return rf.Trees
+}
+
+func (rf *RandomForest) maxFeatures(d int) int {
+	if rf.MaxFeatures > 0 {
+		if rf.MaxFeatures > d {
+			return d
+		}
+		return rf.MaxFeatures
+	}
+	if rf.regression {
+		if f := d / 3; f > 0 {
+			return f
+		}
+		return 1
+	}
+	f := int(math.Sqrt(float64(d)))
+	if f < 1 {
+		f = 1
+	}
+	return f
+}
+
+// FitClassifier trains the ensemble on class-indexed labels.
+func (rf *RandomForest) FitClassifier(x *Matrix, y []int, numClasses int) error {
+	rf.regression = false
+	rf.numClasses = numClasses
+	yf := make([]float64, len(y))
+	for i, c := range y {
+		yf[i] = float64(c)
+	}
+	return rf.fit(x, yf, func(t *DecisionTree, bx *Matrix, by []float64) error {
+		byi := make([]int, len(by))
+		for i, v := range by {
+			byi[i] = int(v)
+		}
+		return t.FitClassifier(bx, byi, numClasses)
+	})
+}
+
+// FitRegressor trains the ensemble on numeric targets.
+func (rf *RandomForest) FitRegressor(x *Matrix, y []float64) error {
+	rf.regression = true
+	return rf.fit(x, y, func(t *DecisionTree, bx *Matrix, by []float64) error {
+		return t.FitRegressor(bx, by)
+	})
+}
+
+func (rf *RandomForest) fit(x *Matrix, y []float64, fitOne func(*DecisionTree, *Matrix, []float64) error) error {
+	if x.Rows != len(y) {
+		return ErrDimension
+	}
+	if x.Rows == 0 {
+		return errors.New("ml: no training data")
+	}
+	rng := rand.New(rand.NewSource(rf.Seed))
+	n := x.Rows
+	rf.members = rf.members[:0]
+	for t := 0; t < rf.numTrees(); t++ {
+		// Bootstrap sample.
+		bx := NewMatrix(n, x.Cols)
+		by := make([]float64, n)
+		for i := 0; i < n; i++ {
+			src := rng.Intn(n)
+			copy(bx.Row(i), x.Row(src))
+			by[i] = y[src]
+		}
+		tree := &DecisionTree{
+			MaxDepth:       rf.MaxDepth,
+			MinSamplesLeaf: rf.MinSamplesLeaf,
+		}
+		// Per-split random feature subset, deterministic from the forest RNG.
+		treeRng := rand.New(rand.NewSource(rng.Int63()))
+		mf := rf.maxFeatures(x.Cols)
+		tree.featSel = func(d int) []int {
+			perm := treeRng.Perm(d)
+			return perm[:mf]
+		}
+		if err := fitOne(tree, bx, by); err != nil {
+			return err
+		}
+		rf.members = append(rf.members, tree)
+	}
+	return nil
+}
+
+// Classify returns the majority-vote class across trees.
+func (rf *RandomForest) Classify(q []float64) (int, error) {
+	if len(rf.members) == 0 || rf.regression {
+		return 0, errors.New("ml: forest not fitted as classifier")
+	}
+	votes := make([]int, rf.numClasses)
+	for _, t := range rf.members {
+		c, err := t.Classify(q)
+		if err != nil {
+			return 0, err
+		}
+		votes[c]++
+	}
+	best := 0
+	for c, v := range votes {
+		if v > votes[best] {
+			best = c
+		}
+	}
+	return best, nil
+}
+
+// ClassProbs averages class-probability vectors across trees.
+func (rf *RandomForest) ClassProbs(q []float64) ([]float64, error) {
+	if len(rf.members) == 0 || rf.regression {
+		return nil, errors.New("ml: forest not fitted as classifier")
+	}
+	probs := make([]float64, rf.numClasses)
+	for _, t := range rf.members {
+		p, err := t.ClassProbs(q)
+		if err != nil {
+			return nil, err
+		}
+		for c, v := range p {
+			probs[c] += v
+		}
+	}
+	inv := 1 / float64(len(rf.members))
+	for c := range probs {
+		probs[c] *= inv
+	}
+	return probs, nil
+}
+
+// Regress returns the mean tree prediction.
+func (rf *RandomForest) Regress(q []float64) (float64, error) {
+	if len(rf.members) == 0 || !rf.regression {
+		return 0, errors.New("ml: forest not fitted as regressor")
+	}
+	var s float64
+	for _, t := range rf.members {
+		v, err := t.Regress(q)
+		if err != nil {
+			return 0, err
+		}
+		s += v
+	}
+	return s / float64(len(rf.members)), nil
+}
+
+// Size returns the number of trained trees.
+func (rf *RandomForest) Size() int { return len(rf.members) }

@@ -1,0 +1,151 @@
+package ml
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+)
+
+// KMeans clusters feature vectors with Lloyd's algorithm and k-means++
+// seeding. Application fingerprinting and crisis grouping use it to discover
+// recurring behaviour classes in unlabeled telemetry.
+type KMeans struct {
+	K        int   // number of clusters
+	MaxIter  int   // maximum Lloyd iterations (default 100 when zero)
+	Seed     int64 // RNG seed for deterministic seeding
+	Distance Distance
+
+	Centroids *Matrix // K x D after Fit
+	Inertia   float64 // sum of squared distances to assigned centroids
+}
+
+// Fit clusters the rows of x. It returns the cluster assignment per row.
+func (km *KMeans) Fit(x *Matrix) ([]int, error) {
+	if km.K <= 0 {
+		return nil, errors.New("ml: KMeans.K must be positive")
+	}
+	if x.Rows < km.K {
+		return nil, errors.New("ml: fewer points than clusters")
+	}
+	dist := km.Distance
+	if dist == nil {
+		dist = Euclidean
+	}
+	maxIter := km.MaxIter
+	if maxIter <= 0 {
+		maxIter = 100
+	}
+	rng := rand.New(rand.NewSource(km.Seed))
+	km.Centroids = km.seedPlusPlus(x, rng, dist)
+
+	assign := make([]int, x.Rows)
+	counts := make([]int, km.K)
+	for iter := 0; iter < maxIter; iter++ {
+		changed := false
+		for i := 0; i < x.Rows; i++ {
+			best, bestD := 0, math.Inf(1)
+			for c := 0; c < km.K; c++ {
+				if d := dist(x.Row(i), km.Centroids.Row(c)); d < bestD {
+					best, bestD = c, d
+				}
+			}
+			if assign[i] != best || iter == 0 {
+				assign[i] = best
+				changed = true
+			}
+		}
+		if !changed {
+			break
+		}
+		// Recompute centroids.
+		next := NewMatrix(km.K, x.Cols)
+		for c := range counts {
+			counts[c] = 0
+		}
+		for i := 0; i < x.Rows; i++ {
+			c := assign[i]
+			counts[c]++
+			row, cen := x.Row(i), next.Row(c)
+			for j := range cen {
+				cen[j] += row[j]
+			}
+		}
+		for c := 0; c < km.K; c++ {
+			cen := next.Row(c)
+			if counts[c] == 0 {
+				// Re-seed an empty cluster at the point farthest from its centroid.
+				far, farD := 0, -1.0
+				for i := 0; i < x.Rows; i++ {
+					if d := dist(x.Row(i), km.Centroids.Row(assign[i])); d > farD {
+						far, farD = i, d
+					}
+				}
+				copy(cen, x.Row(far))
+				continue
+			}
+			inv := 1 / float64(counts[c])
+			for j := range cen {
+				cen[j] *= inv
+			}
+		}
+		km.Centroids = next
+	}
+	km.Inertia = 0
+	for i := 0; i < x.Rows; i++ {
+		d := dist(x.Row(i), km.Centroids.Row(assign[i]))
+		km.Inertia += d * d
+	}
+	return assign, nil
+}
+
+// seedPlusPlus picks initial centroids with k-means++ weighting.
+func (km *KMeans) seedPlusPlus(x *Matrix, rng *rand.Rand, dist Distance) *Matrix {
+	cents := NewMatrix(km.K, x.Cols)
+	first := rng.Intn(x.Rows)
+	copy(cents.Row(0), x.Row(first))
+	d2 := make([]float64, x.Rows)
+	for c := 1; c < km.K; c++ {
+		var total float64
+		for i := 0; i < x.Rows; i++ {
+			best := math.Inf(1)
+			for cc := 0; cc < c; cc++ {
+				if d := dist(x.Row(i), cents.Row(cc)); d < best {
+					best = d
+				}
+			}
+			d2[i] = best * best
+			total += d2[i]
+		}
+		if total == 0 { // all points identical to chosen centroids
+			copy(cents.Row(c), x.Row(rng.Intn(x.Rows)))
+			continue
+		}
+		target := rng.Float64() * total
+		var cum float64
+		pick := x.Rows - 1
+		for i, w := range d2 {
+			cum += w
+			if cum >= target {
+				pick = i
+				break
+			}
+		}
+		copy(cents.Row(c), x.Row(pick))
+	}
+	return cents
+}
+
+// Predict returns the nearest centroid index for a feature vector.
+func (km *KMeans) Predict(q []float64) int {
+	dist := km.Distance
+	if dist == nil {
+		dist = Euclidean
+	}
+	best, bestD := 0, math.Inf(1)
+	for c := 0; c < km.Centroids.Rows; c++ {
+		if d := dist(q, km.Centroids.Row(c)); d < bestD {
+			best, bestD = c, d
+		}
+	}
+	return best
+}

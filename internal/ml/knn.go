@@ -1,0 +1,122 @@
+package ml
+
+import (
+	"errors"
+	"sort"
+)
+
+// Distance measures dissimilarity between two feature vectors.
+type Distance func(a, b []float64) float64
+
+// KNN is a k-nearest-neighbours model usable both as a classifier (majority
+// vote over string labels) and a regressor (mean of neighbour targets).
+// The surveyed job-duration predictors (PRIONN-style "similar jobs ran this
+// long") are exactly this model class.
+type KNN struct {
+	K        int      // number of neighbours (default 3 when zero)
+	Distance Distance // defaults to Euclidean
+
+	points  *Matrix
+	labels  []string
+	targets []float64
+}
+
+// FitClassifier stores labelled points for classification.
+func (k *KNN) FitClassifier(x *Matrix, labels []string) error {
+	if x.Rows != len(labels) {
+		return ErrDimension
+	}
+	if x.Rows == 0 {
+		return errors.New("ml: no training data")
+	}
+	k.points = x.Clone()
+	k.labels = append([]string(nil), labels...)
+	k.targets = nil
+	return nil
+}
+
+// FitRegressor stores points with numeric targets for regression.
+func (k *KNN) FitRegressor(x *Matrix, y []float64) error {
+	if x.Rows != len(y) {
+		return ErrDimension
+	}
+	if x.Rows == 0 {
+		return errors.New("ml: no training data")
+	}
+	k.points = x.Clone()
+	k.targets = append([]float64(nil), y...)
+	k.labels = nil
+	return nil
+}
+
+type neighbour struct {
+	idx  int
+	dist float64
+}
+
+func (k *KNN) nearest(q []float64) []neighbour {
+	dist := k.Distance
+	if dist == nil {
+		dist = Euclidean
+	}
+	kk := k.K
+	if kk <= 0 {
+		kk = 3
+	}
+	if kk > k.points.Rows {
+		kk = k.points.Rows
+	}
+	ns := make([]neighbour, k.points.Rows)
+	for i := 0; i < k.points.Rows; i++ {
+		ns[i] = neighbour{idx: i, dist: dist(q, k.points.Row(i))}
+	}
+	sort.Slice(ns, func(a, b int) bool {
+		if ns[a].dist != ns[b].dist {
+			return ns[a].dist < ns[b].dist
+		}
+		return ns[a].idx < ns[b].idx // deterministic tie-break
+	})
+	return ns[:kk]
+}
+
+// Classify returns the majority label among the k nearest neighbours; ties
+// break toward the closer neighbour set.
+func (k *KNN) Classify(q []float64) (string, error) {
+	if k.points == nil || k.labels == nil {
+		return "", errors.New("ml: KNN not fitted as classifier")
+	}
+	votes := make(map[string]int)
+	firstSeen := make(map[string]int)
+	for rank, n := range k.nearest(q) {
+		l := k.labels[n.idx]
+		votes[l]++
+		if _, ok := firstSeen[l]; !ok {
+			firstSeen[l] = rank
+		}
+	}
+	best, bestVotes := "", -1
+	for l, v := range votes {
+		if v > bestVotes || (v == bestVotes && firstSeen[l] < firstSeen[best]) {
+			best, bestVotes = l, v
+		}
+	}
+	return best, nil
+}
+
+// Regress returns the distance-weighted mean target of the k nearest
+// neighbours. An exact match returns that neighbour's target.
+func (k *KNN) Regress(q []float64) (float64, error) {
+	if k.points == nil || k.targets == nil {
+		return 0, errors.New("ml: KNN not fitted as regressor")
+	}
+	var num, den float64
+	for _, n := range k.nearest(q) {
+		if n.dist == 0 {
+			return k.targets[n.idx], nil
+		}
+		w := 1 / n.dist
+		num += w * k.targets[n.idx]
+		den += w
+	}
+	return num / den, nil
+}

@@ -1,0 +1,300 @@
+package ml
+
+import (
+	"errors"
+	"math"
+	"sort"
+)
+
+// TreeNode is one node of a CART tree. Leaves carry a prediction; internal
+// nodes split on Feature <= Threshold (left) vs > (right).
+type TreeNode struct {
+	Feature   int
+	Threshold float64
+	Left      *TreeNode
+	Right     *TreeNode
+	// Leaf payloads: Value for regression, Class/ClassProbs for classification.
+	Leaf       bool
+	Value      float64
+	Class      int
+	ClassProbs []float64
+	Samples    int
+}
+
+// DecisionTree is a CART tree for classification (integer classes, Gini
+// impurity) or regression (variance reduction). Application-pattern
+// identification and resource-usage prediction in the survey use this class.
+type DecisionTree struct {
+	MaxDepth        int // 0 means unrestricted
+	MinSamplesSplit int // minimum samples to consider a split (default 2)
+	MinSamplesLeaf  int // minimum samples per leaf (default 1)
+	// MaxFeatures limits the features examined per split (0 = all); the
+	// random forest sets this for feature bagging via featSel.
+	MaxFeatures int
+
+	Root       *TreeNode
+	NumClasses int // set by FitClassifier
+
+	regression bool
+	featSel    func(d int) []int // optional feature subsetter (forest hook)
+}
+
+// FitClassifier grows a classification tree; y holds class indices in
+// [0, numClasses).
+func (dt *DecisionTree) FitClassifier(x *Matrix, y []int, numClasses int) error {
+	if x.Rows != len(y) {
+		return ErrDimension
+	}
+	if x.Rows == 0 {
+		return errors.New("ml: no training data")
+	}
+	if numClasses < 2 {
+		return errors.New("ml: need at least two classes")
+	}
+	dt.regression = false
+	dt.NumClasses = numClasses
+	idx := seqIndices(x.Rows)
+	yf := make([]float64, len(y))
+	for i, c := range y {
+		if c < 0 || c >= numClasses {
+			return errors.New("ml: class index out of range")
+		}
+		yf[i] = float64(c)
+	}
+	dt.Root = dt.grow(x, yf, idx, 0)
+	return nil
+}
+
+// FitRegressor grows a regression tree.
+func (dt *DecisionTree) FitRegressor(x *Matrix, y []float64) error {
+	if x.Rows != len(y) {
+		return ErrDimension
+	}
+	if x.Rows == 0 {
+		return errors.New("ml: no training data")
+	}
+	dt.regression = true
+	dt.Root = dt.grow(x, y, seqIndices(x.Rows), 0)
+	return nil
+}
+
+func seqIndices(n int) []int {
+	idx := make([]int, n)
+	for i := range idx {
+		idx[i] = i
+	}
+	return idx
+}
+
+func (dt *DecisionTree) minSplit() int {
+	if dt.MinSamplesSplit < 2 {
+		return 2
+	}
+	return dt.MinSamplesSplit
+}
+
+func (dt *DecisionTree) minLeaf() int {
+	if dt.MinSamplesLeaf < 1 {
+		return 1
+	}
+	return dt.MinSamplesLeaf
+}
+
+func (dt *DecisionTree) grow(x *Matrix, y []float64, idx []int, depth int) *TreeNode {
+	if len(idx) < dt.minSplit() || (dt.MaxDepth > 0 && depth >= dt.MaxDepth) || dt.pure(y, idx) {
+		return dt.makeLeaf(y, idx)
+	}
+	feat, thr, ok := dt.bestSplit(x, y, idx)
+	if !ok {
+		return dt.makeLeaf(y, idx)
+	}
+	var left, right []int
+	for _, i := range idx {
+		if x.At(i, feat) <= thr {
+			left = append(left, i)
+		} else {
+			right = append(right, i)
+		}
+	}
+	if len(left) < dt.minLeaf() || len(right) < dt.minLeaf() {
+		return dt.makeLeaf(y, idx)
+	}
+	return &TreeNode{
+		Feature:   feat,
+		Threshold: thr,
+		Left:      dt.grow(x, y, left, depth+1),
+		Right:     dt.grow(x, y, right, depth+1),
+		Samples:   len(idx),
+	}
+}
+
+func (dt *DecisionTree) pure(y []float64, idx []int) bool {
+	for _, i := range idx[1:] {
+		if y[i] != y[idx[0]] {
+			return false
+		}
+	}
+	return true
+}
+
+func (dt *DecisionTree) makeLeaf(y []float64, idx []int) *TreeNode {
+	n := &TreeNode{Leaf: true, Samples: len(idx)}
+	if dt.regression {
+		var s float64
+		for _, i := range idx {
+			s += y[i]
+		}
+		n.Value = s / float64(len(idx))
+		return n
+	}
+	counts := make([]float64, dt.NumClasses)
+	for _, i := range idx {
+		counts[int(y[i])]++
+	}
+	best := 0
+	for c, v := range counts {
+		if v > counts[best] {
+			best = c
+		}
+	}
+	n.Class = best
+	n.ClassProbs = make([]float64, dt.NumClasses)
+	inv := 1 / float64(len(idx))
+	for c, v := range counts {
+		n.ClassProbs[c] = v * inv
+	}
+	return n
+}
+
+// bestSplit scans candidate features for the split minimizing impurity.
+func (dt *DecisionTree) bestSplit(x *Matrix, y []float64, idx []int) (feat int, thr float64, ok bool) {
+	features := dt.candidateFeatures(x.Cols)
+	bestScore := math.Inf(1)
+	type fv struct{ v, y float64 }
+	vals := make([]fv, len(idx))
+	for _, f := range features {
+		for k, i := range idx {
+			vals[k] = fv{v: x.At(i, f), y: y[i]}
+		}
+		sort.Slice(vals, func(a, b int) bool { return vals[a].v < vals[b].v })
+		if dt.regression {
+			// Incremental variance split scan.
+			var sumL, sumR, sqL, sqR float64
+			for _, p := range vals {
+				sumR += p.y
+				sqR += p.y * p.y
+			}
+			nL, nR := 0.0, float64(len(vals))
+			for k := 0; k < len(vals)-1; k++ {
+				p := vals[k]
+				sumL += p.y
+				sqL += p.y * p.y
+				sumR -= p.y
+				sqR -= p.y * p.y
+				nL++
+				nR--
+				if vals[k+1].v == p.v {
+					continue // cannot split between equal values
+				}
+				score := (sqL - sumL*sumL/nL) + (sqR - sumR*sumR/nR)
+				if score < bestScore {
+					bestScore, feat, thr, ok = score, f, (p.v+vals[k+1].v)/2, true
+				}
+			}
+		} else {
+			countL := make([]float64, dt.NumClasses)
+			countR := make([]float64, dt.NumClasses)
+			for _, p := range vals {
+				countR[int(p.y)]++
+			}
+			nL, nR := 0.0, float64(len(vals))
+			for k := 0; k < len(vals)-1; k++ {
+				p := vals[k]
+				countL[int(p.y)]++
+				countR[int(p.y)]--
+				nL++
+				nR--
+				if vals[k+1].v == p.v {
+					continue
+				}
+				score := nL*gini(countL, nL) + nR*gini(countR, nR)
+				if score < bestScore {
+					bestScore, feat, thr, ok = score, f, (p.v+vals[k+1].v)/2, true
+				}
+			}
+		}
+	}
+	return feat, thr, ok
+}
+
+func gini(counts []float64, n float64) float64 {
+	if n == 0 {
+		return 0
+	}
+	g := 1.0
+	for _, c := range counts {
+		p := c / n
+		g -= p * p
+	}
+	return g
+}
+
+func (dt *DecisionTree) candidateFeatures(d int) []int {
+	if dt.featSel != nil {
+		return dt.featSel(d)
+	}
+	if dt.MaxFeatures > 0 && dt.MaxFeatures < d {
+		return seqIndices(dt.MaxFeatures) // deterministic prefix without a forest
+	}
+	return seqIndices(d)
+}
+
+func (dt *DecisionTree) leafFor(q []float64) *TreeNode {
+	n := dt.Root
+	for n != nil && !n.Leaf {
+		if q[n.Feature] <= n.Threshold {
+			n = n.Left
+		} else {
+			n = n.Right
+		}
+	}
+	return n
+}
+
+// Classify returns the predicted class index for q.
+func (dt *DecisionTree) Classify(q []float64) (int, error) {
+	if dt.Root == nil || dt.regression {
+		return 0, errors.New("ml: tree not fitted as classifier")
+	}
+	return dt.leafFor(q).Class, nil
+}
+
+// ClassProbs returns the class-probability vector for q.
+func (dt *DecisionTree) ClassProbs(q []float64) ([]float64, error) {
+	if dt.Root == nil || dt.regression {
+		return nil, errors.New("ml: tree not fitted as classifier")
+	}
+	return dt.leafFor(q).ClassProbs, nil
+}
+
+// Regress returns the predicted value for q.
+func (dt *DecisionTree) Regress(q []float64) (float64, error) {
+	if dt.Root == nil || !dt.regression {
+		return 0, errors.New("ml: tree not fitted as regressor")
+	}
+	return dt.leafFor(q).Value, nil
+}
+
+// Depth returns the depth of the grown tree (a single leaf has depth 0).
+func (dt *DecisionTree) Depth() int { return nodeDepth(dt.Root) }
+
+func nodeDepth(n *TreeNode) int {
+	if n == nil || n.Leaf {
+		return 0
+	}
+	l, r := nodeDepth(n.Left), nodeDepth(n.Right)
+	if l > r {
+		return l + 1
+	}
+	return r + 1
+}

@@ -1,0 +1,190 @@
+package oda
+
+import "sort"
+
+// UseCase is one bullet of the paper's Table I: a class of ODA usage,
+// placed in exactly one grid cell, citing the surveyed works that realize it.
+type UseCase struct {
+	Cell        Cell
+	Description string
+	Refs        []string
+}
+
+// Catalog returns the paper's Table I verbatim as data: every use case in
+// every cell with its citations. This is experiment E7's input — the
+// analyses below reproduce the paper's survey observations from it.
+func Catalog() []UseCase {
+	bi, hw, sw, app := BuildingInfrastructure, SystemHardware, SystemSoftware, Applications
+	cell := func(p Pillar, t Type) Cell { return Cell{Pillar: p, Type: t} }
+	return []UseCase{
+		// Prescriptive row.
+		{cell(bi, Prescriptive), "Switching between types of cooling", []string{"[12]"}},
+		{cell(bi, Prescriptive), "Tuning of cooling machinery", []string{"[18]", "[37]"}},
+		{cell(bi, Prescriptive), "Responding to anomalies", []string{"[38]", "[39]"}},
+		{cell(hw, Prescriptive), "Cooling optimization at system level", []string{"[12]"}},
+		{cell(hw, Prescriptive), "CPU frequency tuning", []string{"[11]", "[24]", "[40]"}},
+		{cell(hw, Prescriptive), "Tuning of hardware knobs", []string{"[20]", "[25]", "[41]"}},
+		{cell(sw, Prescriptive), "Intelligent placement of tasks and threads", []string{"[42]"}},
+		{cell(sw, Prescriptive), "Plan-based scheduling", []string{"[43]"}},
+		{cell(sw, Prescriptive), "Power and KPI-aware scheduling", []string{"[21]", "[22]", "[23]"}},
+		{cell(app, Prescriptive), "Auto-tuning of HPC applications", []string{"[28]", "[29]", "[41]"}},
+		{cell(app, Prescriptive), "Code improvement recommendations", []string{"[44]"}},
+
+		// Predictive row.
+		{cell(bi, Predictive), "Predicting data center KPIs", []string{"[45]"}},
+		{cell(bi, Predictive), "Predicting cooling demand", []string{"[37]"}},
+		{cell(bi, Predictive), "Modelling cooling performance", []string{"[18]", "[46]"}},
+		{cell(hw, Predictive), "Forecasting hardware sensors", []string{"[32]", "[47]"}},
+		{cell(hw, Predictive), "Component failure prediction", []string{"[48]"}},
+		{cell(hw, Predictive), "Predicting CPU instruction mixes", []string{"[11]"}},
+		{cell(sw, Predictive), "Simulating HPC systems and schedulers", []string{"[49]", "[50]", "[51]"}},
+		{cell(sw, Predictive), "Predicting HPC workloads", []string{"[23]"}},
+		{cell(app, Predictive), "Predicting job durations", []string{"[30]", "[34]", "[35]"}},
+		{cell(app, Predictive), "Predicting job resource usage", []string{"[31]", "[52]", "[53]"}},
+		{cell(app, Predictive), "Predicting performance profiles of code regions", []string{"[24]"}},
+
+		// Diagnostic row.
+		{cell(bi, Diagnostic), "Fingerprinting data center crises", []string{"[38]"}},
+		{cell(bi, Diagnostic), "Infrastructure anomaly detection", []string{"[54]"}},
+		{cell(bi, Diagnostic), "Infrastructure stress testing", []string{"[39]"}},
+		{cell(hw, Diagnostic), "Node-level anomaly detection", []string{"[17]", "[26]", "[47]"}},
+		{cell(hw, Diagnostic), "System-level root cause analysis", []string{"[9]"}},
+		{cell(hw, Diagnostic), "Diagnosing network contention issues", []string{"[19]", "[55]"}},
+		{cell(sw, Diagnostic), "Diagnosing data locality issues", []string{"[9]"}},
+		{cell(sw, Diagnostic), "Detection of software anomalies", []string{"[16]", "[56]"}},
+		{cell(sw, Diagnostic), "Identifying sources of OS noise", []string{"[57]"}},
+		{cell(app, Diagnostic), "Application fingerprinting", []string{"[33]", "[36]"}},
+		{cell(app, Diagnostic), "Identifying performance patterns", []string{"[20]", "[31]", "[44]"}},
+		{cell(app, Diagnostic), "Diagnosing code-level issues", []string{"[15]", "[27]"}},
+
+		// Descriptive row.
+		{cell(bi, Descriptive), "PUE calculation", []string{"[4]"}},
+		{cell(bi, Descriptive), "Facility data processing", []string{"[8]", "[58]"}},
+		{cell(bi, Descriptive), "Facility-level dashboards", []string{"[1]", "[7]"}},
+		{cell(hw, Descriptive), "ITUE calculation", []string{"[59]"}},
+		{cell(hw, Descriptive), "System performance indicators", []string{"[14]"}},
+		{cell(hw, Descriptive), "System-level dashboards", []string{"[7]", "[8]"}},
+		{cell(sw, Descriptive), "Slowdown calculation", []string{"[60]"}},
+		{cell(sw, Descriptive), "Scheduler-level dashboards", []string{"[61]", "[62]"}},
+		{cell(app, Descriptive), "Job performance models", []string{"[63]"}},
+		{cell(app, Descriptive), "Job data processing", []string{"[8]"}},
+		{cell(app, Descriptive), "Job-level dashboards", []string{"[5]", "[6]", "[10]"}},
+	}
+}
+
+// Work aggregates one cited reference across every cell it appears in.
+type Work struct {
+	Ref   string
+	Cells []Cell
+}
+
+// WorksFromCatalog groups the catalog by citation, returning one Work per
+// reference with its (deduplicated) cells, sorted by ref.
+func WorksFromCatalog(cat []UseCase) []Work {
+	byRef := map[string]map[Cell]bool{}
+	for _, uc := range cat {
+		for _, ref := range uc.Refs {
+			if byRef[ref] == nil {
+				byRef[ref] = map[Cell]bool{}
+			}
+			byRef[ref][uc.Cell] = true
+		}
+	}
+	out := make([]Work, 0, len(byRef))
+	for ref, cells := range byRef {
+		w := Work{Ref: ref}
+		for c := range cells {
+			w.Cells = append(w.Cells, c)
+		}
+		sort.Slice(w.Cells, func(a, b int) bool {
+			if w.Cells[a].Type != w.Cells[b].Type {
+				return w.Cells[a].Type < w.Cells[b].Type
+			}
+			return w.Cells[a].Pillar < w.Cells[b].Pillar
+		})
+		out = append(out, w)
+	}
+	sort.Slice(out, func(a, b int) bool {
+		// Numeric-ish ordering of "[n]" strings: compare by length then text.
+		ra, rb := out[a].Ref, out[b].Ref
+		if len(ra) != len(rb) {
+			return len(ra) < len(rb)
+		}
+		return ra < rb
+	})
+	return out
+}
+
+// Pillars returns the distinct pillars a work spans.
+func (w Work) Pillars() []Pillar {
+	seen := map[Pillar]bool{}
+	var out []Pillar
+	for _, c := range w.Cells {
+		if !seen[c.Pillar] {
+			seen[c.Pillar] = true
+			out = append(out, c.Pillar)
+		}
+	}
+	return out
+}
+
+// Types returns the distinct analytics types a work spans.
+func (w Work) Types() []Type {
+	seen := map[Type]bool{}
+	var out []Type
+	for _, c := range w.Cells {
+		if !seen[c.Type] {
+			seen[c.Type] = true
+			out = append(out, c.Type)
+		}
+	}
+	return out
+}
+
+// SurveyStats are the aggregate observations §IV/§V of the paper draws from
+// its classification.
+type SurveyStats struct {
+	UseCases        int
+	Works           int
+	UseCasesPerCell map[Cell]int
+	WorksPerPillar  map[Pillar]int
+	WorksPerType    map[Type]int
+	SinglePillar    int
+	MultiPillar     int
+	SingleType      int
+	MultiType       int
+}
+
+// AnalyzeCatalog computes survey statistics.
+func AnalyzeCatalog(cat []UseCase) SurveyStats {
+	st := SurveyStats{
+		UseCases:        len(cat),
+		UseCasesPerCell: map[Cell]int{},
+		WorksPerPillar:  map[Pillar]int{},
+		WorksPerType:    map[Type]int{},
+	}
+	for _, uc := range cat {
+		st.UseCasesPerCell[uc.Cell]++
+	}
+	works := WorksFromCatalog(cat)
+	st.Works = len(works)
+	for _, w := range works {
+		for _, p := range w.Pillars() {
+			st.WorksPerPillar[p]++
+		}
+		for _, t := range w.Types() {
+			st.WorksPerType[t]++
+		}
+		if len(w.Pillars()) > 1 {
+			st.MultiPillar++
+		} else {
+			st.SinglePillar++
+		}
+		if len(w.Types()) > 1 {
+			st.MultiType++
+		} else {
+			st.SingleType++
+		}
+	}
+	return st
+}

@@ -1,0 +1,123 @@
+package oda
+
+import "testing"
+
+func TestCatalogCoversAllSixteenCells(t *testing.T) {
+	cat := Catalog()
+	if len(cat) < 40 {
+		t.Fatalf("catalog has only %d use cases", len(cat))
+	}
+	perCell := map[Cell]int{}
+	for _, uc := range cat {
+		if uc.Description == "" || len(uc.Refs) == 0 {
+			t.Fatalf("malformed use case %+v", uc)
+		}
+		perCell[uc.Cell]++
+	}
+	for _, cell := range AllCells() {
+		if perCell[cell] == 0 {
+			t.Fatalf("cell %s has no use cases — Table I covers all 16", cell)
+		}
+	}
+}
+
+func TestCatalogRefsWellFormed(t *testing.T) {
+	for _, uc := range Catalog() {
+		for _, ref := range uc.Refs {
+			if len(ref) < 3 || ref[0] != '[' || ref[len(ref)-1] != ']' {
+				t.Fatalf("ref %q not in [n] form", ref)
+			}
+		}
+	}
+}
+
+func TestWorksFromCatalog(t *testing.T) {
+	works := WorksFromCatalog(Catalog())
+	if len(works) < 50 {
+		t.Fatalf("only %d distinct works", len(works))
+	}
+	byRef := map[string]Work{}
+	for _, w := range works {
+		if _, dup := byRef[w.Ref]; dup {
+			t.Fatalf("duplicate work %s", w.Ref)
+		}
+		byRef[w.Ref] = w
+	}
+	// [12] (Jiang warm-water cooling) spans building infrastructure AND
+	// system hardware in the prescriptive row — a multi-pillar work.
+	w12, ok := byRef["[12]"]
+	if !ok {
+		t.Fatal("[12] missing")
+	}
+	if len(w12.Pillars()) != 2 {
+		t.Fatalf("[12] pillars = %v", w12.Pillars())
+	}
+	// [11] (GEOPM) spans predictive + prescriptive in system hardware —
+	// a multi-type, single-pillar work.
+	w11 := byRef["[11]"]
+	if len(w11.Types()) != 2 || len(w11.Pillars()) != 1 {
+		t.Fatalf("[11] types = %v pillars = %v", w11.Types(), w11.Pillars())
+	}
+	// [4] (PUE) is single-cell.
+	w4 := byRef["[4]"]
+	if len(w4.Cells) != 1 || w4.Cells[0] != (Cell{BuildingInfrastructure, Descriptive}) {
+		t.Fatalf("[4] cells = %v", w4.Cells)
+	}
+}
+
+func TestAnalyzeCatalogReproducesPaperObservations(t *testing.T) {
+	st := AnalyzeCatalog(Catalog())
+	if st.UseCases != len(Catalog()) {
+		t.Fatal("use case count")
+	}
+	if st.Works < 50 {
+		t.Fatalf("works = %d", st.Works)
+	}
+	// §V-B: "a prevalence of single-pillar systems rather than multi-pillar
+	// ones" — the encoded survey must reproduce that.
+	if st.SinglePillar <= st.MultiPillar {
+		t.Fatalf("single-pillar %d <= multi-pillar %d: paper observation not reproduced",
+			st.SinglePillar, st.MultiPillar)
+	}
+	if float64(st.SinglePillar)/float64(st.Works) < 0.8 {
+		t.Fatalf("single-pillar share %v too low", float64(st.SinglePillar)/float64(st.Works))
+	}
+	// Most works cover a single analytics type too.
+	if st.SingleType <= st.MultiType {
+		t.Fatalf("single-type %d <= multi-type %d", st.SingleType, st.MultiType)
+	}
+	// Every pillar and type has works.
+	for _, p := range Pillars() {
+		if st.WorksPerPillar[p] == 0 {
+			t.Fatalf("no works in pillar %s", p)
+		}
+	}
+	for _, typ := range Types() {
+		if st.WorksPerType[typ] == 0 {
+			t.Fatalf("no works of type %s", typ)
+		}
+	}
+	// Consistency: single+multi partitions works.
+	if st.SinglePillar+st.MultiPillar != st.Works || st.SingleType+st.MultiType != st.Works {
+		t.Fatal("partition broken")
+	}
+}
+
+func TestWorksSorted(t *testing.T) {
+	works := WorksFromCatalog(Catalog())
+	for i := 1; i < len(works); i++ {
+		a, b := works[i-1].Ref, works[i].Ref
+		if len(a) > len(b) || (len(a) == len(b) && a >= b) {
+			t.Fatalf("works not sorted: %s before %s", a, b)
+		}
+	}
+	// Cells within a work are sorted by type then pillar.
+	for _, w := range works {
+		for i := 1; i < len(w.Cells); i++ {
+			a, b := w.Cells[i-1], w.Cells[i]
+			if a.Type > b.Type || (a.Type == b.Type && a.Pillar >= b.Pillar) {
+				t.Fatalf("work %s cells unsorted: %v", w.Ref, w.Cells)
+			}
+		}
+	}
+}

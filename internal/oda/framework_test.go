@@ -1,0 +1,242 @@
+package oda
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"repro/internal/metric"
+	"repro/internal/timeseries"
+)
+
+func cap1(name string, cells ...Cell) Capability {
+	return CapabilityFunc{
+		M: Meta{Name: name, Description: "test " + name, Cells: cells, Refs: []string{"[0]"}},
+		Fn: func(ctx *RunContext) (Result, error) {
+			return Result{Summary: name, Values: map[string]float64{"x": 1}}, nil
+		},
+	}
+}
+
+func TestTaxonomy(t *testing.T) {
+	if len(Pillars()) != NumPillars || len(Types()) != NumTypes {
+		t.Fatal("taxonomy sizes")
+	}
+	if len(AllCells()) != 16 {
+		t.Fatalf("cells = %d", len(AllCells()))
+	}
+	seen := map[string]bool{}
+	for _, c := range AllCells() {
+		s := c.String()
+		if seen[s] {
+			t.Fatalf("duplicate cell %s", s)
+		}
+		seen[s] = true
+	}
+	for _, typ := range Types() {
+		if typ.Question() == "unknown" {
+			t.Fatalf("%s has no question", typ)
+		}
+	}
+	if Pillar(99).String() == "" || Type(99).String() == "" {
+		t.Fatal("unknown enum should render")
+	}
+}
+
+func TestGridRegisterValidation(t *testing.T) {
+	g := NewGrid()
+	c := Cell{Pillar: SystemHardware, Type: Diagnostic}
+	if err := g.Register(cap1("a", c)); err != nil {
+		t.Fatal(err)
+	}
+	if err := g.Register(cap1("a", c)); err == nil {
+		t.Fatal("duplicate name should error")
+	}
+	if err := g.Register(cap1("", c)); err == nil {
+		t.Fatal("empty name should error")
+	}
+	if err := g.Register(cap1("nocells")); err == nil {
+		t.Fatal("no cells should error")
+	}
+	if err := g.Register(cap1("bad", Cell{Pillar: 9, Type: Diagnostic})); err == nil {
+		t.Fatal("invalid cell should error")
+	}
+	if g.Len() != 1 {
+		t.Fatalf("Len = %d", g.Len())
+	}
+	if got, ok := g.Get("a"); !ok || got.Meta().Name != "a" {
+		t.Fatal("Get failed")
+	}
+	if _, ok := g.Get("zz"); ok {
+		t.Fatal("missing capability should not resolve")
+	}
+}
+
+func TestGridCoverageAndGaps(t *testing.T) {
+	g := NewGrid()
+	_ = g.Register(cap1("a", Cell{BuildingInfrastructure, Descriptive}))
+	_ = g.Register(cap1("b", Cell{BuildingInfrastructure, Descriptive}))
+	cov := g.Coverage()
+	if len(cov) != 16 {
+		t.Fatalf("coverage cells = %d", len(cov))
+	}
+	if cov[Cell{BuildingInfrastructure, Descriptive}] != 2 {
+		t.Fatal("coverage count wrong")
+	}
+	if gaps := g.Gaps(); len(gaps) != 15 {
+		t.Fatalf("gaps = %d", len(gaps))
+	}
+	if caps := g.At(Cell{BuildingInfrastructure, Descriptive}); len(caps) != 2 {
+		t.Fatal("At returned wrong count")
+	}
+}
+
+func TestGridMultiPillarMultiType(t *testing.T) {
+	g := NewGrid()
+	_ = g.Register(cap1("single", Cell{SystemHardware, Diagnostic}))
+	_ = g.Register(cap1("xpillar",
+		Cell{SystemHardware, Prescriptive}, Cell{SystemSoftware, Prescriptive}))
+	_ = g.Register(cap1("xtype",
+		Cell{SystemHardware, Predictive}, Cell{SystemHardware, Prescriptive}))
+	mp := g.MultiPillar()
+	if len(mp) != 1 || mp[0].Meta().Name != "xpillar" {
+		t.Fatalf("MultiPillar = %v", mp)
+	}
+	mt := g.MultiType()
+	if len(mt) != 1 || mt[0].Meta().Name != "xtype" {
+		t.Fatalf("MultiType = %v", mt)
+	}
+}
+
+func TestGridRunAllCollectsErrors(t *testing.T) {
+	g := NewGrid()
+	_ = g.Register(cap1("ok", Cell{SystemHardware, Descriptive}))
+	_ = g.Register(CapabilityFunc{
+		M: Meta{Name: "broken", Cells: []Cell{{SystemHardware, Descriptive}}},
+		Fn: func(ctx *RunContext) (Result, error) {
+			return Result{}, errors.New("boom")
+		},
+	})
+	results, errs := g.RunAll(&RunContext{})
+	if len(results) != 1 || len(errs) != 1 {
+		t.Fatalf("results=%d errs=%d", len(results), len(errs))
+	}
+	if results["ok"].Value("x") != 1 {
+		t.Fatal("result payload lost")
+	}
+	if errs["broken"] == nil {
+		t.Fatal("error not attributed")
+	}
+}
+
+func TestRenderTableShape(t *testing.T) {
+	g := NewGrid()
+	_ = g.Register(cap1("pue-kpi", Cell{BuildingInfrastructure, Descriptive}))
+	table := g.RenderTable()
+	lines := strings.Split(strings.TrimSpace(table), "\n")
+	// Header + separator + 4 type rows.
+	if len(lines) != 6 {
+		t.Fatalf("table lines = %d:\n%s", len(lines), table)
+	}
+	if !strings.Contains(lines[2], "Prescriptive") {
+		t.Fatalf("first data row should be prescriptive: %s", lines[2])
+	}
+	if !strings.Contains(lines[5], "pue-kpi") {
+		t.Fatalf("descriptive row missing capability: %s", lines[5])
+	}
+}
+
+func TestPipelineStagedOrder(t *testing.T) {
+	var p Pipeline
+	if err := p.Append(Descriptive, cap1("d", Cell{SystemHardware, Descriptive})); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Append(Diagnostic, cap1("g", Cell{SystemHardware, Diagnostic})); err != nil {
+		t.Fatal(err)
+	}
+	// Same type twice is allowed.
+	if err := p.Append(Diagnostic, cap1("g2", Cell{SystemHardware, Diagnostic})); err != nil {
+		t.Fatal(err)
+	}
+	// Going backwards violates the staged model.
+	if err := p.Append(Descriptive, cap1("d2", Cell{SystemHardware, Descriptive})); err == nil {
+		t.Fatal("backwards stage should error")
+	}
+	if err := p.Append(Type(9), cap1("x", Cell{SystemHardware, Descriptive})); err == nil {
+		t.Fatal("invalid type should error")
+	}
+	if p.Len() != 3 {
+		t.Fatalf("Len = %d", p.Len())
+	}
+}
+
+func TestPipelineThreadsResults(t *testing.T) {
+	var p Pipeline
+	_ = p.Append(Descriptive, CapabilityFunc{
+		M: Meta{Name: "first", Cells: []Cell{{SystemHardware, Descriptive}}},
+		Fn: func(ctx *RunContext) (Result, error) {
+			if ctx.Upstream != nil {
+				t.Error("first stage should have no upstream")
+			}
+			return Result{Values: map[string]float64{"v": 21}}, nil
+		},
+	})
+	_ = p.Append(Prescriptive, CapabilityFunc{
+		M: Meta{Name: "second", Cells: []Cell{{SystemHardware, Prescriptive}}},
+		Fn: func(ctx *RunContext) (Result, error) {
+			if ctx.Upstream == nil {
+				t.Error("second stage missing upstream")
+				return Result{}, nil
+			}
+			return Result{Values: map[string]float64{"v": ctx.Upstream.Value("v") * 2}}, nil
+		},
+	})
+	results, err := p.Run(&RunContext{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 2 || results[1].Result.Value("v") != 42 {
+		t.Fatalf("pipeline results = %+v", results)
+	}
+	for _, r := range results {
+		if r.Duration < 0 {
+			t.Fatal("negative duration")
+		}
+	}
+}
+
+func TestPipelineStopsOnError(t *testing.T) {
+	var p Pipeline
+	_ = p.Append(Descriptive, CapabilityFunc{
+		M:  Meta{Name: "boom", Cells: []Cell{{SystemHardware, Descriptive}}},
+		Fn: func(ctx *RunContext) (Result, error) { return Result{}, errors.New("bad") },
+	})
+	_ = p.Append(Diagnostic, cap1("never", Cell{SystemHardware, Diagnostic}))
+	results, err := p.Run(&RunContext{})
+	if err == nil || len(results) != 0 {
+		t.Fatalf("expected failure at stage 0, got %v, %v", results, err)
+	}
+	if !strings.Contains(err.Error(), "boom") {
+		t.Fatalf("error should name the stage: %v", err)
+	}
+}
+
+func TestRunContextCarriesStore(t *testing.T) {
+	store := timeseries.NewStore(0)
+	id := metric.ID{Name: "m"}
+	_ = store.Append(id, metric.Gauge, "", 1, 5)
+	c := CapabilityFunc{
+		M: Meta{Name: "probe", Cells: []Cell{{SystemHardware, Descriptive}}},
+		Fn: func(ctx *RunContext) (Result, error) {
+			vals, err := ctx.Store.SeriesValues(id, ctx.From, ctx.To)
+			if err != nil {
+				return Result{}, err
+			}
+			return Result{Values: map[string]float64{"n": float64(len(vals))}}, nil
+		},
+	}
+	res, err := c.Run(&RunContext{Store: store, From: 0, To: 10})
+	if err != nil || res.Value("n") != 1 {
+		t.Fatalf("res = %+v, %v", res, err)
+	}
+}

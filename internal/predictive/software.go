@@ -1,0 +1,166 @@
+package predictive
+
+import (
+	"fmt"
+
+	"repro/internal/forecast"
+	"repro/internal/oda"
+	"repro/internal/scheduler"
+	"repro/internal/simulation"
+	"repro/internal/stats"
+	"repro/internal/workload"
+)
+
+// SchedSimulate replays the window's submitted jobs through fast what-if
+// scheduler simulations (Batsim/AccaSim/Alea-style), predicting how queue
+// KPIs would change under alternative policies.
+type SchedSimulate struct {
+	// Policies to compare; default FCFS, EASY, plan-based.
+	Policies []scheduler.Policy
+}
+
+// Meta implements oda.Capability.
+func (SchedSimulate) Meta() oda.Meta {
+	return oda.Meta{
+		Name:        "sched-simulate",
+		Description: "what-if scheduler simulation across policies",
+		Cells:       []oda.Cell{cell(oda.SystemSoftware, oda.Predictive)},
+		Refs:        []string{"[49]", "[50]", "[51]"},
+	}
+}
+
+// Replay runs the given jobs through a policy at ideal runtimes and
+// returns the resulting metrics. Exposed for the prescriptive layer, which
+// picks the winning policy.
+func Replay(jobs []*workload.Job, nodes int, policy scheduler.Policy) scheduler.Metrics {
+	c := scheduler.NewCluster(nodes, policy)
+	// Deep-copy jobs: replay mutates lifecycle fields.
+	copies := make([]*workload.Job, len(jobs))
+	for i, j := range jobs {
+		cp := *j
+		cp.StartTime, cp.EndTime, cp.DoneWork = 0, 0, 0
+		copies[i] = &cp
+	}
+	ji := 0
+	var now int64
+	if len(copies) > 0 {
+		now = copies[0].SubmitTime
+	}
+	step := int64(10_000)
+	deadline := now + int64(14*24*3600*1000)
+	for ; now < deadline; now += step {
+		for ji < len(copies) && copies[ji].SubmitTime <= now {
+			c.Submit(copies[ji])
+			ji++
+		}
+		c.Tick(now)
+		for _, a := range c.RunningJobs() {
+			if float64(now-a.Job.StartTime)/1000 >= a.Job.IdealRuntime() {
+				_ = c.Complete(a.Job.ID, now)
+			}
+		}
+		if ji >= len(copies) && c.QueueLength() == 0 && len(c.RunningJobs()) == 0 {
+			break
+		}
+	}
+	return c.MetricsAt(now)
+}
+
+// Run implements oda.Capability.
+func (c SchedSimulate) Run(ctx *oda.RunContext) (oda.Result, error) {
+	dc, err := oda.SystemAs[*simulation.DataCenter](ctx)
+	if err != nil {
+		return oda.Result{}, err
+	}
+	policies := c.Policies
+	if len(policies) == 0 {
+		policies = []scheduler.Policy{scheduler.FCFS{}, scheduler.EASY{}, scheduler.PlanBased{}}
+	}
+	var jobs []*workload.Job
+	for _, rec := range dc.Allocations() {
+		if rec.Job.SubmitTime >= ctx.From && rec.Job.SubmitTime < ctx.To {
+			jobs = append(jobs, rec.Job)
+		}
+	}
+	if len(jobs) < 5 {
+		return oda.Result{}, fmt.Errorf("predictive: only %d jobs to replay", len(jobs))
+	}
+	values := map[string]float64{"jobs": float64(len(jobs))}
+	summary := fmt.Sprintf("replayed %d jobs on %d nodes:", len(jobs), dc.Cluster.TotalNodes())
+	for _, p := range policies {
+		m := Replay(jobs, dc.Cluster.TotalNodes(), p)
+		values["wait_"+p.Name()] = m.MeanWaitSec
+		values["slowdown_"+p.Name()] = m.MeanSlowdown
+		values["util_"+p.Name()] = m.Utilization
+		summary += fmt.Sprintf(" %s wait=%.0fs slow=%.2f;", p.Name(), m.MeanWaitSec, m.MeanSlowdown)
+	}
+	return oda.Result{Summary: summary, Values: values}, nil
+}
+
+// WorkloadForecast forecasts hourly job-arrival counts (the DRAS-CQSim
+// workload-prediction cell) with a diurnal Holt-Winters model, backtested
+// against seasonal-naive.
+type WorkloadForecast struct{}
+
+// Meta implements oda.Capability.
+func (WorkloadForecast) Meta() oda.Meta {
+	return oda.Meta{
+		Name:        "workload-forecast",
+		Description: "diurnal forecasting of hourly job arrivals",
+		Cells:       []oda.Cell{cell(oda.SystemSoftware, oda.Predictive)},
+		Refs:        []string{"[23]"},
+	}
+}
+
+// Run implements oda.Capability.
+func (WorkloadForecast) Run(ctx *oda.RunContext) (oda.Result, error) {
+	dc, err := oda.SystemAs[*simulation.DataCenter](ctx)
+	if err != nil {
+		return oda.Result{}, err
+	}
+	// Hourly arrival counts over the window.
+	hourMs := int64(3600 * 1000)
+	firstHour := ctx.From / hourMs
+	lastHour := (ctx.To - 1) / hourMs
+	if lastHour <= firstHour {
+		return oda.Result{}, fmt.Errorf("predictive: window shorter than an hour")
+	}
+	counts := make([]float64, lastHour-firstHour+1)
+	for _, rec := range dc.Allocations() {
+		st := rec.Job.SubmitTime
+		if st < ctx.From || st >= ctx.To {
+			continue
+		}
+		counts[st/hourMs-firstHour]++
+	}
+	const period = 24
+	horizon := 6
+	if len(counts) < 2*period+horizon+1 {
+		// Short window: compare plain smoothing against naive instead.
+		if len(counts) < 8 {
+			return oda.Result{}, fmt.Errorf("predictive: only %d hourly buckets", len(counts))
+		}
+		scores, err := forecast.Compare(counts, len(counts)/2, 2, 2, &forecast.SES{}, &forecast.Naive{})
+		if err != nil {
+			return oda.Result{}, err
+		}
+		return oda.Result{
+			Summary: fmt.Sprintf("short-window arrival forecast: ses MAE %.2f vs naive %.2f", scores[0].MAE, scores[1].MAE),
+			Values:  map[string]float64{"model_mae": scores[0].MAE, "naive_mae": scores[1].MAE, "hours": float64(len(counts))},
+		}, nil
+	}
+	scores, err := forecast.Compare(counts, 2*period, horizon, horizon,
+		&forecast.HoltWinters{Period: period}, &forecast.SeasonalNaive{Period: period}, &forecast.Naive{})
+	if err != nil {
+		return oda.Result{}, err
+	}
+	return oda.Result{
+		Summary: fmt.Sprintf("hourly arrivals (%d h): holt-winters MAE %.2f vs seasonal-naive %.2f vs naive %.2f",
+			len(counts), scores[0].MAE, scores[1].MAE, scores[2].MAE),
+		Values: map[string]float64{
+			"model_mae": scores[0].MAE, "seasonal_naive_mae": scores[1].MAE,
+			"naive_mae": scores[2].MAE, "hours": float64(len(counts)),
+			"mean_rate": stats.Mean(counts),
+		},
+	}, nil
+}

@@ -1,0 +1,135 @@
+package prescriptive
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/oda"
+	"repro/internal/simulation"
+	"repro/internal/workload"
+)
+
+// PriceSignal is a day-ahead electricity tariff: price per kWh as a
+// function of hour-of-day. Utilities publish these to demand-response
+// participants (§V-C of the paper: ODA reaching beyond the data center to
+// the grid).
+type PriceSignal func(hour int) float64
+
+// DefaultTariff is a two-peak business tariff: expensive morning and
+// evening ramps, cheap nights.
+func DefaultTariff(hour int) float64 {
+	switch {
+	case hour >= 7 && hour < 11:
+		return 0.32
+	case hour >= 17 && hour < 21:
+		return 0.38
+	case hour >= 11 && hour < 17:
+		return 0.22
+	default:
+		return 0.12
+	}
+}
+
+// DemandResponse throttles the site's schedulable power when electricity
+// is expensive and releases it when cheap, by driving the scheduler's
+// power budget from the tariff — the Stewart/Kjaergaard grid-interaction
+// cell, classified under building infrastructure per §V-C even though the
+// knob lives in system software.
+type DemandResponse struct {
+	// Tariff is the price signal (default DefaultTariff).
+	Tariff PriceSignal
+	// FullBudgetW is the budget at the cheapest price (default: nameplate).
+	FullBudgetW float64
+	// MinFraction of the full budget retained at the most expensive hour
+	// (default 0.5).
+	MinFraction float64
+}
+
+// Meta implements oda.Capability.
+func (DemandResponse) Meta() oda.Meta {
+	return oda.Meta{
+		Name:        "demand-response",
+		Description: "tariff-driven power budget throttling (grid interaction)",
+		Cells: []oda.Cell{
+			cell(oda.BuildingInfrastructure, oda.Prescriptive),
+			cell(oda.SystemSoftware, oda.Prescriptive),
+		},
+		Refs: []string{"[37]", "[58]"},
+	}
+}
+
+// budgetAt computes the budget for an hour of day given the tariff's
+// observed range.
+func (d DemandResponse) budgetAt(hour int, full float64) float64 {
+	tariff := d.Tariff
+	if tariff == nil {
+		tariff = DefaultTariff
+	}
+	minFrac := d.MinFraction
+	if minFrac <= 0 || minFrac > 1 {
+		minFrac = 0.5
+	}
+	lo, hi := math.Inf(1), math.Inf(-1)
+	for h := 0; h < 24; h++ {
+		p := tariff(h)
+		lo = math.Min(lo, p)
+		hi = math.Max(hi, p)
+	}
+	frac := 1.0
+	if hi > lo {
+		// Linear: cheapest hour -> 1, most expensive -> minFrac.
+		frac = 1 - (tariff(hour)-lo)/(hi-lo)*(1-minFrac)
+	}
+	return full * frac
+}
+
+// Run implements oda.Capability: one budget decision for the current hour.
+func (d DemandResponse) Run(ctx *oda.RunContext) (oda.Result, error) {
+	dc, err := oda.SystemAs[*simulation.DataCenter](ctx)
+	if err != nil {
+		return oda.Result{}, err
+	}
+	full := d.FullBudgetW
+	if full <= 0 {
+		full = float64(len(dc.Nodes)) * 430
+	}
+	hour := int((ctx.To / 3600000) % 24)
+	budget := d.budgetAt(hour, full)
+	dc.Cluster.PowerBudgetW = budget
+	if dc.Cluster.EstimatePowerW == nil {
+		dc.Cluster.EstimatePowerW = nameplateEstimate
+	}
+	tariff := d.Tariff
+	if tariff == nil {
+		tariff = DefaultTariff
+	}
+	return oda.Result{
+		Summary: fmt.Sprintf("hour %02d at %.2f/kWh -> power budget %.0f W (of %.0f W)",
+			hour, tariff(hour), budget, full),
+		Values: map[string]float64{
+			"budget_w": budget, "full_w": full, "price": tariff(hour), "hour": float64(hour),
+		},
+	}, nil
+}
+
+// Controller returns the automated tariff follower.
+func (d DemandResponse) Controller() simulation.Controller {
+	return simulation.ControllerFunc{
+		ControllerName: "demand-response",
+		Fn: func(dc *simulation.DataCenter, now int64) {
+			full := d.FullBudgetW
+			if full <= 0 {
+				full = float64(len(dc.Nodes)) * 430
+			}
+			hour := int((now / 3600000) % 24)
+			dc.Cluster.PowerBudgetW = d.budgetAt(hour, full)
+			if dc.Cluster.EstimatePowerW == nil {
+				dc.Cluster.EstimatePowerW = nameplateEstimate
+			}
+		},
+	}
+}
+
+// nameplateEstimate is the fallback per-job power model used until a
+// learned estimator is installed.
+func nameplateEstimate(j *workload.Job) float64 { return float64(j.Nodes) * 430 }

@@ -1,0 +1,489 @@
+package prescriptive
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"repro/internal/facility"
+	"repro/internal/oda"
+	"repro/internal/scheduler"
+	"repro/internal/simulation"
+)
+
+var dcCache *simulation.DataCenter
+
+func presCtx(t *testing.T) (*simulation.DataCenter, *oda.RunContext) {
+	t.Helper()
+	if dcCache == nil {
+		cfg := simulation.DefaultConfig(505)
+		cfg.Nodes = 16
+		cfg.Workload.MaxNodes = 8
+		cfg.Workload.MeanInterarrival = 60
+		dcCache = simulation.New(cfg)
+		dcCache.RunFor(12 * 3600)
+	}
+	return dcCache, &oda.RunContext{
+		Store: dcCache.Store, From: 0, To: dcCache.Now() + 1, System: dcCache,
+	}
+}
+
+func TestCoolingModeSwitchDecision(t *testing.T) {
+	dc, ctx := presCtx(t)
+	res, err := CoolingModeSwitch{}.Run(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Decision applied: facility mode is now chiller or free, with a
+	// consistent rationale in the result.
+	mode := dc.Facility.Mode()
+	if mode != facility.ModeChiller && mode != facility.ModeFree {
+		t.Fatalf("mode = %v", mode)
+	}
+	forecastMax := res.Value("forecast_max_c")
+	envelope := dc.Facility.Setpoint() - dc.Facility.Cfg.FreeCoolingApproach - 0.5
+	if res.Value("mode_free") == 1 && forecastMax > envelope {
+		t.Fatalf("free mode chosen with forecast max %.1f above envelope %.1f", forecastMax, envelope)
+	}
+	if res.Value("mode_free") == 0 && forecastMax <= envelope {
+		t.Fatalf("chiller chosen with forecast max %.1f inside envelope %.1f", forecastMax, envelope)
+	}
+	dc.Facility.SetMode(facility.ModeAuto) // restore for other tests
+}
+
+func TestSetpointOptimizer(t *testing.T) {
+	dc, ctx := presCtx(t)
+	before := dc.Facility.Setpoint()
+	res, err := SetpointOptimizer{}.Run(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sp := res.Value("setpoint_c")
+	if sp < 14 || sp > 35 {
+		t.Fatalf("setpoint = %v", sp)
+	}
+	if dc.Facility.Setpoint() != sp {
+		t.Fatal("setpoint not applied")
+	}
+	// The asymmetric law: with thermal headroom the setpoint rises by at
+	// most 1C; with a violation it drops by up to 6C.
+	worst := res.Value("worst_temp_c")
+	if worst < 78-3 && sp > res.Value("previous_c")+1.01 {
+		t.Fatalf("raised too fast: %v -> %v", res.Value("previous_c"), sp)
+	}
+	if worst > 78-3 && sp > res.Value("previous_c") {
+		t.Fatalf("raised despite violation: worst %v, %v -> %v", worst, res.Value("previous_c"), sp)
+	}
+	dc.Facility.SetSetpoint(before)
+}
+
+func TestAnomalyResponse(t *testing.T) {
+	dc, ctx := presCtx(t)
+	// No upstream: no action.
+	res, err := AnomalyResponse{}.Run(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Value("actions") != 0 {
+		t.Fatalf("acted without evidence: %s", res.Summary)
+	}
+	// With upstream anomalies: safe state engaged.
+	up := oda.Result{Values: map[string]float64{"anomalous_nodes": 2}}
+	ctx2 := *ctx
+	ctx2.Upstream = &up
+	res2, err := AnomalyResponse{}.Run(&ctx2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res2.Value("actions") == 0 {
+		t.Fatal("no response to anomalies")
+	}
+	if dc.Facility.Mode() != facility.ModeChiller || dc.Facility.Setpoint() != 18 {
+		t.Fatal("safe state not applied")
+	}
+	dc.Facility.SetMode(facility.ModeAuto)
+	dc.Facility.SetSetpoint(22)
+}
+
+func TestDVFSGovernorPass(t *testing.T) {
+	dc, ctx := presCtx(t)
+	res, err := DVFSGovernor{}.Run(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sum := res.Value("lowered") + res.Value("raised") + res.Value("unchanged") + res.Value("skipped")
+	if int(sum) != len(dc.Nodes) {
+		t.Fatalf("governor pass does not partition fleet: %v of %d", sum, len(dc.Nodes))
+	}
+	// Restore all nodes to top frequency.
+	for _, n := range dc.Nodes {
+		n.SetFrequencyIndex(n.NumFrequencies() - 1)
+	}
+}
+
+func TestDVFSGovernorClosedLoopSavesEnergy(t *testing.T) {
+	// Two identical memory-heavy centers; one governed. The governed one
+	// must consume less IT energy with bounded job slowdown.
+	run := func(governed bool) (energy float64, meanRuntime float64) {
+		cfg := simulation.DefaultConfig(606)
+		cfg.Nodes = 8
+		cfg.Workload.MaxNodes = 4
+		cfg.Workload.MeanInterarrival = 150
+		dc := simulation.New(cfg)
+		if governed {
+			dc.AddController(DVFSGovernor{}.Controller())
+		}
+		dc.RunFor(10 * 3600)
+		for _, n := range dc.Nodes {
+			energy += n.Energy()
+		}
+		var runs, count float64
+		for _, rec := range dc.Allocations() {
+			if rec.End != 0 && !rec.Killed {
+				runs += rec.Job.RuntimeSeconds() / rec.Job.IdealRuntime()
+				count++
+			}
+		}
+		if count > 0 {
+			meanRuntime = runs / count
+		}
+		return energy, meanRuntime
+	}
+	baseEnergy, baseStretch := run(false)
+	govEnergy, govStretch := run(true)
+	if govEnergy >= baseEnergy {
+		t.Fatalf("governor saved no energy: %.0f vs %.0f J", govEnergy, baseEnergy)
+	}
+	// Slowdown must be bounded: the governor only downclocks stalled work.
+	if govStretch > baseStretch*1.25 {
+		t.Fatalf("governor stretch %.3f vs baseline %.3f", govStretch, baseStretch)
+	}
+}
+
+func TestFanControl(t *testing.T) {
+	dc, ctx := presCtx(t)
+	res, err := FanControl{}.Run(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Value("target_c") != 68 {
+		t.Fatalf("target = %v", res.Value("target_c"))
+	}
+	if res.Value("adjusted") > float64(len(dc.Nodes)) {
+		t.Fatal("adjusted more nodes than exist")
+	}
+}
+
+func TestFanControlClosedLoopTracksTarget(t *testing.T) {
+	cfg := simulation.DefaultConfig(707)
+	cfg.Nodes = 8
+	cfg.Workload.MeanInterarrival = 60
+	cfg.Workload.MaxNodes = 4
+	dc := simulation.New(cfg)
+	dc.AddController(FanControl{TargetCelsius: 60}.Controller())
+	dc.RunFor(8 * 3600)
+	// Busy nodes should sit near the target, not way above.
+	for _, n := range dc.Nodes {
+		if n.Failed() {
+			continue
+		}
+		if n.LoadState().Utilization > 0.5 && n.Temperature() > 75 {
+			t.Fatalf("node %s at %.1fC despite fan control", n.Name(), n.Temperature())
+		}
+	}
+}
+
+func TestPowerBudgetInstalls(t *testing.T) {
+	dc, ctx := presCtx(t)
+	res, err := PowerBudget{BudgetW: 4000}.Run(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Value("budget_w") != 4000 {
+		t.Fatalf("budget = %v", res.Value("budget_w"))
+	}
+	if dc.Cluster.PowerBudgetW != 4000 || dc.Cluster.EstimatePowerW == nil {
+		t.Fatal("budget/estimator not installed")
+	}
+	// The estimator returns plausible job power.
+	j := dc.Allocations()[0].Job
+	if p := dc.Cluster.EstimatePowerW(j); p <= 0 || p > 500*float64(j.Nodes)+1 {
+		t.Fatalf("estimated power = %v", p)
+	}
+	dc.Cluster.PowerBudgetW = 0
+	dc.Cluster.EstimatePowerW = nil
+}
+
+func TestPolicyAdvisor(t *testing.T) {
+	dc, ctx := presCtx(t)
+	res, err := PolicyAdvisor{}.Run(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(res.Summary, "recommended policy") {
+		t.Fatalf("summary = %s", res.Summary)
+	}
+	best := res.Value("best_wait_s")
+	for k, v := range res.Values {
+		if strings.HasPrefix(k, "wait_") && v < best-1e-9 {
+			t.Fatalf("best_wait %v not minimal: %s=%v", best, k, v)
+		}
+	}
+	// The advisor installs runtime predictions into the live scheduler.
+	if dc.Cluster.PredictRuntime == nil {
+		t.Fatal("runtime predictor not installed")
+	}
+	dc.Cluster.PredictRuntime = nil
+}
+
+func TestTaskPlacement(t *testing.T) {
+	dc, ctx := presCtx(t)
+	res, err := TaskPlacement{}.Run(ctx)
+	if err != nil {
+		t.Skip("no free capacity under this seed:", err)
+	}
+	if res.Value("recommendation_wins") < res.Value("evaluated") {
+		t.Fatalf("recommended placement lost to naive: %s", res.Summary)
+	}
+	_ = dc
+}
+
+func TestRecommendNodesLocality(t *testing.T) {
+	dc, _ := presCtx(t)
+	// Free nodes scattered across edges but with one full edge available.
+	free := []int{0, 1, 2, 3, 17, 33, 49}
+	rec := RecommendNodes(dc, free, 4)
+	if len(rec) != 4 {
+		t.Fatalf("rec = %v", rec)
+	}
+	for _, n := range rec {
+		if dc.Net.EdgeOf(n) != 0 {
+			t.Fatalf("recommendation not edge-local: %v", rec)
+		}
+	}
+	// Impossible request.
+	if RecommendNodes(dc, free, 99) != nil {
+		t.Fatal("oversized request should return nil")
+	}
+	// Spanning request uses fewest edges: 6 nodes from 4+2+1 groups.
+	free2 := []int{0, 1, 2, 3, 16, 17, 32}
+	rec2 := RecommendNodes(dc, free2, 6)
+	edges := map[int]bool{}
+	for _, n := range rec2 {
+		edges[dc.Net.EdgeOf(n)] = true
+	}
+	if len(rec2) != 6 || len(edges) > 2 {
+		t.Fatalf("spanning recommendation = %v (%d edges)", rec2, len(edges))
+	}
+}
+
+func TestNelderMeadOnQuadratic(t *testing.T) {
+	nm := NelderMead{Lo: []float64{-10, -10}, Hi: []float64{10, 10}, MaxEvals: 300}
+	f := func(p []float64) float64 {
+		return (p[0]-3)*(p[0]-3) + (p[1]+2)*(p[1]+2)
+	}
+	best, cost, err := nm.Minimize(f, []float64{8, 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(best[0]-3) > 0.2 || math.Abs(best[1]+2) > 0.2 || cost > 0.1 {
+		t.Fatalf("minimize = %v, cost %v", best, cost)
+	}
+	// Bounds respected.
+	nm2 := NelderMead{Lo: []float64{0}, Hi: []float64{1}, MaxEvals: 100}
+	bounded, _, err := nm2.Minimize(func(p []float64) float64 { return -p[0] }, []float64{0.5})
+	if err != nil || bounded[0] < 0 || bounded[0] > 1 {
+		t.Fatalf("bounds violated: %v, %v", bounded, err)
+	}
+	// Dimension validation.
+	if _, _, err := (&NelderMead{Lo: []float64{0}, Hi: []float64{1}}).Minimize(f, nil); err == nil {
+		t.Fatal("empty x0 should error")
+	}
+}
+
+func TestAutoTuner(t *testing.T) {
+	res, err := AutoTuner{Budget: 150}.Run(&oda.RunContext{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Value("speedup") < 1.5 {
+		t.Fatalf("speedup = %v", res.Value("speedup"))
+	}
+	// The optimum is near tile 256KB, threads 16.
+	if math.Abs(math.Log2(res.Value("tile_kb"))-8) > 1.5 {
+		t.Fatalf("tile = %v KB", res.Value("tile_kb"))
+	}
+	if math.Abs(res.Value("threads")-16) > 5 {
+		t.Fatalf("threads = %v", res.Value("threads"))
+	}
+}
+
+func TestCodeRecommend(t *testing.T) {
+	_, ctx := presCtx(t)
+	res, err := CodeRecommend{}.Run(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Value("classes") == 0 {
+		t.Fatal("no classes advised")
+	}
+	if !strings.Contains(res.Summary, ":") {
+		t.Fatalf("summary lacks advice: %s", res.Summary)
+	}
+}
+
+func TestRegister(t *testing.T) {
+	g := oda.NewGrid()
+	if err := Register(g); err != nil {
+		t.Fatal(err)
+	}
+	if g.Len() != 11 {
+		t.Fatalf("registered %d", g.Len())
+	}
+	for _, p := range oda.Pillars() {
+		if len(g.At(oda.Cell{Pillar: p, Type: oda.Prescriptive})) == 0 {
+			t.Fatalf("pillar %s prescriptive cell empty", p)
+		}
+	}
+	// The package contributes the paper's multi-type/multi-pillar systems.
+	if len(g.MultiType()) == 0 || len(g.MultiPillar()) == 0 {
+		t.Fatal("no multi-cell capabilities registered")
+	}
+}
+
+func TestDemandResponse(t *testing.T) {
+	dc, ctx := presCtx(t)
+	res, err := DemandResponse{FullBudgetW: 6000}.Run(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Value("budget_w") <= 0 || res.Value("budget_w") > 6000 {
+		t.Fatalf("budget = %v", res.Value("budget_w"))
+	}
+	if dc.Cluster.PowerBudgetW != res.Value("budget_w") {
+		t.Fatal("budget not installed")
+	}
+	if dc.Cluster.EstimatePowerW == nil {
+		t.Fatal("fallback estimator not installed")
+	}
+	dc.Cluster.PowerBudgetW = 0
+	dc.Cluster.EstimatePowerW = nil
+
+	// The budget curve follows the tariff: expensive evening < cheap night.
+	d := DemandResponse{FullBudgetW: 1000}
+	night := d.budgetAt(2, 1000)
+	evening := d.budgetAt(18, 1000)
+	if night != 1000 {
+		t.Fatalf("cheapest hour budget = %v, want full", night)
+	}
+	if evening != 500 {
+		t.Fatalf("peak hour budget = %v, want minFraction*full", evening)
+	}
+	noon := d.budgetAt(12, 1000)
+	if !(evening < noon && noon < night) {
+		t.Fatalf("budget not monotone in price: %v %v %v", evening, noon, night)
+	}
+}
+
+func TestDemandResponseClosedLoop(t *testing.T) {
+	// With the controller attached, less IT energy is consumed during
+	// expensive hours than in an unthrottled twin.
+	run := func(throttled bool) (peakHourEnergy float64) {
+		cfg := simulation.DefaultConfig(808)
+		cfg.Nodes = 8
+		cfg.Workload.MaxNodes = 4
+		cfg.Workload.MeanInterarrival = 90
+		cfg.Policy = scheduler.PowerAware{} // the budget's enforcement point
+		dc := simulation.New(cfg)
+		if throttled {
+			dc.AddController(DemandResponse{FullBudgetW: 2600}.Controller())
+		}
+		var prev float64
+		for dc.Now() < 24*3600*1000 {
+			dc.Step()
+			hour := int((dc.Now() / 3600000) % 24)
+			if hour >= 17 && hour < 21 {
+				var e float64
+				for _, n := range dc.Nodes {
+					e += n.Energy()
+				}
+				if prev > 0 {
+					peakHourEnergy += e - prev
+				}
+				prev = e
+			} else {
+				prev = 0
+			}
+		}
+		return peakHourEnergy
+	}
+	free := run(false)
+	capped := run(true)
+	if capped >= free {
+		t.Fatalf("demand response saved nothing at peak: %.0f vs %.0f J", capped, free)
+	}
+}
+
+func TestSetpointControllerConverges(t *testing.T) {
+	cfg := simulation.DefaultConfig(515)
+	cfg.Nodes = 8
+	cfg.Workload.MaxNodes = 4
+	cfg.Workload.MeanInterarrival = 120
+	dc := simulation.New(cfg)
+	dc.AddController(FanControl{}.Controller())
+	dc.AddController(SetpointOptimizer{}.Controller())
+	dc.RunFor(8 * 3600)
+	sp := dc.Facility.Setpoint()
+	if sp <= 14 || sp > 35 {
+		t.Fatalf("controller left setpoint at %v", sp)
+	}
+	// Sustained node medians stay under the ceiling the optimizer enforces.
+	hot := 0
+	for _, n := range dc.Nodes {
+		if !n.Failed() && n.Temperature() > 90 {
+			hot++
+		}
+	}
+	if hot > 1 {
+		t.Fatalf("%d nodes far above the ceiling", hot)
+	}
+}
+
+func TestCoolingModeControllerActs(t *testing.T) {
+	cfg := simulation.DefaultConfig(525)
+	cfg.Nodes = 8
+	cfg.Workload.MaxNodes = 4
+	dc := simulation.New(cfg)
+	dc.Facility.SetMode(facility.ModeChiller) // start wrong for the climate
+	dc.AddController(CoolingModeSwitch{}.Controller())
+	dc.RunFor(4 * 3600)
+	// In the default cold climate with a 22C setpoint, the proactive
+	// switcher must have moved off the forced chiller.
+	if dc.Facility.Mode() == facility.ModeChiller {
+		st := dc.Facility.State()
+		if st.OutdoorTemp < dc.Facility.Setpoint()-dc.Facility.Cfg.FreeCoolingApproach-1 {
+			t.Fatalf("controller kept chiller despite cold outdoor %.1fC", st.OutdoorTemp)
+		}
+	}
+}
+
+func TestTaskPlacementWithIdleMachine(t *testing.T) {
+	// A mostly idle machine guarantees placements can be evaluated.
+	cfg := simulation.DefaultConfig(535)
+	cfg.Nodes = 64
+	cfg.Workload.MaxNodes = 4
+	cfg.Workload.MeanInterarrival = 3600
+	dc := simulation.New(cfg)
+	dc.RunFor(3600)
+	ctx := &oda.RunContext{Store: dc.Store, From: 0, To: dc.Now() + 1, System: dc}
+	res, err := TaskPlacement{}.Run(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Value("evaluated") < 3 {
+		t.Fatalf("evaluated = %v on an idle 64-node machine", res.Value("evaluated"))
+	}
+	if res.Value("recommendation_wins") < res.Value("evaluated") {
+		t.Fatalf("recommendations lost: %s", res.Summary)
+	}
+}

@@ -1,0 +1,152 @@
+package scheduler
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/workload"
+)
+
+// TestClusterConservationProperty drives random job streams through random
+// policies and asserts the scheduler's conservation laws at every step:
+// no node is double-allocated, free+busy = total, and every submitted job
+// is exactly one of queued/running/finished.
+func TestClusterConservationProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		policies := []Policy{FCFS{}, EASY{}, PlanBased{}, PowerAware{}}
+		policy := policies[rng.Intn(len(policies))]
+		nodes := 2 + rng.Intn(30)
+		c := NewCluster(nodes, policy)
+
+		gen := workload.NewGenerator(workload.GeneratorConfig{
+			Seed:             seed,
+			Users:            4,
+			MeanInterarrival: float64(30 + rng.Intn(600)),
+			MaxNodes:         nodes,
+		})
+		jobs := gen.GenerateUntil(0, 6*3600*1000)
+		submitted := 0
+		ji := 0
+		for now := int64(0); now < 24*3600*1000; now += 30_000 {
+			for ji < len(jobs) && jobs[ji].SubmitTime <= now {
+				c.Submit(jobs[ji])
+				submitted++
+				ji++
+			}
+			c.Tick(now)
+
+			// Node-allocation invariants.
+			seen := map[int]bool{}
+			busy := 0
+			for _, a := range c.RunningJobs() {
+				if len(a.Nodes) != a.Job.Nodes {
+					return false
+				}
+				for _, n := range a.Nodes {
+					if n < 0 || n >= nodes || seen[n] {
+						return false
+					}
+					seen[n] = true
+					busy++
+				}
+			}
+			if busy+c.FreeNodes() != nodes {
+				return false
+			}
+			// Job conservation.
+			if len(c.RunningJobs())+c.QueueLength()+len(c.Finished()) != submitted {
+				return false
+			}
+			// Random completions.
+			for _, a := range c.RunningJobs() {
+				if rng.Float64() < 0.3 {
+					if err := c.Complete(a.Job.ID, now); err != nil {
+						return false
+					}
+				}
+			}
+			if ji >= len(jobs) && c.QueueLength() == 0 && len(c.RunningJobs()) == 0 {
+				break
+			}
+		}
+		// Metrics never go out of range.
+		m := c.MetricsAt(24 * 3600 * 1000)
+		return m.Utilization >= 0 && m.Utilization <= 1.0001 && m.MeanSlowdown >= 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestOfflineOnlineProperty exercises node offlining under churn: offline
+// nodes must never be allocated.
+func TestOfflineOnlineProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		nodes := 4 + rng.Intn(12)
+		c := NewCluster(nodes, EASY{})
+		offline := map[int]bool{}
+		nextID := 0
+		for step := 0; step < 200; step++ {
+			now := int64(step) * 60_000
+			// Random churn: submit, offline, online, complete.
+			switch rng.Intn(4) {
+			case 0:
+				nextID++
+				c.Submit(&workload.Job{
+					ID:         string(rune('a'+nextID%26)) + string(rune('0'+nextID%10)) + string(rune('A'+step%26)),
+					SubmitTime: now, Nodes: 1 + rng.Intn(nodes/2+1),
+					ReqWalltime: 600, TotalWork: 600,
+				})
+			case 1:
+				idx := rng.Intn(nodes)
+				if !offline[idx] && c.SetNodeOffline(idx) {
+					offline[idx] = true
+				}
+			case 2:
+				idx := rng.Intn(nodes)
+				if offline[idx] {
+					c.SetNodeOnline(idx)
+					delete(offline, idx)
+				}
+			case 3:
+				for _, a := range c.RunningJobs() {
+					_ = c.Complete(a.Job.ID, now)
+					break
+				}
+			}
+			c.Tick(now)
+			for _, a := range c.RunningJobs() {
+				for _, n := range a.Nodes {
+					if offline[n] {
+						return false // allocated an offline node
+					}
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSetNodeOnlineIdempotent(t *testing.T) {
+	c := NewCluster(4, FCFS{})
+	if !c.SetNodeOffline(2) {
+		t.Fatal("offline of free node should succeed")
+	}
+	if c.FreeNodes() != 3 {
+		t.Fatal("free count")
+	}
+	if c.SetNodeOffline(2) {
+		t.Fatal("double offline should fail")
+	}
+	c.SetNodeOnline(2)
+	c.SetNodeOnline(2) // idempotent
+	if c.FreeNodes() != 4 {
+		t.Fatalf("free = %d after double online", c.FreeNodes())
+	}
+}

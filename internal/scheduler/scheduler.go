@@ -1,0 +1,426 @@
+// Package scheduler implements the System Software pillar's centrepiece: a
+// batch scheduler over an abstract pool of node slots, with pluggable
+// policies (FCFS, EASY backfill, power-aware, plan-based) and the queue
+// metrics (wait, bounded slowdown, utilization) descriptive ODA reports.
+//
+// The scheduler is event-driven: the simulation submits jobs, ticks the
+// scheduler on virtual time, and reports completions. Node indices are
+// opaque; the simulation binds them to hardware nodes.
+package scheduler
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/stats"
+	"repro/internal/workload"
+)
+
+// Allocation records a running job's node assignment.
+type Allocation struct {
+	Job   *workload.Job
+	Nodes []int
+	// EstEndTime is when the scheduler expects the job to end (based on the
+	// user's requested walltime), used for backfill reservations.
+	EstEndTime int64
+}
+
+// Context is what a policy may consult when selecting jobs.
+type Context struct {
+	Now        int64
+	FreeNodes  int
+	TotalNodes int
+	Running    []*Allocation
+	// PowerBudgetW is the cap for power-aware policies (0 = uncapped).
+	PowerBudgetW float64
+	// CurrentPowerW is the present system draw.
+	CurrentPowerW float64
+	// EstimatePowerW predicts a job's steady-state power draw; the
+	// power-aware policy refuses to start jobs that would breach the budget.
+	EstimatePowerW func(j *workload.Job) float64
+	// PredictRuntime optionally refines runtime estimates (predictive ODA
+	// feeding prescriptive scheduling); nil falls back to ReqWalltime.
+	PredictRuntime func(j *workload.Job) float64
+}
+
+// estRuntime returns the runtime estimate (seconds) the policy should use.
+func (c *Context) estRuntime(j *workload.Job) float64 {
+	if c.PredictRuntime != nil {
+		if p := c.PredictRuntime(j); p > 0 {
+			return p
+		}
+	}
+	return j.ReqWalltime
+}
+
+// Policy selects which queued jobs to start now. It must return a subset of
+// queue in start order; the cluster starts them while nodes remain.
+type Policy interface {
+	Name() string
+	Select(queue []*workload.Job, ctx *Context) []*workload.Job
+}
+
+// FCFS starts jobs strictly in submission order, stopping at the first job
+// that does not fit.
+type FCFS struct{}
+
+// Name implements Policy.
+func (FCFS) Name() string { return "fcfs" }
+
+// Select implements Policy.
+func (FCFS) Select(queue []*workload.Job, ctx *Context) []*workload.Job {
+	var out []*workload.Job
+	free := ctx.FreeNodes
+	for _, j := range queue {
+		if j.Nodes > free {
+			break
+		}
+		out = append(out, j)
+		free -= j.Nodes
+	}
+	return out
+}
+
+// EASY implements EASY backfilling: the queue head gets a reservation at
+// the earliest time enough nodes free up; later jobs may jump ahead only if
+// they finish (by estimate) before that reservation or use nodes the head
+// doesn't need.
+type EASY struct{}
+
+// Name implements Policy.
+func (EASY) Name() string { return "easy" }
+
+// Select implements Policy.
+func (EASY) Select(queue []*workload.Job, ctx *Context) []*workload.Job {
+	if len(queue) == 0 {
+		return nil
+	}
+	var out []*workload.Job
+	free := ctx.FreeNodes
+	i := 0
+	// Start in order while jobs fit.
+	for i < len(queue) && queue[i].Nodes <= free {
+		out = append(out, queue[i])
+		free -= queue[i].Nodes
+		i++
+	}
+	if i >= len(queue) {
+		return out
+	}
+	head := queue[i]
+	// Compute the head's shadow time: walk running jobs by estimated end
+	// until enough nodes accumulate.
+	type rel struct {
+		end   int64
+		nodes int
+	}
+	rels := make([]rel, 0, len(ctx.Running))
+	for _, a := range ctx.Running {
+		rels = append(rels, rel{end: a.EstEndTime, nodes: len(a.Nodes)})
+	}
+	sort.Slice(rels, func(a, b int) bool { return rels[a].end < rels[b].end })
+	avail := free
+	shadow := int64(-1)
+	extraAtShadow := 0
+	for _, r := range rels {
+		avail += r.nodes
+		if avail >= head.Nodes {
+			shadow = r.end
+			extraAtShadow = avail - head.Nodes
+			break
+		}
+	}
+	if shadow < 0 {
+		// Head can never fit (bigger than machine); skip backfill guard.
+		shadow = 1<<62 - 1
+		extraAtShadow = free
+	}
+	// Backfill: a candidate may start if it fits now AND (it ends before
+	// the shadow time OR it uses only nodes spare at the shadow time).
+	for _, j := range queue[i+1:] {
+		if j.Nodes > free {
+			continue
+		}
+		endEst := ctx.Now + int64(ctx.estRuntime(j)*1000)
+		if endEst <= shadow || j.Nodes <= extraAtShadow {
+			out = append(out, j)
+			free -= j.Nodes
+			if j.Nodes <= extraAtShadow && endEst > shadow {
+				extraAtShadow -= j.Nodes
+			}
+		}
+	}
+	return out
+}
+
+// PowerAware wraps an inner policy with a system power budget: jobs whose
+// estimated draw would push the system past the cap stay queued. This is
+// the paper's prescriptive "power and KPI-aware scheduling" cell.
+type PowerAware struct {
+	// Inner is the ordering policy (default EASY).
+	Inner Policy
+}
+
+// Name implements Policy.
+func (p PowerAware) Name() string { return "power-aware" }
+
+// Select implements Policy.
+func (p PowerAware) Select(queue []*workload.Job, ctx *Context) []*workload.Job {
+	inner := p.Inner
+	if inner == nil {
+		inner = EASY{}
+	}
+	candidates := inner.Select(queue, ctx)
+	if ctx.PowerBudgetW <= 0 || ctx.EstimatePowerW == nil {
+		return candidates
+	}
+	headroom := ctx.PowerBudgetW - ctx.CurrentPowerW
+	var out []*workload.Job
+	for _, j := range candidates {
+		est := ctx.EstimatePowerW(j)
+		if est > headroom {
+			continue
+		}
+		headroom -= est
+		out = append(out, j)
+	}
+	return out
+}
+
+// PlanBased builds a short-horizon plan each cycle: it orders the queue by
+// a cost heuristic (shortest estimated area first, with ageing to prevent
+// starvation) before greedy packing — a simplified plan-based scheduler in
+// the spirit of Zheng et al.
+type PlanBased struct {
+	// AgeWeight converts queue wait (seconds) into priority credit.
+	AgeWeight float64
+}
+
+// Name implements Policy.
+func (PlanBased) Name() string { return "plan-based" }
+
+// Select implements Policy.
+func (p PlanBased) Select(queue []*workload.Job, ctx *Context) []*workload.Job {
+	ageW := p.AgeWeight
+	if ageW <= 0 {
+		ageW = 0.05
+	}
+	scored := append([]*workload.Job(nil), queue...)
+	cost := func(j *workload.Job) float64 {
+		area := ctx.estRuntime(j) * float64(j.Nodes) // node-seconds
+		age := float64(ctx.Now-j.SubmitTime) / 1000
+		return area - ageW*age*float64(j.Nodes)
+	}
+	sort.SliceStable(scored, func(a, b int) bool { return cost(scored[a]) < cost(scored[b]) })
+	var out []*workload.Job
+	free := ctx.FreeNodes
+	for _, j := range scored {
+		if j.Nodes <= free {
+			out = append(out, j)
+			free -= j.Nodes
+		}
+	}
+	return out
+}
+
+// Cluster is the machine the scheduler manages.
+type Cluster struct {
+	totalNodes int
+	freeNodes  []int
+	policy     Policy
+
+	queue   []*workload.Job
+	running map[string]*Allocation
+
+	finished []*workload.Job
+	// busyNodeMs accumulates node-milliseconds of allocation for
+	// utilization accounting; accountedTo is the time accrual has reached.
+	busyNodeMs  int64
+	accountedTo int64
+	started     int64
+
+	// PowerBudgetW, EstimatePowerW and PredictRuntime flow into the policy
+	// context each cycle.
+	PowerBudgetW   float64
+	EstimatePowerW func(j *workload.Job) float64
+	PredictRuntime func(j *workload.Job) float64
+	CurrentPowerW  float64
+}
+
+// NewCluster creates a cluster of n node slots under the given policy.
+func NewCluster(n int, policy Policy) *Cluster {
+	free := make([]int, n)
+	for i := range free {
+		free[i] = i
+	}
+	return &Cluster{
+		totalNodes: n,
+		freeNodes:  free,
+		policy:     policy,
+		running:    make(map[string]*Allocation),
+	}
+}
+
+// Policy returns the active policy.
+func (c *Cluster) Policy() Policy { return c.policy }
+
+// Submit enqueues a job.
+func (c *Cluster) Submit(j *workload.Job) { c.queue = append(c.queue, j) }
+
+// QueueLength returns the number of waiting jobs.
+func (c *Cluster) QueueLength() int { return len(c.queue) }
+
+// RunningJobs returns the current allocations.
+func (c *Cluster) RunningJobs() []*Allocation {
+	out := make([]*Allocation, 0, len(c.running))
+	for _, a := range c.running {
+		out = append(out, a)
+	}
+	sort.Slice(out, func(a, b int) bool { return out[a].Job.ID < out[b].Job.ID })
+	return out
+}
+
+// FreeNodes returns how many node slots are idle.
+func (c *Cluster) FreeNodes() int { return len(c.freeNodes) }
+
+// TotalNodes returns the machine size.
+func (c *Cluster) TotalNodes() int { return c.totalNodes }
+
+// accrue advances utilization accounting to virtual time now.
+func (c *Cluster) accrue(now int64) {
+	if now > c.accountedTo {
+		c.busyNodeMs += int64(c.totalNodes-len(c.freeNodes)) * (now - c.accountedTo)
+		c.accountedTo = now
+	}
+}
+
+// Tick runs one scheduling cycle at virtual time now and returns the
+// allocations started this cycle.
+func (c *Cluster) Tick(now int64) []*Allocation {
+	c.accrue(now)
+	if len(c.queue) == 0 {
+		return nil
+	}
+	ctx := &Context{
+		Now:            now,
+		FreeNodes:      len(c.freeNodes),
+		TotalNodes:     c.totalNodes,
+		Running:        c.RunningJobs(),
+		PowerBudgetW:   c.PowerBudgetW,
+		CurrentPowerW:  c.CurrentPowerW,
+		EstimatePowerW: c.EstimatePowerW,
+		PredictRuntime: c.PredictRuntime,
+	}
+	selected := c.policy.Select(c.queue, ctx)
+	var started []*Allocation
+	for _, j := range selected {
+		if j.Nodes > len(c.freeNodes) {
+			continue // policy over-committed; guard anyway
+		}
+		// Allocate the lowest-numbered free nodes: keeps placements compact
+		// so network locality is plausible.
+		sort.Ints(c.freeNodes)
+		nodes := append([]int(nil), c.freeNodes[:j.Nodes]...)
+		c.freeNodes = c.freeNodes[j.Nodes:]
+		j.StartTime = now
+		alloc := &Allocation{
+			Job:        j,
+			Nodes:      nodes,
+			EstEndTime: now + int64(ctx.estRuntime(j)*1000),
+		}
+		c.running[j.ID] = alloc
+		c.removeFromQueue(j.ID)
+		c.started++
+		started = append(started, alloc)
+	}
+	return started
+}
+
+func (c *Cluster) removeFromQueue(id string) {
+	for i, j := range c.queue {
+		if j.ID == id {
+			c.queue = append(c.queue[:i], c.queue[i+1:]...)
+			return
+		}
+	}
+}
+
+// Complete marks a running job finished at time now, freeing its nodes.
+func (c *Cluster) Complete(jobID string, now int64) error {
+	alloc, ok := c.running[jobID]
+	if !ok {
+		return fmt.Errorf("scheduler: job %s not running", jobID)
+	}
+	c.accrue(now)
+	alloc.Job.EndTime = now
+	c.freeNodes = append(c.freeNodes, alloc.Nodes...)
+	delete(c.running, jobID)
+	c.finished = append(c.finished, alloc.Job)
+	return nil
+}
+
+// Finished returns completed jobs in completion order.
+func (c *Cluster) Finished() []*workload.Job { return c.finished }
+
+// SetNodeOffline removes an idle node slot from service (e.g. a hardware
+// failure). It returns false if the node is not currently free — callers
+// must first complete (kill) whatever job holds it.
+func (c *Cluster) SetNodeOffline(idx int) bool {
+	for i, n := range c.freeNodes {
+		if n == idx {
+			c.freeNodes = append(c.freeNodes[:i], c.freeNodes[i+1:]...)
+			return true
+		}
+	}
+	return false
+}
+
+// SetNodeOnline returns a previously offlined node slot to service.
+func (c *Cluster) SetNodeOnline(idx int) {
+	for _, n := range c.freeNodes {
+		if n == idx {
+			return
+		}
+	}
+	c.freeNodes = append(c.freeNodes, idx)
+}
+
+// Metrics summarizes queue performance so far.
+type Metrics struct {
+	Policy       string
+	FinishedJobs int
+	MeanWaitSec  float64
+	P95WaitSec   float64
+	MeanSlowdown float64
+	P95Slowdown  float64
+	Utilization  float64 // busy node-time / total node-time
+	StartedJobs  int64
+	QueuedJobs   int
+}
+
+// MetricsAt computes metrics at virtual time now.
+func (c *Cluster) MetricsAt(now int64) Metrics {
+	m := Metrics{
+		Policy:       c.policy.Name(),
+		FinishedJobs: len(c.finished),
+		StartedJobs:  c.started,
+		QueuedJobs:   len(c.queue),
+	}
+	if len(c.finished) > 0 {
+		waits := make([]float64, len(c.finished))
+		slows := make([]float64, len(c.finished))
+		for i, j := range c.finished {
+			waits[i] = j.WaitSeconds()
+			slows[i] = j.Slowdown()
+		}
+		m.MeanWaitSec = stats.Mean(waits)
+		m.MeanSlowdown = stats.Mean(slows)
+		m.P95WaitSec, _ = stats.Quantile(waits, 0.95)
+		m.P95Slowdown, _ = stats.Quantile(slows, 0.95)
+	}
+	c.accrue(now)
+	if now > 0 && c.totalNodes > 0 {
+		m.Utilization = float64(c.busyNodeMs) / float64(int64(c.totalNodes)*now)
+	}
+	return m
+}

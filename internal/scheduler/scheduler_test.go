@@ -1,0 +1,270 @@
+package scheduler
+
+import (
+	"testing"
+
+	"repro/internal/workload"
+)
+
+// mkJob builds a job with ideal runtime run seconds on n nodes, requesting
+// req seconds of walltime.
+func mkJob(id string, submit int64, n int, run, req float64) *workload.Job {
+	return &workload.Job{
+		ID: id, User: "u", Class: workload.Balanced,
+		SubmitTime: submit, Nodes: n, ReqWalltime: req, TotalWork: run * float64(n),
+	}
+}
+
+func TestFCFSBlocksOnHead(t *testing.T) {
+	c := NewCluster(4, FCFS{})
+	c.Submit(mkJob("a", 0, 3, 100, 100))
+	c.Submit(mkJob("b", 0, 3, 100, 100)) // does not fit behind a
+	c.Submit(mkJob("c", 0, 1, 10, 10))   // would fit, but FCFS blocks
+	started := c.Tick(0)
+	if len(started) != 1 || started[0].Job.ID != "a" {
+		t.Fatalf("started = %v", started)
+	}
+	if c.FreeNodes() != 1 || c.QueueLength() != 2 {
+		t.Fatalf("free=%d queue=%d", c.FreeNodes(), c.QueueLength())
+	}
+}
+
+func TestEASYBackfills(t *testing.T) {
+	c := NewCluster(4, EASY{})
+	c.Submit(mkJob("a", 0, 3, 100, 100))
+	started := c.Tick(0)
+	if len(started) != 1 {
+		t.Fatalf("a not started: %v", started)
+	}
+	// b needs all 4 nodes: waits for a (reservation at t=100s).
+	c.Submit(mkJob("b", 1000, 4, 50, 50))
+	// c is small and short: fits in the 1 free node and ends (10s) before
+	// a's estimated end -> backfilled.
+	c.Submit(mkJob("c", 2000, 1, 10, 10))
+	// d is small but LONG (200s > a's remaining): would delay b, rejected.
+	c.Submit(mkJob("d", 3000, 1, 200, 200))
+	started = c.Tick(5000)
+	if len(started) != 1 || started[0].Job.ID != "c" {
+		t.Fatalf("backfill started = %v", started)
+	}
+	if c.QueueLength() != 2 {
+		t.Fatalf("queue = %d", c.QueueLength())
+	}
+}
+
+func TestEASYBackfillUsesShadowSpare(t *testing.T) {
+	c := NewCluster(4, EASY{})
+	c.Submit(mkJob("a", 0, 2, 100, 100))
+	c.Tick(0)
+	// Head b needs 3 nodes -> waits for a; at a's end 4 nodes free, b uses
+	// 3, spare = 1. Long 1-node job can run on the spare without delaying b.
+	c.Submit(mkJob("b", 0, 3, 50, 50))
+	c.Submit(mkJob("long", 0, 1, 500, 500))
+	started := c.Tick(1000)
+	if len(started) != 1 || started[0].Job.ID != "long" {
+		t.Fatalf("spare backfill = %v", started)
+	}
+}
+
+func TestEASYJobLargerThanMachine(t *testing.T) {
+	c := NewCluster(4, EASY{})
+	c.Submit(mkJob("huge", 0, 8, 10, 10))
+	c.Submit(mkJob("small", 0, 1, 10, 10))
+	// Huge can never run; small backfills unobstructed.
+	started := c.Tick(0)
+	if len(started) != 1 || started[0].Job.ID != "small" {
+		t.Fatalf("started = %v", started)
+	}
+}
+
+func TestCompleteFreesNodes(t *testing.T) {
+	c := NewCluster(4, FCFS{})
+	c.Submit(mkJob("a", 0, 4, 10, 10))
+	c.Tick(0)
+	if c.FreeNodes() != 0 {
+		t.Fatal("nodes not allocated")
+	}
+	if err := c.Complete("a", 10_000); err != nil {
+		t.Fatal(err)
+	}
+	if c.FreeNodes() != 4 {
+		t.Fatal("nodes not freed")
+	}
+	if err := c.Complete("a", 10_000); err == nil {
+		t.Fatal("double complete should error")
+	}
+	fin := c.Finished()
+	if len(fin) != 1 || fin[0].EndTime != 10_000 {
+		t.Fatalf("finished = %v", fin)
+	}
+}
+
+func TestPowerAwareRespectsBudget(t *testing.T) {
+	c := NewCluster(8, PowerAware{})
+	c.PowerBudgetW = 1000
+	c.CurrentPowerW = 0
+	c.EstimatePowerW = func(j *workload.Job) float64 { return float64(j.Nodes) * 300 }
+	c.Submit(mkJob("a", 0, 2, 100, 100)) // 600 W -> fits
+	c.Submit(mkJob("b", 0, 2, 100, 100)) // 600 W -> would breach 1000
+	c.Submit(mkJob("c", 0, 1, 100, 100)) // 300 W -> fits in remaining 400
+	started := c.Tick(0)
+	ids := map[string]bool{}
+	for _, a := range started {
+		ids[a.Job.ID] = true
+	}
+	if !ids["a"] || ids["b"] || !ids["c"] {
+		t.Fatalf("power-aware started %v", ids)
+	}
+	// Without a budget it behaves like its inner policy.
+	c2 := NewCluster(8, PowerAware{})
+	c2.Submit(mkJob("a", 0, 2, 100, 100))
+	c2.Submit(mkJob("b", 0, 2, 100, 100))
+	if started := c2.Tick(0); len(started) != 2 {
+		t.Fatalf("uncapped power-aware started %d", len(started))
+	}
+}
+
+func TestPlanBasedPrefersShortJobs(t *testing.T) {
+	c := NewCluster(2, PlanBased{})
+	c.Submit(mkJob("big", 0, 2, 1000, 1000))
+	c.Submit(mkJob("tiny", 0, 1, 10, 10))
+	started := c.Tick(0)
+	// Plan-based reorders: tiny (area 10) before big (area 2000); big then
+	// doesn't fit alongside.
+	if len(started) != 1 || started[0].Job.ID != "tiny" {
+		t.Fatalf("plan-based started = %v", started)
+	}
+}
+
+func TestPlanBasedAgeingPreventsStarvation(t *testing.T) {
+	p := PlanBased{AgeWeight: 10}
+	old := mkJob("old", 0, 1, 1000, 1000)
+	fresh := mkJob("new", 999_000, 1, 10, 10)
+	ctx := &Context{Now: 1_000_000, FreeNodes: 1, TotalNodes: 1}
+	sel := p.Select([]*workload.Job{old, fresh}, ctx)
+	if len(sel) == 0 || sel[0].ID != "old" {
+		t.Fatalf("aged job not prioritized: %v", sel)
+	}
+}
+
+func TestPredictRuntimeFeedsEstimates(t *testing.T) {
+	c := NewCluster(4, EASY{})
+	// Runtime prediction says the running job ends much sooner than its
+	// request, changing the backfill window.
+	c.PredictRuntime = func(j *workload.Job) float64 { return 10 }
+	c.Submit(mkJob("a", 0, 4, 10, 10_000)) // requests ~3h, really 10s
+	c.Tick(0)
+	allocs := c.RunningJobs()
+	if len(allocs) != 1 {
+		t.Fatal("a not running")
+	}
+	if allocs[0].EstEndTime != 10_000 {
+		t.Fatalf("EstEndTime = %d, prediction ignored", allocs[0].EstEndTime)
+	}
+}
+
+func TestMetrics(t *testing.T) {
+	c := NewCluster(2, FCFS{})
+	c.Submit(mkJob("a", 0, 2, 60, 60))
+	c.Submit(mkJob("b", 0, 2, 60, 60))
+	c.Tick(0)
+	_ = c.Complete("a", 60_000)
+	c.Tick(60_000)
+	_ = c.Complete("b", 120_000)
+	c.Tick(120_000)
+	m := c.MetricsAt(120_000)
+	if m.FinishedJobs != 2 || m.StartedJobs != 2 {
+		t.Fatalf("metrics = %+v", m)
+	}
+	// a waited 0, b waited 60 s.
+	if m.MeanWaitSec != 30 {
+		t.Fatalf("mean wait = %v", m.MeanWaitSec)
+	}
+	// Machine was fully busy the whole time.
+	if m.Utilization < 0.99 || m.Utilization > 1.01 {
+		t.Fatalf("utilization = %v", m.Utilization)
+	}
+	if m.Policy != "fcfs" {
+		t.Fatalf("policy = %s", m.Policy)
+	}
+	// Slowdown: a = 1, b = (60+60)/60 = 2.
+	if m.MeanSlowdown != 1.5 {
+		t.Fatalf("mean slowdown = %v", m.MeanSlowdown)
+	}
+}
+
+func TestPolicyNames(t *testing.T) {
+	for _, p := range []Policy{FCFS{}, EASY{}, PowerAware{}, PlanBased{}} {
+		if p.Name() == "" {
+			t.Fatal("empty policy name")
+		}
+	}
+}
+
+func TestSchedulerThroughputUnderLoad(t *testing.T) {
+	// End-to-end sanity: 64 nodes, EASY, synthetic stream; everything
+	// eventually runs.
+	c := NewCluster(64, EASY{})
+	gen := workload.NewGenerator(workload.DefaultGeneratorConfig(5, 32))
+	jobs := gen.GenerateUntil(0, 4*3600*1000)
+	ji := 0
+	step := int64(10_000)
+	for now := int64(0); now < 48*3600*1000; now += step {
+		for ji < len(jobs) && jobs[ji].SubmitTime <= now {
+			c.Submit(jobs[ji])
+			ji++
+		}
+		c.Tick(now)
+		// Jobs complete at their ideal runtime (no contention here).
+		for _, a := range c.RunningJobs() {
+			if float64(now-a.Job.StartTime)/1000 >= a.Job.IdealRuntime() {
+				if err := c.Complete(a.Job.ID, now); err != nil {
+					t.Fatal(err)
+				}
+			}
+		}
+		if ji >= len(jobs) && c.QueueLength() == 0 && len(c.RunningJobs()) == 0 {
+			break
+		}
+	}
+	if got := len(c.Finished()); got != len(jobs) {
+		t.Fatalf("finished %d of %d jobs", got, len(jobs))
+	}
+	m := c.MetricsAt(48 * 3600 * 1000)
+	if m.MeanSlowdown < 1 {
+		t.Fatalf("slowdown = %v", m.MeanSlowdown)
+	}
+}
+
+func TestEASYBeatsFCFSOnMixedLoad(t *testing.T) {
+	run := func(p Policy) Metrics {
+		c := NewCluster(16, p)
+		gen := workload.NewGenerator(workload.GeneratorConfig{
+			Seed: 11, Users: 8, MeanInterarrival: 60, DiurnalStrength: 0, MaxNodes: 16,
+		})
+		jobs := gen.GenerateUntil(0, 6*3600*1000)
+		ji := 0
+		var now int64
+		for now = int64(0); now < 72*3600*1000; now += 10_000 {
+			for ji < len(jobs) && jobs[ji].SubmitTime <= now {
+				c.Submit(jobs[ji])
+				ji++
+			}
+			c.Tick(now)
+			for _, a := range c.RunningJobs() {
+				if float64(now-a.Job.StartTime)/1000 >= a.Job.IdealRuntime() {
+					_ = c.Complete(a.Job.ID, now)
+				}
+			}
+			if ji >= len(jobs) && c.QueueLength() == 0 && len(c.RunningJobs()) == 0 {
+				break
+			}
+		}
+		return c.MetricsAt(now)
+	}
+	fcfs := run(FCFS{})
+	easy := run(EASY{})
+	if easy.MeanWaitSec >= fcfs.MeanWaitSec {
+		t.Fatalf("EASY mean wait %.0fs should beat FCFS %.0fs", easy.MeanWaitSec, fcfs.MeanWaitSec)
+	}
+}

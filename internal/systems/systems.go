@@ -1,0 +1,190 @@
+// Package systems composes individual capabilities into the complex ODA
+// systems of the paper's Fig. 3 — the multi-type and multi-pillar
+// deployments §V discusses:
+//
+//   - ENI: Bortot et al.'s facility system — diagnostic anomaly detection
+//     (stress-test aided) feeding prescriptive cooling control, all within
+//     the building-infrastructure pillar (multi-type, single-pillar).
+//   - GEOPM: Eastep et al.'s node power manager — predictive instruction-mix
+//     analysis feeding prescriptive DVFS in the system-hardware pillar.
+//   - Powerstack: the cross-pillar power-management stack — application-level
+//     power prediction, system-software scheduling budget enforcement and
+//     hardware DVFS acting together (multi-pillar, multi-type).
+//
+// Each system is an oda.Pipeline plus the controllers it installs, so the
+// staged model of Fig. 2 is visible in the composition itself.
+package systems
+
+import (
+	"fmt"
+
+	"repro/internal/diagnostic"
+	"repro/internal/oda"
+	"repro/internal/predictive"
+	"repro/internal/prescriptive"
+	"repro/internal/simulation"
+	"repro/internal/workload"
+)
+
+// System is a named multi-cell ODA composition.
+type System struct {
+	Name string
+	// Cells the composition covers (for Fig. 3 rendering).
+	Cells []oda.Cell
+	// Pipeline is the staged analysis chain.
+	Pipeline *oda.Pipeline
+	// Controllers are the automated actuation loops the system installs
+	// when deployed on a live data center.
+	Controllers []simulation.Controller
+}
+
+// Deploy attaches the system's controllers to a data center.
+func (s *System) Deploy(dc *simulation.DataCenter) {
+	for _, c := range s.Controllers {
+		dc.AddController(c)
+	}
+}
+
+// Run executes the analysis pipeline over a window.
+func (s *System) Run(ctx *oda.RunContext) ([]oda.StageResult, error) {
+	return s.Pipeline.Run(ctx)
+}
+
+// NewENI builds the Bortot-style facility system: infrastructure anomaly
+// detection (diagnostic) chained into anomaly response and setpoint
+// optimization (prescriptive), plus the automated setpoint controller.
+func NewENI() (*System, error) {
+	var p oda.Pipeline
+	if err := p.Append(oda.Diagnostic, diagnostic.InfraAnomaly{}); err != nil {
+		return nil, err
+	}
+	if err := p.Append(oda.Prescriptive, prescriptive.AnomalyResponse{}); err != nil {
+		return nil, err
+	}
+	return &System{
+		Name: "eni",
+		Cells: []oda.Cell{
+			{Pillar: oda.BuildingInfrastructure, Type: oda.Diagnostic},
+			{Pillar: oda.BuildingInfrastructure, Type: oda.Prescriptive},
+		},
+		Pipeline:    &p,
+		Controllers: []simulation.Controller{prescriptive.SetpointOptimizer{}.Controller()},
+	}, nil
+}
+
+// NewGEOPM builds the GEOPM-like node power manager: instruction-mix
+// prediction (predictive) chained into a DVFS pass (prescriptive), plus the
+// automated governor.
+func NewGEOPM() (*System, error) {
+	var p oda.Pipeline
+	if err := p.Append(oda.Predictive, predictive.InstMix{}); err != nil {
+		return nil, err
+	}
+	if err := p.Append(oda.Prescriptive, prescriptive.DVFSGovernor{}); err != nil {
+		return nil, err
+	}
+	return &System{
+		Name: "geopm",
+		Cells: []oda.Cell{
+			{Pillar: oda.SystemHardware, Type: oda.Predictive},
+			{Pillar: oda.SystemHardware, Type: oda.Prescriptive},
+		},
+		Pipeline:    &p,
+		Controllers: []simulation.Controller{prescriptive.DVFSGovernor{}.Controller()},
+	}, nil
+}
+
+// NewPowerstack builds the cross-pillar power stack: job power prediction
+// (applications/predictive), power-budget scheduling (system software/
+// prescriptive) and the DVFS governor (system hardware/prescriptive).
+func NewPowerstack(budgetW float64) (*System, error) {
+	var p oda.Pipeline
+	if err := p.Append(oda.Predictive, predictive.ResourceUsage{}); err != nil {
+		return nil, err
+	}
+	if err := p.Append(oda.Prescriptive, prescriptive.PowerBudget{BudgetW: budgetW}); err != nil {
+		return nil, err
+	}
+	if err := p.Append(oda.Prescriptive, prescriptive.DVFSGovernor{}); err != nil {
+		return nil, err
+	}
+	return &System{
+		Name: "powerstack",
+		Cells: []oda.Cell{
+			{Pillar: oda.Applications, Type: oda.Predictive},
+			{Pillar: oda.SystemSoftware, Type: oda.Prescriptive},
+			{Pillar: oda.SystemHardware, Type: oda.Prescriptive},
+		},
+		Pipeline: &p,
+		Controllers: []simulation.Controller{
+			prescriptive.DVFSGovernor{}.Controller(),
+			powerBudgetController(budgetW),
+		},
+	}, nil
+}
+
+// powerBudgetController periodically retrains the power estimator and
+// enforces the budget on the live scheduler.
+func powerBudgetController(budgetW float64) simulation.Controller {
+	return simulation.ControllerFunc{
+		ControllerName: "power-budget",
+		Fn: func(dc *simulation.DataCenter, now int64) {
+			ctx := &oda.RunContext{Store: dc.Store, From: 0, To: now + 1, System: dc}
+			if _, err := (prescriptive.PowerBudget{BudgetW: budgetW}).Run(ctx); err != nil {
+				// Not enough history yet: enforce the cap with a nameplate
+				// estimate until the model can train.
+				dc.Cluster.PowerBudgetW = budgetW
+				if dc.Cluster.EstimatePowerW == nil {
+					dc.Cluster.EstimatePowerW = func(j *workload.Job) float64 {
+						return float64(j.Nodes) * 430 // nameplate per node
+					}
+				}
+			}
+		},
+	}
+}
+
+// All returns every Fig. 3 system with default parameters.
+func All() ([]*System, error) {
+	eni, err := NewENI()
+	if err != nil {
+		return nil, err
+	}
+	geopm, err := NewGEOPM()
+	if err != nil {
+		return nil, err
+	}
+	ps, err := NewPowerstack(0)
+	if err != nil {
+		return nil, err
+	}
+	return []*System{eni, geopm, ps}, nil
+}
+
+// RenderFig3 renders each system's cell coverage as a text grid, the
+// reproduction of the paper's Fig. 3.
+func RenderFig3(systems []*System) string {
+	out := ""
+	for _, s := range systems {
+		out += fmt.Sprintf("%s:\n", s.Name)
+		covered := map[oda.Cell]bool{}
+		for _, c := range s.Cells {
+			covered[c] = true
+		}
+		types := oda.Types()
+		for i := len(types) - 1; i >= 0; i-- {
+			t := types[i]
+			row := fmt.Sprintf("  %-12s", t.String())
+			for _, p := range oda.Pillars() {
+				mark := " . "
+				if covered[oda.Cell{Pillar: p, Type: t}] {
+					mark = " X "
+				}
+				row += mark
+			}
+			out += row + "\n"
+		}
+		out += "                BI  HW  SW  APP\n"
+	}
+	return out
+}

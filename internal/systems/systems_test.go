@@ -1,0 +1,185 @@
+package systems
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/oda"
+	"repro/internal/simulation"
+)
+
+func runDC(seed int64, deploy func(dc *simulation.DataCenter), hours float64) *simulation.DataCenter {
+	cfg := simulation.DefaultConfig(seed)
+	cfg.Nodes = 16
+	cfg.Workload.MaxNodes = 8
+	cfg.Workload.MeanInterarrival = 60
+	dc := simulation.New(cfg)
+	if deploy != nil {
+		deploy(dc)
+	}
+	dc.RunFor(hours * 3600)
+	return dc
+}
+
+func TestAllSystemsConstruct(t *testing.T) {
+	all, err := All()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(all) != 3 {
+		t.Fatalf("systems = %d", len(all))
+	}
+	names := map[string]bool{}
+	for _, s := range all {
+		names[s.Name] = true
+		if s.Pipeline.Len() < 2 {
+			t.Fatalf("%s pipeline too short", s.Name)
+		}
+		if len(s.Cells) < 2 {
+			t.Fatalf("%s covers %d cells", s.Name, len(s.Cells))
+		}
+	}
+	for _, want := range []string{"eni", "geopm", "powerstack"} {
+		if !names[want] {
+			t.Fatalf("missing system %s", want)
+		}
+	}
+}
+
+func TestENIPipelineRuns(t *testing.T) {
+	dc := runDC(801, nil, 8)
+	eni, err := NewENI()
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := &oda.RunContext{Store: dc.Store, From: 0, To: dc.Now() + 1, System: dc}
+	results, err := eni.Run(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 2 {
+		t.Fatalf("stages = %d", len(results))
+	}
+	if results[0].Type != oda.Diagnostic || results[1].Type != oda.Prescriptive {
+		t.Fatal("stage order wrong")
+	}
+	// The prescriptive stage saw the diagnostic result.
+	if results[1].Result.Summary == "" {
+		t.Fatal("no response summary")
+	}
+}
+
+func TestGEOPMDeploymentSavesEnergy(t *testing.T) {
+	base := runDC(802, nil, 10)
+	geopm, err := NewGEOPM()
+	if err != nil {
+		t.Fatal(err)
+	}
+	governed := runDC(802, geopm.Deploy, 10)
+	var baseE, govE float64
+	for _, n := range base.Nodes {
+		baseE += n.Energy()
+	}
+	for _, n := range governed.Nodes {
+		govE += n.Energy()
+	}
+	if govE >= baseE {
+		t.Fatalf("GEOPM-like system saved no energy: %.0f vs %.0f J", govE, baseE)
+	}
+}
+
+func TestPowerstackCapsPower(t *testing.T) {
+	budget := 3500.0
+	ps, err := NewPowerstack(budget)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dc := runDC(803, ps.Deploy, 10)
+	if dc.Cluster.PowerBudgetW != budget {
+		t.Fatalf("budget not installed: %v", dc.Cluster.PowerBudgetW)
+	}
+	if dc.Cluster.EstimatePowerW == nil {
+		t.Fatal("estimator not installed")
+	}
+	// The budget plus idle floor bounds achieved IT power.
+	idleFloor := float64(len(dc.Nodes)) * 95
+	if p := dc.ITPower(); p > idleFloor+budget*1.5 {
+		t.Fatalf("IT power %v far above budget %v", p, budget)
+	}
+	// Pipeline runs end to end over the archive.
+	ctx := &oda.RunContext{Store: dc.Store, From: 0, To: dc.Now() + 1, System: dc}
+	results, err := ps.Run(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 3 {
+		t.Fatalf("stages = %d", len(results))
+	}
+}
+
+func TestRenderFig3(t *testing.T) {
+	all, err := All()
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := RenderFig3(all)
+	for _, want := range []string{"eni:", "geopm:", "powerstack:", "prescriptive", " X "} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("Fig. 3 rendering missing %q:\n%s", want, out)
+		}
+	}
+	// Powerstack is the multi-pillar one: its rows must mark >= 2 pillars
+	// across prescriptive cells.
+	psLines := strings.Split(out, "powerstack:")[1]
+	prescLine := ""
+	for _, l := range strings.Split(psLines, "\n") {
+		if strings.Contains(l, "prescriptive") {
+			prescLine = l
+		}
+	}
+	if strings.Count(prescLine, " X ") < 2 {
+		t.Fatalf("powerstack prescriptive row: %q", prescLine)
+	}
+}
+
+func TestSystemsConstructionErrorsPropagate(t *testing.T) {
+	// The constructors must produce pipelines whose stage types are in
+	// staged order; verify by running each against a live center and
+	// checking the stage sequence is non-decreasing.
+	dc := runDC(804, nil, 6)
+	ctx := &oda.RunContext{Store: dc.Store, From: 0, To: dc.Now() + 1, System: dc}
+	all, err := All()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, s := range all {
+		results, err := s.Run(ctx)
+		if err != nil {
+			t.Fatalf("%s: %v", s.Name, err)
+		}
+		for i := 1; i < len(results); i++ {
+			if results[i].Type < results[i-1].Type {
+				t.Fatalf("%s: stage order violated", s.Name)
+			}
+		}
+		// Cells and pipeline stages are consistent in count.
+		if s.Pipeline.Len() == 0 || len(s.Controllers) == 0 {
+			t.Fatalf("%s: empty composition", s.Name)
+		}
+	}
+}
+
+func TestENIControllerLoopImprovesOverStatic(t *testing.T) {
+	// Deploying ENI's controllers on a healthy (auto-mode) center must not
+	// make PUE worse: the controllers only move knobs within safe bounds.
+	base := runDC(805, nil, 8)
+	eni, err := NewENI()
+	if err != nil {
+		t.Fatal(err)
+	}
+	managed := runDC(805, eni.Deploy, 8)
+	if managed.Facility.CumulativePUE() > base.Facility.CumulativePUE()*1.05 {
+		t.Fatalf("ENI made a healthy plant worse: %.4f vs %.4f",
+			managed.Facility.CumulativePUE(), base.Facility.CumulativePUE())
+	}
+}

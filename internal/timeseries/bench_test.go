@@ -1,0 +1,53 @@
+package timeseries
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/metric"
+)
+
+// BenchmarkChunkAppend measures Gorilla encode throughput on realistic
+// slowly-varying telemetry.
+func BenchmarkChunkAppend(b *testing.B) {
+	c := NewChunk()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		_ = c.Append(int64(i)*60000, 55+math.Sin(float64(i)/50))
+	}
+}
+
+// BenchmarkChunkIterate measures decode throughput over a full chunk.
+func BenchmarkChunkIterate(b *testing.B) {
+	c := NewChunk()
+	for i := 0; i < 10_000; i++ {
+		_ = c.Append(int64(i)*60000, 55+math.Sin(float64(i)/50))
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		it := c.Iter()
+		for it.Next() {
+		}
+		if it.Err() != nil {
+			b.Fatal(it.Err())
+		}
+	}
+}
+
+// BenchmarkStoreSnapshot measures the "current state vector" query pattern
+// diagnostic analytics issue repeatedly.
+func BenchmarkStoreSnapshot(b *testing.B) {
+	s := NewStore(0)
+	for n := 0; n < 64; n++ {
+		id := metric.ID{Name: "power", Labels: metric.NewLabels("node", string(rune('a'+n%26))+string(rune('0'+n/26)))}
+		for i := int64(0); i < 1000; i++ {
+			_ = s.Append(id, metric.Gauge, metric.UnitWatt, i*1000, float64(i))
+		}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if snap := s.Snapshot("power", nil); len(snap) != 64 {
+			b.Fatal("snapshot size")
+		}
+	}
+}

@@ -1,0 +1,75 @@
+// Package timeseries implements the embedded time-series database the ODA
+// stack archives telemetry into: Gorilla-compressed chunks (delta-of-delta
+// timestamps, XOR floats), a concurrency-safe store keyed by metric ID,
+// range queries, windowed aggregation, downsampling and retention.
+package timeseries
+
+import "errors"
+
+// ErrEOS is returned by the bit reader at end of stream.
+var ErrEOS = errors.New("timeseries: end of stream")
+
+// bitWriter appends bits to a byte buffer, MSB first.
+type bitWriter struct {
+	buf   []byte
+	nbits uint8 // bits already used in the last byte (0-7; 0 means full/empty)
+}
+
+func (w *bitWriter) writeBit(bit bool) {
+	if w.nbits == 0 {
+		w.buf = append(w.buf, 0)
+		w.nbits = 8
+	}
+	w.nbits--
+	if bit {
+		w.buf[len(w.buf)-1] |= 1 << w.nbits
+	}
+}
+
+// writeBits writes the lowest n bits of v, most significant first.
+func (w *bitWriter) writeBits(v uint64, n uint8) {
+	for n > 0 {
+		n--
+		w.writeBit(v&(1<<n) != 0)
+	}
+}
+
+// bytes returns the written stream.
+func (w *bitWriter) bytes() []byte { return w.buf }
+
+// bitReader consumes bits from a byte slice, MSB first.
+type bitReader struct {
+	buf   []byte
+	pos   int   // byte position
+	nbits uint8 // bits consumed in current byte
+}
+
+func newBitReader(buf []byte) *bitReader { return &bitReader{buf: buf} }
+
+func (r *bitReader) readBit() (bool, error) {
+	if r.pos >= len(r.buf) {
+		return false, ErrEOS
+	}
+	bit := r.buf[r.pos]&(1<<(7-r.nbits)) != 0
+	r.nbits++
+	if r.nbits == 8 {
+		r.nbits = 0
+		r.pos++
+	}
+	return bit, nil
+}
+
+func (r *bitReader) readBits(n uint8) (uint64, error) {
+	var v uint64
+	for i := uint8(0); i < n; i++ {
+		bit, err := r.readBit()
+		if err != nil {
+			return 0, err
+		}
+		v <<= 1
+		if bit {
+			v |= 1
+		}
+	}
+	return v, nil
+}

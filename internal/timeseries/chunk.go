@@ -1,0 +1,305 @@
+package timeseries
+
+import (
+	"encoding/binary"
+	"errors"
+	"math"
+	"math/bits"
+
+	"repro/internal/metric"
+)
+
+// Chunk is a Gorilla-compressed run of samples: timestamps are stored as
+// delta-of-delta, values as XOR against the previous value (Pelkonen et al.,
+// "Gorilla: A Fast, Scalable, In-Memory Time Series Database", VLDB 2015).
+// Samples must be appended in strictly increasing timestamp order.
+type Chunk struct {
+	w     bitWriter
+	count int
+
+	firstT int64
+	lastT  int64
+	lastV  float64
+	delta  int64
+
+	leading  uint8
+	trailing uint8
+	hasWin   bool // whether a previous XOR window exists
+
+	minV, maxV float64
+}
+
+// NewChunk returns an empty chunk.
+func NewChunk() *Chunk { return &Chunk{} }
+
+// Count returns the number of samples in the chunk.
+func (c *Chunk) Count() int { return c.count }
+
+// Bytes returns the compressed size in bytes.
+func (c *Chunk) Bytes() int { return len(c.w.buf) }
+
+// FirstTime and LastTime return the chunk's covered time range. Both are
+// only meaningful when Count() > 0.
+func (c *Chunk) FirstTime() int64 { return c.firstT }
+
+// LastTime returns the timestamp of the most recent sample.
+func (c *Chunk) LastTime() int64 { return c.lastT }
+
+// Min returns the smallest value appended.
+func (c *Chunk) Min() float64 { return c.minV }
+
+// Max returns the largest value appended.
+func (c *Chunk) Max() float64 { return c.maxV }
+
+// Append adds a sample; timestamps must strictly increase.
+func (c *Chunk) Append(t int64, v float64) error {
+	switch c.count {
+	case 0:
+		var hdr [16]byte
+		binary.BigEndian.PutUint64(hdr[:8], uint64(t))
+		binary.BigEndian.PutUint64(hdr[8:], math.Float64bits(v))
+		c.w.buf = append(c.w.buf, hdr[:]...)
+		c.firstT = t
+		c.minV, c.maxV = v, v
+	case 1:
+		if t <= c.lastT {
+			return errors.New("timeseries: out-of-order append")
+		}
+		c.delta = t - c.lastT
+		// First delta: 14-bit default would overflow for sparse series;
+		// use a 1+35-bit scheme: '0' for deltas < 2^14, '1' + 35 bits raw.
+		if c.delta < 1<<14 {
+			c.w.writeBit(false)
+			c.w.writeBits(uint64(c.delta), 14)
+		} else {
+			c.w.writeBit(true)
+			c.w.writeBits(uint64(c.delta), 35)
+		}
+		c.writeValue(v)
+	default:
+		if t <= c.lastT {
+			return errors.New("timeseries: out-of-order append")
+		}
+		delta := t - c.lastT
+		dod := delta - c.delta
+		c.delta = delta
+		switch {
+		case dod == 0:
+			c.w.writeBit(false)
+		case dod >= -63 && dod <= 64:
+			c.w.writeBits(0b10, 2)
+			c.w.writeBits(uint64(dod+63), 7)
+		case dod >= -255 && dod <= 256:
+			c.w.writeBits(0b110, 3)
+			c.w.writeBits(uint64(dod+255), 9)
+		case dod >= -2047 && dod <= 2048:
+			c.w.writeBits(0b1110, 4)
+			c.w.writeBits(uint64(dod+2047), 12)
+		default:
+			c.w.writeBits(0b1111, 4)
+			c.w.writeBits(uint64(dod), 64)
+		}
+		c.writeValue(v)
+	}
+	c.lastT = t
+	c.lastV = v
+	if v < c.minV {
+		c.minV = v
+	}
+	if v > c.maxV {
+		c.maxV = v
+	}
+	c.count++
+	return nil
+}
+
+func (c *Chunk) writeValue(v float64) {
+	xor := math.Float64bits(v) ^ math.Float64bits(c.lastV)
+	if xor == 0 {
+		c.w.writeBit(false)
+		return
+	}
+	c.w.writeBit(true)
+	leading := uint8(bits.LeadingZeros64(xor))
+	trailing := uint8(bits.TrailingZeros64(xor))
+	if leading > 31 { // cap so the 5-bit field fits
+		leading = 31
+	}
+	if c.hasWin && leading >= c.leading && trailing >= c.trailing {
+		// Reuse the previous window.
+		c.w.writeBit(false)
+		sig := 64 - c.leading - c.trailing
+		c.w.writeBits(xor>>c.trailing, sig)
+		return
+	}
+	// New window: 5 bits leading, 6 bits significant count (64 -> 0).
+	c.leading = leading
+	c.trailing = trailing
+	c.hasWin = true
+	sig := 64 - leading - trailing
+	c.w.writeBit(true)
+	c.w.writeBits(uint64(leading), 5)
+	c.w.writeBits(uint64(sig&0x3F), 6)
+	c.w.writeBits(xor>>trailing, sig)
+}
+
+// Iter returns an iterator over the chunk's samples.
+func (c *Chunk) Iter() *ChunkIter {
+	return &ChunkIter{r: newBitReader(c.w.bytes()), remaining: c.count}
+}
+
+// ChunkIter decodes a chunk sample by sample.
+type ChunkIter struct {
+	r         *bitReader
+	remaining int
+	idx       int
+
+	t     int64
+	v     float64
+	delta int64
+
+	leading  uint8
+	trailing uint8
+
+	err error
+}
+
+// Next advances to the next sample, returning false at the end or on a
+// decoding error (see Err).
+func (it *ChunkIter) Next() bool {
+	if it.remaining == 0 || it.err != nil {
+		return false
+	}
+	if it.idx == 0 {
+		if it.r.pos+16 > len(it.r.buf) {
+			it.err = ErrEOS
+			return false
+		}
+		it.t = int64(binary.BigEndian.Uint64(it.r.buf[:8]))
+		it.v = math.Float64frombits(binary.BigEndian.Uint64(it.r.buf[8:16]))
+		it.r.pos = 16
+	} else if it.idx == 1 {
+		wide, err := it.r.readBit()
+		if err != nil {
+			it.err = err
+			return false
+		}
+		n := uint8(14)
+		if wide {
+			n = 35
+		}
+		d, err := it.r.readBits(n)
+		if err != nil {
+			it.err = err
+			return false
+		}
+		it.delta = int64(d)
+		it.t += it.delta
+		if !it.readValue() {
+			return false
+		}
+	} else {
+		dod, ok := it.readDoD()
+		if !ok {
+			return false
+		}
+		it.delta += dod
+		it.t += it.delta
+		if !it.readValue() {
+			return false
+		}
+	}
+	it.idx++
+	it.remaining--
+	return true
+}
+
+func (it *ChunkIter) readDoD() (int64, bool) {
+	// Count leading ones of the selector (max 4).
+	var selector uint8
+	for selector < 4 {
+		bit, err := it.r.readBit()
+		if err != nil {
+			it.err = err
+			return 0, false
+		}
+		if !bit {
+			break
+		}
+		selector++
+	}
+	var nbits uint8
+	var bias int64
+	switch selector {
+	case 0:
+		return 0, true
+	case 1:
+		nbits, bias = 7, 63
+	case 2:
+		nbits, bias = 9, 255
+	case 3:
+		nbits, bias = 12, 2047
+	case 4:
+		raw, err := it.r.readBits(64)
+		if err != nil {
+			it.err = err
+			return 0, false
+		}
+		return int64(raw), true
+	}
+	raw, err := it.r.readBits(nbits)
+	if err != nil {
+		it.err = err
+		return 0, false
+	}
+	return int64(raw) - bias, true
+}
+
+func (it *ChunkIter) readValue() bool {
+	changed, err := it.r.readBit()
+	if err != nil {
+		it.err = err
+		return false
+	}
+	if !changed {
+		return true
+	}
+	newWin, err := it.r.readBit()
+	if err != nil {
+		it.err = err
+		return false
+	}
+	if newWin {
+		lead, err := it.r.readBits(5)
+		if err != nil {
+			it.err = err
+			return false
+		}
+		sigRaw, err := it.r.readBits(6)
+		if err != nil {
+			it.err = err
+			return false
+		}
+		sig := uint8(sigRaw)
+		if sig == 0 {
+			sig = 64
+		}
+		it.leading = uint8(lead)
+		it.trailing = 64 - it.leading - sig
+	}
+	sig := 64 - it.leading - it.trailing
+	raw, err := it.r.readBits(sig)
+	if err != nil {
+		it.err = err
+		return false
+	}
+	xor := raw << it.trailing
+	it.v = math.Float64frombits(math.Float64bits(it.v) ^ xor)
+	return true
+}
+
+// At returns the current sample.
+func (it *ChunkIter) At() metric.Sample { return metric.Sample{T: it.t, V: it.v} }
+
+// Err returns the first decoding error encountered, if any.
+func (it *ChunkIter) Err() error { return it.err }

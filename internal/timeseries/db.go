@@ -1,0 +1,381 @@
+package timeseries
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+
+	"repro/internal/metric"
+	"repro/internal/stats"
+)
+
+// DefaultChunkSize is how many samples a chunk holds before a new one is
+// started; 120 follows the Gorilla paper's two-hour blocks at 60 s cadence.
+const DefaultChunkSize = 120
+
+// Store is a concurrency-safe in-memory TSDB holding Gorilla-compressed
+// series keyed by metric ID.
+type Store struct {
+	mu        sync.RWMutex
+	series    map[string]*storedSeries
+	order     []string
+	chunkSize int
+}
+
+type storedSeries struct {
+	id     metric.ID
+	kind   metric.Kind
+	unit   metric.Unit
+	chunks []*Chunk
+	lastT  int64
+}
+
+// NewStore returns an empty store with the given samples-per-chunk (0 uses
+// DefaultChunkSize).
+func NewStore(chunkSize int) *Store {
+	if chunkSize <= 0 {
+		chunkSize = DefaultChunkSize
+	}
+	return &Store{series: make(map[string]*storedSeries), chunkSize: chunkSize}
+}
+
+// Append ingests one sample for the identified series, creating it on first
+// use. Out-of-order samples are rejected with an error, mirroring the
+// monitoring-fabric ingest policy.
+func (s *Store) Append(id metric.ID, kind metric.Kind, unit metric.Unit, t int64, v float64) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	key := id.Key()
+	ss, ok := s.series[key]
+	if !ok {
+		ss = &storedSeries{id: id, kind: kind, unit: unit}
+		s.series[key] = ss
+		s.order = append(s.order, key)
+	}
+	if len(ss.chunks) > 0 && t <= ss.lastT {
+		return fmt.Errorf("timeseries: out-of-order sample for %s: %d <= %d", key, t, ss.lastT)
+	}
+	if len(ss.chunks) == 0 || ss.chunks[len(ss.chunks)-1].Count() >= s.chunkSize {
+		ss.chunks = append(ss.chunks, NewChunk())
+	}
+	if err := ss.chunks[len(ss.chunks)-1].Append(t, v); err != nil {
+		return err
+	}
+	ss.lastT = t
+	return nil
+}
+
+// AppendSample is Append for a metric.Sample.
+func (s *Store) AppendSample(id metric.ID, kind metric.Kind, unit metric.Unit, sm metric.Sample) error {
+	return s.Append(id, kind, unit, sm.T, sm.V)
+}
+
+// NumSeries returns the number of distinct series.
+func (s *Store) NumSeries() int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return len(s.series)
+}
+
+// NumSamples returns the total stored sample count.
+func (s *Store) NumSamples() int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	n := 0
+	for _, ss := range s.series {
+		for _, c := range ss.chunks {
+			n += c.Count()
+		}
+	}
+	return n
+}
+
+// CompressedBytes returns the total compressed payload size.
+func (s *Store) CompressedBytes() int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	n := 0
+	for _, ss := range s.series {
+		for _, c := range ss.chunks {
+			n += c.Bytes()
+		}
+	}
+	return n
+}
+
+// CompressionRatio returns raw size (16 bytes per sample) over compressed
+// size, or 0 when empty.
+func (s *Store) CompressionRatio() float64 {
+	comp := s.CompressedBytes()
+	if comp == 0 {
+		return 0
+	}
+	return float64(16*s.NumSamples()) / float64(comp)
+}
+
+// IDs returns every stored series ID in first-ingest order.
+func (s *Store) IDs() []metric.ID {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	out := make([]metric.ID, 0, len(s.order))
+	for _, k := range s.order {
+		out = append(out, s.series[k].id)
+	}
+	return out
+}
+
+// Query returns the samples of one series with from <= T < to.
+func (s *Store) Query(id metric.ID, from, to int64) ([]metric.Sample, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	ss, ok := s.series[id.Key()]
+	if !ok {
+		return nil, fmt.Errorf("timeseries: unknown series %s", id.Key())
+	}
+	var out []metric.Sample
+	for _, c := range ss.chunks {
+		if c.Count() == 0 || c.LastTime() < from || c.FirstTime() >= to {
+			continue
+		}
+		it := c.Iter()
+		for it.Next() {
+			sm := it.At()
+			if sm.T < from {
+				continue
+			}
+			if sm.T >= to {
+				break
+			}
+			out = append(out, sm)
+		}
+		if err := it.Err(); err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}
+
+// QueryAll returns every sample of a series.
+func (s *Store) QueryAll(id metric.ID) ([]metric.Sample, error) {
+	return s.Query(id, -1<<62, 1<<62)
+}
+
+// Select returns the IDs of series whose name matches name (any when empty)
+// and whose labels match the selector.
+func (s *Store) Select(name string, sel metric.Labels) []metric.ID {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	var out []metric.ID
+	for _, k := range s.order {
+		ss := s.series[k]
+		if name != "" && ss.id.Name != name {
+			continue
+		}
+		if !ss.id.Labels.Matches(sel) {
+			continue
+		}
+		out = append(out, ss.id)
+	}
+	return out
+}
+
+// Latest returns the most recent sample of a series.
+func (s *Store) Latest(id metric.ID) (metric.Sample, bool) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	ss, ok := s.series[id.Key()]
+	if !ok || len(ss.chunks) == 0 {
+		return metric.Sample{}, false
+	}
+	// Decode only the final chunk.
+	it := ss.chunks[len(ss.chunks)-1].Iter()
+	var last metric.Sample
+	found := false
+	for it.Next() {
+		last = it.At()
+		found = true
+	}
+	return last, found
+}
+
+// AggFunc names a windowed aggregation.
+type AggFunc string
+
+// Supported aggregation functions.
+const (
+	AggMean  AggFunc = "mean"
+	AggMin   AggFunc = "min"
+	AggMax   AggFunc = "max"
+	AggSum   AggFunc = "sum"
+	AggCount AggFunc = "count"
+	AggStd   AggFunc = "std"
+	AggP95   AggFunc = "p95"
+)
+
+// AggPoint is one aggregated window: Start is the window's opening
+// timestamp.
+type AggPoint struct {
+	Start int64
+	Value float64
+}
+
+// Aggregate buckets one series into fixed windows of step milliseconds over
+// [from, to) and applies fn per bucket. Empty buckets are omitted.
+func (s *Store) Aggregate(id metric.ID, from, to, step int64, fn AggFunc) ([]AggPoint, error) {
+	if step <= 0 {
+		return nil, errors.New("timeseries: step must be positive")
+	}
+	samples, err := s.Query(id, from, to)
+	if err != nil {
+		return nil, err
+	}
+	return aggregateSamples(samples, from, step, fn)
+}
+
+func aggregateSamples(samples []metric.Sample, from, step int64, fn AggFunc) ([]AggPoint, error) {
+	var out []AggPoint
+	i := 0
+	for i < len(samples) {
+		bucket := (samples[i].T - from) / step
+		start := from + bucket*step
+		end := start + step
+		j := i
+		var vals []float64
+		for j < len(samples) && samples[j].T < end {
+			vals = append(vals, samples[j].V)
+			j++
+		}
+		v, err := applyAgg(vals, fn)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, AggPoint{Start: start, Value: v})
+		i = j
+	}
+	return out, nil
+}
+
+func applyAgg(vals []float64, fn AggFunc) (float64, error) {
+	switch fn {
+	case AggMean:
+		return stats.Mean(vals), nil
+	case AggSum:
+		sum, _ := stats.Summarize(vals)
+		return sum.Sum, nil
+	case AggMin:
+		sum, _ := stats.Summarize(vals)
+		return sum.Min, nil
+	case AggMax:
+		sum, _ := stats.Summarize(vals)
+		return sum.Max, nil
+	case AggCount:
+		return float64(len(vals)), nil
+	case AggStd:
+		return stats.Std(vals), nil
+	case AggP95:
+		return stats.Quantile(vals, 0.95)
+	default:
+		return 0, fmt.Errorf("timeseries: unknown aggregation %q", fn)
+	}
+}
+
+// Downsample rewrites a series as window means with the given step,
+// returning the new sample count. Windows are aligned to multiples of step.
+// It is the store's retention-friendly way to keep long histories cheap, as
+// the paper's descriptive tier requires.
+func (s *Store) Downsample(id metric.ID, step int64) (int, error) {
+	if step <= 0 {
+		return 0, errors.New("timeseries: step must be positive")
+	}
+	samples, err := s.Query(id, -1<<62, 1<<62)
+	if err != nil {
+		return 0, err
+	}
+	var pts []AggPoint
+	if len(samples) > 0 {
+		base := samples[0].T
+		if base >= 0 {
+			base = base / step * step
+		} else {
+			base = (base - step + 1) / step * step
+		}
+		pts, err = aggregateSamples(samples, base, step, AggMean)
+		if err != nil {
+			return 0, err
+		}
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	ss, ok := s.series[id.Key()]
+	if !ok {
+		return 0, fmt.Errorf("timeseries: unknown series %s", id.Key())
+	}
+	ss.chunks = nil
+	ss.lastT = 0
+	for _, p := range pts {
+		if len(ss.chunks) == 0 || ss.chunks[len(ss.chunks)-1].Count() >= s.chunkSize {
+			ss.chunks = append(ss.chunks, NewChunk())
+		}
+		if err := ss.chunks[len(ss.chunks)-1].Append(p.Start, p.Value); err != nil {
+			return 0, err
+		}
+		ss.lastT = p.Start
+	}
+	return len(pts), nil
+}
+
+// Retain drops whole chunks whose newest sample is older than cutoff,
+// returning how many samples were discarded.
+func (s *Store) Retain(cutoff int64) int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	dropped := 0
+	for _, ss := range s.series {
+		keep := ss.chunks[:0]
+		for _, c := range ss.chunks {
+			if c.Count() > 0 && c.LastTime() < cutoff {
+				dropped += c.Count()
+				continue
+			}
+			keep = append(keep, c)
+		}
+		ss.chunks = keep
+	}
+	return dropped
+}
+
+// SeriesValues extracts just the values of a series in [from, to), a
+// convenience for feeding analytics.
+func (s *Store) SeriesValues(id metric.ID, from, to int64) ([]float64, error) {
+	samples, err := s.Query(id, from, to)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]float64, len(samples))
+	for i, sm := range samples {
+		out[i] = sm.V
+	}
+	return out, nil
+}
+
+// Snapshot returns the latest value of every series matching the selector,
+// ordered by series key: the "current system state vector" diagnostic
+// analytics consumes.
+func (s *Store) Snapshot(name string, sel metric.Labels) []SnapshotEntry {
+	ids := s.Select(name, sel)
+	out := make([]SnapshotEntry, 0, len(ids))
+	for _, id := range ids {
+		if sm, ok := s.Latest(id); ok {
+			out = append(out, SnapshotEntry{ID: id, Sample: sm})
+		}
+	}
+	sort.Slice(out, func(a, b int) bool { return out[a].ID.Key() < out[b].ID.Key() })
+	return out
+}
+
+// SnapshotEntry pairs a series ID with its latest sample.
+type SnapshotEntry struct {
+	ID     metric.ID
+	Sample metric.Sample
+}

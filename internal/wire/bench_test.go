@@ -1,0 +1,43 @@
+package wire
+
+import (
+	"bytes"
+	"testing"
+)
+
+func BenchmarkEncodeBatch(b *testing.B) {
+	batch := sampleBatch()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if out := EncodeBatch(batch); len(out) == 0 {
+			b.Fatal("empty payload")
+		}
+	}
+}
+
+func BenchmarkDecodeBatch(b *testing.B) {
+	payload := EncodeBatch(sampleBatch())
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := DecodeBatch(payload); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFrameRoundTrip(b *testing.B) {
+	payload := EncodeBatch(sampleBatch())
+	var buf bytes.Buffer
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		buf.Reset()
+		if err := WriteFrame(&buf, FrameBatch, payload); err != nil {
+			b.Fatal(err)
+		}
+		if _, _, err := ReadFrame(&buf); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,122 @@
+package wire
+
+import (
+	"bufio"
+	"errors"
+	"io"
+	"log"
+	"net"
+	"sync"
+	"sync/atomic"
+)
+
+// Handler consumes decoded batches on the server side.
+type Handler func(*Batch)
+
+// Server accepts TCP connections from collection agents and dispatches each
+// received batch to the handler. It is the aggregation endpoint of the
+// push-mode collection fabric.
+type Server struct {
+	ln      net.Listener
+	handler Handler
+	wg      sync.WaitGroup
+	closed  atomic.Bool
+
+	batches atomic.Uint64
+	samples atomic.Uint64
+	errors  atomic.Uint64
+}
+
+// NewServer listens on addr ("127.0.0.1:0" picks a free port) and serves
+// until Close.
+func NewServer(addr string, handler Handler) (*Server, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	s := &Server{ln: ln, handler: handler}
+	s.wg.Add(1)
+	go s.acceptLoop()
+	return s, nil
+}
+
+// Addr returns the bound listen address.
+func (s *Server) Addr() string { return s.ln.Addr().String() }
+
+// Batches returns the number of successfully decoded batches.
+func (s *Server) Batches() uint64 { return s.batches.Load() }
+
+// Samples returns the number of samples received across all batches.
+func (s *Server) Samples() uint64 { return s.samples.Load() }
+
+// Errors returns the number of connections dropped due to protocol errors.
+func (s *Server) Errors() uint64 { return s.errors.Load() }
+
+func (s *Server) acceptLoop() {
+	defer s.wg.Done()
+	for {
+		conn, err := s.ln.Accept()
+		if err != nil {
+			return // listener closed
+		}
+		s.wg.Add(1)
+		go s.serveConn(conn)
+	}
+}
+
+func (s *Server) serveConn(conn net.Conn) {
+	defer s.wg.Done()
+	defer conn.Close()
+	r := bufio.NewReader(conn)
+	for {
+		b, err := ReadBatch(r)
+		if err != nil {
+			if !errors.Is(err, io.EOF) && !s.closed.Load() {
+				s.errors.Add(1)
+				log.Printf("wire: connection from %s dropped: %v", conn.RemoteAddr(), err)
+			}
+			return
+		}
+		s.batches.Add(1)
+		for _, rec := range b.Records {
+			s.samples.Add(uint64(len(rec.Samples)))
+		}
+		if s.handler != nil {
+			s.handler(b)
+		}
+	}
+}
+
+// Close stops accepting and waits for in-flight connections to finish.
+func (s *Server) Close() error {
+	s.closed.Store(true)
+	err := s.ln.Close()
+	s.wg.Wait()
+	return err
+}
+
+// Client is an agent-side connection that pushes batches to a server.
+type Client struct {
+	conn net.Conn
+	bw   *BatchWriter
+	mu   sync.Mutex
+}
+
+// Dial connects to a telemetry server.
+func Dial(addr string) (*Client, error) {
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	return &Client{conn: conn, bw: NewBatchWriter(conn)}, nil
+}
+
+// Send pushes one batch; safe for concurrent use.
+func (c *Client) Send(b *Batch) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.bw.Send(b)
+}
+
+// Close closes the connection.
+func (c *Client) Close() error { return c.conn.Close() }

@@ -1,0 +1,90 @@
+package workload
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// Trace I/O in a Standard-Workload-Format-like layout: one job per line,
+// whitespace-separated fields, '#' comments. Fields:
+//
+//	id user class submit_ms nodes req_walltime_s total_work_nodesec mem_gib
+//
+// This lets experiments snapshot a generated workload and replay it across
+// scheduler policies, the way the surveyed scheduling simulators (Batsim,
+// AccaSim, Alea) consume SWF traces.
+
+// WriteTrace writes jobs in trace format.
+func WriteTrace(w io.Writer, jobs []*Job) error {
+	bw := bufio.NewWriter(w)
+	if _, err := fmt.Fprintln(bw, "# id user class submit_ms nodes req_walltime_s total_work_nodesec mem_gib"); err != nil {
+		return err
+	}
+	for _, j := range jobs {
+		if _, err := fmt.Fprintf(bw, "%s %s %s %d %d %.3f %.3f %.1f\n",
+			j.ID, j.User, j.Class, j.SubmitTime, j.Nodes, j.ReqWalltime, j.TotalWork, j.MemoryGiBPerNode); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// ParseClass maps a class name back to its value.
+func ParseClass(s string) (Class, error) {
+	for c := Class(0); c < numClasses; c++ {
+		if c.String() == s {
+			return c, nil
+		}
+	}
+	return 0, fmt.Errorf("workload: unknown class %q", s)
+}
+
+// ReadTrace parses jobs from trace format.
+func ReadTrace(r io.Reader) ([]*Job, error) {
+	var out []*Job
+	sc := bufio.NewScanner(r)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		fields := strings.Fields(line)
+		if len(fields) != 8 {
+			return nil, fmt.Errorf("workload: line %d: want 8 fields, got %d", lineNo, len(fields))
+		}
+		class, err := ParseClass(fields[2])
+		if err != nil {
+			return nil, fmt.Errorf("workload: line %d: %w", lineNo, err)
+		}
+		submit, err := strconv.ParseInt(fields[3], 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("workload: line %d: submit: %w", lineNo, err)
+		}
+		nodes, err := strconv.Atoi(fields[4])
+		if err != nil || nodes < 1 {
+			return nil, fmt.Errorf("workload: line %d: bad node count %q", lineNo, fields[4])
+		}
+		req, err := strconv.ParseFloat(fields[5], 64)
+		if err != nil {
+			return nil, fmt.Errorf("workload: line %d: walltime: %w", lineNo, err)
+		}
+		work, err := strconv.ParseFloat(fields[6], 64)
+		if err != nil {
+			return nil, fmt.Errorf("workload: line %d: work: %w", lineNo, err)
+		}
+		mem, err := strconv.ParseFloat(fields[7], 64)
+		if err != nil {
+			return nil, fmt.Errorf("workload: line %d: mem: %w", lineNo, err)
+		}
+		out = append(out, &Job{
+			ID: fields[0], User: fields[1], Class: class, SubmitTime: submit,
+			Nodes: nodes, ReqWalltime: req, TotalWork: work, MemoryGiBPerNode: mem,
+		})
+	}
+	return out, sc.Err()
+}

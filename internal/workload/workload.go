@@ -1,0 +1,392 @@
+// Package workload models the Applications pillar: HPC jobs with
+// class-specific execution profiles (instruction mix, network and I/O
+// demand, phase structure), a deterministic synthetic job generator with
+// diurnal Poisson arrivals and a skewed user population, and an SWF-like
+// trace reader/writer.
+//
+// Jobs progress in "work units": one unit is one node-second of execution
+// at full frequency with no contention, so a job's actual runtime stretches
+// under DVFS or network contention exactly the way the prescriptive and
+// predictive analytics expect.
+package workload
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+)
+
+// Class is an application behaviour class.
+type Class uint8
+
+// The application classes the generator draws from. CryptoMiner models the
+// abuse case the fingerprinting diagnostics (Taxonomist-style) must catch:
+// maximum compute intensity, no I/O, no network, near-constant profile.
+const (
+	ComputeBound Class = iota
+	MemoryBound
+	IOBound
+	NetworkBound
+	Balanced
+	CryptoMiner
+	numClasses
+)
+
+// NumClasses is the number of application classes.
+const NumClasses = int(numClasses)
+
+// String returns the class name.
+func (c Class) String() string {
+	switch c {
+	case ComputeBound:
+		return "compute"
+	case MemoryBound:
+		return "memory"
+	case IOBound:
+		return "io"
+	case NetworkBound:
+		return "network"
+	case Balanced:
+		return "balanced"
+	case CryptoMiner:
+		return "cryptominer"
+	default:
+		return fmt.Sprintf("class(%d)", uint8(c))
+	}
+}
+
+// Phase is one stage of an application's execution.
+type Phase struct {
+	// WorkFrac is the fraction of the job's total work spent in this phase.
+	WorkFrac float64
+	// Mix of the phase.
+	ComputeFrac float64
+	MemoryFrac  float64
+	IOFrac      float64
+	// Utilization while in this phase.
+	Utilization float64
+	// NetDemand is bytes/second/node of communication during the phase.
+	NetDemand float64
+}
+
+// Profile describes how a class behaves.
+type Profile struct {
+	Class  Class
+	Phases []Phase
+}
+
+// ProfileFor returns the canonical execution profile of a class.
+func ProfileFor(c Class) Profile {
+	switch c {
+	case ComputeBound:
+		return Profile{Class: c, Phases: []Phase{
+			{WorkFrac: 0.1, ComputeFrac: 0.5, MemoryFrac: 0.2, IOFrac: 0.3, Utilization: 0.7, NetDemand: 1e8},
+			{WorkFrac: 0.8, ComputeFrac: 0.9, MemoryFrac: 0.1, Utilization: 0.98, NetDemand: 2e8},
+			{WorkFrac: 0.1, ComputeFrac: 0.3, IOFrac: 0.7, Utilization: 0.6, NetDemand: 5e7},
+		}}
+	case MemoryBound:
+		return Profile{Class: c, Phases: []Phase{
+			{WorkFrac: 0.15, ComputeFrac: 0.6, MemoryFrac: 0.3, IOFrac: 0.1, Utilization: 0.8, NetDemand: 2e8},
+			{WorkFrac: 0.85, ComputeFrac: 0.25, MemoryFrac: 0.7, IOFrac: 0.05, Utilization: 0.92, NetDemand: 3e8},
+		}}
+	case IOBound:
+		return Profile{Class: c, Phases: []Phase{
+			{WorkFrac: 0.3, ComputeFrac: 0.5, MemoryFrac: 0.2, IOFrac: 0.3, Utilization: 0.7, NetDemand: 1e8},
+			{WorkFrac: 0.7, ComputeFrac: 0.15, MemoryFrac: 0.15, IOFrac: 0.7, Utilization: 0.55, NetDemand: 8e8},
+		}}
+	case NetworkBound:
+		return Profile{Class: c, Phases: []Phase{
+			{WorkFrac: 1.0, ComputeFrac: 0.45, MemoryFrac: 0.25, IOFrac: 0.05, Utilization: 0.85, NetDemand: 6e9},
+		}}
+	case CryptoMiner:
+		return Profile{Class: c, Phases: []Phase{
+			{WorkFrac: 1.0, ComputeFrac: 1.0, Utilization: 1.0, NetDemand: 1e5},
+		}}
+	default: // Balanced
+		return Profile{Class: Balanced, Phases: []Phase{
+			{WorkFrac: 0.25, ComputeFrac: 0.7, MemoryFrac: 0.2, IOFrac: 0.1, Utilization: 0.85, NetDemand: 4e8},
+			{WorkFrac: 0.5, ComputeFrac: 0.45, MemoryFrac: 0.45, IOFrac: 0.1, Utilization: 0.9, NetDemand: 7e8},
+			{WorkFrac: 0.25, ComputeFrac: 0.3, MemoryFrac: 0.2, IOFrac: 0.5, Utilization: 0.7, NetDemand: 3e8},
+		}}
+	}
+}
+
+// Job is one unit of user work.
+type Job struct {
+	ID    string
+	User  string
+	Class Class
+
+	// SubmitTime in Unix milliseconds.
+	SubmitTime int64
+	// Nodes requested (and allocated; no malleability).
+	Nodes int
+	// ReqWalltime is the user's requested walltime in seconds (an
+	// overestimate, as in real traces).
+	ReqWalltime float64
+	// TotalWork in node-seconds at full speed; actual runtime at full
+	// speed is TotalWork / Nodes.
+	TotalWork float64
+	// MemoryGiBPerNode requested.
+	MemoryGiBPerNode float64
+
+	// Execution state, owned by the scheduler/simulator.
+	StartTime int64 // ms; 0 if not started
+	EndTime   int64 // ms; 0 if not finished
+	DoneWork  float64
+}
+
+// IdealRuntime returns the job's runtime in seconds at full speed.
+func (j *Job) IdealRuntime() float64 { return j.TotalWork / float64(j.Nodes) }
+
+// PhaseAt returns the active phase for the job's current progress.
+func (j *Job) PhaseAt() Phase {
+	prof := ProfileFor(j.Class)
+	frac := 0.0
+	if j.TotalWork > 0 {
+		frac = j.DoneWork / j.TotalWork
+	}
+	var cum float64
+	for _, ph := range prof.Phases {
+		cum += ph.WorkFrac
+		if frac < cum {
+			return ph
+		}
+	}
+	return prof.Phases[len(prof.Phases)-1]
+}
+
+// Finished reports whether the job has completed its work.
+func (j *Job) Finished() bool { return j.DoneWork >= j.TotalWork }
+
+// WaitSeconds returns queue wait time; call only after StartTime is set.
+func (j *Job) WaitSeconds() float64 {
+	return float64(j.StartTime-j.SubmitTime) / 1000
+}
+
+// RuntimeSeconds returns the observed runtime; call after completion.
+func (j *Job) RuntimeSeconds() float64 {
+	return float64(j.EndTime-j.StartTime) / 1000
+}
+
+// Slowdown returns the bounded slowdown metric (Feitelson), with runtime
+// floored at tau = 10 s.
+func (j *Job) Slowdown() float64 {
+	const tau = 10
+	run := math.Max(j.RuntimeSeconds(), tau)
+	return (j.WaitSeconds() + run) / run
+}
+
+// GeneratorConfig tunes the synthetic job stream.
+type GeneratorConfig struct {
+	Seed int64
+	// Users in the population; user indices get skewed activity (Zipf-ish).
+	Users int
+	// MeanInterarrival is the mean seconds between submissions at peak.
+	MeanInterarrival float64
+	// DiurnalStrength in [0,1]: 0 = flat arrivals, 1 = strong day/night.
+	DiurnalStrength float64
+	// MaxNodes bounds job size.
+	MaxNodes int
+	// MinerFrac is the probability a job is a cryptominer (abuse model).
+	MinerFrac float64
+	// CampaignPeriodHours > 0 adds a recurring production campaign: a
+	// large compute job submitted on a fixed schedule (nightly pipelines,
+	// periodic checkpoint/analysis surges). Recurring campaigns are what
+	// make site power forecastable (the LLNL §V-C pattern).
+	CampaignPeriodHours float64
+	// CampaignNodes is the campaign job's size (default MaxNodes).
+	CampaignNodes int
+	// CampaignDurationS is its ideal runtime in seconds (default 5400).
+	CampaignDurationS float64
+}
+
+// DefaultGeneratorConfig returns a plausible medium-site workload.
+func DefaultGeneratorConfig(seed int64, maxNodes int) GeneratorConfig {
+	return GeneratorConfig{
+		Seed:             seed,
+		Users:            24,
+		MeanInterarrival: 180,
+		DiurnalStrength:  0.6,
+		MaxNodes:         maxNodes,
+		MinerFrac:        0.02,
+	}
+}
+
+// Generator produces a deterministic stream of jobs.
+type Generator struct {
+	cfg         GeneratorConfig
+	rng         *rand.Rand
+	nextID      int
+	userBias    []float64 // per-user class bias
+	userShare   []float64 // cumulative activity distribution
+	campaignIdx int       // campaigns emitted so far
+}
+
+// NewGenerator builds a generator.
+func NewGenerator(cfg GeneratorConfig) *Generator {
+	if cfg.Users <= 0 {
+		cfg.Users = 16
+	}
+	if cfg.MaxNodes <= 0 {
+		cfg.MaxNodes = 16
+	}
+	if cfg.MeanInterarrival <= 0 {
+		cfg.MeanInterarrival = 180
+	}
+	g := &Generator{cfg: cfg, rng: rand.New(rand.NewSource(cfg.Seed))}
+	// Zipf-ish activity shares and a stable per-user class preference.
+	g.userShare = make([]float64, cfg.Users)
+	g.userBias = make([]float64, cfg.Users)
+	var total float64
+	for i := range g.userShare {
+		w := 1 / float64(i+1)
+		total += w
+		g.userShare[i] = total
+		g.userBias[i] = g.rng.Float64()
+	}
+	for i := range g.userShare {
+		g.userShare[i] /= total
+	}
+	return g
+}
+
+// arrivalRate returns the relative submission intensity at time-of-day.
+func (g *Generator) arrivalRate(now int64) float64 {
+	day := float64(24 * 3600 * 1000)
+	phase := 2 * math.Pi * (float64(now%int64(day))/day - 0.29) // peak ~13:00
+	return 1 + g.cfg.DiurnalStrength*math.Sin(phase)
+}
+
+// NextAfter returns the next job submitted at or after now (ms), advancing
+// the generator's internal stream.
+func (g *Generator) NextAfter(now int64) *Job {
+	// Thinned Poisson process: draw exponential gaps at the peak rate and
+	// accept with probability rate(t)/maxRate.
+	maxRate := 1 + g.cfg.DiurnalStrength
+	t := now
+	for {
+		gap := g.rng.ExpFloat64() * g.cfg.MeanInterarrival / maxRate
+		t += int64(gap * 1000)
+		if g.rng.Float64() <= g.arrivalRate(t)/maxRate {
+			break
+		}
+	}
+	// A scheduled campaign due before the stochastic candidate preempts it.
+	if g.cfg.CampaignPeriodHours > 0 {
+		campaignAt := int64(float64(g.campaignIdx+1) * g.cfg.CampaignPeriodHours * 3600 * 1000)
+		if campaignAt > now && campaignAt <= t {
+			g.campaignIdx++
+			return g.emitCampaign(campaignAt)
+		}
+	}
+	return g.emit(t)
+}
+
+// emitCampaign produces the deterministic recurring production job.
+func (g *Generator) emitCampaign(submit int64) *Job {
+	g.nextID++
+	nodes := g.cfg.CampaignNodes
+	if nodes <= 0 {
+		nodes = g.cfg.MaxNodes
+	}
+	dur := g.cfg.CampaignDurationS
+	if dur <= 0 {
+		dur = 5400
+	}
+	return &Job{
+		ID:               fmt.Sprintf("job%06d", g.nextID),
+		User:             "campaign",
+		Class:            ComputeBound,
+		SubmitTime:       submit,
+		Nodes:            nodes,
+		ReqWalltime:      dur * 1.3,
+		TotalWork:        dur * float64(nodes),
+		MemoryGiBPerNode: 64,
+	}
+}
+
+func (g *Generator) emit(submit int64) *Job {
+	g.nextID++
+	userIdx := g.pickUser()
+	class := g.pickClass(userIdx)
+	nodes := g.pickNodes(class)
+	// Lognormal ideal runtime, clamped to [120 s, 12 h].
+	ideal := math.Exp(g.rng.NormFloat64()*1.1 + math.Log(1800))
+	ideal = math.Max(120, math.Min(12*3600, ideal))
+	if class == CryptoMiner {
+		// Miners run long on few nodes.
+		ideal = math.Max(ideal, 4*3600)
+	}
+	// Users request 1.2-4x their actual runtime.
+	req := ideal * (1.2 + g.rng.Float64()*2.8)
+	return &Job{
+		ID:               fmt.Sprintf("job%06d", g.nextID),
+		User:             fmt.Sprintf("user%02d", userIdx),
+		Class:            class,
+		SubmitTime:       submit,
+		Nodes:            nodes,
+		ReqWalltime:      req,
+		TotalWork:        ideal * float64(nodes),
+		MemoryGiBPerNode: []float64{16, 32, 64, 128}[g.rng.Intn(4)],
+	}
+}
+
+func (g *Generator) pickUser() int {
+	r := g.rng.Float64()
+	for i, cum := range g.userShare {
+		if r <= cum {
+			return i
+		}
+	}
+	return len(g.userShare) - 1
+}
+
+func (g *Generator) pickClass(userIdx int) Class {
+	if g.rng.Float64() < g.cfg.MinerFrac {
+		return CryptoMiner
+	}
+	// User bias shifts which classes a user favours; mixture keeps all
+	// classes represented.
+	b := g.userBias[userIdx]
+	r := math.Mod(g.rng.Float64()*0.6+b*0.4, 1.0)
+	switch {
+	case r < 0.3:
+		return ComputeBound
+	case r < 0.5:
+		return MemoryBound
+	case r < 0.65:
+		return IOBound
+	case r < 0.8:
+		return NetworkBound
+	default:
+		return Balanced
+	}
+}
+
+func (g *Generator) pickNodes(class Class) int {
+	if class == CryptoMiner {
+		return 1
+	}
+	// Power-of-two-ish sizes, skewed small.
+	sizes := []int{1, 1, 2, 2, 4, 4, 8, 16, 32}
+	n := sizes[g.rng.Intn(len(sizes))]
+	if n > g.cfg.MaxNodes {
+		n = g.cfg.MaxNodes
+	}
+	return n
+}
+
+// GenerateUntil returns all jobs submitted in [start, end) ms.
+func (g *Generator) GenerateUntil(start, end int64) []*Job {
+	var out []*Job
+	t := start
+	for {
+		j := g.NextAfter(t)
+		if j.SubmitTime >= end {
+			return out
+		}
+		out = append(out, j)
+		t = j.SubmitTime
+	}
+}

@@ -1,0 +1,251 @@
+package workload
+
+import (
+	"bytes"
+	"math"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+func TestProfilesWellFormed(t *testing.T) {
+	for c := Class(0); c < numClasses; c++ {
+		p := ProfileFor(c)
+		if len(p.Phases) == 0 {
+			t.Fatalf("%s: no phases", c)
+		}
+		var workSum float64
+		for _, ph := range p.Phases {
+			workSum += ph.WorkFrac
+			if mix := ph.ComputeFrac + ph.MemoryFrac + ph.IOFrac; mix > 1.0001 {
+				t.Fatalf("%s: mix sums to %v", c, mix)
+			}
+			if ph.Utilization <= 0 || ph.Utilization > 1 {
+				t.Fatalf("%s: utilization %v", c, ph.Utilization)
+			}
+			if ph.NetDemand < 0 {
+				t.Fatalf("%s: negative net demand", c)
+			}
+		}
+		if math.Abs(workSum-1) > 1e-9 {
+			t.Fatalf("%s: phase work fractions sum to %v", c, workSum)
+		}
+	}
+}
+
+func TestClassStrings(t *testing.T) {
+	seen := map[string]bool{}
+	for c := Class(0); c < numClasses; c++ {
+		s := c.String()
+		if s == "" || seen[s] {
+			t.Fatalf("bad class string %q", s)
+		}
+		seen[s] = true
+		back, err := ParseClass(s)
+		if err != nil || back != c {
+			t.Fatalf("ParseClass(%q) = %v, %v", s, back, err)
+		}
+	}
+	if _, err := ParseClass("bogus"); err == nil {
+		t.Fatal("unknown class should error")
+	}
+}
+
+func TestJobPhaseProgression(t *testing.T) {
+	j := &Job{Class: ComputeBound, Nodes: 2, TotalWork: 200}
+	first := j.PhaseAt()
+	j.DoneWork = 100 // 50% -> main phase
+	mid := j.PhaseAt()
+	j.DoneWork = 195 // 97.5% -> final phase
+	last := j.PhaseAt()
+	if first.ComputeFrac == mid.ComputeFrac && mid.ComputeFrac == last.ComputeFrac {
+		t.Fatal("phases do not change over job lifetime")
+	}
+	if mid.ComputeFrac != 0.9 {
+		t.Fatalf("main phase mix = %+v", mid)
+	}
+	j.DoneWork = 200
+	if !j.Finished() {
+		t.Fatal("job should be finished")
+	}
+	// PhaseAt at 100% must not panic and returns the last phase.
+	if got := j.PhaseAt(); got.WorkFrac != last.WorkFrac {
+		t.Fatalf("PhaseAt(done) = %+v", got)
+	}
+}
+
+func TestJobMetrics(t *testing.T) {
+	j := &Job{SubmitTime: 0, StartTime: 30_000, EndTime: 90_000, Nodes: 4, TotalWork: 240}
+	if j.WaitSeconds() != 30 || j.RuntimeSeconds() != 60 {
+		t.Fatalf("wait/run = %v/%v", j.WaitSeconds(), j.RuntimeSeconds())
+	}
+	if j.IdealRuntime() != 60 {
+		t.Fatalf("ideal = %v", j.IdealRuntime())
+	}
+	if got := j.Slowdown(); math.Abs(got-1.5) > 1e-9 {
+		t.Fatalf("slowdown = %v", got)
+	}
+	// Short jobs are bounded by tau.
+	short := &Job{SubmitTime: 0, StartTime: 100_000, EndTime: 101_000}
+	if got := short.Slowdown(); got != (100+10)/10.0 {
+		t.Fatalf("bounded slowdown = %v", got)
+	}
+}
+
+func TestGeneratorDeterminism(t *testing.T) {
+	cfg := DefaultGeneratorConfig(42, 32)
+	a := NewGenerator(cfg).GenerateUntil(0, 6*3600*1000)
+	b := NewGenerator(cfg).GenerateUntil(0, 6*3600*1000)
+	if len(a) == 0 {
+		t.Fatal("no jobs generated")
+	}
+	if len(a) != len(b) {
+		t.Fatalf("lengths differ: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if !reflect.DeepEqual(a[i], b[i]) {
+			t.Fatalf("job %d differs: %+v vs %+v", i, a[i], b[i])
+		}
+	}
+	// Different seed -> different stream.
+	cfg2 := cfg
+	cfg2.Seed = 43
+	c := NewGenerator(cfg2).GenerateUntil(0, 6*3600*1000)
+	same := len(c) == len(a)
+	if same {
+		same = reflect.DeepEqual(a[0], c[0])
+	}
+	if same {
+		t.Fatal("different seeds produced identical first job")
+	}
+}
+
+func TestGeneratorJobSanity(t *testing.T) {
+	g := NewGenerator(DefaultGeneratorConfig(7, 16))
+	jobs := g.GenerateUntil(0, 48*3600*1000)
+	if len(jobs) < 100 {
+		t.Fatalf("only %d jobs in 48h", len(jobs))
+	}
+	users := map[string]int{}
+	classes := map[Class]int{}
+	prev := int64(-1)
+	for _, j := range jobs {
+		if j.SubmitTime <= prev {
+			t.Fatal("submissions not monotone")
+		}
+		prev = j.SubmitTime
+		if j.Nodes < 1 || j.Nodes > 16 {
+			t.Fatalf("job nodes = %d", j.Nodes)
+		}
+		if j.ReqWalltime < j.IdealRuntime() {
+			t.Fatalf("requested %v < ideal %v", j.ReqWalltime, j.IdealRuntime())
+		}
+		if j.IdealRuntime() < 120 || j.IdealRuntime() > 12*3600+1 {
+			t.Fatalf("ideal runtime out of range: %v", j.IdealRuntime())
+		}
+		users[j.User]++
+		classes[j.Class]++
+	}
+	if len(users) < 5 {
+		t.Fatalf("only %d users active", len(users))
+	}
+	// All non-miner classes should appear in 48h of jobs.
+	for c := Class(0); c < numClasses; c++ {
+		if c != CryptoMiner && classes[c] == 0 {
+			t.Fatalf("class %s never generated", c)
+		}
+	}
+	// User activity is skewed: top user clearly busier than median.
+	if users["user00"] < 2*users["user05"] && users["user05"] > 0 {
+		t.Logf("warning: weak skew: %v", users)
+	}
+}
+
+func TestGeneratorDiurnalPattern(t *testing.T) {
+	g := NewGenerator(GeneratorConfig{Seed: 1, Users: 8, MeanInterarrival: 30, DiurnalStrength: 0.9, MaxNodes: 8})
+	jobs := g.GenerateUntil(0, 10*24*3600*1000)
+	day, night := 0, 0
+	for _, j := range jobs {
+		hour := (j.SubmitTime / 3600000) % 24
+		if hour >= 9 && hour < 17 {
+			day++
+		}
+		if hour >= 0 && hour < 8 {
+			night++
+		}
+	}
+	if day <= night {
+		t.Fatalf("day %d <= night %d: diurnal modulation missing", day, night)
+	}
+}
+
+func TestCryptoMinerShape(t *testing.T) {
+	cfg := DefaultGeneratorConfig(3, 32)
+	cfg.MinerFrac = 0.5
+	g := NewGenerator(cfg)
+	jobs := g.GenerateUntil(0, 24*3600*1000)
+	found := 0
+	for _, j := range jobs {
+		if j.Class == CryptoMiner {
+			found++
+			if j.Nodes != 1 {
+				t.Fatalf("miner on %d nodes", j.Nodes)
+			}
+			if j.IdealRuntime() < 4*3600 {
+				t.Fatalf("miner runtime %v too short", j.IdealRuntime())
+			}
+		}
+	}
+	if found == 0 {
+		t.Fatal("no miners at 50% miner fraction")
+	}
+}
+
+func TestTraceRoundTrip(t *testing.T) {
+	g := NewGenerator(DefaultGeneratorConfig(9, 16))
+	jobs := g.GenerateUntil(0, 12*3600*1000)
+	var buf bytes.Buffer
+	if err := WriteTrace(&buf, jobs); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadTrace(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back) != len(jobs) {
+		t.Fatalf("round trip %d -> %d jobs", len(jobs), len(back))
+	}
+	for i := range jobs {
+		a, b := jobs[i], back[i]
+		if a.ID != b.ID || a.User != b.User || a.Class != b.Class ||
+			a.SubmitTime != b.SubmitTime || a.Nodes != b.Nodes ||
+			math.Abs(a.ReqWalltime-b.ReqWalltime) > 0.01 ||
+			math.Abs(a.TotalWork-b.TotalWork) > 0.01 ||
+			a.MemoryGiBPerNode != b.MemoryGiBPerNode {
+			t.Fatalf("job %d mismatch:\n%+v\n%+v", i, a, b)
+		}
+	}
+}
+
+func TestReadTraceErrors(t *testing.T) {
+	cases := []string{
+		"id user compute 0 1 10",        // too few fields
+		"id user bogus 0 1 10 10 16",    // bad class
+		"id user compute xx 1 10 10 16", // bad submit
+		"id user compute 0 0 10 10 16",  // zero nodes
+		"id user compute 0 1 abc 10 16", // bad walltime
+		"id user compute 0 1 10 abc 16", // bad work
+		"id user compute 0 1 10 10 abc", // bad mem
+	}
+	for _, c := range cases {
+		if _, err := ReadTrace(strings.NewReader(c)); err == nil {
+			t.Fatalf("line %q should fail to parse", c)
+		}
+	}
+	// Comments and blanks are skipped.
+	ok := "# header\n\njob1 u0 compute 0 2 100 200 16\n"
+	jobs, err := ReadTrace(strings.NewReader(ok))
+	if err != nil || len(jobs) != 1 || jobs[0].Nodes != 2 {
+		t.Fatalf("parse = %v, %v", jobs, err)
+	}
+}

@@ -1,0 +1,61 @@
+// Package repro is the top-level facade of the HPC Operational Data
+// Analytics framework reproduction (Netti et al., IEEE CLUSTER 2021).
+//
+// It assembles the full 4x4 capability grid — every analytics type across
+// every data-center pillar, backed by the virtual data center in
+// internal/simulation — and provides the standard experiment harness the
+// benchmarks and binaries share. See DESIGN.md for the system inventory and
+// EXPERIMENTS.md for the reproduced artifacts.
+package repro
+
+import (
+	"fmt"
+
+	"repro/internal/descriptive"
+	"repro/internal/diagnostic"
+	"repro/internal/oda"
+	"repro/internal/predictive"
+	"repro/internal/prescriptive"
+	"repro/internal/simulation"
+)
+
+// FullGrid returns the framework grid with every built-in capability
+// registered: the executable form of the paper's Table I.
+func FullGrid() (*oda.Grid, error) {
+	g := oda.NewGrid()
+	for _, reg := range []func(*oda.Grid) error{
+		descriptive.Register,
+		diagnostic.Register,
+		predictive.Register,
+		prescriptive.Register,
+	} {
+		if err := reg(g); err != nil {
+			return nil, fmt.Errorf("repro: building grid: %w", err)
+		}
+	}
+	return g, nil
+}
+
+// StandardRun holds a completed simulation and the analysis context over
+// its full telemetry window — the shared substrate of the experiments.
+type StandardRun struct {
+	DC  *simulation.DataCenter
+	Ctx *oda.RunContext
+}
+
+// StandardExperiment simulates the default virtual center (nodes at the
+// given scale, deterministic under seed) for the given number of virtual
+// hours and returns the analysis context.
+func StandardExperiment(seed int64, nodes int, hours float64) *StandardRun {
+	cfg := simulation.DefaultConfig(seed)
+	if nodes > 0 {
+		cfg.Nodes = nodes
+		cfg.Workload.MaxNodes = nodes / 2
+	}
+	dc := simulation.New(cfg)
+	dc.RunFor(hours * 3600)
+	return &StandardRun{
+		DC:  dc,
+		Ctx: &oda.RunContext{Store: dc.Store, From: 0, To: dc.Now() + 1, System: dc},
+	}
+}

@@ -1,0 +1,94 @@
+package repro
+
+import (
+	"testing"
+
+	"repro/internal/oda"
+)
+
+func TestFullGridCoversAllSixteenCells(t *testing.T) {
+	g, err := FullGrid()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.Len() < 30 {
+		t.Fatalf("only %d capabilities registered", g.Len())
+	}
+	if gaps := g.Gaps(); len(gaps) != 0 {
+		t.Fatalf("grid has empty cells: %v", gaps)
+	}
+	// The framework's headline observations hold for our implementation
+	// too: some capabilities span types and pillars, most do not.
+	if len(g.MultiType()) == 0 {
+		t.Fatal("no multi-type capabilities")
+	}
+	if len(g.MultiPillar()) == 0 {
+		t.Fatal("no multi-pillar capabilities")
+	}
+	if len(g.MultiPillar())*2 > g.Len() {
+		t.Fatal("multi-pillar capabilities should be the minority (paper §V-B)")
+	}
+}
+
+func TestStandardExperimentEndToEnd(t *testing.T) {
+	run := StandardExperiment(42, 16, 8)
+	if run.DC.SubmittedJobs == 0 || run.DC.Store.NumSamples() == 0 {
+		t.Fatal("standard experiment produced no activity")
+	}
+	g, err := FullGrid()
+	if err != nil {
+		t.Fatal(err)
+	}
+	results, errs := g.RunAll(run.Ctx)
+	// Every capability must either produce a result or a diagnosable error;
+	// on an 8-hour window we expect the vast majority to succeed.
+	if len(results) < g.Len()*3/4 {
+		t.Fatalf("only %d/%d capabilities succeeded; errors: %v", len(results), g.Len(), errs)
+	}
+	for name, err := range errs {
+		t.Logf("capability %s declined: %v", name, err)
+	}
+	for name, r := range results {
+		if r.Summary == "" {
+			t.Errorf("capability %s produced empty summary", name)
+		}
+	}
+}
+
+func TestStandardExperimentDeterminism(t *testing.T) {
+	a := StandardExperiment(7, 16, 2)
+	b := StandardExperiment(7, 16, 2)
+	if a.DC.Store.NumSamples() != b.DC.Store.NumSamples() {
+		t.Fatal("standard experiment not deterministic")
+	}
+	if a.DC.SubmittedJobs != b.DC.SubmittedJobs {
+		t.Fatal("job streams differ")
+	}
+}
+
+func TestGridTableRendersAllRows(t *testing.T) {
+	g, err := FullGrid()
+	if err != nil {
+		t.Fatal(err)
+	}
+	table := g.RenderTable()
+	for _, typ := range oda.Types() {
+		found := false
+		for _, cell := range oda.AllCells() {
+			if cell.Type != typ {
+				continue
+			}
+			for _, c := range g.At(cell) {
+				if len(c.Meta().Refs) > 0 {
+					found = true
+				}
+			}
+		}
+		if !found {
+			t.Fatalf("type %s has no cited capability", typ)
+		}
+	}
+	if len(table) < 500 {
+		t.Fatalf("table suspiciously small:\n%s", table)
+	}
+}
