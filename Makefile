@@ -1,0 +1,27 @@
+GO ?= go
+
+.PHONY: build test race vet bench bench-parallel
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+# Race-detector pass over every package with shared-state concurrency:
+# the sharded TSDB, the grid worker pool, the pub/sub bus and the
+# parallel simulation stepper. go vet runs first as a cheap gate.
+race: vet
+	$(GO) test -race ./internal/timeseries ./internal/oda ./internal/bus ./internal/simulation
+
+vet:
+	$(GO) vet ./...
+
+bench:
+	$(GO) test -run xxx -bench . -benchtime 1s ./...
+
+# The PR 1 contention benches; -cpu 1,4 exposes lock-contention scaling
+# (see BENCH_PR1.json for recorded before/after numbers).
+bench-parallel:
+	$(GO) test -run xxx -bench 'BenchmarkStoreQueryParallel|BenchmarkGridRunAll|BenchmarkSimulation_StepThroughput' -cpu 1,4 -benchtime 2s ./
+	$(GO) test -run xxx -bench 'BenchmarkStoreMixedParallel' -cpu 1,4 -benchtime 2s ./internal/timeseries/

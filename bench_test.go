@@ -9,6 +9,7 @@ package repro
 
 import (
 	"sync"
+	"sync/atomic"
 	"testing"
 
 	"repro/internal/bus"
@@ -322,6 +323,103 @@ func BenchmarkCollector_WirePush(b *testing.B) {
 func BenchmarkSimulation_StepThroughput(b *testing.B) {
 	cfg := simulation.DefaultConfig(1)
 	cfg.Nodes = 64
+	dc := simulation.New(cfg)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		dc.Step()
+	}
+}
+
+// --- PR 1 parallel-path benches (sharded store, concurrent grid) ---
+
+// BenchmarkStoreQueryParallel is the headline contention bench: 64 hot
+// series under a mixed read/write load from GOMAXPROCS goroutines (1 append
+// per 8 ops, the rest range queries). Run with -cpu 1,4 to see the sharded
+// store hold throughput where a global-lock store degrades.
+func BenchmarkStoreQueryParallel(b *testing.B) {
+	store := timeseries.NewStore(0)
+	const nSeries = 64
+	ids := make([]metric.ID, nSeries)
+	for s := 0; s < nSeries; s++ {
+		ids[s] = metric.ID{Name: "power", Labels: metric.NewLabels("node", string(rune('a'+s%26))+string(rune('a'+s/26)))}
+		for i := 0; i < 10_000; i++ {
+			if err := store.Append(ids[s], metric.Gauge, metric.UnitWatt, int64(i)*1000, float64(i%100)); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+	var ctr atomic.Int64
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			n := ctr.Add(1)
+			id := ids[n%nSeries]
+			if n%8 == 0 {
+				// Appends race, so stale timestamps are expected and dropped.
+				_ = store.Append(id, metric.Gauge, metric.UnitWatt, 20_000_000+n*1000, float64(n))
+			} else {
+				if _, err := store.Query(id, 1_000_000, 2_000_000); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}
+	})
+}
+
+// benchPassiveGrid registers the read-only capability subset (everything
+// not marked Exclusive), so iterations leave the shared archive untouched.
+func benchPassiveGrid(b *testing.B) (*oda.Grid, *oda.RunContext) {
+	b.Helper()
+	ctx := benchCtx(b)
+	g := oda.NewGrid()
+	for _, c := range []oda.Capability{
+		descriptive.PUE{}, descriptive.SIE{}, descriptive.Slowdown{}, descriptive.Roofline{},
+		diagnostic.InfraAnomaly{}, diagnostic.NodeAnomaly{}, diagnostic.RogueProcess{},
+		diagnostic.AppFingerprint{Seed: 1},
+		predictive.KPIForecast{}, predictive.SensorForecast{}, predictive.WorkloadForecast{},
+		predictive.JobDuration{Seed: 1}, predictive.PowerSpike{},
+	} {
+		if c.Meta().Exclusive {
+			b.Fatalf("%s is exclusive; passive bench grid must not mutate the archive", c.Meta().Name)
+		}
+		if err := g.Register(c); err != nil {
+			b.Fatal(err)
+		}
+	}
+	return g, ctx
+}
+
+// BenchmarkGridRunAllParallel sweeps the passive capability subset with the
+// worker pool; compare against BenchmarkGridRunAllSerial for the speedup.
+func BenchmarkGridRunAllParallel(b *testing.B) {
+	g, ctx := benchPassiveGrid(b)
+	g.SetWorkers(0) // one worker per logical CPU
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, errs := g.RunAll(ctx); len(errs) != 0 {
+			b.Fatalf("capability errors: %v", errs)
+		}
+	}
+}
+
+// BenchmarkGridRunAllSerial is the single-worker baseline for the sweep.
+func BenchmarkGridRunAllSerial(b *testing.B) {
+	g, ctx := benchPassiveGrid(b)
+	g.SetWorkers(1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, errs := g.RunAll(ctx); len(errs) != 0 {
+			b.Fatalf("capability errors: %v", errs)
+		}
+	}
+}
+
+// BenchmarkSimulation_StepThroughputParallel is the worker-pool variant of
+// BenchmarkSimulation_StepThroughput (same 64-node model, Workers=0).
+func BenchmarkSimulation_StepThroughputParallel(b *testing.B) {
+	cfg := simulation.DefaultConfig(1)
+	cfg.Nodes = 64
+	cfg.Workers = 0
 	dc := simulation.New(cfg)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {

@@ -41,16 +41,20 @@ func main() {
 	var latest int64
 
 	srv, err := wire.NewServer(*listen, func(b *wire.Batch) {
+		var entries []timeseries.BatchEntry
 		for _, rec := range b.Records {
 			for _, sm := range rec.Samples {
-				// Ingest errors (out-of-order duplicates from agent
-				// restarts) are tolerated; the server counts batches.
-				_ = store.Append(rec.ID, rec.Kind, rec.Unit, sm.T, sm.V)
+				entries = append(entries, timeseries.BatchEntry{
+					ID: rec.ID, Kind: rec.Kind, Unit: rec.Unit, T: sm.T, V: sm.V,
+				})
 				if sm.T > latest {
 					latest = sm.T
 				}
 			}
 		}
+		// Ingest errors (out-of-order duplicates from agent restarts) are
+		// tolerated; the server counts batches.
+		_, _ = store.AppendBatch(entries)
 		if *retainHours > 0 {
 			store.Retain(latest - int64(*retainHours*3600*1000))
 		}

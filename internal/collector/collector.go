@@ -16,6 +16,7 @@ import (
 
 	"repro/internal/bus"
 	"repro/internal/metric"
+	"repro/internal/par"
 	"repro/internal/timeseries"
 	"repro/internal/wire"
 )
@@ -62,11 +63,19 @@ type StoreSink struct {
 
 // Consume implements Sink; ingest errors are counted, not fatal, matching
 // monitoring-fabric behaviour where one bad sample must not stop the flow.
+// The whole scrape goes down as one AppendBatch so the store amortizes key
+// hashing and lock acquisition across the batch.
 func (s *StoreSink) Consume(_ string, now int64, readings []Reading) error {
-	for _, r := range readings {
-		if err := s.Store.Append(r.ID, r.Kind, r.Unit, now, r.Value); err != nil {
-			s.errs.Add(1)
-		}
+	if len(readings) == 0 {
+		return nil
+	}
+	batch := make([]timeseries.BatchEntry, len(readings))
+	for i, r := range readings {
+		batch[i] = timeseries.BatchEntry{ID: r.ID, Kind: r.Kind, Unit: r.Unit, T: now, V: r.Value}
+	}
+	appended, _ := s.Store.AppendBatch(batch)
+	if rejected := len(readings) - appended; rejected > 0 {
+		s.errs.Add(uint64(rejected))
 	}
 	return nil
 }
@@ -115,9 +124,18 @@ func (s *WireSink) Consume(agent string, now int64, readings []Reading) error {
 }
 
 // Agent samples a set of sources and fans readings out to sinks.
+//
+// Sources are scraped concurrently when Workers allows (each source owns a
+// disjoint subsystem, so concurrent Collect calls never share mutable
+// state), but readings are flattened in source-registration order and sinks
+// consume the batch serially — so store content and bus message order are
+// byte-identical to a fully serial scrape.
 type Agent struct {
 	Name     string
 	Interval time.Duration // wall-clock cadence for Run
+	// Workers bounds concurrent source collection: 0 means one worker per
+	// logical CPU, 1 forces the serial path.
+	Workers int
 
 	mu      sync.Mutex
 	sources []Source
@@ -156,8 +174,25 @@ func (a *Agent) Tick(now int64) int {
 	a.mu.Unlock()
 
 	var all []Reading
-	for _, src := range sources {
-		all = append(all, src.Collect(now)...)
+	if w := par.Workers(a.Workers); w > 1 && len(sources) > 1 {
+		bySrc := make([][]Reading, len(sources))
+		par.Ranges(len(sources), w, func(lo, hi int) {
+			for i := lo; i < hi; i++ {
+				bySrc[i] = sources[i].Collect(now)
+			}
+		})
+		total := 0
+		for _, rs := range bySrc {
+			total += len(rs)
+		}
+		all = make([]Reading, 0, total)
+		for _, rs := range bySrc {
+			all = append(all, rs...)
+		}
+	} else {
+		for _, src := range sources {
+			all = append(all, src.Collect(now)...)
+		}
 	}
 	for _, sink := range sinks {
 		if err := sink.Consume(a.Name, now, all); err != nil {

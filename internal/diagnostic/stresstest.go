@@ -30,6 +30,7 @@ func (StressTest) Meta() oda.Meta {
 		Description: "active load probe verifying cooling-plant responsiveness",
 		Cells:       []oda.Cell{cell(oda.BuildingInfrastructure, oda.Diagnostic)},
 		Refs:        []string{"[39]"},
+		Exclusive:   true,
 	}
 }
 

@@ -11,8 +11,10 @@ package oda
 import (
 	"errors"
 	"fmt"
+	"runtime"
 	"sort"
 	"strings"
+	"sync"
 	"time"
 
 	"repro/internal/timeseries"
@@ -135,6 +137,11 @@ type Meta struct {
 	Cells []Cell
 	// Refs cite the surveyed works this capability reproduces ("[4]").
 	Refs []string
+	// Exclusive marks capabilities that actuate or advance the live system
+	// (prescriptive knob-turners, active probes). RunAll executes exclusive
+	// capabilities serially in registration order after the concurrent
+	// sweep, so they never race each other or the read-only analytics.
+	Exclusive bool
 }
 
 // Result is what a capability produces when run over a telemetry window.
@@ -198,9 +205,10 @@ func (c CapabilityFunc) Run(ctx *RunContext) (Result, error) { return c.Fn(ctx) 
 // Grid is the 4x4 registry of capabilities: the executable form of the
 // paper's Table I.
 type Grid struct {
-	byCell map[Cell][]Capability
-	byName map[string]Capability
-	order  []string
+	byCell  map[Cell][]Capability
+	byName  map[string]Capability
+	order   []string
+	workers int // RunAll pool size: 0 = GOMAXPROCS, 1 = serial
 }
 
 // NewGrid returns an empty grid.
@@ -306,20 +314,81 @@ func (g *Grid) MultiType() []Capability {
 	return out
 }
 
+// SetWorkers bounds the RunAll worker pool: 0 restores the default (one
+// worker per logical CPU), 1 opts out of concurrency entirely and runs
+// every capability serially in registration order.
+func (g *Grid) SetWorkers(n int) {
+	if n < 0 {
+		n = 0
+	}
+	g.workers = n
+}
+
 // RunAll executes every capability against the context, returning results
 // by name. Errors are collected per capability rather than aborting the
 // sweep, so one broken analytic cannot hide the rest — the report is the
 // product.
+//
+// Capabilities run on a bounded worker pool (see SetWorkers). Read-only
+// capabilities execute concurrently; capabilities whose Meta marks them
+// Exclusive (they actuate the live system) run serially in registration
+// order after the concurrent sweep completes, so the result and error maps
+// hold the same content regardless of pool size or scheduling.
 func (g *Grid) RunAll(ctx *RunContext) (map[string]Result, map[string]error) {
 	results := make(map[string]Result, len(g.byName))
 	errs := make(map[string]error)
-	for _, name := range g.order {
-		res, err := g.byName[name].Run(ctx)
+	workers := g.workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(g.order) {
+		workers = len(g.order)
+	}
+	collect := func(name string, res Result, err error) {
 		if err != nil {
 			errs[name] = err
-			continue
+			return
 		}
 		results[name] = res
+	}
+	if workers <= 1 {
+		for _, name := range g.order {
+			res, err := g.byName[name].Run(ctx)
+			collect(name, res, err)
+		}
+		return results, errs
+	}
+	var concurrent, exclusive []string
+	for _, name := range g.order {
+		if g.byName[name].Meta().Exclusive {
+			exclusive = append(exclusive, name)
+		} else {
+			concurrent = append(concurrent, name)
+		}
+	}
+	var mu sync.Mutex
+	var wg sync.WaitGroup
+	jobs := make(chan string)
+	for i := 0; i < workers; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for name := range jobs {
+				res, err := g.byName[name].Run(ctx)
+				mu.Lock()
+				collect(name, res, err)
+				mu.Unlock()
+			}
+		}()
+	}
+	for _, name := range concurrent {
+		jobs <- name
+	}
+	close(jobs)
+	wg.Wait()
+	for _, name := range exclusive {
+		res, err := g.byName[name].Run(ctx)
+		collect(name, res, err)
 	}
 	return results, errs
 }

@@ -2,8 +2,13 @@ package oda
 
 import (
 	"errors"
+	"fmt"
+	"runtime"
 	"strings"
+	"sync"
+	"sync/atomic"
 	"testing"
+	"time"
 
 	"repro/internal/metric"
 	"repro/internal/timeseries"
@@ -239,4 +244,155 @@ func TestRunContextCarriesStore(t *testing.T) {
 	if err != nil || res.Value("n") != 1 {
 		t.Fatalf("res = %+v, %v", res, err)
 	}
+}
+
+// slowCap reports how many capabilities are in flight at once, so tests can
+// assert both real concurrency and exclusive serialization.
+func slowCap(name string, exclusive bool, inFlight, peak *atomic.Int32) Capability {
+	return CapabilityFunc{
+		M: Meta{
+			Name:        name,
+			Description: "test " + name,
+			Cells:       []Cell{{SystemHardware, Descriptive}},
+			Exclusive:   exclusive,
+		},
+		Fn: func(ctx *RunContext) (Result, error) {
+			n := inFlight.Add(1)
+			for {
+				p := peak.Load()
+				if n <= p || peak.CompareAndSwap(p, n) {
+					break
+				}
+			}
+			time.Sleep(2 * time.Millisecond)
+			inFlight.Add(-1)
+			return Result{Summary: name, Values: map[string]float64{"x": float64(len(name))}}, nil
+		},
+	}
+}
+
+// TestGridRunAllParallelMatchesSerial runs the same grid with a serial and a
+// parallel pool and requires identical result and error maps.
+func TestGridRunAllParallelMatchesSerial(t *testing.T) {
+	build := func() *Grid {
+		g := NewGrid()
+		for i := 0; i < 12; i++ {
+			name := fmt.Sprintf("cap%02d", i)
+			if i%4 == 3 {
+				_ = g.Register(CapabilityFunc{
+					M:  Meta{Name: name, Cells: []Cell{{SystemSoftware, Diagnostic}}},
+					Fn: func(ctx *RunContext) (Result, error) { return Result{}, errors.New("boom " + name) },
+				})
+				continue
+			}
+			_ = g.Register(cap1(name, Cell{SystemHardware, Descriptive}))
+		}
+		return g
+	}
+
+	serial := build()
+	serial.SetWorkers(1)
+	wantRes, wantErrs := serial.RunAll(&RunContext{})
+
+	parallel := build()
+	parallel.SetWorkers(8)
+	gotRes, gotErrs := parallel.RunAll(&RunContext{})
+
+	if len(gotRes) != len(wantRes) || len(gotErrs) != len(wantErrs) {
+		t.Fatalf("parallel RunAll: %d results/%d errors, serial: %d/%d",
+			len(gotRes), len(gotErrs), len(wantRes), len(wantErrs))
+	}
+	for name, want := range wantRes {
+		got, ok := gotRes[name]
+		if !ok || got.Summary != want.Summary || got.Value("x") != want.Value("x") {
+			t.Fatalf("result %q: parallel %+v, serial %+v", name, got, want)
+		}
+	}
+	for name, want := range wantErrs {
+		got, ok := gotErrs[name]
+		if !ok || got.Error() != want.Error() {
+			t.Fatalf("error %q: parallel %v, serial %v", name, got, want)
+		}
+	}
+}
+
+// TestGridRunAllExclusiveSerialized checks that Exclusive capabilities never
+// overlap each other or the concurrent sweep, while non-exclusive ones do
+// actually run concurrently when workers allow.
+func TestGridRunAllExclusiveSerialized(t *testing.T) {
+	var (
+		concIn, concPeak atomic.Int32
+		exclIn, exclPeak atomic.Int32
+	)
+	g := NewGrid()
+	for i := 0; i < 8; i++ {
+		_ = g.Register(slowCap(fmt.Sprintf("conc%d", i), false, &concIn, &concPeak))
+	}
+	var order []string
+	var orderMu sync.Mutex
+	for i := 0; i < 4; i++ {
+		name := fmt.Sprintf("excl%d", i)
+		inner := slowCap(name, true, &exclIn, &exclPeak)
+		_ = g.Register(CapabilityFunc{
+			M: inner.Meta(),
+			Fn: func(ctx *RunContext) (Result, error) {
+				if concIn.Load() != 0 {
+					t.Errorf("%s ran while concurrent sweep still in flight", name)
+				}
+				orderMu.Lock()
+				order = append(order, name)
+				orderMu.Unlock()
+				return inner.Run(ctx)
+			},
+		})
+	}
+	g.SetWorkers(4)
+	results, errs := g.RunAll(&RunContext{})
+	if len(errs) != 0 {
+		t.Fatalf("unexpected errors: %v", errs)
+	}
+	if len(results) != 12 {
+		t.Fatalf("results = %d, want 12", len(results))
+	}
+	if exclPeak.Load() != 1 {
+		t.Fatalf("exclusive peak concurrency = %d, want 1", exclPeak.Load())
+	}
+	want := []string{"excl0", "excl1", "excl2", "excl3"}
+	if len(order) != len(want) {
+		t.Fatalf("exclusive order = %v", order)
+	}
+	for i := range want {
+		if order[i] != want[i] {
+			t.Fatalf("exclusive order = %v, want registration order %v", order, want)
+		}
+	}
+	if runtime.GOMAXPROCS(0) > 1 && concPeak.Load() < 2 {
+		t.Fatalf("concurrent peak = %d, expected >= 2 with 4 workers", concPeak.Load())
+	}
+}
+
+// TestGridRunAllConcurrentInvocations drives RunAll itself from several
+// goroutines to exercise the grid's read paths under -race.
+func TestGridRunAllConcurrentInvocations(t *testing.T) {
+	g := NewGrid()
+	store := timeseries.NewStore(0)
+	for i := 0; i < 6; i++ {
+		_ = g.Register(cap1(fmt.Sprintf("c%d", i), Cell{SystemHardware, Descriptive}))
+	}
+	g.SetWorkers(2)
+	var wg sync.WaitGroup
+	for r := 0; r < 4; r++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for k := 0; k < 10; k++ {
+				results, errs := g.RunAll(&RunContext{Store: store})
+				if len(results) != 6 || len(errs) != 0 {
+					t.Errorf("RunAll = %d results, %d errors", len(results), len(errs))
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
 }

@@ -1,0 +1,56 @@
+// Package par provides the small fork-join helper the engine's hot paths
+// share: bounded, contiguous-range parallelism with inline execution when a
+// single worker (or a tiny input) makes goroutines pure overhead.
+//
+// The helpers are deliberately minimal — no futures, no error plumbing — so
+// callers keep deterministic data flow: workers write into disjoint,
+// index-addressed slots and the caller reduces in index order afterwards,
+// which keeps floating-point results byte-identical to a serial loop
+// regardless of worker count.
+package par
+
+import (
+	"runtime"
+	"sync"
+)
+
+// Workers resolves a worker-count knob: n > 0 is used as-is, n <= 0 means
+// one worker per logical CPU (runtime.GOMAXPROCS).
+func Workers(n int) int {
+	if n > 0 {
+		return n
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// Ranges splits [0, n) into up to `workers` contiguous ranges and invokes
+// fn(lo, hi) for each, blocking until all complete. With workers <= 1 or
+// n <= 1 the single range runs inline on the calling goroutine, so the
+// serial path allocates nothing. fn must be safe to run concurrently on
+// disjoint ranges.
+func Ranges(n, workers int, fn func(lo, hi int)) {
+	if n <= 0 {
+		return
+	}
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		fn(0, n)
+		return
+	}
+	chunk := (n + workers - 1) / workers
+	var wg sync.WaitGroup
+	for lo := 0; lo < n; lo += chunk {
+		hi := lo + chunk
+		if hi > n {
+			hi = n
+		}
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			fn(lo, hi)
+		}(lo, hi)
+	}
+	wg.Wait()
+}

@@ -131,6 +131,7 @@ func (AutoTuner) Meta() oda.Meta {
 		Description: "derivative-free auto-tuning of application parameters",
 		Cells:       []oda.Cell{cell(oda.Applications, oda.Prescriptive)},
 		Refs:        []string{"[28]", "[29]", "[41]"},
+		Exclusive:   true,
 	}
 }
 
@@ -194,6 +195,7 @@ func (CodeRecommend) Meta() oda.Meta {
 		Description: "class-specific code improvement recommendations",
 		Cells:       []oda.Cell{cell(oda.Applications, oda.Prescriptive)},
 		Refs:        []string{"[44]"},
+		Exclusive:   true,
 	}
 }
 

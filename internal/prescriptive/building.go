@@ -42,7 +42,8 @@ func (CoolingModeSwitch) Meta() oda.Meta {
 			cell(oda.BuildingInfrastructure, oda.Prescriptive),
 			cell(oda.SystemHardware, oda.Prescriptive),
 		},
-		Refs: []string{"[12]"},
+		Refs:      []string{"[12]"},
+		Exclusive: true,
 	}
 }
 
@@ -146,6 +147,7 @@ func (SetpointOptimizer) Meta() oda.Meta {
 		Description: "supply setpoint optimization under node thermal ceilings",
 		Cells:       []oda.Cell{cell(oda.BuildingInfrastructure, oda.Prescriptive)},
 		Refs:        []string{"[18]", "[37]"},
+		Exclusive:   true,
 	}
 }
 
@@ -236,6 +238,7 @@ func (AnomalyResponse) Meta() oda.Meta {
 		Description: "automated safe-state response to diagnosed anomalies",
 		Cells:       []oda.Cell{cell(oda.BuildingInfrastructure, oda.Prescriptive)},
 		Refs:        []string{"[38]", "[39]"},
+		Exclusive:   true,
 	}
 }
 

@@ -54,7 +54,8 @@ func (DemandResponse) Meta() oda.Meta {
 			cell(oda.BuildingInfrastructure, oda.Prescriptive),
 			cell(oda.SystemSoftware, oda.Prescriptive),
 		},
-		Refs: []string{"[37]", "[58]"},
+		Refs:      []string{"[37]", "[58]"},
+		Exclusive: true,
 	}
 }
 

@@ -32,7 +32,8 @@ func (DVFSGovernor) Meta() oda.Meta {
 			cell(oda.SystemHardware, oda.Prescriptive),
 			cell(oda.SystemHardware, oda.Predictive),
 		},
-		Refs: []string{"[11]", "[24]", "[40]"},
+		Refs:      []string{"[11]", "[24]", "[40]"},
+		Exclusive: true,
 	}
 }
 
@@ -149,6 +150,7 @@ func (FanControl) Meta() oda.Meta {
 		Description: "proportional per-node fan-speed control toward a thermal target",
 		Cells:       []oda.Cell{cell(oda.SystemHardware, oda.Prescriptive)},
 		Refs:        []string{"[20]", "[25]", "[41]"},
+		Exclusive:   true,
 	}
 }
 

@@ -30,7 +30,8 @@ func (PowerBudget) Meta() oda.Meta {
 			cell(oda.SystemSoftware, oda.Prescriptive),
 			cell(oda.Applications, oda.Predictive),
 		},
-		Refs: []string{"[21]", "[22]", "[23]"},
+		Refs:      []string{"[21]", "[22]", "[23]"},
+		Exclusive: true,
 	}
 }
 
@@ -73,7 +74,8 @@ func (PolicyAdvisor) Meta() oda.Meta {
 			cell(oda.SystemSoftware, oda.Prescriptive),
 			cell(oda.SystemSoftware, oda.Predictive),
 		},
-		Refs: []string{"[43]", "[42]"},
+		Refs:      []string{"[43]", "[42]"},
+		Exclusive: true,
 	}
 }
 
@@ -170,6 +172,7 @@ func (TaskPlacement) Meta() oda.Meta {
 		Description: "edge-aligned placement recommendations for queued jobs",
 		Cells:       []oda.Cell{cell(oda.SystemSoftware, oda.Prescriptive)},
 		Refs:        []string{"[42]"},
+		Exclusive:   true,
 	}
 }
 

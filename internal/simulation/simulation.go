@@ -21,10 +21,16 @@ import (
 	"repro/internal/hardware"
 	"repro/internal/metric"
 	"repro/internal/network"
+	"repro/internal/par"
 	"repro/internal/scheduler"
 	"repro/internal/timeseries"
 	"repro/internal/workload"
 )
+
+// minParallelNodes is the fleet size below which the per-node loops stay
+// serial: under ~tens of nodes the fork-join overhead exceeds the physics
+// work itself.
+const minParallelNodes = 48
 
 // Config describes the virtual data center.
 type Config struct {
@@ -54,6 +60,12 @@ type Config struct {
 	// bytes/second (0 keeps the default 40 GB/s); experiments shrink it to
 	// study contention.
 	UplinkCapacity float64
+	// Workers bounds the worker pool the per-node physics and collection
+	// loops fan out on: 0 means one worker per logical CPU, 1 forces fully
+	// serial stepping. Telemetry is byte-identical for every setting: each
+	// node owns a seed-derived RNG stream, parallel loops write into
+	// node-indexed buffers, and reductions run serially in node order.
+	Workers int
 }
 
 // DefaultConfig returns a 64-node virtual center.
@@ -127,6 +139,10 @@ type DataCenter struct {
 	allocByJob map[string]*AllocationRecord
 
 	rng *rand.Rand
+
+	workers    int                       // resolved worker-pool size
+	powerBuf   []float64                 // node-indexed scratch for parallel power sums
+	nodeByName map[string]*hardware.Node // name -> node fast path
 }
 
 // New assembles a data center from the config.
@@ -173,8 +189,12 @@ func New(cfg Config) *DataCenter {
 		anomalies:  make(map[int]string),
 		allocByJob: make(map[string]*AllocationRecord),
 		rng:        rand.New(rand.NewSource(cfg.Seed + 2)),
+		workers:    par.Workers(cfg.Workers),
+		powerBuf:   make([]float64, cfg.Nodes),
+		nodeByName: make(map[string]*hardware.Node, cfg.Nodes),
 	}
 	dc.Agent = collector.NewAgent("vdc-agent", 0)
+	dc.Agent.Workers = dc.workers
 	dc.Agent.AddSink(&collector.StoreSink{Store: dc.Store})
 	dc.Agent.AddSink(&collector.BusSink{Bus: dc.Bus, Prefix: "vdc"})
 
@@ -183,6 +203,7 @@ func New(cfg Config) *DataCenter {
 		rack := fmt.Sprintf("r%02d", i/16)
 		node := hardware.NewNode(hardware.DefaultNodeConfig(name, rack), cfg.Seed+10+int64(i))
 		dc.Nodes = append(dc.Nodes, node)
+		dc.nodeByName[name] = node
 		dc.Agent.AddSource(node.Source())
 	}
 	dc.Agent.AddSource(dc.Facility.Source())
@@ -232,8 +253,35 @@ func (dc *DataCenter) AddController(c Controller) {
 // Now returns the current virtual time in Unix milliseconds.
 func (dc *DataCenter) Now() int64 { return dc.now }
 
-// ITPower returns the current total IT draw in watts.
+// stepWorkers returns the pool size for per-node loops: 1 (serial) unless
+// parallel stepping is enabled and the fleet is big enough to pay off.
+func (dc *DataCenter) stepWorkers() int {
+	if dc.workers > 1 && len(dc.Nodes) >= minParallelNodes {
+		return dc.workers
+	}
+	return 1
+}
+
+// ITPower returns the current total IT draw in watts. The parallel path
+// fills a node-indexed buffer and reduces serially in node order, so the
+// result is byte-identical to the serial loop.
+//
+// ITPower is not safe to call concurrently with itself or Step (it shares
+// the engine's scratch buffer); controllers and capabilities run serially
+// with respect to the engine, so this only matters for external callers.
 func (dc *DataCenter) ITPower() float64 {
+	if w := dc.stepWorkers(); w > 1 {
+		par.Ranges(len(dc.Nodes), w, func(lo, hi int) {
+			for i := lo; i < hi; i++ {
+				dc.powerBuf[i] = dc.Nodes[i].Power()
+			}
+		})
+		var p float64
+		for _, v := range dc.powerBuf {
+			p += v
+		}
+		return p
+	}
 	var p float64
 	for _, n := range dc.Nodes {
 		p += n.Power()
@@ -249,12 +297,21 @@ func (dc *DataCenter) Step() {
 	dt := dc.Cfg.StepSeconds
 
 	// 1. Repair nodes whose downtime has elapsed and return them to service.
-	for idx, at := range dc.repairAt {
-		if now >= at {
-			dc.Nodes[idx].Repair()
-			dc.Cluster.SetNodeOnline(idx)
-			delete(dc.repairAt, idx)
-			dc.Events.Appendf(now, events.Info, "node/"+dc.Nodes[idx].Name(), "node_repair", "returned to service")
+	// Iterate in node order (not map order) so event logs and scheduler
+	// state stay deterministic when several nodes repair on the same step.
+	if len(dc.repairAt) > 0 {
+		idxs := make([]int, 0, len(dc.repairAt))
+		for idx := range dc.repairAt {
+			idxs = append(idxs, idx)
+		}
+		sort.Ints(idxs)
+		for _, idx := range idxs {
+			if now >= dc.repairAt[idx] {
+				dc.Nodes[idx].Repair()
+				dc.Cluster.SetNodeOnline(idx)
+				delete(dc.repairAt, idx)
+				dc.Events.Appendf(now, events.Info, "node/"+dc.Nodes[idx].Name(), "node_repair", "returned to service")
+			}
 		}
 	}
 
@@ -308,11 +365,15 @@ func (dc *DataCenter) Step() {
 		}
 		dc.Net.Assign(alloc.Job.ID, alloc.Nodes, ph.NetDemand)
 	}
-	for idx, n := range dc.Nodes {
-		if !busyNodes[idx] {
-			n.SetLoad(hardware.Load{})
+	// busyNodes is read-only from here on, so the idle-reset writes are
+	// per-node disjoint and safe to fan out.
+	par.Ranges(len(dc.Nodes), dc.stepWorkers(), func(lo, hi int) {
+		for idx := lo; idx < hi; idx++ {
+			if !busyNodes[idx] {
+				dc.Nodes[idx].SetLoad(hardware.Load{})
+			}
 		}
-	}
+	})
 	dc.applyAnomalies()
 	dc.Net.Step(dt)
 
@@ -321,9 +382,18 @@ func (dc *DataCenter) Step() {
 	if supply == 0 {
 		supply = dc.Facility.Setpoint()
 	}
+	// Each node's physics step is independent (per-node RNG streams derived
+	// from the seed), so the loop fans out across the worker pool; the power
+	// sum reduces serially in node order afterwards, keeping itPower — and
+	// with it every downstream telemetry byte — identical to serial stepping.
+	par.Ranges(len(dc.Nodes), dc.stepWorkers(), func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			dc.powerBuf[i] = dc.Nodes[i].Step(dt, supply)
+		}
+	})
 	var itPower float64
-	for _, n := range dc.Nodes {
-		itPower += n.Step(dt, supply)
+	for _, v := range dc.powerBuf {
+		itPower += v
 	}
 	for _, alloc := range running {
 		var progress float64
@@ -434,14 +504,9 @@ func (dc *DataCenter) AllocationFor(jobID string) (*AllocationRecord, bool) {
 	return rec, ok
 }
 
-// NodeByName finds a node.
+// NodeByName finds a node by its configured name in O(1).
 func (dc *DataCenter) NodeByName(name string) *hardware.Node {
-	for _, n := range dc.Nodes {
-		if n.Name() == name {
-			return n
-		}
-	}
-	return nil
+	return dc.nodeByName[name]
 }
 
 // InjectAnomaly forces a persistent synthetic misbehaviour used by the

@@ -300,3 +300,69 @@ func TestTraceReplay(t *testing.T) {
 		}
 	}
 }
+
+// TestParallelStepDeterminism is the acceptance test for parallel stepping:
+// the same seed must produce byte-identical telemetry regardless of the
+// worker count, because parallel loops only fill node-indexed buffers and
+// all reductions happen serially in node order.
+func TestParallelStepDeterminism(t *testing.T) {
+	mk := func(workers int) *DataCenter {
+		cfg := DefaultConfig(42)
+		cfg.Nodes = 64 // above minParallelNodes so the parallel path engages
+		cfg.Workload.MeanInterarrival = 90
+		cfg.Workers = workers
+		return New(cfg)
+	}
+	serial := mk(1)
+	parallel := mk(4)
+	if parallel.stepWorkers() <= 1 {
+		t.Fatal("parallel datacenter did not engage the worker pool")
+	}
+	serial.RunFor(2 * 3600)
+	parallel.RunFor(2 * 3600)
+
+	if s, p := serial.Store.NumSamples(), parallel.Store.NumSamples(); s != p {
+		t.Fatalf("NumSamples: serial %d vs parallel %d", s, p)
+	}
+	if s, p := serial.SubmittedJobs, parallel.SubmittedJobs; s != p {
+		t.Fatalf("SubmittedJobs: serial %d vs parallel %d", s, p)
+	}
+	if s, p := serial.ITPower(), parallel.ITPower(); s != p {
+		t.Fatalf("ITPower: serial %v vs parallel %v", s, p)
+	}
+
+	// Spot-check whole series byte-for-byte: per-node stochastic sensors,
+	// the facility aggregate and scheduler counters.
+	power := serial.Store.Select("node_power_watts", nil)
+	temps := serial.Store.Select("node_cpu_temp_celsius", nil)
+	if len(power) != 64 || len(temps) != 64 {
+		t.Fatalf("series: %d power, %d temp, want 64 each", len(power), len(temps))
+	}
+	spot := []metric.ID{power[0], power[63], temps[17]}
+	spot = append(spot, serial.Store.Select("facility_pue", nil)...)
+	spot = append(spot, serial.Store.Select("sched_running_jobs", nil)...)
+	if len(spot) < 5 {
+		t.Fatalf("spot-check set too small: %d series", len(spot))
+	}
+	for _, id := range spot {
+		ss, err := serial.Store.QueryAll(id)
+		if err != nil {
+			t.Fatalf("serial QueryAll(%s): %v", id.Key(), err)
+		}
+		ps, err := parallel.Store.QueryAll(id)
+		if err != nil {
+			t.Fatalf("parallel QueryAll(%s): %v", id.Key(), err)
+		}
+		if len(ss) == 0 {
+			t.Fatalf("no samples for %s", id.Key())
+		}
+		if len(ss) != len(ps) {
+			t.Fatalf("%s: %d vs %d samples", id.Key(), len(ss), len(ps))
+		}
+		for i := range ss {
+			if ss[i] != ps[i] {
+				t.Fatalf("%s[%d]: serial %+v vs parallel %+v", id.Key(), i, ss[i], ps[i])
+			}
+		}
+	}
+}

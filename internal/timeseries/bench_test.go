@@ -1,7 +1,10 @@
 package timeseries
 
 import (
+	"fmt"
 	"math"
+	"sync"
+	"sync/atomic"
 	"testing"
 
 	"repro/internal/metric"
@@ -50,4 +53,135 @@ func BenchmarkStoreSnapshot(b *testing.B) {
 			b.Fatal("snapshot size")
 		}
 	}
+}
+
+// --- Sharded-vs-global-lock ablation (PR 1) ---
+//
+// globalLockStore replicates the seed store design: one RWMutex serializing
+// every append and query across all series. The ablation benches below run
+// the identical mixed workload against it, a single-shard store and the
+// default 16-shard store; run with -cpu 1,4 to expose contention.
+
+type globalSeries struct {
+	chunks []*Chunk
+	lastT  int64
+}
+
+type globalLockStore struct {
+	mu        sync.RWMutex
+	series    map[string]*globalSeries
+	chunkSize int
+}
+
+func newGlobalLockStore() *globalLockStore {
+	return &globalLockStore{series: make(map[string]*globalSeries), chunkSize: DefaultChunkSize}
+}
+
+func (g *globalLockStore) append(id metric.ID, t int64, v float64) error {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	key := id.Key()
+	s := g.series[key]
+	if s == nil {
+		s = &globalSeries{lastT: math.MinInt64}
+		g.series[key] = s
+	}
+	if t <= s.lastT && len(s.chunks) > 0 {
+		return fmt.Errorf("timeseries: out-of-order sample for %s: %d <= %d", id.Key(), t, s.lastT)
+	}
+	if len(s.chunks) == 0 || s.chunks[len(s.chunks)-1].Count() >= g.chunkSize {
+		s.chunks = append(s.chunks, NewChunk())
+	}
+	if err := s.chunks[len(s.chunks)-1].Append(t, v); err != nil {
+		return err
+	}
+	s.lastT = t
+	return nil
+}
+
+func (g *globalLockStore) query(id metric.ID, from, to int64) ([]metric.Sample, error) {
+	g.mu.RLock()
+	defer g.mu.RUnlock()
+	s := g.series[id.Key()]
+	if s == nil {
+		return nil, fmt.Errorf("timeseries: unknown series %s", id.Key())
+	}
+	var out []metric.Sample
+	for _, c := range s.chunks {
+		if c.Count() == 0 || c.LastTime() < from || c.FirstTime() >= to {
+			continue
+		}
+		it := c.Iter()
+		for it.Next() {
+			sm := it.At()
+			if sm.T >= from && sm.T < to {
+				out = append(out, sm)
+			}
+		}
+		if err := it.Err(); err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}
+
+type mixedStore interface {
+	appendOne(id metric.ID, t int64, v float64) error
+	queryRange(id metric.ID, from, to int64) ([]metric.Sample, error)
+}
+
+type globalAdapter struct{ s *globalLockStore }
+
+func (a globalAdapter) appendOne(id metric.ID, t int64, v float64) error { return a.s.append(id, t, v) }
+func (a globalAdapter) queryRange(id metric.ID, from, to int64) ([]metric.Sample, error) {
+	return a.s.query(id, from, to)
+}
+
+type shardedAdapter struct{ s *Store }
+
+func (a shardedAdapter) appendOne(id metric.ID, t int64, v float64) error {
+	return a.s.Append(id, metric.Gauge, metric.UnitWatt, t, v)
+}
+func (a shardedAdapter) queryRange(id metric.ID, from, to int64) ([]metric.Sample, error) {
+	return a.s.Query(id, from, to)
+}
+
+func benchMixedParallel(b *testing.B, st mixedStore) {
+	const nSeries = 64
+	ids := make([]metric.ID, nSeries)
+	for s := 0; s < nSeries; s++ {
+		ids[s] = metric.ID{Name: "power", Labels: metric.NewLabels("node", string(rune('a'+s%26))+string(rune('a'+s/26)))}
+		for i := 0; i < 10_000; i++ {
+			if err := st.appendOne(ids[s], int64(i)*1000, float64(i%100)); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+	var ctr atomic.Int64
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			n := ctr.Add(1)
+			id := ids[n%nSeries]
+			if n%8 == 0 {
+				_ = st.appendOne(id, 20_000_000+n*1000, float64(n))
+			} else {
+				if _, err := st.queryRange(id, 1_000_000, 2_000_000); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}
+	})
+}
+
+func BenchmarkStoreMixedParallel_GlobalLock(b *testing.B) {
+	benchMixedParallel(b, globalAdapter{newGlobalLockStore()})
+}
+
+func BenchmarkStoreMixedParallel_SingleShard(b *testing.B) {
+	benchMixedParallel(b, shardedAdapter{NewStore(0, WithShards(1))})
+}
+
+func BenchmarkStoreMixedParallel_Sharded(b *testing.B) {
+	benchMixedParallel(b, shardedAdapter{NewStore(0)})
 }

@@ -26,11 +26,23 @@ func (w *bitWriter) writeBit(bit bool) {
 	}
 }
 
-// writeBits writes the lowest n bits of v, most significant first.
+// writeBits writes the lowest n bits of v, most significant first. It packs
+// up to a byte per step rather than looping bit by bit — this sits on the
+// ingest hot path of every sample append.
 func (w *bitWriter) writeBits(v uint64, n uint8) {
 	for n > 0 {
-		n--
-		w.writeBit(v&(1<<n) != 0)
+		if w.nbits == 0 {
+			w.buf = append(w.buf, 0)
+			w.nbits = 8
+		}
+		take := n
+		if take > w.nbits {
+			take = w.nbits
+		}
+		chunk := byte(v>>(n-take)) & (0xFF >> (8 - take))
+		w.buf[len(w.buf)-1] |= chunk << (w.nbits - take)
+		w.nbits -= take
+		n -= take
 	}
 }
 
@@ -59,17 +71,28 @@ func (r *bitReader) readBit() (bool, error) {
 	return bit, nil
 }
 
+// readBits extracts the next n bits MSB-first, consuming up to a byte per
+// step rather than a bit at a time — this is the decode hot path every
+// range query pays per sample.
 func (r *bitReader) readBits(n uint8) (uint64, error) {
 	var v uint64
-	for i := uint8(0); i < n; i++ {
-		bit, err := r.readBit()
-		if err != nil {
-			return 0, err
+	for n > 0 {
+		if r.pos >= len(r.buf) {
+			return 0, ErrEOS
 		}
-		v <<= 1
-		if bit {
-			v |= 1
+		avail := 8 - r.nbits
+		take := n
+		if take > avail {
+			take = avail
 		}
+		chunk := r.buf[r.pos] >> (avail - take) & (0xFF >> (8 - take))
+		v = v<<take | uint64(chunk)
+		r.nbits += take
+		if r.nbits == 8 {
+			r.nbits = 0
+			r.pos++
+		}
+		n -= take
 	}
 	return v, nil
 }

@@ -14,56 +14,170 @@ import (
 // started; 120 follows the Gorilla paper's two-hour blocks at 60 s cadence.
 const DefaultChunkSize = 120
 
+// DefaultShards is the default lock-stripe count. Sixteen stripes keep
+// shard-map contention negligible up to dozens of cores while costing a few
+// hundred bytes on small stores.
+const DefaultShards = 16
+
 // Store is a concurrency-safe in-memory TSDB holding Gorilla-compressed
 // series keyed by metric ID.
+//
+// Concurrency model: the store is lock-striped. Series are spread across
+// power-of-two shards by FNV-1a hash of their key; a shard's RWMutex guards
+// only its key→series map, and every series carries its own RWMutex
+// guarding the chunk data. A reader decompressing one series therefore
+// never serializes readers or writers of any other series, and appends to
+// two series contend only when both the shard and the series collide.
+// Registration order and the name index live behind a separate mutex that
+// is only taken when a series is first created.
 type Store struct {
-	mu        sync.RWMutex
-	series    map[string]*storedSeries
-	order     []string
 	chunkSize int
+	mask      uint32
+	shards    []storeShard
+
+	regMu  sync.RWMutex
+	order  []metric.ID            // first-ingest order, for IDs/Select
+	byName map[string][]metric.ID // metric name -> IDs in first-ingest order
+}
+
+type storeShard struct {
+	mu     sync.RWMutex
+	series map[string]*storedSeries
 }
 
 type storedSeries struct {
-	id     metric.ID
-	kind   metric.Kind
-	unit   metric.Unit
-	chunks []*Chunk
-	lastT  int64
+	mu      sync.RWMutex
+	id      metric.ID
+	kind    metric.Kind
+	unit    metric.Unit
+	chunks  []*Chunk
+	lastT   int64
+	last    metric.Sample // cached most recent sample, valid when hasLast
+	hasLast bool
+}
+
+// Option tunes a Store at construction.
+type Option func(*Store)
+
+// WithShards sets the lock-stripe count (rounded up to a power of two;
+// n <= 0 keeps DefaultShards). One shard degenerates to a single-striped
+// store, which the ablation benchmarks use as a baseline.
+func WithShards(n int) Option {
+	return func(s *Store) {
+		if n <= 0 {
+			n = DefaultShards
+		}
+		pow := 1
+		for pow < n {
+			pow <<= 1
+		}
+		s.shards = make([]storeShard, pow)
+		s.mask = uint32(pow - 1)
+	}
 }
 
 // NewStore returns an empty store with the given samples-per-chunk (0 uses
-// DefaultChunkSize).
-func NewStore(chunkSize int) *Store {
+// DefaultChunkSize) and optional tuning.
+func NewStore(chunkSize int, opts ...Option) *Store {
 	if chunkSize <= 0 {
 		chunkSize = DefaultChunkSize
 	}
-	return &Store{series: make(map[string]*storedSeries), chunkSize: chunkSize}
+	s := &Store{
+		chunkSize: chunkSize,
+		byName:    make(map[string][]metric.ID),
+	}
+	WithShards(DefaultShards)(s)
+	for _, opt := range opts {
+		opt(s)
+	}
+	for i := range s.shards {
+		s.shards[i].series = make(map[string]*storedSeries)
+	}
+	return s
 }
 
-// Append ingests one sample for the identified series, creating it on first
-// use. Out-of-order samples are rejected with an error, mirroring the
-// monitoring-fabric ingest policy.
-func (s *Store) Append(id metric.ID, kind metric.Kind, unit metric.Unit, t int64, v float64) error {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	key := id.Key()
-	ss, ok := s.series[key]
-	if !ok {
-		ss = &storedSeries{id: id, kind: kind, unit: unit}
-		s.series[key] = ss
-		s.order = append(s.order, key)
+// NumShards returns the lock-stripe count.
+func (s *Store) NumShards() int { return len(s.shards) }
+
+// fnv32a hashes a series key (FNV-1a).
+func fnv32a(key string) uint32 {
+	const (
+		offset32 = 2166136261
+		prime32  = 16777619
+	)
+	h := uint32(offset32)
+	for i := 0; i < len(key); i++ {
+		h ^= uint32(key[i])
+		h *= prime32
 	}
-	if len(ss.chunks) > 0 && t <= ss.lastT {
-		return fmt.Errorf("timeseries: out-of-order sample for %s: %d <= %d", key, t, ss.lastT)
+	return h
+}
+
+func (s *Store) shardFor(key string) *storeShard {
+	return &s.shards[fnv32a(key)&s.mask]
+}
+
+// lookup returns the series for key, or nil when absent.
+func (s *Store) lookup(key string) *storedSeries {
+	sh := s.shardFor(key)
+	sh.mu.RLock()
+	ss := sh.series[key]
+	sh.mu.RUnlock()
+	return ss
+}
+
+// getOrCreate returns the series for key, creating and registering it on
+// first use.
+func (s *Store) getOrCreate(key string, id metric.ID, kind metric.Kind, unit metric.Unit) *storedSeries {
+	sh := s.shardFor(key)
+	sh.mu.RLock()
+	ss := sh.series[key]
+	sh.mu.RUnlock()
+	if ss != nil {
+		return ss
 	}
-	if len(ss.chunks) == 0 || ss.chunks[len(ss.chunks)-1].Count() >= s.chunkSize {
+	sh.mu.Lock()
+	if ss = sh.series[key]; ss != nil {
+		sh.mu.Unlock()
+		return ss
+	}
+	ss = &storedSeries{id: id, kind: kind, unit: unit}
+	sh.series[key] = ss
+	sh.mu.Unlock()
+	s.regMu.Lock()
+	s.order = append(s.order, id)
+	s.byName[id.Name] = append(s.byName[id.Name], id)
+	s.regMu.Unlock()
+	return ss
+}
+
+// append adds one sample; the caller must hold ss.mu.
+func (ss *storedSeries) append(chunkSize int, t int64, v float64) error {
+	if ss.hasLast && t <= ss.lastT {
+		return fmt.Errorf("timeseries: out-of-order sample for %s: %d <= %d", ss.id.Key(), t, ss.lastT)
+	}
+	if len(ss.chunks) == 0 || ss.chunks[len(ss.chunks)-1].Count() >= chunkSize {
 		ss.chunks = append(ss.chunks, NewChunk())
 	}
 	if err := ss.chunks[len(ss.chunks)-1].Append(t, v); err != nil {
 		return err
 	}
 	ss.lastT = t
+	ss.last = metric.Sample{T: t, V: v}
+	ss.hasLast = true
 	return nil
+}
+
+// Append ingests one sample for the identified series, creating it on first
+// use. Out-of-order samples are rejected with an error, mirroring the
+// monitoring-fabric ingest policy.
+func (s *Store) Append(id metric.ID, kind metric.Kind, unit metric.Unit, t int64, v float64) error {
+	key := id.Key()
+	ss := s.getOrCreate(key, id, kind, unit)
+	ss.mu.Lock()
+	err := ss.append(s.chunkSize, t, v)
+	ss.mu.Unlock()
+	return err
 }
 
 // AppendSample is Append for a metric.Sample.
@@ -71,36 +185,91 @@ func (s *Store) AppendSample(id metric.ID, kind metric.Kind, unit metric.Unit, s
 	return s.Append(id, kind, unit, sm.T, sm.V)
 }
 
+// BatchEntry is one sample of an AppendBatch call.
+type BatchEntry struct {
+	ID   metric.ID
+	Kind metric.Kind
+	Unit metric.Unit
+	T    int64
+	V    float64
+}
+
+// AppendBatch ingests a batch of samples in order, amortizing key hashing
+// and lock acquisition across consecutive entries of the same series — the
+// collector's per-scrape fast path. Per-sample ingest errors (out-of-order
+// timestamps) do not abort the batch; AppendBatch returns how many samples
+// were accepted plus the first error encountered.
+func (s *Store) AppendBatch(entries []BatchEntry) (int, error) {
+	appended := 0
+	var firstErr error
+	var prevKey string
+	var prev *storedSeries
+	for i := range entries {
+		e := &entries[i]
+		key := e.ID.Key()
+		ss := prev
+		if ss == nil || key != prevKey {
+			ss = s.getOrCreate(key, e.ID, e.Kind, e.Unit)
+			prevKey, prev = key, ss
+		}
+		ss.mu.Lock()
+		err := ss.append(s.chunkSize, e.T, e.V)
+		ss.mu.Unlock()
+		if err != nil {
+			if firstErr == nil {
+				firstErr = err
+			}
+			continue
+		}
+		appended++
+	}
+	return appended, firstErr
+}
+
 // NumSeries returns the number of distinct series.
 func (s *Store) NumSeries() int {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	return len(s.series)
+	s.regMu.RLock()
+	defer s.regMu.RUnlock()
+	return len(s.order)
+}
+
+// forEachSeries invokes fn on every series under that series' read lock.
+func (s *Store) forEachSeries(fn func(ss *storedSeries)) {
+	for i := range s.shards {
+		sh := &s.shards[i]
+		sh.mu.RLock()
+		batch := make([]*storedSeries, 0, len(sh.series))
+		for _, ss := range sh.series {
+			batch = append(batch, ss)
+		}
+		sh.mu.RUnlock()
+		for _, ss := range batch {
+			ss.mu.RLock()
+			fn(ss)
+			ss.mu.RUnlock()
+		}
+	}
 }
 
 // NumSamples returns the total stored sample count.
 func (s *Store) NumSamples() int {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
 	n := 0
-	for _, ss := range s.series {
+	s.forEachSeries(func(ss *storedSeries) {
 		for _, c := range ss.chunks {
 			n += c.Count()
 		}
-	}
+	})
 	return n
 }
 
 // CompressedBytes returns the total compressed payload size.
 func (s *Store) CompressedBytes() int {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
 	n := 0
-	for _, ss := range s.series {
+	s.forEachSeries(func(ss *storedSeries) {
 		for _, c := range ss.chunks {
 			n += c.Bytes()
 		}
-	}
+	})
 	return n
 }
 
@@ -116,28 +285,36 @@ func (s *Store) CompressionRatio() float64 {
 
 // IDs returns every stored series ID in first-ingest order.
 func (s *Store) IDs() []metric.ID {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	out := make([]metric.ID, 0, len(s.order))
-	for _, k := range s.order {
-		out = append(out, s.series[k].id)
-	}
-	return out
+	s.regMu.RLock()
+	defer s.regMu.RUnlock()
+	return append([]metric.ID(nil), s.order...)
 }
 
-// Query returns the samples of one series with from <= T < to.
+// Query returns the samples of one series with from <= T < to. Chunks are
+// time-ordered, so the matching run is located with a binary search and
+// only overlapping chunks are decompressed.
 func (s *Store) Query(id metric.ID, from, to int64) ([]metric.Sample, error) {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	ss, ok := s.series[id.Key()]
-	if !ok {
+	ss := s.lookup(id.Key())
+	if ss == nil {
 		return nil, fmt.Errorf("timeseries: unknown series %s", id.Key())
 	}
-	var out []metric.Sample
-	for _, c := range ss.chunks {
-		if c.Count() == 0 || c.LastTime() < from || c.FirstTime() >= to {
-			continue
-		}
+	ss.mu.RLock()
+	defer ss.mu.RUnlock()
+	chunks := ss.chunks
+	// Seek the first chunk that may overlap [from, to): LastTime is
+	// non-decreasing across chunks.
+	lo := sort.Search(len(chunks), func(i int) bool { return chunks[i].LastTime() >= from })
+	hi := lo
+	est := 0
+	for hi < len(chunks) && chunks[hi].FirstTime() < to {
+		est += chunks[hi].Count()
+		hi++
+	}
+	if est == 0 {
+		return nil, nil
+	}
+	out := make([]metric.Sample, 0, est)
+	for _, c := range chunks[lo:hi] {
 		it := c.Iter()
 		for it.Next() {
 			sm := it.At()
@@ -153,6 +330,9 @@ func (s *Store) Query(id metric.ID, from, to int64) ([]metric.Sample, error) {
 			return nil, err
 		}
 	}
+	if len(out) == 0 {
+		return nil, nil
+	}
 	return out, nil
 }
 
@@ -162,41 +342,38 @@ func (s *Store) QueryAll(id metric.ID) ([]metric.Sample, error) {
 }
 
 // Select returns the IDs of series whose name matches name (any when empty)
-// and whose labels match the selector.
+// and whose labels match the selector, in first-ingest order. Named lookups
+// hit the name index instead of scanning every series.
 func (s *Store) Select(name string, sel metric.Labels) []metric.ID {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
+	s.regMu.RLock()
+	defer s.regMu.RUnlock()
+	pool := s.order
+	if name != "" {
+		pool = s.byName[name]
+	}
 	var out []metric.ID
-	for _, k := range s.order {
-		ss := s.series[k]
-		if name != "" && ss.id.Name != name {
+	for _, id := range pool {
+		if !id.Labels.Matches(sel) {
 			continue
 		}
-		if !ss.id.Labels.Matches(sel) {
-			continue
-		}
-		out = append(out, ss.id)
+		out = append(out, id)
 	}
 	return out
 }
 
-// Latest returns the most recent sample of a series.
+// Latest returns the most recent sample of a series. It is O(1): Append
+// maintains the cached last sample, so no chunk is decoded.
 func (s *Store) Latest(id metric.ID) (metric.Sample, bool) {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	ss, ok := s.series[id.Key()]
-	if !ok || len(ss.chunks) == 0 {
+	ss := s.lookup(id.Key())
+	if ss == nil {
 		return metric.Sample{}, false
 	}
-	// Decode only the final chunk.
-	it := ss.chunks[len(ss.chunks)-1].Iter()
-	var last metric.Sample
-	found := false
-	for it.Next() {
-		last = it.At()
-		found = true
+	ss.mu.RLock()
+	defer ss.mu.RUnlock()
+	if !ss.hasLast {
+		return metric.Sample{}, false
 	}
-	return last, found
+	return ss.last, true
 }
 
 // AggFunc names a windowed aggregation.
@@ -288,6 +465,10 @@ func (s *Store) Downsample(id metric.ID, step int64) (int, error) {
 	if step <= 0 {
 		return 0, errors.New("timeseries: step must be positive")
 	}
+	ss := s.lookup(id.Key())
+	if ss == nil {
+		return 0, fmt.Errorf("timeseries: unknown series %s", id.Key())
+	}
 	samples, err := s.Query(id, -1<<62, 1<<62)
 	if err != nil {
 		return 0, err
@@ -305,14 +486,11 @@ func (s *Store) Downsample(id metric.ID, step int64) (int, error) {
 			return 0, err
 		}
 	}
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	ss, ok := s.series[id.Key()]
-	if !ok {
-		return 0, fmt.Errorf("timeseries: unknown series %s", id.Key())
-	}
+	ss.mu.Lock()
+	defer ss.mu.Unlock()
 	ss.chunks = nil
 	ss.lastT = 0
+	ss.hasLast = false
 	for _, p := range pts {
 		if len(ss.chunks) == 0 || ss.chunks[len(ss.chunks)-1].Count() >= s.chunkSize {
 			ss.chunks = append(ss.chunks, NewChunk())
@@ -321,6 +499,8 @@ func (s *Store) Downsample(id metric.ID, step int64) (int, error) {
 			return 0, err
 		}
 		ss.lastT = p.Start
+		ss.last = metric.Sample{T: p.Start, V: p.Value}
+		ss.hasLast = true
 	}
 	return len(pts), nil
 }
@@ -328,19 +508,31 @@ func (s *Store) Downsample(id metric.ID, step int64) (int, error) {
 // Retain drops whole chunks whose newest sample is older than cutoff,
 // returning how many samples were discarded.
 func (s *Store) Retain(cutoff int64) int {
-	s.mu.Lock()
-	defer s.mu.Unlock()
 	dropped := 0
-	for _, ss := range s.series {
-		keep := ss.chunks[:0]
-		for _, c := range ss.chunks {
-			if c.Count() > 0 && c.LastTime() < cutoff {
-				dropped += c.Count()
-				continue
-			}
-			keep = append(keep, c)
+	for i := range s.shards {
+		sh := &s.shards[i]
+		sh.mu.RLock()
+		batch := make([]*storedSeries, 0, len(sh.series))
+		for _, ss := range sh.series {
+			batch = append(batch, ss)
 		}
-		ss.chunks = keep
+		sh.mu.RUnlock()
+		for _, ss := range batch {
+			ss.mu.Lock()
+			keep := ss.chunks[:0]
+			for _, c := range ss.chunks {
+				if c.Count() > 0 && c.LastTime() < cutoff {
+					dropped += c.Count()
+					continue
+				}
+				keep = append(keep, c)
+			}
+			ss.chunks = keep
+			if len(ss.chunks) == 0 {
+				ss.hasLast = false
+			}
+			ss.mu.Unlock()
+		}
 	}
 	return dropped
 }
