@@ -17,6 +17,7 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
@@ -24,6 +25,7 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"time"
 
 	"repro/internal/dashboard"
 	"repro/internal/timeseries"
@@ -62,7 +64,6 @@ func main() {
 	if err != nil {
 		log.Fatalf("odad: %v", err)
 	}
-	defer srv.Close()
 	log.Printf("odad: ingesting on %s", srv.Addr())
 
 	db := &dashboard.Dashboard{
@@ -116,5 +117,18 @@ func main() {
 	signal.Notify(sig, os.Interrupt)
 	<-sig
 	fmt.Println("odad: shutting down")
-	_ = httpSrv.Close()
+	// Drain order matters: close the ingest side first — wire.Server.Close
+	// stops accepting and waits for every in-flight connection, so batches
+	// agents already pushed are archived before the query side goes away.
+	// Then let HTTP requests finish (bounded), so an operator mid-query
+	// sees the fully drained store rather than a connection reset.
+	if err := srv.Close(); err != nil {
+		log.Printf("odad: ingest close: %v", err)
+	}
+	log.Printf("odad: ingest drained (%d batches, %d samples archived)", srv.Batches(), srv.Samples())
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if err := httpSrv.Shutdown(ctx); err != nil {
+		log.Printf("odad: http shutdown: %v", err)
+	}
 }

@@ -75,6 +75,9 @@ func main() {
 	fmt.Printf("simulating %d nodes for %.0f virtual hours (policy %s, controllers %v)...\n",
 		*nodes, *hours, cfg.Policy.Name(), *controllers)
 	dc.RunFor(*hours * 3600)
+	// Drain the collection pipeline before reading results: any queued
+	// sinks attached to the agent flush their backlog here.
+	dc.Close()
 
 	ctx := &oda.RunContext{Store: dc.Store, From: 0, To: dc.Now() + 1, System: dc}
 	db := descriptive.Dashboards{}.Build(ctx)

@@ -54,7 +54,14 @@ func main() {
 		clients = append(clients, client)
 		agent := collector.NewAgent("agent-"+node.Name(), time.Second)
 		agent.AddSource(node.Source())
-		agent.AddSink(&collector.WireSink{Client: client})
+		// The wire push rides a bounded queue so TCP latency never stalls
+		// the scrape cadence; Block keeps delivery lossless, and failed
+		// sends retry with backoff under a per-attempt deadline.
+		agent.AddSinkQueued(&collector.WireSink{
+			Client:       client,
+			MaxRetries:   2,
+			SendDeadline: 2 * time.Second,
+		}, collector.QueueConfig{Depth: 64, Policy: collector.Block})
 		agents = append(agents, agent)
 	}
 
@@ -71,6 +78,11 @@ func main() {
 			}
 			nextCollect += collectEvery
 		}
+	}
+	// Drain every agent's queue before closing the connections: Close
+	// returns once each pump has pushed its accepted backlog to the wire.
+	for _, a := range agents {
+		a.Close()
 	}
 	for _, c := range clients {
 		c.Close()

@@ -10,6 +10,8 @@ package collector
 
 import (
 	"context"
+	"errors"
+	"fmt"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -55,6 +57,21 @@ type Sink interface {
 	Consume(agent string, now int64, readings []Reading) error
 }
 
+// RejectedError is returned by a sink that accepted a batch but rejected N
+// of its samples (duplicate timestamps, retention violations, …). The agent
+// counts rejections in Stats.RejectedSamples instead of Stats.SinkErrors,
+// so partial rejections and hard Consume failures stay distinguishable but
+// both surface uniformly through Agent.Stats.
+type RejectedError struct {
+	// N is how many samples of the batch were rejected.
+	N int
+}
+
+// Error implements error.
+func (e *RejectedError) Error() string {
+	return fmt.Sprintf("collector: sink rejected %d samples", e.N)
+}
+
 // StoreSink writes readings into a TSDB store.
 type StoreSink struct {
 	Store *timeseries.Store
@@ -64,7 +81,9 @@ type StoreSink struct {
 // Consume implements Sink; ingest errors are counted, not fatal, matching
 // monitoring-fabric behaviour where one bad sample must not stop the flow.
 // The whole scrape goes down as one AppendBatch so the store amortizes key
-// hashing and lock acquisition across the batch.
+// hashing and lock acquisition across the batch. Partial rejections are
+// reported as a *RejectedError so the agent can account for them in
+// Stats.RejectedSamples alongside every other sink's rejections.
 func (s *StoreSink) Consume(_ string, now int64, readings []Reading) error {
 	if len(readings) == 0 {
 		return nil
@@ -76,6 +95,7 @@ func (s *StoreSink) Consume(_ string, now int64, readings []Reading) error {
 	appended, _ := s.Store.AppendBatch(batch)
 	if rejected := len(readings) - appended; rejected > 0 {
 		s.errs.Add(uint64(rejected))
+		return &RejectedError{N: rejected}
 	}
 	return nil
 }
@@ -104,10 +124,27 @@ func (s *BusSink) Consume(_ string, now int64, readings []Reading) error {
 }
 
 // WireSink pushes readings to a remote telemetry server over the wire
-// protocol, one batch per collection round.
+// protocol, one batch per collection round. Sends can be bounded by a
+// deadline and retried with exponential backoff, so a flaky aggregation
+// endpoint costs bounded time per batch instead of stalling forever —
+// combine with a queued registration (AddSinkQueued) to keep even that
+// bounded latency off the scrape path.
 type WireSink struct {
 	Client *wire.Client
+	// MaxRetries is how many times a failed send is retried before the
+	// batch is given up on (0 = fail fast on the first error).
+	MaxRetries int
+	// RetryBackoff is the delay before the first retry, doubling on each
+	// subsequent attempt (default 10ms when retries are enabled).
+	RetryBackoff time.Duration
+	// SendDeadline bounds each send attempt's network write (0 = none).
+	SendDeadline time.Duration
+
+	retries atomic.Uint64
 }
+
+// Retries returns how many retry attempts failed sends have consumed.
+func (s *WireSink) Retries() uint64 { return s.retries.Load() }
 
 // Consume implements Sink.
 func (s *WireSink) Consume(agent string, now int64, readings []Reading) error {
@@ -120,16 +157,39 @@ func (s *WireSink) Consume(agent string, now int64, readings []Reading) error {
 			Samples: []metric.Sample{{T: now, V: r.Value}},
 		})
 	}
-	return s.Client.Send(b)
+	if s.SendDeadline > 0 {
+		s.Client.SetTimeout(s.SendDeadline)
+	}
+	backoff := s.RetryBackoff
+	if backoff <= 0 {
+		backoff = 10 * time.Millisecond
+	}
+	var err error
+	for attempt := 0; ; attempt++ {
+		if err = s.Client.Send(b); err == nil || attempt >= s.MaxRetries {
+			return err
+		}
+		s.retries.Add(1)
+		time.Sleep(backoff)
+		backoff *= 2
+	}
 }
 
 // Agent samples a set of sources and fans readings out to sinks.
 //
 // Sources are scraped concurrently when Workers allows (each source owns a
 // disjoint subsystem, so concurrent Collect calls never share mutable
-// state), but readings are flattened in source-registration order and sinks
-// consume the batch serially — so store content and bus message order are
-// byte-identical to a fully serial scrape.
+// state), but readings are flattened in source-registration order — so the
+// batch every sink sees is byte-identical to a fully serial scrape.
+//
+// Sinks come in two flavours. AddSink registers a synchronous sink: Tick
+// calls Consume inline, and store content / bus message order match the
+// pre-pipeline agent exactly. AddSinkQueued registers a sink behind a
+// bounded queue with its own pump goroutine (see pipeline.go): Tick
+// enqueues the batch and returns without waiting on sink latency, so one
+// slow sink cannot stall the scrape cadence or the other sinks. Each pump
+// consumes its queue in enqueue order, preserving the deterministic batch
+// order per sink. Call Close to drain the queues on shutdown.
 type Agent struct {
 	Name     string
 	Interval time.Duration // wall-clock cadence for Run
@@ -139,11 +199,19 @@ type Agent struct {
 
 	mu      sync.Mutex
 	sources []Source
-	sinks   []Sink
+	sinks   []*sinkEntry
 
 	rounds   atomic.Uint64
 	readings atomic.Uint64
 	sinkErrs atomic.Uint64
+	rejected atomic.Uint64
+}
+
+// sinkEntry pairs a sink with its queue pump (nil for synchronous sinks).
+type sinkEntry struct {
+	sink      Sink
+	pump      *sinkPump
+	delivered atomic.Uint64 // synchronous deliveries (pumps count their own)
 }
 
 // NewAgent creates an agent with the given identity and Run cadence.
@@ -158,11 +226,41 @@ func (a *Agent) AddSource(s Source) {
 	a.sources = append(a.sources, s)
 }
 
-// AddSink registers a sink.
+// AddSink registers a synchronous sink: Tick delivers each batch inline,
+// exactly as the pre-pipeline agent did.
 func (a *Agent) AddSink(s Sink) {
+	a.AddSinkQueued(s, QueueConfig{})
+}
+
+// AddSinkQueued registers a sink behind a bounded queue. A Depth > 0 gives
+// the sink its own pump goroutine — Tick enqueues and returns, and the
+// policy decides what happens when the queue is full. Depth <= 0 degrades
+// to AddSink's synchronous delivery.
+func (a *Agent) AddSinkQueued(s Sink, cfg QueueConfig) {
+	e := &sinkEntry{sink: s}
+	if cfg.Depth > 0 {
+		e.pump = newSinkPump(a, s, cfg)
+	}
 	a.mu.Lock()
 	defer a.mu.Unlock()
-	a.sinks = append(a.sinks, s)
+	a.sinks = append(a.sinks, e)
+}
+
+// deliver hands one batch to a sink and books the outcome: partial
+// rejections land in Stats.RejectedSamples, hard failures in
+// Stats.SinkErrors. Both the synchronous Tick path and the queue pumps
+// funnel through here, so the two error paths always agree.
+func (a *Agent) deliver(s Sink, b batchItem) {
+	err := s.Consume(b.agent, b.now, b.readings)
+	if err == nil {
+		return
+	}
+	var rej *RejectedError
+	if errors.As(err, &rej) {
+		a.rejected.Add(uint64(rej.N))
+		return
+	}
+	a.sinkErrs.Add(1)
 }
 
 // Tick performs one collection round at virtual time now, returning the
@@ -170,7 +268,7 @@ func (a *Agent) AddSink(s Sink) {
 func (a *Agent) Tick(now int64) int {
 	a.mu.Lock()
 	sources := append([]Source(nil), a.sources...)
-	sinks := append([]Sink(nil), a.sinks...)
+	sinks := append([]*sinkEntry(nil), a.sinks...)
 	a.mu.Unlock()
 
 	var all []Reading
@@ -194,10 +292,16 @@ func (a *Agent) Tick(now int64) int {
 			all = append(all, src.Collect(now)...)
 		}
 	}
-	for _, sink := range sinks {
-		if err := sink.Consume(a.Name, now, all); err != nil {
-			a.sinkErrs.Add(1)
+	// The readings slice is shared read-only across every sink's queue;
+	// sinks never mutate batches, so no per-sink copy is needed.
+	item := batchItem{agent: a.Name, now: now, readings: all}
+	for _, e := range sinks {
+		if e.pump != nil {
+			e.pump.enqueue(item)
+			continue
 		}
+		a.deliver(e.sink, item)
+		e.delivered.Add(1)
 	}
 	a.rounds.Add(1)
 	a.readings.Add(uint64(len(all)))
@@ -222,7 +326,37 @@ func (a *Agent) Run(ctx context.Context) {
 	}
 }
 
+// Stats is a snapshot of the agent's collection counters.
+type Stats struct {
+	// Rounds is how many collection rounds have completed.
+	Rounds uint64
+	// Readings is the total number of readings flattened across rounds.
+	Readings uint64
+	// SinkErrors counts Consume calls that failed outright.
+	SinkErrors uint64
+	// RejectedSamples counts samples sinks rejected (RejectedError), e.g.
+	// duplicate timestamps at the store.
+	RejectedSamples uint64
+	// DroppedBatches counts batches dropped by full-queue policies across
+	// every queued sink (see SinkStats for the per-sink split).
+	DroppedBatches uint64
+}
+
 // Stats reports collection activity.
-func (a *Agent) Stats() (rounds, readings, sinkErrors uint64) {
-	return a.rounds.Load(), a.readings.Load(), a.sinkErrs.Load()
+func (a *Agent) Stats() Stats {
+	a.mu.Lock()
+	entries := append([]*sinkEntry(nil), a.sinks...)
+	a.mu.Unlock()
+	st := Stats{
+		Rounds:          a.rounds.Load(),
+		Readings:        a.readings.Load(),
+		SinkErrors:      a.sinkErrs.Load(),
+		RejectedSamples: a.rejected.Load(),
+	}
+	for _, e := range entries {
+		if e.pump != nil {
+			st.DroppedBatches += e.pump.dropped.Load()
+		}
+	}
+	return st
 }

@@ -41,9 +41,9 @@ func TestAgentTickToStore(t *testing.T) {
 	if store.NumSeries() != 2 || store.NumSamples() != 20 {
 		t.Fatalf("store = %d series / %d samples", store.NumSeries(), store.NumSamples())
 	}
-	rounds, readings, errs := agent.Stats()
-	if rounds != 10 || readings != 20 || errs != 0 {
-		t.Fatalf("stats = %d/%d/%d", rounds, readings, errs)
+	st := agent.Stats()
+	if st.Rounds != 10 || st.Readings != 20 || st.SinkErrors != 0 {
+		t.Fatalf("stats = %+v", st)
 	}
 }
 
@@ -60,6 +60,11 @@ func TestStoreSinkCountsIngestErrors(t *testing.T) {
 	}
 	if store.NumSamples() != 1 {
 		t.Fatalf("store samples = %d", store.NumSamples())
+	}
+	// The agent sees the same rejection the sink counted — the two error
+	// paths agree — and a partial rejection is not a hard sink error.
+	if st := agent.Stats(); st.RejectedSamples != 1 || st.SinkErrors != 0 {
+		t.Fatalf("stats = %+v, want 1 rejected sample and 0 sink errors", st)
 	}
 }
 
@@ -130,9 +135,8 @@ func TestAgentRunWallClock(t *testing.T) {
 	ctx, cancel := context.WithTimeout(context.Background(), 100*time.Millisecond)
 	defer cancel()
 	agent.Run(ctx)
-	rounds, _, _ := agent.Stats()
-	if rounds < 5 {
-		t.Fatalf("only %d rounds in 100ms at 5ms cadence", rounds)
+	if st := agent.Stats(); st.Rounds < 5 {
+		t.Fatalf("only %d rounds in 100ms at 5ms cadence", st.Rounds)
 	}
 }
 

@@ -1,0 +1,239 @@
+// Async collection pipeline: per-sink bounded queues with explicit
+// backpressure policies.
+//
+// A collection agent must never let a slow consumer stall acquisition — the
+// push-based monitoring fabrics the paper builds on (DCDB, LDMS) decouple
+// sensor sampling from downstream consumers for exactly this reason. Each
+// sink registered with a queue depth > 0 gets its own pump goroutine and a
+// bounded FIFO of batches; Tick enqueues the flattened batch and returns
+// without waiting on sink latency. Because one pump drains one queue in
+// enqueue order, every sink still observes batches in the same deterministic
+// flatten order a synchronous agent would produce — only the timing changes.
+//
+// Queue depth 0 keeps a sink fully synchronous (Consume runs inline in
+// Tick), which is byte-identical to the pre-pipeline agent and is what the
+// virtual-time simulator uses: its controllers read the store mid-run, so
+// telemetry must be visible the instant Tick returns.
+package collector
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+)
+
+// Policy selects what happens to a new batch when a sink's queue is full.
+type Policy int
+
+const (
+	// Block stalls the producer (Tick) until the pump frees a slot. No
+	// batch is ever dropped, so delivery is lossless — but a persistently
+	// slow sink applies backpressure all the way to the scrape cadence.
+	Block Policy = iota
+	// DropOldest evicts the oldest queued batch to admit the new one: the
+	// queue always holds the freshest window of telemetry, at the cost of
+	// losing the oldest unsent batches. Right for live dashboards.
+	DropOldest
+	// DropNewest discards the incoming batch and keeps the backlog: batches
+	// that made it into the queue are never evicted, so the oldest
+	// telemetry wins. Right for archival sinks that must not have gaps
+	// retroactively appear in already-accepted history.
+	DropNewest
+)
+
+// String names the policy for stats and logs.
+func (p Policy) String() string {
+	switch p {
+	case Block:
+		return "block"
+	case DropOldest:
+		return "drop-oldest"
+	case DropNewest:
+		return "drop-newest"
+	default:
+		return fmt.Sprintf("policy(%d)", int(p))
+	}
+}
+
+// QueueConfig sizes a sink's queue and selects its backpressure policy.
+type QueueConfig struct {
+	// Depth is the bounded queue capacity in batches. Zero or negative
+	// keeps the sink synchronous — Consume runs inline in Tick, exactly
+	// like AddSink.
+	Depth int
+	// Policy is the full-queue behaviour (default Block).
+	Policy Policy
+}
+
+// batchItem is one enqueued collection round. The readings slice is shared
+// read-only between the queues of every sink (sinks never mutate it).
+type batchItem struct {
+	agent    string
+	now      int64
+	readings []Reading
+}
+
+// sinkPump owns one sink's bounded queue and the goroutine draining it.
+type sinkPump struct {
+	sink Sink
+	cfg  QueueConfig
+
+	mu       sync.Mutex
+	notEmpty sync.Cond // queue gained an item, or closed
+	notFull  sync.Cond // queue freed a slot, or closed
+	queue    []batchItem
+	closed   bool
+
+	done chan struct{} // pump goroutine exited after draining
+
+	enqueued atomic.Uint64 // batches accepted into the queue
+	consumed atomic.Uint64 // batches delivered to the sink
+	dropped  atomic.Uint64 // batches dropped (evicted, rejected, or post-close)
+}
+
+func newSinkPump(a *Agent, s Sink, cfg QueueConfig) *sinkPump {
+	if cfg.Depth < 1 {
+		cfg.Depth = 1
+	}
+	p := &sinkPump{sink: s, cfg: cfg, done: make(chan struct{})}
+	p.notEmpty.L = &p.mu
+	p.notFull.L = &p.mu
+	go p.run(a)
+	return p
+}
+
+// run drains the queue in enqueue order until the queue is closed AND empty:
+// batches accepted before close are still delivered, so Close never loses
+// acknowledged telemetry.
+func (p *sinkPump) run(a *Agent) {
+	defer close(p.done)
+	for {
+		p.mu.Lock()
+		for len(p.queue) == 0 && !p.closed {
+			p.notEmpty.Wait()
+		}
+		if len(p.queue) == 0 { // closed and fully drained
+			p.mu.Unlock()
+			return
+		}
+		b := p.queue[0]
+		p.queue[0] = batchItem{} // release the readings for GC
+		p.queue = p.queue[1:]
+		p.notFull.Signal()
+		p.mu.Unlock()
+		a.deliver(p.sink, b)
+		p.consumed.Add(1)
+	}
+}
+
+// enqueue admits one batch under the configured policy, returning false when
+// the batch was dropped instead.
+func (p *sinkPump) enqueue(b batchItem) bool {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.closed {
+		p.dropped.Add(1)
+		return false
+	}
+	if len(p.queue) >= p.cfg.Depth {
+		switch p.cfg.Policy {
+		case Block:
+			for len(p.queue) >= p.cfg.Depth && !p.closed {
+				p.notFull.Wait()
+			}
+			if p.closed {
+				p.dropped.Add(1)
+				return false
+			}
+		case DropOldest:
+			p.queue[0] = batchItem{}
+			p.queue = p.queue[1:]
+			p.dropped.Add(1)
+		case DropNewest:
+			p.dropped.Add(1)
+			return false
+		}
+	}
+	p.queue = append(p.queue, b)
+	p.enqueued.Add(1)
+	p.notEmpty.Signal()
+	return true
+}
+
+// queued returns the current backlog length.
+func (p *sinkPump) queued() int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return len(p.queue)
+}
+
+// close marks the queue closed, wakes the pump and any blocked producers,
+// and waits for the pump to deliver every batch accepted before the close.
+// Idempotent.
+func (p *sinkPump) close() {
+	p.mu.Lock()
+	if !p.closed {
+		p.closed = true
+		p.notEmpty.Broadcast()
+		p.notFull.Broadcast()
+	}
+	p.mu.Unlock()
+	<-p.done
+}
+
+// SinkStats describes one registered sink's pipeline state.
+type SinkStats struct {
+	// Sink is the sink's Go type (e.g. "*collector.StoreSink").
+	Sink string
+	// Depth and Policy echo the queue configuration; Depth 0 means the
+	// sink is synchronous.
+	Depth  int
+	Policy Policy
+	// Queued is the current backlog in batches.
+	Queued int
+	// Enqueued, Consumed and Dropped count batches over the agent's life.
+	// Synchronous sinks count every delivery under Consumed.
+	Enqueued uint64
+	Consumed uint64
+	Dropped  uint64
+}
+
+// SinkStats reports per-sink queue state in registration order.
+func (a *Agent) SinkStats() []SinkStats {
+	a.mu.Lock()
+	entries := append([]*sinkEntry(nil), a.sinks...)
+	a.mu.Unlock()
+	out := make([]SinkStats, 0, len(entries))
+	for _, e := range entries {
+		st := SinkStats{Sink: fmt.Sprintf("%T", e.sink)}
+		if e.pump != nil {
+			st.Depth = e.pump.cfg.Depth
+			st.Policy = e.pump.cfg.Policy
+			st.Queued = e.pump.queued()
+			st.Enqueued = e.pump.enqueued.Load()
+			st.Consumed = e.pump.consumed.Load()
+			st.Dropped = e.pump.dropped.Load()
+		} else {
+			st.Consumed = e.delivered.Load()
+			st.Enqueued = e.delivered.Load()
+		}
+		out = append(out, st)
+	}
+	return out
+}
+
+// Close drains every queued sink: no new batches are accepted, each pump
+// delivers the batches it had already accepted, and Close returns once all
+// queues are empty. Synchronous sinks need no draining. Close is
+// idempotent; ticking a closed agent still feeds synchronous sinks, while
+// batches bound for closed queues are counted as dropped.
+func (a *Agent) Close() {
+	a.mu.Lock()
+	entries := append([]*sinkEntry(nil), a.sinks...)
+	a.mu.Unlock()
+	for _, e := range entries {
+		if e.pump != nil {
+			e.pump.close()
+		}
+	}
+}

@@ -193,6 +193,12 @@ func New(cfg Config) *DataCenter {
 		powerBuf:   make([]float64, cfg.Nodes),
 		nodeByName: make(map[string]*hardware.Node, cfg.Nodes),
 	}
+	// The engine's own sinks stay synchronous (queue depth 0): controllers
+	// and capabilities read the store on virtual time, so a collection
+	// round's telemetry must be visible the instant Tick returns.
+	// Deployments that attach external sinks (wire push) should register
+	// them with AddSinkQueued so network latency never stalls the step
+	// loop, and call Close to drain them.
 	dc.Agent = collector.NewAgent("vdc-agent", 0)
 	dc.Agent.Workers = dc.workers
 	dc.Agent.AddSink(&collector.StoreSink{Store: dc.Store})
@@ -476,6 +482,15 @@ func (dc *DataCenter) RunUntil(t int64) {
 	for dc.now < t {
 		dc.Step()
 	}
+}
+
+// Close shuts the data center's collection pipeline down, draining any
+// queued sinks attached to the agent (the built-in store/bus sinks are
+// synchronous and never hold a backlog). Call it when a run finishes so
+// externally attached sinks — a wire push to an aggregation daemon, say —
+// flush every batch they accepted.
+func (dc *DataCenter) Close() {
+	dc.Agent.Close()
 }
 
 // AllocationRecord is a historical job placement.

@@ -1,0 +1,225 @@
+package timeseries
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/metric"
+)
+
+// propertyIDs is the small fixed series universe the random interleavings
+// draw from — few enough that every op mix hits every series.
+func propertyIDs() []metric.ID {
+	return []metric.ID{
+		{Name: "node_power_watts", Labels: metric.NewLabels("node", "n00")},
+		{Name: "node_power_watts", Labels: metric.NewLabels("node", "n01")},
+		{Name: "facility_pue"},
+	}
+}
+
+// TestStoreInvariantsProperty drives random interleavings of Append,
+// AppendBatch, Downsample and Retain through a store (random chunk sizes,
+// occasional out-of-order and duplicate timestamps) and asserts the query
+// invariants every analytics tier relies on after each operation:
+//
+//   - Query results are strictly time-ordered — sorted and deduplicated.
+//   - Windowed queries never leak samples outside [from, to).
+//   - The Latest cache always agrees with the newest stored sample.
+//   - NumSamples equals the sum of per-series query lengths.
+//   - Immediately after Retain(cutoff), a series is either empty or its
+//     newest sample is at or past the cutoff (chunk-granularity retention
+//     can keep older samples, but never leave only-stale series behind).
+//   - Downsample reports exactly the sample count it left, aligned to step.
+//
+// Mirrors the style of internal/scheduler/property_test.go.
+func TestStoreInvariantsProperty(t *testing.T) {
+	ids := propertyIDs()
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		s := NewStore(2 + rng.Intn(40))
+		clock := make([]int64, len(ids)) // per-series high-water timestamp
+
+		checkSeries := func() bool {
+			total := 0
+			for _, id := range ids {
+				samples, err := s.QueryAll(id)
+				if err != nil {
+					continue // series not created yet
+				}
+				for i := 1; i < len(samples); i++ {
+					if samples[i].T <= samples[i-1].T {
+						t.Logf("%s: not strictly sorted at %d", id.Key(), i)
+						return false
+					}
+				}
+				if len(samples) > 0 {
+					last, ok := s.Latest(id)
+					if !ok || last != samples[len(samples)-1] {
+						t.Logf("%s: Latest %+v != tail %+v", id.Key(), last, samples[len(samples)-1])
+						return false
+					}
+				}
+				total += len(samples)
+			}
+			if got := s.NumSamples(); got != total {
+				t.Logf("NumSamples %d != sum of queries %d", got, total)
+				return false
+			}
+			return true
+		}
+
+		for op := 0; op < 150; op++ {
+			si := rng.Intn(len(ids))
+			id := ids[si]
+			switch rng.Intn(4) {
+			case 0: // single append; ~1 in 5 is stale/duplicate and must be rejected
+				ts := clock[si] + int64(rng.Intn(5000)) - 800
+				_ = s.Append(id, metric.Gauge, metric.UnitWatt, ts, rng.NormFloat64()*100)
+				if ts > clock[si] {
+					clock[si] = ts
+				}
+			case 1: // batch append with occasional duplicate timestamps inside
+				n := 1 + rng.Intn(25)
+				entries := make([]BatchEntry, 0, n)
+				ts := clock[si]
+				for i := 0; i < n; i++ {
+					if rng.Intn(6) > 0 { // sometimes reuse ts: duplicate -> rejected
+						ts += 1 + int64(rng.Intn(2000))
+					}
+					entries = append(entries, BatchEntry{
+						ID: id, Kind: metric.Gauge, Unit: metric.UnitWatt, T: ts, V: rng.Float64(),
+					})
+				}
+				_, _ = s.AppendBatch(entries)
+				if ts > clock[si] {
+					clock[si] = ts
+				}
+			case 2: // downsample to a random step
+				step := int64(1+rng.Intn(10)) * 500
+				n, err := s.Downsample(id, step)
+				if err == nil {
+					samples, qerr := s.QueryAll(id)
+					if qerr != nil || len(samples) != n {
+						t.Logf("%s: Downsample reported %d, query has %d (err %v)", id.Key(), n, len(samples), qerr)
+						return false
+					}
+					for _, sm := range samples {
+						if sm.T%step != 0 {
+							t.Logf("%s: downsampled ts %d not aligned to %d", id.Key(), sm.T, step)
+							return false
+						}
+					}
+				}
+				// The series now ends at the last window start; rewind the
+				// model clock so later appends track reality.
+				if last, ok := s.Latest(id); ok {
+					clock[si] = last.T
+				} else {
+					clock[si] = 0
+				}
+			case 3: // retain up to a random cutoff
+				cutoff := clock[si] - int64(rng.Intn(200_000)) + 50_000
+				s.Retain(cutoff)
+				for qi, qid := range ids {
+					samples, err := s.QueryAll(qid)
+					if err != nil || len(samples) == 0 {
+						if err == nil {
+							// Fully retained away: the next append may
+							// restart the series at any timestamp.
+							clock[qi] = 0
+						}
+						continue
+					}
+					if samples[len(samples)-1].T < cutoff {
+						t.Logf("%s: newest sample %d survived cutoff %d", qid.Key(), samples[len(samples)-1].T, cutoff)
+						return false
+					}
+				}
+			}
+			if !checkSeries() {
+				return false
+			}
+		}
+
+		// Windowed queries are confined to their bounds.
+		for _, id := range ids {
+			all, err := s.QueryAll(id)
+			if err != nil || len(all) == 0 {
+				continue
+			}
+			lo, hi := all[0].T, all[len(all)-1].T
+			from := lo + (hi-lo)/4
+			to := lo + 3*(hi-lo)/4
+			got, err := s.Query(id, from, to)
+			if err != nil {
+				return false
+			}
+			for _, sm := range got {
+				if sm.T < from || sm.T >= to {
+					t.Logf("%s: window [%d,%d) leaked %d", id.Key(), from, to, sm.T)
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestStoreAppendModelProperty compares append-only stores against a plain
+// slice model exactly: with only in-order appends, Query must reproduce the
+// model bit-for-bit across random chunk-size boundaries.
+func TestStoreAppendModelProperty(t *testing.T) {
+	id := metric.ID{Name: "m", Labels: metric.NewLabels("node", "n0")}
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		s := NewStore(1 + rng.Intn(30))
+		var model []metric.Sample
+		ts := int64(rng.Intn(1_000_000))
+		for i := 0; i < 300; i++ {
+			ts += 1 + int64(rng.Intn(100_000))
+			v := rng.NormFloat64() * 1e6
+			if err := s.Append(id, metric.Gauge, metric.UnitWatt, ts, v); err != nil {
+				return false
+			}
+			model = append(model, metric.Sample{T: ts, V: v})
+		}
+		got, err := s.QueryAll(id)
+		if err != nil || len(got) != len(model) {
+			return false
+		}
+		for i := range model {
+			if got[i] != model[i] {
+				return false
+			}
+		}
+		// A random window agrees with the filtered model.
+		from := model[rng.Intn(len(model))].T
+		to := from + int64(rng.Intn(2_000_000))
+		got, err = s.Query(id, from, to)
+		if err != nil {
+			return false
+		}
+		var want []metric.Sample
+		for _, sm := range model {
+			if sm.T >= from && sm.T < to {
+				want = append(want, sm)
+			}
+		}
+		if len(got) != len(want) {
+			return false
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}

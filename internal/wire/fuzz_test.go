@@ -1,0 +1,109 @@
+package wire
+
+import (
+	"math"
+	"sort"
+	"testing"
+
+	"repro/internal/metric"
+)
+
+// FuzzWireDecode throws arbitrary bytes at the batch decoder. Two
+// guarantees are enforced: DecodeBatch never panics (corrupt lengths,
+// truncated varints and implausible counts must all surface as errors), and
+// anything that does decode re-encodes into a payload that decodes to the
+// same batch — the decoder's output is always within the encoder's domain.
+func FuzzWireDecode(f *testing.F) {
+	// Seed with a real batch, its truncations and a corruption, so the
+	// fuzzer starts inside the interesting part of the input space.
+	seed := EncodeBatch(&Batch{
+		Agent: "n042",
+		Records: []Record{
+			{
+				ID:   metric.ID{Name: "node_power_watts", Labels: metric.NewLabels("node", "n042", "rack", "r02")},
+				Kind: metric.Gauge,
+				Unit: metric.UnitWatt,
+				Samples: []metric.Sample{
+					{T: 1_700_000_000_000, V: 411.5},
+					{T: 1_700_000_060_000, V: 417.25},
+					{T: 1_700_000_120_000, V: math.Inf(1)},
+				},
+			},
+			{
+				ID:      metric.ID{Name: "node_cpu_temp_celsius"},
+				Kind:    metric.Counter,
+				Unit:    metric.UnitCelsius,
+				Samples: []metric.Sample{{T: -5, V: math.NaN()}},
+			},
+		},
+	})
+	f.Add(seed)
+	f.Add(seed[:len(seed)/2])
+	f.Add(seed[:1])
+	f.Add([]byte{})
+	corrupt := append([]byte(nil), seed...)
+	corrupt[0] = 0xFF // agent-name length varint becomes huge
+	f.Add(corrupt)
+	f.Add([]byte{0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0x01})
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		b, err := DecodeBatch(data)
+		if err != nil {
+			return // rejected input: the absence of a panic is the property
+		}
+		re := EncodeBatch(b)
+		b2, err := DecodeBatch(re)
+		if err != nil {
+			t.Fatalf("re-decode of re-encoded batch failed: %v", err)
+		}
+		if b2.Agent != b.Agent || len(b2.Records) != len(b.Records) {
+			t.Fatalf("round trip changed shape: %q/%d vs %q/%d",
+				b2.Agent, len(b2.Records), b.Agent, len(b.Records))
+		}
+		for i := range b.Records {
+			r, r2 := b.Records[i], b2.Records[i]
+			if r2.ID.Name != r.ID.Name || r2.Kind != r.Kind || r2.Unit != r.Unit {
+				t.Fatalf("record %d header changed: %+v vs %+v", i, r2, r)
+			}
+			// NewLabels sorts by key only (unstable among duplicate keys),
+			// so compare labels as fully ordered (key, value) multisets.
+			if !sameLabelSet(r.ID.Labels, r2.ID.Labels) {
+				t.Fatalf("record %d labels changed: %v vs %v", i, r2.ID.Labels, r.ID.Labels)
+			}
+			if len(r2.Samples) != len(r.Samples) {
+				t.Fatalf("record %d: %d vs %d samples", i, len(r2.Samples), len(r.Samples))
+			}
+			for j := range r.Samples {
+				if r2.Samples[j].T != r.Samples[j].T ||
+					math.Float64bits(r2.Samples[j].V) != math.Float64bits(r.Samples[j].V) {
+					t.Fatalf("record %d sample %d changed: %+v vs %+v",
+						i, j, r2.Samples[j], r.Samples[j])
+				}
+			}
+		}
+	})
+}
+
+func sameLabelSet(a, b metric.Labels) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	ac := append(metric.Labels(nil), a...)
+	bc := append(metric.Labels(nil), b...)
+	order := func(ls metric.Labels) func(i, j int) bool {
+		return func(i, j int) bool {
+			if ls[i].Key != ls[j].Key {
+				return ls[i].Key < ls[j].Key
+			}
+			return ls[i].Value < ls[j].Value
+		}
+	}
+	sort.Slice(ac, order(ac))
+	sort.Slice(bc, order(bc))
+	for i := range ac {
+		if ac[i] != bc[i] {
+			return false
+		}
+	}
+	return true
+}

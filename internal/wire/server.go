@@ -8,6 +8,7 @@ import (
 	"net"
 	"sync"
 	"sync/atomic"
+	"time"
 )
 
 // Handler consumes decoded batches on the server side.
@@ -100,6 +101,9 @@ type Client struct {
 	conn net.Conn
 	bw   *BatchWriter
 	mu   sync.Mutex
+
+	timeout     time.Duration
+	deadlineSet bool
 }
 
 // Dial connects to a telemetry server.
@@ -111,10 +115,31 @@ func Dial(addr string) (*Client, error) {
 	return &Client{conn: conn, bw: NewBatchWriter(conn)}, nil
 }
 
+// SetTimeout bounds each subsequent Send with a write deadline of d,
+// counted from the moment the send starts (0 disables the deadline again).
+// A deadline turns a wedged endpoint into a prompt error instead of an
+// indefinite stall. Safe for concurrent use with Send.
+func (c *Client) SetTimeout(d time.Duration) {
+	c.mu.Lock()
+	c.timeout = d
+	c.mu.Unlock()
+}
+
 // Send pushes one batch; safe for concurrent use.
 func (c *Client) Send(b *Batch) error {
 	c.mu.Lock()
 	defer c.mu.Unlock()
+	if c.timeout > 0 {
+		if err := c.conn.SetWriteDeadline(time.Now().Add(c.timeout)); err != nil {
+			return err
+		}
+		c.deadlineSet = true
+	} else if c.deadlineSet {
+		if err := c.conn.SetWriteDeadline(time.Time{}); err != nil {
+			return err
+		}
+		c.deadlineSet = false
+	}
 	return c.bw.Send(b)
 }
 
