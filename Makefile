@@ -7,7 +7,7 @@ COVER_MIN ?= 85.0
 # How long `make fuzz-short` runs each fuzz target.
 FUZZTIME ?= 10s
 
-.PHONY: build test race vet bench bench-parallel cover fuzz-short
+.PHONY: build test race vet bench bench-parallel cover fuzz-short crash-test
 
 build:
 	$(GO) build ./...
@@ -21,7 +21,13 @@ test:
 # backpressure stress lives in collector's pipeline tests). go vet runs
 # first as a cheap gate.
 race: vet
-	$(GO) test -race ./internal/timeseries ./internal/oda ./internal/bus ./internal/simulation ./internal/collector
+	$(GO) test -race ./internal/timeseries ./internal/oda ./internal/bus ./internal/simulation ./internal/collector ./internal/persist
+
+# Durability torture pass: the randomized torn-write harness, the
+# kill-and-recover matrix across all fsync policies, and the concurrent
+# group-commit test, all under the race detector.
+crash-test:
+	$(GO) test -race -v -run 'TestTornWrite|TestKillAndRecover|TestConcurrentAppendersGroupCommit|TestCorruptNewestSnapshot|TestAcknowledgedAppends' ./internal/persist
 
 # Coverage report with a regression gate: prints per-function coverage for
 # the total and fails when total statement coverage drops below COVER_MIN
@@ -34,12 +40,13 @@ cover:
 		if (t+0 < min+0) { printf "FAIL: total coverage %.1f%% below threshold %.1f%%\n", t, min; exit 1 } \
 		printf "OK: total coverage %.1f%% >= threshold %.1f%%\n", t, min }'
 
-# Short fuzzing pass over both fuzz targets (native Go fuzzing; seed
+# Short fuzzing pass over the fuzz targets (native Go fuzzing; seed
 # corpora live in testdata/fuzz/). go test accepts one -fuzz pattern per
 # package, so the targets run back to back.
 fuzz-short:
 	$(GO) test -run xxx -fuzz FuzzBitstreamRoundTrip -fuzztime $(FUZZTIME) ./internal/timeseries
 	$(GO) test -run xxx -fuzz FuzzWireDecode -fuzztime $(FUZZTIME) ./internal/wire
+	$(GO) test -run xxx -fuzz FuzzWALReplay -fuzztime $(FUZZTIME) ./internal/persist
 
 vet:
 	$(GO) vet ./...

@@ -5,15 +5,21 @@
 // production deployment would run per cluster, with odasim (or real
 // agents) pointed at it.
 //
+// With -data-dir set the store is durable: every ingested batch is
+// write-ahead logged before it is applied, checkpoints snapshot the store
+// on -snapshot-interval, and a restart recovers the pre-crash state from
+// the newest snapshot plus WAL replay.
+//
 // Usage:
 //
-//	odad -listen 127.0.0.1:9900 -http 127.0.0.1:9901
+//	odad -listen 127.0.0.1:9900 -http 127.0.0.1:9901 \
+//	     -data-dir /var/lib/odad -fsync interval -snapshot-interval 5m
 //
 // Endpoints:
 //
 //	GET /dashboard    dashboard panels as JSON
 //	GET /snapshot     latest value of every series
-//	GET /stats        ingest and storage statistics
+//	GET /stats        ingest, storage, and durability statistics
 package main
 
 import (
@@ -25,9 +31,11 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/dashboard"
+	"repro/internal/persist"
 	"repro/internal/timeseries"
 	"repro/internal/wire"
 )
@@ -37,10 +45,39 @@ func main() {
 	httpAddr := flag.String("http", "127.0.0.1:9901", "HTTP query address")
 	chunkSize := flag.Int("chunk", 0, "TSDB samples per chunk (0 = default)")
 	retainHours := flag.Float64("retain", 0, "drop telemetry older than this many hours on each ingest (0 = keep all)")
+	dataDir := flag.String("data-dir", "", "durable storage directory (empty = in-memory only)")
+	fsyncMode := flag.String("fsync", "always", "WAL fsync policy: always|interval|never (with -data-dir)")
+	snapEvery := flag.Duration("snapshot-interval", 5*time.Minute, "checkpoint cadence (with -data-dir; 0 = only at shutdown)")
 	flag.Parse()
 
-	store := timeseries.NewStore(*chunkSize)
-	var latest int64
+	// With -data-dir the durable store front-ends the TSDB: mutations go
+	// through the WAL, reads go straight to the recovered in-memory store.
+	var (
+		store   *timeseries.Store
+		durable *persist.DurableStore
+	)
+	if *dataDir != "" {
+		policy, err := persist.ParseFsyncPolicy(*fsyncMode)
+		if err != nil {
+			log.Fatalf("odad: %v", err)
+		}
+		durable, err = persist.Open(*dataDir, persist.Options{
+			ChunkSize:        *chunkSize,
+			Fsync:            policy,
+			SnapshotInterval: *snapEvery,
+		})
+		if err != nil {
+			log.Fatalf("odad: open %s: %v", *dataDir, err)
+		}
+		store = durable.Store()
+		st := durable.Stats()
+		log.Printf("odad: recovered %s: snapshot=%v, %d WAL records replayed across %d segments, %d torn tails truncated (%d series, %d samples)",
+			*dataDir, st.SnapshotLoaded, st.ReplayedRecords, st.ReplayedSegments, st.TruncatedTails,
+			store.NumSeries(), store.NumSamples())
+	} else {
+		store = timeseries.NewStore(*chunkSize)
+	}
+	var latest atomic.Int64
 
 	srv, err := wire.NewServer(*listen, func(b *wire.Batch) {
 		var entries []timeseries.BatchEntry
@@ -49,16 +86,28 @@ func main() {
 				entries = append(entries, timeseries.BatchEntry{
 					ID: rec.ID, Kind: rec.Kind, Unit: rec.Unit, T: sm.T, V: sm.V,
 				})
-				if sm.T > latest {
-					latest = sm.T
+				for {
+					cur := latest.Load()
+					if sm.T <= cur || latest.CompareAndSwap(cur, sm.T) {
+						break
+					}
 				}
 			}
 		}
 		// Ingest errors (out-of-order duplicates from agent restarts) are
 		// tolerated; the server counts batches.
-		_, _ = store.AppendBatch(entries)
+		if durable != nil {
+			_, _ = durable.AppendBatch(entries)
+		} else {
+			_, _ = store.AppendBatch(entries)
+		}
 		if *retainHours > 0 {
-			store.Retain(latest - int64(*retainHours*3600*1000))
+			cutoff := latest.Load() - int64(*retainHours*3600*1000)
+			if durable != nil {
+				_, _ = durable.Retain(cutoff)
+			} else {
+				store.Retain(cutoff)
+			}
 		}
 	})
 	if err != nil {
@@ -91,14 +140,35 @@ func main() {
 	})
 	mux.HandleFunc("/stats", func(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Type", "application/json")
+		hits, misses := store.QueryCacheStats()
 		stats := map[string]any{
-			"series":            store.NumSeries(),
-			"samples":           store.NumSamples(),
-			"compressed_bytes":  store.CompressedBytes(),
-			"compression_ratio": store.CompressionRatio(),
-			"batches":           srv.Batches(),
-			"ingest_samples":    srv.Samples(),
-			"ingest_errors":     srv.Errors(),
+			"series":             store.NumSeries(),
+			"samples":            store.NumSamples(),
+			"compressed_bytes":   store.CompressedBytes(),
+			"compression_ratio":  store.CompressionRatio(),
+			"batches":            srv.Batches(),
+			"ingest_samples":     srv.Samples(),
+			"ingest_errors":      srv.Errors(),
+			"query_cache_hits":   hits,
+			"query_cache_misses": misses,
+		}
+		if durable != nil {
+			st := durable.Stats()
+			stats["persist"] = map[string]any{
+				"segments":          st.Segments,
+				"segment_bytes":     st.SegmentBytes,
+				"wal_records":       st.WALRecords,
+				"wal_bytes":         st.WALBytes,
+				"fsyncs":            st.Fsyncs,
+				"coalesced_syncs":   st.CoalescedSyncs,
+				"checkpoints":       st.Checkpoints,
+				"snapshot_bytes":    st.SnapshotBytes,
+				"snapshot_loaded":   st.SnapshotLoaded,
+				"replayed_segments": st.ReplayedSegments,
+				"replayed_records":  st.ReplayedRecords,
+				"truncated_tails":   st.TruncatedTails,
+				"truncated_bytes":   st.TruncatedBytes,
+			}
 		}
 		if err := json.NewEncoder(w).Encode(stats); err != nil {
 			http.Error(w, err.Error(), http.StatusInternalServerError)
@@ -119,13 +189,24 @@ func main() {
 	fmt.Println("odad: shutting down")
 	// Drain order matters: close the ingest side first — wire.Server.Close
 	// stops accepting and waits for every in-flight connection, so batches
-	// agents already pushed are archived before the query side goes away.
-	// Then let HTTP requests finish (bounded), so an operator mid-query
-	// sees the fully drained store rather than a connection reset.
+	// agents already pushed are archived before anything else shuts down.
+	// Then checkpoint the drained store (persist.Close writes a final
+	// snapshot, so the next start recovers replay-free) and finally let
+	// HTTP requests finish (bounded), so an operator mid-query sees the
+	// fully drained store rather than a connection reset.
 	if err := srv.Close(); err != nil {
 		log.Printf("odad: ingest close: %v", err)
 	}
 	log.Printf("odad: ingest drained (%d batches, %d samples archived)", srv.Batches(), srv.Samples())
+	if durable != nil {
+		st := durable.Stats()
+		if err := durable.Close(); err != nil {
+			log.Printf("odad: persist close: %v", err)
+		} else {
+			log.Printf("odad: checkpointed %s (%d WAL records logged, %d fsyncs, %d checkpoints)",
+				*dataDir, st.WALRecords, st.Fsyncs, st.Checkpoints+1)
+		}
+	}
 	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
 	defer cancel()
 	if err := httpSrv.Shutdown(ctx); err != nil {

@@ -72,9 +72,16 @@ func (e *RejectedError) Error() string {
 	return fmt.Sprintf("collector: sink rejected %d samples", e.N)
 }
 
-// StoreSink writes readings into a TSDB store.
+// BatchAppender is the slice of the TSDB ingest surface StoreSink needs.
+// Both *timeseries.Store and the durable wrapper (*persist.DurableStore)
+// implement it.
+type BatchAppender interface {
+	AppendBatch([]timeseries.BatchEntry) (int, error)
+}
+
+// StoreSink writes readings into a TSDB store (or a durable wrapper).
 type StoreSink struct {
-	Store *timeseries.Store
+	Store BatchAppender
 	errs  atomic.Uint64
 }
 
@@ -83,7 +90,11 @@ type StoreSink struct {
 // The whole scrape goes down as one AppendBatch so the store amortizes key
 // hashing and lock acquisition across the batch. Partial rejections are
 // reported as a *RejectedError so the agent can account for them in
-// Stats.RejectedSamples alongside every other sink's rejections.
+// Stats.RejectedSamples alongside every other sink's rejections — but a
+// store that refused the batch wholesale because it is closed or read-only
+// (a durable store after Close reports timeseries.ErrStoreClosed) is a hard
+// sink failure, not N per-sample rejections: it surfaces as the original
+// error so Stats.SinkErrors counts it and RejectedSamples stays honest.
 func (s *StoreSink) Consume(_ string, now int64, readings []Reading) error {
 	if len(readings) == 0 {
 		return nil
@@ -92,7 +103,10 @@ func (s *StoreSink) Consume(_ string, now int64, readings []Reading) error {
 	for i, r := range readings {
 		batch[i] = timeseries.BatchEntry{ID: r.ID, Kind: r.Kind, Unit: r.Unit, T: now, V: r.Value}
 	}
-	appended, _ := s.Store.AppendBatch(batch)
+	appended, err := s.Store.AppendBatch(batch)
+	if err != nil && errors.Is(err, timeseries.ErrStoreClosed) {
+		return err
+	}
 	if rejected := len(readings) - appended; rejected > 0 {
 		s.errs.Add(uint64(rejected))
 		return &RejectedError{N: rejected}

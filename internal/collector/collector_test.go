@@ -162,3 +162,26 @@ func TestAgentConcurrentRegistration(t *testing.T) {
 	wg.Wait()
 	<-done
 }
+
+// closedAppender mimics a durable store after Close: every batch is refused
+// wholesale with ErrStoreClosed rather than rejected per-sample.
+type closedAppender struct{}
+
+func (closedAppender) AppendBatch([]timeseries.BatchEntry) (int, error) {
+	return 0, timeseries.ErrStoreClosed
+}
+
+func TestStoreSinkClosedStoreIsHardError(t *testing.T) {
+	sink := &StoreSink{Store: closedAppender{}}
+	agent := NewAgent("a0", time.Second)
+	agent.AddSource(constSource("power", 1))
+	agent.AddSink(sink)
+	agent.Tick(1000)
+	if sink.Errors() != 0 {
+		t.Fatalf("closed store must not count as per-sample rejections, got %d", sink.Errors())
+	}
+	st := agent.Stats()
+	if st.SinkErrors != 1 || st.RejectedSamples != 0 {
+		t.Fatalf("stats = %+v, want 1 sink error and 0 rejected samples", st)
+	}
+}

@@ -1,0 +1,397 @@
+package persist
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/metric"
+	"repro/internal/timeseries"
+)
+
+// Options tunes a durable store.
+type Options struct {
+	// ChunkSize is the TSDB samples-per-chunk for a fresh store (0 uses the
+	// timeseries default). When a snapshot exists its recorded chunk size
+	// wins, because replay must rebuild identical chunk boundaries.
+	ChunkSize int
+	// StoreOptions tune the underlying store (shard count, query cache).
+	StoreOptions []timeseries.Option
+	// SegmentSize rotates WAL segments at this byte size (0 = 8 MiB).
+	SegmentSize int64
+	// Fsync picks the WAL durability policy (default FsyncAlways).
+	Fsync FsyncPolicy
+	// FsyncEvery is the FsyncInterval cadence (0 = 100ms).
+	FsyncEvery time.Duration
+	// SnapshotInterval checkpoints on a cadence (0 = only on Close or an
+	// explicit Checkpoint call).
+	SnapshotInterval time.Duration
+}
+
+// Stats reports the durable store's recovery and IO counters.
+type Stats struct {
+	// Segments and SegmentBytes describe the live WAL files on disk.
+	Segments     int
+	SegmentBytes int64
+	// WALRecords / WALBytes count records appended since Open.
+	WALRecords uint64
+	WALBytes   uint64
+	// Fsyncs counts fsync syscalls; CoalescedSyncs counts sync requests a
+	// concurrent group-commit leader satisfied for free.
+	Fsyncs         uint64
+	CoalescedSyncs uint64
+	// Checkpoints counts snapshots written since Open; SnapshotBytes is the
+	// newest snapshot's file size.
+	Checkpoints   uint64
+	SnapshotBytes int64
+	// Recovery describes what Open found: whether a snapshot was restored,
+	// how many WAL segments and records were replayed on top of it, and how
+	// many torn tails were truncated.
+	SnapshotLoaded   bool
+	ReplayedSegments int
+	ReplayedRecords  uint64
+	TruncatedTails   int
+	TruncatedBytes   int64
+}
+
+// DurableStore wraps a timeseries.Store with write-ahead logging and
+// snapshot checkpoints. Every mutating operation is logged before it is
+// applied, so a crash at any instant recovers to a store byte-identical to
+// the acknowledged prefix. Reads go straight to Store() — durability adds
+// nothing to the query path. Mutations MUST go through the wrapper;
+// writing to Store() directly bypasses the log and diverges recovery.
+type DurableStore struct {
+	store *timeseries.Store
+	wal   *wal
+	dir   string
+	opts  Options
+
+	// mu excludes checkpoints from mutating ops: ops hold it shared, a
+	// checkpoint holds it exclusively across dump+rotate so the snapshot
+	// matches the WAL cut exactly. opMu additionally serializes log+apply
+	// so WAL order equals apply order — replay must reproduce the same
+	// winner for racing same-series appends. Both are held only across
+	// in-memory work; fsync happens after release, where group commit
+	// batches concurrent acknowledgements.
+	mu     sync.RWMutex
+	opMu   sync.Mutex
+	closed bool
+
+	ckptMu sync.Mutex // serializes whole checkpoints (ticker vs Close)
+
+	checkpoints   atomic.Uint64
+	snapshotBytes atomic.Int64
+
+	recovery struct {
+		snapshotLoaded   bool
+		replayedSegments int
+		replayedRecords  uint64
+		truncatedTails   int
+		truncatedBytes   int64
+	}
+
+	stop chan struct{}
+	bg   sync.WaitGroup
+}
+
+// Open recovers (or creates) a durable store in dir: it loads the newest
+// valid snapshot, replays every newer WAL segment — truncating a torn tail
+// at the first corrupt record — and starts a fresh WAL segment for new
+// writes. Recovery is idempotent: reopening without writes replays to the
+// identical store.
+func Open(dir string, opts Options) (*DurableStore, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, err
+	}
+	d := &DurableStore{dir: dir, opts: opts, stop: make(chan struct{})}
+
+	// Newest valid snapshot wins; corrupt ones fall back to older, then to
+	// an empty store with full WAL replay.
+	snaps, err := listSeqFiles(dir, "snap-", ".snap")
+	if err != nil {
+		return nil, err
+	}
+	startSeq := uint64(0) // replay segments with seq >= startSeq
+	for i := len(snaps) - 1; i >= 0; i-- {
+		st, err := loadSnapshot(snaps[i].path, opts.StoreOptions)
+		if err != nil {
+			continue
+		}
+		d.store = st
+		d.recovery.snapshotLoaded = true
+		startSeq = snaps[i].seq
+		break
+	}
+	if d.store == nil {
+		d.store = timeseries.NewStore(opts.ChunkSize, opts.StoreOptions...)
+	}
+
+	segs, err := listSeqFiles(dir, "wal-", ".seg")
+	if err != nil {
+		return nil, err
+	}
+	maxSeq := startSeq
+	for _, sg := range segs {
+		if sg.seq > maxSeq {
+			maxSeq = sg.seq
+		}
+		if sg.seq < startSeq {
+			continue // fully covered by the snapshot; GC'd at next checkpoint
+		}
+		data, err := os.ReadFile(sg.path)
+		if err != nil {
+			return nil, err
+		}
+		res := replaySegment(data, func(rec walRecord) { rec.apply(d.store) })
+		d.recovery.replayedSegments++
+		d.recovery.replayedRecords += res.records
+		if res.torn {
+			d.recovery.truncatedTails++
+			d.recovery.truncatedBytes += res.tornSize
+			if err := os.Truncate(sg.path, res.offset); err != nil {
+				return nil, fmt.Errorf("persist: truncate torn tail of %s: %w", sg.path, err)
+			}
+			// Anything in later segments was written after a record this
+			// log already lost; stop rather than replay over a gap.
+			break
+		}
+	}
+
+	d.wal, err = openWAL(dir, maxSeq+1, opts.SegmentSize)
+	if err != nil {
+		return nil, err
+	}
+	if st, err := os.Stat(filepath.Join(dir, snapshotName(startSeq))); err == nil {
+		d.snapshotBytes.Store(st.Size())
+	}
+
+	fsyncEvery := opts.FsyncEvery
+	if fsyncEvery <= 0 {
+		fsyncEvery = 100 * time.Millisecond
+	}
+	if opts.Fsync == FsyncInterval {
+		d.bg.Add(1)
+		go d.runTicker(fsyncEvery, func() { _ = d.wal.sync() })
+	}
+	if opts.SnapshotInterval > 0 {
+		d.bg.Add(1)
+		go d.runTicker(opts.SnapshotInterval, func() { _ = d.Checkpoint() })
+	}
+	return d, nil
+}
+
+func (d *DurableStore) runTicker(every time.Duration, fn func()) {
+	defer d.bg.Done()
+	t := time.NewTicker(every)
+	defer t.Stop()
+	for {
+		select {
+		case <-d.stop:
+			return
+		case <-t.C:
+			fn()
+		}
+	}
+}
+
+// Store exposes the underlying TSDB for queries. Do not mutate it
+// directly — use the wrapper's Append/Downsample/Retain so the WAL sees
+// every change.
+func (d *DurableStore) Store() *timeseries.Store { return d.store }
+
+// logApply writes one WAL record and applies it under the op lock,
+// returning the record's append sequence for the fsync policy.
+func (d *DurableStore) logApply(payload []byte, apply func()) (uint64, error) {
+	d.mu.RLock()
+	if d.closed {
+		d.mu.RUnlock()
+		return 0, fmt.Errorf("persist: %w", timeseries.ErrStoreClosed)
+	}
+	d.opMu.Lock()
+	seq, _, err := d.wal.append(payload)
+	if err == nil {
+		apply()
+	}
+	d.opMu.Unlock()
+	d.mu.RUnlock()
+	return seq, err
+}
+
+// ack applies the fsync policy before an operation is acknowledged.
+func (d *DurableStore) ack(seq uint64) error {
+	if d.opts.Fsync == FsyncAlways {
+		return d.wal.syncTo(seq)
+	}
+	return nil
+}
+
+// AppendBatch logs and ingests a batch; semantics match
+// timeseries.Store.AppendBatch (per-sample rejections do not abort the
+// batch). Under FsyncAlways the call returns only after the batch is
+// durable.
+func (d *DurableStore) AppendBatch(entries []timeseries.BatchEntry) (int, error) {
+	if len(entries) == 0 {
+		return 0, nil
+	}
+	var n int
+	var appErr error
+	seq, err := d.logApply(encodeAppend(nil, entries), func() {
+		n, appErr = d.store.AppendBatch(entries)
+	})
+	if err != nil {
+		return 0, err
+	}
+	if err := d.ack(seq); err != nil {
+		return n, err
+	}
+	return n, appErr
+}
+
+// Append logs and ingests one sample.
+func (d *DurableStore) Append(id metric.ID, kind metric.Kind, unit metric.Unit, t int64, v float64) error {
+	n, err := d.AppendBatch([]timeseries.BatchEntry{{ID: id, Kind: kind, Unit: unit, T: t, V: v}})
+	if err != nil {
+		return err
+	}
+	if n == 0 {
+		return fmt.Errorf("timeseries: out-of-order sample for %s", id.Key())
+	}
+	return nil
+}
+
+// Downsample logs and applies a downsample; semantics match
+// timeseries.Store.Downsample.
+func (d *DurableStore) Downsample(id metric.ID, step int64) (int, error) {
+	var n int
+	var dsErr error
+	seq, err := d.logApply(encodeDownsample(nil, id, step), func() {
+		n, dsErr = d.store.Downsample(id, step)
+	})
+	if err != nil {
+		return 0, err
+	}
+	if err := d.ack(seq); err != nil {
+		return n, err
+	}
+	return n, dsErr
+}
+
+// Retain logs and applies retention; semantics match
+// timeseries.Store.Retain plus a durability error.
+func (d *DurableStore) Retain(cutoff int64) (int, error) {
+	var n int
+	seq, err := d.logApply(encodeRetain(nil, cutoff), func() {
+		n = d.store.Retain(cutoff)
+	})
+	if err != nil {
+		return 0, err
+	}
+	return n, d.ack(seq)
+}
+
+// Checkpoint writes a snapshot of the current store and garbage-collects
+// the WAL segments and older snapshots it covers. Mutations are blocked
+// only while the store is dumped (a memcpy of the compressed chunks) and
+// the WAL rotated; serialization and disk IO happen concurrently with new
+// writes.
+func (d *DurableStore) Checkpoint() error {
+	d.ckptMu.Lock()
+	defer d.ckptMu.Unlock()
+
+	d.mu.Lock()
+	if d.closed {
+		d.mu.Unlock()
+		return fmt.Errorf("persist: %w", timeseries.ErrStoreClosed)
+	}
+	dump := d.store.Dump()
+	chunkSize := d.store.ChunkSize()
+	cutSeq, err := d.wal.rotate()
+	d.mu.Unlock()
+	if err != nil {
+		return err
+	}
+
+	size, err := writeSnapshot(d.dir, cutSeq, chunkSize, dump)
+	if err != nil {
+		return err
+	}
+	d.checkpoints.Add(1)
+	d.snapshotBytes.Store(size)
+
+	// The snapshot now covers every segment before cutSeq and supersedes
+	// every older snapshot; drop both. Best effort — leftovers are ignored
+	// (and re-collected) by the next Open/Checkpoint.
+	if segs, err := listSeqFiles(d.dir, "wal-", ".seg"); err == nil {
+		for _, sg := range segs {
+			if sg.seq < cutSeq {
+				_ = os.Remove(sg.path)
+			}
+		}
+	}
+	if snaps, err := listSeqFiles(d.dir, "snap-", ".snap"); err == nil {
+		for _, sn := range snaps {
+			if sn.seq < cutSeq {
+				_ = os.Remove(sn.path)
+			}
+		}
+	}
+	syncDir(d.dir)
+	return nil
+}
+
+// Close drains background work, writes a final checkpoint and closes the
+// WAL. Further mutations fail with timeseries.ErrStoreClosed (wrapped);
+// Store() remains readable. A store reopened after a clean Close recovers
+// purely from the snapshot — zero replay.
+func (d *DurableStore) Close() error {
+	d.mu.Lock()
+	if d.closed {
+		d.mu.Unlock()
+		return nil
+	}
+	d.mu.Unlock()
+
+	close(d.stop)
+	d.bg.Wait()
+
+	err := d.Checkpoint()
+
+	d.mu.Lock()
+	d.closed = true
+	d.mu.Unlock()
+
+	if cerr := d.wal.close(); err == nil {
+		err = cerr
+	}
+	return err
+}
+
+// Stats returns the recovery and IO counters. Segment and snapshot sizes
+// are read from the directory so they reflect checkpoint GC.
+func (d *DurableStore) Stats() Stats {
+	st := Stats{
+		WALRecords:       d.wal.records.Load(),
+		WALBytes:         d.wal.bytes.Load(),
+		Fsyncs:           d.wal.fsyncs.Load(),
+		CoalescedSyncs:   d.wal.coalesced.Load(),
+		Checkpoints:      d.checkpoints.Load(),
+		SnapshotBytes:    d.snapshotBytes.Load(),
+		SnapshotLoaded:   d.recovery.snapshotLoaded,
+		ReplayedSegments: d.recovery.replayedSegments,
+		ReplayedRecords:  d.recovery.replayedRecords,
+		TruncatedTails:   d.recovery.truncatedTails,
+		TruncatedBytes:   d.recovery.truncatedBytes,
+	}
+	if segs, err := listSeqFiles(d.dir, "wal-", ".seg"); err == nil {
+		st.Segments = len(segs)
+		for _, sg := range segs {
+			if fi, err := os.Stat(sg.path); err == nil {
+				st.SegmentBytes += fi.Size()
+			}
+		}
+	}
+	return st
+}

@@ -1,0 +1,173 @@
+package persist
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"os"
+	"path/filepath"
+
+	"repro/internal/metric"
+	"repro/internal/timeseries"
+)
+
+// snapMagic heads every snapshot file.
+const snapMagic = "ODASNP1\n"
+
+func snapshotName(seq uint64) string { return fmt.Sprintf("snap-%08d.snap", seq) }
+
+// encodeSnapshot serializes a store dump. Layout after the magic:
+//
+//	chunkSize  uvarint
+//	numSeries  uvarint
+//	per series: name, labelCount, (key, value)*, kind byte, unit,
+//	            chunkCount, per chunk: sampleCount uvarint, byteLen uvarint,
+//	            raw Gorilla bitstream
+//
+// followed by a CRC32C of everything after the magic. The chunk payloads
+// are the store's own compressed bitstreams, so a snapshot costs a copy,
+// not a re-encode, and is about the size of the resident compressed data.
+func encodeSnapshot(chunkSize int, dump []timeseries.SeriesDump) []byte {
+	buf := make([]byte, 0, 1024)
+	buf = appendUvarint(buf, uint64(chunkSize))
+	buf = appendUvarint(buf, uint64(len(dump)))
+	for _, sd := range dump {
+		buf = appendID(buf, sd.ID)
+		buf = append(buf, byte(sd.Kind))
+		buf = appendString(buf, string(sd.Unit))
+		buf = appendUvarint(buf, uint64(len(sd.Chunks)))
+		for _, cd := range sd.Chunks {
+			buf = appendUvarint(buf, uint64(cd.Count))
+			buf = appendUvarint(buf, uint64(len(cd.Data)))
+			buf = append(buf, cd.Data...)
+		}
+	}
+	return buf
+}
+
+// decodeSnapshot parses a snapshot payload (without magic or trailer).
+func decodeSnapshot(payload []byte) (chunkSize int, dump []timeseries.SeriesDump, err error) {
+	p := &payloadReader{buf: payload}
+	cs, err := p.uvarint()
+	if err != nil {
+		return 0, nil, err
+	}
+	nser, err := p.uvarint()
+	if err != nil {
+		return 0, nil, err
+	}
+	if nser > uint64(len(payload)) {
+		return 0, nil, fmt.Errorf("persist: implausible series count %d", nser)
+	}
+	dump = make([]timeseries.SeriesDump, 0, nser)
+	for i := uint64(0); i < nser; i++ {
+		var sd timeseries.SeriesDump
+		if sd.ID, err = p.id(); err != nil {
+			return 0, nil, err
+		}
+		kind, err := p.byteVal()
+		if err != nil {
+			return 0, nil, err
+		}
+		sd.Kind = metric.Kind(kind)
+		unit, err := p.str()
+		if err != nil {
+			return 0, nil, err
+		}
+		sd.Unit = metric.Unit(unit)
+		nch, err := p.uvarint()
+		if err != nil {
+			return 0, nil, err
+		}
+		if nch > uint64(len(payload)) {
+			return 0, nil, fmt.Errorf("persist: implausible chunk count %d", nch)
+		}
+		sd.Chunks = make([]timeseries.ChunkDump, 0, nch)
+		for c := uint64(0); c < nch; c++ {
+			cnt, err := p.uvarint()
+			if err != nil {
+				return 0, nil, err
+			}
+			blen, err := p.uvarint()
+			if err != nil {
+				return 0, nil, err
+			}
+			if blen > uint64(len(p.buf)-p.pos) {
+				return 0, nil, fmt.Errorf("persist: chunk payload overruns snapshot")
+			}
+			data := append([]byte(nil), p.buf[p.pos:p.pos+int(blen)]...)
+			p.pos += int(blen)
+			sd.Chunks = append(sd.Chunks, timeseries.ChunkDump{Count: int(cnt), Data: data})
+		}
+		dump = append(dump, sd)
+	}
+	if p.pos != len(payload) {
+		return 0, nil, fmt.Errorf("%w: %d trailing snapshot bytes", errCorruptRecord, len(payload)-p.pos)
+	}
+	return int(cs), dump, nil
+}
+
+// writeSnapshot durably writes a snapshot covering WAL segments < seq:
+// temp file, fsync, atomic rename to its final name, directory fsync. A
+// crash at any point leaves either the previous snapshot or the complete
+// new one — never a half-written file under the live name.
+func writeSnapshot(dir string, seq uint64, chunkSize int, dump []timeseries.SeriesDump) (int64, error) {
+	payload := encodeSnapshot(chunkSize, dump)
+	tmp := filepath.Join(dir, snapshotName(seq)+".tmp")
+	f, err := os.OpenFile(tmp, os.O_CREATE|os.O_WRONLY|os.O_TRUNC, 0o644)
+	if err != nil {
+		return 0, err
+	}
+	var trailer [4]byte
+	binary.BigEndian.PutUint32(trailer[:], crc32.Checksum(payload, castagnoli))
+	if _, err = f.WriteString(snapMagic); err == nil {
+		if _, err = f.Write(payload); err == nil {
+			_, err = f.Write(trailer[:])
+		}
+	}
+	if err == nil {
+		err = f.Sync()
+	}
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	if err != nil {
+		os.Remove(tmp)
+		return 0, err
+	}
+	final := filepath.Join(dir, snapshotName(seq))
+	if err := os.Rename(tmp, final); err != nil {
+		os.Remove(tmp)
+		return 0, err
+	}
+	syncDir(dir)
+	return int64(len(snapMagic) + len(payload) + 4), nil
+}
+
+// loadSnapshot reads and validates one snapshot file, rebuilding the store
+// it captured. Any inconsistency — bad magic, checksum mismatch, decode
+// failure, chunk re-encode divergence — is an error so Open can fall back
+// to an older snapshot.
+func loadSnapshot(path string, storeOpts []timeseries.Option) (*timeseries.Store, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	if len(data) < len(snapMagic)+4 || string(data[:len(snapMagic)]) != snapMagic {
+		return nil, fmt.Errorf("persist: %s: bad snapshot magic", filepath.Base(path))
+	}
+	payload := data[len(snapMagic) : len(data)-4]
+	want := binary.BigEndian.Uint32(data[len(data)-4:])
+	if crc32.Checksum(payload, castagnoli) != want {
+		return nil, fmt.Errorf("persist: %s: snapshot checksum mismatch", filepath.Base(path))
+	}
+	chunkSize, dump, err := decodeSnapshot(payload)
+	if err != nil {
+		return nil, fmt.Errorf("persist: %s: %w", filepath.Base(path), err)
+	}
+	store, err := timeseries.RestoreStore(chunkSize, dump, storeOpts...)
+	if err != nil {
+		return nil, fmt.Errorf("persist: %s: %w", filepath.Base(path), err)
+	}
+	return store, nil
+}

@@ -185,3 +185,38 @@ func BenchmarkStoreMixedParallel_SingleShard(b *testing.B) {
 func BenchmarkStoreMixedParallel_Sharded(b *testing.B) {
 	benchMixedParallel(b, shardedAdapter{NewStore(0)})
 }
+
+// --- Query-cache ablation (PR 3) ---
+//
+// Repeated range sweeps over history dominate analytics workloads (grid
+// sweeps re-query the same windows every evaluation). The cache memoizes
+// decoded full chunks so only the open chunk pays Gorilla decode on a
+// repeat sweep.
+
+func benchQuerySweep(b *testing.B, s *Store) {
+	id := metric.ID{Name: "power", Labels: metric.NewLabels("node", "n01")}
+	for i := 0; i < 50_000; i++ {
+		if err := s.Append(id, metric.Gauge, metric.UnitWatt, int64(i)*1000, 55+math.Sin(float64(i)/50)); err != nil {
+			b.Fatal(err)
+		}
+	}
+	if _, err := s.Query(id, 0, 1<<60); err != nil { // warm
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		out, err := s.Query(id, 0, 1<<60)
+		if err != nil || len(out) != 50_000 {
+			b.Fatalf("query: %d samples, %v", len(out), err)
+		}
+	}
+}
+
+func BenchmarkStoreQuerySweepUncached(b *testing.B) {
+	benchQuerySweep(b, NewStore(0, WithQueryCache(-1)))
+}
+
+func BenchmarkStoreQuerySweepCached(b *testing.B) {
+	benchQuerySweep(b, NewStore(0, WithQueryCache(512)))
+}

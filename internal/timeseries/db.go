@@ -5,10 +5,18 @@ import (
 	"fmt"
 	"sort"
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/metric"
+	"repro/internal/par"
 	"repro/internal/stats"
 )
+
+// ErrStoreClosed is returned (wrapped) by durable store wrappers whose
+// backing log has been closed. It lives here so consumers (the collector's
+// StoreSink) can distinguish "the whole store refused the batch" from
+// per-sample rejections without importing the persistence layer.
+var ErrStoreClosed = errors.New("timeseries: store closed")
 
 // DefaultChunkSize is how many samples a chunk holds before a new one is
 // started; 120 follows the Gorilla paper's two-hour blocks at 60 s cadence.
@@ -18,6 +26,17 @@ const DefaultChunkSize = 120
 // shard-map contention negligible up to dozens of cores while costing a few
 // hundred bytes on small stores.
 const DefaultShards = 16
+
+// DefaultQueryCacheChunks is the default per-series bound on cached decoded
+// chunks (see WithQueryCache).
+const DefaultQueryCacheChunks = 64
+
+// parallelScanThreshold is the series count at which whole-store scans
+// (NumSamples, CompressedBytes, Retain, Snapshot) fan out across shards;
+// below it a sequential walk wins because fork/join overhead exceeds the
+// scan itself. A variable, not a const, so tests can exercise both paths
+// without building 10k-series stores.
+var parallelScanThreshold = 8192
 
 // Store is a concurrency-safe in-memory TSDB holding Gorilla-compressed
 // series keyed by metric ID.
@@ -31,13 +50,17 @@ const DefaultShards = 16
 // Registration order and the name index live behind a separate mutex that
 // is only taken when a series is first created.
 type Store struct {
-	chunkSize int
-	mask      uint32
-	shards    []storeShard
+	chunkSize  int
+	mask       uint32
+	shards     []storeShard
+	cacheLimit int // max cached decoded chunks per series (<= 0 disables)
 
 	regMu  sync.RWMutex
 	order  []metric.ID            // first-ingest order, for IDs/Select
 	byName map[string][]metric.ID // metric name -> IDs in first-ingest order
+
+	cacheHits   atomic.Uint64
+	cacheMisses atomic.Uint64
 }
 
 type storeShard struct {
@@ -54,6 +77,14 @@ type storedSeries struct {
 	lastT   int64
 	last    metric.Sample // cached most recent sample, valid when hasLast
 	hasLast bool
+
+	// decoded memoizes fully-decoded immutable (full) chunks for repeated
+	// range queries. Guarded by cacheMu, a leaf lock: it is taken while
+	// holding mu in either mode but never the other way round. Entries are
+	// keyed by chunk pointer — append never touches a full chunk, and
+	// Downsample/Retain drop or clear entries as they retire chunks.
+	cacheMu sync.Mutex
+	decoded map[*Chunk][]metric.Sample
 }
 
 // Option tunes a Store at construction.
@@ -76,6 +107,24 @@ func WithShards(n int) Option {
 	}
 }
 
+// WithQueryCache bounds the decoded-chunk cache: each series memoizes up to
+// n fully-decoded immutable chunks so repeated range queries skip the
+// Gorilla decode. n < 0 disables the cache entirely (every query decodes);
+// n == 0 keeps DefaultQueryCacheChunks. The mutable tail chunk is never
+// cached, and Downsample/Retain invalidate entries as chunks retire.
+func WithQueryCache(n int) Option {
+	return func(s *Store) {
+		switch {
+		case n < 0:
+			s.cacheLimit = 0
+		case n == 0:
+			s.cacheLimit = DefaultQueryCacheChunks
+		default:
+			s.cacheLimit = n
+		}
+	}
+}
+
 // NewStore returns an empty store with the given samples-per-chunk (0 uses
 // DefaultChunkSize) and optional tuning.
 func NewStore(chunkSize int, opts ...Option) *Store {
@@ -83,8 +132,9 @@ func NewStore(chunkSize int, opts ...Option) *Store {
 		chunkSize = DefaultChunkSize
 	}
 	s := &Store{
-		chunkSize: chunkSize,
-		byName:    make(map[string][]metric.ID),
+		chunkSize:  chunkSize,
+		cacheLimit: DefaultQueryCacheChunks,
+		byName:     make(map[string][]metric.ID),
 	}
 	WithShards(DefaultShards)(s)
 	for _, opt := range opts {
@@ -98,6 +148,10 @@ func NewStore(chunkSize int, opts ...Option) *Store {
 
 // NumShards returns the lock-stripe count.
 func (s *Store) NumShards() int { return len(s.shards) }
+
+// ChunkSize returns the samples-per-chunk setting; durability layers
+// persist it so recovery rebuilds identical chunk boundaries.
+func (s *Store) ChunkSize() int { return s.chunkSize }
 
 // fnv32a hashes a series key (FNV-1a).
 func fnv32a(key string) uint32 {
@@ -233,9 +287,14 @@ func (s *Store) NumSeries() int {
 	return len(s.order)
 }
 
-// forEachSeries invokes fn on every series under that series' read lock.
-func (s *Store) forEachSeries(fn func(ss *storedSeries)) {
-	for i := range s.shards {
+// scanSeries walks every shard, invoking visit per series (without taking
+// the series lock — visit picks its own lock mode). Once the store holds
+// parallelScanThreshold series the shards are walked by a bounded worker
+// pool over disjoint shard ranges, so visit must be safe for concurrent
+// calls on series of distinct shards; below the threshold the walk is
+// sequential and allocates no goroutines.
+func (s *Store) scanSeries(visit func(shard int, ss *storedSeries)) {
+	walk := func(i int) {
 		sh := &s.shards[i]
 		sh.mu.RLock()
 		batch := make([]*storedSeries, 0, len(sh.series))
@@ -244,33 +303,70 @@ func (s *Store) forEachSeries(fn func(ss *storedSeries)) {
 		}
 		sh.mu.RUnlock()
 		for _, ss := range batch {
-			ss.mu.RLock()
-			fn(ss)
-			ss.mu.RUnlock()
+			visit(i, ss)
 		}
 	}
+	if s.NumSeries() < parallelScanThreshold {
+		for i := range s.shards {
+			walk(i)
+		}
+		return
+	}
+	par.Ranges(len(s.shards), par.Workers(0), func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			walk(i)
+		}
+	})
+}
+
+// forEachSeries invokes fn on every series under that series' read lock;
+// fn must tolerate concurrent invocation on large stores (see scanSeries).
+func (s *Store) forEachSeries(fn func(ss *storedSeries)) {
+	s.scanSeries(func(_ int, ss *storedSeries) {
+		ss.mu.RLock()
+		fn(ss)
+		ss.mu.RUnlock()
+	})
+}
+
+// sumSeries reduces fn over every series under its read lock. Partial sums
+// accumulate per shard (workers own disjoint shard ranges) and combine
+// serially, so the result is deterministic for any worker count.
+func (s *Store) sumSeries(fn func(ss *storedSeries) int) int {
+	partial := make([]int, len(s.shards))
+	s.scanSeries(func(shard int, ss *storedSeries) {
+		ss.mu.RLock()
+		v := fn(ss)
+		ss.mu.RUnlock()
+		partial[shard] += v
+	})
+	total := 0
+	for _, v := range partial {
+		total += v
+	}
+	return total
 }
 
 // NumSamples returns the total stored sample count.
 func (s *Store) NumSamples() int {
-	n := 0
-	s.forEachSeries(func(ss *storedSeries) {
+	return s.sumSeries(func(ss *storedSeries) int {
+		n := 0
 		for _, c := range ss.chunks {
 			n += c.Count()
 		}
+		return n
 	})
-	return n
 }
 
 // CompressedBytes returns the total compressed payload size.
 func (s *Store) CompressedBytes() int {
-	n := 0
-	s.forEachSeries(func(ss *storedSeries) {
+	return s.sumSeries(func(ss *storedSeries) int {
+		n := 0
 		for _, c := range ss.chunks {
 			n += c.Bytes()
 		}
+		return n
 	})
-	return n
 }
 
 // CompressionRatio returns raw size (16 bytes per sample) over compressed
@@ -315,6 +411,24 @@ func (s *Store) Query(id metric.ID, from, to int64) ([]metric.Sample, error) {
 	}
 	out := make([]metric.Sample, 0, est)
 	for _, c := range chunks[lo:hi] {
+		// Full chunks are immutable (append only ever extends the last,
+		// partial chunk), so their decoded form is memoized per series and
+		// repeated range sweeps skip the Gorilla decode entirely.
+		if s.cacheLimit > 0 && c.Count() >= s.chunkSize {
+			if dec := ss.cachedChunk(c); dec != nil {
+				s.cacheHits.Add(1)
+				out = appendSampleRange(out, dec, from, to)
+				continue
+			}
+			s.cacheMisses.Add(1)
+			dec, err := decodeChunk(c)
+			if err != nil {
+				return nil, err
+			}
+			ss.storeCachedChunk(c, dec, s.cacheLimit)
+			out = appendSampleRange(out, dec, from, to)
+			continue
+		}
 		it := c.Iter()
 		for it.Next() {
 			sm := it.At()
@@ -334,6 +448,62 @@ func (s *Store) Query(id metric.ID, from, to int64) ([]metric.Sample, error) {
 		return nil, nil
 	}
 	return out, nil
+}
+
+// decodeChunk fully decodes one chunk.
+func decodeChunk(c *Chunk) ([]metric.Sample, error) {
+	dec := make([]metric.Sample, 0, c.Count())
+	it := c.Iter()
+	for it.Next() {
+		dec = append(dec, it.At())
+	}
+	if err := it.Err(); err != nil {
+		return nil, err
+	}
+	return dec, nil
+}
+
+// appendSampleRange appends the samples with from <= T < to out of a
+// time-sorted slice. The source slice is shared cache state and is never
+// mutated.
+func appendSampleRange(out, samples []metric.Sample, from, to int64) []metric.Sample {
+	i := sort.Search(len(samples), func(k int) bool { return samples[k].T >= from })
+	for ; i < len(samples) && samples[i].T < to; i++ {
+		out = append(out, samples[i])
+	}
+	return out
+}
+
+// cachedChunk returns the memoized decode of c, or nil when absent.
+func (ss *storedSeries) cachedChunk(c *Chunk) []metric.Sample {
+	ss.cacheMu.Lock()
+	dec := ss.decoded[c]
+	ss.cacheMu.Unlock()
+	return dec
+}
+
+// storeCachedChunk memoizes a decoded chunk, evicting an arbitrary entry
+// when the per-series bound is reached (sweeps are sequential, so any
+// eviction victim is equally good on average).
+func (ss *storedSeries) storeCachedChunk(c *Chunk, dec []metric.Sample, limit int) {
+	ss.cacheMu.Lock()
+	if ss.decoded == nil {
+		ss.decoded = make(map[*Chunk][]metric.Sample)
+	}
+	if len(ss.decoded) >= limit {
+		for victim := range ss.decoded {
+			delete(ss.decoded, victim)
+			break
+		}
+	}
+	ss.decoded[c] = dec
+	ss.cacheMu.Unlock()
+}
+
+// QueryCacheStats reports decoded-chunk cache hits and misses since the
+// store was created.
+func (s *Store) QueryCacheStats() (hits, misses uint64) {
+	return s.cacheHits.Load(), s.cacheMisses.Load()
 }
 
 // QueryAll returns every sample of a series.
@@ -488,6 +658,9 @@ func (s *Store) Downsample(id metric.ID, step int64) (int, error) {
 	}
 	ss.mu.Lock()
 	defer ss.mu.Unlock()
+	ss.cacheMu.Lock()
+	ss.decoded = nil // every chunk is retired; drop all memoized decodes
+	ss.cacheMu.Unlock()
 	ss.chunks = nil
 	ss.lastT = 0
 	ss.hasLast = false
@@ -506,33 +679,32 @@ func (s *Store) Downsample(id metric.ID, step int64) (int, error) {
 }
 
 // Retain drops whole chunks whose newest sample is older than cutoff,
-// returning how many samples were discarded.
+// returning how many samples were discarded. Large stores scan shards in
+// parallel (see scanSeries); the per-shard drop counts reduce serially.
 func (s *Store) Retain(cutoff int64) int {
+	partial := make([]int, len(s.shards))
+	s.scanSeries(func(shard int, ss *storedSeries) {
+		ss.mu.Lock()
+		keep := ss.chunks[:0]
+		for _, c := range ss.chunks {
+			if c.Count() > 0 && c.LastTime() < cutoff {
+				partial[shard] += c.Count()
+				ss.cacheMu.Lock()
+				delete(ss.decoded, c)
+				ss.cacheMu.Unlock()
+				continue
+			}
+			keep = append(keep, c)
+		}
+		ss.chunks = keep
+		if len(ss.chunks) == 0 {
+			ss.hasLast = false
+		}
+		ss.mu.Unlock()
+	})
 	dropped := 0
-	for i := range s.shards {
-		sh := &s.shards[i]
-		sh.mu.RLock()
-		batch := make([]*storedSeries, 0, len(sh.series))
-		for _, ss := range sh.series {
-			batch = append(batch, ss)
-		}
-		sh.mu.RUnlock()
-		for _, ss := range batch {
-			ss.mu.Lock()
-			keep := ss.chunks[:0]
-			for _, c := range ss.chunks {
-				if c.Count() > 0 && c.LastTime() < cutoff {
-					dropped += c.Count()
-					continue
-				}
-				keep = append(keep, c)
-			}
-			ss.chunks = keep
-			if len(ss.chunks) == 0 {
-				ss.hasLast = false
-			}
-			ss.mu.Unlock()
-		}
+	for _, v := range partial {
+		dropped += v
 	}
 	return dropped
 }
@@ -553,13 +725,28 @@ func (s *Store) SeriesValues(id metric.ID, from, to int64) ([]float64, error) {
 
 // Snapshot returns the latest value of every series matching the selector,
 // ordered by series key: the "current system state vector" diagnostic
-// analytics consumes.
+// analytics consumes. Wide selections gather latest samples in parallel
+// (workers fill disjoint index ranges, so output is deterministic).
 func (s *Store) Snapshot(name string, sel metric.Labels) []SnapshotEntry {
 	ids := s.Select(name, sel)
+	entries := make([]SnapshotEntry, len(ids))
+	ok := make([]bool, len(ids))
+	collect := func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			if sm, found := s.Latest(ids[i]); found {
+				entries[i], ok[i] = SnapshotEntry{ID: ids[i], Sample: sm}, true
+			}
+		}
+	}
+	if len(ids) >= parallelScanThreshold {
+		par.Ranges(len(ids), par.Workers(0), collect)
+	} else {
+		collect(0, len(ids))
+	}
 	out := make([]SnapshotEntry, 0, len(ids))
-	for _, id := range ids {
-		if sm, ok := s.Latest(id); ok {
-			out = append(out, SnapshotEntry{ID: id, Sample: sm})
+	for i := range entries {
+		if ok[i] {
+			out = append(out, entries[i])
 		}
 	}
 	sort.Slice(out, func(a, b int) bool { return out[a].ID.Key() < out[b].ID.Key() })

@@ -1,0 +1,105 @@
+package timeseries
+
+import (
+	"bytes"
+	"fmt"
+
+	"repro/internal/metric"
+)
+
+// ChunkDump is one Gorilla-compressed chunk lifted out of a store: the raw
+// bitstream payload plus the sample count needed to decode it. The bytes
+// are exactly what the in-memory chunk holds, so dumping is a copy, not a
+// re-encode.
+type ChunkDump struct {
+	Count int
+	Data  []byte
+}
+
+// SeriesDump is one series' complete persisted state: identity, typing and
+// the ordered compressed chunks.
+type SeriesDump struct {
+	ID     metric.ID
+	Kind   metric.Kind
+	Unit   metric.Unit
+	Chunks []ChunkDump
+}
+
+// Dump lifts every series out of the store in first-ingest order, copying
+// the compressed chunk payloads. It is the snapshot surface durability
+// layers serialize: deterministic ordering makes two dumps of identical
+// stores byte-identical. Callers that need a consistent point-in-time image
+// must ensure no mutations run concurrently (the persist layer holds its
+// checkpoint lock across Dump).
+func (s *Store) Dump() []SeriesDump {
+	ids := s.IDs()
+	out := make([]SeriesDump, 0, len(ids))
+	for _, id := range ids {
+		ss := s.lookup(id.Key())
+		if ss == nil {
+			continue
+		}
+		ss.mu.RLock()
+		sd := SeriesDump{ID: ss.id, Kind: ss.kind, Unit: ss.unit, Chunks: make([]ChunkDump, 0, len(ss.chunks))}
+		for _, c := range ss.chunks {
+			if c.Count() == 0 {
+				continue
+			}
+			sd.Chunks = append(sd.Chunks, ChunkDump{Count: c.Count(), Data: append([]byte(nil), c.w.bytes()...)})
+		}
+		ss.mu.RUnlock()
+		out = append(out, sd)
+	}
+	return out
+}
+
+// NewChunkDataIter decodes a raw chunk payload (as produced by Dump) of
+// count samples without constructing a Chunk.
+func NewChunkDataIter(data []byte, count int) *ChunkIter {
+	return &ChunkIter{r: newBitReader(data), remaining: count}
+}
+
+// RestoreStore rebuilds a store from a dump. Each chunk is decoded and
+// re-encoded through the same Gorilla codec, and the re-encoded bytes are
+// compared against the dump payload — a dump that decodes but would not
+// reproduce itself (bit corruption the per-sample decode tolerates) fails
+// restoration instead of silently diverging. The restored store is
+// byte-identical to the dumped one: same chunk boundaries, same bitstreams,
+// same append state for the partial tail chunk.
+func RestoreStore(chunkSize int, dump []SeriesDump, opts ...Option) (*Store, error) {
+	s := NewStore(chunkSize, opts...)
+	for _, sd := range dump {
+		key := sd.ID.Key()
+		if s.lookup(key) != nil {
+			return nil, fmt.Errorf("timeseries: restore: duplicate series %s", key)
+		}
+		ss := s.getOrCreate(key, sd.ID, sd.Kind, sd.Unit)
+		for _, cd := range sd.Chunks {
+			if cd.Count == 0 {
+				continue
+			}
+			c := NewChunk()
+			it := NewChunkDataIter(cd.Data, cd.Count)
+			for it.Next() {
+				sm := it.At()
+				if ss.hasLast && sm.T <= ss.lastT {
+					return nil, fmt.Errorf("timeseries: restore %s: non-monotonic chunk sequence (%d <= %d)", key, sm.T, ss.lastT)
+				}
+				if err := c.Append(sm.T, sm.V); err != nil {
+					return nil, fmt.Errorf("timeseries: restore %s: %w", key, err)
+				}
+				ss.lastT = sm.T
+				ss.last = sm
+				ss.hasLast = true
+			}
+			if err := it.Err(); err != nil {
+				return nil, fmt.Errorf("timeseries: restore %s: %w", key, err)
+			}
+			if c.Count() != cd.Count || !bytes.Equal(c.w.bytes(), cd.Data) {
+				return nil, fmt.Errorf("timeseries: restore %s: chunk re-encode mismatch (%d samples, %d bytes vs %d)", key, cd.Count, c.Bytes(), len(cd.Data))
+			}
+			ss.chunks = append(ss.chunks, c)
+		}
+	}
+	return s, nil
+}

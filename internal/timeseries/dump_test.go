@@ -1,0 +1,212 @@
+package timeseries
+
+import (
+	"math"
+	"reflect"
+	"testing"
+
+	"repro/internal/metric"
+)
+
+func TestDumpRestoreRoundTrip(t *testing.T) {
+	s := NewStore(8)
+	ids := []metric.ID{sid("power", "n0"), sid("power", "n1"), sid("temp", "n0")}
+	for i := 0; i < 57; i++ { // deliberately not a chunk multiple: partial last chunk
+		for j, id := range ids {
+			if err := s.Append(id, metric.Gauge, metric.UnitWatt, int64(1000+i*250), float64(i*3+j)+math.Sin(float64(i))); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	if _, err := s.Downsample(ids[2], 1000); err != nil {
+		t.Fatal(err)
+	}
+	dump := s.Dump()
+	re, err := RestoreStore(s.ChunkSize(), dump)
+	if err != nil {
+		t.Fatalf("restore: %v", err)
+	}
+	if !reflect.DeepEqual(re.Dump(), dump) {
+		t.Fatal("restored store dump diverged from original")
+	}
+	// Restored store answers queries identically.
+	for _, id := range ids {
+		want, err := s.Query(id, 0, 1<<60)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := re.Query(id, 0, 1<<60)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("%v: query after restore diverged", id)
+		}
+	}
+	// And keeps accepting appends where the original left off.
+	if err := re.Append(ids[0], metric.Gauge, metric.UnitWatt, 1<<40, 1); err != nil {
+		t.Fatalf("append after restore: %v", err)
+	}
+	if err := re.Append(ids[0], metric.Gauge, metric.UnitWatt, 1, 1); err == nil {
+		t.Fatal("restored store lost its last-timestamp watermark")
+	}
+}
+
+func TestRestoreStoreRejectsCorruptChunk(t *testing.T) {
+	s := NewStore(8)
+	for i := 0; i < 20; i++ {
+		if err := s.Append(sid("power", "n0"), metric.Gauge, metric.UnitWatt, int64(1000+i*250), float64(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	dump := s.Dump()
+	dump[0].Chunks[0].Data[2] ^= 0x10
+	if _, err := RestoreStore(s.ChunkSize(), dump); err == nil {
+		t.Fatal("RestoreStore accepted a corrupted chunk bitstream")
+	}
+}
+
+func TestQueryCacheHitsAndInvalidation(t *testing.T) {
+	s := NewStore(8)
+	id := sid("power", "n0")
+	for i := 0; i < 40; i++ { // 5 full chunks
+		if err := s.Append(id, metric.Gauge, metric.UnitWatt, int64(i)*1000, float64(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := s.Query(id, 0, 1<<60)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h, m := s.QueryCacheStats(); h != 0 || m == 0 {
+		t.Fatalf("first sweep should be all misses: hits=%d misses=%d", h, m)
+	}
+	got, err := s.Query(id, 0, 1<<60)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatal("cached query diverged from decoded query")
+	}
+	h1, _ := s.QueryCacheStats()
+	if h1 == 0 {
+		t.Fatal("second sweep over immutable chunks should hit the cache")
+	}
+
+	// Appends that seal a chunk make it cacheable; the open chunk never is.
+	if err := s.Append(id, metric.Gauge, metric.UnitWatt, 40_000, 40); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Query(id, 0, 1<<60); err != nil {
+		t.Fatal(err)
+	}
+
+	// Downsample rewrites chunks and must drop every cached decode.
+	if _, err := s.Downsample(id, 2000); err != nil {
+		t.Fatal(err)
+	}
+	after, err := s.Query(id, 0, 1<<60)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, sm := range after {
+		if sm.T%2000 != 0 {
+			t.Fatalf("stale cached sample %v survived downsample", sm)
+		}
+	}
+
+	// Retain drops whole chunks; the cache must not resurrect them.
+	s.Retain(30_000)
+	kept, err := s.Query(id, 0, 1<<60)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, sm := range kept {
+		if sm.T < 30_000-16_000 { // retain keeps whole chunks, so allow one chunk of slack
+			t.Fatalf("sample %v should have been retired", sm)
+		}
+	}
+}
+
+func TestQueryCacheDisabledAndBounded(t *testing.T) {
+	disabled := NewStore(8, WithQueryCache(-1))
+	id := sid("power", "n0")
+	for i := 0; i < 24; i++ {
+		if err := disabled.Append(id, metric.Gauge, metric.UnitWatt, int64(i)*1000, float64(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for k := 0; k < 3; k++ {
+		if _, err := disabled.Query(id, 0, 1<<60); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if h, m := disabled.QueryCacheStats(); h != 0 || m != 0 {
+		t.Fatalf("disabled cache recorded traffic: hits=%d misses=%d", h, m)
+	}
+
+	bounded := NewStore(4, WithQueryCache(2)) // room for 2 decoded chunks
+	for i := 0; i < 40; i++ {                 // 10 chunks
+		if err := bounded.Append(id, metric.Gauge, metric.UnitWatt, int64(i)*1000, float64(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	first, err := bounded.Query(id, 0, 1<<60)
+	if err != nil {
+		t.Fatal(err)
+	}
+	second, err := bounded.Query(id, 0, 1<<60)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(first, second) {
+		t.Fatal("bounded cache changed query results")
+	}
+	if len(first) != 40 {
+		t.Fatalf("query returned %d samples, want 40", len(first))
+	}
+}
+
+func TestScanSeriesParallelMatchesSequential(t *testing.T) {
+	old := parallelScanThreshold
+	defer func() { parallelScanThreshold = old }()
+
+	build := func() *Store {
+		s := NewStore(16)
+		for n := 0; n < 300; n++ {
+			id := metric.ID{Name: "power", Labels: metric.NewLabels("node", string(rune('a'+n%26))+string(rune('0'+n/26)))}
+			for i := 0; i < 33; i++ {
+				if err := s.Append(id, metric.Gauge, metric.UnitWatt, int64(i)*1000, float64(n+i)); err != nil {
+					t.Fatal(err)
+				}
+			}
+		}
+		return s
+	}
+
+	parallelScanThreshold = 1 << 30 // force sequential
+	seq := build()
+	seqSamples, seqBytes := seq.NumSamples(), seq.CompressedBytes()
+	seqSnap := seq.Snapshot("power", nil)
+	seqDropped := seq.Retain(20_000)
+
+	parallelScanThreshold = 1 // force parallel
+	par := build()
+	if n := par.NumSamples(); n != seqSamples {
+		t.Fatalf("parallel NumSamples %d != sequential %d", n, seqSamples)
+	}
+	if b := par.CompressedBytes(); b != seqBytes {
+		t.Fatalf("parallel CompressedBytes %d != sequential %d", b, seqBytes)
+	}
+	parSnap := par.Snapshot("power", nil)
+	if !reflect.DeepEqual(parSnap, seqSnap) {
+		t.Fatalf("parallel Snapshot diverged: %d vs %d entries", len(parSnap), len(seqSnap))
+	}
+	parDropped := par.Retain(20_000)
+	if parDropped != seqDropped {
+		t.Fatalf("parallel Retain dropped %d, sequential dropped %d", parDropped, seqDropped)
+	}
+	if !reflect.DeepEqual(par.Dump(), seq.Dump()) {
+		t.Fatal("stores diverged after parallel vs sequential retention")
+	}
+}
