@@ -7,7 +7,7 @@ COVER_MIN ?= 85.0
 # How long `make fuzz-short` runs each fuzz target.
 FUZZTIME ?= 10s
 
-.PHONY: build test race vet bench bench-parallel cover fuzz-short crash-test
+.PHONY: build test race vet bench bench-parallel bench-allocs cover fuzz-short crash-test
 
 build:
 	$(GO) build ./...
@@ -16,12 +16,13 @@ test:
 	$(GO) test ./...
 
 # Race-detector pass over every package with shared-state concurrency:
-# the sharded TSDB, the grid worker pool, the pub/sub bus, the parallel
-# simulation stepper and the async collection pipeline (slow-sink /
-# backpressure stress lives in collector's pipeline tests). go vet runs
-# first as a cheap gate.
+# the sharded TSDB (cursor pool + decoded-chunk cache), the grid worker
+# pool and tuner, the pub/sub bus, the parallel simulation stepper, the
+# async collection pipeline (slow-sink / backpressure stress lives in
+# collector's pipeline tests), the wire server/client and the par
+# primitives. go vet runs first as a cheap gate.
 race: vet
-	$(GO) test -race ./internal/timeseries ./internal/oda ./internal/bus ./internal/simulation ./internal/collector ./internal/persist
+	$(GO) test -race ./internal/timeseries ./internal/oda ./internal/bus ./internal/simulation ./internal/collector ./internal/persist ./internal/wire ./internal/par
 
 # Durability torture pass: the randomized torn-write harness, the
 # kill-and-recover matrix across all fsync policies, and the concurrent
@@ -53,6 +54,19 @@ vet:
 
 bench:
 	$(GO) test -run xxx -bench . -benchtime 1s ./...
+
+# Allocation budget gate for the PR 4 streaming query engine: the cursor
+# sweeps and the pooled wire encode path must stay at exactly 0 allocs/op
+# (see BENCH_PR4.json for recorded before/after numbers). Any regression —
+# a scratch buffer that stops being reused, a closure that starts
+# escaping — fails the build here rather than showing up as GC pressure
+# in production sweeps.
+bench-allocs:
+	@out=$$($(GO) test -run xxx -bench 'BenchmarkStoreCursorSweep' -benchmem -benchtime 50x ./internal/timeseries; \
+	        $(GO) test -run xxx -bench 'BenchmarkAppendBatchReuse|BenchmarkBatchWriterSend' -benchmem -benchtime 1000x ./internal/wire); \
+	echo "$$out"; \
+	echo "$$out" | awk '/^Benchmark/ { if ($$(NF-1)+0 > 0) { printf "FAIL: %s allocates %s allocs/op (budget 0)\n", $$1, $$(NF-1); bad=1 } } \
+		END { if (bad) exit 1; print "OK: streaming paths within 0 allocs/op budget" }'
 
 # The PR 1 contention benches; -cpu 1,4 exposes lock-contention scaling
 # (see BENCH_PR1.json for recorded before/after numbers).

@@ -11,6 +11,7 @@
 //	odactl pillars     # the four pillars
 //	odactl systems     # Fig. 3 composed systems coverage
 //	odactl works       # every surveyed work and its cells
+//	odactl stats URL   # fetch and render a running odad's /stats document
 package main
 
 import (
@@ -25,11 +26,25 @@ import (
 )
 
 func usage() {
-	fmt.Fprintln(os.Stderr, "usage: odactl {grid|survey|types|pillars|systems|works}")
+	fmt.Fprintln(os.Stderr, "usage: odactl {grid|survey|types|pillars|systems|works|stats URL}")
 	os.Exit(2)
 }
 
 func main() {
+	if len(os.Args) < 2 {
+		usage()
+	}
+	if os.Args[1] == "stats" {
+		if len(os.Args) != 3 {
+			usage()
+		}
+		stats, err := fetchStats(os.Args[2])
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Print(renderStats(stats))
+		return
+	}
 	if len(os.Args) != 2 {
 		usage()
 	}

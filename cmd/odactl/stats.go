@@ -1,0 +1,55 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"sort"
+	"strings"
+	"time"
+)
+
+// fetchStats GETs an odad /stats document. url may be the daemon's HTTP
+// base ("http://host:9901") or the full endpoint; a bare host:port gets an
+// http scheme prepended.
+func fetchStats(url string) (map[string]any, error) {
+	if !strings.Contains(url, "://") {
+		url = "http://" + url
+	}
+	if !strings.HasSuffix(url, "/stats") {
+		url = strings.TrimSuffix(url, "/") + "/stats"
+	}
+	client := &http.Client{Timeout: 10 * time.Second}
+	resp, err := client.Get(url)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("%s: %s", url, resp.Status)
+	}
+	var stats map[string]any
+	if err := json.NewDecoder(resp.Body).Decode(&stats); err != nil {
+		return nil, fmt.Errorf("%s: decode: %w", url, err)
+	}
+	return stats, nil
+}
+
+// renderStats flattens the stats document into sorted "key  value" lines,
+// nesting sections (like persist) with a dotted prefix.
+func renderStats(stats map[string]any) string {
+	var lines []string
+	var walk func(prefix string, m map[string]any)
+	walk = func(prefix string, m map[string]any) {
+		for k, v := range m {
+			if sub, ok := v.(map[string]any); ok {
+				walk(prefix+k+".", sub)
+				continue
+			}
+			lines = append(lines, fmt.Sprintf("%-28s %v", prefix+k, v))
+		}
+	}
+	walk("", stats)
+	sort.Strings(lines)
+	return strings.Join(lines, "\n") + "\n"
+}

@@ -1,0 +1,43 @@
+package main
+
+import (
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+// TestFetchAndRenderStats stands up a fake odad /stats endpoint and checks
+// the fetch/flatten pipeline end to end, including URL normalization.
+func TestFetchAndRenderStats(t *testing.T) {
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path != "/stats" {
+			http.NotFound(w, r)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		_, _ = w.Write([]byte(`{
+			"samples": 1200, "series": 4,
+			"cursor_pool_gets": 37, "cursor_pool_reuse": 33,
+			"persist": {"wal_records": 9}
+		}`))
+	}))
+	defer srv.Close()
+
+	for _, url := range []string{srv.URL, srv.URL + "/", srv.URL + "/stats", strings.TrimPrefix(srv.URL, "http://")} {
+		stats, err := fetchStats(url)
+		if err != nil {
+			t.Fatalf("fetchStats(%q): %v", url, err)
+		}
+		out := renderStats(stats)
+		for _, want := range []string{"samples", "cursor_pool_gets", "cursor_pool_reuse", "persist.wal_records"} {
+			if !strings.Contains(out, want) {
+				t.Fatalf("fetchStats(%q) render missing %q:\n%s", url, want, out)
+			}
+		}
+	}
+
+	if _, err := fetchStats(srv.URL + "/missing/stats"); err == nil {
+		t.Fatal("non-200 response should error")
+	}
+}

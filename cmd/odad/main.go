@@ -138,42 +138,7 @@ func main() {
 			http.Error(w, err.Error(), http.StatusInternalServerError)
 		}
 	})
-	mux.HandleFunc("/stats", func(w http.ResponseWriter, r *http.Request) {
-		w.Header().Set("Content-Type", "application/json")
-		hits, misses := store.QueryCacheStats()
-		stats := map[string]any{
-			"series":             store.NumSeries(),
-			"samples":            store.NumSamples(),
-			"compressed_bytes":   store.CompressedBytes(),
-			"compression_ratio":  store.CompressionRatio(),
-			"batches":            srv.Batches(),
-			"ingest_samples":     srv.Samples(),
-			"ingest_errors":      srv.Errors(),
-			"query_cache_hits":   hits,
-			"query_cache_misses": misses,
-		}
-		if durable != nil {
-			st := durable.Stats()
-			stats["persist"] = map[string]any{
-				"segments":          st.Segments,
-				"segment_bytes":     st.SegmentBytes,
-				"wal_records":       st.WALRecords,
-				"wal_bytes":         st.WALBytes,
-				"fsyncs":            st.Fsyncs,
-				"coalesced_syncs":   st.CoalescedSyncs,
-				"checkpoints":       st.Checkpoints,
-				"snapshot_bytes":    st.SnapshotBytes,
-				"snapshot_loaded":   st.SnapshotLoaded,
-				"replayed_segments": st.ReplayedSegments,
-				"replayed_records":  st.ReplayedRecords,
-				"truncated_tails":   st.TruncatedTails,
-				"truncated_bytes":   st.TruncatedBytes,
-			}
-		}
-		if err := json.NewEncoder(w).Encode(stats); err != nil {
-			http.Error(w, err.Error(), http.StatusInternalServerError)
-		}
-	})
+	mux.HandleFunc("/stats", statsHandler(store, srv, durable))
 
 	httpSrv := &http.Server{Addr: *httpAddr, Handler: mux}
 	go func() {

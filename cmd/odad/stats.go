@@ -1,0 +1,63 @@
+package main
+
+import (
+	"encoding/json"
+	"net/http"
+
+	"repro/internal/persist"
+	"repro/internal/timeseries"
+	"repro/internal/wire"
+)
+
+// statsPayload assembles the /stats document: store shape, ingest counters,
+// the query-side pool/cache effectiveness counters the streaming engine
+// exposes, and (when durable) persistence statistics.
+func statsPayload(store *timeseries.Store, srv *wire.Server, durable *persist.DurableStore) map[string]any {
+	hits, misses := store.QueryCacheStats()
+	gets, news := store.CursorPoolStats()
+	stats := map[string]any{
+		"series":             store.NumSeries(),
+		"samples":            store.NumSamples(),
+		"compressed_bytes":   store.CompressedBytes(),
+		"compression_ratio":  store.CompressionRatio(),
+		"query_cache_hits":   hits,
+		"query_cache_misses": misses,
+		"cursor_pool_gets":   gets,
+		"cursor_pool_news":   news,
+		"cursor_pool_reuse":  gets - news,
+	}
+	if srv != nil {
+		stats["batches"] = srv.Batches()
+		stats["ingest_samples"] = srv.Samples()
+		stats["ingest_errors"] = srv.Errors()
+	}
+	if durable != nil {
+		st := durable.Stats()
+		stats["persist"] = map[string]any{
+			"segments":          st.Segments,
+			"segment_bytes":     st.SegmentBytes,
+			"wal_records":       st.WALRecords,
+			"wal_bytes":         st.WALBytes,
+			"fsyncs":            st.Fsyncs,
+			"coalesced_syncs":   st.CoalescedSyncs,
+			"checkpoints":       st.Checkpoints,
+			"snapshot_bytes":    st.SnapshotBytes,
+			"snapshot_loaded":   st.SnapshotLoaded,
+			"replayed_segments": st.ReplayedSegments,
+			"replayed_records":  st.ReplayedRecords,
+			"truncated_tails":   st.TruncatedTails,
+			"truncated_bytes":   st.TruncatedBytes,
+		}
+	}
+	return stats
+}
+
+// statsHandler serves statsPayload as JSON.
+func statsHandler(store *timeseries.Store, srv *wire.Server, durable *persist.DurableStore) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		if err := json.NewEncoder(w).Encode(statsPayload(store, srv, durable)); err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+		}
+	}
+}

@@ -1,0 +1,70 @@
+package main
+
+import (
+	"encoding/json"
+	"net/http/httptest"
+	"testing"
+
+	"repro/internal/metric"
+	"repro/internal/timeseries"
+)
+
+// TestStatsHandlerSmoke exercises the /stats endpoint against a live store:
+// after a few queries the payload must report the series/sample shape and
+// show the cursor pool recycling allocations.
+func TestStatsHandlerSmoke(t *testing.T) {
+	store := timeseries.NewStore(8)
+	id := metric.ID{Name: "node_power_watts", Labels: metric.NewLabels("node", "n0")}
+	for i := int64(0); i < 100; i++ {
+		if err := store.Append(id, metric.Gauge, metric.UnitWatt, i*1000, float64(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Repeated queries cycle cursors through the pool and warm the
+	// decoded-chunk cache.
+	for i := 0; i < 16; i++ {
+		if _, err := store.Query(id, 0, 100_000); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	rec := httptest.NewRecorder()
+	statsHandler(store, nil, nil)(rec, httptest.NewRequest("GET", "/stats", nil))
+	if rec.Code != 200 {
+		t.Fatalf("status %d", rec.Code)
+	}
+	if ct := rec.Header().Get("Content-Type"); ct != "application/json" {
+		t.Fatalf("content type %q", ct)
+	}
+	var got map[string]any
+	if err := json.Unmarshal(rec.Body.Bytes(), &got); err != nil {
+		t.Fatalf("decode: %v", err)
+	}
+	if got["series"] != float64(1) || got["samples"] != float64(100) {
+		t.Fatalf("shape: series=%v samples=%v", got["series"], got["samples"])
+	}
+	for _, key := range []string{
+		"compressed_bytes", "compression_ratio",
+		"query_cache_hits", "query_cache_misses",
+		"cursor_pool_gets", "cursor_pool_news", "cursor_pool_reuse",
+	} {
+		if _, ok := got[key]; !ok {
+			t.Fatalf("missing %q in payload %v", key, got)
+		}
+	}
+	gets := got["cursor_pool_gets"].(float64)
+	news := got["cursor_pool_news"].(float64)
+	if gets < 16 {
+		t.Fatalf("cursor_pool_gets = %v, want >= 16", gets)
+	}
+	if reuse := got["cursor_pool_reuse"].(float64); reuse != gets-news {
+		t.Fatalf("cursor_pool_reuse = %v, want gets-news = %v", reuse, gets-news)
+	}
+	// No ingest server and no durable store: those sections are absent.
+	if _, ok := got["batches"]; ok {
+		t.Fatal("batches reported without a wire server")
+	}
+	if _, ok := got["persist"]; ok {
+		t.Fatal("persist reported without a durable store")
+	}
+}

@@ -135,16 +135,35 @@ func (d *Dashboard) Snapshot(now int64) []PanelData {
 			window = 3600 * 1000
 		}
 		pd := PanelData{Title: p.Title}
-		for _, id := range d.Store.Select(p.Name, p.Selector) {
-			vals, err := d.Store.SeriesValues(id, now-window, now+1)
-			if err != nil || len(vals) == 0 {
-				continue
+		ids := d.Store.Select(p.Name, p.Selector)
+		// One fused pass per series: the summary statistics accumulate
+		// while the display values stream off the cursor, and wide panels
+		// fan out across series with deterministic per-index slots.
+		slots := make([]SeriesData, len(ids))
+		filled := make([]bool, len(ids))
+		_ = d.Store.Scan(ids, now-window, now+1, func(i int, cur *timeseries.Cursor) error {
+			vals := make([]float64, 0, cur.Est())
+			var o stats.Online
+			for cur.Next() {
+				v := cur.At().V
+				vals = append(vals, v)
+				o.Add(v)
 			}
-			s, _ := stats.Summarize(vals)
-			pd.Series = append(pd.Series, SeriesData{
-				ID: id.Key(), Last: vals[len(vals)-1],
+			if cur.Err() != nil || len(vals) == 0 {
+				return nil // skip broken/empty series, as before
+			}
+			s := o.Summary()
+			slots[i] = SeriesData{
+				ID: ids[i].Key(), Last: vals[len(vals)-1],
 				Mean: s.Mean, Min: s.Min, Max: s.Max, Values: vals,
-			})
+			}
+			filled[i] = true
+			return nil
+		})
+		for i := range slots {
+			if filled[i] {
+				pd.Series = append(pd.Series, slots[i])
+			}
 		}
 		sort.Slice(pd.Series, func(a, b int) bool { return pd.Series[a].ID < pd.Series[b].ID })
 		out = append(out, pd)

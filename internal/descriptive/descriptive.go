@@ -18,6 +18,7 @@ import (
 	"repro/internal/oda"
 	"repro/internal/simulation"
 	"repro/internal/stats"
+	"repro/internal/timeseries"
 	"repro/internal/workload"
 )
 
@@ -49,16 +50,18 @@ func (PUE) Meta() oda.Meta {
 // Run implements oda.Capability.
 func (PUE) Run(ctx *oda.RunContext) (oda.Result, error) {
 	id := metric.ID{Name: "facility_pue", Labels: siteLabels}
-	vals, err := ctx.Store.SeriesValues(id, ctx.From, ctx.To)
+	// Stream off the archive, keeping only the positive samples: the zero
+	// readings from before the first IT load are meaningless. Only the
+	// filtered values are gathered (the p95 needs them all at once).
+	var clean []float64
+	err := ctx.Store.Each(id, ctx.From, ctx.To, func(sm metric.Sample) bool {
+		if sm.V > 0 {
+			clean = append(clean, sm.V)
+		}
+		return true
+	})
 	if err != nil {
 		return oda.Result{}, err
-	}
-	// Ignore the meaningless zero samples from before the first IT load.
-	clean := vals[:0:0]
-	for _, v := range vals {
-		if v > 0 {
-			clean = append(clean, v)
-		}
 	}
 	if len(clean) == 0 {
 		return oda.Result{}, fmt.Errorf("descriptive: no PUE samples in window")
@@ -109,16 +112,18 @@ func (c ITUE) Run(ctx *oda.RunContext) (oda.Result, error) {
 	for _, pid := range powerIDs {
 		node, _ := pid.Labels.Get("node")
 		fanID := metric.ID{Name: "node_fan_speed", Labels: pid.Labels}
-		pvals, err := ctx.Store.SeriesValues(pid, ctx.From, ctx.To)
-		if err != nil || len(pvals) == 0 {
+		// Per-node means are pushed down into the storage engine: no
+		// sample slice is materialized per series.
+		pMean, pn, err := ctx.Store.Reduce(pid, ctx.From, ctx.To, timeseries.AggMean)
+		if err != nil || pn == 0 {
 			continue
 		}
-		fvals, err := ctx.Store.SeriesValues(fanID, ctx.From, ctx.To)
-		if err != nil || len(fvals) == 0 {
+		fMean, fn, err := ctx.Store.Reduce(fanID, ctx.From, ctx.To, timeseries.AggMean)
+		if err != nil || fn == 0 {
 			return oda.Result{}, fmt.Errorf("descriptive: node %s has power but no fan telemetry", node)
 		}
-		totalPower += stats.Mean(pvals)
-		fm := stats.Mean(fvals) / 100
+		totalPower += pMean
+		fm := fMean / 100
 		fanPower += maxFan * fm * fm * fm
 		nodes++
 	}
@@ -161,13 +166,15 @@ func (SIE) Run(ctx *oda.RunContext) (oda.Result, error) {
 	hist := stats.NewHistogram(0, 100.0000001, 10)
 	var samples int
 	for _, id := range ids {
-		vals, err := ctx.Store.SeriesValues(id, ctx.From, ctx.To)
+		// The histogram is a streaming accumulator — feed it straight off
+		// the cursor instead of materializing each node's series.
+		err := ctx.Store.Each(id, ctx.From, ctx.To, func(sm metric.Sample) bool {
+			hist.Add(sm.V)
+			samples++
+			return true
+		})
 		if err != nil {
 			return oda.Result{}, err
-		}
-		for _, v := range vals {
-			hist.Add(v)
-			samples++
 		}
 	}
 	if samples == 0 {

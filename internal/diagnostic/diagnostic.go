@@ -19,43 +19,67 @@ import (
 	"repro/internal/oda"
 	"repro/internal/simulation"
 	"repro/internal/stats"
+	"repro/internal/timeseries"
 )
 
 func cell(p oda.Pillar, t oda.Type) oda.Cell { return oda.Cell{Pillar: p, Type: t} }
 
 var siteLabels = metric.NewLabels("site", "vdc")
 
+// nodeVectorNames are the per-node sensors fused into one feature vector.
+var nodeVectorNames = []string{"node_power_watts", "node_cpu_temp_celsius", "node_utilization", "node_fan_speed"}
+
 // nodeVector extracts one feature vector (power, temp, utilization, fan)
 // per collection instant for a node, aligned on the power series timestamps.
+// The four series are walked in lockstep by streaming cursors, so the rows
+// land directly in the matrix without intermediate sample slices.
 func nodeVectors(ctx *oda.RunContext, nodeLabels metric.Labels, from, to int64) (*ml.Matrix, []int64, error) {
-	names := []string{"node_power_watts", "node_cpu_temp_celsius", "node_utilization", "node_fan_speed"}
-	var series [][]metric.Sample
-	for _, name := range names {
+	curs := make([]*timeseries.Cursor, len(nodeVectorNames))
+	defer func() {
+		for _, cur := range curs {
+			if cur != nil {
+				cur.Close()
+			}
+		}
+	}()
+	est := 0
+	for j, name := range nodeVectorNames {
 		id := metric.ID{Name: name, Labels: nodeLabels}
-		samples, err := ctx.Store.Query(id, from, to)
+		cur, err := ctx.Store.Cursor(id, from, to)
 		if err != nil {
 			return nil, nil, err
 		}
-		series = append(series, samples)
-	}
-	n := len(series[0])
-	for _, s := range series[1:] {
-		if len(s) < n {
-			n = len(s)
+		curs[j] = cur
+		if j == 0 || cur.Est() < est {
+			est = cur.Est()
 		}
 	}
-	if n == 0 {
+	data := make([]float64, 0, est*len(nodeVectorNames))
+	times := make([]int64, 0, est)
+	for {
+		ok := true
+		for _, cur := range curs {
+			if !cur.Next() {
+				ok = false // drain the rest so Err() reflects decode failures
+			}
+		}
+		if !ok {
+			break
+		}
+		times = append(times, curs[0].At().T)
+		for _, cur := range curs {
+			data = append(data, cur.At().V)
+		}
+	}
+	for _, cur := range curs {
+		if err := cur.Err(); err != nil {
+			return nil, nil, err
+		}
+	}
+	if len(times) == 0 {
 		return nil, nil, fmt.Errorf("diagnostic: no aligned telemetry for %s", nodeLabels)
 	}
-	m := ml.NewMatrix(n, len(names))
-	times := make([]int64, n)
-	for i := 0; i < n; i++ {
-		times[i] = series[0][i].T
-		for j := range names {
-			m.Set(i, j, series[j][i].V)
-		}
-	}
-	return m, times, nil
+	return &ml.Matrix{Rows: len(times), Cols: len(nodeVectorNames), Data: data}, times, nil
 }
 
 // NodeAnomaly is PCA-subspace anomaly detection over per-node sensor
@@ -95,8 +119,11 @@ func (c NodeAnomaly) Run(ctx *oda.RunContext) (oda.Result, error) {
 		return oda.Result{}, fmt.Errorf("diagnostic: no node telemetry")
 	}
 	// Train one fleet-wide model on healthy-phase vectors of all nodes, so
-	// a node deviating from fleet structure stands out.
-	var trainRows [][]float64
+	// a node deviating from fleet structure stands out. Per-node matrices
+	// are row-major, so their data concatenates into the training matrix
+	// without per-row copies.
+	var trainData []float64
+	trainRows := 0
 	type nodeData struct {
 		name string
 		m    *ml.Matrix
@@ -108,22 +135,18 @@ func (c NodeAnomaly) Run(ctx *oda.RunContext) (oda.Result, error) {
 		if err != nil {
 			continue
 		}
-		for i := 0; i < trainM.Rows; i++ {
-			trainRows = append(trainRows, append([]float64(nil), trainM.Row(i)...))
-		}
+		trainData = append(trainData, trainM.Data...)
+		trainRows += trainM.Rows
 		detectM, _, err := nodeVectors(ctx, id.Labels, split, ctx.To)
 		if err != nil {
 			continue
 		}
 		detectData = append(detectData, nodeData{name: name, m: detectM})
 	}
-	if len(trainRows) < 8 {
-		return oda.Result{}, fmt.Errorf("diagnostic: too little training telemetry (%d rows)", len(trainRows))
+	if trainRows < 8 {
+		return oda.Result{}, fmt.Errorf("diagnostic: too little training telemetry (%d rows)", trainRows)
 	}
-	train, err := ml.MatrixFromRows(trainRows)
-	if err != nil {
-		return oda.Result{}, err
-	}
+	train := &ml.Matrix{Rows: trainRows, Cols: len(nodeVectorNames), Data: trainData}
 	// Standardize features: raw sensor scales differ by orders of magnitude
 	// and would otherwise let node power dominate the subspace.
 	var scaler ml.StandardScaler

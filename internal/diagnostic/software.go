@@ -10,7 +10,7 @@ import (
 	"repro/internal/ml"
 	"repro/internal/oda"
 	"repro/internal/simulation"
-	"repro/internal/stats"
+	"repro/internal/timeseries"
 	"repro/internal/workload"
 )
 
@@ -62,13 +62,11 @@ func (c RogueProcess) Run(ctx *oda.RunContext) (oda.Result, error) {
 	for idx := range dc.Nodes {
 		name := dc.Nodes[idx].Name()
 		id := metric.ID{Name: "node_utilization", Labels: metric.NewLabels("node", name, "rack", dc.Nodes[idx].Cfg.Rack)}
-		samples, err := ctx.Store.Query(id, ctx.From, ctx.To)
-		if err != nil {
-			continue
-		}
-		for _, sm := range samples {
+		// The coverage check streams off a cursor: busy-but-unallocated
+		// instants are counted without materializing the window.
+		_ = ctx.Store.Each(id, ctx.From, ctx.To, func(sm metric.Sample) bool {
 			if sm.V < minUtil {
-				continue
+				return true
 			}
 			covered := false
 			for _, iv := range allocated[idx] {
@@ -81,7 +79,8 @@ func (c RogueProcess) Run(ctx *oda.RunContext) (oda.Result, error) {
 			if !covered {
 				rogue[name]++
 			}
-		}
+			return true
+		})
 	}
 	names := make([]string, 0, len(rogue))
 	var events int
@@ -165,13 +164,14 @@ func jobFeatures(ctx *oda.RunContext, dc *simulation.DataCenter, rec *simulation
 	for _, idx := range rec.Nodes {
 		n := dc.Nodes[idx]
 		labels := metric.NewLabels("node", n.Name(), "rack", n.Cfg.Rack)
-		pvals, err1 := ctx.Store.SeriesValues(metric.ID{Name: "node_power_watts", Labels: labels}, rec.Start, rec.End)
-		uvals, err2 := ctx.Store.SeriesValues(metric.ID{Name: "node_utilization", Labels: labels}, rec.Start, rec.End)
-		if err1 != nil || err2 != nil || len(pvals) == 0 || len(uvals) == 0 {
+		// Per-node means push down into the engine: nothing materializes.
+		pMean, pn, err1 := ctx.Store.Reduce(metric.ID{Name: "node_power_watts", Labels: labels}, rec.Start, rec.End, timeseries.AggMean)
+		uMean, un, err2 := ctx.Store.Reduce(metric.ID{Name: "node_utilization", Labels: labels}, rec.Start, rec.End, timeseries.AggMean)
+		if err1 != nil || err2 != nil || pn == 0 || un == 0 {
 			continue
 		}
-		powerSum += stats.Mean(pvals)
-		utilSum += stats.Mean(uvals)
+		powerSum += pMean
+		utilSum += uMean
 		count++
 	}
 	if count == 0 {

@@ -5,6 +5,7 @@ import (
 	"math"
 	"math/cmplx"
 	"sort"
+	"sync"
 )
 
 // FFT computes the radix-2 Cooley-Tukey fast Fourier transform of x.
@@ -85,6 +86,63 @@ func PadPow2(xs []float64) []complex128 {
 	return out
 }
 
+// fftScratch pools the complex work buffers of the internal spectrum
+// paths (DominantPeriods, FFTForecaster.Fit), which transform in place and
+// never hand the buffer to callers. Periodic re-fits during long forecast
+// sweeps therefore stop allocating an FFT-sized slice per call.
+var fftScratch = sync.Pool{New: func() any { return new([]complex128) }}
+
+// pooledSpectrum pads xs (shifted by -offset) into a pooled power-of-two
+// buffer and transforms it in place. Release the buffer with
+// releaseSpectrum once the spectrum has been consumed.
+func pooledSpectrum(xs []float64, offset float64) *[]complex128 {
+	n := NextPow2(len(xs))
+	bp := fftScratch.Get().(*[]complex128)
+	buf := *bp
+	if cap(buf) < n {
+		buf = make([]complex128, n)
+	} else {
+		buf = buf[:n]
+	}
+	for i := range buf {
+		buf[i] = 0
+	}
+	for i, x := range xs {
+		buf[i] = complex(x-offset, 0)
+	}
+	fftInPlace(buf, false)
+	*bp = buf
+	return bp
+}
+
+func releaseSpectrum(bp *[]complex128) { fftScratch.Put(bp) }
+
+// spectrumPeaks extracts every positive-frequency component of a spectrum
+// of sampleCount real samples, strongest first.
+func spectrumPeaks(spec []complex128, sampleCount int) []SpectrumPeak {
+	n := len(spec)
+	half := n / 2
+	peaks := make([]SpectrumPeak, 0, half-1)
+	for bin := 1; bin < half; bin++ {
+		c := spec[bin]
+		freq := float64(bin) / float64(n)
+		peaks = append(peaks, SpectrumPeak{
+			Bin:       bin,
+			Frequency: freq,
+			Period:    1 / freq,
+			Amplitude: 2 * cmplx.Abs(c) / float64(sampleCount),
+			Phase:     cmplx.Phase(c),
+		})
+	}
+	sort.Slice(peaks, func(a, b int) bool {
+		if peaks[a].Amplitude != peaks[b].Amplitude {
+			return peaks[a].Amplitude > peaks[b].Amplitude
+		}
+		return peaks[a].Bin < peaks[b].Bin
+	})
+	return peaks
+}
+
 // SpectrumPeak describes one dominant frequency component of a real signal.
 type SpectrumPeak struct {
 	Bin       int     // FFT bin index (1..N/2-1); bin 0 (DC) is excluded
@@ -104,31 +162,9 @@ func DominantPeriods(xs []float64, k int) ([]SpectrumPeak, error) {
 	if k <= 0 {
 		k = 3
 	}
-	spec, err := FFT(PadPow2(xs))
-	if err != nil {
-		return nil, err
-	}
-	n := len(spec)
-	half := n / 2
-	peaks := make([]SpectrumPeak, 0, half-1)
-	for bin := 1; bin < half; bin++ {
-		c := spec[bin]
-		amp := 2 * cmplx.Abs(c) / float64(len(xs))
-		freq := float64(bin) / float64(n)
-		peaks = append(peaks, SpectrumPeak{
-			Bin:       bin,
-			Frequency: freq,
-			Period:    1 / freq,
-			Amplitude: amp,
-			Phase:     cmplx.Phase(c),
-		})
-	}
-	sort.Slice(peaks, func(a, b int) bool {
-		if peaks[a].Amplitude != peaks[b].Amplitude {
-			return peaks[a].Amplitude > peaks[b].Amplitude
-		}
-		return peaks[a].Bin < peaks[b].Bin
-	})
+	bp := pooledSpectrum(xs, 0)
+	peaks := spectrumPeaks(*bp, len(xs))
+	releaseSpectrum(bp)
 	if k > len(peaks) {
 		k = len(peaks)
 	}
@@ -316,34 +352,12 @@ func (ff *FFTForecaster) Fit(history []float64) error {
 		mean += x
 	}
 	mean /= float64(len(history))
-	centred := make([]float64, len(history))
-	for i, x := range history {
-		centred[i] = x - mean
-	}
-	padded := PadPow2(centred)
-	spec, err := FFT(padded)
-	if err != nil {
-		return err
-	}
-	n := len(spec)
-	half := n / 2
-	peaks := make([]SpectrumPeak, 0, half-1)
-	for bin := 1; bin < half; bin++ {
-		c := spec[bin]
-		peaks = append(peaks, SpectrumPeak{
-			Bin:       bin,
-			Frequency: float64(bin) / float64(n),
-			Period:    float64(n) / float64(bin),
-			Amplitude: 2 * cmplx.Abs(c) / float64(len(history)),
-			Phase:     cmplx.Phase(c),
-		})
-	}
-	sort.Slice(peaks, func(a, b int) bool {
-		if peaks[a].Amplitude != peaks[b].Amplitude {
-			return peaks[a].Amplitude > peaks[b].Amplitude
-		}
-		return peaks[a].Bin < peaks[b].Bin
-	})
+	// Centering happens inside the pad loop: no centred copy, and the
+	// complex work buffer comes from the shared pool.
+	bp := pooledSpectrum(history, mean)
+	n := len(*bp)
+	peaks := spectrumPeaks(*bp, len(history))
+	releaseSpectrum(bp)
 	if k > len(peaks) {
 		k = len(peaks)
 	}

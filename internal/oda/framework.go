@@ -11,12 +11,12 @@ package oda
 import (
 	"errors"
 	"fmt"
-	"runtime"
 	"sort"
 	"strings"
 	"sync"
 	"time"
 
+	"repro/internal/par"
 	"repro/internal/timeseries"
 )
 
@@ -208,7 +208,14 @@ type Grid struct {
 	byCell  map[Cell][]Capability
 	byName  map[string]Capability
 	order   []string
-	workers int // RunAll pool size: 0 = GOMAXPROCS, 1 = serial
+	workers int // RunAll pool size: 0 = auto-tuned, 1 = serial
+
+	// tuner sizes the auto pool (workers == 0) from the EWMA of observed
+	// per-capability cost, so sweeps of cheap analytics skip goroutine
+	// fan-out entirely; lastWorkers records the most recent sizing.
+	tuner       par.Tuner
+	tunerMu     sync.Mutex
+	lastWorkers int
 }
 
 // NewGrid returns an empty grid.
@@ -314,14 +321,23 @@ func (g *Grid) MultiType() []Capability {
 	return out
 }
 
-// SetWorkers bounds the RunAll worker pool: 0 restores the default (one
-// worker per logical CPU), 1 opts out of concurrency entirely and runs
-// every capability serially in registration order.
+// SetWorkers bounds the RunAll worker pool: 0 restores the default
+// (auto-tuned from observed per-capability cost, up to one worker per
+// logical CPU), 1 opts out of concurrency entirely and runs every
+// capability serially in registration order.
 func (g *Grid) SetWorkers(n int) {
 	if n < 0 {
 		n = 0
 	}
 	g.workers = n
+}
+
+// LastWorkers reports the pool size the most recent RunAll used (0 before
+// the first sweep) — observability for the auto-tuning path.
+func (g *Grid) LastWorkers() int {
+	g.tunerMu.Lock()
+	defer g.tunerMu.Unlock()
+	return g.lastWorkers
 }
 
 // RunAll executes every capability against the context, returning results
@@ -338,11 +354,22 @@ func (g *Grid) RunAll(ctx *RunContext) (map[string]Result, map[string]error) {
 	results := make(map[string]Result, len(g.byName))
 	errs := make(map[string]error)
 	workers := g.workers
-	if workers <= 0 {
-		workers = runtime.GOMAXPROCS(0)
+	auto := workers <= 0
+	if auto {
+		// Auto mode sizes the pool from the EWMA of past sweeps' observed
+		// per-capability cost; the first sweep (no history) saturates the
+		// CPUs, matching the historical default.
+		workers = g.tuner.Recommend(len(g.order))
 	}
 	if workers > len(g.order) {
 		workers = len(g.order)
+	}
+	g.tunerMu.Lock()
+	g.lastWorkers = workers
+	g.tunerMu.Unlock()
+	if auto && len(g.order) > 0 {
+		start := time.Now()
+		defer func() { g.tuner.Observe(len(g.order), time.Since(start)) }()
 	}
 	collect := func(name string, res Result, err error) {
 		if err != nil {

@@ -396,3 +396,26 @@ func TestGridRunAllConcurrentInvocations(t *testing.T) {
 	}
 	wg.Wait()
 }
+
+// TestGridAutoTuneCollapsesToSerial seeds the auto-tuner with a cheap
+// observation and checks the next auto-sized sweep runs serially, while an
+// explicit SetWorkers still pins the pool.
+func TestGridAutoTuneCollapsesToSerial(t *testing.T) {
+	g := NewGrid()
+	for i := 0; i < 6; i++ {
+		_ = g.Register(cap1(fmt.Sprintf("cheap%d", i), Cell{SystemHardware, Descriptive}))
+	}
+	// 100ns per item, far below the fork-join spawn cost: the next auto
+	// sweep must take the serial path.
+	g.tuner.Observe(1000, 100*time.Microsecond)
+	g.RunAll(&RunContext{})
+	if got := g.LastWorkers(); got != 1 {
+		t.Fatalf("cheap sweep used %d workers, want 1 (serial)", got)
+	}
+	// Explicit worker counts bypass the tuner entirely.
+	g.SetWorkers(4)
+	g.RunAll(&RunContext{})
+	if got := g.LastWorkers(); got != 4 {
+		t.Fatalf("pinned sweep used %d workers, want 4", got)
+	}
+}

@@ -1,0 +1,99 @@
+package par
+
+import (
+	"runtime"
+	"sync"
+	"time"
+)
+
+// Tuner sizes a worker pool from an exponentially-weighted moving average
+// of observed per-item cost. Fork-join parallelism only pays when each
+// item's work dwarfs the goroutine handoff (~1-5µs); below that the pool
+// should collapse to the inline serial path. The tuner learns where a
+// workload sits by timing whole batches and recommending:
+//
+//	workers = clamp(ewmaPerItemCost / SpawnCost, 1, GOMAXPROCS)
+//
+// so cheap items (sub-microsecond grid cells, trivial simulation steps)
+// run serially, moderately priced items get a few workers, and expensive
+// items saturate the machine. Before the first observation it falls back
+// to one worker per logical CPU, the historical default.
+//
+// Tuner is safe for concurrent use; the zero value is ready.
+type Tuner struct {
+	// Alpha is the EWMA smoothing factor in (0, 1]; 0 uses 0.3.
+	Alpha float64
+	// SpawnCost is the assumed per-worker fork-join overhead; 0 uses 4µs.
+	SpawnCost time.Duration
+
+	mu      sync.Mutex
+	ewma    float64 // smoothed per-item cost, nanoseconds
+	samples uint64
+}
+
+// Observe records that n items took d in total. Zero or negative inputs
+// are ignored.
+func (t *Tuner) Observe(n int, d time.Duration) {
+	if n <= 0 || d <= 0 {
+		return
+	}
+	perItem := float64(d.Nanoseconds()) / float64(n)
+	alpha := t.Alpha
+	if alpha <= 0 || alpha > 1 {
+		alpha = 0.3
+	}
+	t.mu.Lock()
+	if t.samples == 0 {
+		t.ewma = perItem
+	} else {
+		t.ewma = alpha*perItem + (1-alpha)*t.ewma
+	}
+	t.samples++
+	t.mu.Unlock()
+}
+
+// Recommend returns the worker count for a batch of n items: 0 items → 0,
+// no observations yet → min(n, GOMAXPROCS), otherwise the cost-scaled
+// clamp described on Tuner.
+func (t *Tuner) Recommend(n int) int {
+	if n <= 0 {
+		return 0
+	}
+	maxW := runtime.GOMAXPROCS(0)
+	if n < maxW {
+		maxW = n
+	}
+	t.mu.Lock()
+	samples, ewma := t.samples, t.ewma
+	t.mu.Unlock()
+	if samples == 0 {
+		return maxW
+	}
+	spawn := t.SpawnCost
+	if spawn <= 0 {
+		spawn = 4 * time.Microsecond
+	}
+	w := int(ewma / float64(spawn.Nanoseconds()))
+	if w < 1 {
+		return 1
+	}
+	if w > maxW {
+		return maxW
+	}
+	return w
+}
+
+// Samples returns how many batches have been observed.
+func (t *Tuner) Samples() uint64 {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.samples
+}
+
+// PerItemCost returns the current EWMA estimate of one item's cost (0
+// before any observation).
+func (t *Tuner) PerItemCost() time.Duration {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return time.Duration(t.ewma)
+}

@@ -1,0 +1,84 @@
+package par
+
+import (
+	"runtime"
+	"testing"
+	"time"
+)
+
+func TestTunerDefaultsToGOMAXPROCS(t *testing.T) {
+	var tu Tuner
+	want := runtime.GOMAXPROCS(0)
+	if n := 2 * want; tu.Recommend(n) != want {
+		t.Fatalf("unobserved Recommend = %d, want %d", tu.Recommend(n), want)
+	}
+	if got := tu.Recommend(1); got != 1 {
+		t.Fatalf("Recommend(1) = %d, want 1", got)
+	}
+	if got := tu.Recommend(0); got != 0 {
+		t.Fatalf("Recommend(0) = %d, want 0", got)
+	}
+}
+
+func TestTunerForcesSerialForCheapItems(t *testing.T) {
+	var tu Tuner
+	// 1000 items in 100µs → 100ns/item, far below the spawn cost: the pool
+	// must collapse to the serial path.
+	tu.Observe(1000, 100*time.Microsecond)
+	if got := tu.Recommend(1000); got != 1 {
+		t.Fatalf("cheap items: Recommend = %d, want 1 (serial)", got)
+	}
+}
+
+func TestTunerSaturatesForExpensiveItems(t *testing.T) {
+	var tu Tuner
+	// 10ms per item: worth every core.
+	tu.Observe(10, 100*time.Millisecond)
+	want := runtime.GOMAXPROCS(0)
+	if got := tu.Recommend(100); got != want {
+		t.Fatalf("expensive items: Recommend = %d, want %d", got, want)
+	}
+	// Never more workers than items.
+	if got := tu.Recommend(2); got > 2 {
+		t.Fatalf("Recommend(2) = %d, want <= 2", got)
+	}
+}
+
+func TestTunerScalesBetweenExtremes(t *testing.T) {
+	tu := Tuner{SpawnCost: 4 * time.Microsecond}
+	// 12µs per item with a 4µs spawn cost → 3 workers.
+	tu.Observe(100, 1200*time.Microsecond)
+	if runtime.GOMAXPROCS(0) < 3 {
+		t.Skip("needs >= 3 CPUs to observe intermediate sizing")
+	}
+	if got := tu.Recommend(100); got != 3 {
+		t.Fatalf("Recommend = %d, want 3", got)
+	}
+}
+
+func TestTunerEWMAAdapts(t *testing.T) {
+	var tu Tuner
+	tu.Observe(10, 100*time.Millisecond) // expensive history
+	for i := 0; i < 40; i++ {
+		tu.Observe(1000, 100*time.Microsecond) // workload turned cheap
+	}
+	if got := tu.Recommend(1000); got != 1 {
+		t.Fatalf("after cheap runs: Recommend = %d, want 1", got)
+	}
+	if tu.Samples() != 41 {
+		t.Fatalf("Samples = %d, want 41", tu.Samples())
+	}
+	if tu.PerItemCost() <= 0 {
+		t.Fatal("PerItemCost should be positive after observations")
+	}
+}
+
+func TestTunerIgnoresDegenerateObservations(t *testing.T) {
+	var tu Tuner
+	tu.Observe(0, time.Second)
+	tu.Observe(10, 0)
+	tu.Observe(-5, -time.Second)
+	if tu.Samples() != 0 {
+		t.Fatalf("degenerate observations were recorded: %d", tu.Samples())
+	}
+}

@@ -227,22 +227,30 @@ func (InstMix) Meta() oda.Meta {
 }
 
 // intensitySeries derives the power-per-utilization signature of one node.
+// Power and utilization stream through lockstep cursors, fusing the filter
+// and the division into the decode loop — only the signature is allocated.
 func intensitySeries(ctx *oda.RunContext, labels metric.Labels) []float64 {
-	p, err1 := ctx.Store.SeriesValues(metric.ID{Name: "node_power_watts", Labels: labels}, ctx.From, ctx.To)
-	u, err2 := ctx.Store.SeriesValues(metric.ID{Name: "node_utilization", Labels: labels}, ctx.From, ctx.To)
-	if err1 != nil || err2 != nil {
+	pCur, err := ctx.Store.Cursor(metric.ID{Name: "node_power_watts", Labels: labels}, ctx.From, ctx.To)
+	if err != nil {
 		return nil
 	}
-	n := len(p)
-	if len(u) < n {
-		n = len(u)
+	defer pCur.Close()
+	uCur, err := ctx.Store.Cursor(metric.ID{Name: "node_utilization", Labels: labels}, ctx.From, ctx.To)
+	if err != nil {
+		return nil
 	}
-	out := make([]float64, 0, n)
-	for i := 0; i < n; i++ {
-		if u[i] < 5 {
+	defer uCur.Close()
+	est := pCur.Est()
+	if uCur.Est() < est {
+		est = uCur.Est()
+	}
+	out := make([]float64, 0, est)
+	for pCur.Next() && uCur.Next() {
+		u := uCur.At().V
+		if u < 5 {
 			continue // idle: no signature
 		}
-		out = append(out, (p[i]-95)/u[i])
+		out = append(out, (pCur.At().V-95)/u)
 	}
 	return out
 }

@@ -53,24 +53,28 @@ func (g DVFSGovernor) decide(ctx *oda.RunContext, dc *simulation.DataCenter, nod
 		return 0, false // idle: leave alone (idle power is freq-insensitive here)
 	}
 	labels := metric.NewLabels("node", n.Name(), "rack", n.Cfg.Rack)
-	p, err1 := ctx.Store.SeriesValues(metric.ID{Name: "node_power_watts", Labels: labels}, ctx.From, ctx.To)
-	u, err2 := ctx.Store.SeriesValues(metric.ID{Name: "node_utilization", Labels: labels}, ctx.From, ctx.To)
-	if err1 != nil || err2 != nil || len(p) == 0 || len(u) == 0 {
+	// Power and utilization stream in lockstep; the signature accumulates
+	// inside the decode loop without materializing either series.
+	pCur, err := ctx.Store.Cursor(metric.ID{Name: "node_power_watts", Labels: labels}, ctx.From, ctx.To)
+	if err != nil {
 		return 0, false
 	}
-	k := len(p)
-	if len(u) < k {
-		k = len(u)
+	defer pCur.Close()
+	uCur, err := ctx.Store.Cursor(metric.ID{Name: "node_utilization", Labels: labels}, ctx.From, ctx.To)
+	if err != nil {
+		return 0, false
 	}
+	defer uCur.Close()
 	var sig stats.Online
-	for i := 0; i < k; i++ {
-		if u[i] < 5 {
+	for pCur.Next() && uCur.Next() {
+		u := uCur.At().V
+		if u < 5 {
 			continue
 		}
 		// Normalize the cubic frequency effect out of the signature so a
 		// node we already clocked down is still recognized correctly.
 		fr := n.Frequency() / n.MaxFrequency()
-		sig.Add((p[i] - 95) / u[i] / (fr * fr * fr))
+		sig.Add((pCur.At().V - 95) / u / (fr * fr * fr))
 	}
 	if sig.N() == 0 {
 		return 0, false

@@ -13,6 +13,7 @@ import (
 	"fmt"
 	"math/rand"
 	"sort"
+	"time"
 
 	"repro/internal/bus"
 	"repro/internal/collector"
@@ -61,10 +62,13 @@ type Config struct {
 	// study contention.
 	UplinkCapacity float64
 	// Workers bounds the worker pool the per-node physics and collection
-	// loops fan out on: 0 means one worker per logical CPU, 1 forces fully
-	// serial stepping. Telemetry is byte-identical for every setting: each
-	// node owns a seed-derived RNG stream, parallel loops write into
-	// node-indexed buffers, and reductions run serially in node order.
+	// loops fan out on: 0 auto-tunes the pool from an EWMA of observed
+	// per-node step cost (starting at one worker per logical CPU and
+	// collapsing to serial when the physics is too cheap to fan out),
+	// 1 forces fully serial stepping, and any explicit value pins the pool.
+	// Telemetry is byte-identical for every setting: each node owns a
+	// seed-derived RNG stream, parallel loops write into node-indexed
+	// buffers, and reductions run serially in node order.
 	Workers int
 }
 
@@ -140,7 +144,9 @@ type DataCenter struct {
 
 	rng *rand.Rand
 
-	workers    int                       // resolved worker-pool size
+	workers    int                       // resolved worker-pool size (pinned when Cfg.Workers != 0)
+	autoTune   bool                      // Cfg.Workers == 0: size per-node loops from observed cost
+	tuner      par.Tuner                 // EWMA of per-node physics cost feeding stepWorkers
 	powerBuf   []float64                 // node-indexed scratch for parallel power sums
 	nodeByName map[string]*hardware.Node // name -> node fast path
 }
@@ -190,6 +196,7 @@ func New(cfg Config) *DataCenter {
 		allocByJob: make(map[string]*AllocationRecord),
 		rng:        rand.New(rand.NewSource(cfg.Seed + 2)),
 		workers:    par.Workers(cfg.Workers),
+		autoTune:   cfg.Workers == 0,
 		powerBuf:   make([]float64, cfg.Nodes),
 		nodeByName: make(map[string]*hardware.Node, cfg.Nodes),
 	}
@@ -260,9 +267,18 @@ func (dc *DataCenter) AddController(c Controller) {
 func (dc *DataCenter) Now() int64 { return dc.now }
 
 // stepWorkers returns the pool size for per-node loops: 1 (serial) unless
-// parallel stepping is enabled and the fleet is big enough to pay off.
+// the fleet is big enough to pay off and either an explicit Config.Workers
+// pins a pool or (auto mode) the tuner's observed per-node cost justifies
+// fanning out. Before the first observation the auto path matches the
+// historical default of one worker per logical CPU.
 func (dc *DataCenter) stepWorkers() int {
-	if dc.workers > 1 && len(dc.Nodes) >= minParallelNodes {
+	if len(dc.Nodes) < minParallelNodes {
+		return 1
+	}
+	if dc.autoTune {
+		return dc.tuner.Recommend(len(dc.Nodes))
+	}
+	if dc.workers > 1 {
 		return dc.workers
 	}
 	return 1
@@ -392,11 +408,22 @@ func (dc *DataCenter) Step() {
 	// from the seed), so the loop fans out across the worker pool; the power
 	// sum reduces serially in node order afterwards, keeping itPower — and
 	// with it every downstream telemetry byte — identical to serial stepping.
-	par.Ranges(len(dc.Nodes), dc.stepWorkers(), func(lo, hi int) {
+	physW := dc.stepWorkers()
+	var physStart time.Time
+	if dc.autoTune {
+		physStart = time.Now()
+	}
+	par.Ranges(len(dc.Nodes), physW, func(lo, hi int) {
 		for i := lo; i < hi; i++ {
 			dc.powerBuf[i] = dc.Nodes[i].Step(dt, supply)
 		}
 	})
+	if dc.autoTune {
+		// Scale wall time by the pool width so the EWMA tracks serial
+		// per-node cost regardless of how wide this batch ran; otherwise a
+		// wide pool makes the work look cheap and the sizing oscillates.
+		dc.tuner.Observe(len(dc.Nodes), time.Since(physStart)*time.Duration(physW))
+	}
 	var itPower float64
 	for _, v := range dc.powerBuf {
 		itPower += v

@@ -1,7 +1,9 @@
 package simulation
 
 import (
+	"runtime"
 	"testing"
+	"time"
 
 	"repro/internal/metric"
 	"repro/internal/scheduler"
@@ -364,5 +366,46 @@ func TestParallelStepDeterminism(t *testing.T) {
 				t.Fatalf("%s[%d]: serial %+v vs parallel %+v", id.Key(), i, ss[i], ps[i])
 			}
 		}
+	}
+}
+
+// TestStepWorkersAutoTune checks the auto path (Workers == 0) collapses the
+// per-node loops to serial once the tuner has seen cheap physics steps,
+// while explicit worker counts stay pinned and ignore the tuner.
+func TestStepWorkersAutoTune(t *testing.T) {
+	cfg := DefaultConfig(7)
+	cfg.Nodes = 64 // above minParallelNodes so sizing is down to the tuner
+	auto := New(cfg)
+	if !auto.autoTune {
+		t.Fatal("Workers == 0 should enable auto-tuning")
+	}
+	if w, want := auto.stepWorkers(), auto.tuner.Recommend(64); w != want {
+		t.Fatalf("pre-observation stepWorkers = %d, want historical default %d", w, want)
+	}
+	// 100ns per node, far below the spawn cost: per-node loops go serial.
+	auto.tuner.Observe(1000, 100*time.Microsecond)
+	if w := auto.stepWorkers(); w != 1 {
+		t.Fatalf("cheap steps: stepWorkers = %d, want 1 (serial)", w)
+	}
+	// Expensive physics pulls the EWMA back up and re-engages the pool.
+	auto.tuner.Observe(10, time.Second)
+	if w, max := auto.stepWorkers(), runtime.GOMAXPROCS(0); max > 1 && w <= 1 {
+		t.Fatalf("expensive steps: stepWorkers = %d with %d CPUs, want > 1", w, max)
+	}
+
+	cfg.Workers = 4
+	pinned := New(cfg)
+	if pinned.autoTune {
+		t.Fatal("explicit Workers should disable auto-tuning")
+	}
+	pinned.tuner.Observe(1000, 100*time.Microsecond) // must be ignored
+	if w := pinned.stepWorkers(); w != 4 {
+		t.Fatalf("pinned stepWorkers = %d, want 4", w)
+	}
+
+	// Tiny fleets stay serial regardless of tuning or pinning.
+	small := New(smallConfig(7))
+	if w := small.stepWorkers(); w != 1 {
+		t.Fatalf("small fleet stepWorkers = %d, want 1", w)
 	}
 }

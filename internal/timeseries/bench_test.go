@@ -220,3 +220,69 @@ func BenchmarkStoreQuerySweepUncached(b *testing.B) {
 func BenchmarkStoreQuerySweepCached(b *testing.B) {
 	benchQuerySweep(b, NewStore(0, WithQueryCache(512)))
 }
+
+// --- Streaming cursor engine (PR 4) ---
+//
+// The cursor is the allocation-free read path under every pushdown
+// reducer. The sweep resolves the series handle once (building the map
+// key is the caller's amortizable cost) and then must not allocate at
+// all; `make bench-allocs` gates these at 0 allocs/op.
+
+func benchCursorSweep(b *testing.B, s *Store) {
+	id := metric.ID{Name: "power", Labels: metric.NewLabels("node", "n01")}
+	for i := 0; i < 50_000; i++ {
+		if err := s.Append(id, metric.Gauge, metric.UnitWatt, int64(i)*1000, 55+math.Sin(float64(i)/50)); err != nil {
+			b.Fatal(err)
+		}
+	}
+	ss := s.lookup(id.Key())
+	if ss == nil {
+		b.Fatal("series missing")
+	}
+	cur := s.newCursor(ss, 0, 1<<60) // warm pool and cache
+	for cur.Next() {
+	}
+	cur.Close()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		cur := s.newCursor(ss, 0, 1<<60)
+		n := 0
+		for cur.Next() {
+			n++
+		}
+		if cur.Err() != nil || n != 50_000 {
+			b.Fatalf("cursor: %d samples, %v", n, cur.Err())
+		}
+		cur.Close()
+	}
+}
+
+func BenchmarkStoreCursorSweepUncached(b *testing.B) {
+	benchCursorSweep(b, NewStore(0, WithQueryCache(-1)))
+}
+
+func BenchmarkStoreCursorSweepCached(b *testing.B) {
+	benchCursorSweep(b, NewStore(0, WithQueryCache(512)))
+}
+
+// BenchmarkStoreReduceSweep is the pushdown counterpart of the Query
+// sweeps: the same 50k-sample window folded to a mean without ever
+// materializing the series.
+func BenchmarkStoreReduceSweep(b *testing.B) {
+	s := NewStore(0, WithQueryCache(512))
+	id := metric.ID{Name: "power", Labels: metric.NewLabels("node", "n01")}
+	for i := 0; i < 50_000; i++ {
+		if err := s.Append(id, metric.Gauge, metric.UnitWatt, int64(i)*1000, 55+math.Sin(float64(i)/50)); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		v, n, err := s.Reduce(id, 0, 1<<60, AggMean)
+		if err != nil || n != 50_000 || v == 0 {
+			b.Fatalf("reduce: (%v, %d, %v)", v, n, err)
+		}
+	}
+}

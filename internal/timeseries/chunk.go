@@ -145,12 +145,16 @@ func (c *Chunk) writeValue(v float64) {
 
 // Iter returns an iterator over the chunk's samples.
 func (c *Chunk) Iter() *ChunkIter {
-	return &ChunkIter{r: newBitReader(c.w.bytes()), remaining: c.count}
+	it := &ChunkIter{}
+	it.reset(c.w.bytes(), c.count)
+	return it
 }
 
-// ChunkIter decodes a chunk sample by sample.
+// ChunkIter decodes a chunk sample by sample. The bit reader is embedded by
+// value so a reset iterator (the cursor's streaming path) performs zero
+// allocations per chunk.
 type ChunkIter struct {
-	r         *bitReader
+	r         bitReader
 	remaining int
 	idx       int
 
@@ -162,6 +166,12 @@ type ChunkIter struct {
 	trailing uint8
 
 	err error
+}
+
+// reset points the iterator at a raw Gorilla bitstream holding count
+// samples, clearing all decode state so the iterator can be reused.
+func (it *ChunkIter) reset(buf []byte, count int) {
+	*it = ChunkIter{r: bitReader{buf: buf}, remaining: count}
 }
 
 // Next advances to the next sample, returning false at the end or on a

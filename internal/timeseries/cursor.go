@@ -1,0 +1,450 @@
+package timeseries
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/metric"
+	"repro/internal/par"
+	"repro/internal/stats"
+)
+
+// Cursor streams one series' samples with from <= T < to in timestamp order
+// without materializing a sample slice. A cursor snapshots the series'
+// chunk window under the per-series read lock — sealed chunks by pointer
+// (they are immutable once full), the open chunk as a private byte copy —
+// and then decodes lock-free, so a long scan never blocks appends.
+//
+// Decoding strategy per sealed chunk: when the store's query cache is
+// enabled the cursor walks the memoized decode (populating it on a miss,
+// exactly as Query always did), so repeated sweeps cost no Gorilla work;
+// with the cache disabled it streams the bitstream through an embedded,
+// reusable iterator and allocates nothing. Cursors are pooled per store —
+// call Close to recycle one (using a cursor after Close is a no-op, not a
+// crash). A Cursor must not be shared across goroutines.
+type Cursor struct {
+	store *Store
+	ss    *storedSeries
+	from  int64
+	to    int64
+
+	sealed    []*Chunk // immutable chunks overlapping the window, in order
+	est       int      // upper bound on matching samples (sum of chunk counts)
+	tail      []byte   // private copy of the open chunk's bitstream
+	tailCount int
+	hasTail   bool
+
+	pos       int             // next sealed chunk to open
+	dec       []metric.Sample // cached decode being walked (nil when streaming)
+	di        int
+	it        ChunkIter // streaming decoder over the current chunk
+	streaming bool
+
+	vals []float64 // pushdown scratch: bucket values for Reduce/Aggregate
+
+	cur  metric.Sample
+	err  error
+	done bool
+}
+
+// Cursor opens a streaming cursor over one series for [from, to). The
+// returned cursor comes from the store's pool; Close it when done.
+func (s *Store) Cursor(id metric.ID, from, to int64) (*Cursor, error) {
+	ss := s.lookup(id.Key())
+	if ss == nil {
+		return nil, fmt.Errorf("timeseries: unknown series %s", id.Key())
+	}
+	return s.newCursor(ss, from, to), nil
+}
+
+// newCursor snapshots the chunk window of a resolved series.
+func (s *Store) newCursor(ss *storedSeries, from, to int64) *Cursor {
+	cur := s.getCursor()
+	cur.store, cur.ss, cur.from, cur.to = s, ss, from, to
+	ss.mu.RLock()
+	chunks := ss.chunks
+	// Seek the first chunk that may overlap [from, to): LastTime is
+	// non-decreasing across chunks.
+	lo := sort.Search(len(chunks), func(i int) bool { return chunks[i].LastTime() >= from })
+	for i := lo; i < len(chunks) && chunks[i].FirstTime() < to; i++ {
+		c := chunks[i]
+		if c.Count() == 0 {
+			continue
+		}
+		cur.est += c.Count()
+		if c.Count() >= s.chunkSize {
+			// Sealed: append never touches a full chunk again, so the
+			// pointer can be read lock-free for the cursor's lifetime.
+			cur.sealed = append(cur.sealed, c)
+			continue
+		}
+		// The mutable open chunk (always last): copy its bytes under the
+		// lock so iteration races no concurrent append.
+		cur.tail = append(cur.tail[:0], c.w.buf...)
+		cur.tailCount = c.Count()
+		cur.hasTail = true
+	}
+	ss.mu.RUnlock()
+	return cur
+}
+
+// getCursor takes a cursor from the pool, tracking reuse.
+func (s *Store) getCursor() *Cursor {
+	s.cursorGets.Add(1)
+	if c, ok := s.cursors.Get().(*Cursor); ok && c != nil {
+		return c
+	}
+	s.cursorNews.Add(1)
+	return &Cursor{}
+}
+
+// Close recycles the cursor into its store's pool. Closing twice is safe.
+func (cur *Cursor) Close() {
+	s := cur.store
+	if s == nil {
+		return
+	}
+	// Drop object references so pooled cursors pin neither chunks nor
+	// cached decodes; slice capacity is what the pool exists to reuse.
+	for i := range cur.sealed {
+		cur.sealed[i] = nil
+	}
+	*cur = Cursor{
+		sealed: cur.sealed[:0],
+		tail:   cur.tail[:0],
+		vals:   cur.vals[:0],
+	}
+	s.cursors.Put(cur)
+}
+
+// Next advances to the next sample in range, returning false at the end of
+// the window or on a decode error (see Err).
+func (cur *Cursor) Next() bool {
+	if cur.done || cur.err != nil {
+		return false
+	}
+	for {
+		if cur.dec != nil {
+			if cur.di < len(cur.dec) {
+				sm := cur.dec[cur.di]
+				if sm.T >= cur.to {
+					cur.done = true
+					return false
+				}
+				cur.di++
+				cur.cur = sm
+				return true
+			}
+			cur.dec = nil
+		} else if cur.streaming {
+			for cur.it.Next() {
+				sm := cur.it.At()
+				if sm.T < cur.from {
+					continue
+				}
+				if sm.T >= cur.to {
+					cur.done = true
+					return false
+				}
+				cur.cur = sm
+				return true
+			}
+			if err := cur.it.Err(); err != nil {
+				cur.err = err
+				cur.done = true
+				return false
+			}
+			cur.streaming = false
+		}
+		if !cur.openNext() {
+			cur.done = true
+			return false
+		}
+	}
+}
+
+// openNext arms the next chunk in the window: a sealed chunk (via the
+// decoded-chunk cache when enabled, streaming otherwise) or the tail copy.
+func (cur *Cursor) openNext() bool {
+	if cur.err != nil {
+		return false
+	}
+	if cur.pos < len(cur.sealed) {
+		c := cur.sealed[cur.pos]
+		cur.pos++
+		s := cur.store
+		if s.cacheLimit > 0 {
+			if dec := cur.ss.cachedChunk(c); dec != nil {
+				s.cacheHits.Add(1)
+				cur.startDecoded(dec)
+				return true
+			}
+			s.cacheMisses.Add(1)
+			dec, err := decodeChunk(c)
+			if err != nil {
+				cur.err = err
+				return false
+			}
+			cur.ss.storeCachedChunk(c, dec, s.cacheLimit)
+			cur.startDecoded(dec)
+			return true
+		}
+		cur.it.reset(c.w.bytes(), c.Count())
+		cur.streaming = true
+		return true
+	}
+	if cur.hasTail {
+		cur.hasTail = false
+		cur.it.reset(cur.tail, cur.tailCount)
+		cur.streaming = true
+		return true
+	}
+	return false
+}
+
+// drainAppend appends every remaining sample in the window to out — the
+// materializing fast path behind Query. Decoded (cached) chunks append as
+// whole ranges instead of stepping Next per sample, which keeps warm
+// repeat sweeps at memmove speed. Only valid on a fresh cursor; it leaves
+// the cursor exhausted.
+func (cur *Cursor) drainAppend(out []metric.Sample) ([]metric.Sample, error) {
+	for {
+		if cur.dec != nil {
+			dec := cur.dec
+			end := len(dec)
+			if end > 0 && dec[end-1].T >= cur.to {
+				end = sort.Search(len(dec), func(k int) bool { return dec[k].T >= cur.to })
+			}
+			if cur.di < end {
+				out = append(out, dec[cur.di:end]...)
+			}
+			hitBound := end < len(dec)
+			cur.dec, cur.di = nil, 0
+			if hitBound {
+				cur.done = true
+				return out, nil // chunks are time-ordered: nothing later matches
+			}
+		} else if cur.streaming {
+			for cur.it.Next() {
+				sm := cur.it.At()
+				if sm.T < cur.from {
+					continue
+				}
+				if sm.T >= cur.to {
+					cur.done = true
+					return out, nil
+				}
+				out = append(out, sm)
+			}
+			if err := cur.it.Err(); err != nil {
+				cur.err = err
+				return out, err
+			}
+			cur.streaming = false
+		}
+		if !cur.openNext() {
+			cur.done = true
+			return out, cur.err
+		}
+	}
+}
+
+// startDecoded positions the cursor inside a memoized chunk decode.
+func (cur *Cursor) startDecoded(dec []metric.Sample) {
+	cur.di = sort.Search(len(dec), func(k int) bool { return dec[k].T >= cur.from })
+	cur.dec = dec
+}
+
+// At returns the current sample.
+func (cur *Cursor) At() metric.Sample { return cur.cur }
+
+// Err returns the first decode error encountered, if any.
+func (cur *Cursor) Err() error { return cur.err }
+
+// Est returns an upper bound on the samples the cursor will yield (the
+// summed counts of the snapshot's chunks); callers sizing result buffers
+// use it the way Query always did.
+func (cur *Cursor) Est() int { return cur.est }
+
+// Each streams the samples of one series in [from, to) to fn, stopping
+// early when fn returns false. It is the zero-allocation way to feed an
+// accumulator (histogram, online stats, model features) from the archive.
+func (s *Store) Each(id metric.ID, from, to int64, fn func(metric.Sample) bool) error {
+	cur, err := s.Cursor(id, from, to)
+	if err != nil {
+		return err
+	}
+	defer cur.Close()
+	for cur.Next() {
+		if !fn(cur.cur) {
+			break
+		}
+	}
+	return cur.err
+}
+
+// Reduce computes one fused aggregate over [from, to) inside the cursor
+// loop, returning the value and how many samples it covered. No sample
+// slice is materialized: mean/min/max/sum/count/std stream through an
+// online accumulator (numerically identical to the materializing path,
+// which uses the same accumulator), rate needs only the window's first and
+// last samples, and p95 gathers values in the cursor's pooled scratch.
+func (s *Store) Reduce(id metric.ID, from, to int64, fn AggFunc) (float64, int, error) {
+	cur, err := s.Cursor(id, from, to)
+	if err != nil {
+		return 0, 0, err
+	}
+	defer cur.Close()
+	var o stats.Online
+	var first, last metric.Sample
+	n := 0
+	for cur.Next() {
+		sm := cur.cur
+		if n == 0 {
+			first = sm
+		}
+		last = sm
+		n++
+		if fn == AggP95 {
+			cur.vals = append(cur.vals, sm.V)
+		} else {
+			o.Add(sm.V)
+		}
+	}
+	if cur.err != nil {
+		return 0, 0, cur.err
+	}
+	switch fn {
+	case AggMean:
+		if n == 0 {
+			return 0, 0, nil
+		}
+		return o.Summary().Sum / float64(n), n, nil
+	case AggSum:
+		return o.Summary().Sum, n, nil
+	case AggMin:
+		return o.Summary().Min, n, nil
+	case AggMax:
+		return o.Summary().Max, n, nil
+	case AggCount:
+		return float64(n), n, nil
+	case AggStd:
+		return o.Std(), n, nil
+	case AggP95:
+		v, err := stats.Quantile(cur.vals, 0.95)
+		return v, n, err
+	case AggRate:
+		return rateOf(first, last, n), n, nil
+	default:
+		return 0, 0, fmt.Errorf("timeseries: unknown aggregation %q", fn)
+	}
+}
+
+// rateOf is the per-second rate of change across a window's first and last
+// samples (0 for fewer than two samples).
+func rateOf(first, last metric.Sample, n int) float64 {
+	if n < 2 || last.T == first.T {
+		return 0
+	}
+	return (last.V - first.V) * 1000 / float64(last.T-first.T)
+}
+
+// aggregateCursor buckets a cursor's stream into fixed step windows
+// anchored at base (base must be what the bucketing is aligned to — the
+// query's from, or a step multiple at or before the first sample). Bucket
+// values accumulate in the cursor's pooled scratch and reduce through the
+// same applyAgg as the historical materializing path, so the output is
+// element-identical to aggregating a Query result. Empty buckets are
+// omitted.
+func aggregateCursor(cur *Cursor, base, step int64, fn AggFunc) ([]AggPoint, error) {
+	var out []AggPoint
+	var start, end int64
+	var bFirst, bLast metric.Sample
+	inBucket := false
+	flush := func() error {
+		if !inBucket {
+			return nil
+		}
+		var v float64
+		var err error
+		if fn == AggRate {
+			v = rateOf(bFirst, bLast, len(cur.vals))
+		} else if v, err = applyAgg(cur.vals, fn); err != nil {
+			return err
+		}
+		out = append(out, AggPoint{Start: start, Value: v})
+		cur.vals = cur.vals[:0]
+		inBucket = false
+		return nil
+	}
+	for cur.Next() {
+		sm := cur.cur
+		if !inBucket || sm.T >= end {
+			if err := flush(); err != nil {
+				return nil, err
+			}
+			bucket := (sm.T - base) / step
+			start = base + bucket*step
+			end = start + step
+			bFirst = sm
+			inBucket = true
+		}
+		cur.vals = append(cur.vals, sm.V)
+		bLast = sm
+	}
+	if cur.err != nil {
+		return nil, cur.err
+	}
+	if err := flush(); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// scanFanoutThreshold is the batch width at which Scan fans the per-series
+// visits out across a worker pool; below it the walk stays serial and
+// allocation-free. A variable so tests exercise both paths.
+var scanFanoutThreshold = 8
+
+// Scan opens one cursor per id over [from, to) and invokes visit(i, cur)
+// for every series that exists (unknown ids are skipped — sweeps routinely
+// select names some shards have never seen). Wide batches are walked in
+// parallel: workers own disjoint, contiguous index ranges, so callers that
+// write index-addressed slots get deterministic output for any worker
+// count, and visit must be safe for concurrent calls with distinct i. The
+// cursor is only valid inside visit. Scan returns the lowest-index error.
+func (s *Store) Scan(ids []metric.ID, from, to int64, visit func(i int, cur *Cursor) error) error {
+	if len(ids) == 0 {
+		return nil
+	}
+	one := func(i int) error {
+		ss := s.lookup(ids[i].Key())
+		if ss == nil {
+			return nil
+		}
+		cur := s.newCursor(ss, from, to)
+		defer cur.Close()
+		return visit(i, cur)
+	}
+	if len(ids) < scanFanoutThreshold {
+		var firstErr error
+		for i := range ids {
+			if err := one(i); err != nil && firstErr == nil {
+				firstErr = err
+			}
+		}
+		return firstErr
+	}
+	errs := make([]error, len(ids))
+	par.Ranges(len(ids), par.Workers(0), func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			errs[i] = one(i)
+		}
+	})
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}

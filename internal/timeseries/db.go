@@ -61,6 +61,12 @@ type Store struct {
 
 	cacheHits   atomic.Uint64
 	cacheMisses atomic.Uint64
+
+	// cursors recycles Cursor objects (and their sealed/tail/vals scratch)
+	// across queries; gets/news expose pool effectiveness (reuse = gets-news).
+	cursors    sync.Pool
+	cursorGets atomic.Uint64
+	cursorNews atomic.Uint64
 }
 
 type storeShard struct {
@@ -386,63 +392,22 @@ func (s *Store) IDs() []metric.ID {
 	return append([]metric.ID(nil), s.order...)
 }
 
-// Query returns the samples of one series with from <= T < to. Chunks are
-// time-ordered, so the matching run is located with a binary search and
-// only overlapping chunks are decompressed.
+// Query returns the samples of one series with from <= T < to, materialized
+// into a fresh slice. It is a thin compatibility wrapper over Cursor —
+// callers that can consume samples one at a time should use Cursor, Each,
+// Reduce, or Scan and skip the copy entirely.
 func (s *Store) Query(id metric.ID, from, to int64) ([]metric.Sample, error) {
-	ss := s.lookup(id.Key())
-	if ss == nil {
-		return nil, fmt.Errorf("timeseries: unknown series %s", id.Key())
+	cur, err := s.Cursor(id, from, to)
+	if err != nil {
+		return nil, err
 	}
-	ss.mu.RLock()
-	defer ss.mu.RUnlock()
-	chunks := ss.chunks
-	// Seek the first chunk that may overlap [from, to): LastTime is
-	// non-decreasing across chunks.
-	lo := sort.Search(len(chunks), func(i int) bool { return chunks[i].LastTime() >= from })
-	hi := lo
-	est := 0
-	for hi < len(chunks) && chunks[hi].FirstTime() < to {
-		est += chunks[hi].Count()
-		hi++
-	}
-	if est == 0 {
+	defer cur.Close()
+	if cur.est == 0 {
 		return nil, nil
 	}
-	out := make([]metric.Sample, 0, est)
-	for _, c := range chunks[lo:hi] {
-		// Full chunks are immutable (append only ever extends the last,
-		// partial chunk), so their decoded form is memoized per series and
-		// repeated range sweeps skip the Gorilla decode entirely.
-		if s.cacheLimit > 0 && c.Count() >= s.chunkSize {
-			if dec := ss.cachedChunk(c); dec != nil {
-				s.cacheHits.Add(1)
-				out = appendSampleRange(out, dec, from, to)
-				continue
-			}
-			s.cacheMisses.Add(1)
-			dec, err := decodeChunk(c)
-			if err != nil {
-				return nil, err
-			}
-			ss.storeCachedChunk(c, dec, s.cacheLimit)
-			out = appendSampleRange(out, dec, from, to)
-			continue
-		}
-		it := c.Iter()
-		for it.Next() {
-			sm := it.At()
-			if sm.T < from {
-				continue
-			}
-			if sm.T >= to {
-				break
-			}
-			out = append(out, sm)
-		}
-		if err := it.Err(); err != nil {
-			return nil, err
-		}
+	out, err := cur.drainAppend(make([]metric.Sample, 0, cur.est))
+	if err != nil {
+		return nil, err
 	}
 	if len(out) == 0 {
 		return nil, nil
@@ -461,17 +426,6 @@ func decodeChunk(c *Chunk) ([]metric.Sample, error) {
 		return nil, err
 	}
 	return dec, nil
-}
-
-// appendSampleRange appends the samples with from <= T < to out of a
-// time-sorted slice. The source slice is shared cache state and is never
-// mutated.
-func appendSampleRange(out, samples []metric.Sample, from, to int64) []metric.Sample {
-	i := sort.Search(len(samples), func(k int) bool { return samples[k].T >= from })
-	for ; i < len(samples) && samples[i].T < to; i++ {
-		out = append(out, samples[i])
-	}
-	return out
 }
 
 // cachedChunk returns the memoized decode of c, or nil when absent.
@@ -504,6 +458,13 @@ func (ss *storedSeries) storeCachedChunk(c *Chunk, dec []metric.Sample, limit in
 // store was created.
 func (s *Store) QueryCacheStats() (hits, misses uint64) {
 	return s.cacheHits.Load(), s.cacheMisses.Load()
+}
+
+// CursorPoolStats reports cursor acquisitions and pool misses since the
+// store was created; gets-news is how many cursors were served from the
+// pool with their scratch buffers intact.
+func (s *Store) CursorPoolStats() (gets, news uint64) {
+	return s.cursorGets.Load(), s.cursorNews.Load()
 }
 
 // QueryAll returns every sample of a series.
@@ -558,6 +519,10 @@ const (
 	AggCount AggFunc = "count"
 	AggStd   AggFunc = "std"
 	AggP95   AggFunc = "p95"
+	// AggRate is the per-second rate of change between a window's first
+	// and last samples (counter slope); windows with fewer than two
+	// samples aggregate to 0.
+	AggRate AggFunc = "rate"
 )
 
 // AggPoint is one aggregated window: Start is the window's opening
@@ -568,39 +533,19 @@ type AggPoint struct {
 }
 
 // Aggregate buckets one series into fixed windows of step milliseconds over
-// [from, to) and applies fn per bucket. Empty buckets are omitted.
+// [from, to) and applies fn per bucket. Empty buckets are omitted. The
+// aggregation is pushed down into the cursor loop: bucket values accumulate
+// in the cursor's pooled scratch, so no sample slice is materialized.
 func (s *Store) Aggregate(id metric.ID, from, to, step int64, fn AggFunc) ([]AggPoint, error) {
 	if step <= 0 {
 		return nil, errors.New("timeseries: step must be positive")
 	}
-	samples, err := s.Query(id, from, to)
+	cur, err := s.Cursor(id, from, to)
 	if err != nil {
 		return nil, err
 	}
-	return aggregateSamples(samples, from, step, fn)
-}
-
-func aggregateSamples(samples []metric.Sample, from, step int64, fn AggFunc) ([]AggPoint, error) {
-	var out []AggPoint
-	i := 0
-	for i < len(samples) {
-		bucket := (samples[i].T - from) / step
-		start := from + bucket*step
-		end := start + step
-		j := i
-		var vals []float64
-		for j < len(samples) && samples[j].T < end {
-			vals = append(vals, samples[j].V)
-			j++
-		}
-		v, err := applyAgg(vals, fn)
-		if err != nil {
-			return nil, err
-		}
-		out = append(out, AggPoint{Start: start, Value: v})
-		i = j
-	}
-	return out, nil
+	defer cur.Close()
+	return aggregateCursor(cur, from, step, fn)
 }
 
 func applyAgg(vals []float64, fn AggFunc) (float64, error) {
@@ -639,19 +584,29 @@ func (s *Store) Downsample(id metric.ID, step int64) (int, error) {
 	if ss == nil {
 		return 0, fmt.Errorf("timeseries: unknown series %s", id.Key())
 	}
-	samples, err := s.Query(id, -1<<62, 1<<62)
-	if err != nil {
-		return 0, err
+	// Align buckets to step multiples: anchor at the first sample's
+	// timestamp rounded down. Only the first chunk's header is read — the
+	// mean of each window then streams off a cursor, never materializing
+	// the series.
+	var base int64
+	hasBase := false
+	ss.mu.RLock()
+	if len(ss.chunks) > 0 && ss.chunks[0].Count() > 0 {
+		base = ss.chunks[0].FirstTime()
+		hasBase = true
 	}
+	ss.mu.RUnlock()
 	var pts []AggPoint
-	if len(samples) > 0 {
-		base := samples[0].T
+	if hasBase {
 		if base >= 0 {
 			base = base / step * step
 		} else {
 			base = (base - step + 1) / step * step
 		}
-		pts, err = aggregateSamples(samples, base, step, AggMean)
+		cur := s.newCursor(ss, -1<<62, 1<<62)
+		var err error
+		pts, err = aggregateCursor(cur, base, step, AggMean)
+		cur.Close()
 		if err != nil {
 			return 0, err
 		}
@@ -710,15 +665,20 @@ func (s *Store) Retain(cutoff int64) int {
 }
 
 // SeriesValues extracts just the values of a series in [from, to), a
-// convenience for feeding analytics.
+// convenience for feeding analytics. Values stream directly off the cursor
+// into the result slice — no intermediate sample slice is built.
 func (s *Store) SeriesValues(id metric.ID, from, to int64) ([]float64, error) {
-	samples, err := s.Query(id, from, to)
+	cur, err := s.Cursor(id, from, to)
 	if err != nil {
 		return nil, err
 	}
-	out := make([]float64, len(samples))
-	for i, sm := range samples {
-		out[i] = sm.V
+	defer cur.Close()
+	out := make([]float64, 0, cur.est)
+	for cur.Next() {
+		out = append(out, cur.cur.V)
+	}
+	if cur.err != nil {
+		return nil, cur.err
 	}
 	return out, nil
 }

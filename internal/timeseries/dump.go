@@ -56,7 +56,9 @@ func (s *Store) Dump() []SeriesDump {
 // NewChunkDataIter decodes a raw chunk payload (as produced by Dump) of
 // count samples without constructing a Chunk.
 func NewChunkDataIter(data []byte, count int) *ChunkIter {
-	return &ChunkIter{r: newBitReader(data), remaining: count}
+	it := &ChunkIter{}
+	it.reset(data, count)
+	return it
 }
 
 // RestoreStore rebuilds a store from a dump. Each chunk is decoded and

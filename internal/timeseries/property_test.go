@@ -223,3 +223,235 @@ func TestStoreAppendModelProperty(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+// legacyWindow is the pre-cursor oracle: materialize [from, to) by walking
+// every chunk iterator directly under the series lock, with none of the
+// cursor, pooling or decoded-chunk-cache machinery in the read path.
+func legacyWindow(t *testing.T, s *Store, id metric.ID, from, to int64) []metric.Sample {
+	t.Helper()
+	ss := s.lookup(id.Key())
+	if ss == nil {
+		return nil
+	}
+	ss.mu.RLock()
+	defer ss.mu.RUnlock()
+	var out []metric.Sample
+	for _, c := range ss.chunks {
+		it := c.Iter()
+		for it.Next() {
+			if sm := it.At(); sm.T >= from && sm.T < to {
+				out = append(out, sm)
+			}
+		}
+		if err := it.Err(); err != nil {
+			t.Fatalf("%s: chunk iter: %v", id.Key(), err)
+		}
+	}
+	return out
+}
+
+// legacyAggregate reimplements the pre-pushdown Aggregate over a
+// materialized window: group samples into [base+k*step, base+(k+1)*step)
+// buckets, then applyAgg (or the rate slope) on each bucket's values.
+func legacyAggregate(samples []metric.Sample, base, step int64, fn AggFunc) ([]AggPoint, error) {
+	var out []AggPoint
+	for i := 0; i < len(samples); {
+		bucket := (samples[i].T - base) / step
+		end := base + (bucket+1)*step
+		j := i
+		var vals []float64
+		for j < len(samples) && samples[j].T < end {
+			vals = append(vals, samples[j].V)
+			j++
+		}
+		var v float64
+		var err error
+		if fn == AggRate {
+			v = rateOf(samples[i], samples[j-1], len(vals))
+		} else if v, err = applyAgg(vals, fn); err != nil {
+			return nil, err
+		}
+		out = append(out, AggPoint{Start: base + bucket*step, Value: v})
+		i = j
+	}
+	return out, nil
+}
+
+// TestCursorPushdownEquivalenceProperty drives random stores (random chunk
+// sizes, cache settings, windows and steps) and checks every streaming read
+// path — Query, Each, Reduce, Aggregate, SeriesValues and Scan — bit-for-bit
+// against the legacy oracle that materializes chunks directly.
+func TestCursorPushdownEquivalenceProperty(t *testing.T) {
+	ids := propertyIDs()
+	aggs := []AggFunc{AggMean, AggSum, AggMin, AggMax, AggCount, AggStd, AggP95, AggRate}
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		// Half the runs disable the decoded-chunk cache so both the cached
+		// and pure-streaming cursor paths face the oracle.
+		cache := -1
+		if rng.Intn(2) == 0 {
+			cache = 0
+		}
+		s := NewStore(2+rng.Intn(40), WithQueryCache(cache))
+		clock := make([]int64, len(ids))
+		for op := 0; op < 30; op++ {
+			si := rng.Intn(len(ids))
+			id := ids[si]
+			n := 1 + rng.Intn(30)
+			entries := make([]BatchEntry, 0, n)
+			ts := clock[si]
+			for i := 0; i < n; i++ {
+				ts += 1 + int64(rng.Intn(3000))
+				entries = append(entries, BatchEntry{
+					ID: id, Kind: metric.Gauge, Unit: metric.UnitWatt, T: ts, V: rng.NormFloat64() * 50,
+				})
+			}
+			if _, err := s.AppendBatch(entries); err != nil {
+				t.Logf("AppendBatch: %v", err)
+				return false
+			}
+			clock[si] = ts
+		}
+
+		sameSamples := func(got, want []metric.Sample) bool {
+			if len(got) != len(want) {
+				return false
+			}
+			for i := range want {
+				if got[i] != want[i] {
+					return false
+				}
+			}
+			return true
+		}
+
+		for si, id := range ids {
+			for w := 0; w < 6; w++ {
+				var from, to int64
+				switch w {
+				case 0: // full history
+					from, to = 0, clock[si]+1
+				case 1: // empty (inverted) window
+					from, to = clock[si], clock[si]-1
+				case 2: // past-the-end window
+					from, to = clock[si]+10, clock[si]+20
+				default: // random partial window
+					from = int64(rng.Intn(int(clock[si] + 2)))
+					to = from + int64(rng.Intn(int(clock[si]+2)))
+				}
+				want := legacyWindow(t, s, id, from, to)
+
+				got, err := s.Query(id, from, to)
+				if err != nil || !sameSamples(got, want) {
+					t.Logf("%s [%d,%d): Query %d samples (err %v), oracle %d", id.Key(), from, to, len(got), err, len(want))
+					return false
+				}
+
+				var eached []metric.Sample
+				if err := s.Each(id, from, to, func(sm metric.Sample) bool {
+					eached = append(eached, sm)
+					return true
+				}); err != nil || !sameSamples(eached, want) {
+					t.Logf("%s [%d,%d): Each diverges from oracle (err %v)", id.Key(), from, to, err)
+					return false
+				}
+
+				vals, err := s.SeriesValues(id, from, to)
+				if err != nil || len(vals) != len(want) {
+					t.Logf("%s [%d,%d): SeriesValues %d (err %v), oracle %d", id.Key(), from, to, len(vals), err, len(want))
+					return false
+				}
+				for i := range want {
+					if vals[i] != want[i].V {
+						return false
+					}
+				}
+
+				wantVals := make([]float64, len(want))
+				for i, sm := range want {
+					wantVals[i] = sm.V
+				}
+				for _, fn := range aggs {
+					gotV, gotN, redErr := s.Reduce(id, from, to, fn)
+					var wantV float64
+					var wantErr error
+					if fn == AggRate {
+						if len(want) > 0 {
+							wantV = rateOf(want[0], want[len(want)-1], len(want))
+						}
+					} else {
+						wantV, wantErr = applyAgg(wantVals, fn)
+					}
+					if len(want) == 0 {
+						// Empty windows: Reduce reports n == 0 and only the
+						// quantile aggregation errors (as applyAgg does).
+						if gotN != 0 || (redErr == nil) != (wantErr == nil || fn == AggRate) {
+							t.Logf("%s [%d,%d) %s: empty Reduce = (%v, %d, %v)", id.Key(), from, to, fn, gotV, gotN, redErr)
+							return false
+						}
+						continue
+					}
+					if redErr != nil || gotN != len(want) || gotV != wantV {
+						t.Logf("%s [%d,%d) %s: Reduce = (%v, %d, %v), oracle %v over %d",
+							id.Key(), from, to, fn, gotV, gotN, redErr, wantV, len(want))
+						return false
+					}
+				}
+
+				step := int64(1+rng.Intn(8)) * 700
+				fn := aggs[rng.Intn(len(aggs))]
+				gotAgg, err := s.Aggregate(id, from, to, step, fn)
+				if err != nil {
+					t.Logf("%s: Aggregate: %v", id.Key(), err)
+					return false
+				}
+				wantAgg, err := legacyAggregate(want, from, step, fn)
+				if err != nil || len(gotAgg) != len(wantAgg) {
+					t.Logf("%s [%d,%d) %s/%d: Aggregate %d buckets, oracle %d (err %v)",
+						id.Key(), from, to, fn, step, len(gotAgg), len(wantAgg), err)
+					return false
+				}
+				for i := range wantAgg {
+					if gotAgg[i] != wantAgg[i] {
+						t.Logf("%s %s bucket %d: %+v vs oracle %+v", id.Key(), fn, i, gotAgg[i], wantAgg[i])
+						return false
+					}
+				}
+			}
+		}
+
+		// Scan matches per-series oracles on both the serial and parallel
+		// paths, including an unknown id in the batch.
+		scanIDs := append(append([]metric.ID{}, ids...), metric.ID{Name: "ghost"})
+		for _, threshold := range []int{1 << 30, 1} {
+			old := scanFanoutThreshold
+			scanFanoutThreshold = threshold
+			rows := make([][]metric.Sample, len(scanIDs))
+			err := s.Scan(scanIDs, 0, 1<<62, func(i int, cur *Cursor) error {
+				for cur.Next() {
+					rows[i] = append(rows[i], cur.At())
+				}
+				return cur.Err()
+			})
+			scanFanoutThreshold = old
+			if err != nil {
+				t.Logf("Scan: %v", err)
+				return false
+			}
+			for i, id := range ids {
+				if !sameSamples(rows[i], legacyWindow(t, s, id, 0, 1<<62)) {
+					t.Logf("Scan(threshold %d) row %d diverges from oracle", threshold, i)
+					return false
+				}
+			}
+			if rows[len(scanIDs)-1] != nil {
+				t.Log("Scan visited an unknown series")
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,9 @@
+//go:build !race
+
+package timeseries
+
+// raceEnabled reports whether the race detector is compiled in. The
+// detector intentionally randomizes sync.Pool reuse and instruments
+// allocations, so tests that pin exact allocs/op or pool hit rates skip
+// themselves under -race.
+const raceEnabled = false

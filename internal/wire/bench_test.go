@@ -2,6 +2,7 @@ package wire
 
 import (
 	"bytes"
+	"io"
 	"testing"
 )
 
@@ -12,6 +13,34 @@ func BenchmarkEncodeBatch(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		if out := EncodeBatch(batch); len(out) == 0 {
 			b.Fatal("empty payload")
+		}
+	}
+}
+
+func BenchmarkAppendBatchReuse(b *testing.B) {
+	batch := sampleBatch()
+	buf := AppendBatch(nil, batch) // pre-grow to steady state
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		buf = AppendBatch(buf[:0], batch)
+		if len(buf) == 0 {
+			b.Fatal("empty payload")
+		}
+	}
+}
+
+func BenchmarkBatchWriterSend(b *testing.B) {
+	batch := sampleBatch()
+	bw := NewBatchWriter(io.Discard)
+	if err := bw.Send(batch); err != nil { // warm the encode buffer
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := bw.Send(batch); err != nil {
+			b.Fatal(err)
 		}
 	}
 }

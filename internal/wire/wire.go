@@ -82,9 +82,19 @@ func appendString(b []byte, s string) []byte {
 	return append(b, s...)
 }
 
-// EncodeBatch serializes a batch payload (without frame header).
+// EncodeBatch serializes a batch payload (without frame header) into a
+// fresh buffer. Hot paths that encode repeatedly should use AppendBatch
+// with a reused buffer instead.
 func EncodeBatch(b *Batch) []byte {
-	out := make([]byte, 0, 64)
+	return AppendBatch(make([]byte, 0, 64), b)
+}
+
+// AppendBatch serializes a batch payload onto dst and returns the extended
+// slice (append semantics, like strconv.AppendInt). Reusing the returned
+// buffer across calls amortizes the encode allocation to zero once the
+// buffer has grown to the steady-state batch size.
+func AppendBatch(dst []byte, b *Batch) []byte {
+	out := dst
 	out = appendString(out, b.Agent)
 	out = appendUvarint(out, uint64(len(b.Records)))
 	for _, r := range b.Records {
@@ -244,17 +254,23 @@ func DecodeBatch(payload []byte) (*Batch, error) {
 	return b, nil
 }
 
+// putFrameHeader fills hdr for a payload of the given type. The caller has
+// already checked the MaxPayload bound.
+func putFrameHeader(hdr *[headerLen]byte, frameType uint8, payload []byte) {
+	binary.BigEndian.PutUint16(hdr[0:2], Magic)
+	hdr[2] = Version
+	hdr[3] = frameType
+	binary.BigEndian.PutUint32(hdr[4:8], uint32(len(payload)))
+	binary.BigEndian.PutUint32(hdr[8:12], crc32.ChecksumIEEE(payload))
+}
+
 // WriteFrame writes a framed payload to w.
 func WriteFrame(w io.Writer, frameType uint8, payload []byte) error {
 	if len(payload) > MaxPayload {
 		return ErrTooLarge
 	}
 	var hdr [headerLen]byte
-	binary.BigEndian.PutUint16(hdr[0:2], Magic)
-	hdr[2] = Version
-	hdr[3] = frameType
-	binary.BigEndian.PutUint32(hdr[4:8], uint32(len(payload)))
-	binary.BigEndian.PutUint32(hdr[8:12], crc32.ChecksumIEEE(payload))
+	putFrameHeader(&hdr, frameType, payload)
 	if _, err := w.Write(hdr[:]); err != nil {
 		return err
 	}
@@ -307,9 +323,15 @@ func ReadBatch(r io.Reader) (*Batch, error) {
 	return DecodeBatch(payload)
 }
 
-// BatchWriter wraps a stream with buffering for repeated batch sends.
+// BatchWriter wraps a stream with buffering for repeated batch sends. The
+// encode buffer persists across Sends, so steady-state sends allocate
+// nothing. Not safe for concurrent use; callers that share one (like
+// Client) must serialize Sends themselves.
 type BatchWriter struct {
-	w *bufio.Writer
+	w   *bufio.Writer
+	buf []byte          // reused encode scratch
+	hdr [headerLen]byte // reused frame-header scratch (a stack header would
+	// escape through the io.Writer interface and cost one alloc per send)
 }
 
 // NewBatchWriter returns a buffered batch writer over w.
@@ -319,7 +341,15 @@ func NewBatchWriter(w io.Writer) *BatchWriter {
 
 // Send frames, writes and flushes one batch.
 func (bw *BatchWriter) Send(b *Batch) error {
-	if err := WriteBatch(bw.w, b); err != nil {
+	bw.buf = AppendBatch(bw.buf[:0], b)
+	if len(bw.buf) > MaxPayload {
+		return ErrTooLarge
+	}
+	putFrameHeader(&bw.hdr, FrameBatch, bw.buf)
+	if _, err := bw.w.Write(bw.hdr[:]); err != nil {
+		return err
+	}
+	if _, err := bw.w.Write(bw.buf); err != nil {
 		return err
 	}
 	return bw.w.Flush()

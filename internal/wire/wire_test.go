@@ -2,6 +2,7 @@ package wire
 
 import (
 	"bytes"
+	"io"
 	"math"
 	"math/rand"
 	"reflect"
@@ -256,5 +257,45 @@ func TestDecodeHugeVarintLength(t *testing.T) {
 	payload := []byte{0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0x7F}
 	if _, err := DecodeBatch(payload); err == nil {
 		t.Fatal("huge length should error")
+	}
+}
+
+// TestAppendBatchMatchesEncodeBatch pins the append-style encoder to the
+// allocate-per-call one: same bytes, dst extended in place.
+func TestAppendBatchMatchesEncodeBatch(t *testing.T) {
+	batch := sampleBatch()
+	want := EncodeBatch(batch)
+	got := AppendBatch(nil, batch)
+	if !bytes.Equal(got, want) {
+		t.Fatalf("AppendBatch(nil) diverges from EncodeBatch:\n  got  %x\n  want %x", got, want)
+	}
+	prefix := []byte{0xde, 0xad}
+	ext := AppendBatch(prefix, batch)
+	if !bytes.Equal(ext[:2], prefix) || !bytes.Equal(ext[2:], want) {
+		t.Fatal("AppendBatch must append after existing dst contents")
+	}
+}
+
+// TestAppendBatchZeroSteadyStateAllocs is the perf contract for the pooled
+// encode path: once the reused buffer has grown to batch size, encoding
+// (and a full BatchWriter send to a discarding stream) allocates nothing.
+func TestAppendBatchZeroSteadyStateAllocs(t *testing.T) {
+	batch := sampleBatch()
+	buf := AppendBatch(nil, batch)
+	if n := testing.AllocsPerRun(200, func() {
+		buf = AppendBatch(buf[:0], batch)
+	}); n != 0 {
+		t.Fatalf("AppendBatch reuse: %.1f allocs/op, want 0", n)
+	}
+	bw := NewBatchWriter(io.Discard)
+	if err := bw.Send(batch); err != nil {
+		t.Fatal(err)
+	}
+	if n := testing.AllocsPerRun(200, func() {
+		if err := bw.Send(batch); err != nil {
+			t.Fatal(err)
+		}
+	}); n != 0 {
+		t.Fatalf("BatchWriter.Send steady state: %.1f allocs/op, want 0", n)
 	}
 }
