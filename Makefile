@@ -7,13 +7,20 @@ COVER_MIN ?= 85.0
 # How long `make fuzz-short` runs each fuzz target.
 FUZZTIME ?= 10s
 
-.PHONY: build test race vet bench bench-parallel bench-allocs cover fuzz-short crash-test
+.PHONY: build test race vet bench bench-parallel bench-allocs cover fuzz-short crash-test lint-footprints
 
 build:
 	$(GO) build ./...
 
-test:
+test: lint-footprints
 	$(GO) test ./...
+
+# Footprint convention gate: every registered prescriptive capability must
+# declare a non-empty write set (oda.LintFootprints), and no built-in may
+# still lean on the legacy Exclusive bit. Runs the dedicated tests only, so
+# it is cheap enough to front every test/race invocation.
+lint-footprints:
+	$(GO) test -run 'TestFootprintLint|TestFullGridDeclaresFootprints' .
 
 # Race-detector pass over every package with shared-state concurrency:
 # the sharded TSDB (cursor pool + decoded-chunk cache), the grid worker
@@ -21,7 +28,7 @@ test:
 # async collection pipeline (slow-sink / backpressure stress lives in
 # collector's pipeline tests), the wire server/client and the par
 # primitives. go vet runs first as a cheap gate.
-race: vet
+race: vet lint-footprints
 	$(GO) test -race ./internal/timeseries ./internal/oda ./internal/bus ./internal/simulation ./internal/collector ./internal/persist ./internal/wire ./internal/par
 
 # Durability torture pass: the randomized torn-write harness, the

@@ -11,6 +11,7 @@ import (
 	"sync"
 	"sync/atomic"
 	"testing"
+	"time"
 
 	"repro/internal/bus"
 	"repro/internal/collector"
@@ -410,6 +411,63 @@ func BenchmarkGridRunAllSerial(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		if _, errs := g.RunAll(ctx); len(errs) != 0 {
 			b.Fatalf("capability errors: %v", errs)
+		}
+	}
+}
+
+// benchActuatorGrid models the 11-actuator prescriptive sweep: the same
+// capabilities and declared footprints as the real fleet, with each Run
+// replaced by a fixed 2ms stand-in for the control decision. legacy=true
+// reverts every actuator to the old Exclusive bit, which is exactly the
+// serial tail the footprint scheduler exists to shrink.
+func benchActuatorGrid(b *testing.B, legacy bool) *oda.Grid {
+	b.Helper()
+	g := oda.NewGrid()
+	for _, c := range []oda.Capability{
+		prescriptive.CoolingModeSwitch{}, prescriptive.SetpointOptimizer{},
+		prescriptive.AnomalyResponse{}, prescriptive.DVFSGovernor{},
+		prescriptive.FanControl{}, prescriptive.PowerBudget{},
+		prescriptive.PolicyAdvisor{}, prescriptive.TaskPlacement{},
+		prescriptive.AutoTuner{}, prescriptive.CodeRecommend{},
+		prescriptive.DemandResponse{},
+	} {
+		m := c.Meta()
+		if legacy {
+			m.Reads, m.Writes, m.Exclusive = nil, nil, true
+		}
+		err := g.Register(oda.CapabilityFunc{M: m, Fn: func(ctx *oda.RunContext) (oda.Result, error) {
+			time.Sleep(2 * time.Millisecond)
+			return oda.Result{}, nil
+		}})
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	g.SetWorkers(8)
+	return g
+}
+
+// BenchmarkActuatorSweepExclusive is the legacy baseline: 11 exclusive
+// actuators degenerate to 11 serial waves (~22ms per sweep).
+func BenchmarkActuatorSweepExclusive(b *testing.B) {
+	g := benchActuatorGrid(b, true)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, errs := g.RunAll(&oda.RunContext{}); len(errs) != 0 {
+			b.Fatalf("errors: %v", errs)
+		}
+	}
+}
+
+// BenchmarkActuatorSweepFootprints is the same fleet under declared
+// footprints: write-disjoint actuators share waves, so the sweep collapses
+// to the conflict-graph depth instead of the actuator count.
+func BenchmarkActuatorSweepFootprints(b *testing.B) {
+	g := benchActuatorGrid(b, false)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, errs := g.RunAll(&oda.RunContext{}); len(errs) != 0 {
+			b.Fatalf("errors: %v", errs)
 		}
 	}
 }

@@ -19,7 +19,11 @@ func TestFetchAndRenderStats(t *testing.T) {
 		_, _ = w.Write([]byte(`{
 			"samples": 1200, "series": 4,
 			"cursor_pool_gets": 37, "cursor_pool_reuse": 33,
-			"persist": {"wal_records": 9}
+			"persist": {"wal_records": 9},
+			"scheduler": {
+				"sweeps": 3, "waves": 12, "max_wave_width": 19,
+				"conflicts_deferred": 45, "actuators_overlapped": 6
+			}
 		}`))
 	}))
 	defer srv.Close()
@@ -30,7 +34,10 @@ func TestFetchAndRenderStats(t *testing.T) {
 			t.Fatalf("fetchStats(%q): %v", url, err)
 		}
 		out := renderStats(stats)
-		for _, want := range []string{"samples", "cursor_pool_gets", "cursor_pool_reuse", "persist.wal_records"} {
+		for _, want := range []string{
+			"samples", "cursor_pool_gets", "cursor_pool_reuse", "persist.wal_records",
+			"scheduler.sweeps", "scheduler.max_wave_width", "scheduler.actuators_overlapped",
+		} {
 			if !strings.Contains(out, want) {
 				t.Fatalf("fetchStats(%q) render missing %q:\n%s", url, want, out)
 			}

@@ -1,0 +1,72 @@
+package main
+
+import (
+	"encoding/json"
+	"net/http/httptest"
+	"testing"
+
+	"repro"
+	"repro/internal/metric"
+	"repro/internal/timeseries"
+)
+
+// TestAnalyzeHandlerSmoke runs the /analyze sweep against a store holding a
+// little facility telemetry: storage-only capabilities succeed, the ones
+// needing a live system handle surface per-capability errors, and the
+// payload reports the wave schedule the sweep ran with.
+func TestAnalyzeHandlerSmoke(t *testing.T) {
+	store := timeseries.NewStore(64)
+	id := metric.ID{Name: "facility_pue", Labels: metric.NewLabels("site", "vdc")}
+	for i := int64(0); i < 120; i++ {
+		if err := store.Append(id, metric.Gauge, metric.UnitNone, i*60_000, 1.3+0.01*float64(i%7)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	grid, err := repro.FullGrid()
+	if err != nil {
+		t.Fatal(err)
+	}
+	latest := func() int64 { return 119 * 60_000 }
+
+	rec := httptest.NewRecorder()
+	analyzeHandler(grid, store, latest)(rec, httptest.NewRequest("GET", "/analyze?window_hours=3", nil))
+	if rec.Code != 200 {
+		t.Fatalf("status %d: %s", rec.Code, rec.Body.String())
+	}
+	var got struct {
+		From    int64 `json:"from"`
+		To      int64 `json:"to"`
+		Results map[string]struct {
+			Summary string             `json:"summary"`
+			Values  map[string]float64 `json:"values"`
+		} `json:"results"`
+		Errors map[string]string `json:"errors"`
+		Waves  [][]string        `json:"waves"`
+	}
+	if err := json.Unmarshal(rec.Body.Bytes(), &got); err != nil {
+		t.Fatalf("decode: %v", err)
+	}
+	// The archive is only 2h long, so the 3h window clamps at zero.
+	if got.To != latest()+1 || got.From != 0 {
+		t.Fatalf("window [%d, %d), want [0, %d)", got.From, got.To, latest()+1)
+	}
+	// PUE needs only the archive; it must have succeeded on this store.
+	if _, ok := got.Results["pue-kpi"]; !ok {
+		t.Fatalf("pue-kpi missing from results: %v / errors %v", got.Results, got.Errors)
+	}
+	// Actuators need the live data center; with none attached they report
+	// errors instead of poisoning the sweep.
+	if len(got.Errors) == 0 {
+		t.Fatal("expected system-needing capabilities to report errors")
+	}
+	if len(got.Waves) < 2 {
+		t.Fatalf("waves = %v, want the multi-wave production schedule", got.Waves)
+	}
+
+	// Bad window: rejected.
+	rec = httptest.NewRecorder()
+	analyzeHandler(grid, store, latest)(rec, httptest.NewRequest("GET", "/analyze?window_hours=-1", nil))
+	if rec.Code != 400 {
+		t.Fatalf("negative window: status %d, want 400", rec.Code)
+	}
+}

@@ -19,7 +19,9 @@
 //
 //	GET /dashboard    dashboard panels as JSON
 //	GET /snapshot     latest value of every series
-//	GET /stats        ingest, storage, and durability statistics
+//	GET /stats        ingest, storage, durability and scheduler statistics
+//	GET /analyze      one full-grid ODA sweep over the archive
+//	                  (?window_hours=N, default 6)
 package main
 
 import (
@@ -34,6 +36,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"repro"
 	"repro/internal/dashboard"
 	"repro/internal/persist"
 	"repro/internal/timeseries"
@@ -138,7 +141,15 @@ func main() {
 			http.Error(w, err.Error(), http.StatusInternalServerError)
 		}
 	})
-	mux.HandleFunc("/stats", statsHandler(store, srv, durable))
+	// The analysis grid runs read-only sweeps over the archive on demand;
+	// capabilities that need the live system handle report per-capability
+	// errors instead of failing the sweep.
+	grid, err := repro.FullGrid()
+	if err != nil {
+		log.Fatalf("odad: %v", err)
+	}
+	mux.HandleFunc("/stats", statsHandler(store, srv, durable, grid))
+	mux.HandleFunc("/analyze", analyzeHandler(grid, store, latest.Load))
 
 	httpSrv := &http.Server{Addr: *httpAddr, Handler: mux}
 	go func() {

@@ -4,6 +4,7 @@ import (
 	"encoding/json"
 	"net/http"
 
+	"repro/internal/oda"
 	"repro/internal/persist"
 	"repro/internal/timeseries"
 	"repro/internal/wire"
@@ -11,8 +12,9 @@ import (
 
 // statsPayload assembles the /stats document: store shape, ingest counters,
 // the query-side pool/cache effectiveness counters the streaming engine
-// exposes, and (when durable) persistence statistics.
-func statsPayload(store *timeseries.Store, srv *wire.Server, durable *persist.DurableStore) map[string]any {
+// exposes, (when durable) persistence statistics, and (when an analysis
+// grid is mounted) the wave scheduler's cumulative counters.
+func statsPayload(store *timeseries.Store, srv *wire.Server, durable *persist.DurableStore, grid *oda.Grid) map[string]any {
 	hits, misses := store.QueryCacheStats()
 	gets, news := store.CursorPoolStats()
 	stats := map[string]any{
@@ -49,14 +51,28 @@ func statsPayload(store *timeseries.Store, srv *wire.Server, durable *persist.Du
 			"truncated_bytes":   st.TruncatedBytes,
 		}
 	}
+	if grid != nil {
+		st := grid.ScheduleStats()
+		stats["scheduler"] = map[string]any{
+			"capabilities":         grid.Len(),
+			"planned_waves":        len(grid.Waves()),
+			"sweeps":               st.Sweeps,
+			"waves":                st.Waves,
+			"max_wave_width":       st.MaxWaveWidth,
+			"conflicts_deferred":   st.ConflictsDeferred,
+			"actuators_overlapped": st.ActuatorsOverlapped,
+			"panics":               st.Panics,
+			"last_workers":         grid.LastWorkers(),
+		}
+	}
 	return stats
 }
 
 // statsHandler serves statsPayload as JSON.
-func statsHandler(store *timeseries.Store, srv *wire.Server, durable *persist.DurableStore) http.HandlerFunc {
+func statsHandler(store *timeseries.Store, srv *wire.Server, durable *persist.DurableStore, grid *oda.Grid) http.HandlerFunc {
 	return func(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Type", "application/json")
-		if err := json.NewEncoder(w).Encode(statsPayload(store, srv, durable)); err != nil {
+		if err := json.NewEncoder(w).Encode(statsPayload(store, srv, durable, grid)); err != nil {
 			http.Error(w, err.Error(), http.StatusInternalServerError)
 		}
 	}

@@ -5,7 +5,9 @@ import (
 	"net/http/httptest"
 	"testing"
 
+	"repro"
 	"repro/internal/metric"
+	"repro/internal/oda"
 	"repro/internal/timeseries"
 )
 
@@ -29,7 +31,7 @@ func TestStatsHandlerSmoke(t *testing.T) {
 	}
 
 	rec := httptest.NewRecorder()
-	statsHandler(store, nil, nil)(rec, httptest.NewRequest("GET", "/stats", nil))
+	statsHandler(store, nil, nil, nil)(rec, httptest.NewRequest("GET", "/stats", nil))
 	if rec.Code != 200 {
 		t.Fatalf("status %d", rec.Code)
 	}
@@ -60,11 +62,73 @@ func TestStatsHandlerSmoke(t *testing.T) {
 	if reuse := got["cursor_pool_reuse"].(float64); reuse != gets-news {
 		t.Fatalf("cursor_pool_reuse = %v, want gets-news = %v", reuse, gets-news)
 	}
-	// No ingest server and no durable store: those sections are absent.
+	// No ingest server, durable store or analysis grid: those sections are
+	// absent.
 	if _, ok := got["batches"]; ok {
 		t.Fatal("batches reported without a wire server")
 	}
 	if _, ok := got["persist"]; ok {
 		t.Fatal("persist reported without a durable store")
+	}
+	if _, ok := got["scheduler"]; ok {
+		t.Fatal("scheduler reported without an analysis grid")
+	}
+}
+
+// TestStatsHandlerSchedulerSection: with an analysis grid mounted, /stats
+// carries the wave scheduler's counters, and they advance after a sweep.
+func TestStatsHandlerSchedulerSection(t *testing.T) {
+	store := timeseries.NewStore(8)
+	grid, err := repro.FullGrid()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	fetch := func() map[string]any {
+		t.Helper()
+		rec := httptest.NewRecorder()
+		statsHandler(store, nil, nil, grid)(rec, httptest.NewRequest("GET", "/stats", nil))
+		if rec.Code != 200 {
+			t.Fatalf("status %d", rec.Code)
+		}
+		var got map[string]any
+		if err := json.Unmarshal(rec.Body.Bytes(), &got); err != nil {
+			t.Fatalf("decode: %v", err)
+		}
+		sched, ok := got["scheduler"].(map[string]any)
+		if !ok {
+			t.Fatalf("missing scheduler section in %v", got)
+		}
+		return sched
+	}
+
+	sched := fetch()
+	for _, key := range []string{
+		"capabilities", "planned_waves", "sweeps", "waves", "max_wave_width",
+		"conflicts_deferred", "actuators_overlapped", "panics", "last_workers",
+	} {
+		if _, ok := sched[key]; !ok {
+			t.Fatalf("missing scheduler key %q in %v", key, sched)
+		}
+	}
+	if sched["sweeps"] != float64(0) {
+		t.Fatalf("sweeps = %v before any sweep", sched["sweeps"])
+	}
+	if sched["planned_waves"].(float64) < 2 {
+		t.Fatalf("planned_waves = %v, want >= 2 for the full grid", sched["planned_waves"])
+	}
+
+	// One parallel sweep over the (empty) archive: the counters must
+	// advance even though most capabilities error out for lack of
+	// telemetry. Workers are pinned so the sweep takes the wave path
+	// regardless of what the auto-tuner would pick on this machine.
+	grid.SetWorkers(4)
+	grid.RunAll(&oda.RunContext{Store: store, From: 0, To: 1})
+	sched = fetch()
+	if sched["sweeps"] != float64(1) {
+		t.Fatalf("sweeps = %v after one sweep", sched["sweeps"])
+	}
+	if sched["waves"].(float64) < 2 {
+		t.Fatalf("waves = %v after one sweep, want >= 2", sched["waves"])
 	}
 }

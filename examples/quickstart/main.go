@@ -35,6 +35,12 @@ func main() {
 	must(p.Append(oda.Predictive, predictive.KPIForecast{}))
 	must(p.Append(oda.Prescriptive, prescriptive.SetpointOptimizer{}))
 
+	// Append validated each stage's declared footprint against its
+	// upstream; a mis-wired chain would surface here.
+	for _, w := range p.Warnings() {
+		fmt.Println("pipeline warning:", w)
+	}
+
 	results, err := p.Run(ctx)
 	if err != nil {
 		log.Fatal(err)

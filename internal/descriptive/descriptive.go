@@ -44,6 +44,7 @@ func (PUE) Meta() oda.Meta {
 		Description: "PUE calculation from facility power telemetry",
 		Cells:       []oda.Cell{cell(oda.BuildingInfrastructure, oda.Descriptive)},
 		Refs:        []string{"[4]"},
+		Reads:       []oda.Resource{oda.StoreResource("facility_pue")},
 	}
 }
 
@@ -94,6 +95,10 @@ func (ITUE) Meta() oda.Meta {
 		Description: "ITUE calculation from node power and fan telemetry",
 		Cells:       []oda.Cell{cell(oda.SystemHardware, oda.Descriptive)},
 		Refs:        []string{"[59]"},
+		Reads: []oda.Resource{
+			oda.StoreResource("node_power_watts"),
+			oda.StoreResource("node_fan_speed"),
+		},
 	}
 }
 
@@ -154,6 +159,7 @@ func (SIE) Meta() oda.Meta {
 		Description: "System Information Entropy over node utilization states",
 		Cells:       []oda.Cell{cell(oda.SystemHardware, oda.Descriptive)},
 		Refs:        []string{"[14]"},
+		Reads:       []oda.Resource{oda.StoreResource("node_utilization")},
 	}
 }
 
@@ -202,6 +208,10 @@ func (Slowdown) Meta() oda.Meta {
 		Description: "bounded job slowdown and wait statistics from the scheduler",
 		Cells:       []oda.Cell{cell(oda.SystemSoftware, oda.Descriptive)},
 		Refs:        []string{"[60]"},
+		Reads:       []oda.Resource{oda.ResJobQueue},
+		// MetricsAt accrues utilization bookkeeping into the scheduler, so
+		// this descriptive KPI honestly declares a queue write.
+		Writes: []oda.Resource{oda.ResJobQueue},
 	}
 }
 
@@ -247,6 +257,7 @@ func (Roofline) Meta() oda.Meta {
 		Description: "roofline-style boundedness classification of finished jobs",
 		Cells:       []oda.Cell{cell(oda.Applications, oda.Descriptive)},
 		Refs:        []string{"[63]"},
+		Reads:       []oda.Resource{oda.ResJobQueue},
 	}
 }
 
@@ -308,7 +319,8 @@ func (Dashboards) Meta() oda.Meta {
 			cell(oda.SystemSoftware, oda.Descriptive),
 			cell(oda.Applications, oda.Descriptive),
 		},
-		Refs: []string{"[1]", "[5]", "[6]", "[7]", "[8]", "[10]", "[61]", "[62]"},
+		Refs:  []string{"[1]", "[5]", "[6]", "[7]", "[8]", "[10]", "[61]", "[62]"},
+		Reads: []oda.Resource{oda.StoreResource("")}, // panels span the whole archive
 	}
 }
 

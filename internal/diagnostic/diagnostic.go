@@ -99,6 +99,7 @@ func (NodeAnomaly) Meta() oda.Meta {
 		Description: "PCA-subspace anomaly detection on node sensor vectors",
 		Cells:       []oda.Cell{cell(oda.SystemHardware, oda.Diagnostic)},
 		Refs:        []string{"[17]", "[26]", "[47]"},
+		Reads:       []oda.Resource{oda.StoreResource("node_")},
 	}
 }
 
@@ -218,8 +219,12 @@ func (RootCause) Meta() oda.Meta {
 	return oda.Meta{
 		Name:        "root-cause",
 		Description: "correlation-ranked root-cause analysis for node anomalies",
-		Cells:       []oda.Cell{cell(oda.SystemHardware, oda.Diagnostic)},
-		Refs:        []string{"[9]"},
+		Cells: []oda.Cell{cell(oda.SystemHardware, oda.Diagnostic)},
+		Refs:  []string{"[9]"},
+		Reads: []oda.Resource{
+			oda.StoreResource("node_"),
+			oda.StoreResource("facility_supply_temp"),
+		},
 	}
 }
 
@@ -295,8 +300,9 @@ func (NetContention) Meta() oda.Meta {
 	return oda.Meta{
 		Name:        "net-contention",
 		Description: "network contention diagnosis from uplink telemetry and placements",
-		Cells:       []oda.Cell{cell(oda.SystemHardware, oda.Diagnostic)},
-		Refs:        []string{"[19]", "[55]"},
+		Cells: []oda.Cell{cell(oda.SystemHardware, oda.Diagnostic)},
+		Refs:  []string{"[19]", "[55]"},
+		Reads: []oda.Resource{oda.StoreResource("net_uplink"), oda.ResJobQueue},
 	}
 }
 
@@ -373,6 +379,7 @@ func (InfraAnomaly) Meta() oda.Meta {
 		Description: "robust anomaly detection on facility plant telemetry",
 		Cells:       []oda.Cell{cell(oda.BuildingInfrastructure, oda.Diagnostic)},
 		Refs:        []string{"[54]"},
+		Reads:       []oda.Resource{oda.StoreResource("facility_")},
 	}
 }
 
@@ -420,6 +427,7 @@ func (CrisisFingerprint) Meta() oda.Meta {
 		Description: "fingerprint matching of facility state epochs against known crises",
 		Cells:       []oda.Cell{cell(oda.BuildingInfrastructure, oda.Diagnostic)},
 		Refs:        []string{"[38]"},
+		Reads:       []oda.Resource{oda.StoreResource("facility_")},
 	}
 }
 

@@ -32,7 +32,8 @@ func (RogueProcess) Meta() oda.Meta {
 		Cells: []oda.Cell{
 			cell(oda.SystemSoftware, oda.Diagnostic),
 		},
-		Refs: []string{"[16]", "[57]"},
+		Refs:  []string{"[16]", "[57]"},
+		Reads: []oda.Resource{oda.ResJobQueue, oda.StoreResource("node_utilization")},
 	}
 }
 
@@ -116,6 +117,7 @@ func (MemoryLeakDetector) Meta() oda.Meta {
 		Description: "CUSUM drift detection for leak-like software degradation",
 		Cells:       []oda.Cell{cell(oda.SystemSoftware, oda.Diagnostic)},
 		Refs:        []string{"[16]", "[56]"},
+		Reads:       []oda.Resource{oda.StoreResource("node_")},
 	}
 }
 
@@ -203,6 +205,7 @@ func (AppFingerprint) Meta() oda.Meta {
 		Description: "application classification from job telemetry fingerprints",
 		Cells:       []oda.Cell{cell(oda.Applications, oda.Diagnostic)},
 		Refs:        []string{"[33]", "[36]"},
+		Reads:       []oda.Resource{oda.ResJobQueue, oda.StoreResource("node_")},
 	}
 }
 
@@ -284,6 +287,7 @@ func (PerfPatterns) Meta() oda.Meta {
 		Description: "per-job boundedness patterns from power/utilization signatures",
 		Cells:       []oda.Cell{cell(oda.Applications, oda.Diagnostic)},
 		Refs:        []string{"[20]", "[31]", "[44]"},
+		Reads:       []oda.Resource{oda.ResJobQueue, oda.StoreResource("node_")},
 	}
 }
 
@@ -339,6 +343,7 @@ func (CodeIssues) Meta() oda.Meta {
 		Description: "flag jobs with pathological runtime stretch for code review",
 		Cells:       []oda.Cell{cell(oda.Applications, oda.Diagnostic)},
 		Refs:        []string{"[15]", "[27]"},
+		Reads:       []oda.Resource{oda.ResJobQueue},
 	}
 }
 

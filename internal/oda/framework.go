@@ -137,10 +137,21 @@ type Meta struct {
 	Cells []Cell
 	// Refs cite the surveyed works this capability reproduces ("[4]").
 	Refs []string
-	// Exclusive marks capabilities that actuate or advance the live system
-	// (prescriptive knob-turners, active probes). RunAll executes exclusive
-	// capabilities serially in registration order after the concurrent
-	// sweep, so they never race each other or the read-only analytics.
+	// Reads declares the telemetry regions and live subsystems the
+	// capability observes (see Resource). Declaring reads makes store and
+	// scheduler contention explicit and lets the wave scheduler order the
+	// capability after writers of the same resources.
+	Reads []Resource
+	// Writes declares the actuation surfaces the capability mutates.
+	// Capabilities whose write sets are mutually disjoint from each
+	// other's read+write sets run in the same parallel wave of RunAll;
+	// conflicting capabilities execute in registration order.
+	Writes []Resource
+	// Exclusive is the legacy coarse actuation bit. A capability that sets
+	// it without declaring Writes desugars to a wildcard write (Writes
+	// ["*"]): it never overlaps any other capability and keeps
+	// registration order, exactly the pre-footprint semantics. Migrated
+	// capabilities should declare Writes instead and drop this.
 	Exclusive bool
 }
 
@@ -216,6 +227,12 @@ type Grid struct {
 	tuner       par.Tuner
 	tunerMu     sync.Mutex
 	lastWorkers int
+
+	// schedMu guards the cached wave plan (invalidated by Register) and
+	// the cumulative scheduler counters.
+	schedMu    sync.Mutex
+	schedPlan  *schedulePlan
+	schedStats ScheduleStats
 }
 
 // NewGrid returns an empty grid.
@@ -226,7 +243,8 @@ func NewGrid() *Grid {
 	}
 }
 
-// Register adds a capability; names must be unique and every cell valid.
+// Register adds a capability; names must be unique, every cell valid, and
+// every declared footprint resource part of the taxonomy.
 func (g *Grid) Register(c Capability) error {
 	m := c.Meta()
 	if m.Name == "" {
@@ -243,11 +261,24 @@ func (g *Grid) Register(c Capability) error {
 			return fmt.Errorf("oda: capability %q has invalid cell %v", m.Name, cell)
 		}
 	}
+	for _, r := range m.Reads {
+		if err := r.Validate(); err != nil {
+			return fmt.Errorf("oda: capability %q read footprint: %w", m.Name, err)
+		}
+	}
+	for _, r := range m.Writes {
+		if err := r.Validate(); err != nil {
+			return fmt.Errorf("oda: capability %q write footprint: %w", m.Name, err)
+		}
+	}
 	g.byName[m.Name] = c
 	g.order = append(g.order, m.Name)
 	for _, cell := range m.Cells {
 		g.byCell[cell] = append(g.byCell[cell], c)
 	}
+	g.schedMu.Lock()
+	g.schedPlan = nil // footprints changed: replan on next sweep
+	g.schedMu.Unlock()
 	return nil
 }
 
@@ -343,13 +374,18 @@ func (g *Grid) LastWorkers() int {
 // RunAll executes every capability against the context, returning results
 // by name. Errors are collected per capability rather than aborting the
 // sweep, so one broken analytic cannot hide the rest — the report is the
-// product.
+// product. A capability that panics is recovered into an error wrapping
+// ErrCapabilityPanic; the pool stays healthy.
 //
-// Capabilities run on a bounded worker pool (see SetWorkers). Read-only
-// capabilities execute concurrently; capabilities whose Meta marks them
-// Exclusive (they actuate the live system) run serially in registration
-// order after the concurrent sweep completes, so the result and error maps
-// hold the same content regardless of pool size or scheduling.
+// Capabilities run on a bounded worker pool (see SetWorkers) scheduled in
+// conflict-free waves from the declared footprints (Meta.Reads /
+// Meta.Writes; see Resource and schedule.go): capabilities whose write
+// sets are disjoint from each other's read+write sets share a wave and
+// overlap, while conflicting capabilities — including legacy Exclusive
+// ones, which desugar to a wildcard write — execute in registration order
+// across waves. The schedule depends only on the registered set, so the
+// result and error maps and the final state of every declared actuation
+// surface are identical for every pool size.
 func (g *Grid) RunAll(ctx *RunContext) (map[string]Result, map[string]error) {
 	results := make(map[string]Result, len(g.byName))
 	errs := make(map[string]error)
@@ -371,52 +407,33 @@ func (g *Grid) RunAll(ctx *RunContext) (map[string]Result, map[string]error) {
 		start := time.Now()
 		defer func() { g.tuner.Observe(len(g.order), time.Since(start)) }()
 	}
+	var panics int64
 	collect := func(name string, res Result, err error) {
 		if err != nil {
+			if errors.Is(err, ErrCapabilityPanic) {
+				panics++
+			}
 			errs[name] = err
 			return
 		}
 		results[name] = res
 	}
 	if workers <= 1 {
+		// Serial reference path: registration order, one wave. The wave
+		// schedule is equivalent by construction (conflicting pairs keep
+		// registration order; disjoint pairs commute).
 		for _, name := range g.order {
-			res, err := g.byName[name].Run(ctx)
+			res, err := runSafely(g.byName[name], ctx)
 			collect(name, res, err)
 		}
+		g.recordSweep(schedulePlan{waves: [][]string{g.order}}, panics, false)
 		return results, errs
 	}
-	var concurrent, exclusive []string
-	for _, name := range g.order {
-		if g.byName[name].Meta().Exclusive {
-			exclusive = append(exclusive, name)
-		} else {
-			concurrent = append(concurrent, name)
-		}
+	plan := g.plan()
+	for _, wave := range plan.waves {
+		g.runWave(ctx, wave, workers, collect)
 	}
-	var mu sync.Mutex
-	var wg sync.WaitGroup
-	jobs := make(chan string)
-	for i := 0; i < workers; i++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for name := range jobs {
-				res, err := g.byName[name].Run(ctx)
-				mu.Lock()
-				collect(name, res, err)
-				mu.Unlock()
-			}
-		}()
-	}
-	for _, name := range concurrent {
-		jobs <- name
-	}
-	close(jobs)
-	wg.Wait()
-	for _, name := range exclusive {
-		res, err := g.byName[name].Run(ctx)
-		collect(name, res, err)
-	}
+	g.recordSweep(plan, panics, true)
 	return results, errs
 }
 
@@ -435,12 +452,20 @@ func (g *Grid) RenderTable() string {
 		b.WriteString("** |")
 		for _, p := range Pillars() {
 			caps := g.byCell[Cell{Pillar: p, Type: t}]
-			names := make([]string, 0, len(caps))
+			entries := make([]string, 0, len(caps))
 			for _, c := range caps {
-				names = append(names, c.Meta().Name+" "+strings.Join(c.Meta().Refs, ","))
+				e := c.Meta().Name
+				if refs := c.Meta().Refs; len(refs) > 0 {
+					e += " " + strings.Join(refs, ",")
+				}
+				entries = append(entries, e)
+			}
+			if len(entries) == 0 {
+				b.WriteString(" |") // empty cell: single pad space, no stray gap
+				continue
 			}
 			b.WriteString(" ")
-			b.WriteString(strings.Join(names, "<br>"))
+			b.WriteString(strings.Join(entries, "<br>"))
 			b.WriteString(" |")
 		}
 		b.WriteString("\n")
@@ -469,7 +494,8 @@ type StageResult struct {
 // predictive feeds prescriptive). Each stage receives the previous stage's
 // result via RunContext.Upstream.
 type Pipeline struct {
-	stages []pipelineStage
+	stages   []pipelineStage
+	warnings []string
 }
 
 type pipelineStage struct {
@@ -479,23 +505,48 @@ type pipelineStage struct {
 }
 
 // Append adds a stage; it returns an error if the stage's type would move
-// backwards in the staged model.
+// backwards in the staged model, and validates the new stage's footprint
+// against its upstream: a stage that declares reads overlapping nothing
+// the previous stage wrote is probably wired to the wrong upstream, and
+// gets recorded in Warnings.
 func (p *Pipeline) Append(t Type, c Capability) error {
 	if t >= NumTypes {
 		return fmt.Errorf("oda: invalid stage type %v", t)
 	}
+	m := c.Meta()
 	if n := len(p.stages); n > 0 && t < p.stages[n-1].typ {
 		return fmt.Errorf("oda: stage %q (%s) cannot follow %s — the staged model only moves toward foresight",
-			c.Meta().Name, t, p.stages[n-1].typ)
+			m.Name, t, p.stages[n-1].typ)
 	}
-	p.stages = append(p.stages, pipelineStage{name: c.Meta().Name, typ: t, cap: c})
+	for _, r := range append(append([]Resource(nil), m.Reads...), m.Writes...) {
+		if err := r.Validate(); err != nil {
+			return fmt.Errorf("oda: stage %q footprint: %w", m.Name, err)
+		}
+	}
+	if n := len(p.stages); n > 0 {
+		prev := p.stages[n-1]
+		upWrites := effectiveFootprint(prev.cap.Meta()).writes
+		if len(m.Reads) > 0 && len(upWrites) > 0 && !intersects(upWrites, m.Reads) {
+			p.warnings = append(p.warnings, fmt.Sprintf(
+				"stage %q reads none of the resources %q writes (reads %v, upstream writes %v)",
+				m.Name, prev.name, m.Reads, upWrites))
+		}
+	}
+	p.stages = append(p.stages, pipelineStage{name: m.Name, typ: t, cap: c})
 	return nil
 }
+
+// Warnings returns the footprint-mismatch diagnostics accumulated while
+// assembling the pipeline (see Append); empty for a cleanly wired chain.
+func (p *Pipeline) Warnings() []string { return append([]string(nil), p.warnings...) }
 
 // Len returns the stage count.
 func (p *Pipeline) Len() int { return len(p.stages) }
 
-// Run executes the stages in order over the context, threading results.
+// Run executes the stages in order over the context, threading results. A
+// stage that panics is recovered into the returned error (wrapping
+// ErrCapabilityPanic), leaving the completed prefix of stage results
+// intact.
 func (p *Pipeline) Run(ctx *RunContext) ([]StageResult, error) {
 	out := make([]StageResult, 0, len(p.stages))
 	var upstream *Result
@@ -503,7 +554,7 @@ func (p *Pipeline) Run(ctx *RunContext) ([]StageResult, error) {
 		stageCtx := *ctx
 		stageCtx.Upstream = upstream
 		start := time.Now()
-		res, err := st.cap.Run(&stageCtx)
+		res, err := runSafely(st.cap, &stageCtx)
 		if err != nil {
 			return out, fmt.Errorf("oda: stage %q: %w", st.name, err)
 		}

@@ -54,6 +54,7 @@ func (KPIForecast) Meta() oda.Meta {
 		Description: "seasonal forecasting of facility KPIs with baseline comparison",
 		Cells:       []oda.Cell{cell(oda.BuildingInfrastructure, oda.Predictive)},
 		Refs:        []string{"[45]", "[37]"},
+		Reads:       []oda.Resource{oda.StoreResource("facility_")},
 	}
 }
 
@@ -117,6 +118,7 @@ func (CoolingModel) Meta() oda.Meta {
 		Description: "regression model of cooling power vs IT load, weather and setpoint",
 		Cells:       []oda.Cell{cell(oda.BuildingInfrastructure, oda.Predictive)},
 		Refs:        []string{"[18]", "[46]"},
+		Reads:       []oda.Resource{oda.StoreResource("facility_")},
 	}
 }
 
@@ -216,6 +218,7 @@ func (PowerSpike) Meta() oda.Meta {
 		Description: "FFT-based forecast of site power swings for utility notification",
 		Cells:       []oda.Cell{cell(oda.BuildingInfrastructure, oda.Predictive)},
 		Refs:        []string{"[72]"},
+		Reads:       []oda.Resource{oda.StoreResource("facility_total_power")},
 	}
 }
 

@@ -30,6 +30,7 @@ func (SensorForecast) Meta() oda.Meta {
 		Description: "short-horizon AR/trend forecasting of node sensors",
 		Cells:       []oda.Cell{cell(oda.SystemHardware, oda.Predictive)},
 		Refs:        []string{"[32]", "[47]"},
+		Reads:       []oda.Resource{oda.StoreResource("node_")},
 	}
 }
 
@@ -100,6 +101,7 @@ func (ThermalRisk) Meta() oda.Meta {
 		Description: "logistic prediction of imminent node over-temperature",
 		Cells:       []oda.Cell{cell(oda.SystemHardware, oda.Predictive)},
 		Refs:        []string{"[48]"},
+		Reads:       []oda.Resource{oda.StoreResource("node_")},
 	}
 }
 
@@ -221,8 +223,12 @@ func (InstMix) Meta() oda.Meta {
 	return oda.Meta{
 		Name:        "instmix-predict",
 		Description: "short-horizon prediction of node compute-intensity signatures",
-		Cells:       []oda.Cell{cell(oda.SystemHardware, oda.Predictive)},
-		Refs:        []string{"[11]"},
+		Cells: []oda.Cell{cell(oda.SystemHardware, oda.Predictive)},
+		Refs:  []string{"[11]"},
+		Reads: []oda.Resource{
+			oda.StoreResource("node_power_watts"),
+			oda.StoreResource("node_utilization"),
+		},
 	}
 }
 

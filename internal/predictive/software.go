@@ -26,6 +26,7 @@ func (SchedSimulate) Meta() oda.Meta {
 		Description: "what-if scheduler simulation across policies",
 		Cells:       []oda.Cell{cell(oda.SystemSoftware, oda.Predictive)},
 		Refs:        []string{"[49]", "[50]", "[51]"},
+		Reads:       []oda.Resource{oda.ResJobQueue},
 	}
 }
 
@@ -109,6 +110,7 @@ func (WorkloadForecast) Meta() oda.Meta {
 		Description: "diurnal forecasting of hourly job arrivals",
 		Cells:       []oda.Cell{cell(oda.SystemSoftware, oda.Predictive)},
 		Refs:        []string{"[23]"},
+		Reads:       []oda.Resource{oda.ResJobQueue},
 	}
 }
 

@@ -42,8 +42,9 @@ func (CoolingModeSwitch) Meta() oda.Meta {
 			cell(oda.BuildingInfrastructure, oda.Prescriptive),
 			cell(oda.SystemHardware, oda.Prescriptive),
 		},
-		Refs:      []string{"[12]"},
-		Exclusive: true,
+		Refs:   []string{"[12]"},
+		Reads:  []oda.Resource{oda.StoreResource("facility_outdoor_temp")},
+		Writes: []oda.Resource{oda.ResCooling},
 	}
 }
 
@@ -147,7 +148,8 @@ func (SetpointOptimizer) Meta() oda.Meta {
 		Description: "supply setpoint optimization under node thermal ceilings",
 		Cells:       []oda.Cell{cell(oda.BuildingInfrastructure, oda.Prescriptive)},
 		Refs:        []string{"[18]", "[37]"},
-		Exclusive:   true,
+		Reads:       []oda.Resource{oda.StoreResource("node_cpu_temp")},
+		Writes:      []oda.Resource{oda.ResCooling},
 	}
 }
 
@@ -238,7 +240,7 @@ func (AnomalyResponse) Meta() oda.Meta {
 		Description: "automated safe-state response to diagnosed anomalies",
 		Cells:       []oda.Cell{cell(oda.BuildingInfrastructure, oda.Prescriptive)},
 		Refs:        []string{"[38]", "[39]"},
-		Exclusive:   true,
+		Writes:      []oda.Resource{oda.ResCooling}, // safe state: mode, setpoint, fans
 	}
 }
 

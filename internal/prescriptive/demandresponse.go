@@ -54,8 +54,8 @@ func (DemandResponse) Meta() oda.Meta {
 			cell(oda.BuildingInfrastructure, oda.Prescriptive),
 			cell(oda.SystemSoftware, oda.Prescriptive),
 		},
-		Refs:      []string{"[37]", "[58]"},
-		Exclusive: true,
+		Refs:   []string{"[37]", "[58]"},
+		Writes: []oda.Resource{oda.ResPowerCap},
 	}
 }
 

@@ -32,8 +32,9 @@ func (DVFSGovernor) Meta() oda.Meta {
 			cell(oda.SystemHardware, oda.Prescriptive),
 			cell(oda.SystemHardware, oda.Predictive),
 		},
-		Refs:      []string{"[11]", "[24]", "[40]"},
-		Exclusive: true,
+		Refs:   []string{"[11]", "[24]", "[40]"},
+		Reads:  []oda.Resource{oda.StoreResource("node_power"), oda.StoreResource("node_utilization")},
+		Writes: []oda.Resource{oda.ResNodeDVFS},
 	}
 }
 
@@ -154,7 +155,7 @@ func (FanControl) Meta() oda.Meta {
 		Description: "proportional per-node fan-speed control toward a thermal target",
 		Cells:       []oda.Cell{cell(oda.SystemHardware, oda.Prescriptive)},
 		Refs:        []string{"[20]", "[25]", "[41]"},
-		Exclusive:   true,
+		Writes:      []oda.Resource{oda.ResCooling}, // fan duty is part of the thermal plant
 	}
 }
 

@@ -30,8 +30,9 @@ func (PowerBudget) Meta() oda.Meta {
 			cell(oda.SystemSoftware, oda.Prescriptive),
 			cell(oda.Applications, oda.Predictive),
 		},
-		Refs:      []string{"[21]", "[22]", "[23]"},
-		Exclusive: true,
+		Refs:   []string{"[21]", "[22]", "[23]"},
+		Reads:  []oda.Resource{oda.ResJobQueue, oda.StoreResource("node_power")},
+		Writes: []oda.Resource{oda.ResPowerCap},
 	}
 }
 
@@ -74,8 +75,9 @@ func (PolicyAdvisor) Meta() oda.Meta {
 			cell(oda.SystemSoftware, oda.Prescriptive),
 			cell(oda.SystemSoftware, oda.Predictive),
 		},
-		Refs:      []string{"[43]", "[42]"},
-		Exclusive: true,
+		Refs:   []string{"[43]", "[42]"},
+		Reads:  []oda.Resource{oda.ResJobQueue, oda.StoreResource("node_")},
+		Writes: []oda.Resource{oda.ResJobQueue},
 	}
 }
 
@@ -171,8 +173,9 @@ func (TaskPlacement) Meta() oda.Meta {
 		Name:        "task-placement",
 		Description: "edge-aligned placement recommendations for queued jobs",
 		Cells:       []oda.Cell{cell(oda.SystemSoftware, oda.Prescriptive)},
-		Refs:        []string{"[42]"},
-		Exclusive:   true,
+		Refs:   []string{"[42]"},
+		Reads:  []oda.Resource{oda.ResJobQueue},
+		Writes: []oda.Resource{oda.ResJobQueue}, // placement prescriptions target the queue
 	}
 }
 

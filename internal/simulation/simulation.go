@@ -540,6 +540,42 @@ func (dc *DataCenter) closeAllocation(jobID string, now int64, killed bool) {
 // End == 0). The returned slice is shared; treat it as read-only.
 func (dc *DataCenter) Allocations() []*AllocationRecord { return dc.allocLog }
 
+// ActuatorState is a snapshot of every actuation surface the oda.Resource
+// taxonomy names: "cooling" covers Mode, SetpointC and FanDuty; "node-dvfs"
+// covers FrequencyIndex; "power-cap" covers PowerBudgetW and the two
+// estimator hooks; "job-queue" covers QueueLength. Comparable with
+// reflect.DeepEqual, which is what the schedule-equivalence tests use to
+// prove the final actuator state is worker-count independent.
+type ActuatorState struct {
+	CoolingMode    string
+	SetpointC      float64
+	FanDuty        []float64
+	FrequencyIndex []int
+	PowerBudgetW   float64
+	PowerEstimator bool
+	RuntimePredict bool
+	QueueLength    int
+}
+
+// ActuatorState snapshots the center's actuation surfaces.
+func (dc *DataCenter) ActuatorState() ActuatorState {
+	st := ActuatorState{
+		CoolingMode:    dc.Facility.Mode().String(),
+		SetpointC:      dc.Facility.Setpoint(),
+		FanDuty:        make([]float64, len(dc.Nodes)),
+		FrequencyIndex: make([]int, len(dc.Nodes)),
+		PowerBudgetW:   dc.Cluster.PowerBudgetW,
+		PowerEstimator: dc.Cluster.EstimatePowerW != nil,
+		RuntimePredict: dc.Cluster.PredictRuntime != nil,
+		QueueLength:    dc.Cluster.QueueLength(),
+	}
+	for i, n := range dc.Nodes {
+		st.FanDuty[i] = n.FanSpeed()
+		st.FrequencyIndex[i] = n.FrequencyIndex()
+	}
+	return st
+}
+
 // AllocationFor returns a job's placement record.
 func (dc *DataCenter) AllocationFor(jobID string) (*AllocationRecord, bool) {
 	rec, ok := dc.allocByJob[jobID]
