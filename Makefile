@@ -7,7 +7,7 @@ COVER_MIN ?= 85.0
 # How long `make fuzz-short` runs each fuzz target.
 FUZZTIME ?= 10s
 
-.PHONY: build test race vet bench bench-parallel bench-allocs cover fuzz-short crash-test lint-footprints
+.PHONY: build test race vet bench bench-parallel bench-allocs bench-longwindow cover fuzz-short crash-test lint-footprints
 
 build:
 	$(GO) build ./...
@@ -29,7 +29,7 @@ lint-footprints:
 # collector's pipeline tests), the wire server/client and the par
 # primitives. go vet runs first as a cheap gate.
 race: vet lint-footprints
-	$(GO) test -race ./internal/timeseries ./internal/oda ./internal/bus ./internal/simulation ./internal/collector ./internal/persist ./internal/wire ./internal/par
+	$(GO) test -race ./internal/timeseries ./internal/oda ./internal/bus ./internal/simulation ./internal/collector ./internal/persist ./internal/wire ./internal/par ./internal/resultcache ./internal/quota ./cmd/odad
 
 # Durability torture pass: the randomized torn-write harness, the
 # kill-and-recover matrix across all fsync policies, and the concurrent
@@ -55,6 +55,7 @@ fuzz-short:
 	$(GO) test -run xxx -fuzz FuzzBitstreamRoundTrip -fuzztime $(FUZZTIME) ./internal/timeseries
 	$(GO) test -run xxx -fuzz FuzzWireDecode -fuzztime $(FUZZTIME) ./internal/wire
 	$(GO) test -run xxx -fuzz FuzzWALReplay -fuzztime $(FUZZTIME) ./internal/persist
+	$(GO) test -run xxx -fuzz FuzzQueryRangeParse -fuzztime $(FUZZTIME) ./cmd/odad
 
 vet:
 	$(GO) vet ./...
@@ -74,6 +75,26 @@ bench-allocs:
 	echo "$$out"; \
 	echo "$$out" | awk '/^Benchmark/ { if ($$(NF-1)+0 > 0) { printf "FAIL: %s allocates %s allocs/op (budget 0)\n", $$1, $$(NF-1); bad=1 } } \
 		END { if (bad) exit 1; print "OK: streaming paths within 0 allocs/op budget" }'
+
+# Rollup-tier planner gate for the PR 6 long-window workload: the planned
+# 30-day/1h-step aggregation must beat the raw scan by >= 50x, and the
+# planned single-value reduction must stay at exactly 0 allocs/op (see
+# BENCH_PR6.json for recorded numbers). One store build (~2.6M appends) is
+# shared across the three benchmarks via sync.Once.
+bench-longwindow:
+	@out=$$($(GO) test -run xxx -bench 'BenchmarkLongWindowQuery|BenchmarkStorePlannedCursorSweep' -benchmem -benchtime 20x ./internal/timeseries); \
+	echo "$$out"; \
+	echo "$$out" | awk ' \
+		/^BenchmarkLongWindowQueryRaw/ { raw=$$3 } \
+		/^BenchmarkLongWindowQueryPlanned/ { planned=$$3 } \
+		/^BenchmarkStorePlannedCursorSweep/ { if ($$(NF-1)+0 > 0) { printf "FAIL: planned cursor path allocates %s allocs/op (budget 0)\n", $$(NF-1); bad=1 } } \
+		END { \
+			if (raw == "" || planned == "" || planned+0 == 0) { print "FAIL: long-window benchmarks missing from output"; exit 1 } \
+			ratio = raw / planned; \
+			printf "long-window speedup: %.0fx (raw %s ns/op / planned %s ns/op)\n", ratio, raw, planned; \
+			if (ratio < 50) { printf "FAIL: speedup %.0fx below 50x floor\n", ratio; bad=1 } \
+			if (bad) exit 1; \
+			print "OK: planned path >= 50x and 0 allocs/op" }'
 
 # The PR 1 contention benches; -cpu 1,4 exposes lock-contention scaling
 # (see BENCH_PR1.json for recorded before/after numbers).

@@ -12,6 +12,8 @@
 //	odactl systems     # Fig. 3 composed systems coverage
 //	odactl works       # every surveyed work and its cells
 //	odactl stats URL   # fetch and render a running odad's /stats document
+//	odactl query -series KEY -from MS -to MS [-step MS] [-fn mean] [-url http://host:9901]
+//	                   # planned query through odad's /query front door
 package main
 
 import (
@@ -26,13 +28,19 @@ import (
 )
 
 func usage() {
-	fmt.Fprintln(os.Stderr, "usage: odactl {grid|survey|types|pillars|systems|works|stats URL}")
+	fmt.Fprintln(os.Stderr, "usage: odactl {grid|survey|types|pillars|systems|works|stats URL|query -series KEY ...}")
 	os.Exit(2)
 }
 
 func main() {
 	if len(os.Args) < 2 {
 		usage()
+	}
+	if os.Args[1] == "query" {
+		if err := runQuery(os.Args[2:]); err != nil {
+			fatal(err)
+		}
+		return
 	}
 	if os.Args[1] == "stats" {
 		if len(os.Args) != 3 {

@@ -1,0 +1,100 @@
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"net/http"
+	"net/url"
+	"strings"
+	"time"
+)
+
+// runQuery implements `odactl query`: the client side of odad's query front
+// door. Without -step it calls /query (a single planned reduction); with
+// -step it calls /query_range and prints one "start value" line per bucket.
+func runQuery(args []string) error {
+	fs := flag.NewFlagSet("query", flag.ExitOnError)
+	base := fs.String("url", "http://127.0.0.1:9901", "odad HTTP base URL")
+	series := fs.String("series", "", "series key, as shown by /snapshot (required)")
+	from := fs.Int64("from", 0, "window start, unix ms (inclusive)")
+	to := fs.Int64("to", 0, "window end, unix ms (exclusive)")
+	step := fs.Int64("step", 0, "bucket width in ms (0 = single reduction via /query)")
+	fn := fs.String("fn", "mean", "aggregation: mean|sum|min|max|count|rate|std|p95")
+	tenant := fs.String("tenant", "", "X-ODA-Tenant header value")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *series == "" {
+		return fmt.Errorf("query: -series is required")
+	}
+
+	q := url.Values{}
+	q.Set("series", *series)
+	q.Set("from", fmt.Sprint(*from))
+	q.Set("to", fmt.Sprint(*to))
+	q.Set("fn", *fn)
+	endpoint := "/query"
+	if *step > 0 {
+		endpoint = "/query_range"
+		q.Set("step", fmt.Sprint(*step))
+	}
+	target := *base
+	if !strings.Contains(target, "://") {
+		target = "http://" + target
+	}
+	target = strings.TrimSuffix(target, "/") + endpoint + "?" + q.Encode()
+
+	req, err := http.NewRequest("GET", target, nil)
+	if err != nil {
+		return err
+	}
+	if *tenant != "" {
+		req.Header.Set("X-ODA-Tenant", *tenant)
+	}
+	client := &http.Client{Timeout: 30 * time.Second}
+	resp, err := client.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("%s: %s", target, resp.Status)
+	}
+
+	if *step > 0 {
+		var body struct {
+			TierStep int64 `json:"tier_step"`
+			Points   []struct {
+				Start int64   `json:"start"`
+				Value float64 `json:"value"`
+			} `json:"points"`
+		}
+		if err := json.NewDecoder(resp.Body).Decode(&body); err != nil {
+			return err
+		}
+		fmt.Printf("# %s of %s, step %dms, served by %s\n", *fn, *series, *step, tierName(body.TierStep))
+		for _, p := range body.Points {
+			fmt.Printf("%d %g\n", p.Start, p.Value)
+		}
+		return nil
+	}
+	var body struct {
+		Value    float64 `json:"value"`
+		Count    int64   `json:"count"`
+		TierStep int64   `json:"tier_step"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&body); err != nil {
+		return err
+	}
+	fmt.Printf("%s(%s) = %g over %d samples, served by %s\n", *fn, *series, body.Value, body.Count, tierName(body.TierStep))
+	return nil
+}
+
+// tierName renders a planner tier step for humans.
+func tierName(step int64) string {
+	if step == 0 {
+		return "raw scan"
+	}
+	return fmt.Sprintf("%s rollups", time.Duration(step)*time.Millisecond)
+}

@@ -1,0 +1,92 @@
+package main
+
+import (
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"strings"
+	"testing"
+)
+
+// captureStdout runs fn with os.Stdout redirected to a pipe and returns
+// what it printed.
+func captureStdout(t *testing.T, fn func() error) string {
+	t.Helper()
+	old := os.Stdout
+	r, w, err := os.Pipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	os.Stdout = w
+	runErr := fn()
+	w.Close()
+	os.Stdout = old
+	out, _ := io.ReadAll(r)
+	if runErr != nil {
+		t.Fatalf("runQuery: %v (output %q)", runErr, out)
+	}
+	return string(out)
+}
+
+// TestRunQuery stands up a fake odad front door and drives both client
+// modes end to end: the single reduction and the step-bucketed range.
+func TestRunQuery(t *testing.T) {
+	var gotPath, gotTenant string
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		gotPath = r.URL.Path
+		gotTenant = r.Header.Get("X-ODA-Tenant")
+		w.Header().Set("Content-Type", "application/json")
+		switch r.URL.Path {
+		case "/query":
+			if r.URL.Query().Get("series") == "" || r.URL.Query().Get("step") != "" {
+				http.Error(w, "bad params", 400)
+				return
+			}
+			_, _ = w.Write([]byte(`{"value": 212.5, "count": 720, "tier_step": 3600000}`))
+		case "/query_range":
+			if r.URL.Query().Get("step") != "60000" {
+				http.Error(w, "bad step", 400)
+				return
+			}
+			_, _ = w.Write([]byte(`{"tier_step": 60000, "points": [{"start": 0, "value": 1.5}, {"start": 60000, "value": 2}]}`))
+		default:
+			http.NotFound(w, r)
+		}
+	}))
+	defer srv.Close()
+
+	out := captureStdout(t, func() error {
+		return runQuery([]string{"-url", srv.URL, "-series", "power{node=n0}", "-from", "0", "-to", "3600000", "-fn", "sum", "-tenant", "ops"})
+	})
+	if gotPath != "/query" || gotTenant != "ops" {
+		t.Fatalf("request: path %q tenant %q", gotPath, gotTenant)
+	}
+	for _, want := range []string{"212.5", "720", "1h0m0s rollups"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("reduce output missing %q:\n%s", want, out)
+		}
+	}
+
+	out = captureStdout(t, func() error {
+		return runQuery([]string{"-url", strings.TrimPrefix(srv.URL, "http://"), "-series", "x", "-from", "0", "-to", "120000", "-step", "60000"})
+	})
+	if gotPath != "/query_range" {
+		t.Fatalf("range request hit %q", gotPath)
+	}
+	for _, want := range []string{"0 1.5", "60000 2", "1m0s rollups"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("range output missing %q:\n%s", want, out)
+		}
+	}
+
+	if err := runQuery([]string{"-url", srv.URL, "-from", "0", "-to", "1"}); err == nil {
+		t.Fatal("missing -series accepted")
+	}
+	if err := runQuery([]string{"-url", srv.URL + "/nope", "-series", "x", "-from", "0", "-to", "1"}); err == nil {
+		t.Fatal("non-200 response should error")
+	}
+	if tierName(0) != "raw scan" {
+		t.Fatalf("tierName(0) = %q", tierName(0))
+	}
+}

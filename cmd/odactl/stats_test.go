@@ -23,6 +23,11 @@ func TestFetchAndRenderStats(t *testing.T) {
 			"scheduler": {
 				"sweeps": 3, "waves": 12, "max_wave_width": 19,
 				"conflicts_deferred": 45, "actuators_overlapped": 6
+			},
+			"rollup": {
+				"folds": 480, "seals": 7, "raw_plans": 1,
+				"tier_60000ms_series": 4, "tier_60000ms_picks": 11,
+				"result_cache_hits": 5, "quota_rejected": 2
 			}
 		}`))
 	}))
@@ -37,6 +42,8 @@ func TestFetchAndRenderStats(t *testing.T) {
 		for _, want := range []string{
 			"samples", "cursor_pool_gets", "cursor_pool_reuse", "persist.wal_records",
 			"scheduler.sweeps", "scheduler.max_wave_width", "scheduler.actuators_overlapped",
+			"rollup.folds", "rollup.tier_60000ms_picks", "rollup.result_cache_hits",
+			"rollup.quota_rejected",
 		} {
 			if !strings.Contains(out, want) {
 				t.Fatalf("fetchStats(%q) render missing %q:\n%s", url, want, out)

@@ -15,13 +15,28 @@
 //	odad -listen 127.0.0.1:9900 -http 127.0.0.1:9901 \
 //	     -data-dir /var/lib/odad -fsync interval -snapshot-interval 5m
 //
+// The store keeps multi-resolution rollup tiers (-rollups, default 1m and
+// 1h): every append folds into per-tier window accumulators, and the query
+// planner serves long-window aggregations from the coarsest exact tier
+// instead of scanning raw samples. Tiers age out independently of raw data
+// via -retain-raw/-retain-1m/-retain-1h.
+//
 // Endpoints:
 //
 //	GET /dashboard    dashboard panels as JSON
 //	GET /snapshot     latest value of every series
-//	GET /stats        ingest, storage, durability and scheduler statistics
+//	GET /query        planned reduction over a window
+//	                  (?series=KEY&from=MS&to=MS&fn=mean)
+//	GET /query_range  planned step-bucketed aggregation
+//	                  (?series=KEY&from=MS&to=MS&step=MS&fn=mean)
+//	GET /stats        ingest, storage, durability, rollup and scheduler stats
 //	GET /analyze      one full-grid ODA sweep over the archive
 //	                  (?window_hours=N, default 6)
+//
+// /query and /query_range sit behind a sharded LRU result cache (staleness
+// bounded by -query-cache-ttl) and per-tenant token-bucket quotas
+// (X-ODA-Tenant header, -query-rate/-query-burst; over-quota requests get
+// HTTP 429).
 package main
 
 import (
@@ -47,11 +62,31 @@ func main() {
 	listen := flag.String("listen", "127.0.0.1:9900", "wire-protocol ingest address")
 	httpAddr := flag.String("http", "127.0.0.1:9901", "HTTP query address")
 	chunkSize := flag.Int("chunk", 0, "TSDB samples per chunk (0 = default)")
-	retainHours := flag.Float64("retain", 0, "drop telemetry older than this many hours on each ingest (0 = keep all)")
+	retainHours := flag.Float64("retain", 0, "deprecated alias for -retain-raw")
+	retainRaw := flag.Float64("retain-raw", 0, "drop raw telemetry older than this many hours on each ingest (0 = keep all)")
+	retain1m := flag.Float64("retain-1m", 0, "drop 1m rollup windows older than this many hours (0 = keep all)")
+	retain1h := flag.Float64("retain-1h", 0, "drop 1h rollup windows older than this many hours (0 = keep all)")
+	rollups := flag.String("rollups", "1m,1h", "comma-separated rollup tier resolutions (Go durations; empty = no rollups)")
 	dataDir := flag.String("data-dir", "", "durable storage directory (empty = in-memory only)")
 	fsyncMode := flag.String("fsync", "always", "WAL fsync policy: always|interval|never (with -data-dir)")
 	snapEvery := flag.Duration("snapshot-interval", 5*time.Minute, "checkpoint cadence (with -data-dir; 0 = only at shutdown)")
+	queryRate := flag.Float64("query-rate", 10, "per-tenant query tokens per second (0 = no quotas)")
+	queryBurst := flag.Float64("query-burst", 20, "per-tenant query burst ceiling")
+	queryCacheEntries := flag.Int("query-cache-entries", 1024, "result cache capacity (0 = caching off)")
+	queryCacheTTL := flag.Duration("query-cache-ttl", 10*time.Second, "result cache staleness bound")
 	flag.Parse()
+
+	if *retainRaw == 0 {
+		*retainRaw = *retainHours
+	}
+	tierSteps, err := parseRollupSteps(*rollups)
+	if err != nil {
+		log.Fatalf("odad: -rollups: %v", err)
+	}
+	storeOpts := []timeseries.Option{}
+	if len(tierSteps) > 0 {
+		storeOpts = append(storeOpts, timeseries.WithRollups(tierSteps...))
+	}
 
 	// With -data-dir the durable store front-ends the TSDB: mutations go
 	// through the WAL, reads go straight to the recovered in-memory store.
@@ -66,6 +101,7 @@ func main() {
 		}
 		durable, err = persist.Open(*dataDir, persist.Options{
 			ChunkSize:        *chunkSize,
+			StoreOptions:     storeOpts,
 			Fsync:            policy,
 			SnapshotInterval: *snapEvery,
 		})
@@ -78,7 +114,7 @@ func main() {
 			*dataDir, st.SnapshotLoaded, st.ReplayedRecords, st.ReplayedSegments, st.TruncatedTails,
 			store.NumSeries(), store.NumSamples())
 	} else {
-		store = timeseries.NewStore(*chunkSize)
+		store = timeseries.NewStore(*chunkSize, storeOpts...)
 	}
 	var latest atomic.Int64
 
@@ -104,12 +140,29 @@ func main() {
 		} else {
 			_, _ = store.AppendBatch(entries)
 		}
-		if *retainHours > 0 {
-			cutoff := latest.Load() - int64(*retainHours*3600*1000)
+		now := latest.Load()
+		if *retainRaw > 0 {
+			cutoff := now - int64(*retainRaw*3600*1000)
 			if durable != nil {
 				_, _ = durable.Retain(cutoff)
 			} else {
 				store.Retain(cutoff)
+			}
+		}
+		// Rollup tiers age out on their own schedules: raw days, minutely
+		// weeks, hourly years.
+		for _, tc := range []struct {
+			step  int64
+			hours float64
+		}{{timeseries.TierStep1m, *retain1m}, {timeseries.TierStep1h, *retain1h}} {
+			if tc.hours <= 0 {
+				continue
+			}
+			cutoff := now - int64(tc.hours*3600*1000)
+			if durable != nil {
+				_, _ = durable.RetainTier(tc.step, cutoff)
+			} else {
+				store.RetainTier(tc.step, cutoff)
 			}
 		}
 	})
@@ -148,7 +201,10 @@ func main() {
 	if err != nil {
 		log.Fatalf("odad: %v", err)
 	}
-	mux.HandleFunc("/stats", statsHandler(store, srv, durable, grid))
+	qf := newQueryFront(store, *queryCacheEntries, *queryCacheTTL, *queryRate, *queryBurst)
+	mux.HandleFunc("/query", qf.handleQuery)
+	mux.HandleFunc("/query_range", qf.handleQueryRange)
+	mux.HandleFunc("/stats", statsHandler(store, srv, durable, grid, qf))
 	mux.HandleFunc("/analyze", analyzeHandler(grid, store, latest.Load))
 
 	httpSrv := &http.Server{Addr: *httpAddr, Handler: mux}

@@ -1,0 +1,232 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/url"
+	"strconv"
+	"strings"
+	"time"
+
+	"repro/internal/quota"
+	"repro/internal/resultcache"
+	"repro/internal/timeseries"
+)
+
+// queryFront is the HTTP query front door: planned queries against the
+// store behind a sharded LRU result cache (TTL-bounded staleness) and
+// per-tenant token-bucket quotas. Tenants identify themselves with the
+// X-ODA-Tenant header; missing means the shared "anonymous" tenant.
+type queryFront struct {
+	store  *timeseries.Store
+	cache  *resultcache.Cache
+	quotas *quota.Limiter
+}
+
+func newQueryFront(store *timeseries.Store, cacheEntries int, cacheTTL time.Duration, rate, burst float64) *queryFront {
+	return &queryFront{
+		store:  store,
+		cache:  resultcache.New(cacheEntries, cacheTTL),
+		quotas: quota.New(rate, burst),
+	}
+}
+
+// parseRollupSteps parses the -rollups flag: comma-separated Go durations
+// ("1m,1h") to tier steps in milliseconds. Empty means no rollups.
+func parseRollupSteps(s string) ([]int64, error) {
+	if strings.TrimSpace(s) == "" {
+		return nil, nil
+	}
+	var steps []int64
+	for _, part := range strings.Split(s, ",") {
+		d, err := time.ParseDuration(strings.TrimSpace(part))
+		if err != nil {
+			return nil, err
+		}
+		if d < time.Second {
+			return nil, fmt.Errorf("tier resolution %s below 1s", d)
+		}
+		steps = append(steps, d.Milliseconds())
+	}
+	return steps, nil
+}
+
+// queryParams is one parsed /query or /query_range request.
+type queryParams struct {
+	series string
+	from   int64
+	to     int64
+	step   int64 // 0 for /query (single whole-window reduction)
+	fn     timeseries.AggFunc
+}
+
+// parseAggFunc validates the fn parameter ("" defaults to mean).
+func parseAggFunc(s string) (timeseries.AggFunc, error) {
+	if s == "" {
+		return timeseries.AggMean, nil
+	}
+	switch fn := timeseries.AggFunc(s); fn {
+	case timeseries.AggMean, timeseries.AggSum, timeseries.AggMin, timeseries.AggMax,
+		timeseries.AggCount, timeseries.AggRate, timeseries.AggStd, timeseries.AggP95:
+		return fn, nil
+	}
+	return "", fmt.Errorf("unknown fn %q", s)
+}
+
+// parseQueryParams validates the common query parameters. needStep selects
+// the /query_range contract (positive step required); /query rejects a step
+// parameter outright.
+func parseQueryParams(vals url.Values, needStep bool) (queryParams, error) {
+	var p queryParams
+	p.series = vals.Get("series")
+	if p.series == "" {
+		return p, fmt.Errorf("missing series parameter")
+	}
+	var err error
+	if p.from, err = strconv.ParseInt(vals.Get("from"), 10, 64); err != nil {
+		return p, fmt.Errorf("bad from: %v", err)
+	}
+	if p.to, err = strconv.ParseInt(vals.Get("to"), 10, 64); err != nil {
+		return p, fmt.Errorf("bad to: %v", err)
+	}
+	if p.to <= p.from {
+		return p, fmt.Errorf("empty range: to %d <= from %d", p.to, p.from)
+	}
+	if needStep {
+		if p.step, err = strconv.ParseInt(vals.Get("step"), 10, 64); err != nil {
+			return p, fmt.Errorf("bad step: %v", err)
+		}
+		if p.step <= 0 {
+			return p, fmt.Errorf("step must be positive, got %d", p.step)
+		}
+	} else if vals.Get("step") != "" {
+		return p, fmt.Errorf("step is only valid on /query_range")
+	}
+	if p.fn, err = parseAggFunc(vals.Get("fn")); err != nil {
+		return p, err
+	}
+	return p, nil
+}
+
+// admit applies the per-tenant quota, answering 429 when the tenant's
+// bucket is empty.
+func (qf *queryFront) admit(w http.ResponseWriter, r *http.Request) bool {
+	tenant := r.Header.Get("X-ODA-Tenant")
+	if tenant == "" {
+		tenant = "anonymous"
+	}
+	if !qf.quotas.Allow(tenant) {
+		http.Error(w, "query quota exceeded", http.StatusTooManyRequests)
+		return false
+	}
+	return true
+}
+
+// serveCached writes the cached response for key if present.
+func (qf *queryFront) serveCached(w http.ResponseWriter, key string) bool {
+	body, ok := qf.cache.Get(key)
+	if !ok {
+		return false
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.Header().Set("X-ODA-Cache", "hit")
+	_, _ = w.Write(body)
+	return true
+}
+
+func (qf *queryFront) finish(w http.ResponseWriter, key string, payload any) {
+	body, err := json.Marshal(payload)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
+	body = append(body, '\n')
+	qf.cache.Put(key, body)
+	w.Header().Set("Content-Type", "application/json")
+	w.Header().Set("X-ODA-Cache", "miss")
+	_, _ = w.Write(body)
+}
+
+// handleQuery serves GET /query: a single planned reduction over
+// [from, to). The tier the planner picked is reported for observability.
+func (qf *queryFront) handleQuery(w http.ResponseWriter, r *http.Request) {
+	if !qf.admit(w, r) {
+		return
+	}
+	p, err := parseQueryParams(r.URL.Query(), false)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	key := "q|" + p.series + "|" + strconv.FormatInt(p.from, 10) + "|" + strconv.FormatInt(p.to, 10) + "|" + string(p.fn)
+	if qf.serveCached(w, key) {
+		return
+	}
+	id, ok := qf.store.IDForKey(p.series)
+	if !ok {
+		http.Error(w, "unknown series "+p.series, http.StatusNotFound)
+		return
+	}
+	plan := qf.store.Plan(id, p.from, p.to, 0, p.fn)
+	val, n, err := qf.store.ReducePlanned(id, p.from, p.to, p.fn)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
+	qf.finish(w, key, map[string]any{
+		"series":    p.series,
+		"from":      p.from,
+		"to":        p.to,
+		"fn":        p.fn,
+		"value":     val,
+		"count":     n,
+		"tier_step": plan.TierStep,
+	})
+}
+
+// handleQueryRange serves GET /query_range: planned step-bucketed
+// aggregation over [from, to).
+func (qf *queryFront) handleQueryRange(w http.ResponseWriter, r *http.Request) {
+	if !qf.admit(w, r) {
+		return
+	}
+	p, err := parseQueryParams(r.URL.Query(), true)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	key := "qr|" + p.series + "|" + strconv.FormatInt(p.from, 10) + "|" + strconv.FormatInt(p.to, 10) + "|" +
+		strconv.FormatInt(p.step, 10) + "|" + string(p.fn)
+	if qf.serveCached(w, key) {
+		return
+	}
+	id, ok := qf.store.IDForKey(p.series)
+	if !ok {
+		http.Error(w, "unknown series "+p.series, http.StatusNotFound)
+		return
+	}
+	plan := qf.store.Plan(id, p.from, p.to, p.step, p.fn)
+	pts, err := qf.store.AggregatePlanned(id, p.from, p.to, p.step, p.fn)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
+	type point struct {
+		Start int64   `json:"start"`
+		Value float64 `json:"value"`
+	}
+	points := make([]point, len(pts))
+	for i, ap := range pts {
+		points[i] = point{Start: ap.Start, Value: ap.Value}
+	}
+	qf.finish(w, key, map[string]any{
+		"series":    p.series,
+		"from":      p.from,
+		"to":        p.to,
+		"step":      p.step,
+		"fn":        p.fn,
+		"tier_step": plan.TierStep,
+		"points":    points,
+	})
+}

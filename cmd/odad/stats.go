@@ -2,6 +2,7 @@ package main
 
 import (
 	"encoding/json"
+	"fmt"
 	"net/http"
 
 	"repro/internal/oda"
@@ -12,9 +13,11 @@ import (
 
 // statsPayload assembles the /stats document: store shape, ingest counters,
 // the query-side pool/cache effectiveness counters the streaming engine
-// exposes, (when durable) persistence statistics, and (when an analysis
-// grid is mounted) the wave scheduler's cumulative counters.
-func statsPayload(store *timeseries.Store, srv *wire.Server, durable *persist.DurableStore, grid *oda.Grid) map[string]any {
+// exposes, (when durable) persistence statistics, (when an analysis grid is
+// mounted) the wave scheduler's cumulative counters, and (when the query
+// front door is mounted or rollups configured) the rollup tier, planner,
+// result-cache and quota counters.
+func statsPayload(store *timeseries.Store, srv *wire.Server, durable *persist.DurableStore, grid *oda.Grid, qf *queryFront) map[string]any {
 	hits, misses := store.QueryCacheStats()
 	gets, news := store.CursorPoolStats()
 	stats := map[string]any{
@@ -51,6 +54,31 @@ func statsPayload(store *timeseries.Store, srv *wire.Server, durable *persist.Du
 			"truncated_bytes":   st.TruncatedBytes,
 		}
 	}
+	if qf != nil || len(store.TierSteps()) > 0 {
+		rs := store.RollupStats()
+		rollup := map[string]any{
+			"folds":     rs.Folds,
+			"seals":     rs.Seals,
+			"raw_plans": rs.RawPlans,
+		}
+		for _, ts := range rs.Tiers {
+			prefix := fmt.Sprintf("tier_%dms_", ts.Step)
+			rollup[prefix+"series"] = ts.Series
+			rollup[prefix+"picks"] = ts.Picks
+		}
+		if qf != nil {
+			cs := qf.cache.Stats()
+			rollup["result_cache_hits"] = cs.Hits
+			rollup["result_cache_misses"] = cs.Misses
+			rollup["result_cache_evictions"] = cs.Evictions
+			rollup["result_cache_entries"] = cs.Entries
+			qs := qf.quotas.Stats()
+			rollup["quota_allowed"] = qs.Allowed
+			rollup["quota_rejected"] = qs.Rejected
+			rollup["quota_tenants"] = qs.Tenants
+		}
+		stats["rollup"] = rollup
+	}
 	if grid != nil {
 		st := grid.ScheduleStats()
 		stats["scheduler"] = map[string]any{
@@ -69,10 +97,10 @@ func statsPayload(store *timeseries.Store, srv *wire.Server, durable *persist.Du
 }
 
 // statsHandler serves statsPayload as JSON.
-func statsHandler(store *timeseries.Store, srv *wire.Server, durable *persist.DurableStore, grid *oda.Grid) http.HandlerFunc {
+func statsHandler(store *timeseries.Store, srv *wire.Server, durable *persist.DurableStore, grid *oda.Grid, qf *queryFront) http.HandlerFunc {
 	return func(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Type", "application/json")
-		if err := json.NewEncoder(w).Encode(statsPayload(store, srv, durable, grid)); err != nil {
+		if err := json.NewEncoder(w).Encode(statsPayload(store, srv, durable, grid, qf)); err != nil {
 			http.Error(w, err.Error(), http.StatusInternalServerError)
 		}
 	}

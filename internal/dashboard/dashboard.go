@@ -102,6 +102,11 @@ type Panel struct {
 	Selector metric.Labels
 	// WindowMs is how much recent history the panel shows.
 	WindowMs int64
+	// StepMs, when positive, renders the panel through the query planner:
+	// values become per-bucket means at this resolution, served from rollup
+	// tiers when the store keeps a matching one. Long-window panels set it
+	// so render cost scales with buckets, not raw samples.
+	StepMs int64
 }
 
 // Dashboard groups panels over one store.
@@ -136,6 +141,35 @@ func (d *Dashboard) Snapshot(now int64) []PanelData {
 		}
 		pd := PanelData{Title: p.Title}
 		ids := d.Store.Select(p.Name, p.Selector)
+		if p.StepMs > 0 {
+			// Planned render: align the window start down to a step boundary
+			// (tier eligibility requires an aligned origin), then read
+			// per-bucket means through the planner.
+			from, to := now-window, now+1
+			if rem := ((from % p.StepMs) + p.StepMs) % p.StepMs; rem != 0 {
+				from -= rem
+			}
+			for _, id := range ids {
+				pts, err := d.Store.AggregatePlanned(id, from, to, p.StepMs, timeseries.AggMean)
+				if err != nil || len(pts) == 0 {
+					continue
+				}
+				vals := make([]float64, len(pts))
+				var o stats.Online
+				for i, pt := range pts {
+					vals[i] = pt.Value
+					o.Add(pt.Value)
+				}
+				s := o.Summary()
+				pd.Series = append(pd.Series, SeriesData{
+					ID: id.Key(), Last: vals[len(vals)-1],
+					Mean: s.Mean, Min: s.Min, Max: s.Max, Values: vals,
+				})
+			}
+			sort.Slice(pd.Series, func(a, b int) bool { return pd.Series[a].ID < pd.Series[b].ID })
+			out = append(out, pd)
+			continue
+		}
 		// One fused pass per series: the summary statistics accumulate
 		// while the display values stream off the cursor, and wide panels
 		// fan out across series with deterministic per-index slots.

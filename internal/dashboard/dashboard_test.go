@@ -114,6 +114,51 @@ func TestDashboardSnapshot(t *testing.T) {
 	}
 }
 
+// TestDashboardPlannedPanel drives the StepMs render path: a rollup-backed
+// store must serve per-minute bucket means from its 1m tier, and the values
+// must match what the raw path produces for the same bucketing.
+func TestDashboardPlannedPanel(t *testing.T) {
+	store := timeseries.NewStore(0, timeseries.WithRollups(timeseries.TierStep1m))
+	id := metric.ID{Name: "node_power_watts", Labels: metric.NewLabels("node", "a")}
+	// 10s cadence so each 1m bucket really averages 6 samples.
+	for i := int64(0); i < 6*60*4; i++ {
+		if err := store.Append(id, metric.Gauge, metric.UnitWatt, i*10_000, float64(100+i%7)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	now := int64(6*60*4-1) * 10_000
+	window := int64(3 * 3600 * 1000)
+	planned := Dashboard{Store: store, Panels: []Panel{
+		{Title: "Power", Name: "node_power_watts", WindowMs: window, StepMs: timeseries.TierStep1m},
+	}}
+	snap := planned.Snapshot(now)
+	if len(snap) != 1 || len(snap[0].Series) != 1 {
+		t.Fatalf("planned snapshot = %+v", snap)
+	}
+	got := snap[0].Series[0]
+	// ~180 minute buckets, not ~1080 raw samples.
+	if n := len(got.Values); n < 175 || n > 182 {
+		t.Fatalf("planned bucket count = %d", n)
+	}
+	from := now - window
+	from -= from % timeseries.TierStep1m
+	pts, err := store.Aggregate(id, from, now+1, timeseries.TierStep1m, timeseries.AggMean)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pts) != len(got.Values) {
+		t.Fatalf("bucket counts diverge: planned %d vs raw %d", len(got.Values), len(pts))
+	}
+	for i, pt := range pts {
+		if got.Values[i] != pt.Value {
+			t.Fatalf("bucket %d: planned %v vs raw %v", i, got.Values[i], pt.Value)
+		}
+	}
+	if stats := store.RollupStats(); len(stats.Tiers) == 0 || stats.Tiers[0].Picks == 0 {
+		t.Fatalf("planned panel never hit the tier: %+v", stats)
+	}
+}
+
 func TestDashboardRenderText(t *testing.T) {
 	store := buildStore(t)
 	d := Dashboard{Store: store, Panels: []Panel{{Title: "Power", Name: "node_power_watts"}}}

@@ -117,13 +117,14 @@ func (c ITUE) Run(ctx *oda.RunContext) (oda.Result, error) {
 	for _, pid := range powerIDs {
 		node, _ := pid.Labels.Get("node")
 		fanID := metric.ID{Name: "node_fan_speed", Labels: pid.Labels}
-		// Per-node means are pushed down into the storage engine: no
-		// sample slice is materialized per series.
-		pMean, pn, err := ctx.Store.Reduce(pid, ctx.From, ctx.To, timeseries.AggMean)
+		// Per-node means go through the query planner: long windows are
+		// served from sealed rollup tiers (exact for AggMean) and only the
+		// unsealed tail touches raw chunks.
+		pMean, pn, err := ctx.Store.ReducePlanned(pid, ctx.From, ctx.To, timeseries.AggMean)
 		if err != nil || pn == 0 {
 			continue
 		}
-		fMean, fn, err := ctx.Store.Reduce(fanID, ctx.From, ctx.To, timeseries.AggMean)
+		fMean, fn, err := ctx.Store.ReducePlanned(fanID, ctx.From, ctx.To, timeseries.AggMean)
 		if err != nil || fn == 0 {
 			return oda.Result{}, fmt.Errorf("descriptive: node %s has power but no fan telemetry", node)
 		}
@@ -328,14 +329,20 @@ func (Dashboards) Meta() oda.Meta {
 // its HTTP handler directly.
 func (Dashboards) Build(ctx *oda.RunContext) *dashboard.Dashboard {
 	window := ctx.To - ctx.From
+	// Past half a day the panels render through the query planner at 1m
+	// resolution — the collection cadence — so cost tracks rollup windows.
+	var step int64
+	if window >= 12*3600*1000 {
+		step = timeseries.TierStep1m
+	}
 	return &dashboard.Dashboard{
 		Store: ctx.Store,
 		Panels: []dashboard.Panel{
-			{Title: "Facility", Name: "", Selector: siteLabels, WindowMs: window},
-			{Title: "Node power", Name: "node_power_watts", WindowMs: window},
-			{Title: "Node temperature", Name: "node_cpu_temp_celsius", WindowMs: window},
-			{Title: "Network uplinks", Name: "net_uplink_utilization", WindowMs: window},
-			{Title: "Scheduler", Name: "sched_queue_length", WindowMs: window},
+			{Title: "Facility", Name: "", Selector: siteLabels, WindowMs: window, StepMs: step},
+			{Title: "Node power", Name: "node_power_watts", WindowMs: window, StepMs: step},
+			{Title: "Node temperature", Name: "node_cpu_temp_celsius", WindowMs: window, StepMs: step},
+			{Title: "Network uplinks", Name: "net_uplink_utilization", WindowMs: window, StepMs: step},
+			{Title: "Scheduler", Name: "sched_queue_length", WindowMs: window, StepMs: step},
 		},
 	}
 }

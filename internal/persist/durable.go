@@ -292,6 +292,20 @@ func (d *DurableStore) Retain(cutoff int64) (int, error) {
 	return n, d.ack(seq)
 }
 
+// RetainTier logs and applies per-tier rollup retention; semantics match
+// timeseries.Store.RetainTier plus a durability error. The WAL record
+// carries the tier step, so replay ages exactly the tier the live call did.
+func (d *DurableStore) RetainTier(step, cutoff int64) (int, error) {
+	var n int
+	seq, err := d.logApply(encodeRetainTier(nil, step, cutoff), func() {
+		n = d.store.RetainTier(step, cutoff)
+	})
+	if err != nil {
+		return 0, err
+	}
+	return n, d.ack(seq)
+}
+
 // Checkpoint writes a snapshot of the current store and garbage-collects
 // the WAL segments and older snapshots it covers. Mutations are blocked
 // only while the store is dumped (a memcpy of the compressed chunks) and

@@ -38,6 +38,7 @@ const (
 	opAppend     = 1 // an AppendBatch worth of samples
 	opDownsample = 2 // Downsample(id, step)
 	opRetain     = 3 // Retain(cutoff)
+	opRetainTier = 4 // RetainTier(step, cutoff)
 )
 
 // recordHeaderLen is the length + CRC prefix of every WAL record.
@@ -62,8 +63,8 @@ type walRecord struct {
 	op      byte
 	entries []timeseries.BatchEntry // opAppend
 	id      metric.ID               // opDownsample
-	step    int64                   // opDownsample
-	cutoff  int64                   // opRetain
+	step    int64                   // opDownsample, opRetainTier
+	cutoff  int64                   // opRetain, opRetainTier
 }
 
 // apply replays one operation onto a store. Errors the original operation
@@ -77,6 +78,8 @@ func (r *walRecord) apply(store *timeseries.Store) {
 		_, _ = store.Downsample(r.id, r.step)
 	case opRetain:
 		store.Retain(r.cutoff)
+	case opRetainTier:
+		store.RetainTier(r.step, r.cutoff)
 	}
 }
 
@@ -144,6 +147,13 @@ func encodeDownsample(buf []byte, id metric.ID, step int64) []byte {
 // encodeRetain serializes a Retain payload into buf.
 func encodeRetain(buf []byte, cutoff int64) []byte {
 	buf = append(buf, opRetain)
+	return appendVarint(buf, cutoff)
+}
+
+// encodeRetainTier serializes a RetainTier payload into buf.
+func encodeRetainTier(buf []byte, step, cutoff int64) []byte {
+	buf = append(buf, opRetainTier)
+	buf = appendVarint(buf, step)
 	return appendVarint(buf, cutoff)
 }
 
@@ -298,6 +308,14 @@ func decodeRecord(payload []byte) (walRecord, error) {
 		}
 	case opRetain:
 		var err error
+		if rec.cutoff, err = p.varint(); err != nil {
+			return rec, err
+		}
+	case opRetainTier:
+		var err error
+		if rec.step, err = p.varint(); err != nil {
+			return rec, err
+		}
 		if rec.cutoff, err = p.varint(); err != nil {
 			return rec, err
 		}

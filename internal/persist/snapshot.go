@@ -4,6 +4,7 @@ import (
 	"encoding/binary"
 	"fmt"
 	"hash/crc32"
+	"math"
 	"os"
 	"path/filepath"
 
@@ -11,8 +12,14 @@ import (
 	"repro/internal/timeseries"
 )
 
-// snapMagic heads every snapshot file.
-const snapMagic = "ODASNP1\n"
+// snapMagic heads every snapshot file. v2 added per-series rollup tiers
+// (sealed tier chunks plus the open-window accumulator); v1 snapshots from
+// older deployments still load, their tiers rebuilt empty and re-folded
+// from whatever the WAL replays.
+const (
+	snapMagic   = "ODASNP2\n"
+	snapMagicV1 = "ODASNP1\n"
+)
 
 func snapshotName(seq uint64) string { return fmt.Sprintf("snap-%08d.snap", seq) }
 
@@ -22,7 +29,8 @@ func snapshotName(seq uint64) string { return fmt.Sprintf("snap-%08d.snap", seq)
 //	numSeries  uvarint
 //	per series: name, labelCount, (key, value)*, kind byte, unit,
 //	            chunkCount, per chunk: sampleCount uvarint, byteLen uvarint,
-//	            raw Gorilla bitstream
+//	            raw Gorilla bitstream,
+//	            tierCount, per tier: step varint, accumulator, chunk list
 //
 // followed by a CRC32C of everything after the magic. The chunk payloads
 // are the store's own compressed bitstreams, so a snapshot costs a copy,
@@ -35,18 +43,55 @@ func encodeSnapshot(chunkSize int, dump []timeseries.SeriesDump) []byte {
 		buf = appendID(buf, sd.ID)
 		buf = append(buf, byte(sd.Kind))
 		buf = appendString(buf, string(sd.Unit))
-		buf = appendUvarint(buf, uint64(len(sd.Chunks)))
-		for _, cd := range sd.Chunks {
-			buf = appendUvarint(buf, uint64(cd.Count))
-			buf = appendUvarint(buf, uint64(len(cd.Data)))
-			buf = append(buf, cd.Data...)
+		buf = appendChunks(buf, sd.Chunks)
+		buf = appendUvarint(buf, uint64(len(sd.Tiers)))
+		for _, td := range sd.Tiers {
+			buf = appendVarint(buf, td.Step)
+			buf = appendAcc(buf, td.Acc)
+			buf = appendChunks(buf, td.Chunks)
 		}
 	}
 	return buf
 }
 
+func appendChunks(buf []byte, chunks []timeseries.ChunkDump) []byte {
+	buf = appendUvarint(buf, uint64(len(chunks)))
+	for _, cd := range chunks {
+		buf = appendUvarint(buf, uint64(cd.Count))
+		buf = appendUvarint(buf, uint64(len(cd.Data)))
+		buf = append(buf, cd.Data...)
+	}
+	return buf
+}
+
+func appendFloat(buf []byte, v float64) []byte {
+	var vb [8]byte
+	binary.BigEndian.PutUint64(vb[:], math.Float64bits(v))
+	return append(buf, vb[:]...)
+}
+
+// appendAcc serializes a tier's open-window accumulator; recovery must
+// resume folding exactly where the dumped store stopped.
+func appendAcc(buf []byte, a timeseries.RollupAcc) []byte {
+	active := byte(0)
+	if a.Active {
+		active = 1
+	}
+	buf = append(buf, active)
+	buf = appendVarint(buf, a.Start)
+	buf = appendVarint(buf, a.Count)
+	buf = appendFloat(buf, a.Sum)
+	buf = appendFloat(buf, a.Min)
+	buf = appendFloat(buf, a.Max)
+	buf = appendVarint(buf, a.FirstT)
+	buf = appendFloat(buf, a.FirstV)
+	buf = appendVarint(buf, a.LastT)
+	return appendFloat(buf, a.LastV)
+}
+
 // decodeSnapshot parses a snapshot payload (without magic or trailer).
-func decodeSnapshot(payload []byte) (chunkSize int, dump []timeseries.SeriesDump, err error) {
+// version is the format the magic announced; v1 payloads carry no tiers.
+func decodeSnapshot(payload []byte, version int) (chunkSize int, dump []timeseries.SeriesDump, err error) {
 	p := &payloadReader{buf: payload}
 	cs, err := p.uvarint()
 	if err != nil {
@@ -75,29 +120,30 @@ func decodeSnapshot(payload []byte) (chunkSize int, dump []timeseries.SeriesDump
 			return 0, nil, err
 		}
 		sd.Unit = metric.Unit(unit)
-		nch, err := p.uvarint()
-		if err != nil {
+		if sd.Chunks, err = p.chunks(); err != nil {
 			return 0, nil, err
 		}
-		if nch > uint64(len(payload)) {
-			return 0, nil, fmt.Errorf("persist: implausible chunk count %d", nch)
-		}
-		sd.Chunks = make([]timeseries.ChunkDump, 0, nch)
-		for c := uint64(0); c < nch; c++ {
-			cnt, err := p.uvarint()
+		if version >= 2 {
+			ntier, err := p.uvarint()
 			if err != nil {
 				return 0, nil, err
 			}
-			blen, err := p.uvarint()
-			if err != nil {
-				return 0, nil, err
+			if ntier > uint64(len(payload)) {
+				return 0, nil, fmt.Errorf("persist: implausible tier count %d", ntier)
 			}
-			if blen > uint64(len(p.buf)-p.pos) {
-				return 0, nil, fmt.Errorf("persist: chunk payload overruns snapshot")
+			for t := uint64(0); t < ntier; t++ {
+				var td timeseries.TierDump
+				if td.Step, err = p.varint(); err != nil {
+					return 0, nil, err
+				}
+				if td.Acc, err = p.acc(); err != nil {
+					return 0, nil, err
+				}
+				if td.Chunks, err = p.chunks(); err != nil {
+					return 0, nil, err
+				}
+				sd.Tiers = append(sd.Tiers, td)
 			}
-			data := append([]byte(nil), p.buf[p.pos:p.pos+int(blen)]...)
-			p.pos += int(blen)
-			sd.Chunks = append(sd.Chunks, timeseries.ChunkDump{Count: int(cnt), Data: data})
 		}
 		dump = append(dump, sd)
 	}
@@ -105,6 +151,73 @@ func decodeSnapshot(payload []byte) (chunkSize int, dump []timeseries.SeriesDump
 		return 0, nil, fmt.Errorf("%w: %d trailing snapshot bytes", errCorruptRecord, len(payload)-p.pos)
 	}
 	return int(cs), dump, nil
+}
+
+// chunks decodes one chunk list as written by appendChunks.
+func (p *payloadReader) chunks() ([]timeseries.ChunkDump, error) {
+	nch, err := p.uvarint()
+	if err != nil {
+		return nil, err
+	}
+	if nch > uint64(len(p.buf)) {
+		return nil, fmt.Errorf("persist: implausible chunk count %d", nch)
+	}
+	out := make([]timeseries.ChunkDump, 0, nch)
+	for c := uint64(0); c < nch; c++ {
+		cnt, err := p.uvarint()
+		if err != nil {
+			return nil, err
+		}
+		blen, err := p.uvarint()
+		if err != nil {
+			return nil, err
+		}
+		if blen > uint64(len(p.buf)-p.pos) {
+			return nil, fmt.Errorf("persist: chunk payload overruns snapshot")
+		}
+		data := append([]byte(nil), p.buf[p.pos:p.pos+int(blen)]...)
+		p.pos += int(blen)
+		out = append(out, timeseries.ChunkDump{Count: int(cnt), Data: data})
+	}
+	return out, nil
+}
+
+// acc decodes a rollup accumulator as written by appendAcc.
+func (p *payloadReader) acc() (timeseries.RollupAcc, error) {
+	var a timeseries.RollupAcc
+	active, err := p.byteVal()
+	if err != nil {
+		return a, err
+	}
+	a.Active = active != 0
+	if a.Start, err = p.varint(); err != nil {
+		return a, err
+	}
+	if a.Count, err = p.varint(); err != nil {
+		return a, err
+	}
+	if a.Sum, err = p.float(); err != nil {
+		return a, err
+	}
+	if a.Min, err = p.float(); err != nil {
+		return a, err
+	}
+	if a.Max, err = p.float(); err != nil {
+		return a, err
+	}
+	if a.FirstT, err = p.varint(); err != nil {
+		return a, err
+	}
+	if a.FirstV, err = p.float(); err != nil {
+		return a, err
+	}
+	if a.LastT, err = p.varint(); err != nil {
+		return a, err
+	}
+	if a.LastV, err = p.float(); err != nil {
+		return a, err
+	}
+	return a, nil
 }
 
 // writeSnapshot durably writes a snapshot covering WAL segments < seq:
@@ -153,7 +266,13 @@ func loadSnapshot(path string, storeOpts []timeseries.Option) (*timeseries.Store
 	if err != nil {
 		return nil, err
 	}
-	if len(data) < len(snapMagic)+4 || string(data[:len(snapMagic)]) != snapMagic {
+	version := 0
+	switch {
+	case len(data) >= len(snapMagic)+4 && string(data[:len(snapMagic)]) == snapMagic:
+		version = 2
+	case len(data) >= len(snapMagicV1)+4 && string(data[:len(snapMagicV1)]) == snapMagicV1:
+		version = 1
+	default:
 		return nil, fmt.Errorf("persist: %s: bad snapshot magic", filepath.Base(path))
 	}
 	payload := data[len(snapMagic) : len(data)-4]
@@ -161,7 +280,7 @@ func loadSnapshot(path string, storeOpts []timeseries.Option) (*timeseries.Store
 	if crc32.Checksum(payload, castagnoli) != want {
 		return nil, fmt.Errorf("persist: %s: snapshot checksum mismatch", filepath.Base(path))
 	}
-	chunkSize, dump, err := decodeSnapshot(payload)
+	chunkSize, dump, err := decodeSnapshot(payload, version)
 	if err != nil {
 		return nil, fmt.Errorf("persist: %s: %w", filepath.Base(path), err)
 	}

@@ -203,7 +203,7 @@ func TestSnapshotEncodeDecodeRoundTrip(t *testing.T) {
 		}
 	}
 	dump := store.Dump()
-	chunkSize, back, err := decodeSnapshot(encodeSnapshot(store.ChunkSize(), dump))
+	chunkSize, back, err := decodeSnapshot(encodeSnapshot(store.ChunkSize(), dump), 2)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -359,11 +359,11 @@ func TestSnapshotPayloadTruncationSweep(t *testing.T) {
 	}
 	payload := encodeSnapshot(store.ChunkSize(), store.Dump())
 	for cut := 0; cut < len(payload); cut++ {
-		if _, _, err := decodeSnapshot(payload[:cut]); err == nil {
+		if _, _, err := decodeSnapshot(payload[:cut], 2); err == nil {
 			t.Fatalf("truncation at %d/%d decoded without error", cut, len(payload))
 		}
 	}
-	if _, _, err := decodeSnapshot(payload); err != nil {
+	if _, _, err := decodeSnapshot(payload, 2); err != nil {
 		t.Fatalf("full payload failed: %v", err)
 	}
 }

@@ -16,16 +16,33 @@ import (
 	"repro/internal/ml"
 	"repro/internal/oda"
 	"repro/internal/stats"
+	"repro/internal/timeseries"
 )
 
 func cell(p oda.Pillar, t oda.Type) oda.Cell { return oda.Cell{Pillar: p, Type: t} }
 
 var siteLabels = metric.NewLabels("site", "vdc")
 
-// seriesValues fetches a named facility series over the window.
+// longWindowMs is where backtests switch from raw scans to the query
+// planner: past half a day the 1m rollup tier carries the same information
+// at the collection cadence (60 s), so reading raw chunks buys nothing.
+const longWindowMs = 12 * 3600 * 1000
+
+// plannedStep picks the display resolution for a window: long windows read
+// per-minute planner buckets (tier-served when the store keeps rollups),
+// short ones stream raw samples.
+func plannedStep(from, to int64) int64 {
+	if to-from >= longWindowMs {
+		return timeseries.TierStep1m
+	}
+	return 0
+}
+
+// seriesValues fetches a named facility series over the window, through the
+// query planner for long windows.
 func seriesValues(ctx *oda.RunContext, name string) ([]float64, error) {
 	id := metric.ID{Name: name, Labels: siteLabels}
-	vals, err := ctx.Store.SeriesValues(id, ctx.From, ctx.To)
+	vals, err := ctx.Store.SeriesValuesPlanned(id, ctx.From, ctx.To, plannedStep(ctx.From, ctx.To))
 	if err != nil {
 		return nil, err
 	}

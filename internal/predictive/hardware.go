@@ -57,8 +57,9 @@ func (c SensorForecast) Run(ctx *oda.RunContext) (oda.Result, error) {
 		ids = ids[:maxNodes]
 	}
 	var arMAE, naiveMAE stats.Online
+	step := plannedStep(ctx.From, ctx.To)
 	for _, id := range ids {
-		vals, err := ctx.Store.SeriesValues(id, ctx.From, ctx.To)
+		vals, err := ctx.Store.SeriesValuesPlanned(id, ctx.From, ctx.To, step)
 		if err != nil || len(vals) < 4*horizon+20 {
 			continue
 		}
@@ -121,15 +122,18 @@ func (c ThermalRisk) Run(ctx *oda.RunContext) (oda.Result, error) {
 	}
 	var rows [][]float64
 	var labels []float64
+	step := plannedStep(ctx.From, ctx.To)
 	for _, id := range ids {
-		temps, err := ctx.Store.SeriesValues(id, ctx.From, ctx.To)
+		// The three feature series go through the planner at one shared
+		// resolution so their indices stay aligned sample-for-sample.
+		temps, err := ctx.Store.SeriesValuesPlanned(id, ctx.From, ctx.To, step)
 		if err != nil {
 			continue
 		}
 		utilID := metric.ID{Name: "node_utilization", Labels: id.Labels}
 		fanID := metric.ID{Name: "node_fan_speed", Labels: id.Labels}
-		utils, err1 := ctx.Store.SeriesValues(utilID, ctx.From, ctx.To)
-		fans, err2 := ctx.Store.SeriesValues(fanID, ctx.From, ctx.To)
+		utils, err1 := ctx.Store.SeriesValuesPlanned(utilID, ctx.From, ctx.To, step)
+		fans, err2 := ctx.Store.SeriesValuesPlanned(fanID, ctx.From, ctx.To, step)
 		if err1 != nil || err2 != nil {
 			continue
 		}

@@ -1,0 +1,121 @@
+// Package quota rate-limits query traffic per tenant with token buckets:
+// each tenant accumulates rate tokens per second up to burst, and a request
+// that finds the bucket empty is rejected. The front door maps rejection to
+// HTTP 429, so one runaway dashboard cannot starve the other tenants'
+// queries — the per-tenant isolation the ODA framework papers call out as a
+// production requirement for shared query services.
+package quota
+
+import (
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// maxTenants bounds the bucket map so unauthenticated traffic inventing
+// tenant names cannot grow it without limit; once full, unknown tenants
+// share the overflow bucket (rate-limited collectively, never a bypass).
+const maxTenants = 4096
+
+// overflowTenant keys the shared bucket for tenants past the map bound.
+const overflowTenant = "\x00overflow"
+
+// Stats is a point-in-time counter snapshot.
+type Stats struct {
+	Allowed  uint64
+	Rejected uint64
+	Tenants  int
+}
+
+// Limiter hands out per-tenant token buckets. Construct with New; a nil
+// Limiter allows everything (quotas disabled).
+type Limiter struct {
+	rate  float64 // tokens per second
+	burst float64
+	now   func() time.Time
+
+	mu      sync.Mutex
+	buckets map[string]*bucket
+
+	allowed  atomic.Uint64
+	rejected atomic.Uint64
+}
+
+type bucket struct {
+	tokens float64
+	last   time.Time
+}
+
+// Option tunes a Limiter.
+type Option func(*Limiter)
+
+// WithClock injects the time source (tests freeze and advance it).
+func WithClock(now func() time.Time) Option {
+	return func(l *Limiter) { l.now = now }
+}
+
+// New builds a limiter granting each tenant rate tokens per second with the
+// given burst ceiling. A rate <= 0 returns nil: quotas disabled, Allow
+// always true.
+func New(rate, burst float64, opts ...Option) *Limiter {
+	if rate <= 0 {
+		return nil
+	}
+	if burst < 1 {
+		burst = 1
+	}
+	l := &Limiter{rate: rate, burst: burst, now: time.Now, buckets: make(map[string]*bucket)}
+	for _, o := range opts {
+		o(l)
+	}
+	return l
+}
+
+// Allow consumes one token from tenant's bucket, reporting whether the
+// request may proceed.
+func (l *Limiter) Allow(tenant string) bool {
+	if l == nil {
+		return true
+	}
+	now := l.now()
+	l.mu.Lock()
+	b, ok := l.buckets[tenant]
+	if !ok {
+		if len(l.buckets) >= maxTenants {
+			tenant = overflowTenant
+			b = l.buckets[tenant]
+		}
+		if b == nil {
+			b = &bucket{tokens: l.burst, last: now}
+			l.buckets[tenant] = b
+		}
+	}
+	b.tokens += now.Sub(b.last).Seconds() * l.rate
+	if b.tokens > l.burst {
+		b.tokens = l.burst
+	}
+	b.last = now
+	allowed := b.tokens >= 1
+	if allowed {
+		b.tokens--
+	}
+	l.mu.Unlock()
+	if allowed {
+		l.allowed.Add(1)
+	} else {
+		l.rejected.Add(1)
+	}
+	return allowed
+}
+
+// Stats snapshots the limiter counters; zero for a nil (disabled) limiter.
+func (l *Limiter) Stats() Stats {
+	if l == nil {
+		return Stats{}
+	}
+	st := Stats{Allowed: l.allowed.Load(), Rejected: l.rejected.Load()}
+	l.mu.Lock()
+	st.Tenants = len(l.buckets)
+	l.mu.Unlock()
+	return st
+}

@@ -1,0 +1,75 @@
+package quota
+
+import (
+	"fmt"
+	"testing"
+	"time"
+)
+
+func TestBurstThenRefill(t *testing.T) {
+	now := time.Unix(1000, 0)
+	l := New(2, 3, WithClock(func() time.Time { return now }))
+	for i := 0; i < 3; i++ {
+		if !l.Allow("a") {
+			t.Fatalf("burst request %d rejected", i)
+		}
+	}
+	if l.Allow("a") {
+		t.Fatal("empty bucket allowed a request")
+	}
+	now = now.Add(time.Second) // +2 tokens
+	if !l.Allow("a") || !l.Allow("a") {
+		t.Fatal("refilled tokens not granted")
+	}
+	if l.Allow("a") {
+		t.Fatal("over-refilled")
+	}
+	st := l.Stats()
+	if st.Allowed != 5 || st.Rejected != 2 || st.Tenants != 1 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+func TestTenantsIsolated(t *testing.T) {
+	now := time.Unix(1000, 0)
+	l := New(1, 1, WithClock(func() time.Time { return now }))
+	if !l.Allow("a") {
+		t.Fatal("a's first request rejected")
+	}
+	if l.Allow("a") {
+		t.Fatal("a's bucket should be empty")
+	}
+	if !l.Allow("b") {
+		t.Fatal("b throttled by a's traffic")
+	}
+}
+
+func TestDisabledLimiter(t *testing.T) {
+	var l *Limiter
+	if !l.Allow("anyone") {
+		t.Fatal("nil limiter rejected")
+	}
+	if st := l.Stats(); st != (Stats{}) {
+		t.Fatalf("nil limiter stats = %+v", st)
+	}
+	if New(0, 10) != nil {
+		t.Fatal("rate 0 should disable")
+	}
+}
+
+func TestTenantBound(t *testing.T) {
+	now := time.Unix(1000, 0)
+	l := New(1000, 1, WithClock(func() time.Time { return now }))
+	for i := 0; i < maxTenants+100; i++ {
+		l.Allow(fmt.Sprintf("t%d", i))
+	}
+	st := l.Stats()
+	if st.Tenants > maxTenants+1 {
+		t.Fatalf("tenant map unbounded: %d", st.Tenants)
+	}
+	// Overflow tenants share one bucket: with burst 1 and no time passing,
+	// only the first overflow request was allowed.
+	if st.Rejected != 99 {
+		t.Fatalf("overflow bucket not shared: %d rejections", st.Rejected)
+	}
+}

@@ -1,0 +1,185 @@
+// Package resultcache is a sharded LRU cache with per-entry TTL for
+// serialized query results. The query front door keys it by the canonical
+// query parameters, so repeated dashboard refreshes of the same window are
+// served from memory without touching the store; the TTL bounds staleness
+// against ongoing ingest (a result older than the TTL is recomputed, so a
+// cached answer can lag the live store by at most that long).
+package resultcache
+
+import (
+	"container/list"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// numShards spreads lock contention; queries hash uniformly across shards.
+const numShards = 8
+
+// Stats is a point-in-time counter snapshot.
+type Stats struct {
+	Hits      uint64
+	Misses    uint64
+	Evictions uint64 // LRU pressure + TTL expiries
+	Entries   int
+}
+
+// Cache is a sharded LRU+TTL result cache. The zero value is not usable;
+// construct with New. A Cache with capacity 0 stores nothing (every Get
+// misses), which callers use to disable caching without branching.
+type Cache struct {
+	shards [numShards]shard
+	perCap int
+	ttl    time.Duration
+	now    func() time.Time
+
+	hits      atomic.Uint64
+	misses    atomic.Uint64
+	evictions atomic.Uint64
+}
+
+type shard struct {
+	mu    sync.Mutex
+	lru   *list.List // front = most recent
+	index map[string]*list.Element
+}
+
+type entry struct {
+	key     string
+	val     []byte
+	expires time.Time
+}
+
+// Option tunes a Cache.
+type Option func(*Cache)
+
+// WithClock injects the time source (tests freeze and advance it).
+func WithClock(now func() time.Time) Option {
+	return func(c *Cache) { c.now = now }
+}
+
+// New builds a cache holding up to capacity entries in total, each valid
+// for ttl after insertion (ttl <= 0 means entries never expire by age).
+func New(capacity int, ttl time.Duration, opts ...Option) *Cache {
+	c := &Cache{ttl: ttl, now: time.Now}
+	if capacity > 0 {
+		c.perCap = (capacity + numShards - 1) / numShards
+	}
+	for i := range c.shards {
+		c.shards[i].lru = list.New()
+		c.shards[i].index = make(map[string]*list.Element)
+	}
+	for _, o := range opts {
+		o(c)
+	}
+	return c
+}
+
+// fnv32a hashes a cache key for shard selection.
+func fnv32a(key string) uint32 {
+	h := uint32(2166136261)
+	for i := 0; i < len(key); i++ {
+		h ^= uint32(key[i])
+		h *= 16777619
+	}
+	return h
+}
+
+func (c *Cache) shard(key string) *shard {
+	return &c.shards[fnv32a(key)%numShards]
+}
+
+// Get returns the cached value for key, or nil, false on a miss. Expired
+// entries are removed on access and count as both an eviction and a miss.
+func (c *Cache) Get(key string) ([]byte, bool) {
+	if c.perCap == 0 {
+		c.misses.Add(1)
+		return nil, false
+	}
+	sh := c.shard(key)
+	sh.mu.Lock()
+	el, ok := sh.index[key]
+	if !ok {
+		sh.mu.Unlock()
+		c.misses.Add(1)
+		return nil, false
+	}
+	en := el.Value.(*entry)
+	if c.ttl > 0 && c.now().After(en.expires) {
+		sh.lru.Remove(el)
+		delete(sh.index, key)
+		sh.mu.Unlock()
+		c.evictions.Add(1)
+		c.misses.Add(1)
+		return nil, false
+	}
+	sh.lru.MoveToFront(el)
+	val := en.val
+	sh.mu.Unlock()
+	c.hits.Add(1)
+	return val, true
+}
+
+// Put stores a value under key, evicting the shard's least-recently-used
+// entry if the shard is full. The value is retained by reference; callers
+// must not mutate it afterwards.
+func (c *Cache) Put(key string, val []byte) {
+	if c.perCap == 0 {
+		return
+	}
+	sh := c.shard(key)
+	sh.mu.Lock()
+	if el, ok := sh.index[key]; ok {
+		en := el.Value.(*entry)
+		en.val = val
+		en.expires = c.now().Add(c.ttl)
+		sh.lru.MoveToFront(el)
+		sh.mu.Unlock()
+		return
+	}
+	evicted := 0
+	for sh.lru.Len() >= c.perCap {
+		back := sh.lru.Back()
+		sh.lru.Remove(back)
+		delete(sh.index, back.Value.(*entry).key)
+		evicted++
+	}
+	sh.index[key] = sh.lru.PushFront(&entry{key: key, val: val, expires: c.now().Add(c.ttl)})
+	sh.mu.Unlock()
+	if evicted > 0 {
+		c.evictions.Add(uint64(evicted))
+	}
+}
+
+// Purge drops every entry (counted as evictions), e.g. after a mutation
+// that invalidates historical answers wholesale.
+func (c *Cache) Purge() {
+	dropped := 0
+	for i := range c.shards {
+		sh := &c.shards[i]
+		sh.mu.Lock()
+		dropped += sh.lru.Len()
+		sh.lru.Init()
+		sh.index = make(map[string]*list.Element)
+		sh.mu.Unlock()
+	}
+	if dropped > 0 {
+		c.evictions.Add(uint64(dropped))
+	}
+}
+
+// Stats snapshots the cache counters and current entry count.
+func (c *Cache) Stats() Stats {
+	st := Stats{
+		Hits:      c.hits.Load(),
+		Misses:    c.misses.Load(),
+		Evictions: c.evictions.Load(),
+	}
+	for i := range c.shards {
+		sh := &c.shards[i]
+		sh.mu.Lock()
+		st.Entries += sh.lru.Len()
+		sh.mu.Unlock()
+	}
+	return st
+}

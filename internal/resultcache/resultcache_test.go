@@ -1,0 +1,95 @@
+package resultcache
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestGetPutLRU(t *testing.T) {
+	c := New(numShards, time.Minute) // one entry per shard
+	c.Put("a", []byte("1"))
+	if v, ok := c.Get("a"); !ok || string(v) != "1" {
+		t.Fatalf("Get(a) = %q, %v", v, ok)
+	}
+	// A second key landing in the same shard evicts the first.
+	evictKey := ""
+	for i := 0; ; i++ {
+		k := fmt.Sprintf("k%d", i)
+		if c.shard(k) == c.shard("a") && k != "a" {
+			evictKey = k
+			break
+		}
+	}
+	c.Put(evictKey, []byte("2"))
+	if _, ok := c.Get("a"); ok {
+		t.Fatal("LRU did not evict the older same-shard entry")
+	}
+	st := c.Stats()
+	if st.Evictions == 0 || st.Hits != 1 || st.Misses != 1 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+func TestTTLExpiry(t *testing.T) {
+	now := time.Unix(1000, 0)
+	c := New(64, time.Second, WithClock(func() time.Time { return now }))
+	c.Put("a", []byte("1"))
+	if _, ok := c.Get("a"); !ok {
+		t.Fatal("fresh entry missed")
+	}
+	now = now.Add(2 * time.Second)
+	if _, ok := c.Get("a"); ok {
+		t.Fatal("expired entry served")
+	}
+	if st := c.Stats(); st.Entries != 0 || st.Evictions != 1 {
+		t.Fatalf("expiry not collected: %+v", st)
+	}
+	// Put refreshes the deadline.
+	c.Put("a", []byte("2"))
+	now = now.Add(500 * time.Millisecond)
+	if v, ok := c.Get("a"); !ok || string(v) != "2" {
+		t.Fatalf("refreshed entry missed: %q, %v", v, ok)
+	}
+}
+
+func TestZeroCapacityDisables(t *testing.T) {
+	c := New(0, time.Minute)
+	c.Put("a", []byte("1"))
+	if _, ok := c.Get("a"); ok {
+		t.Fatal("capacity-0 cache stored something")
+	}
+}
+
+func TestPurge(t *testing.T) {
+	c := New(64, time.Minute)
+	for i := 0; i < 10; i++ {
+		c.Put(fmt.Sprintf("k%d", i), []byte("v"))
+	}
+	c.Purge()
+	if st := c.Stats(); st.Entries != 0 || st.Evictions != 10 {
+		t.Fatalf("purge: %+v", st)
+	}
+}
+
+func TestConcurrentAccess(t *testing.T) {
+	c := New(128, time.Minute)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 500; i++ {
+				k := fmt.Sprintf("k%d", (g*31+i)%64)
+				if i%3 == 0 {
+					c.Put(k, []byte(k))
+				} else if v, ok := c.Get(k); ok && string(v) != k {
+					t.Errorf("value corruption: key %s got %q", k, v)
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+}

@@ -188,7 +188,7 @@ func New(cfg Config) *DataCenter {
 		Net:        network.New(netCfg),
 		Cluster:    scheduler.NewCluster(cfg.Nodes, cfg.Policy),
 		Gen:        workload.NewGenerator(cfg.Workload),
-		Store:      timeseries.NewStore(0),
+		Store:      timeseries.NewStore(0, timeseries.WithRollups(timeseries.TierStep1m, timeseries.TierStep1h)),
 		Bus:        bus.New(),
 		Events:     events.NewLog(1 << 16),
 		repairAt:   make(map[int]int64),

@@ -57,22 +57,31 @@ func (s *Store) Cursor(id metric.ID, from, to int64) (*Cursor, error) {
 	return s.newCursor(ss, from, to), nil
 }
 
-// newCursor snapshots the chunk window of a resolved series.
+// newCursor snapshots the raw chunk window of a resolved series.
 func (s *Store) newCursor(ss *storedSeries, from, to int64) *Cursor {
 	cur := s.getCursor()
 	cur.store, cur.ss, cur.from, cur.to = s, ss, from, to
 	ss.mu.RLock()
-	chunks := ss.chunks
+	cur.snapshotChunks(ss.chunks, s.chunkSize)
+	ss.mu.RUnlock()
+	return cur
+}
+
+// snapshotChunks fills the cursor's sealed/tail window from a chunk list —
+// the raw series or one of its rollup tiers (which seal at sealCap, a
+// whole number of window groups). The caller must hold the series read
+// lock and have set cur.from/cur.to.
+func (cur *Cursor) snapshotChunks(chunks []*Chunk, sealCap int) {
 	// Seek the first chunk that may overlap [from, to): LastTime is
 	// non-decreasing across chunks.
-	lo := sort.Search(len(chunks), func(i int) bool { return chunks[i].LastTime() >= from })
-	for i := lo; i < len(chunks) && chunks[i].FirstTime() < to; i++ {
+	lo := sort.Search(len(chunks), func(i int) bool { return chunks[i].LastTime() >= cur.from })
+	for i := lo; i < len(chunks) && chunks[i].FirstTime() < cur.to; i++ {
 		c := chunks[i]
 		if c.Count() == 0 {
 			continue
 		}
 		cur.est += c.Count()
-		if c.Count() >= s.chunkSize {
+		if c.Count() >= sealCap {
 			// Sealed: append never touches a full chunk again, so the
 			// pointer can be read lock-free for the cursor's lifetime.
 			cur.sealed = append(cur.sealed, c)
@@ -84,8 +93,6 @@ func (s *Store) newCursor(ss *storedSeries, from, to int64) *Cursor {
 		cur.tailCount = c.Count()
 		cur.hasTail = true
 	}
-	ss.mu.RUnlock()
-	return cur
 }
 
 // getCursor takes a cursor from the pool, tracking reuse.

@@ -62,6 +62,15 @@ type Store struct {
 	cacheHits   atomic.Uint64
 	cacheMisses atomic.Uint64
 
+	// Rollup tier configuration and counters (see rollup.go). tierSteps is
+	// immutable after construction; the counter slices parallel it.
+	tierSteps   []int64
+	tierSeries  []atomic.Uint64
+	tierPicks   []atomic.Uint64
+	rollupFolds atomic.Uint64
+	rollupSeals atomic.Uint64
+	planRaw     atomic.Uint64
+
 	// cursors recycles Cursor objects (and their sealed/tail/vals scratch)
 	// across queries; gets/news expose pool effectiveness (reuse = gets-news).
 	cursors    sync.Pool
@@ -83,6 +92,11 @@ type storedSeries struct {
 	lastT   int64
 	last    metric.Sample // cached most recent sample, valid when hasLast
 	hasLast bool
+
+	// tiers are the rollup resolutions this series maintains (rollup.go),
+	// ascending by step. The slice is fixed at series creation (or restore);
+	// tier contents are guarded by mu like the raw chunks.
+	tiers []*tierState
 
 	// decoded memoizes fully-decoded immutable (full) chunks for repeated
 	// range queries. Guarded by cacheMu, a leaf lock: it is taken while
@@ -201,7 +215,7 @@ func (s *Store) getOrCreate(key string, id metric.ID, kind metric.Kind, unit met
 		sh.mu.Unlock()
 		return ss
 	}
-	ss = &storedSeries{id: id, kind: kind, unit: unit}
+	ss = &storedSeries{id: id, kind: kind, unit: unit, tiers: s.newTiers()}
 	sh.series[key] = ss
 	sh.mu.Unlock()
 	s.regMu.Lock()
@@ -211,12 +225,13 @@ func (s *Store) getOrCreate(key string, id metric.ID, kind metric.Kind, unit met
 	return ss
 }
 
-// append adds one sample; the caller must hold ss.mu.
-func (ss *storedSeries) append(chunkSize int, t int64, v float64) error {
+// append adds one sample and folds it into the series' rollup tiers; the
+// caller must hold ss.mu.
+func (ss *storedSeries) append(s *Store, t int64, v float64) error {
 	if ss.hasLast && t <= ss.lastT {
 		return fmt.Errorf("timeseries: out-of-order sample for %s: %d <= %d", ss.id.Key(), t, ss.lastT)
 	}
-	if len(ss.chunks) == 0 || ss.chunks[len(ss.chunks)-1].Count() >= chunkSize {
+	if len(ss.chunks) == 0 || ss.chunks[len(ss.chunks)-1].Count() >= s.chunkSize {
 		ss.chunks = append(ss.chunks, NewChunk())
 	}
 	if err := ss.chunks[len(ss.chunks)-1].Append(t, v); err != nil {
@@ -225,6 +240,11 @@ func (ss *storedSeries) append(chunkSize int, t int64, v float64) error {
 	ss.lastT = t
 	ss.last = metric.Sample{T: t, V: v}
 	ss.hasLast = true
+	for _, ts := range ss.tiers {
+		if err := ts.fold(s, t, v); err != nil {
+			return err
+		}
+	}
 	return nil
 }
 
@@ -235,7 +255,7 @@ func (s *Store) Append(id metric.ID, kind metric.Kind, unit metric.Unit, t int64
 	key := id.Key()
 	ss := s.getOrCreate(key, id, kind, unit)
 	ss.mu.Lock()
-	err := ss.append(s.chunkSize, t, v)
+	err := ss.append(s, t, v)
 	ss.mu.Unlock()
 	return err
 }
@@ -273,7 +293,7 @@ func (s *Store) AppendBatch(entries []BatchEntry) (int, error) {
 			prevKey, prev = key, ss
 		}
 		ss.mu.Lock()
-		err := ss.append(s.chunkSize, e.T, e.V)
+		err := ss.append(s, e.T, e.V)
 		ss.mu.Unlock()
 		if err != nil {
 			if firstErr == nil {
@@ -383,6 +403,17 @@ func (s *Store) CompressionRatio() float64 {
 		return 0
 	}
 	return float64(16*s.NumSamples()) / float64(comp)
+}
+
+// IDForKey resolves a canonical series key (metric.ID.Key()) back to the
+// stored ID, so wire-level clients can address series by the string form
+// the snapshot and dashboard endpoints expose.
+func (s *Store) IDForKey(key string) (metric.ID, bool) {
+	ss := s.lookup(key)
+	if ss == nil {
+		return metric.ID{}, false
+	}
+	return ss.id, true
 }
 
 // IDs returns every stored series ID in first-ingest order.
@@ -614,28 +645,32 @@ func (s *Store) Downsample(id metric.ID, step int64) (int, error) {
 	ss.mu.Lock()
 	defer ss.mu.Unlock()
 	ss.cacheMu.Lock()
-	ss.decoded = nil // every chunk is retired; drop all memoized decodes
+	ss.decoded = nil // raw and tier chunks all retire; drop every memoized decode
 	ss.cacheMu.Unlock()
 	ss.chunks = nil
 	ss.lastT = 0
 	ss.hasLast = false
+	// The raw stream is being rewritten, so the tiers re-fold from the
+	// rewritten points — rollups always mirror the series as stored, and
+	// WAL replay of the same Downsample reproduces them byte-identically.
+	for _, ts := range ss.tiers {
+		ts.reset()
+	}
 	for _, p := range pts {
-		if len(ss.chunks) == 0 || ss.chunks[len(ss.chunks)-1].Count() >= s.chunkSize {
-			ss.chunks = append(ss.chunks, NewChunk())
-		}
-		if err := ss.chunks[len(ss.chunks)-1].Append(p.Start, p.Value); err != nil {
+		if err := ss.append(s, p.Start, p.Value); err != nil {
 			return 0, err
 		}
-		ss.lastT = p.Start
-		ss.last = metric.Sample{T: p.Start, V: p.Value}
-		ss.hasLast = true
 	}
 	return len(pts), nil
 }
 
-// Retain drops whole chunks whose newest sample is older than cutoff,
-// returning how many samples were discarded. Large stores scan shards in
-// parallel (see scanSeries); the per-shard drop counts reduce serially.
+// Retain drops whole raw chunks whose newest sample is older than cutoff,
+// returning how many samples were discarded. Rollup tiers are deliberately
+// untouched — they are the long-horizon memory that outlives raw samples
+// (age them separately with RetainTier) — and only the retired raw chunks'
+// decoded-cache entries are invalidated, so cached tier decodes keep
+// serving planned queries. Large stores scan shards in parallel (see
+// scanSeries); the per-shard drop counts reduce serially.
 func (s *Store) Retain(cutoff int64) int {
 	partial := make([]int, len(s.shards))
 	s.scanSeries(func(shard int, ss *storedSeries) {

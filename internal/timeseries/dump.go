@@ -3,6 +3,7 @@ package timeseries
 import (
 	"bytes"
 	"fmt"
+	"sort"
 
 	"repro/internal/metric"
 )
@@ -16,13 +17,25 @@ type ChunkDump struct {
 	Data  []byte
 }
 
-// SeriesDump is one series' complete persisted state: identity, typing and
-// the ordered compressed chunks.
+// TierDump is one rollup tier's persisted state: the resolution, the
+// open-window accumulator (folding must resume exactly where the dumped
+// store stopped) and the sealed windows as ordered compressed chunks of
+// encoded column records.
+type TierDump struct {
+	Step   int64
+	Acc    RollupAcc
+	Chunks []ChunkDump
+}
+
+// SeriesDump is one series' complete persisted state: identity, typing,
+// the ordered compressed raw chunks, and its rollup tiers (nil when the
+// store keeps none).
 type SeriesDump struct {
 	ID     metric.ID
 	Kind   metric.Kind
 	Unit   metric.Unit
 	Chunks []ChunkDump
+	Tiers  []TierDump
 }
 
 // Dump lifts every series out of the store in first-ingest order, copying
@@ -40,15 +53,25 @@ func (s *Store) Dump() []SeriesDump {
 			continue
 		}
 		ss.mu.RLock()
-		sd := SeriesDump{ID: ss.id, Kind: ss.kind, Unit: ss.unit, Chunks: make([]ChunkDump, 0, len(ss.chunks))}
-		for _, c := range ss.chunks {
-			if c.Count() == 0 {
-				continue
-			}
-			sd.Chunks = append(sd.Chunks, ChunkDump{Count: c.Count(), Data: append([]byte(nil), c.w.bytes()...)})
+		sd := SeriesDump{ID: ss.id, Kind: ss.kind, Unit: ss.unit, Chunks: dumpChunks(ss.chunks)}
+		for _, ts := range ss.tiers {
+			sd.Tiers = append(sd.Tiers, TierDump{Step: ts.step, Acc: ts.acc, Chunks: dumpChunks(ts.chunks)})
 		}
 		ss.mu.RUnlock()
 		out = append(out, sd)
+	}
+	return out
+}
+
+// dumpChunks copies a chunk list's compressed payloads; the caller must
+// hold the series read lock.
+func dumpChunks(chunks []*Chunk) []ChunkDump {
+	out := make([]ChunkDump, 0, len(chunks))
+	for _, c := range chunks {
+		if c.Count() == 0 {
+			continue
+		}
+		out = append(out, ChunkDump{Count: c.Count(), Data: append([]byte(nil), c.w.bytes()...)})
 	}
 	return out
 }
@@ -77,31 +100,87 @@ func RestoreStore(chunkSize int, dump []SeriesDump, opts ...Option) (*Store, err
 		}
 		ss := s.getOrCreate(key, sd.ID, sd.Kind, sd.Unit)
 		for _, cd := range sd.Chunks {
-			if cd.Count == 0 {
+			c, lastT, n, err := restoreChunk(key, cd, ss.lastT, ss.hasLast)
+			if err != nil {
+				return nil, err
+			}
+			if c == nil {
 				continue
 			}
-			c := NewChunk()
-			it := NewChunkDataIter(cd.Data, cd.Count)
-			for it.Next() {
-				sm := it.At()
-				if ss.hasLast && sm.T <= ss.lastT {
-					return nil, fmt.Errorf("timeseries: restore %s: non-monotonic chunk sequence (%d <= %d)", key, sm.T, ss.lastT)
-				}
-				if err := c.Append(sm.T, sm.V); err != nil {
-					return nil, fmt.Errorf("timeseries: restore %s: %w", key, err)
-				}
-				ss.lastT = sm.T
-				ss.last = sm
-				ss.hasLast = true
-			}
-			if err := it.Err(); err != nil {
-				return nil, fmt.Errorf("timeseries: restore %s: %w", key, err)
-			}
-			if c.Count() != cd.Count || !bytes.Equal(c.w.bytes(), cd.Data) {
-				return nil, fmt.Errorf("timeseries: restore %s: chunk re-encode mismatch (%d samples, %d bytes vs %d)", key, cd.Count, c.Bytes(), len(cd.Data))
-			}
 			ss.chunks = append(ss.chunks, c)
+			ss.lastT = lastT
+			ss.last = metric.Sample{T: lastT, V: n}
+			ss.hasLast = true
 		}
+		// Tiers restore from the dump (its resolutions win over the store
+		// option — recovered rollups must match the dumped store exactly);
+		// resolutions the option adds on top start folding from scratch.
+		restored := make(map[int64]bool, len(sd.Tiers))
+		var tiers []*tierState
+		for _, td := range sd.Tiers {
+			ts := &tierState{step: td.Step, acc: td.Acc}
+			var lastT int64
+			hasLast := false
+			for _, cd := range td.Chunks {
+				c, lt, _, err := restoreChunk(key+fmt.Sprintf("[tier %d]", td.Step), cd, lastT, hasLast)
+				if err != nil {
+					return nil, err
+				}
+				if c == nil {
+					continue
+				}
+				ts.chunks = append(ts.chunks, c)
+				lastT = lt
+				hasLast = true
+			}
+			tiers = append(tiers, ts)
+			restored[td.Step] = true
+			s.countTierSeries(td.Step)
+		}
+		for _, ts := range ss.tiers { // the option's fresh tiers, minus duplicates
+			if !restored[ts.step] {
+				tiers = append(tiers, ts)
+			} else {
+				// Already counted for the restored tier; undo the fresh one.
+				for i, st := range s.tierSteps {
+					if st == ts.step {
+						s.tierSeries[i].Add(^uint64(0))
+					}
+				}
+			}
+		}
+		sort.Slice(tiers, func(i, j int) bool { return tiers[i].step < tiers[j].step })
+		ss.tiers = tiers
 	}
 	return s, nil
+}
+
+// restoreChunk rebuilds one dumped chunk through the codec, verifying the
+// re-encoded bytes match the dump and that timestamps continue the series'
+// monotonic order. Returns the chunk (nil for an empty dump), its last
+// timestamp and last value.
+func restoreChunk(key string, cd ChunkDump, lastT int64, hasLast bool) (*Chunk, int64, float64, error) {
+	if cd.Count == 0 {
+		return nil, 0, 0, nil
+	}
+	c := NewChunk()
+	it := NewChunkDataIter(cd.Data, cd.Count)
+	var lastV float64
+	for it.Next() {
+		sm := it.At()
+		if hasLast && sm.T <= lastT {
+			return nil, 0, 0, fmt.Errorf("timeseries: restore %s: non-monotonic chunk sequence (%d <= %d)", key, sm.T, lastT)
+		}
+		if err := c.Append(sm.T, sm.V); err != nil {
+			return nil, 0, 0, fmt.Errorf("timeseries: restore %s: %w", key, err)
+		}
+		lastT, lastV, hasLast = sm.T, sm.V, true
+	}
+	if err := it.Err(); err != nil {
+		return nil, 0, 0, fmt.Errorf("timeseries: restore %s: %w", key, err)
+	}
+	if c.Count() != cd.Count || !bytes.Equal(c.w.bytes(), cd.Data) {
+		return nil, 0, 0, fmt.Errorf("timeseries: restore %s: chunk re-encode mismatch (%d samples, %d bytes vs %d)", key, cd.Count, c.Bytes(), len(cd.Data))
+	}
+	return c, lastT, lastV, nil
 }

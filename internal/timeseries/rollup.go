@@ -1,0 +1,715 @@
+package timeseries
+
+import (
+	"fmt"
+	"sort"
+	"sync/atomic"
+
+	"repro/internal/metric"
+)
+
+// Rollup tiers give the store multi-resolution retention: every raw append
+// incrementally folds into per-tier window accumulators, and a sealed
+// window is appended to the tier's own Gorilla chunk list as a group of
+// rollupStride consecutive records — one per accumulator column — with
+// encoded timestamps winStart*rollupStride+col. Window starts are strictly
+// increasing and columns are appended in order, so the encoded stream is
+// strictly monotonic and compresses through the unmodified chunk codec
+// (the inter-column delta is 1, so delta-of-delta is almost always zero).
+//
+// Because a tier is just another chunk list hanging off the series, every
+// existing mechanism applies unchanged: cursors snapshot sealed chunks by
+// pointer and copy the open tail, the decoded-chunk cache memoizes tier
+// chunks under their own pointer keys (independent of raw retirement),
+// Dump/RestoreStore carry tiers with the same re-encode byte verification,
+// and the persistence layer snapshots them like any other compressed data.
+//
+// The columns are chosen so the windowed aggregations the pushdown engine
+// supports (mean, sum, min, max, count, rate) all resolve exactly from
+// rollups: mean is Sum/Count, rate needs the window's true first and last
+// samples, and min/max/count/sum are closed under merging.
+
+// Canonical tier resolutions, in milliseconds.
+const (
+	TierStep1m = 60_000
+	TierStep1h = 3_600_000
+)
+
+// Rollup column layout. One sealed window occupies rollupStride consecutive
+// records in the tier chunk stream, in this order.
+const (
+	colCount = iota // samples folded into the window
+	colSum          // sum of values (left-to-right, matching the raw path)
+	colMin
+	colMax
+	colFirstT // timestamp of the window's first sample (exact in float64)
+	colFirstV
+	colLastT
+	colLastV
+	rollupStride
+)
+
+// RollupAcc is one tier's open-window accumulator: the aggregate of the
+// samples folded since the window opened, not yet sealed into chunks. It is
+// part of a series dump because crash recovery must resume folding exactly
+// where the live store stopped.
+type RollupAcc struct {
+	Active bool
+	Start  int64 // window opening timestamp (multiple of the tier step)
+	Count  int64
+	Sum    float64
+	Min    float64
+	Max    float64
+	FirstT int64
+	FirstV float64
+	LastT  int64
+	LastV  float64
+}
+
+// tierState is one rollup resolution of one series: the sealed windows as
+// an encoded chunk stream plus the open-window accumulator. Guarded by the
+// owning series' mutex, exactly like the raw chunks.
+type tierState struct {
+	step   int64
+	chunks []*Chunk
+	acc    RollupAcc
+}
+
+// tierChunkCap is how many records a tier chunk holds before rolling over:
+// the store chunk size rounded down to a whole number of windows, so one
+// window's record group never spans a chunk boundary and per-tier retention
+// can drop whole chunks without tearing a group.
+func tierChunkCap(chunkSize int) int {
+	cap := chunkSize - chunkSize%rollupStride
+	if cap < rollupStride {
+		cap = rollupStride
+	}
+	return cap
+}
+
+// floorDiv is integer division rounding toward negative infinity, so
+// window alignment is correct for pre-epoch timestamps too.
+func floorDiv(a, b int64) int64 {
+	q := a / b
+	if a%b != 0 && (a < 0) != (b < 0) {
+		q--
+	}
+	return q
+}
+
+// floorMod is the non-negative remainder matching floorDiv.
+func floorMod(a, b int64) int64 { return a - floorDiv(a, b)*b }
+
+// WithRollups enables automatic downsampled rollup tiers at the given
+// resolutions (milliseconds per window, e.g. TierStep1m, TierStep1h).
+// Every series created afterwards folds its appends into one accumulator
+// per tier; sealed windows become first-class shadow data served by the
+// query planner (Plan, AggregatePlanned, ReducePlanned). Steps are
+// deduplicated and kept sorted; non-positive steps are ignored.
+func WithRollups(steps ...int64) Option {
+	return func(s *Store) {
+		var cleaned []int64
+		for _, st := range steps {
+			if st <= 0 {
+				continue
+			}
+			dup := false
+			for _, have := range cleaned {
+				if have == st {
+					dup = true
+					break
+				}
+			}
+			if !dup {
+				cleaned = append(cleaned, st)
+			}
+		}
+		sort.Slice(cleaned, func(i, j int) bool { return cleaned[i] < cleaned[j] })
+		s.tierSteps = cleaned
+		s.tierSeries = make([]atomic.Uint64, len(cleaned))
+		s.tierPicks = make([]atomic.Uint64, len(cleaned))
+	}
+}
+
+// TierSteps returns the configured rollup resolutions in ascending order.
+func (s *Store) TierSteps() []int64 { return append([]int64(nil), s.tierSteps...) }
+
+// newTiers builds the tier states a freshly created series starts with.
+func (s *Store) newTiers() []*tierState {
+	if len(s.tierSteps) == 0 {
+		return nil
+	}
+	tiers := make([]*tierState, len(s.tierSteps))
+	for i, st := range s.tierSteps {
+		tiers[i] = &tierState{step: st}
+		s.tierSeries[i].Add(1)
+	}
+	return tiers
+}
+
+// countTierSeries bumps the per-step series counter for a restored tier.
+func (s *Store) countTierSeries(step int64) {
+	for i, st := range s.tierSteps {
+		if st == step {
+			s.tierSeries[i].Add(1)
+			return
+		}
+	}
+}
+
+// fold advances one tier's accumulator with a new raw sample; the caller
+// must hold the series write lock. Samples arrive in strictly increasing
+// timestamp order (the raw append path enforces it before folding), so a
+// sample either extends the open window or seals it and opens the next.
+func (ts *tierState) fold(s *Store, t int64, v float64) error {
+	win := floorDiv(t, ts.step) * ts.step
+	a := &ts.acc
+	if a.Active {
+		if win == a.Start {
+			a.Count++
+			a.Sum += v
+			if v < a.Min {
+				a.Min = v
+			}
+			if v > a.Max {
+				a.Max = v
+			}
+			a.LastT, a.LastV = t, v
+			s.rollupFolds.Add(1)
+			return nil
+		}
+		if win < a.Start {
+			// Unreachable on the monotonic append path; dropping is the
+			// deterministic degradation if it ever happens.
+			return nil
+		}
+		if err := ts.seal(s); err != nil {
+			return err
+		}
+	}
+	ts.acc = RollupAcc{
+		Active: true, Start: win, Count: 1,
+		Sum: v, Min: v, Max: v,
+		FirstT: t, FirstV: v, LastT: t, LastV: v,
+	}
+	s.rollupFolds.Add(1)
+	return nil
+}
+
+// seal appends the open window's column group to the tier's chunk stream
+// and deactivates the accumulator; the caller must hold the series write
+// lock.
+func (ts *tierState) seal(s *Store) error {
+	a := &ts.acc
+	vals := [rollupStride]float64{
+		colCount:  float64(a.Count),
+		colSum:    a.Sum,
+		colMin:    a.Min,
+		colMax:    a.Max,
+		colFirstT: float64(a.FirstT),
+		colFirstV: a.FirstV,
+		colLastT:  float64(a.LastT),
+		colLastV:  a.LastV,
+	}
+	base := a.Start * rollupStride
+	cap := tierChunkCap(s.chunkSize)
+	for col, v := range vals {
+		if len(ts.chunks) == 0 || ts.chunks[len(ts.chunks)-1].Count() >= cap {
+			ts.chunks = append(ts.chunks, NewChunk())
+		}
+		if err := ts.chunks[len(ts.chunks)-1].Append(base+int64(col), v); err != nil {
+			return fmt.Errorf("timeseries: rollup seal: %w", err)
+		}
+	}
+	a.Active = false
+	s.rollupSeals.Add(1)
+	return nil
+}
+
+// reset clears a tier's sealed windows and accumulator (Downsample rewrites
+// the raw series, so its tiers re-fold from the rewritten stream); the
+// caller must hold the series write lock and has already invalidated the
+// decoded-chunk cache entries.
+func (ts *tierState) reset() {
+	ts.chunks = nil
+	ts.acc = RollupAcc{}
+}
+
+// sealedRange reports the first and last sealed window starts; the caller
+// must hold the series lock in either mode. ok is false when no window has
+// sealed yet.
+func (ts *tierState) sealedRange() (first, last int64, ok bool) {
+	n := len(ts.chunks)
+	for n > 0 && ts.chunks[n-1].Count() == 0 {
+		n--
+	}
+	if n == 0 {
+		return 0, 0, false
+	}
+	first = floorDiv(ts.chunks[0].FirstTime(), rollupStride)
+	last = floorDiv(ts.chunks[n-1].LastTime(), rollupStride)
+	return first, last, true
+}
+
+// RetainTier drops sealed rollup windows of the given tier resolution whose
+// window start is older than cutoff, across every series, returning how
+// many windows were discarded. Like raw Retain it drops whole chunks (a
+// tier chunk always holds whole window groups) and invalidates only the
+// retired tier chunks' decoded-cache entries — raw data and other tiers
+// are untouched, so the tiers age out independently: raw days, minutely
+// weeks, hourly years.
+func (s *Store) RetainTier(step, cutoff int64) int {
+	partial := make([]int, len(s.shards))
+	s.scanSeries(func(shard int, ss *storedSeries) {
+		ss.mu.Lock()
+		for _, ts := range ss.tiers {
+			if ts.step != step {
+				continue
+			}
+			keep := ts.chunks[:0]
+			for _, c := range ts.chunks {
+				if c.Count() > 0 && floorDiv(c.LastTime(), rollupStride) < cutoff {
+					partial[shard] += c.Count() / rollupStride
+					ss.cacheMu.Lock()
+					delete(ss.decoded, c)
+					ss.cacheMu.Unlock()
+					continue
+				}
+				keep = append(keep, c)
+			}
+			ts.chunks = keep
+		}
+		ss.mu.Unlock()
+	})
+	dropped := 0
+	for _, v := range partial {
+		dropped += v
+	}
+	return dropped
+}
+
+// --- query planning ----------------------------------------------------
+
+// QueryPlan is the tier decision for one aggregation query: rollups of
+// TierStep resolution serve [from, TierTo) and the raw series serves the
+// unsealed tail [TierTo, to). TierStep 0 means a pure raw scan.
+type QueryPlan struct {
+	TierStep int64
+	TierTo   int64
+}
+
+// rollupResolvable reports whether fn resolves exactly from the rollup
+// columns. Std and P95 need the raw distribution, so they always scan raw.
+func rollupResolvable(fn AggFunc) bool {
+	switch fn {
+	case AggMean, AggSum, AggMin, AggMax, AggCount, AggRate:
+		return true
+	}
+	return false
+}
+
+// Plan decides how the store would serve an aggregation of fn over
+// [from, to) at the given step (step <= 0 plans a single whole-window
+// reduction). The planner picks the coarsest tier that answers exactly:
+//
+//   - fn must resolve from the rollup columns (mean/sum/min/max/count/rate);
+//   - from must sit on a tier window boundary, and for bucketed queries the
+//     step must be a whole number of tier windows, so every requested bucket
+//     is a union of tier windows;
+//   - the tier's sealed history must reach back to from; the part of the
+//     range past the last sealed window — the unsealed tail — falls back to
+//     the raw series.
+//
+// Any query the planner cannot prove exact plans as a raw scan, so planned
+// entry points are always numerically identical to the raw pushdown path.
+func (s *Store) Plan(id metric.ID, from, to, step int64, fn AggFunc) QueryPlan {
+	ss := s.lookup(id.Key())
+	if ss == nil {
+		return QueryPlan{}
+	}
+	return s.plan(ss, from, to, step, fn)
+}
+
+func (s *Store) plan(ss *storedSeries, from, to, step int64, fn AggFunc) QueryPlan {
+	if rollupResolvable(fn) && to > from {
+		for i := len(ss.tiers) - 1; i >= 0; i-- {
+			ts := ss.tiers[i]
+			if step > 0 && step%ts.step != 0 {
+				continue
+			}
+			if floorMod(from, ts.step) != 0 {
+				continue
+			}
+			ss.mu.RLock()
+			first, last, ok := ts.sealedRange()
+			ss.mu.RUnlock()
+			if !ok || first > from {
+				continue
+			}
+			cut := floorDiv(to, ts.step) * ts.step
+			if sealedEnd := last + ts.step; cut > sealedEnd {
+				cut = sealedEnd
+			}
+			if cut <= from {
+				continue
+			}
+			s.countTierPick(ts.step)
+			return QueryPlan{TierStep: ts.step, TierTo: cut}
+		}
+	}
+	s.planRaw.Add(1)
+	return QueryPlan{}
+}
+
+// countTierPick bumps the planner counter of the tier that won.
+func (s *Store) countTierPick(step int64) {
+	for i, st := range s.tierSteps {
+		if st == step {
+			s.tierPicks[i].Add(1)
+			return
+		}
+	}
+}
+
+// tierByStep resolves a series' tier state; tiers are created with the
+// series and the slice is immutable afterwards, so no lock is needed.
+func (ss *storedSeries) tierByStep(step int64) *tierState {
+	for _, ts := range ss.tiers {
+		if ts.step == step {
+			return ts
+		}
+	}
+	return nil
+}
+
+// newTierCursor opens a pooled cursor over a tier's encoded chunk stream
+// covering window starts in [winFrom, winTo). It shares everything with
+// raw cursors: the sealed-pointer/tail-copy snapshot, the pool, and the
+// decoded-chunk cache (tier chunks are cached under their own keys).
+func (s *Store) newTierCursor(ss *storedSeries, ts *tierState, winFrom, winTo int64) *Cursor {
+	cur := s.getCursor()
+	cur.store, cur.ss = s, ss
+	cur.from, cur.to = winFrom*rollupStride, winTo*rollupStride
+	ss.mu.RLock()
+	cur.snapshotChunks(ts.chunks, tierChunkCap(s.chunkSize))
+	ss.mu.RUnlock()
+	return cur
+}
+
+// rollupPoint is one decoded sealed window.
+type rollupPoint struct {
+	Start  int64
+	Count  int64
+	Sum    float64
+	Min    float64
+	Max    float64
+	FirstT int64
+	FirstV float64
+	LastT  int64
+	LastV  float64
+}
+
+// nextRollupPoint decodes the next whole window group off a tier cursor
+// into p, returning false at the end of the window range.
+func nextRollupPoint(cur *Cursor, p *rollupPoint) (bool, error) {
+	if !cur.Next() {
+		return false, cur.Err()
+	}
+	sm := cur.At()
+	start := floorDiv(sm.T, rollupStride)
+	if sm.T != start*rollupStride {
+		return false, fmt.Errorf("timeseries: rollup stream misaligned at %d", sm.T)
+	}
+	p.Start = start
+	p.Count = int64(sm.V)
+	for col := colSum; col < rollupStride; col++ {
+		if !cur.Next() {
+			if err := cur.Err(); err != nil {
+				return false, err
+			}
+			return false, fmt.Errorf("timeseries: truncated rollup group at window %d", start)
+		}
+		sm = cur.At()
+		if sm.T != start*rollupStride+int64(col) {
+			return false, fmt.Errorf("timeseries: rollup stream misaligned at %d", sm.T)
+		}
+		switch col {
+		case colSum:
+			p.Sum = sm.V
+		case colMin:
+			p.Min = sm.V
+		case colMax:
+			p.Max = sm.V
+		case colFirstT:
+			p.FirstT = int64(sm.V)
+		case colFirstV:
+			p.FirstV = sm.V
+		case colLastT:
+			p.LastT = int64(sm.V)
+		case colLastV:
+			p.LastV = sm.V
+		}
+	}
+	return true, nil
+}
+
+// plannedBucket merges rollup windows and raw samples into one requested
+// aggregation bucket. The accumulation order matches the raw pushdown path
+// (windows and samples arrive in time order, sums fold left to right), so
+// the finished value is what the raw reducers would have produced.
+type plannedBucket struct {
+	active bool
+	start  int64
+	count  int64
+	sum    float64
+	min    float64
+	max    float64
+	firstT int64
+	firstV float64
+	lastT  int64
+	lastV  float64
+}
+
+func (b *plannedBucket) open(start int64) {
+	*b = plannedBucket{active: true, start: start}
+}
+
+func (b *plannedBucket) addPoint(p *rollupPoint) {
+	if b.count == 0 {
+		b.min, b.max = p.Min, p.Max
+		b.firstT, b.firstV = p.FirstT, p.FirstV
+	} else {
+		if p.Min < b.min {
+			b.min = p.Min
+		}
+		if p.Max > b.max {
+			b.max = p.Max
+		}
+	}
+	b.count += p.Count
+	b.sum += p.Sum
+	b.lastT, b.lastV = p.LastT, p.LastV
+}
+
+func (b *plannedBucket) addSample(t int64, v float64) {
+	if b.count == 0 {
+		b.min, b.max = v, v
+		b.firstT, b.firstV = t, v
+	} else {
+		if v < b.min {
+			b.min = v
+		}
+		if v > b.max {
+			b.max = v
+		}
+	}
+	b.count++
+	b.sum += v
+	b.lastT, b.lastV = t, v
+}
+
+// value finishes the bucket under fn. Only rollupResolvable functions reach
+// here; the planner routes everything else to raw.
+func (b *plannedBucket) value(fn AggFunc) float64 {
+	switch fn {
+	case AggMean:
+		return b.sum / float64(b.count)
+	case AggSum:
+		return b.sum
+	case AggMin:
+		return b.min
+	case AggMax:
+		return b.max
+	case AggCount:
+		return float64(b.count)
+	case AggRate:
+		if b.count < 2 || b.lastT == b.firstT {
+			return 0
+		}
+		return (b.lastV - b.firstV) * 1000 / float64(b.lastT-b.firstT)
+	}
+	return 0
+}
+
+// AggregatePlanned is Aggregate served through the query planner: buckets
+// covered by sealed rollup windows merge pre-computed column groups
+// (rollupStride records per tier window instead of every raw sample) and
+// the unsealed tail streams off the raw cursor, with results numerically
+// identical to the raw pushdown path. Queries no tier can serve exactly
+// fall back to Aggregate's cursor loop unchanged.
+func (s *Store) AggregatePlanned(id metric.ID, from, to, step int64, fn AggFunc) ([]AggPoint, error) {
+	if step <= 0 {
+		return nil, fmt.Errorf("timeseries: step must be positive")
+	}
+	ss := s.lookup(id.Key())
+	if ss == nil {
+		return nil, fmt.Errorf("timeseries: unknown series %s", id.Key())
+	}
+	plan := s.plan(ss, from, to, step, fn)
+	if plan.TierStep == 0 {
+		cur := s.newCursor(ss, from, to)
+		defer cur.Close()
+		return aggregateCursor(cur, from, step, fn)
+	}
+	ts := ss.tierByStep(plan.TierStep)
+	var out []AggPoint
+	var b plannedBucket
+	flush := func() {
+		if b.active && b.count > 0 {
+			out = append(out, AggPoint{Start: b.start, Value: b.value(fn)})
+		}
+		b.active = false
+	}
+
+	tcur := s.newTierCursor(ss, ts, from, plan.TierTo) // from is tier-aligned
+	var p rollupPoint
+	for {
+		ok, err := nextRollupPoint(tcur, &p)
+		if err != nil {
+			tcur.Close()
+			return nil, err
+		}
+		if !ok {
+			break
+		}
+		bs := from + (p.Start-from)/step*step
+		if !b.active || bs != b.start {
+			flush()
+			b.open(bs)
+		}
+		b.addPoint(&p)
+	}
+	tcur.Close()
+
+	rcur := s.newCursor(ss, plan.TierTo, to)
+	for rcur.Next() {
+		sm := rcur.At()
+		bs := from + (sm.T-from)/step*step
+		if !b.active || bs != b.start {
+			flush()
+			b.open(bs)
+		}
+		b.addSample(sm.T, sm.V)
+	}
+	err := rcur.Err()
+	rcur.Close()
+	if err != nil {
+		return nil, err
+	}
+	flush()
+	return out, nil
+}
+
+// ReducePlanned is Reduce served through the query planner: a single fused
+// aggregate over [from, to) where the sealed-window prefix merges rollup
+// column groups and only the unsealed tail streams raw samples. The planned
+// path allocates nothing (both cursors are pooled, the merge accumulator
+// lives on the stack); queries no tier serves exactly fall back to Reduce.
+func (s *Store) ReducePlanned(id metric.ID, from, to int64, fn AggFunc) (float64, int, error) {
+	ss := s.lookup(id.Key())
+	if ss == nil {
+		return 0, 0, fmt.Errorf("timeseries: unknown series %s", id.Key())
+	}
+	return s.reducePlanned(ss, id, from, to, fn)
+}
+
+// reducePlanned is the handle-resolved planned reduction: everything past
+// the map lookup (building the key is the caller's amortizable cost, as with
+// the cursor sweeps), and the part `make bench-longwindow` gates at 0
+// allocs/op.
+func (s *Store) reducePlanned(ss *storedSeries, id metric.ID, from, to int64, fn AggFunc) (float64, int, error) {
+	plan := s.plan(ss, from, to, 0, fn)
+	if plan.TierStep == 0 {
+		return s.Reduce(id, from, to, fn)
+	}
+	ts := ss.tierByStep(plan.TierStep)
+	var b plannedBucket
+	b.open(from)
+
+	tcur := s.newTierCursor(ss, ts, from, plan.TierTo)
+	var p rollupPoint
+	for {
+		ok, err := nextRollupPoint(tcur, &p)
+		if err != nil {
+			tcur.Close()
+			return 0, 0, err
+		}
+		if !ok {
+			break
+		}
+		b.addPoint(&p)
+	}
+	tcur.Close()
+
+	rcur := s.newCursor(ss, plan.TierTo, to)
+	for rcur.Next() {
+		sm := rcur.At()
+		b.addSample(sm.T, sm.V)
+	}
+	err := rcur.Err()
+	rcur.Close()
+	if err != nil {
+		return 0, 0, err
+	}
+	if b.count == 0 {
+		return 0, 0, nil
+	}
+	return b.value(fn), int(b.count), nil
+}
+
+// SeriesValuesPlanned returns the values of a series over [from, to) at a
+// chosen display resolution: step <= 0 streams every raw value (exactly
+// SeriesValues); step > 0 returns per-bucket means computed through the
+// planner, so a long dashboard window costs rollup windows, not raw
+// samples. The step > 0 output is identical whether a tier serves it or
+// the raw fallback does.
+func (s *Store) SeriesValuesPlanned(id metric.ID, from, to, step int64) ([]float64, error) {
+	if step <= 0 {
+		return s.SeriesValues(id, from, to)
+	}
+	pts, err := s.AggregatePlanned(id, from, to, step, AggMean)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]float64, len(pts))
+	for i, p := range pts {
+		out[i] = p.Value
+	}
+	return out, nil
+}
+
+// --- instrumentation ---------------------------------------------------
+
+// TierStat is one tier's instrumentation snapshot.
+type TierStat struct {
+	Step   int64  // window resolution in ms
+	Series uint64 // series carrying this tier
+	Picks  uint64 // planner decisions served by this tier
+}
+
+// RollupStats reports rollup maintenance and planner counters since the
+// store was created.
+type RollupStats struct {
+	Folds    uint64 // samples folded into tier accumulators
+	Seals    uint64 // windows sealed into tier chunks
+	RawPlans uint64 // planner decisions that fell back to a raw scan
+	Tiers    []TierStat
+}
+
+// RollupStats returns the rollup fold/seal and planner tier-selection
+// counters.
+func (s *Store) RollupStats() RollupStats {
+	st := RollupStats{
+		Folds:    s.rollupFolds.Load(),
+		Seals:    s.rollupSeals.Load(),
+		RawPlans: s.planRaw.Load(),
+	}
+	for i, step := range s.tierSteps {
+		st.Tiers = append(st.Tiers, TierStat{
+			Step:   step,
+			Series: s.tierSeries[i].Load(),
+			Picks:  s.tierPicks[i].Load(),
+		})
+	}
+	return st
+}

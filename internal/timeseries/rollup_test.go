@@ -1,0 +1,351 @@
+package timeseries
+
+import (
+	"math"
+	"reflect"
+	"testing"
+
+	"repro/internal/metric"
+)
+
+// rollupAggFns are the aggregations the planner can serve from tiers.
+var rollupAggFns = []AggFunc{AggMean, AggSum, AggMin, AggMax, AggCount, AggRate}
+
+// fillRollupStore appends n integer-valued samples at the given cadence
+// starting at t0, so sums are exact in float64 and planned/raw results can
+// be compared with ==.
+func fillRollupStore(t *testing.T, s *Store, id metric.ID, t0, cadence int64, n int) {
+	t.Helper()
+	for i := 0; i < n; i++ {
+		v := float64((i*7)%101 - 50)
+		if err := s.Append(id, metric.Gauge, metric.UnitWatt, t0+int64(i)*cadence, v); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func TestRollupPlannedParity(t *testing.T) {
+	s := NewStore(64, WithRollups(TierStep1m, TierStep1h))
+	id := sid("power", "n0")
+	// 3h of 10s-cadence data starting exactly on an hour boundary.
+	const t0 = int64(7 * TierStep1h)
+	fillRollupStore(t, s, id, t0, 10_000, 3*360+5)
+
+	for _, tc := range []struct {
+		name     string
+		from, to int64
+		step     int64
+		tier     int64 // expected plan tier
+	}{
+		{"hour-step", t0, t0 + 3*TierStep1h, TierStep1h, TierStep1h},
+		{"two-hour-step", t0, t0 + 4*TierStep1h, 2 * TierStep1h, TierStep1h},
+		{"minute-step", t0, t0 + 2*TierStep1h, TierStep1m, TierStep1m},
+		{"five-minute-step", t0 + TierStep1h, t0 + 3*TierStep1h, 5 * TierStep1m, TierStep1m},
+		{"unaligned-from", t0 + 1, t0 + TierStep1h, TierStep1h, 0},
+		{"odd-step", t0, t0 + TierStep1h, 90_000, 0},
+		{"partial-tail", t0, t0 + 3*TierStep1h + 55_000, TierStep1m, TierStep1m},
+	} {
+		for _, fn := range rollupAggFns {
+			plan := s.Plan(id, tc.from, tc.to, tc.step, fn)
+			if plan.TierStep != tc.tier {
+				t.Fatalf("%s/%v: plan tier = %d, want %d", tc.name, fn, plan.TierStep, tc.tier)
+			}
+			want, err := s.Aggregate(id, tc.from, tc.to, tc.step, fn)
+			if err != nil {
+				t.Fatal(err)
+			}
+			got, err := s.AggregatePlanned(id, tc.from, tc.to, tc.step, fn)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !reflect.DeepEqual(got, want) {
+				t.Fatalf("%s/%v: planned aggregate diverged\n got %v\nwant %v", tc.name, fn, got, want)
+			}
+		}
+	}
+	// Std and P95 need the raw distribution and must always plan raw.
+	for _, fn := range []AggFunc{AggStd, AggP95} {
+		if plan := s.Plan(id, t0, t0+TierStep1h, TierStep1h, fn); plan.TierStep != 0 {
+			t.Fatalf("%v planned tier %d, want raw", fn, plan.TierStep)
+		}
+	}
+	st := s.RollupStats()
+	if st.Folds == 0 || st.Seals == 0 || st.RawPlans == 0 {
+		t.Fatalf("stats not counting: %+v", st)
+	}
+	picked := uint64(0)
+	for _, ts := range st.Tiers {
+		if ts.Series != 1 {
+			t.Fatalf("tier %d series = %d, want 1", ts.Step, ts.Series)
+		}
+		picked += ts.Picks
+	}
+	if picked == 0 {
+		t.Fatal("no planner decision hit a tier")
+	}
+}
+
+func TestReduceAndSeriesValuesPlannedParity(t *testing.T) {
+	s := NewStore(32, WithRollups(TierStep1m))
+	id := sid("temp", "n1")
+	const t0 = int64(0)
+	fillRollupStore(t, s, id, t0, 5_000, 2000) // ~2.7h at 5s cadence
+
+	to := t0 + 9_500_000
+	for _, fn := range rollupAggFns {
+		wantV, wantN, err := s.Reduce(id, t0, to, fn)
+		if err != nil {
+			t.Fatal(err)
+		}
+		gotV, gotN, err := s.ReducePlanned(id, t0, to, fn)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if gotV != wantV || gotN != wantN {
+			t.Fatalf("%v: ReducePlanned = (%v, %d), want (%v, %d)", fn, gotV, gotN, wantV, wantN)
+		}
+	}
+	if plan := s.Plan(id, t0, to, 0, AggMean); plan.TierStep != TierStep1m {
+		t.Fatalf("reduce plan tier = %d, want %d", plan.TierStep, int64(TierStep1m))
+	}
+
+	want, err := s.Aggregate(id, t0, to, 10*TierStep1m, AggMean)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := s.SeriesValuesPlanned(id, t0, to, 10*TierStep1m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(want) {
+		t.Fatalf("SeriesValuesPlanned returned %d values, want %d", len(got), len(want))
+	}
+	for i := range got {
+		if got[i] != want[i].Value {
+			t.Fatalf("value %d = %v, want %v", i, got[i], want[i].Value)
+		}
+	}
+}
+
+func TestRetainTierIndependent(t *testing.T) {
+	s := NewStore(32, WithRollups(TierStep1m, TierStep1h))
+	id := sid("power", "n0")
+	fillRollupStore(t, s, id, 0, 10_000, 3*360) // 3h
+
+	rawBefore, err := s.Query(id, 0, 1<<60)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cutoff := int64(2 * TierStep1h)
+	dropped := s.RetainTier(TierStep1m, cutoff)
+	if dropped == 0 {
+		t.Fatal("RetainTier dropped nothing")
+	}
+	// Raw data and the hourly tier are untouched.
+	rawAfter, err := s.Query(id, 0, 1<<60)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(rawAfter, rawBefore) {
+		t.Fatal("RetainTier touched raw data")
+	}
+	if plan := s.Plan(id, 0, 3*TierStep1h, TierStep1h, AggMean); plan.TierStep != TierStep1h {
+		t.Fatalf("hourly tier no longer serves from 0: plan tier %d", plan.TierStep)
+	}
+	// The minutely tier lost its prefix, so a query from 0 at minute step
+	// must fall back, while a query starting past the cutoff can still use it.
+	if plan := s.Plan(id, 0, 3*TierStep1h, TierStep1m, AggMean); plan.TierStep == TierStep1m {
+		t.Fatal("minutely tier claimed a range it no longer covers")
+	}
+	from := cutoff // the whole-chunk drops stop exactly at the cutoff here
+	plan := s.Plan(id, from, 3*TierStep1h, TierStep1m, AggMean)
+	if plan.TierStep != TierStep1m {
+		t.Fatalf("minutely tier unusable after RetainTier: plan tier %d", plan.TierStep)
+	}
+	want, err := s.Aggregate(id, from, 3*TierStep1h, TierStep1m, AggMean)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := s.AggregatePlanned(id, from, 3*TierStep1h, TierStep1m, AggMean)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatal("planned aggregate diverged after RetainTier")
+	}
+}
+
+func TestDumpRestoreCarriesTiers(t *testing.T) {
+	s := NewStore(32, WithRollups(TierStep1m, TierStep1h))
+	ids := []metric.ID{sid("power", "n0"), sid("temp", "n1")}
+	for i, id := range ids {
+		fillRollupStore(t, s, id, int64(i)*1000, 7_000, 1500)
+	}
+	dump := s.Dump()
+	hasTiers := false
+	for _, sd := range dump {
+		if len(sd.Tiers) == 2 {
+			hasTiers = true
+		}
+	}
+	if !hasTiers {
+		t.Fatal("dump carries no tiers")
+	}
+	re, err := RestoreStore(s.ChunkSize(), dump, WithRollups(TierStep1m, TierStep1h))
+	if err != nil {
+		t.Fatalf("restore: %v", err)
+	}
+	if !reflect.DeepEqual(re.Dump(), dump) {
+		t.Fatal("restored dump diverged (tiers not byte-identical)")
+	}
+	// Folding resumes exactly where the dumped store stopped: append the
+	// same continuation to both and the dumps must stay identical.
+	for i, id := range ids {
+		for j := 0; j < 700; j++ {
+			ts := int64(i)*1000 + int64(1500+j)*7_000
+			v := float64(j % 13)
+			if err := s.Append(id, metric.Gauge, metric.UnitWatt, ts, v); err != nil {
+				t.Fatal(err)
+			}
+			if err := re.Append(id, metric.Gauge, metric.UnitWatt, ts, v); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	if !reflect.DeepEqual(re.Dump(), s.Dump()) {
+		t.Fatal("folding diverged after restore")
+	}
+	// Restoring without the rollup option still carries the dumped tiers.
+	re2, err := RestoreStore(s.ChunkSize(), dump)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(re2.Dump(), dump) {
+		t.Fatal("optionless restore dropped tiers")
+	}
+}
+
+func TestRestoreRejectsCorruptTierChunk(t *testing.T) {
+	s := NewStore(32, WithRollups(TierStep1m))
+	id := sid("power", "n0")
+	fillRollupStore(t, s, id, 0, 10_000, 800)
+	dump := s.Dump()
+	if len(dump[0].Tiers) == 0 || len(dump[0].Tiers[0].Chunks) == 0 {
+		t.Fatal("no sealed tier chunks to corrupt")
+	}
+	dump[0].Tiers[0].Chunks[0].Data[3] ^= 0x20
+	if _, err := RestoreStore(s.ChunkSize(), dump); err == nil {
+		t.Fatal("RestoreStore accepted a corrupted tier bitstream")
+	}
+}
+
+func TestDownsampleRefoldsTiers(t *testing.T) {
+	s := NewStore(32, WithRollups(TierStep1m))
+	id := sid("power", "n0")
+	fillRollupStore(t, s, id, 0, 2_000, 1800) // 1h at 2s cadence
+	if _, err := s.Downsample(id, 30_000); err != nil {
+		t.Fatal(err)
+	}
+	// A fresh store fed the downsampled stream must fold identical tiers.
+	pts, err := s.Query(id, 0, 1<<60)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fresh := NewStore(32, WithRollups(TierStep1m))
+	for _, p := range pts {
+		if err := fresh.Append(id, metric.Gauge, metric.UnitWatt, p.T, p.V); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if !reflect.DeepEqual(s.Dump(), fresh.Dump()) {
+		t.Fatal("tiers diverged from the downsampled stream")
+	}
+	// Planned queries stay in parity over the rewritten series (downsampled
+	// means are non-integer, so compare with a relative tolerance for the
+	// regrouped sums and exactly for the rest).
+	for _, fn := range rollupAggFns {
+		want, err := s.Aggregate(id, 0, TierStep1h, 5*TierStep1m, fn)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := s.AggregatePlanned(id, 0, TierStep1h, 5*TierStep1m, fn)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(got) != len(want) {
+			t.Fatalf("%v: %d buckets, want %d", fn, len(got), len(want))
+		}
+		for i := range got {
+			if got[i].Start != want[i].Start {
+				t.Fatalf("%v bucket %d: start %d, want %d", fn, i, got[i].Start, want[i].Start)
+			}
+			if d := math.Abs(got[i].Value - want[i].Value); d > 1e-9*math.Max(1, math.Abs(want[i].Value)) {
+				t.Fatalf("%v bucket %d: %v, want %v", fn, i, got[i].Value, want[i].Value)
+			}
+		}
+	}
+}
+
+// TestRollupSurvivesRawRetention is the downsample/query-cache interplay
+// regression: tier chunks cache under their own keys, so retiring raw data
+// must neither invalidate them nor break planned queries over the sealed
+// rollup history.
+func TestRollupSurvivesRawRetention(t *testing.T) {
+	s := NewStore(32, WithRollups(TierStep1m), WithQueryCache(256))
+	id := sid("power", "n0")
+	fillRollupStore(t, s, id, 0, 10_000, 2*360) // 2h
+
+	plan := s.Plan(id, 0, 2*TierStep1h, TierStep1m, AggSum)
+	if plan.TierStep != TierStep1m {
+		t.Fatalf("plan tier = %d, want %d", plan.TierStep, int64(TierStep1m))
+	}
+	// Compare over the sealed prefix only: the unsealed tail lives in raw
+	// samples, which this test is about to retire.
+	from, to := int64(0), plan.TierTo
+	want, err := s.AggregatePlanned(id, from, to, TierStep1m, AggSum) // warms tier chunk cache
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dropped := s.Retain(2 * TierStep1h); dropped == 0 {
+		t.Fatal("Retain dropped no raw chunks")
+	}
+	hits0, _ := s.QueryCacheStats()
+	got, err := s.AggregatePlanned(id, from, to, TierStep1m, AggSum)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hits1, misses1 := s.QueryCacheStats()
+	if hits1 <= hits0 {
+		t.Fatalf("tier chunks fell out of the decoded cache with raw retirement (hits %d -> %d, misses %d)", hits0, hits1, misses1)
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatal("rollup query diverged after raw retention")
+	}
+	// The raw scan over the same window is empty now, the rollups are not.
+	raw, err := s.Aggregate(id, from, to, TierStep1m, AggSum)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(raw) != 0 {
+		t.Fatal("raw data survived Retain")
+	}
+	if len(got) == 0 {
+		t.Fatal("rollup history lost with raw retention")
+	}
+}
+
+func TestTierChunkCap(t *testing.T) {
+	for _, tc := range []struct{ in, want int }{
+		{1, 8}, {7, 8}, {8, 8}, {9, 8}, {64, 64}, {100, 96}, {120, 120},
+	} {
+		if got := tierChunkCap(tc.in); got != tc.want {
+			t.Fatalf("tierChunkCap(%d) = %d, want %d", tc.in, got, tc.want)
+		}
+	}
+	if floorDiv(-1, 60) != -1 || floorDiv(60, 60) != 1 || floorDiv(-60, 60) != -1 {
+		t.Fatal("floorDiv broken")
+	}
+	if floorMod(-1, 60) != 59 || floorMod(61, 60) != 1 {
+		t.Fatal("floorMod broken")
+	}
+}
