@@ -7,12 +7,17 @@ COVER_MIN ?= 85.0
 # How long `make fuzz-short` runs each fuzz target.
 FUZZTIME ?= 10s
 
-.PHONY: build test race vet bench bench-parallel bench-allocs bench-longwindow cover fuzz-short crash-test lint-footprints
+# Knobs for the `make chaos` long campaign (see internal/chaos).
+CHAOS_SEED ?= 1
+CHAOS_DURATION ?= 5m
+CHAOS_INTENSITY ?= 2
+
+.PHONY: build test race vet bench bench-parallel bench-allocs bench-longwindow cover fuzz-short crash-test lint-footprints chaos-short chaos
 
 build:
 	$(GO) build ./...
 
-test: lint-footprints
+test: lint-footprints chaos-short
 	$(GO) test ./...
 
 # Footprint convention gate: every registered prescriptive capability must
@@ -26,10 +31,26 @@ lint-footprints:
 # the sharded TSDB (cursor pool + decoded-chunk cache), the grid worker
 # pool and tuner, the pub/sub bus, the parallel simulation stepper, the
 # async collection pipeline (slow-sink / backpressure stress lives in
-# collector's pipeline tests), the wire server/client and the par
-# primitives. go vet runs first as a cheap gate.
-race: vet lint-footprints
-	$(GO) test -race ./internal/timeseries ./internal/oda ./internal/bus ./internal/simulation ./internal/collector ./internal/persist ./internal/wire ./internal/par ./internal/resultcache ./internal/quota ./cmd/odad
+# collector's pipeline tests), the wire server/client, the par primitives
+# and the query front door. go vet runs first as a cheap gate; the chaos
+# package's race pass lives in chaos-short.
+race: vet lint-footprints chaos-short
+	$(GO) test -race ./internal/timeseries ./internal/oda ./internal/bus ./internal/simulation ./internal/collector ./internal/persist ./internal/wire ./internal/par ./internal/resultcache ./internal/quota ./internal/queryfront ./cmd/odad
+
+# Seeded short chaos campaigns under the race detector: the deterministic
+# fault-injection harness (internal/chaos) runs 30s-virtual-time campaigns
+# across collector → wire → store and checks all four end-to-end
+# invariants (sample conservation, byte-identical crash recovery,
+# planner/raw bit-parity, front-door quota/cache consistency). A failure
+# prints a one-line repro string replayable via `odachaos -repro`.
+chaos-short:
+	$(GO) test -race -count=1 ./internal/chaos
+
+# Long fault-injection campaign via the standalone driver; emits the full
+# summary (counters, verdicts, fingerprint) as JSON for CI artifacts.
+# Override CHAOS_SEED / CHAOS_DURATION / CHAOS_INTENSITY to vary it.
+chaos:
+	$(GO) run ./cmd/odachaos -seed $(CHAOS_SEED) -duration $(CHAOS_DURATION) -intensity $(CHAOS_INTENSITY) -json
 
 # Durability torture pass: the randomized torn-write harness, the
 # kill-and-recover matrix across all fsync policies, and the concurrent
@@ -55,7 +76,8 @@ fuzz-short:
 	$(GO) test -run xxx -fuzz FuzzBitstreamRoundTrip -fuzztime $(FUZZTIME) ./internal/timeseries
 	$(GO) test -run xxx -fuzz FuzzWireDecode -fuzztime $(FUZZTIME) ./internal/wire
 	$(GO) test -run xxx -fuzz FuzzWALReplay -fuzztime $(FUZZTIME) ./internal/persist
-	$(GO) test -run xxx -fuzz FuzzQueryRangeParse -fuzztime $(FUZZTIME) ./cmd/odad
+	$(GO) test -run xxx -fuzz FuzzQueryRangeParse -fuzztime $(FUZZTIME) ./internal/queryfront
+	$(GO) test -run xxx -fuzz FuzzChaosScheduleParse -fuzztime $(FUZZTIME) ./internal/chaos
 
 vet:
 	$(GO) vet ./...

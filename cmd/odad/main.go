@@ -54,6 +54,7 @@ import (
 	"repro"
 	"repro/internal/dashboard"
 	"repro/internal/persist"
+	"repro/internal/queryfront"
 	"repro/internal/timeseries"
 	"repro/internal/wire"
 )
@@ -79,7 +80,7 @@ func main() {
 	if *retainRaw == 0 {
 		*retainRaw = *retainHours
 	}
-	tierSteps, err := parseRollupSteps(*rollups)
+	tierSteps, err := queryfront.ParseRollupSteps(*rollups)
 	if err != nil {
 		log.Fatalf("odad: -rollups: %v", err)
 	}
@@ -201,9 +202,9 @@ func main() {
 	if err != nil {
 		log.Fatalf("odad: %v", err)
 	}
-	qf := newQueryFront(store, *queryCacheEntries, *queryCacheTTL, *queryRate, *queryBurst)
-	mux.HandleFunc("/query", qf.handleQuery)
-	mux.HandleFunc("/query_range", qf.handleQueryRange)
+	qf := queryfront.New(store, *queryCacheEntries, *queryCacheTTL, *queryRate, *queryBurst)
+	mux.HandleFunc("/query", qf.HandleQuery)
+	mux.HandleFunc("/query_range", qf.HandleQueryRange)
 	mux.HandleFunc("/stats", statsHandler(store, srv, durable, grid, qf))
 	mux.HandleFunc("/analyze", analyzeHandler(grid, store, latest.Load))
 

@@ -7,6 +7,7 @@ import (
 
 	"repro/internal/oda"
 	"repro/internal/persist"
+	"repro/internal/queryfront"
 	"repro/internal/timeseries"
 	"repro/internal/wire"
 )
@@ -17,7 +18,7 @@ import (
 // mounted) the wave scheduler's cumulative counters, and (when the query
 // front door is mounted or rollups configured) the rollup tier, planner,
 // result-cache and quota counters.
-func statsPayload(store *timeseries.Store, srv *wire.Server, durable *persist.DurableStore, grid *oda.Grid, qf *queryFront) map[string]any {
+func statsPayload(store *timeseries.Store, srv *wire.Server, durable *persist.DurableStore, grid *oda.Grid, qf *queryfront.Front) map[string]any {
 	hits, misses := store.QueryCacheStats()
 	gets, news := store.CursorPoolStats()
 	stats := map[string]any{
@@ -67,12 +68,12 @@ func statsPayload(store *timeseries.Store, srv *wire.Server, durable *persist.Du
 			rollup[prefix+"picks"] = ts.Picks
 		}
 		if qf != nil {
-			cs := qf.cache.Stats()
+			cs := qf.CacheStats()
 			rollup["result_cache_hits"] = cs.Hits
 			rollup["result_cache_misses"] = cs.Misses
 			rollup["result_cache_evictions"] = cs.Evictions
 			rollup["result_cache_entries"] = cs.Entries
-			qs := qf.quotas.Stats()
+			qs := qf.QuotaStats()
 			rollup["quota_allowed"] = qs.Allowed
 			rollup["quota_rejected"] = qs.Rejected
 			rollup["quota_tenants"] = qs.Tenants
@@ -97,7 +98,7 @@ func statsPayload(store *timeseries.Store, srv *wire.Server, durable *persist.Du
 }
 
 // statsHandler serves statsPayload as JSON.
-func statsHandler(store *timeseries.Store, srv *wire.Server, durable *persist.DurableStore, grid *oda.Grid, qf *queryFront) http.HandlerFunc {
+func statsHandler(store *timeseries.Store, srv *wire.Server, durable *persist.DurableStore, grid *oda.Grid, qf *queryfront.Front) http.HandlerFunc {
 	return func(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Type", "application/json")
 		if err := json.NewEncoder(w).Encode(statsPayload(store, srv, durable, grid, qf)); err != nil {

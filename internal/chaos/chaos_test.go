@@ -1,0 +1,176 @@
+package chaos
+
+import (
+	"fmt"
+	"testing"
+	"time"
+)
+
+// TestScheduleDeterminismAndCoverage: the same config always expands to
+// the identical event timeline, and every fault kind in the taxonomy is
+// represented at least once.
+func TestScheduleDeterminismAndCoverage(t *testing.T) {
+	for seed := int64(1); seed <= 20; seed++ {
+		cfg := DefaultConfig(seed)
+		a, b := Generate(cfg), Generate(cfg)
+		if len(a.Events) != len(b.Events) {
+			t.Fatalf("seed %d: %d vs %d events", seed, len(a.Events), len(b.Events))
+		}
+		seen := map[FaultKind]bool{}
+		durMs := cfg.Duration.Milliseconds()
+		for i, ev := range a.Events {
+			if ev != b.Events[i] {
+				t.Fatalf("seed %d event %d: %+v vs %+v", seed, i, ev, b.Events[i])
+			}
+			if i > 0 && ev.At < a.Events[i-1].At {
+				t.Fatalf("seed %d: events not sorted at %d", seed, i)
+			}
+			if ev.At < 1 || ev.At > durMs {
+				t.Fatalf("seed %d event %d: At %d outside campaign", seed, i, ev.At)
+			}
+			seen[ev.Kind] = true
+		}
+		for k := 1; k <= numFaultKinds; k++ {
+			if !seen[FaultKind(k)] {
+				t.Fatalf("seed %d: schedule missing %v", seed, FaultKind(k))
+			}
+		}
+	}
+}
+
+// TestReproRoundTrip: Repro strings are canonical — parsing one yields the
+// exact config, and re-rendering reproduces the string.
+func TestReproRoundTrip(t *testing.T) {
+	for _, cfg := range []Config{
+		DefaultConfig(42),
+		{Seed: -7, Duration: 90 * time.Second, Nodes: 64, Sources: 16, Intensity: 2.5},
+		{Seed: 0, Duration: time.Second, Nodes: 1, Sources: 1, Intensity: 0.25},
+	} {
+		s := cfg.Repro()
+		got, err := ParseRepro(s)
+		if err != nil {
+			t.Fatalf("ParseRepro(%q): %v", s, err)
+		}
+		if got != cfg {
+			t.Fatalf("round trip: %+v -> %q -> %+v", cfg, s, got)
+		}
+		if got.Repro() != s {
+			t.Fatalf("re-render: %q != %q", got.Repro(), s)
+		}
+	}
+	for _, bad := range []string{
+		"",
+		"chaos:v2:seed=1:dur=1000:nodes=1:sources=1:intensity=1",
+		"chaos:v1:seed=1:dur=0:nodes=1:sources=1:intensity=1",
+		"chaos:v1:seed=1:dur=1000:nodes=0:sources=1:intensity=1",
+		"chaos:v1:seed=1:dur=1000:nodes=1:sources=1:intensity=-1",
+		"chaos:v1:dur=1000:seed=1:nodes=1:sources=1:intensity=1", // wrong field order
+		"chaos:v1:seed=x:dur=1000:nodes=1:sources=1:intensity=1",
+	} {
+		if _, err := ParseRepro(bad); err == nil {
+			t.Fatalf("ParseRepro(%q) accepted", bad)
+		}
+	}
+}
+
+// TestCampaignInvariants is the chaos-short gate: seeded default campaigns
+// must pass all four end-to-end invariant checkers. A failure prints the
+// repro string, as the standalone driver does.
+func TestCampaignInvariants(t *testing.T) {
+	for seed := int64(1); seed <= 3; seed++ {
+		seed := seed
+		t.Run(fmt.Sprintf("seed%d", seed), func(t *testing.T) {
+			t.Parallel()
+			cfg := DefaultConfig(seed)
+			res, err := Run(cfg, t.TempDir())
+			if err != nil {
+				t.Fatalf("campaign error: %v (reproduce with: odachaos -repro %q)", err, cfg.Repro())
+			}
+			if res.Crashes == 0 {
+				t.Fatalf("campaign injected no store crashes")
+			}
+			for _, c := range res.Checks {
+				if !c.Pass {
+					t.Errorf("check %s failed: %s", c.Name, c.Detail)
+				}
+			}
+			if t.Failed() {
+				t.Fatalf("reproduce with: odachaos -repro %q", res.Repro)
+			}
+		})
+	}
+}
+
+// TestCampaignDeterminism: the same seed replays to the identical
+// fingerprint (durable store content, collection totals, simulation leg)
+// and identical invariant verdicts — the property the repro string relies
+// on.
+func TestCampaignDeterminism(t *testing.T) {
+	cfg := DefaultConfig(7)
+	a, err := Run(cfg, t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Run(cfg, t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Fingerprint != b.Fingerprint {
+		t.Fatalf("fingerprints diverged: %s vs %s", a.Fingerprint, b.Fingerprint)
+	}
+	if a.Repro != b.Repro || a.Ticks != b.Ticks || a.Events != b.Events ||
+		a.Readings != b.Readings || a.Crashes != b.Crashes {
+		t.Fatalf("summary diverged: %+v vs %+v", a, b)
+	}
+	if len(a.Checks) != len(b.Checks) {
+		t.Fatalf("check counts diverged")
+	}
+	for i := range a.Checks {
+		if a.Checks[i] != b.Checks[i] {
+			t.Fatalf("check %d diverged: %+v vs %+v", i, a.Checks[i], b.Checks[i])
+		}
+	}
+	// A different seed must not collide on the fingerprint (the store
+	// content genuinely differs).
+	c, err := Run(DefaultConfig(8), t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Fingerprint == a.Fingerprint {
+		t.Fatalf("different seeds produced identical fingerprints")
+	}
+}
+
+// TestFaultySourceModes covers the sensor fault taxonomy directly.
+func TestFaultySourceModes(t *testing.T) {
+	s := NewFaultySource(0, 1)
+	r1 := s.Collect(1000)
+	if len(r1) != 3 {
+		t.Fatalf("healthy collect: %d readings", len(r1))
+	}
+	s.SetMode(SensorStuck, 0)
+	r2 := s.Collect(2000)
+	for i := range r2 {
+		if r2[i].Value != r1[i].Value {
+			t.Fatalf("stuck source changed value %d: %v vs %v", i, r2[i].Value, r1[i].Value)
+		}
+	}
+	s.SetMode(SensorDropout, 0)
+	if got := s.Collect(3000); got != nil {
+		t.Fatalf("dropout returned %d readings", len(got))
+	}
+	if s.Suppressed() != 1 {
+		t.Fatalf("suppressed = %d", s.Suppressed())
+	}
+	s.SetMode(SensorNoisy, 0.2)
+	r4 := s.Collect(4000)
+	s2 := NewFaultySource(0, 1)
+	s2.Collect(1000)
+	s2.SetMode(SensorNoisy, 0.2)
+	r5 := s2.Collect(4000) // same seed, same draw count => same noise
+	for i := range r4 {
+		if r4[i].Value != r5[i].Value {
+			t.Fatalf("noise stream not deterministic at %d: %v vs %v", i, r4[i].Value, r5[i].Value)
+		}
+	}
+}

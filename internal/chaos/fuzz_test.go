@@ -1,0 +1,68 @@
+package chaos
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzChaosScheduleParse feeds arbitrary strings through the repro parser
+// and checks the harness's replay contract: parsing never panics, any
+// accepted string names a valid config, accepted configs render back to a
+// canonical repro that reparses to the identical config, and schedule
+// expansion on an accepted config is well-formed (sorted, in-range, full
+// kind coverage).
+func FuzzChaosScheduleParse(f *testing.F) {
+	// Seeds mirror the committed corpus in testdata/fuzz/FuzzChaosScheduleParse.
+	f.Add("chaos:v1:seed=42:dur=30000:nodes=12:sources=4:intensity=1")
+	f.Add("chaos:v1:seed=-1:dur=1000:nodes=1:sources=1:intensity=0.1")
+	f.Add("chaos:v1:seed=9223372036854775807:dur=86400000:nodes=4096:sources=1024:intensity=100")
+	f.Add("chaos:v1:seed=0:dur=0:nodes=0:sources=0:intensity=0")
+	f.Add("chaos:v2:seed=1:dur=1000:nodes=1:sources=1:intensity=1")
+	f.Add("chaos:v1:seed=1:dur=1e9:nodes=1:sources=1:intensity=NaN")
+	f.Add(":::::::")
+	f.Fuzz(func(t *testing.T, raw string) {
+		cfg, err := ParseRepro(raw)
+		if err != nil {
+			return
+		}
+		if verr := cfg.Validate(); verr != nil {
+			t.Fatalf("accepted invalid config %+v: %v (from %q)", cfg, verr, raw)
+		}
+		canonical := cfg.Repro()
+		if !strings.HasPrefix(canonical, "chaos:v1:") {
+			t.Fatalf("canonical form %q lost the version prefix", canonical)
+		}
+		again, err := ParseRepro(canonical)
+		if err != nil {
+			t.Fatalf("canonical form %q does not reparse: %v", canonical, err)
+		}
+		if again != cfg {
+			t.Fatalf("canonical round trip diverged: %+v vs %+v", cfg, again)
+		}
+		// Expansion must be well-formed for any accepted config. Cap the
+		// work: schedule size scales with duration and intensity.
+		if cfg.Duration.Milliseconds() > 600_000 || cfg.Intensity > 10 {
+			return
+		}
+		sched := Generate(cfg)
+		durMs := cfg.Duration.Milliseconds()
+		seen := map[FaultKind]bool{}
+		for i, ev := range sched.Events {
+			if i > 0 && ev.At < sched.Events[i-1].At {
+				t.Fatalf("events not sorted at %d (%q)", i, canonical)
+			}
+			if ev.At < 1 || ev.At > durMs {
+				t.Fatalf("event %d At %d outside (0, %d] (%q)", i, ev.At, durMs, canonical)
+			}
+			if ev.Kind <= FaultNone || int(ev.Kind) > numFaultKinds {
+				t.Fatalf("event %d has kind %d (%q)", i, ev.Kind, canonical)
+			}
+			seen[ev.Kind] = true
+		}
+		for k := 1; k <= numFaultKinds; k++ {
+			if !seen[FaultKind(k)] {
+				t.Fatalf("schedule missing kind %v (%q)", FaultKind(k), canonical)
+			}
+		}
+	})
+}

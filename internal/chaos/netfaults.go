@@ -1,0 +1,215 @@
+package chaos
+
+import (
+	"errors"
+	"net"
+	"sync"
+	"time"
+)
+
+// NetFaults is an in-memory wire transport with injectable link faults.
+// Dialer() and Listener() plug into wire.DialWith / wire.NewServerListener,
+// carrying batches over net.Pipe — no sockets — while the campaign driver
+// flips delay, drop, truncate and partition windows on and off. Severed
+// connections read as EOF/broken-pipe on both ends, so the client's
+// redial-on-broken path and the server's torn-frame rejection run exactly
+// as they would against a real flaky network.
+type NetFaults struct {
+	mu          sync.Mutex
+	delay       time.Duration
+	dropWrites  bool
+	truncating  bool
+	partitioned bool
+	conns       map[*flakyConn]struct{}
+
+	accept    chan net.Conn
+	closed    chan struct{}
+	closeOnce sync.Once
+
+	severed      uint64
+	truncated    uint64
+	refusedDials uint64
+}
+
+// NewNetFaults builds a healthy in-memory transport.
+func NewNetFaults() *NetFaults {
+	return &NetFaults{
+		conns:  make(map[*flakyConn]struct{}),
+		accept: make(chan net.Conn, 16),
+		closed: make(chan struct{}),
+	}
+}
+
+// SetDelay injects d of latency into every write (0 clears it).
+func (nf *NetFaults) SetDelay(d time.Duration) {
+	nf.mu.Lock()
+	nf.delay = d
+	nf.mu.Unlock()
+}
+
+// SetDrop makes every write fail and sever its connection while on.
+func (nf *NetFaults) SetDrop(on bool) {
+	nf.mu.Lock()
+	nf.dropWrites = on
+	nf.mu.Unlock()
+}
+
+// SetTruncate makes every write deliver only half its bytes and then
+// sever the connection while on — the torn-frame generator.
+func (nf *NetFaults) SetTruncate(on bool) {
+	nf.mu.Lock()
+	nf.truncating = on
+	nf.mu.Unlock()
+}
+
+// SetPartition partitions the network: dials are refused and, on the
+// transition to partitioned, every live connection is severed.
+func (nf *NetFaults) SetPartition(on bool) {
+	nf.mu.Lock()
+	sever := on && !nf.partitioned
+	nf.partitioned = on
+	var victims []*flakyConn
+	if sever {
+		for c := range nf.conns {
+			victims = append(victims, c)
+		}
+	}
+	nf.mu.Unlock()
+	for _, c := range victims {
+		c.sever()
+	}
+}
+
+// Stats reports (severed conns, truncated writes, refused dials).
+func (nf *NetFaults) Stats() (severed, truncated, refusedDials uint64) {
+	nf.mu.Lock()
+	defer nf.mu.Unlock()
+	return nf.severed, nf.truncated, nf.refusedDials
+}
+
+// Dialer returns the client-side dial function: each dial creates an
+// in-memory pipe whose client half carries the injected faults and whose
+// server half lands in the Listener's accept queue.
+func (nf *NetFaults) Dialer() func(addr string) (net.Conn, error) {
+	return func(addr string) (net.Conn, error) {
+		nf.mu.Lock()
+		if nf.partitioned {
+			nf.refusedDials++
+			nf.mu.Unlock()
+			return nil, errors.New("chaos: network partitioned")
+		}
+		nf.mu.Unlock()
+		c1, c2 := net.Pipe()
+		fc := &flakyConn{Conn: c1, nf: nf}
+		select {
+		case nf.accept <- c2:
+		case <-nf.closed:
+			c1.Close()
+			c2.Close()
+			return nil, net.ErrClosed
+		}
+		nf.mu.Lock()
+		nf.conns[fc] = struct{}{}
+		nf.mu.Unlock()
+		return fc, nil
+	}
+}
+
+// Listener returns the server-side listener feeding dialed pipes to the
+// wire server's accept loop.
+func (nf *NetFaults) Listener() net.Listener { return &memListener{nf: nf} }
+
+// Close shuts the transport down: the listener unblocks and live
+// connections are severed.
+func (nf *NetFaults) Close() {
+	nf.closeOnce.Do(func() { close(nf.closed) })
+	nf.mu.Lock()
+	var victims []*flakyConn
+	for c := range nf.conns {
+		victims = append(victims, c)
+	}
+	nf.mu.Unlock()
+	for _, c := range victims {
+		c.sever()
+	}
+}
+
+// memListener implements net.Listener over the accept queue.
+type memListener struct {
+	nf *NetFaults
+}
+
+// Accept implements net.Listener.
+func (l *memListener) Accept() (net.Conn, error) {
+	select {
+	case c := <-l.nf.accept:
+		return c, nil
+	case <-l.nf.closed:
+		return nil, net.ErrClosed
+	}
+}
+
+// Close implements net.Listener (the transport owns shared state, so
+// closing the listener closes the transport).
+func (l *memListener) Close() error {
+	l.nf.Close()
+	return nil
+}
+
+// Addr implements net.Listener.
+func (l *memListener) Addr() net.Addr { return chaosAddr{} }
+
+type chaosAddr struct{}
+
+func (chaosAddr) Network() string { return "chaos" }
+func (chaosAddr) String() string  { return "chaos:mem" }
+
+// flakyConn is the client half of a dialed pipe with faults applied on the
+// write path. Reads, deadlines and the rest of net.Conn pass through to
+// the pipe, so wire's SetWriteDeadline machinery works unchanged.
+type flakyConn struct {
+	net.Conn
+	nf   *NetFaults
+	once sync.Once
+}
+
+// Write implements net.Conn with the active link fault applied.
+func (c *flakyConn) Write(b []byte) (int, error) {
+	c.nf.mu.Lock()
+	delay, drop, trunc := c.nf.delay, c.nf.dropWrites, c.nf.truncating
+	c.nf.mu.Unlock()
+	if delay > 0 {
+		time.Sleep(delay)
+	}
+	if drop {
+		c.sever()
+		return 0, errors.New("chaos: link dropped write")
+	}
+	if trunc && len(b) > 1 {
+		n, _ := c.Conn.Write(b[:len(b)/2])
+		c.nf.mu.Lock()
+		c.nf.truncated++
+		c.nf.mu.Unlock()
+		c.sever()
+		return n, errors.New("chaos: link truncated write")
+	}
+	return c.Conn.Write(b)
+}
+
+// Close implements net.Conn.
+func (c *flakyConn) Close() error {
+	c.sever()
+	return nil
+}
+
+// sever closes the underlying pipe (the peer reads EOF) and unregisters
+// the connection. Idempotent.
+func (c *flakyConn) sever() {
+	c.once.Do(func() {
+		_ = c.Conn.Close()
+		c.nf.mu.Lock()
+		delete(c.nf.conns, c)
+		c.nf.severed++
+		c.nf.mu.Unlock()
+	})
+}

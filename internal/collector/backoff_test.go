@@ -1,0 +1,68 @@
+package collector
+
+import (
+	"math/rand"
+	"testing"
+	"time"
+)
+
+// TestRetryDelayJitterBound pins the jitter contract: for every attempt
+// the delay lies in [base/2, base) of the capped exponential base, so
+// retries desynchronize across agents without ever collapsing below half
+// the configured backoff or overshooting the cap.
+func TestRetryDelayJitterBound(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for _, base := range []time.Duration{time.Millisecond, 10 * time.Millisecond, time.Second} {
+		for attempt := 0; attempt < 12; attempt++ {
+			exp := base
+			for i := 0; i < attempt && exp < maxRetryBackoff; i++ {
+				exp *= 2
+			}
+			if exp > maxRetryBackoff {
+				exp = maxRetryBackoff
+			}
+			for trial := 0; trial < 200; trial++ {
+				d := retryDelay(attempt, base, rng.Int63n)
+				if d < exp/2 || d >= exp {
+					t.Fatalf("base %v attempt %d: delay %v outside [%v, %v)", base, attempt, d, exp/2, exp)
+				}
+			}
+		}
+	}
+}
+
+// TestRetryDelayExtremes: the jitter helper must not panic or return
+// nonsense for degenerate bases (sub-nanosecond halves, the cap itself).
+func TestRetryDelayExtremes(t *testing.T) {
+	if d := retryDelay(0, 1, rand.Int63n); d != 1 {
+		t.Fatalf("1ns base: delay %v, want 1ns (half rounds to zero)", d)
+	}
+	if d := retryDelay(40, time.Second, rand.Int63n); d < maxRetryBackoff/2 || d >= maxRetryBackoff {
+		t.Fatalf("capped delay %v outside [%v, %v)", d, maxRetryBackoff/2, maxRetryBackoff)
+	}
+	// The exponential doubling must not overflow into negative durations
+	// even for absurd attempt counts.
+	if d := retryDelay(200, maxRetryBackoff, rand.Int63n); d <= 0 {
+		t.Fatalf("overflowed delay %v", d)
+	}
+}
+
+// TestWireSinkRetriesAreJittered drives the real Consume retry loop
+// against an always-failing client... the loop is exercised indirectly in
+// pipeline_test.go; here we only need the delay function's spread: two
+// long runs with different RNG streams must not produce identical delay
+// sequences (the whole point of jitter).
+func TestRetryDelaySpread(t *testing.T) {
+	a := rand.New(rand.NewSource(7))
+	b := rand.New(rand.NewSource(8))
+	same := true
+	for i := 0; i < 32; i++ {
+		if retryDelay(i%4, 10*time.Millisecond, a.Int63n) != retryDelay(i%4, 10*time.Millisecond, b.Int63n) {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("two RNG streams produced identical delay sequences; jitter is not applied")
+	}
+}

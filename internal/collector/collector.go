@@ -12,6 +12,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"math/rand"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -139,22 +140,49 @@ func (s *BusSink) Consume(_ string, now int64, readings []Reading) error {
 
 // WireSink pushes readings to a remote telemetry server over the wire
 // protocol, one batch per collection round. Sends can be bounded by a
-// deadline and retried with exponential backoff, so a flaky aggregation
-// endpoint costs bounded time per batch instead of stalling forever —
-// combine with a queued registration (AddSinkQueued) to keep even that
-// bounded latency off the scrape path.
+// deadline and retried with jittered exponential backoff, so a flaky
+// aggregation endpoint costs bounded time per batch instead of stalling
+// forever — combine with a queued registration (AddSinkQueued) to keep
+// even that bounded latency off the scrape path.
 type WireSink struct {
 	Client *wire.Client
 	// MaxRetries is how many times a failed send is retried before the
 	// batch is given up on (0 = fail fast on the first error).
 	MaxRetries int
-	// RetryBackoff is the delay before the first retry, doubling on each
-	// subsequent attempt (default 10ms when retries are enabled).
+	// RetryBackoff is the base delay before the first retry, doubling on
+	// each subsequent attempt (default 10ms when retries are enabled).
+	// The actual delay is jittered uniformly within [base/2, base) so a
+	// fleet of agents whose sends failed together does not hammer a
+	// recovering server in lockstep.
 	RetryBackoff time.Duration
 	// SendDeadline bounds each send attempt's network write (0 = none).
 	SendDeadline time.Duration
 
 	retries atomic.Uint64
+}
+
+// maxRetryBackoff caps the exponential growth so a long retry chain never
+// escalates into multi-minute stalls of the sink's queue pump.
+const maxRetryBackoff = 5 * time.Second
+
+// retryDelay computes the jittered backoff before retry number attempt
+// (0-based): the base doubles per attempt, capped at maxRetryBackoff, then
+// jitters uniformly within [base/2, base). rnd is rand.Int63n or a
+// deterministic stand-in for tests; the returned delay d always satisfies
+// base/2 <= d < base.
+func retryDelay(attempt int, base time.Duration, rnd func(int64) int64) time.Duration {
+	d := base
+	for i := 0; i < attempt && d < maxRetryBackoff; i++ {
+		d *= 2
+	}
+	if d > maxRetryBackoff {
+		d = maxRetryBackoff
+	}
+	half := d / 2
+	if half <= 0 {
+		return d
+	}
+	return half + time.Duration(rnd(int64(half)))
 }
 
 // Retries returns how many retry attempts failed sends have consumed.
@@ -174,9 +202,9 @@ func (s *WireSink) Consume(agent string, now int64, readings []Reading) error {
 	if s.SendDeadline > 0 {
 		s.Client.SetTimeout(s.SendDeadline)
 	}
-	backoff := s.RetryBackoff
-	if backoff <= 0 {
-		backoff = 10 * time.Millisecond
+	base := s.RetryBackoff
+	if base <= 0 {
+		base = 10 * time.Millisecond
 	}
 	var err error
 	for attempt := 0; ; attempt++ {
@@ -184,8 +212,7 @@ func (s *WireSink) Consume(agent string, now int64, readings []Reading) error {
 			return err
 		}
 		s.retries.Add(1)
-		time.Sleep(backoff)
-		backoff *= 2
+		time.Sleep(retryDelay(attempt, base, rand.Int63n))
 	}
 }
 
@@ -226,6 +253,7 @@ type sinkEntry struct {
 	sink      Sink
 	pump      *sinkPump
 	delivered atomic.Uint64 // synchronous deliveries (pumps count their own)
+	offered   atomic.Uint64 // batches Tick presented to this sink
 }
 
 // NewAgent creates an agent with the given identity and Run cadence.
@@ -310,6 +338,7 @@ func (a *Agent) Tick(now int64) int {
 	// sinks never mutate batches, so no per-sink copy is needed.
 	item := batchItem{agent: a.Name, now: now, readings: all}
 	for _, e := range sinks {
+		e.offered.Add(1)
 		if e.pump != nil {
 			e.pump.enqueue(item)
 			continue

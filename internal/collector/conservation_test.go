@@ -1,0 +1,125 @@
+package collector
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"testing"
+	"time"
+)
+
+// chaosSink is a configurable misbehaving sink: it can sleep (a slow
+// downstream), fail outright every Nth batch, or reject a fraction of each
+// batch's samples — the three consumer failure modes the backpressure
+// policies must account for without losing a batch silently.
+type chaosSink struct {
+	delay     time.Duration
+	failEvery int // every Nth Consume returns a hard error (0 = never)
+	rejectN   int // every Consume rejects this many samples (0 = none)
+	calls     int
+}
+
+func (s *chaosSink) Consume(_ string, _ int64, readings []Reading) error {
+	s.calls++
+	if s.delay > 0 {
+		time.Sleep(s.delay)
+	}
+	if s.failEvery > 0 && s.calls%s.failEvery == 0 {
+		return errors.New("chaos sink failure")
+	}
+	if s.rejectN > 0 {
+		n := s.rejectN
+		if n > len(readings) {
+			n = len(readings)
+		}
+		return &RejectedError{N: n}
+	}
+	return nil
+}
+
+// TestSinkConservationProperty is the collector-level conservation
+// invariant under randomized slow/erroring sinks and all three
+// backpressure policies: once the agent is closed (queues drained), every
+// batch ever offered to a sink is accounted for as consumed or dropped —
+// Offered == Consumed + Dropped and Queued == 0 — and the agent-level
+// DroppedBatches equals the per-sink sum. No policy, queue depth, sink
+// latency or failure pattern may leak a batch out of the books.
+func TestSinkConservationProperty(t *testing.T) {
+	policies := []Policy{Block, DropOldest, DropNewest}
+	for seed := int64(0); seed < 12; seed++ {
+		seed := seed
+		t.Run(fmt.Sprintf("seed%d", seed), func(t *testing.T) {
+			t.Parallel()
+			rng := rand.New(rand.NewSource(seed))
+			a := NewAgent(fmt.Sprintf("conserve-%d", seed), 0)
+			a.AddSource(SourceFunc{SourceName: "src", Fn: func(now int64) []Reading {
+				return []Reading{{Value: float64(now)}, {Value: float64(now + 1)}}
+			}})
+
+			nsinks := 2 + rng.Intn(4)
+			for i := 0; i < nsinks; i++ {
+				sink := &chaosSink{}
+				if rng.Intn(2) == 0 {
+					sink.delay = time.Duration(rng.Intn(300)) * time.Microsecond
+				}
+				if rng.Intn(3) == 0 {
+					sink.failEvery = 2 + rng.Intn(5)
+				}
+				if rng.Intn(3) == 0 {
+					sink.rejectN = 1
+				}
+				cfg := QueueConfig{}
+				if rng.Intn(4) > 0 { // 3/4 of sinks are queued
+					cfg.Depth = 1 + rng.Intn(4)
+					cfg.Policy = policies[rng.Intn(len(policies))]
+				}
+				a.AddSinkQueued(sink, cfg)
+			}
+
+			preClose := 20 + rng.Intn(60)
+			for r := 0; r < preClose; r++ {
+				a.Tick(int64(1000 + r*1000))
+				if rng.Intn(8) == 0 {
+					time.Sleep(time.Duration(rng.Intn(200)) * time.Microsecond)
+				}
+			}
+			a.Close()
+			// Ticks after Close must still balance: queued sinks count the
+			// refused batches as dropped, synchronous sinks keep delivering.
+			postClose := rng.Intn(5)
+			for r := 0; r < postClose; r++ {
+				a.Tick(int64(1_000_000 + r*1000))
+			}
+
+			total := preClose + postClose
+			var droppedSum uint64
+			for i, st := range a.SinkStats() {
+				if st.Offered != uint64(total) {
+					t.Fatalf("sink %d (%s, depth %d): offered %d, want %d", i, st.Policy, st.Depth, st.Offered, total)
+				}
+				if st.Queued != 0 {
+					t.Fatalf("sink %d: %d batches still queued after Close", i, st.Queued)
+				}
+				if st.Offered != st.Consumed+st.Dropped {
+					t.Fatalf("sink %d (%s, depth %d): conservation broken: offered %d != consumed %d + dropped %d",
+						i, st.Policy, st.Depth, st.Offered, st.Consumed, st.Dropped)
+				}
+				if st.Depth == 0 {
+					if st.Dropped != 0 || st.Consumed != uint64(total) {
+						t.Fatalf("sink %d: synchronous sink consumed %d dropped %d, want %d/0", i, st.Consumed, st.Dropped, total)
+					}
+				} else {
+					droppedSum += st.Dropped
+				}
+				// Enqueued never exceeds Offered and never undercounts
+				// what was consumed from the queue.
+				if st.Enqueued > st.Offered || st.Consumed > st.Enqueued {
+					t.Fatalf("sink %d: enqueued %d outside [consumed %d, offered %d]", i, st.Enqueued, st.Consumed, st.Offered)
+				}
+			}
+			if st := a.Stats(); st.DroppedBatches != droppedSum {
+				t.Fatalf("agent DroppedBatches %d != per-sink sum %d", st.DroppedBatches, droppedSum)
+			}
+		})
+	}
+}

@@ -191,6 +191,15 @@ type SinkStats struct {
 	Policy Policy
 	// Queued is the current backlog in batches.
 	Queued int
+	// Offered counts every batch Tick presented to the sink. The
+	// conservation invariant every policy satisfies (and the chaos
+	// harness asserts) is Offered == Consumed + Queued + Dropped: a batch
+	// is delivered, still waiting, or accounted for as dropped — never
+	// silently lost. Enqueued counts only batches accepted into the
+	// queue, so under DropNewest it lags Offered by the rejected batches
+	// while under DropOldest it equals Offered and evictions show up in
+	// Dropped instead.
+	Offered uint64
 	// Enqueued, Consumed and Dropped count batches over the agent's life.
 	// Synchronous sinks count every delivery under Consumed.
 	Enqueued uint64
@@ -205,7 +214,7 @@ func (a *Agent) SinkStats() []SinkStats {
 	a.mu.Unlock()
 	out := make([]SinkStats, 0, len(entries))
 	for _, e := range entries {
-		st := SinkStats{Sink: fmt.Sprintf("%T", e.sink)}
+		st := SinkStats{Sink: fmt.Sprintf("%T", e.sink), Offered: e.offered.Load()}
 		if e.pump != nil {
 			st.Depth = e.pump.cfg.Depth
 			st.Policy = e.pump.cfg.Policy

@@ -122,6 +122,14 @@ func (n *Node) Repair() {
 	n.temp = 30
 }
 
+// ForceFail puts the node into the failed state immediately, bypassing the
+// Weibull hazard draw. Fault-injection harnesses use it to model
+// correlated failures (a rack PDU trip, a coolant loop burst) that the
+// independent per-node hazard cannot produce; the simulation engine then
+// handles it exactly like an organic failure — jobs killed, node offlined,
+// repair scheduled.
+func (n *Node) ForceFail() { n.failed = true }
+
 // Frequency returns the current DVFS frequency in GHz.
 func (n *Node) Frequency() float64 { return n.Cfg.Frequencies[n.freqIdx] }
 

@@ -112,7 +112,7 @@ func TestTornWriteRecoversExactPrefix(t *testing.T) {
 					}
 					states = append(states, checkpointState{offset: fi.Size(), dump: d.Store().Dump()})
 				}
-				d.crashForTest()
+				d.Crash()
 				full, err := os.ReadFile(segPath)
 				if err != nil {
 					t.Fatal(err)
@@ -169,7 +169,7 @@ func TestTornWriteRecoversExactPrefix(t *testing.T) {
 					}
 					// Recovery truncated the torn tail: a second open must be
 					// clean and land on the same state.
-					re.crashForTest()
+					re.Crash()
 					re2, err := Open(crashDir, opts)
 					if err != nil {
 						t.Fatalf("offset %d: second recovery failed: %v", off, err)
@@ -180,7 +180,7 @@ func TestTornWriteRecoversExactPrefix(t *testing.T) {
 					if !reflect.DeepEqual(re2.Store().Dump(), want.dump) {
 						t.Fatalf("offset %d: recovery is not idempotent", off)
 					}
-					re2.crashForTest()
+					re2.Crash()
 				}
 			})
 		}

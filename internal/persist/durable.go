@@ -383,6 +383,28 @@ func (d *DurableStore) Close() error {
 	return err
 }
 
+// Crash simulates a hard failure — what SIGKILL or a power cut leaves
+// behind: background work stops and the WAL file handle closes with no
+// checkpoint, no flush ordering and no final state write. The directory
+// is left exactly as the crash instant had it, ready for Open to recover.
+// It exists for the crash-test matrix and the chaos campaign harness;
+// production shutdown is Close. After Crash the store is closed: further
+// mutations fail with timeseries.ErrStoreClosed (wrapped) and Store()
+// remains readable.
+func (d *DurableStore) Crash() {
+	close(d.stop)
+	d.bg.Wait()
+	d.mu.Lock()
+	d.closed = true
+	d.mu.Unlock()
+	d.wal.mu.Lock()
+	if d.wal.f != nil {
+		d.wal.f.Close()
+		d.wal.f = nil
+	}
+	d.wal.mu.Unlock()
+}
+
 // Stats returns the recovery and IO counters. Segment and snapshot sizes
 // are read from the directory so they reflect checkpoint GC.
 func (d *DurableStore) Stats() Stats {

@@ -48,23 +48,6 @@ func applyWorkload(t *testing.T, d *DurableStore, rounds int) {
 	}
 }
 
-// crashForTest simulates a hard failure: background work stops and file
-// handles close with no checkpoint, flush ordering, or final state write —
-// what SIGKILL leaves behind.
-func (d *DurableStore) crashForTest() {
-	close(d.stop)
-	d.bg.Wait()
-	d.mu.Lock()
-	d.closed = true
-	d.mu.Unlock()
-	d.wal.mu.Lock()
-	if d.wal.f != nil {
-		d.wal.f.Close()
-		d.wal.f = nil
-	}
-	d.wal.mu.Unlock()
-}
-
 func TestKillAndRecoverAllPolicies(t *testing.T) {
 	for _, policy := range []FsyncPolicy{FsyncAlways, FsyncInterval, FsyncNever} {
 		t.Run(policy.String(), func(t *testing.T) {
@@ -76,7 +59,7 @@ func TestKillAndRecoverAllPolicies(t *testing.T) {
 			}
 			applyWorkload(t, d, 30)
 			want := d.Store().Dump()
-			d.crashForTest() // no checkpoint, no graceful close
+			d.Crash() // no checkpoint, no graceful close
 
 			re, err := Open(dir, opts)
 			if err != nil {
@@ -120,7 +103,7 @@ func TestRecoverFromSnapshotPlusWAL(t *testing.T) {
 		}
 	}
 	want := d.Store().Dump()
-	d.crashForTest()
+	d.Crash()
 
 	re, err := Open(dir, opts)
 	if err != nil {
@@ -241,7 +224,7 @@ func TestCorruptNewestSnapshotFallsBack(t *testing.T) {
 		}
 	}
 	want := d.Store().Dump()
-	d.crashForTest()
+	d.Crash()
 
 	// A later checkpoint "crashed": a higher-seq snapshot exists but is
 	// garbage. Recovery must fall back to the older valid snapshot and
@@ -299,7 +282,7 @@ func TestConcurrentAppendersGroupCommit(t *testing.T) {
 	if st.Fsyncs+st.CoalescedSyncs < workers*perWorker {
 		t.Fatalf("every acknowledged append needs a covering fsync: fsyncs=%d coalesced=%d", st.Fsyncs, st.CoalescedSyncs)
 	}
-	d.crashForTest()
+	d.Crash()
 
 	re, err := Open(dir, Options{ChunkSize: 16, Fsync: FsyncAlways})
 	if err != nil {

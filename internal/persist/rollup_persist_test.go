@@ -45,7 +45,7 @@ func TestDurableRollupLifecycle(t *testing.T) {
 	}
 	appendN(1200, 100)
 	want := d.Store().Dump()
-	d.crashForTest() // snapshot + WAL tail replay path
+	d.Crash() // snapshot + WAL tail replay path
 
 	re, err := Open(dir, opts)
 	if err != nil {

@@ -1,4 +1,4 @@
-package main
+package queryfront
 
 import (
 	"net/url"

@@ -1,4 +1,14 @@
-package main
+// Package queryfront is the HTTP query front door of the ODA stack:
+// planned queries against a TSDB store behind a sharded LRU result cache
+// (TTL-bounded staleness) and per-tenant token-bucket quotas. odad mounts
+// it on /query and /query_range; the chaos harness drives the very same
+// handlers to check quota/result-cache consistency after a fault campaign.
+//
+// Tenants identify themselves with the X-ODA-Tenant header; missing means
+// the shared "anonymous" tenant. Cache hits are marked with the
+// X-ODA-Cache response header and are byte-identical to the response that
+// populated the entry.
+package queryfront
 
 import (
 	"encoding/json"
@@ -14,27 +24,57 @@ import (
 	"repro/internal/timeseries"
 )
 
-// queryFront is the HTTP query front door: planned queries against the
-// store behind a sharded LRU result cache (TTL-bounded staleness) and
-// per-tenant token-bucket quotas. Tenants identify themselves with the
-// X-ODA-Tenant header; missing means the shared "anonymous" tenant.
-type queryFront struct {
+// Front serves /query and /query_range over a store.
+type Front struct {
 	store  *timeseries.Store
 	cache  *resultcache.Cache
 	quotas *quota.Limiter
 }
 
-func newQueryFront(store *timeseries.Store, cacheEntries int, cacheTTL time.Duration, rate, burst float64) *queryFront {
-	return &queryFront{
+// Option tunes a Front.
+type Option func(*options)
+
+type options struct {
+	clock func() time.Time
+}
+
+// WithClock injects the time source the cache TTL and quota refill use.
+// Deterministic harnesses (the chaos campaign's consistency checker) pin
+// it to a virtual clock; production uses time.Now.
+func WithClock(now func() time.Time) Option {
+	return func(o *options) { o.clock = now }
+}
+
+// New builds a front door: cacheEntries/cacheTTL size the result cache
+// (0 entries disables caching), rate/burst parameterize the per-tenant
+// token buckets.
+func New(store *timeseries.Store, cacheEntries int, cacheTTL time.Duration, rate, burst float64, opts ...Option) *Front {
+	var o options
+	for _, opt := range opts {
+		opt(&o)
+	}
+	var cacheOpts []resultcache.Option
+	var quotaOpts []quota.Option
+	if o.clock != nil {
+		cacheOpts = append(cacheOpts, resultcache.WithClock(o.clock))
+		quotaOpts = append(quotaOpts, quota.WithClock(o.clock))
+	}
+	return &Front{
 		store:  store,
-		cache:  resultcache.New(cacheEntries, cacheTTL),
-		quotas: quota.New(rate, burst),
+		cache:  resultcache.New(cacheEntries, cacheTTL, cacheOpts...),
+		quotas: quota.New(rate, burst, quotaOpts...),
 	}
 }
 
-// parseRollupSteps parses the -rollups flag: comma-separated Go durations
+// CacheStats exposes the result cache counters for /stats.
+func (qf *Front) CacheStats() resultcache.Stats { return qf.cache.Stats() }
+
+// QuotaStats exposes the per-tenant quota counters for /stats.
+func (qf *Front) QuotaStats() quota.Stats { return qf.quotas.Stats() }
+
+// ParseRollupSteps parses a rollup tier flag: comma-separated Go durations
 // ("1m,1h") to tier steps in milliseconds. Empty means no rollups.
-func parseRollupSteps(s string) ([]int64, error) {
+func ParseRollupSteps(s string) ([]int64, error) {
 	if strings.TrimSpace(s) == "" {
 		return nil, nil
 	}
@@ -111,7 +151,7 @@ func parseQueryParams(vals url.Values, needStep bool) (queryParams, error) {
 
 // admit applies the per-tenant quota, answering 429 when the tenant's
 // bucket is empty.
-func (qf *queryFront) admit(w http.ResponseWriter, r *http.Request) bool {
+func (qf *Front) admit(w http.ResponseWriter, r *http.Request) bool {
 	tenant := r.Header.Get("X-ODA-Tenant")
 	if tenant == "" {
 		tenant = "anonymous"
@@ -124,7 +164,7 @@ func (qf *queryFront) admit(w http.ResponseWriter, r *http.Request) bool {
 }
 
 // serveCached writes the cached response for key if present.
-func (qf *queryFront) serveCached(w http.ResponseWriter, key string) bool {
+func (qf *Front) serveCached(w http.ResponseWriter, key string) bool {
 	body, ok := qf.cache.Get(key)
 	if !ok {
 		return false
@@ -135,7 +175,7 @@ func (qf *queryFront) serveCached(w http.ResponseWriter, key string) bool {
 	return true
 }
 
-func (qf *queryFront) finish(w http.ResponseWriter, key string, payload any) {
+func (qf *Front) finish(w http.ResponseWriter, key string, payload any) {
 	body, err := json.Marshal(payload)
 	if err != nil {
 		http.Error(w, err.Error(), http.StatusInternalServerError)
@@ -148,9 +188,9 @@ func (qf *queryFront) finish(w http.ResponseWriter, key string, payload any) {
 	_, _ = w.Write(body)
 }
 
-// handleQuery serves GET /query: a single planned reduction over
+// HandleQuery serves GET /query: a single planned reduction over
 // [from, to). The tier the planner picked is reported for observability.
-func (qf *queryFront) handleQuery(w http.ResponseWriter, r *http.Request) {
+func (qf *Front) HandleQuery(w http.ResponseWriter, r *http.Request) {
 	if !qf.admit(w, r) {
 		return
 	}
@@ -185,9 +225,9 @@ func (qf *queryFront) handleQuery(w http.ResponseWriter, r *http.Request) {
 	})
 }
 
-// handleQueryRange serves GET /query_range: planned step-bucketed
+// HandleQueryRange serves GET /query_range: planned step-bucketed
 // aggregation over [from, to).
-func (qf *queryFront) handleQueryRange(w http.ResponseWriter, r *http.Request) {
+func (qf *Front) HandleQueryRange(w http.ResponseWriter, r *http.Request) {
 	if !qf.admit(w, r) {
 		return
 	}

@@ -607,6 +607,27 @@ func (dc *DataCenter) ClearAnomaly(nodeIdx int) {
 	delete(dc.anomalies, nodeIdx)
 }
 
+// FailNodes force-fails count nodes starting at index start (clamped to
+// the fleet), modelling a correlated failure domain — a rack losing its
+// PDU, a coolant manifold burst taking out neighbours at once. The nodes
+// enter the same failure path organic Weibull failures take: the next
+// Step kills their jobs, offlines them in the scheduler, logs the failure
+// events and schedules repair after Config.RepairHours. It returns how
+// many nodes newly failed (already-failed nodes are not double-counted).
+func (dc *DataCenter) FailNodes(start, count int) int {
+	if start < 0 {
+		start = 0
+	}
+	failed := 0
+	for i := start; i < start+count && i < len(dc.Nodes); i++ {
+		if !dc.Nodes[i].Failed() {
+			dc.Nodes[i].ForceFail()
+			failed++
+		}
+	}
+	return failed
+}
+
 // applyAnomalies re-asserts injected misbehaviour after scheduling has set
 // node loads, so injections persist across steps.
 func (dc *DataCenter) applyAnomalies() {

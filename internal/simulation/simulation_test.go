@@ -409,3 +409,46 @@ func TestStepWorkersAutoTune(t *testing.T) {
 		t.Fatalf("small fleet stepWorkers = %d, want 1", w)
 	}
 }
+
+// TestFailNodesCorrelated: a forced rack-scale failure takes its nodes
+// through the organic failure path — offlined, jobs killed, repair
+// scheduled — and two runs injecting the same correlated failure at the
+// same virtual time produce byte-identical telemetry.
+func TestFailNodesCorrelated(t *testing.T) {
+	run := func() *DataCenter {
+		cfg := smallConfig(11)
+		cfg.RepairHours = 0.1 // 6 virtual minutes: repairs land inside the run
+		dc := New(cfg)
+		dc.RunFor(600)
+		if n := dc.FailNodes(0, 8); n != 8 {
+			t.Fatalf("FailNodes failed %d nodes, want 8", n)
+		}
+		dc.RunFor(1200)
+		return dc
+	}
+	dc := run()
+	if dc.FailureEvents < 8 {
+		t.Fatalf("correlated failure produced %d failure events, want >= 8", dc.FailureEvents)
+	}
+	for i := 0; i < 8; i++ {
+		if dc.Nodes[i].Failed() {
+			t.Fatalf("node %d still failed after the repair window", i)
+		}
+	}
+	// Clamping: out-of-range injections fail only what exists, and
+	// already-failed nodes are not double-counted.
+	if n := dc.FailNodes(len(dc.Nodes)-2, 10); n != 2 {
+		t.Fatalf("clamped FailNodes = %d, want 2", n)
+	}
+	if n := dc.FailNodes(len(dc.Nodes)-2, 10); n != 0 {
+		t.Fatalf("re-failing failed nodes counted %d", n)
+	}
+
+	other := run()
+	if dc.Store.NumSamples() != other.Store.NumSamples() || dc.SubmittedJobs != other.SubmittedJobs ||
+		dc.KilledJobs != other.KilledJobs || dc.FailureEvents != other.FailureEvents {
+		t.Fatalf("correlated-failure runs diverged: samples %d/%d jobs %d/%d killed %d/%d failures %d/%d",
+			dc.Store.NumSamples(), other.Store.NumSamples(), dc.SubmittedJobs, other.SubmittedJobs,
+			dc.KilledJobs, other.KilledJobs, dc.FailureEvents, other.FailureEvents)
+	}
+}

@@ -14,6 +14,13 @@ import (
 // Handler consumes decoded batches on the server side.
 type Handler func(*Batch)
 
+// Dialer opens a client connection to a telemetry server. The default is
+// net.Dial over TCP; tests and fault-injection harnesses substitute
+// in-memory pipes or wrappers that delay, truncate or partition traffic.
+type Dialer func(addr string) (net.Conn, error)
+
+func tcpDial(addr string) (net.Conn, error) { return net.Dial("tcp", addr) }
+
 // Server accepts TCP connections from collection agents and dispatches each
 // received batch to the handler. It is the aggregation endpoint of the
 // push-mode collection fabric.
@@ -35,10 +42,17 @@ func NewServer(addr string, handler Handler) (*Server, error) {
 	if err != nil {
 		return nil, err
 	}
+	return NewServerListener(ln, handler), nil
+}
+
+// NewServerListener serves the wire protocol on an injected listener and
+// owns it until Close. It is how tests and chaos harnesses run a server
+// over in-memory connections — no real sockets involved.
+func NewServerListener(ln net.Listener, handler Handler) *Server {
 	s := &Server{ln: ln, handler: handler}
 	s.wg.Add(1)
 	go s.acceptLoop()
-	return s, nil
+	return s
 }
 
 // Addr returns the bound listen address.
@@ -96,24 +110,46 @@ func (s *Server) Close() error {
 	return err
 }
 
-// Client is an agent-side connection that pushes batches to a server.
+// Client is an agent-side connection that pushes batches to a server. A
+// send that fails marks the connection broken; the next Send transparently
+// redials through the client's dialer, so an agent rides out server
+// restarts and transient partitions without being rebuilt (pair with
+// retry/backoff at the sink layer for in-batch recovery).
 type Client struct {
 	conn net.Conn
 	bw   *BatchWriter
 	mu   sync.Mutex
 
+	addr    string
+	dial    Dialer
+	broken  bool
+	redials atomic.Uint64
+
 	timeout     time.Duration
 	deadlineSet bool
 }
 
-// Dial connects to a telemetry server.
+// Dial connects to a telemetry server over TCP.
 func Dial(addr string) (*Client, error) {
-	conn, err := net.Dial("tcp", addr)
+	return DialWith(nil, addr)
+}
+
+// DialWith connects through an injectable dialer (nil = TCP). The initial
+// connection is established eagerly so configuration errors surface here,
+// not on the first Send.
+func DialWith(dial Dialer, addr string) (*Client, error) {
+	if dial == nil {
+		dial = tcpDial
+	}
+	conn, err := dial(addr)
 	if err != nil {
 		return nil, err
 	}
-	return &Client{conn: conn, bw: NewBatchWriter(conn)}, nil
+	return &Client{conn: conn, bw: NewBatchWriter(conn), addr: addr, dial: dial}, nil
 }
+
+// Redials returns how many reconnects Sends have performed.
+func (c *Client) Redials() uint64 { return c.redials.Load() }
 
 // SetTimeout bounds each subsequent Send with a write deadline of d,
 // counted from the moment the send starts (0 disables the deadline again).
@@ -125,22 +161,43 @@ func (c *Client) SetTimeout(d time.Duration) {
 	c.mu.Unlock()
 }
 
-// Send pushes one batch; safe for concurrent use.
+// Send pushes one batch; safe for concurrent use. After a failed Send the
+// connection is considered broken and the next call redials before
+// writing; if the redial fails, that error is returned and the client
+// stays broken for the call after.
 func (c *Client) Send(b *Batch) error {
 	c.mu.Lock()
 	defer c.mu.Unlock()
+	if c.broken {
+		_ = c.conn.Close()
+		conn, err := c.dial(c.addr)
+		if err != nil {
+			return err
+		}
+		c.conn = conn
+		c.bw = NewBatchWriter(conn)
+		c.deadlineSet = false
+		c.broken = false
+		c.redials.Add(1)
+	}
 	if c.timeout > 0 {
 		if err := c.conn.SetWriteDeadline(time.Now().Add(c.timeout)); err != nil {
+			c.broken = true
 			return err
 		}
 		c.deadlineSet = true
 	} else if c.deadlineSet {
 		if err := c.conn.SetWriteDeadline(time.Time{}); err != nil {
+			c.broken = true
 			return err
 		}
 		c.deadlineSet = false
 	}
-	return c.bw.Send(b)
+	if err := c.bw.Send(b); err != nil {
+		c.broken = true
+		return err
+	}
+	return nil
 }
 
 // Close closes the connection.
