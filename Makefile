@@ -12,7 +12,7 @@ CHAOS_SEED ?= 1
 CHAOS_DURATION ?= 5m
 CHAOS_INTENSITY ?= 2
 
-.PHONY: build test race vet bench bench-parallel bench-allocs bench-longwindow cover fuzz-short crash-test lint-footprints chaos-short chaos
+.PHONY: build test race vet bench bench-parallel bench-allocs bench-longwindow bench-cluster cover fuzz-short crash-test lint-footprints chaos-short chaos
 
 build:
 	$(GO) build ./...
@@ -31,18 +31,22 @@ lint-footprints:
 # the sharded TSDB (cursor pool + decoded-chunk cache), the grid worker
 # pool and tuner, the pub/sub bus, the parallel simulation stepper, the
 # async collection pipeline (slow-sink / backpressure stress lives in
-# collector's pipeline tests), the wire server/client, the par primitives
-# and the query front door. go vet runs first as a cheap gate; the chaos
+# collector's pipeline tests), the wire server/client, the par primitives,
+# the query front door and the cluster router (scatter goroutines, hint
+# queues, replication pump). go vet runs first as a cheap gate; the chaos
 # package's race pass lives in chaos-short.
 race: vet lint-footprints chaos-short
-	$(GO) test -race ./internal/timeseries ./internal/oda ./internal/bus ./internal/simulation ./internal/collector ./internal/persist ./internal/wire ./internal/par ./internal/resultcache ./internal/quota ./internal/queryfront ./cmd/odad
+	$(GO) test -race ./internal/timeseries ./internal/oda ./internal/bus ./internal/simulation ./internal/collector ./internal/persist ./internal/wire ./internal/par ./internal/resultcache ./internal/quota ./internal/queryfront ./internal/cluster ./cmd/odad
 
 # Seeded short chaos campaigns under the race detector: the deterministic
 # fault-injection harness (internal/chaos) runs 30s-virtual-time campaigns
-# across collector → wire → store and checks all four end-to-end
+# across collector → wire → store and checks all five end-to-end
 # invariants (sample conservation, byte-identical crash recovery,
-# planner/raw bit-parity, front-door quota/cache consistency). A failure
-# prints a one-line repro string replayable via `odachaos -repro`.
+# planner/raw bit-parity, front-door quota/cache consistency, and the
+# kill-one-peer cluster leg: conservation across peers, hinted-handoff
+# drain, replication convergence, degraded-read and post-heal query
+# parity). A failure prints a one-line repro string replayable via
+# `odachaos -repro`.
 chaos-short:
 	$(GO) test -race -count=1 ./internal/chaos
 
@@ -78,6 +82,7 @@ fuzz-short:
 	$(GO) test -run xxx -fuzz FuzzWALReplay -fuzztime $(FUZZTIME) ./internal/persist
 	$(GO) test -run xxx -fuzz FuzzQueryRangeParse -fuzztime $(FUZZTIME) ./internal/queryfront
 	$(GO) test -run xxx -fuzz FuzzChaosScheduleParse -fuzztime $(FUZZTIME) ./internal/chaos
+	$(GO) test -run xxx -fuzz FuzzRingPlacement -fuzztime $(FUZZTIME) ./internal/cluster
 
 vet:
 	$(GO) vet ./...
@@ -117,6 +122,14 @@ bench-longwindow:
 			if (ratio < 50) { printf "FAIL: speedup %.0fx below 50x floor\n", ratio; bad=1 } \
 			if (bad) exit 1; \
 			print "OK: planned path >= 50x and 0 allocs/op" }'
+
+# Distributed-query cost benchmark: the same scatter-gather ReduceMany
+# against a 1-node cluster (local fast-path) and a 3-node cluster over
+# in-memory pipes. The spread is the price of distribution — wire round
+# trips, not data volume, since only fixed-size partial aggregates cross
+# the network (see BENCH_PR8.json for recorded numbers).
+bench-cluster:
+	$(GO) test -run xxx -bench BenchmarkClusterScatterQuery -benchmem -benchtime 2s ./internal/cluster
 
 # The PR 1 contention benches; -cpu 1,4 exposes lock-contention scaling
 # (see BENCH_PR1.json for recorded before/after numbers).

@@ -46,6 +46,23 @@ func renderStats(stats map[string]any) string {
 				walk(prefix+k+".", sub)
 				continue
 			}
+			// Lists of objects (the cluster section's peers/replicas) flatten
+			// with an index segment: cluster.peers.0.up  true
+			if arr, ok := v.([]any); ok {
+				maps := len(arr) > 0
+				for _, el := range arr {
+					if _, ok := el.(map[string]any); !ok {
+						maps = false
+						break
+					}
+				}
+				if maps {
+					for i, el := range arr {
+						walk(fmt.Sprintf("%s%s.%d.", prefix, k, i), el.(map[string]any))
+					}
+					continue
+				}
+			}
 			lines = append(lines, fmt.Sprintf("%-28s %v", prefix+k, v))
 		}
 	}

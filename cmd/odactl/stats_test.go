@@ -28,6 +28,11 @@ func TestFetchAndRenderStats(t *testing.T) {
 				"folds": 480, "seals": 7, "raw_plans": 1,
 				"tier_60000ms_series": 4, "tier_60000ms_picks": 11,
 				"result_cache_hits": 5, "quota_rejected": 2
+			},
+			"cluster": {
+				"self": "n1", "nodes": ["n1", "n2"], "replication": 2,
+				"peers": [{"id": "n2", "up": true, "forwarded_entries": 88}],
+				"replicas": [{"leader": "n2", "lag_bytes": 0}]
 			}
 		}`))
 	}))
@@ -44,6 +49,8 @@ func TestFetchAndRenderStats(t *testing.T) {
 			"scheduler.sweeps", "scheduler.max_wave_width", "scheduler.actuators_overlapped",
 			"rollup.folds", "rollup.tier_60000ms_picks", "rollup.result_cache_hits",
 			"rollup.quota_rejected",
+			"cluster.self", "cluster.peers.0.id", "cluster.peers.0.forwarded_entries",
+			"cluster.replicas.0.lag_bytes",
 		} {
 			if !strings.Contains(out, want) {
 				t.Fatalf("fetchStats(%q) render missing %q:\n%s", url, want, out)

@@ -48,16 +48,37 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"strings"
 	"sync/atomic"
 	"time"
 
 	"repro"
+	"repro/internal/cluster"
 	"repro/internal/dashboard"
 	"repro/internal/persist"
 	"repro/internal/queryfront"
 	"repro/internal/timeseries"
 	"repro/internal/wire"
 )
+
+// parsePeers parses -peers: comma-separated id=host:port entries naming the
+// full static cluster membership (including this node).
+func parsePeers(s string) ([]cluster.Peer, error) {
+	var out []cluster.Peer
+	for _, part := range strings.Split(s, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		id, addr, ok := strings.Cut(part, "=")
+		id, addr = strings.TrimSpace(id), strings.TrimSpace(addr)
+		if !ok || id == "" || addr == "" {
+			return nil, fmt.Errorf("peer %q must be id=host:port", part)
+		}
+		out = append(out, cluster.Peer{ID: id, Addr: addr})
+	}
+	return out, nil
+}
 
 func main() {
 	listen := flag.String("listen", "127.0.0.1:9900", "wire-protocol ingest address")
@@ -75,6 +96,9 @@ func main() {
 	queryBurst := flag.Float64("query-burst", 20, "per-tenant query burst ceiling")
 	queryCacheEntries := flag.Int("query-cache-entries", 1024, "result cache capacity (0 = caching off)")
 	queryCacheTTL := flag.Duration("query-cache-ttl", 10*time.Second, "result cache staleness bound")
+	nodeID := flag.String("node-id", "", "this node's cluster identity (requires -peers)")
+	peersFlag := flag.String("peers", "", "static cluster membership as id=host:port,... including this node; this node binds its own entry as the cluster listener")
+	replication := flag.Int("replication", 1, "cluster replication factor (WAL-shipped replicas per node; needs -data-dir to serve followers)")
 	flag.Parse()
 
 	if *retainRaw == 0 {
@@ -117,6 +141,55 @@ func main() {
 	} else {
 		store = timeseries.NewStore(*chunkSize, storeOpts...)
 	}
+
+	// With -peers this node joins a static cluster: a Router places every
+	// series on the consistent-hash ring, forwarding foreign appends to
+	// their owners and scattering queries; a cluster listener (bound to this
+	// node's own -peers entry) accepts what the other nodes send back.
+	var (
+		router     *cluster.Router
+		clusterSrv *cluster.Server
+	)
+	if *peersFlag != "" {
+		peers, err := parsePeers(*peersFlag)
+		if err != nil {
+			log.Fatalf("odad: -peers: %v", err)
+		}
+		if *nodeID == "" {
+			log.Fatalf("odad: -peers requires -node-id")
+		}
+		var local cluster.Appender = store
+		if durable != nil {
+			local = durable
+		}
+		router, err = cluster.New(cluster.Config{
+			Self:           *nodeID,
+			Peers:          peers,
+			Replication:    *replication,
+			Local:          local,
+			Store:          store,
+			Durable:        durable,
+			ReplicaOptions: storeOpts,
+		})
+		if err != nil {
+			log.Fatalf("odad: %v", err)
+		}
+		var selfAddr string
+		for _, p := range peers {
+			if p.ID == *nodeID {
+				selfAddr = p.Addr
+			}
+		}
+		clusterSrv, err = cluster.Listen(selfAddr, router)
+		if err != nil {
+			log.Fatalf("odad: cluster listen %s: %v", selfAddr, err)
+		}
+		router.Start(0, 0) // default flush/health cadence
+		log.Printf("odad: cluster node %s on %s (%d peers, rf=%d)",
+			*nodeID, clusterSrv.Addr(), len(peers)-1, router.Ring().RF())
+	} else if *nodeID != "" || *replication != 1 {
+		log.Fatalf("odad: -node-id/-replication need -peers")
+	}
 	var latest atomic.Int64
 
 	srv, err := wire.NewServer(*listen, func(b *wire.Batch) {
@@ -135,10 +208,15 @@ func main() {
 			}
 		}
 		// Ingest errors (out-of-order duplicates from agent restarts) are
-		// tolerated; the server counts batches.
-		if durable != nil {
+		// tolerated; the server counts batches. In clustered mode the router
+		// splits the batch: owned series land locally, the rest forward to
+		// their owning peers.
+		switch {
+		case router != nil:
+			_, _ = router.AppendBatch(entries)
+		case durable != nil:
 			_, _ = durable.AppendBatch(entries)
-		} else {
+		default:
 			_, _ = store.AppendBatch(entries)
 		}
 		now := latest.Load()
@@ -202,10 +280,17 @@ func main() {
 	if err != nil {
 		log.Fatalf("odad: %v", err)
 	}
-	qf := queryfront.New(store, *queryCacheEntries, *queryCacheTTL, *queryRate, *queryBurst)
+	// Clustered nodes answer /query and /query_range for ANY series: the
+	// router routes each request to the owning peer (or a replica when the
+	// owner is down, flagged via X-ODA-Partial).
+	var backend queryfront.Backend = queryfront.ForStore(store)
+	if router != nil {
+		backend = router
+	}
+	qf := queryfront.New(backend, *queryCacheEntries, *queryCacheTTL, *queryRate, *queryBurst)
 	mux.HandleFunc("/query", qf.HandleQuery)
 	mux.HandleFunc("/query_range", qf.HandleQueryRange)
-	mux.HandleFunc("/stats", statsHandler(store, srv, durable, grid, qf))
+	mux.HandleFunc("/stats", statsHandler(store, srv, durable, grid, qf, router))
 	mux.HandleFunc("/analyze", analyzeHandler(grid, store, latest.Load))
 
 	httpSrv := &http.Server{Addr: *httpAddr, Handler: mux}
@@ -231,6 +316,17 @@ func main() {
 		log.Printf("odad: ingest close: %v", err)
 	}
 	log.Printf("odad: ingest drained (%d batches, %d samples archived)", srv.Batches(), srv.Samples())
+	if router != nil {
+		// Flush pending forwards to peers (Stop does a final Flush), then
+		// stop accepting peer traffic once nothing more will be routed here.
+		router.Stop()
+		if err := clusterSrv.Close(); err != nil {
+			log.Printf("odad: cluster close: %v", err)
+		}
+		if hints := router.PendingHints(); hints > 0 {
+			log.Printf("odad: %d hinted batches for down peers not delivered", hints)
+		}
+	}
 	if durable != nil {
 		st := durable.Stats()
 		if err := durable.Close(); err != nil {

@@ -24,7 +24,7 @@ func TestStatsRollupSection(t *testing.T) {
 			t.Fatal(err)
 		}
 	}
-	qf := queryfront.New(store, 64, time.Minute, 1000, 1000)
+	qf := queryfront.New(queryfront.ForStore(store), 64, time.Minute, 1000, 1000)
 	for i := 0; i < 2; i++ { // one miss, one hit
 		rec := httptest.NewRecorder()
 		qf.HandleQuery(rec, httptest.NewRequest("GET", "/query?series="+url.QueryEscape(id.Key())+"&from=0&to=7200000&fn=mean", nil))
@@ -34,7 +34,7 @@ func TestStatsRollupSection(t *testing.T) {
 	}
 
 	rec := httptest.NewRecorder()
-	statsHandler(store, nil, nil, nil, qf)(rec, httptest.NewRequest("GET", "/stats", nil))
+	statsHandler(store, nil, nil, nil, qf, nil)(rec, httptest.NewRequest("GET", "/stats", nil))
 	var got map[string]any
 	if err := json.Unmarshal(rec.Body.Bytes(), &got); err != nil {
 		t.Fatal(err)

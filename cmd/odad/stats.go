@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"net/http"
 
+	"repro/internal/cluster"
 	"repro/internal/oda"
 	"repro/internal/persist"
 	"repro/internal/queryfront"
@@ -18,7 +19,7 @@ import (
 // mounted) the wave scheduler's cumulative counters, and (when the query
 // front door is mounted or rollups configured) the rollup tier, planner,
 // result-cache and quota counters.
-func statsPayload(store *timeseries.Store, srv *wire.Server, durable *persist.DurableStore, grid *oda.Grid, qf *queryfront.Front) map[string]any {
+func statsPayload(store *timeseries.Store, srv *wire.Server, durable *persist.DurableStore, grid *oda.Grid, qf *queryfront.Front, router *cluster.Router) map[string]any {
 	hits, misses := store.QueryCacheStats()
 	gets, news := store.CursorPoolStats()
 	stats := map[string]any{
@@ -80,6 +81,11 @@ func statsPayload(store *timeseries.Store, srv *wire.Server, durable *persist.Du
 		}
 		stats["rollup"] = rollup
 	}
+	if router != nil {
+		// Membership, placement, per-peer forwarding/hinted-handoff health
+		// and replication lag, as the Router tracks them.
+		stats["cluster"] = router.Stats()
+	}
 	if grid != nil {
 		st := grid.ScheduleStats()
 		stats["scheduler"] = map[string]any{
@@ -98,10 +104,10 @@ func statsPayload(store *timeseries.Store, srv *wire.Server, durable *persist.Du
 }
 
 // statsHandler serves statsPayload as JSON.
-func statsHandler(store *timeseries.Store, srv *wire.Server, durable *persist.DurableStore, grid *oda.Grid, qf *queryfront.Front) http.HandlerFunc {
+func statsHandler(store *timeseries.Store, srv *wire.Server, durable *persist.DurableStore, grid *oda.Grid, qf *queryfront.Front, router *cluster.Router) http.HandlerFunc {
 	return func(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Type", "application/json")
-		if err := json.NewEncoder(w).Encode(statsPayload(store, srv, durable, grid, qf)); err != nil {
+		if err := json.NewEncoder(w).Encode(statsPayload(store, srv, durable, grid, qf, router)); err != nil {
 			http.Error(w, err.Error(), http.StatusInternalServerError)
 		}
 	}

@@ -31,7 +31,7 @@ func TestStatsHandlerSmoke(t *testing.T) {
 	}
 
 	rec := httptest.NewRecorder()
-	statsHandler(store, nil, nil, nil, nil)(rec, httptest.NewRequest("GET", "/stats", nil))
+	statsHandler(store, nil, nil, nil, nil, nil)(rec, httptest.NewRequest("GET", "/stats", nil))
 	if rec.Code != 200 {
 		t.Fatalf("status %d", rec.Code)
 	}
@@ -87,7 +87,7 @@ func TestStatsHandlerSchedulerSection(t *testing.T) {
 	fetch := func() map[string]any {
 		t.Helper()
 		rec := httptest.NewRecorder()
-		statsHandler(store, nil, nil, grid, nil)(rec, httptest.NewRequest("GET", "/stats", nil))
+		statsHandler(store, nil, nil, grid, nil, nil)(rec, httptest.NewRequest("GET", "/stats", nil))
 		if rec.Code != 200 {
 			t.Fatalf("status %d", rec.Code)
 		}

@@ -55,6 +55,12 @@ type Result struct {
 	NodeFailuresInjected int `json:"node_failures_injected"`
 	SimFailureEvents     int `json:"sim_failure_events"`
 
+	ClusterEmitted          uint64 `json:"cluster_emitted"`
+	ClusterForwardedEntries uint64 `json:"cluster_forwarded_entries"`
+	ClusterHintedBatches    uint64 `json:"cluster_hinted_batches"`
+	ClusterDrainedBatches   uint64 `json:"cluster_drained_batches"`
+	ClusterPartialQueries   uint64 `json:"cluster_partial_queries"`
+
 	Fingerprint string  `json:"fingerprint"`
 	Checks      []Check `json:"checks"`
 	Passed      bool    `json:"passed"`
@@ -215,15 +221,19 @@ func Run(cfg Config, dir string) (*Result, error) {
 	// --- Simulation leg: correlated node failures -------------------------
 	injected, simFP := runSimLeg(cfg, sched, res)
 
+	// --- Cluster leg: kill-one-peer against a 3-node cluster --------------
+	clusterFails, clusterFP := runClusterLeg(cfg, dir, res)
+
 	// --- Invariant checkers -----------------------------------------------
 	res.record("conservation", checkConservation(agent, durable, serverStore, srv, wsink, srvRejected.Load(), totalReadings, ticks, injected, res.SimFailureEvents))
 	res.record("recovery", recoverFails)
 	res.record("planner-parity", checkPlannerParity(durable.Store(), vstart, vstart+int64(ticks)*1000))
 	res.record("front-door", checkFrontDoor(durable.Store()))
+	res.record("cluster", clusterFails)
 
 	// --- Fingerprint: the seed-determined portion of the campaign ---------
 	h := fnv.New64a()
-	fmt.Fprintf(h, "%+v|ticks=%d|readings=%d|crashes=%d|sim=%s", durable.Store().Dump(), ticks, totalReadings, res.Crashes, simFP)
+	fmt.Fprintf(h, "%+v|ticks=%d|readings=%d|crashes=%d|sim=%s|cluster=%s", durable.Store().Dump(), ticks, totalReadings, res.Crashes, simFP, clusterFP)
 	res.Fingerprint = fmt.Sprintf("%016x", h.Sum64())
 
 	if err := durable.Close(); err != nil {
@@ -416,7 +426,7 @@ func checkFrontDoor(store *timeseries.Store) failures {
 		return f
 	}
 	vclock := time.UnixMilli(1_000_000)
-	qf := queryfront.New(store, 64, 5*time.Second, 1, 3,
+	qf := queryfront.New(queryfront.ForStore(store), 64, 5*time.Second, 1, 3,
 		queryfront.WithClock(func() time.Time { return vclock }))
 
 	get := func(key, tenant string) (code int, cache, body string) {

@@ -1,0 +1,45 @@
+package cluster
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/timeseries"
+)
+
+// BenchmarkClusterScatterQuery measures the distributed query path's cost as
+// the cluster grows: the same ReduceMany over the same dataset against a
+// 1-node cluster (pure local fast-path, no wire traffic) and a 3-node
+// cluster (scatter over in-memory pipes, partial aggregates back, merge at
+// the coordinator). The spread between the two is the price of distribution
+// — it should be wire round trips, not data volume, since only fixed-size
+// partials cross the network. Recorded in BENCH_PR8.json; `make
+// bench-cluster` reruns it.
+func BenchmarkClusterScatterQuery(b *testing.B) {
+	for _, numPeers := range []int{1, 3} {
+		b.Run(fmt.Sprintf("peers=%d", numPeers), func(b *testing.B) {
+			ids := make([]string, numPeers)
+			for i := range ids {
+				ids[i] = fmt.Sprintf("n%d", i+1)
+			}
+			nodes, _ := startCluster(b, ids, 1, false, nil)
+			ds := makeDataset(48, 40, 23)
+			feed(b, nodes, ids[0], ds)
+			coord := nodes[ids[0]].router
+
+			// One warm-up pass, and a sanity check that the scatter answers.
+			if _, n, _, err := coord.ReduceMany(ds.keys, ds.from, ds.to, timeseries.AggMean); err != nil || n == 0 {
+				b.Fatalf("warm-up ReduceMany: n=%d err=%v", n, err)
+			}
+
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				_, _, _, err := coord.ReduceMany(ds.keys, ds.from, ds.to, timeseries.AggMean)
+				if err != nil {
+					b.Fatalf("ReduceMany: %v", err)
+				}
+			}
+		})
+	}
+}

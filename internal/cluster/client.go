@@ -1,0 +1,134 @@
+package cluster
+
+import (
+	"bufio"
+	"fmt"
+	"net"
+	"sync"
+	"time"
+
+	"repro/internal/wire"
+)
+
+// rpcClient is a request/response connection to one peer, used for query
+// scatter and replication pulls. It is deliberately separate from the
+// wire.Client the router uses for batch forwarding and pings: a slow query
+// round trip must never stall the ingest path, and vice versa.
+//
+// Dialing is lazy (a peer may be down when the router starts) and a failed
+// round trip closes the connection immediately — on in-memory pipe
+// transports that unblocks the server side, and on TCP it guarantees the
+// next call starts from a clean dial instead of reading a stale response.
+type rpcClient struct {
+	mu   sync.Mutex
+	addr string
+	dial wire.Dialer
+
+	conn net.Conn
+	br   *bufio.Reader
+}
+
+func newRPCClient(addr string, dial wire.Dialer) *rpcClient {
+	if dial == nil {
+		dial = func(a string) (net.Conn, error) { return net.Dial("tcp", a) }
+	}
+	return &rpcClient{addr: addr, dial: dial}
+}
+
+func (c *rpcClient) ensureLocked() error {
+	if c.conn != nil {
+		return nil
+	}
+	conn, err := c.dial(c.addr)
+	if err != nil {
+		return err
+	}
+	c.conn = conn
+	c.br = bufio.NewReader(conn)
+	return nil
+}
+
+func (c *rpcClient) dropLocked() {
+	if c.conn != nil {
+		_ = c.conn.Close()
+		c.conn = nil
+		c.br = nil
+	}
+}
+
+// roundTrip sends one frame and reads one response frame, bounding the
+// whole exchange with timeout (0 = no deadline). Any error tears the
+// connection down; the next call redials.
+func (c *rpcClient) roundTrip(reqType uint8, payload []byte, wantType uint8, timeout time.Duration) ([]byte, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if err := c.ensureLocked(); err != nil {
+		return nil, err
+	}
+	var deadline time.Time
+	if timeout > 0 {
+		deadline = time.Now().Add(timeout)
+	}
+	if err := c.conn.SetDeadline(deadline); err != nil {
+		c.dropLocked()
+		return nil, err
+	}
+	if err := wire.WriteFrame(c.conn, reqType, payload); err != nil {
+		c.dropLocked()
+		return nil, err
+	}
+	ft, resp, err := wire.ReadFrame(c.br)
+	if err != nil {
+		c.dropLocked()
+		return nil, err
+	}
+	if ft != wantType {
+		c.dropLocked()
+		return nil, fmt.Errorf("cluster: unexpected response frame type %d (want %d)", ft, wantType)
+	}
+	if err := c.conn.SetDeadline(time.Time{}); err != nil {
+		c.dropLocked()
+		return nil, err
+	}
+	return resp, nil
+}
+
+// Close tears down the connection; a later call redials.
+func (c *rpcClient) Close() {
+	c.mu.Lock()
+	c.dropLocked()
+	c.mu.Unlock()
+}
+
+func (c *rpcClient) query(q *queryRequest, timeout time.Duration) (*queryResponse, error) {
+	payload, err := c.roundTrip(FrameQueryReq, encodeQueryRequest(q), FrameQueryResp, timeout)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := decodeQueryResponse(q.Op, payload)
+	if err != nil {
+		return nil, err
+	}
+	if resp.Err != "" {
+		return nil, fmt.Errorf("cluster: peer query failed: %s", resp.Err)
+	}
+	if len(resp.Results) != len(q.Keys) {
+		return nil, fmt.Errorf("cluster: peer returned %d results for %d keys", len(resp.Results), len(q.Keys))
+	}
+	return resp, nil
+}
+
+func (c *rpcClient) replPull(q *replPullRequest, timeout time.Duration) (*replPullResponse, error) {
+	payload, err := c.roundTrip(FrameReplPull, encodeReplPullRequest(q), FrameReplResp, timeout)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := decodeReplPullResponse(payload)
+	if err != nil {
+		return nil, err
+	}
+	if resp.Err != "" {
+		return nil, fmt.Errorf("cluster: replication pull failed: %s", resp.Err)
+	}
+	return resp, nil
+}

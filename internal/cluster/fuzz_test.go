@@ -1,0 +1,79 @@
+package cluster
+
+import (
+	"fmt"
+	"testing"
+)
+
+// FuzzRingPlacement throws arbitrary key bytes and cluster shapes at the
+// ring and checks the placement invariants that the Router leans on: the
+// primary is a member node, Owners returns exactly RF distinct nodes with
+// the primary first, the follower tail matches the node-level Followers
+// relation, and the whole placement is insensitive to the order the node
+// IDs were configured in.
+func FuzzRingPlacement(f *testing.F) {
+	f.Add("cpu.load{host=c0-n14}", uint8(3), uint8(2))
+	f.Add("", uint8(1), uint8(1))
+	f.Add("power.node_watts{rack=r9}", uint8(7), uint8(7))
+	f.Add("a#0", uint8(2), uint8(1))
+	f.Add("\x00\xff\x00", uint8(9), uint8(4))
+
+	f.Fuzz(func(t *testing.T, key string, n, rf uint8) {
+		numNodes := int(n)%9 + 1 // 1..9 nodes
+		nodes := make([]string, numNodes)
+		rev := make([]string, numNodes)
+		for i := range nodes {
+			nodes[i] = fmt.Sprintf("node-%02d", i)
+			rev[numNodes-1-i] = nodes[i]
+		}
+		r, err := NewRing(nodes, 16, int(rf))
+		if err != nil {
+			t.Fatalf("NewRing(%v, 16, %d): %v", nodes, rf, err)
+		}
+
+		primary := r.Primary(key)
+		member := false
+		for _, nd := range nodes {
+			if nd == primary {
+				member = true
+			}
+		}
+		if !member {
+			t.Fatalf("primary %q not a member of %v", primary, nodes)
+		}
+
+		owners := r.Owners(key)
+		if len(owners) != r.RF() {
+			t.Fatalf("key %q: %d owners, want RF=%d", key, len(owners), r.RF())
+		}
+		if owners[0] != primary {
+			t.Fatalf("key %q: owners[0]=%q, primary=%q", key, owners[0], primary)
+		}
+		seen := map[string]bool{}
+		for _, o := range owners {
+			if seen[o] {
+				t.Fatalf("key %q: duplicate owner %q in %v", key, o, owners)
+			}
+			seen[o] = true
+		}
+		followers := r.Followers(primary)
+		if len(followers) != len(owners)-1 {
+			t.Fatalf("key %q: followers %v vs owners %v", key, followers, owners)
+		}
+		for i, fo := range followers {
+			if owners[i+1] != fo {
+				t.Fatalf("key %q: owners[1:]=%v misaligned with Followers=%v", key, owners[1:], followers)
+			}
+		}
+
+		// Order-insensitivity: a peer that got the flag list reversed must
+		// compute the identical placement.
+		r2, err := NewRing(rev, 16, int(rf))
+		if err != nil {
+			t.Fatalf("NewRing(reversed): %v", err)
+		}
+		if got := r2.Primary(key); got != primary {
+			t.Fatalf("key %q: primary differs across orderings: %q vs %q", key, got, primary)
+		}
+	})
+}

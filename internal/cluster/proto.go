@@ -1,0 +1,521 @@
+package cluster
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+	"math"
+
+	"repro/internal/timeseries"
+)
+
+// Cluster RPC rides the wire package's frame layer (magic/version/CRC) with
+// its own frame types, so a cluster listener can also accept plain agent
+// FrameBatch traffic on the same port. Requests and responses are single
+// frames; payloads use the same uvarint/varint/8-byte-float conventions as
+// the batch codec.
+const (
+	// FrameQueryReq asks a peer to execute a query op against its local
+	// store (or one of its replica stores) and return per-key results.
+	FrameQueryReq uint8 = 16
+	// FrameQueryResp carries the per-key results or an error.
+	FrameQueryResp uint8 = 17
+	// FrameReplPull asks a leader for WAL records (or a snapshot) from a
+	// follower's replication cursor.
+	FrameReplPull uint8 = 18
+	// FrameReplResp carries the shipped records / snapshot.
+	FrameReplResp uint8 = 19
+)
+
+// queryOp selects what a peer computes per key. Mergeable functions ship
+// fixed-size partial aggregates and the coordinator finishes them; the two
+// "full" ops exist for std/p95, which need the raw distribution and are
+// therefore computed entirely on the one peer owning the series.
+type queryOp uint8
+
+const (
+	opReducePartial queryOp = 1 // Partial per key (mergeable reduce)
+	opAggPartials   queryOp = 2 // []PartialPoint per key (mergeable range)
+	opSeriesValues  queryOp = 3 // []float64 per key (SeriesValuesPlanned)
+	opReduceFull    queryOp = 4 // final (value, count) per key, fn on owner
+	opAggFull       queryOp = 5 // final []AggPoint per key, fn on owner
+)
+
+type queryRequest struct {
+	Op queryOp
+	// ReplicaOf selects the peer's replica store of that node instead of
+	// its own primary store — the degraded-read path when an owner is down.
+	ReplicaOf string
+	Fn        timeseries.AggFunc // opReduceFull / opAggFull only
+	From, To  int64
+	Step      int64 // bucketed ops only
+	Keys      []string
+}
+
+// keyResult is one key's answer; which fields are set depends on the op.
+type keyResult struct {
+	Found   bool
+	Partial timeseries.Partial
+	PPoints []timeseries.PartialPoint
+	Values  []float64
+	Value   float64
+	Count   int64
+	Points  []timeseries.AggPoint
+}
+
+type queryResponse struct {
+	Err     string // non-empty: the whole request failed on the peer
+	Results []keyResult
+}
+
+type replPullRequest struct {
+	WantSnapshot bool
+	FromSeq      uint64
+	FromOff      int64
+	MaxBytes     int64
+}
+
+type replPullResponse struct {
+	Err         string
+	SegmentGone bool // cursor fell behind a checkpoint: re-bootstrap
+	Snapshot    []byte
+	NextSeq     uint64
+	NextOff     int64
+	LagBytes    int64
+	Records     [][]byte
+}
+
+// --- encode/decode helpers (same conventions as the wire batch codec) ---
+
+func appendUvarint(b []byte, v uint64) []byte {
+	var tmp [binary.MaxVarintLen64]byte
+	n := binary.PutUvarint(tmp[:], v)
+	return append(b, tmp[:n]...)
+}
+
+func appendVarint(b []byte, v int64) []byte {
+	var tmp [binary.MaxVarintLen64]byte
+	n := binary.PutVarint(tmp[:], v)
+	return append(b, tmp[:n]...)
+}
+
+func appendString(b []byte, s string) []byte {
+	b = appendUvarint(b, uint64(len(s)))
+	return append(b, s...)
+}
+
+func appendFloat(b []byte, v float64) []byte {
+	var tmp [8]byte
+	binary.BigEndian.PutUint64(tmp[:], math.Float64bits(v))
+	return append(b, tmp[:]...)
+}
+
+func appendBytes(b, p []byte) []byte {
+	b = appendUvarint(b, uint64(len(p)))
+	return append(b, p...)
+}
+
+type protoReader struct {
+	buf []byte
+	pos int
+}
+
+func (p *protoReader) uvarint() (uint64, error) {
+	v, n := binary.Uvarint(p.buf[p.pos:])
+	if n <= 0 {
+		return 0, io.ErrUnexpectedEOF
+	}
+	p.pos += n
+	return v, nil
+}
+
+func (p *protoReader) varint() (int64, error) {
+	v, n := binary.Varint(p.buf[p.pos:])
+	if n <= 0 {
+		return 0, io.ErrUnexpectedEOF
+	}
+	p.pos += n
+	return v, nil
+}
+
+func (p *protoReader) count() (int, error) {
+	v, err := p.uvarint()
+	if err != nil {
+		return 0, err
+	}
+	// Every counted element costs at least one byte, so a count larger than
+	// the remaining payload is corrupt — reject before allocating.
+	if v > uint64(len(p.buf)-p.pos) {
+		return 0, fmt.Errorf("cluster: implausible count %d", v)
+	}
+	return int(v), nil
+}
+
+func (p *protoReader) str() (string, error) {
+	n, err := p.uvarint()
+	if err != nil {
+		return "", err
+	}
+	if n > uint64(len(p.buf)-p.pos) {
+		return "", io.ErrUnexpectedEOF
+	}
+	s := string(p.buf[p.pos : p.pos+int(n)])
+	p.pos += int(n)
+	return s, nil
+}
+
+func (p *protoReader) bytes() ([]byte, error) {
+	n, err := p.uvarint()
+	if err != nil {
+		return nil, err
+	}
+	if n > uint64(len(p.buf)-p.pos) {
+		return nil, io.ErrUnexpectedEOF
+	}
+	out := make([]byte, n)
+	copy(out, p.buf[p.pos:p.pos+int(n)])
+	p.pos += int(n)
+	return out, nil
+}
+
+func (p *protoReader) float() (float64, error) {
+	if p.pos+8 > len(p.buf) {
+		return 0, io.ErrUnexpectedEOF
+	}
+	v := math.Float64frombits(binary.BigEndian.Uint64(p.buf[p.pos:]))
+	p.pos += 8
+	return v, nil
+}
+
+func (p *protoReader) byteVal() (byte, error) {
+	if p.pos >= len(p.buf) {
+		return 0, io.ErrUnexpectedEOF
+	}
+	b := p.buf[p.pos]
+	p.pos++
+	return b, nil
+}
+
+func appendBool(b []byte, v bool) []byte {
+	if v {
+		return append(b, 1)
+	}
+	return append(b, 0)
+}
+
+func (p *protoReader) boolVal() (bool, error) {
+	b, err := p.byteVal()
+	return b != 0, err
+}
+
+// --- Partial / PartialPoint ---
+
+func appendPartial(b []byte, pa *timeseries.Partial) []byte {
+	b = appendVarint(b, pa.Count)
+	b = appendFloat(b, pa.Sum)
+	b = appendFloat(b, pa.Min)
+	b = appendFloat(b, pa.Max)
+	b = appendVarint(b, pa.FirstT)
+	b = appendFloat(b, pa.FirstV)
+	b = appendVarint(b, pa.LastT)
+	b = appendFloat(b, pa.LastV)
+	return b
+}
+
+func (p *protoReader) partial(pa *timeseries.Partial) error {
+	var err error
+	if pa.Count, err = p.varint(); err != nil {
+		return err
+	}
+	if pa.Sum, err = p.float(); err != nil {
+		return err
+	}
+	if pa.Min, err = p.float(); err != nil {
+		return err
+	}
+	if pa.Max, err = p.float(); err != nil {
+		return err
+	}
+	if pa.FirstT, err = p.varint(); err != nil {
+		return err
+	}
+	if pa.FirstV, err = p.float(); err != nil {
+		return err
+	}
+	if pa.LastT, err = p.varint(); err != nil {
+		return err
+	}
+	if pa.LastV, err = p.float(); err != nil {
+		return err
+	}
+	return nil
+}
+
+// --- query request ---
+
+func encodeQueryRequest(q *queryRequest) []byte {
+	b := make([]byte, 0, 64)
+	b = append(b, byte(q.Op))
+	b = appendString(b, q.ReplicaOf)
+	b = appendString(b, string(q.Fn))
+	b = appendVarint(b, q.From)
+	b = appendVarint(b, q.To)
+	b = appendVarint(b, q.Step)
+	b = appendUvarint(b, uint64(len(q.Keys)))
+	for _, k := range q.Keys {
+		b = appendString(b, k)
+	}
+	return b
+}
+
+func decodeQueryRequest(payload []byte) (*queryRequest, error) {
+	p := &protoReader{buf: payload}
+	var q queryRequest
+	op, err := p.byteVal()
+	if err != nil {
+		return nil, err
+	}
+	q.Op = queryOp(op)
+	if q.ReplicaOf, err = p.str(); err != nil {
+		return nil, err
+	}
+	fn, err := p.str()
+	if err != nil {
+		return nil, err
+	}
+	q.Fn = timeseries.AggFunc(fn)
+	if q.From, err = p.varint(); err != nil {
+		return nil, err
+	}
+	if q.To, err = p.varint(); err != nil {
+		return nil, err
+	}
+	if q.Step, err = p.varint(); err != nil {
+		return nil, err
+	}
+	nk, err := p.count()
+	if err != nil {
+		return nil, err
+	}
+	q.Keys = make([]string, 0, nk)
+	for i := 0; i < nk; i++ {
+		k, err := p.str()
+		if err != nil {
+			return nil, err
+		}
+		q.Keys = append(q.Keys, k)
+	}
+	return &q, nil
+}
+
+// --- query response ---
+
+func encodeQueryResponse(op queryOp, resp *queryResponse) []byte {
+	b := make([]byte, 0, 64)
+	b = appendString(b, resp.Err)
+	if resp.Err != "" {
+		return b
+	}
+	b = appendUvarint(b, uint64(len(resp.Results)))
+	for i := range resp.Results {
+		r := &resp.Results[i]
+		b = appendBool(b, r.Found)
+		if !r.Found {
+			continue
+		}
+		switch op {
+		case opReducePartial:
+			b = appendPartial(b, &r.Partial)
+		case opAggPartials:
+			b = appendUvarint(b, uint64(len(r.PPoints)))
+			for j := range r.PPoints {
+				b = appendVarint(b, r.PPoints[j].Start)
+				b = appendPartial(b, &r.PPoints[j].Agg)
+			}
+		case opSeriesValues:
+			b = appendUvarint(b, uint64(len(r.Values)))
+			for _, v := range r.Values {
+				b = appendFloat(b, v)
+			}
+		case opReduceFull:
+			b = appendFloat(b, r.Value)
+			b = appendVarint(b, r.Count)
+		case opAggFull:
+			b = appendUvarint(b, uint64(len(r.Points)))
+			for j := range r.Points {
+				b = appendVarint(b, r.Points[j].Start)
+				b = appendFloat(b, r.Points[j].Value)
+			}
+		}
+	}
+	return b
+}
+
+func decodeQueryResponse(op queryOp, payload []byte) (*queryResponse, error) {
+	p := &protoReader{buf: payload}
+	var resp queryResponse
+	var err error
+	if resp.Err, err = p.str(); err != nil {
+		return nil, err
+	}
+	if resp.Err != "" {
+		return &resp, nil
+	}
+	nr, err := p.count()
+	if err != nil {
+		return nil, err
+	}
+	resp.Results = make([]keyResult, nr)
+	for i := 0; i < nr; i++ {
+		r := &resp.Results[i]
+		if r.Found, err = p.boolVal(); err != nil {
+			return nil, err
+		}
+		if !r.Found {
+			continue
+		}
+		switch op {
+		case opReducePartial:
+			if err := p.partial(&r.Partial); err != nil {
+				return nil, err
+			}
+		case opAggPartials:
+			np, err := p.count()
+			if err != nil {
+				return nil, err
+			}
+			r.PPoints = make([]timeseries.PartialPoint, np)
+			for j := 0; j < np; j++ {
+				if r.PPoints[j].Start, err = p.varint(); err != nil {
+					return nil, err
+				}
+				if err := p.partial(&r.PPoints[j].Agg); err != nil {
+					return nil, err
+				}
+			}
+		case opSeriesValues:
+			nv, err := p.count()
+			if err != nil {
+				return nil, err
+			}
+			r.Values = make([]float64, nv)
+			for j := 0; j < nv; j++ {
+				if r.Values[j], err = p.float(); err != nil {
+					return nil, err
+				}
+			}
+		case opReduceFull:
+			if r.Value, err = p.float(); err != nil {
+				return nil, err
+			}
+			if r.Count, err = p.varint(); err != nil {
+				return nil, err
+			}
+		case opAggFull:
+			np, err := p.count()
+			if err != nil {
+				return nil, err
+			}
+			r.Points = make([]timeseries.AggPoint, np)
+			for j := 0; j < np; j++ {
+				if r.Points[j].Start, err = p.varint(); err != nil {
+					return nil, err
+				}
+				if r.Points[j].Value, err = p.float(); err != nil {
+					return nil, err
+				}
+			}
+		default:
+			return nil, fmt.Errorf("cluster: unknown query op %d", op)
+		}
+	}
+	return &resp, nil
+}
+
+// --- replication pull ---
+
+func encodeReplPullRequest(q *replPullRequest) []byte {
+	b := make([]byte, 0, 32)
+	b = appendBool(b, q.WantSnapshot)
+	b = appendUvarint(b, q.FromSeq)
+	b = appendVarint(b, q.FromOff)
+	b = appendVarint(b, q.MaxBytes)
+	return b
+}
+
+func decodeReplPullRequest(payload []byte) (*replPullRequest, error) {
+	p := &protoReader{buf: payload}
+	var q replPullRequest
+	var err error
+	if q.WantSnapshot, err = p.boolVal(); err != nil {
+		return nil, err
+	}
+	if q.FromSeq, err = p.uvarint(); err != nil {
+		return nil, err
+	}
+	if q.FromOff, err = p.varint(); err != nil {
+		return nil, err
+	}
+	if q.MaxBytes, err = p.varint(); err != nil {
+		return nil, err
+	}
+	return &q, nil
+}
+
+func encodeReplPullResponse(r *replPullResponse) []byte {
+	b := make([]byte, 0, 64)
+	b = appendString(b, r.Err)
+	if r.Err != "" {
+		return b
+	}
+	b = appendBool(b, r.SegmentGone)
+	b = appendBytes(b, r.Snapshot)
+	b = appendUvarint(b, r.NextSeq)
+	b = appendVarint(b, r.NextOff)
+	b = appendVarint(b, r.LagBytes)
+	b = appendUvarint(b, uint64(len(r.Records)))
+	for _, rec := range r.Records {
+		b = appendBytes(b, rec)
+	}
+	return b
+}
+
+func decodeReplPullResponse(payload []byte) (*replPullResponse, error) {
+	p := &protoReader{buf: payload}
+	var r replPullResponse
+	var err error
+	if r.Err, err = p.str(); err != nil {
+		return nil, err
+	}
+	if r.Err != "" {
+		return &r, nil
+	}
+	if r.SegmentGone, err = p.boolVal(); err != nil {
+		return nil, err
+	}
+	if r.Snapshot, err = p.bytes(); err != nil {
+		return nil, err
+	}
+	if r.NextSeq, err = p.uvarint(); err != nil {
+		return nil, err
+	}
+	if r.NextOff, err = p.varint(); err != nil {
+		return nil, err
+	}
+	if r.LagBytes, err = p.varint(); err != nil {
+		return nil, err
+	}
+	nr, err := p.count()
+	if err != nil {
+		return nil, err
+	}
+	r.Records = make([][]byte, 0, nr)
+	for i := 0; i < nr; i++ {
+		rec, err := p.bytes()
+		if err != nil {
+			return nil, err
+		}
+		r.Records = append(r.Records, rec)
+	}
+	return &r, nil
+}

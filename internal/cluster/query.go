@@ -1,0 +1,443 @@
+package cluster
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+
+	"repro/internal/timeseries"
+)
+
+// The distributed query path. Two shapes:
+//
+//   - single-series: route the whole query to the series' owner. Mergeable
+//     functions ship a Partial back and finish at the coordinator;
+//     non-mergeable ones (std/p95 need the raw distribution) compute the
+//     final value on the owner. If the owner is unreachable the query falls
+//     back to a follower's replica store of that owner and the result is
+//     flagged partial (a replica may lag the leader).
+//
+//   - scatter (multi-series): group keys by owner, fan out one request per
+//     peer, and merge per-key partials at the coordinator IN SORTED KEY
+//     ORDER. That fixed fold order is what makes the distributed answer
+//     bit-identical to a single store holding all the data (see
+//     MergedReduce/MergedAggregate, the reference implementations).
+//
+// Peers that stay unreachable after replica fallback degrade the scatter to
+// a partial result: their keys are skipped and the peer is reported, never
+// silently absorbed.
+
+// execQuery runs a query op against this node's primary store or one of its
+// replica stores. It is the single execution path: the server invokes it
+// for remote coordinators and the local coordinator invokes it for itself,
+// so self-served and peer-served results cannot diverge.
+func (r *Router) execQuery(q *queryRequest) *queryResponse {
+	var st *timeseries.Store
+	if q.ReplicaOf != "" {
+		rep := r.replicas[q.ReplicaOf]
+		if rep == nil {
+			return &queryResponse{Err: fmt.Sprintf("node %s holds no replica of %s", r.self, q.ReplicaOf)}
+		}
+		st = rep.readStore()
+		if st == nil {
+			return &queryResponse{Err: fmt.Sprintf("replica of %s on %s not bootstrapped", q.ReplicaOf, r.self)}
+		}
+		r.replicaReads.Add(1)
+	} else {
+		st = r.cfg.Store
+	}
+	switch q.Op {
+	case opReducePartial, opAggPartials, opSeriesValues, opReduceFull, opAggFull:
+	default:
+		return &queryResponse{Err: fmt.Sprintf("unknown query op %d", q.Op)}
+	}
+	resp := &queryResponse{Results: make([]keyResult, len(q.Keys))}
+	for i, key := range q.Keys {
+		res := &resp.Results[i]
+		id, ok := st.IDForKey(key)
+		if !ok {
+			continue // Found stays false: this peer has never seen the series
+		}
+		var err error
+		switch q.Op {
+		case opReducePartial:
+			res.Partial, err = st.ReducePartial(id, q.From, q.To)
+		case opAggPartials:
+			res.PPoints, err = st.AggregatePartials(id, q.From, q.To, q.Step)
+		case opSeriesValues:
+			res.Values, err = st.SeriesValuesPlanned(id, q.From, q.To, q.Step)
+		case opReduceFull:
+			var v float64
+			var n int
+			v, n, err = st.ReducePlanned(id, q.From, q.To, q.Fn)
+			res.Value, res.Count = v, int64(n)
+		case opAggFull:
+			res.Points, err = st.AggregatePlanned(id, q.From, q.To, q.Step, q.Fn)
+		}
+		if err != nil {
+			return &queryResponse{Err: err.Error()}
+		}
+		res.Found = true
+	}
+	return resp
+}
+
+// queryOwner executes q against the node owning its keys: locally when the
+// owner is self, over RPC otherwise. If the owner fails, each of its
+// followers is tried against their replica-of-owner store; success there
+// reports fallback=true so the caller can flag the result partial.
+func (r *Router) queryOwner(owner string, q *queryRequest) (results []keyResult, fallback bool, err error) {
+	var primaryErr error
+	if owner == r.self {
+		resp := r.execQuery(q)
+		if resp.Err == "" {
+			return resp.Results, false, nil
+		}
+		primaryErr = errors.New(resp.Err)
+	} else {
+		resp, err := r.peers[owner].rc.query(q, r.cfg.rpcTimeout())
+		if err == nil {
+			return resp.Results, false, nil
+		}
+		primaryErr = err
+	}
+	fq := *q
+	fq.ReplicaOf = owner
+	for _, f := range r.ring.Followers(owner) {
+		if f == owner {
+			continue
+		}
+		if f == r.self {
+			resp := r.execQuery(&fq)
+			if resp.Err == "" {
+				return resp.Results, true, nil
+			}
+			continue
+		}
+		resp, err := r.peers[f].rc.query(&fq, r.cfg.rpcTimeout())
+		if err == nil {
+			return resp.Results, true, nil
+		}
+	}
+	return nil, false, primaryErr
+}
+
+// --- single-series API (what the HTTP front door asks for) ---
+
+// Reduce answers a single-series reduction wherever the series lives.
+// partial=true means the answer came from a (possibly lagging) replica.
+// The tier step is a local-planner detail, reported only when the series is
+// served by this node's own store.
+func (r *Router) Reduce(key string, from, to int64, fn timeseries.AggFunc) (value float64, count int, tierStep int64, found, partial bool, err error) {
+	q := &queryRequest{From: from, To: to, Keys: []string{key}}
+	if timeseries.MergeableAgg(fn) {
+		q.Op = opReducePartial
+	} else {
+		q.Op = opReduceFull
+		q.Fn = fn
+	}
+	owner := r.ring.Primary(key)
+	if owner != r.self {
+		r.scatterQueries.Add(1)
+	}
+	results, fallback, err := r.queryOwner(owner, q)
+	if err != nil {
+		return 0, 0, 0, false, false, err
+	}
+	if fallback {
+		r.partialQueries.Add(1)
+	}
+	res := &results[0]
+	if !res.Found {
+		return 0, 0, 0, false, fallback, nil
+	}
+	if owner == r.self {
+		if id, ok := r.cfg.Store.IDForKey(key); ok {
+			tierStep = r.cfg.Store.Plan(id, from, to, 0, fn).TierStep
+		}
+	}
+	if q.Op == opReducePartial {
+		if res.Partial.Count == 0 {
+			return 0, 0, tierStep, true, fallback, nil
+		}
+		return res.Partial.Value(fn), int(res.Partial.Count), tierStep, true, fallback, nil
+	}
+	return res.Value, int(res.Count), tierStep, true, fallback, nil
+}
+
+// AggregateRange answers a single-series bucketed aggregation wherever the
+// series lives; semantics mirror Reduce.
+func (r *Router) AggregateRange(key string, from, to, step int64, fn timeseries.AggFunc) (pts []timeseries.AggPoint, tierStep int64, found, partial bool, err error) {
+	if step <= 0 {
+		return nil, 0, false, false, fmt.Errorf("cluster: step must be positive")
+	}
+	q := &queryRequest{From: from, To: to, Step: step, Keys: []string{key}}
+	if timeseries.MergeableAgg(fn) {
+		q.Op = opAggPartials
+	} else {
+		q.Op = opAggFull
+		q.Fn = fn
+	}
+	owner := r.ring.Primary(key)
+	if owner != r.self {
+		r.scatterQueries.Add(1)
+	}
+	results, fallback, err := r.queryOwner(owner, q)
+	if err != nil {
+		return nil, 0, false, false, err
+	}
+	if fallback {
+		r.partialQueries.Add(1)
+	}
+	res := &results[0]
+	if !res.Found {
+		return nil, 0, false, fallback, nil
+	}
+	if owner == r.self {
+		if id, ok := r.cfg.Store.IDForKey(key); ok {
+			tierStep = r.cfg.Store.Plan(id, from, to, step, fn).TierStep
+		}
+	}
+	if q.Op == opAggPartials {
+		return finishPartialPoints(res.PPoints, fn), tierStep, true, fallback, nil
+	}
+	return res.Points, tierStep, true, fallback, nil
+}
+
+// SeriesValues answers a single-series value sweep (SeriesValuesPlanned)
+// wherever the series lives.
+func (r *Router) SeriesValues(key string, from, to, step int64) (vals []float64, found, partial bool, err error) {
+	q := &queryRequest{Op: opSeriesValues, From: from, To: to, Step: step, Keys: []string{key}}
+	owner := r.ring.Primary(key)
+	if owner != r.self {
+		r.scatterQueries.Add(1)
+	}
+	results, fallback, err := r.queryOwner(owner, q)
+	if err != nil {
+		return nil, false, false, err
+	}
+	if fallback {
+		r.partialQueries.Add(1)
+	}
+	res := &results[0]
+	if !res.Found {
+		return nil, false, fallback, nil
+	}
+	return res.Values, true, fallback, nil
+}
+
+// --- scatter API (multi-series) ---
+
+// ReduceMany reduces many series to one value by merging per-owner partial
+// aggregates; only MergeableAgg functions are scatterable. partialPeers
+// lists owners whose data arrived via replica fallback or not at all — an
+// empty list means the answer is exact and bit-identical to MergedReduce
+// over a single store holding every series.
+func (r *Router) ReduceMany(keys []string, from, to int64, fn timeseries.AggFunc) (value float64, count int64, partialPeers []string, err error) {
+	if !timeseries.MergeableAgg(fn) {
+		return 0, 0, nil, fmt.Errorf("cluster: %s does not merge across peers (route per series instead)", fn)
+	}
+	keys = sortedUnique(keys)
+	perKey, partialPeers, err := r.scatterPartials(opReducePartial, keys, from, to, 0)
+	if err != nil {
+		return 0, 0, nil, err
+	}
+	var total timeseries.Partial
+	for _, k := range keys {
+		if p, ok := perKey[k]; ok {
+			total.Merge(p.Partial)
+		}
+	}
+	if total.Count == 0 {
+		return 0, 0, partialPeers, nil
+	}
+	return total.Value(fn), total.Count, partialPeers, nil
+}
+
+// AggregateMany buckets many series into shared step windows, merging
+// per-key partial buckets in sorted key order. Semantics as ReduceMany.
+func (r *Router) AggregateMany(keys []string, from, to, step int64, fn timeseries.AggFunc) (pts []timeseries.AggPoint, partialPeers []string, err error) {
+	if !timeseries.MergeableAgg(fn) {
+		return nil, nil, fmt.Errorf("cluster: %s does not merge across peers (route per series instead)", fn)
+	}
+	if step <= 0 {
+		return nil, nil, fmt.Errorf("cluster: step must be positive")
+	}
+	keys = sortedUnique(keys)
+	perKey, partialPeers, err := r.scatterPartials(opAggPartials, keys, from, to, step)
+	if err != nil {
+		return nil, nil, err
+	}
+	ordered := make([][]timeseries.PartialPoint, 0, len(keys))
+	for _, k := range keys {
+		if p, ok := perKey[k]; ok {
+			ordered = append(ordered, p.PPoints)
+		}
+	}
+	return mergeAggregate(ordered, fn), partialPeers, nil
+}
+
+// scatterPartials fans one op out to every owner concurrently and gathers
+// per-key results. Owners that fail entirely have their keys skipped and
+// are reported in partialPeers (sorted), alongside owners served by
+// replica fallback.
+func (r *Router) scatterPartials(op queryOp, keys []string, from, to, step int64) (map[string]*keyResult, []string, error) {
+	groups := make(map[string][]string)
+	for _, k := range keys {
+		owner := r.ring.Primary(k)
+		groups[owner] = append(groups[owner], k) // keys sorted → groups sorted
+	}
+	r.scatterQueries.Add(1)
+	type groupOut struct {
+		owner    string
+		keys     []string
+		results  []keyResult
+		fallback bool
+		err      error
+	}
+	outs := make([]groupOut, 0, len(groups))
+	var mu sync.Mutex
+	var wg sync.WaitGroup
+	for owner, gk := range groups {
+		wg.Add(1)
+		go func(owner string, gk []string) {
+			defer wg.Done()
+			q := &queryRequest{Op: op, From: from, To: to, Step: step, Keys: gk}
+			results, fallback, err := r.queryOwner(owner, q)
+			mu.Lock()
+			outs = append(outs, groupOut{owner: owner, keys: gk, results: results, fallback: fallback, err: err})
+			mu.Unlock()
+		}(owner, gk)
+	}
+	wg.Wait()
+	perKey := make(map[string]*keyResult, len(keys))
+	var partialPeers []string
+	for i := range outs {
+		g := &outs[i]
+		if g.err != nil {
+			partialPeers = append(partialPeers, g.owner)
+			continue
+		}
+		if g.fallback {
+			partialPeers = append(partialPeers, g.owner)
+		}
+		for j := range g.results {
+			if g.results[j].Found {
+				perKey[g.keys[j]] = &g.results[j]
+			}
+		}
+	}
+	if len(partialPeers) > 0 {
+		sort.Strings(partialPeers)
+		r.partialQueries.Add(1)
+	}
+	return perKey, partialPeers, nil
+}
+
+// finishPartialPoints resolves bucketed partials under fn. Buckets arrive
+// with Count > 0 (empty buckets are omitted at the source).
+func finishPartialPoints(pp []timeseries.PartialPoint, fn timeseries.AggFunc) []timeseries.AggPoint {
+	if len(pp) == 0 {
+		return nil
+	}
+	out := make([]timeseries.AggPoint, len(pp))
+	for i := range pp {
+		out[i] = timeseries.AggPoint{Start: pp[i].Start, Value: pp[i].Agg.Value(fn)}
+	}
+	return out
+}
+
+// mergeAggregate merges per-key bucketed partials (already in sorted key
+// order) into one bucketed result. Per bucket, partials fold in key order —
+// the same fixed order MergedAggregate uses, so distributed and single-node
+// answers agree bit for bit.
+func mergeAggregate(perKey [][]timeseries.PartialPoint, fn timeseries.AggFunc) []timeseries.AggPoint {
+	buckets := make(map[int64]*timeseries.Partial)
+	var starts []int64
+	for _, pts := range perKey {
+		for i := range pts {
+			pp := &pts[i]
+			b := buckets[pp.Start]
+			if b == nil {
+				b = &timeseries.Partial{}
+				buckets[pp.Start] = b
+				starts = append(starts, pp.Start)
+			}
+			b.Merge(pp.Agg)
+		}
+	}
+	sort.Slice(starts, func(i, j int) bool { return starts[i] < starts[j] })
+	out := make([]timeseries.AggPoint, 0, len(starts))
+	for _, s := range starts {
+		b := buckets[s]
+		if b.Count == 0 {
+			continue
+		}
+		out = append(out, timeseries.AggPoint{Start: s, Value: b.Value(fn)})
+	}
+	return out
+}
+
+func sortedUnique(keys []string) []string {
+	out := append([]string(nil), keys...)
+	sort.Strings(out)
+	j := 0
+	for i, k := range out {
+		if i == 0 || k != out[j-1] {
+			out[j] = k
+			j++
+		}
+	}
+	return out[:j]
+}
+
+// --- single-store reference implementations ---
+
+// MergedReduce is the single-node oracle for ReduceMany: the same sorted-key
+// partial merge executed against one store holding every series. The
+// distributed path must reproduce it bit for bit when no peer degrades.
+func MergedReduce(st *timeseries.Store, keys []string, from, to int64, fn timeseries.AggFunc) (float64, int64, error) {
+	if !timeseries.MergeableAgg(fn) {
+		return 0, 0, fmt.Errorf("cluster: %s does not merge across series", fn)
+	}
+	var total timeseries.Partial
+	for _, k := range sortedUnique(keys) {
+		id, ok := st.IDForKey(k)
+		if !ok {
+			continue
+		}
+		p, err := st.ReducePartial(id, from, to)
+		if err != nil {
+			return 0, 0, err
+		}
+		total.Merge(p)
+	}
+	if total.Count == 0 {
+		return 0, 0, nil
+	}
+	return total.Value(fn), total.Count, nil
+}
+
+// MergedAggregate is the single-node oracle for AggregateMany.
+func MergedAggregate(st *timeseries.Store, keys []string, from, to, step int64, fn timeseries.AggFunc) ([]timeseries.AggPoint, error) {
+	if !timeseries.MergeableAgg(fn) {
+		return nil, fmt.Errorf("cluster: %s does not merge across series", fn)
+	}
+	if step <= 0 {
+		return nil, fmt.Errorf("cluster: step must be positive")
+	}
+	ordered := make([][]timeseries.PartialPoint, 0, len(keys))
+	for _, k := range sortedUnique(keys) {
+		id, ok := st.IDForKey(k)
+		if !ok {
+			continue
+		}
+		pp, err := st.AggregatePartials(id, from, to, step)
+		if err != nil {
+			return nil, err
+		}
+		ordered = append(ordered, pp)
+	}
+	return mergeAggregate(ordered, fn), nil
+}

@@ -1,0 +1,233 @@
+package cluster
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"repro/internal/persist"
+	"repro/internal/timeseries"
+	"repro/internal/wire"
+)
+
+// WAL-shipping replication. Each node follows the RF-1 nodes preceding it
+// in sorted node-ID order (Ring.Leaders) and keeps one in-memory replica
+// store per leader. The protocol is pull-based and idempotent to drive:
+//
+//	bootstrap:  pull a snapshot (a full store dump pinned to a WAL
+//	            position), rebuild the replica store from it;
+//	steady:     pull record payloads from the cursor, apply each with
+//	            persist.ApplyRecord, advance the cursor;
+//	fell behind: the leader checkpointed past our cursor (SegmentGone) —
+//	            drop back to bootstrap.
+//
+// The replica is exact, not approximate: the WAL is the leader's total
+// mutation order, so replaying it on top of the snapshot reproduces the
+// leader's store byte for byte (the convergence check in the chaos campaign
+// compares full dumps). A replica lives in memory only — a follower that
+// restarts re-bootstraps, which the snapshot path makes cheap.
+
+// replica is one leader's shadow store on this node.
+type replica struct {
+	leader string
+	opts   []timeseries.Option
+
+	mu           sync.Mutex
+	store        *timeseries.Store
+	bootstrapped bool
+	seq          uint64 // replication cursor: WAL segment
+	off          int64  // replication cursor: byte offset
+	records      uint64 // records applied since bootstrap
+	lag          int64  // leader-reported bytes behind, at last pull
+}
+
+func newReplica(leader string, opts []timeseries.Option) *replica {
+	return &replica{leader: leader, opts: opts}
+}
+
+// readStore returns the replica store if it is ready to serve reads.
+func (rep *replica) readStore() *timeseries.Store {
+	rep.mu.Lock()
+	defer rep.mu.Unlock()
+	if !rep.bootstrapped {
+		return nil
+	}
+	return rep.store
+}
+
+func (rep *replica) stats() ReplicaStats {
+	rep.mu.Lock()
+	defer rep.mu.Unlock()
+	st := ReplicaStats{
+		Leader:       rep.leader,
+		Bootstrapped: rep.bootstrapped,
+		Records:      rep.records,
+		LagBytes:     rep.lag,
+	}
+	if rep.bootstrapped && rep.store != nil {
+		st.Series = rep.store.NumSeries()
+		st.Samples = rep.store.NumSamples()
+	}
+	return st
+}
+
+// PumpReplication advances every replica until it is caught up with its
+// leader or the leader is unreachable. One call after the leaders quiesce
+// brings every replica to lag 0, which is what deterministic tests lean on;
+// the background loop calls it periodically.
+func (r *Router) PumpReplication() {
+	leaders := make([]string, 0, len(r.replicas))
+	for l := range r.replicas {
+		leaders = append(leaders, l)
+	}
+	sort.Strings(leaders)
+	for _, l := range leaders {
+		_ = r.pumpReplica(r.replicas[l])
+	}
+}
+
+// pumpReplica drives one replica's pull loop to the leader's writing edge.
+func (r *Router) pumpReplica(rep *replica) error {
+	p := r.peers[rep.leader]
+	if p == nil {
+		return fmt.Errorf("cluster: no peer for leader %s", rep.leader)
+	}
+	timeout := r.cfg.rpcTimeout()
+	rep.mu.Lock()
+	defer rep.mu.Unlock()
+	if !rep.bootstrapped {
+		resp, err := p.rc.replPull(&replPullRequest{WantSnapshot: true}, timeout)
+		if err != nil {
+			return err
+		}
+		chunk, dump, err := persist.DecodeDump(resp.Snapshot)
+		if err != nil {
+			return err
+		}
+		st, err := timeseries.RestoreStore(chunk, dump, rep.opts...)
+		if err != nil {
+			return err
+		}
+		rep.store = st
+		rep.seq, rep.off = resp.NextSeq, resp.NextOff
+		rep.lag = resp.LagBytes
+		rep.records = 0
+		rep.bootstrapped = true
+	}
+	for {
+		resp, err := p.rc.replPull(&replPullRequest{
+			FromSeq:  rep.seq,
+			FromOff:  rep.off,
+			MaxBytes: r.cfg.replPullBytes(),
+		}, timeout)
+		if err != nil {
+			return err
+		}
+		if resp.SegmentGone {
+			// The leader checkpointed past our cursor; restart from a
+			// snapshot on the next pump.
+			rep.bootstrapped = false
+			rep.store = nil
+			return nil
+		}
+		for _, payload := range resp.Records {
+			if err := persist.ApplyRecord(rep.store, payload); err != nil {
+				return err
+			}
+		}
+		rep.records += uint64(len(resp.Records))
+		rep.seq, rep.off = resp.NextSeq, resp.NextOff
+		rep.lag = resp.LagBytes
+		if len(resp.Records) == 0 {
+			return nil // caught up to the writing edge
+		}
+	}
+}
+
+// ReplicaOf exposes the replica store this node keeps for leader, if it is
+// bootstrapped — diagnostics and the chaos campaign's convergence check.
+func (r *Router) ReplicaOf(leader string) (*timeseries.Store, bool) {
+	rep := r.replicas[leader]
+	if rep == nil {
+		return nil, false
+	}
+	st := rep.readStore()
+	return st, st != nil
+}
+
+// ResetReplica discards a replica's state, simulating a follower crash
+// (replicas are memory-only); the next pump re-bootstraps from a snapshot.
+func (r *Router) ResetReplica(leader string) bool {
+	rep := r.replicas[leader]
+	if rep == nil {
+		return false
+	}
+	rep.mu.Lock()
+	rep.store = nil
+	rep.bootstrapped = false
+	rep.seq, rep.off = 0, 0
+	rep.records = 0
+	rep.mu.Unlock()
+	return true
+}
+
+// ReplicationLag reports the last observed byte lag behind leader, or -1 if
+// this node does not follow it (or has not bootstrapped yet).
+func (r *Router) ReplicationLag(leader string) int64 {
+	rep := r.replicas[leader]
+	if rep == nil {
+		return -1
+	}
+	rep.mu.Lock()
+	defer rep.mu.Unlock()
+	if !rep.bootstrapped {
+		return -1
+	}
+	return rep.lag
+}
+
+// --- leader side ---
+
+// maxSnapshotPayload keeps a shipped snapshot inside one wire frame, with
+// headroom for the response envelope.
+const maxSnapshotPayload = wire.MaxPayload - 4096
+
+// serveReplPull answers a follower's pull against this node's WAL.
+func (r *Router) serveReplPull(q *replPullRequest) *replPullResponse {
+	d := r.cfg.Durable
+	if d == nil {
+		return &replPullResponse{Err: fmt.Sprintf("node %s has no durable store; replication unavailable", r.self)}
+	}
+	sr := persist.NewSegmentReader(d.Dir())
+	if q.WantSnapshot {
+		chunk, dump, seq, off, err := d.ReplicationSnapshot()
+		if err != nil {
+			return &replPullResponse{Err: err.Error()}
+		}
+		payload := persist.EncodeDump(chunk, dump)
+		if len(payload) > maxSnapshotPayload {
+			return &replPullResponse{Err: fmt.Sprintf("snapshot too large to ship (%d bytes)", len(payload))}
+		}
+		return &replPullResponse{Snapshot: payload, NextSeq: seq, NextOff: off}
+	}
+	maxBytes := q.MaxBytes
+	if maxBytes <= 0 || maxBytes > 8<<20 {
+		maxBytes = 8 << 20
+	}
+	var recs [][]byte
+	nextSeq, nextOff, _, err := sr.ReadFrom(q.FromSeq, q.FromOff, maxBytes, func(payload []byte) error {
+		recs = append(recs, append([]byte(nil), payload...))
+		return nil
+	})
+	if err == persist.ErrSegmentGone {
+		return &replPullResponse{SegmentGone: true}
+	}
+	if err != nil {
+		return &replPullResponse{Err: err.Error()}
+	}
+	lag, err := sr.TailBytes(nextSeq, nextOff)
+	if err != nil {
+		lag = 0
+	}
+	return &replPullResponse{Records: recs, NextSeq: nextSeq, NextOff: nextOff, LagBytes: lag}
+}

@@ -1,0 +1,214 @@
+// Package cluster federates N odad instances into one logical TSDB: a
+// static peer set, a consistent-hash ring placing series by key, a Router
+// that forwards appends to owning peers (with hinted handoff while a peer
+// is down) and scatters queries so only fixed-size partial aggregates cross
+// the wire, and WAL-shipping replication so a follower can answer for a
+// dead leader. The per-node ingest and storage paths are untouched — one
+// node with no peers behaves exactly like a standalone odad.
+package cluster
+
+import (
+	"fmt"
+	"hash/fnv"
+	"sort"
+)
+
+// Ring is the consistent-hash placement function: each node projects VNodes
+// points onto a 64-bit circle, and a key belongs to the node owning the
+// first point clockwise of the key's hash. Virtual nodes smooth the load
+// (each node owns many small arcs instead of one big one), and adding a
+// node moves only the keys that land on its new arcs — about 1/N of them —
+// which the rebalance property test pins down.
+//
+// Replica placement is node-level, not arc-level: the RF-1 followers of a
+// primary are the next nodes after it in sorted node-ID order. That keeps
+// "who replicates whom" a static node-to-node relation — exactly what
+// WAL-segment shipping wants, since a follower replays the leader's whole
+// log, not per-key slices of it.
+type Ring struct {
+	nodes  []string // sorted distinct node IDs
+	vnodes int
+	rf     int
+	points []ringPoint // sorted by hash
+}
+
+type ringPoint struct {
+	hash uint64
+	node int32 // index into nodes
+}
+
+// DefaultVNodes is the virtual-node count per peer when the config leaves
+// it zero: enough that primary load across peers stays within a few
+// percent of even, cheap enough that ring construction is microseconds.
+const DefaultVNodes = 128
+
+// NewRing builds a ring over the given node IDs. vnodes <= 0 uses
+// DefaultVNodes; rf is clamped to [1, len(nodes)]. Duplicate node IDs are
+// an error — the ID is the replication and routing identity.
+func NewRing(nodes []string, vnodes, rf int) (*Ring, error) {
+	if len(nodes) == 0 {
+		return nil, fmt.Errorf("cluster: ring needs at least one node")
+	}
+	sorted := append([]string(nil), nodes...)
+	sort.Strings(sorted)
+	for i := 1; i < len(sorted); i++ {
+		if sorted[i] == sorted[i-1] {
+			return nil, fmt.Errorf("cluster: duplicate node id %q", sorted[i])
+		}
+	}
+	if vnodes <= 0 {
+		vnodes = DefaultVNodes
+	}
+	if rf < 1 {
+		rf = 1
+	}
+	if rf > len(sorted) {
+		rf = len(sorted)
+	}
+	r := &Ring{
+		nodes:  sorted,
+		vnodes: vnodes,
+		rf:     rf,
+		points: make([]ringPoint, 0, len(sorted)*vnodes),
+	}
+	var buf []byte
+	for ni, node := range sorted {
+		for v := 0; v < vnodes; v++ {
+			buf = buf[:0]
+			buf = append(buf, node...)
+			buf = append(buf, '#')
+			buf = appendInt(buf, v)
+			r.points = append(r.points, ringPoint{hash: hash64(buf), node: int32(ni)})
+		}
+	}
+	sort.Slice(r.points, func(a, b int) bool {
+		if r.points[a].hash != r.points[b].hash {
+			return r.points[a].hash < r.points[b].hash
+		}
+		// Hash ties (vanishingly rare) break by node index so placement
+		// stays deterministic across identically-configured peers.
+		return r.points[a].node < r.points[b].node
+	})
+	return r, nil
+}
+
+func appendInt(b []byte, v int) []byte {
+	if v == 0 {
+		return append(b, '0')
+	}
+	var tmp [20]byte
+	i := len(tmp)
+	for v > 0 {
+		i--
+		tmp[i] = byte('0' + v%10)
+		v /= 10
+	}
+	return append(b, tmp[i:]...)
+}
+
+// hash64 is FNV-64a fed through a murmur-style 64-bit finalizer. FNV alone
+// barely avalanches its trailing bytes, so sequential inputs like
+// "node-04#0".."node-04#127" land in one tight band of the circle and the
+// vnodes collapse into a single arc; the finalizer disperses them. Both
+// stages are pure integer math — deterministic across processes and
+// platforms, so every peer computes the same placement from the same flags.
+func hash64(b []byte) uint64 {
+	h := fnv.New64a()
+	_, _ = h.Write(b)
+	return mix64(h.Sum64())
+}
+
+func hash64String(s string) uint64 {
+	h := fnv.New64a()
+	_, _ = h.Write([]byte(s))
+	return mix64(h.Sum64())
+}
+
+// mix64 is the MurmurHash3 fmix64 finalizer.
+func mix64(h uint64) uint64 {
+	h ^= h >> 33
+	h *= 0xff51afd7ed558ccd
+	h ^= h >> 33
+	h *= 0xc4ceb9fe1a85ec53
+	h ^= h >> 33
+	return h
+}
+
+// Nodes returns the sorted node IDs.
+func (r *Ring) Nodes() []string { return append([]string(nil), r.nodes...) }
+
+// NumNodes returns the cluster size.
+func (r *Ring) NumNodes() int { return len(r.nodes) }
+
+// VNodes returns the virtual-node count per peer.
+func (r *Ring) VNodes() int { return r.vnodes }
+
+// RF returns the effective replication factor.
+func (r *Ring) RF() int { return r.rf }
+
+// primaryIndex locates the node index owning key's first clockwise point.
+func (r *Ring) primaryIndex(key string) int {
+	h := hash64String(key)
+	pts := r.points
+	lo, hi := 0, len(pts)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if pts[mid].hash < h {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	if lo == len(pts) {
+		lo = 0 // wrap past the last point
+	}
+	return int(pts[lo].node)
+}
+
+// Primary returns the node ID owning key.
+func (r *Ring) Primary(key string) string { return r.nodes[r.primaryIndex(key)] }
+
+// Owners returns the RF nodes responsible for key, primary first, then the
+// primary's followers in sorted node-ID succession. The result is freshly
+// allocated; hot paths use OwnersAppend.
+func (r *Ring) Owners(key string) []string {
+	return r.OwnersAppend(key, nil)
+}
+
+// OwnersAppend appends key's owners to dst and returns the extended slice.
+func (r *Ring) OwnersAppend(key string, dst []string) []string {
+	pi := r.primaryIndex(key)
+	for i := 0; i < r.rf; i++ {
+		dst = append(dst, r.nodes[(pi+i)%len(r.nodes)])
+	}
+	return dst
+}
+
+// Followers returns the RF-1 nodes replicating node's data (its successors
+// in sorted node-ID order), or nil for an unknown node.
+func (r *Ring) Followers(node string) []string {
+	ni := sort.SearchStrings(r.nodes, node)
+	if ni == len(r.nodes) || r.nodes[ni] != node {
+		return nil
+	}
+	out := make([]string, 0, r.rf-1)
+	for i := 1; i < r.rf; i++ {
+		out = append(out, r.nodes[(ni+i)%len(r.nodes)])
+	}
+	return out
+}
+
+// Leaders returns the nodes whose data `node` replicates (its predecessors
+// in sorted node-ID order) — the inverse of Followers.
+func (r *Ring) Leaders(node string) []string {
+	ni := sort.SearchStrings(r.nodes, node)
+	if ni == len(r.nodes) || r.nodes[ni] != node {
+		return nil
+	}
+	out := make([]string, 0, r.rf-1)
+	n := len(r.nodes)
+	for i := 1; i < r.rf; i++ {
+		out = append(out, r.nodes[(ni-i+n)%n])
+	}
+	return out
+}

@@ -1,0 +1,187 @@
+package cluster
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"testing"
+)
+
+func mustRing(t *testing.T, nodes []string, vnodes, rf int) *Ring {
+	t.Helper()
+	r, err := NewRing(nodes, vnodes, rf)
+	if err != nil {
+		t.Fatalf("NewRing(%v, %d, %d): %v", nodes, vnodes, rf, err)
+	}
+	return r
+}
+
+func TestRingValidation(t *testing.T) {
+	if _, err := NewRing(nil, 0, 1); err == nil {
+		t.Fatal("empty node set must error")
+	}
+	if _, err := NewRing([]string{"a", "b", "a"}, 0, 1); err == nil {
+		t.Fatal("duplicate node IDs must error")
+	}
+	r := mustRing(t, []string{"b", "a", "c"}, 0, 99)
+	if r.RF() != 3 {
+		t.Fatalf("rf clamp: got %d, want 3", r.RF())
+	}
+	if r.VNodes() != DefaultVNodes {
+		t.Fatalf("vnodes default: got %d, want %d", r.VNodes(), DefaultVNodes)
+	}
+	if got := r.Nodes(); !equalStrings(got, []string{"a", "b", "c"}) {
+		t.Fatalf("nodes not sorted: %v", got)
+	}
+}
+
+// Placement must be a pure function of (node set, vnodes): every peer builds
+// its own ring from flags and they must all agree, regardless of the order
+// the IDs were listed in.
+func TestRingDeterministicAcrossOrderings(t *testing.T) {
+	nodes := []string{"n1", "n2", "n3", "n4", "n5"}
+	r1 := mustRing(t, nodes, 64, 2)
+	shuffled := []string{"n4", "n1", "n5", "n3", "n2"}
+	r2 := mustRing(t, shuffled, 64, 2)
+	for i := 0; i < 2000; i++ {
+		key := fmt.Sprintf("metric.%d{host=h%d}", i, i%17)
+		if r1.Primary(key) != r2.Primary(key) {
+			t.Fatalf("key %q: primaries diverge across input orderings", key)
+		}
+		if !equalStrings(r1.Owners(key), r2.Owners(key)) {
+			t.Fatalf("key %q: owners diverge across input orderings", key)
+		}
+	}
+}
+
+// Owners returns RF distinct nodes with the primary first, and the follower
+// set matches the node-level Followers relation (so the query-path fallback
+// targets exactly the nodes that replicate the primary's WAL).
+func TestRingOwnersDistinctAndAlignedWithFollowers(t *testing.T) {
+	r := mustRing(t, []string{"n1", "n2", "n3", "n4"}, 32, 3)
+	for i := 0; i < 500; i++ {
+		key := fmt.Sprintf("series-%d", i)
+		owners := r.Owners(key)
+		if len(owners) != 3 {
+			t.Fatalf("key %q: %d owners, want 3", key, len(owners))
+		}
+		seen := map[string]bool{}
+		for _, o := range owners {
+			if seen[o] {
+				t.Fatalf("key %q: duplicate owner %q in %v", key, o, owners)
+			}
+			seen[o] = true
+		}
+		if owners[0] != r.Primary(key) {
+			t.Fatalf("key %q: owners[0]=%q != primary %q", key, owners[0], r.Primary(key))
+		}
+		if f := r.Followers(owners[0]); !equalStrings(owners[1:], f) {
+			t.Fatalf("key %q: owners[1:]=%v but Followers(%q)=%v", key, owners[1:], owners[0], f)
+		}
+	}
+}
+
+// Followers and Leaders are inverse relations; unknown nodes yield nil.
+func TestRingFollowersLeadersInverse(t *testing.T) {
+	r := mustRing(t, []string{"a", "b", "c", "d", "e"}, 16, 3)
+	for _, n := range r.Nodes() {
+		for _, f := range r.Followers(n) {
+			found := false
+			for _, l := range r.Leaders(f) {
+				if l == n {
+					found = true
+				}
+			}
+			if !found {
+				t.Fatalf("%q follows %q but Leaders(%q)=%v omits it", f, n, f, r.Leaders(f))
+			}
+		}
+	}
+	if r.Followers("ghost") != nil || r.Leaders("ghost") != nil {
+		t.Fatal("unknown node must yield nil follower/leader sets")
+	}
+	r1 := mustRing(t, []string{"solo"}, 16, 1)
+	if len(r1.Followers("solo")) != 0 || len(r1.Leaders("solo")) != 0 {
+		t.Fatal("rf=1 ring has no followers or leaders")
+	}
+}
+
+// Primary load should be roughly even: with 128 vnodes no node's share of a
+// large random keyspace strays beyond ~2x of fair.
+func TestRingBalance(t *testing.T) {
+	nodes := []string{"n1", "n2", "n3", "n4", "n5"}
+	r := mustRing(t, nodes, DefaultVNodes, 1)
+	counts := map[string]int{}
+	const keys = 20000
+	rng := rand.New(rand.NewSource(42))
+	for i := 0; i < keys; i++ {
+		counts[r.Primary(fmt.Sprintf("k%d-%d", i, rng.Int63()))]++
+	}
+	fair := keys / len(nodes)
+	for _, n := range nodes {
+		if counts[n] < fair/2 || counts[n] > fair*2 {
+			t.Fatalf("node %s owns %d of %d keys (fair %d): unbalanced", n, counts[n], keys, fair)
+		}
+	}
+}
+
+// The consistent-hashing contract: growing the cluster from N to N+1 nodes
+// moves at most about 1/(N+1) of the primaries, and every key that does move
+// moves TO the new node (no churn among the survivors). Seeded and run over
+// several cluster sizes so the bound is a property, not a lucky sample.
+func TestRingRebalanceMovesAboutOneNth(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	const keys = 10000
+	for _, n := range []int{2, 3, 5, 8} {
+		nodes := make([]string, n)
+		for i := range nodes {
+			nodes[i] = fmt.Sprintf("node-%02d", i)
+		}
+		before := mustRing(t, nodes, DefaultVNodes, 1)
+		added := fmt.Sprintf("node-%02d", n)
+		after := mustRing(t, append(append([]string(nil), nodes...), added), DefaultVNodes, 1)
+
+		moved := 0
+		for i := 0; i < keys; i++ {
+			key := fmt.Sprintf("series-%d-%d", i, rng.Int63())
+			pb, pa := before.Primary(key), after.Primary(key)
+			if pb == pa {
+				continue
+			}
+			if pa != added {
+				t.Fatalf("n=%d key %q moved %q -> %q, but only the new node %q may gain keys",
+					n, key, pb, pa, added)
+			}
+			moved++
+		}
+		// Expected share is keys/(n+1); allow 50% slack for vnode variance.
+		limit := keys * 3 / (2 * (n + 1))
+		if moved > limit {
+			t.Fatalf("n=%d->%d: %d of %d keys moved, want <= %d (~1/%d + slack)",
+				n, n+1, moved, keys, limit, n+1)
+		}
+		if moved == 0 {
+			t.Fatalf("n=%d->%d: no keys moved; the new node owns nothing", n, n+1)
+		}
+	}
+}
+
+func equalStrings(a, b []string) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// sortedUnique (query.go helper) dedups and orders scatter key sets.
+func TestSortedUnique(t *testing.T) {
+	got := sortedUnique([]string{"b", "a", "b", "c", "a"})
+	if !sort.StringsAreSorted(got) || len(got) != 3 {
+		t.Fatalf("sortedUnique: %v", got)
+	}
+}

@@ -1,0 +1,625 @@
+package cluster
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/metric"
+	"repro/internal/persist"
+	"repro/internal/timeseries"
+	"repro/internal/wire"
+)
+
+// Appender is the local ingest sink a router writes owned samples to —
+// a bare timeseries.Store or a persist.DurableStore.
+type Appender interface {
+	AppendBatch(entries []timeseries.BatchEntry) (int, error)
+}
+
+// Peer names one cluster member: a stable node ID (the ring identity) and
+// the address of its cluster listener.
+type Peer struct {
+	ID   string
+	Addr string
+}
+
+// Config wires a Router into one odad process.
+type Config struct {
+	// Self is this node's ID; it must appear in Peers.
+	Self string
+	// Peers is the full static membership, including self.
+	Peers []Peer
+	// VNodes is the virtual-node count per peer (0 = DefaultVNodes).
+	VNodes int
+	// Replication is the replication factor (clamped to [1, len(Peers)]).
+	Replication int
+	// Dial opens connections to peers (nil = TCP); chaos tests inject
+	// fault-wrapped in-memory transports here.
+	Dial wire.Dialer
+	// Local receives samples this node owns (and forwarded samples from
+	// peers). Typically the DurableStore when one is configured.
+	Local Appender
+	// Store is this node's primary read store.
+	Store *timeseries.Store
+	// Durable, when set, lets this node serve WAL replication to followers.
+	Durable *persist.DurableStore
+	// ReplicaOptions configure replica stores (must match the cluster-wide
+	// store configuration — in particular rollup tiers — so planned queries
+	// against a replica behave like the leader's).
+	ReplicaOptions []timeseries.Option
+
+	// FlushEntries is the per-peer forward buffer size that triggers an
+	// automatic flush (0 = 256).
+	FlushEntries int
+	// MaxHintBatches bounds the per-peer hinted-handoff queue (0 = 4096);
+	// overflow drops the newest data and counts it.
+	MaxHintBatches int
+	// PingTimeout bounds failure-detector probes (0 = 2s).
+	PingTimeout time.Duration
+	// SendTimeout bounds batch forwards (0 = 5s).
+	SendTimeout time.Duration
+	// RPCTimeout bounds query/replication round trips (0 = 5s).
+	RPCTimeout time.Duration
+	// ReplPullBytes is the per-pull WAL byte budget (0 = 1MiB).
+	ReplPullBytes int64
+}
+
+func (c *Config) flushEntries() int {
+	if c.FlushEntries <= 0 {
+		return 256
+	}
+	return c.FlushEntries
+}
+
+func (c *Config) maxHintBatches() int {
+	if c.MaxHintBatches <= 0 {
+		return 4096
+	}
+	return c.MaxHintBatches
+}
+
+func (c *Config) pingTimeout() time.Duration {
+	if c.PingTimeout <= 0 {
+		return 2 * time.Second
+	}
+	return c.PingTimeout
+}
+
+func (c *Config) sendTimeout() time.Duration {
+	if c.SendTimeout <= 0 {
+		return 5 * time.Second
+	}
+	return c.SendTimeout
+}
+
+func (c *Config) rpcTimeout() time.Duration {
+	if c.RPCTimeout <= 0 {
+		return 5 * time.Second
+	}
+	return c.RPCTimeout
+}
+
+func (c *Config) replPullBytes() int64 {
+	if c.ReplPullBytes <= 0 {
+		return 1 << 20
+	}
+	return c.ReplPullBytes
+}
+
+// Router is the cluster brain of one node: it places series on the ring,
+// forwards foreign appends to their owners (parking them in a hinted-handoff
+// queue while an owner is down), scatters queries so only partial aggregates
+// cross the wire, and pulls WAL records from the leaders it follows. It
+// implements the collector's batch-appender contract, so it drops into any
+// ingest path a plain store fits.
+type Router struct {
+	cfg  Config
+	ring *Ring
+	self string
+
+	peers    map[string]*peer // remote peers only
+	peerList []*peer          // sorted by ID for deterministic iteration
+	replicas map[string]*replica
+
+	localEntries     atomic.Uint64
+	forwardedAllowed atomic.Uint64 // entries accepted for forwarding (sent or hinted)
+	receivedBatches  atomic.Uint64
+	receivedEntries  atomic.Uint64
+	scatterQueries   atomic.Uint64
+	partialQueries   atomic.Uint64
+	replicaReads     atomic.Uint64 // queries this node served from a replica store
+
+	stop chan struct{}
+	wg   sync.WaitGroup
+	bg   sync.Once
+}
+
+// peer is the router's view of one remote node: its transport clients, the
+// pending forward buffer, and the hinted-handoff queue that preserves
+// delivery order across downtime.
+type peer struct {
+	id   string
+	addr string
+	self string // this node's ID, stamped as wire agent on forwards
+	dial wire.Dialer
+
+	sendTimeout time.Duration
+
+	mu    sync.Mutex
+	wc    *wire.Client // lazy: the peer may be down at startup
+	rc    *rpcClient
+	buf   []timeseries.BatchEntry
+	hints [][]timeseries.BatchEntry
+
+	// counters under mu
+	forwardedBatches   uint64
+	forwardedEntries   uint64
+	failedSends        uint64
+	hintedBatches      uint64
+	drainedBatches     uint64
+	droppedHintEntries uint64
+
+	up  atomic.Bool
+	rtt atomic.Int64 // last ping round trip, nanoseconds
+}
+
+// New validates the config and builds the router. The ring, peer set and
+// replica assignments are fixed for the router's lifetime (static
+// membership); Start launches the background flush/health/replication loop,
+// or tests drive Flush/CheckPeers/PumpReplication manually.
+func New(cfg Config) (*Router, error) {
+	if cfg.Local == nil || cfg.Store == nil {
+		return nil, fmt.Errorf("cluster: config needs Local appender and Store")
+	}
+	ids := make([]string, 0, len(cfg.Peers))
+	addr := make(map[string]string, len(cfg.Peers))
+	for _, p := range cfg.Peers {
+		if p.ID == "" {
+			return nil, fmt.Errorf("cluster: peer with empty node id")
+		}
+		if _, dup := addr[p.ID]; dup {
+			return nil, fmt.Errorf("cluster: duplicate node id %q", p.ID)
+		}
+		ids = append(ids, p.ID)
+		addr[p.ID] = p.Addr
+	}
+	if _, ok := addr[cfg.Self]; !ok {
+		return nil, fmt.Errorf("cluster: self node %q not in peer set", cfg.Self)
+	}
+	ring, err := NewRing(ids, cfg.VNodes, cfg.Replication)
+	if err != nil {
+		return nil, err
+	}
+	r := &Router{
+		cfg:      cfg,
+		ring:     ring,
+		self:     cfg.Self,
+		peers:    make(map[string]*peer, len(ids)-1),
+		replicas: make(map[string]*replica),
+		stop:     make(chan struct{}),
+	}
+	for _, id := range ring.Nodes() {
+		if id == cfg.Self {
+			continue
+		}
+		p := &peer{
+			id:          id,
+			addr:        addr[id],
+			self:        cfg.Self,
+			dial:        cfg.Dial,
+			sendTimeout: cfg.sendTimeout(),
+			rc:          newRPCClient(addr[id], cfg.Dial),
+		}
+		p.up.Store(true) // optimistic until a send or ping says otherwise
+		r.peers[id] = p
+		r.peerList = append(r.peerList, p)
+	}
+	sort.Slice(r.peerList, func(i, j int) bool { return r.peerList[i].id < r.peerList[j].id })
+	for _, leader := range ring.Leaders(cfg.Self) {
+		r.replicas[leader] = newReplica(leader, cfg.ReplicaOptions)
+	}
+	return r, nil
+}
+
+// Self returns this node's ID.
+func (r *Router) Self() string { return r.self }
+
+// Ring exposes the placement ring (read-only).
+func (r *Router) Ring() *Ring { return r.ring }
+
+// --- ingest path ---
+
+// AppendBatch routes each entry to the node owning its series: owned
+// entries hit the local appender directly, foreign ones buffer per peer and
+// flush as wire batches. The returned count includes every forwarded entry —
+// once buffered it is the router's responsibility, delivered by a send, a
+// hinted-handoff drain, or counted in DroppedHintEntries.
+func (r *Router) AppendBatch(entries []timeseries.BatchEntry) (int, error) {
+	if len(r.peers) == 0 {
+		n, err := r.cfg.Local.AppendBatch(entries)
+		r.localEntries.Add(uint64(n))
+		return n, err
+	}
+	var local []timeseries.BatchEntry
+	var groups map[*peer][]timeseries.BatchEntry
+	for i := range entries {
+		e := &entries[i]
+		owner := r.ring.Primary(e.ID.Key())
+		if owner == r.self {
+			local = append(local, *e)
+			continue
+		}
+		if groups == nil {
+			groups = make(map[*peer][]timeseries.BatchEntry, len(r.peers))
+		}
+		p := r.peers[owner]
+		groups[p] = append(groups[p], *e)
+	}
+	accepted := 0
+	var firstErr error
+	if len(local) > 0 {
+		n, err := r.cfg.Local.AppendBatch(local)
+		r.localEntries.Add(uint64(n))
+		accepted += n
+		firstErr = err
+	}
+	threshold := r.cfg.flushEntries()
+	for p, g := range groups {
+		p.mu.Lock()
+		p.buf = append(p.buf, g...)
+		if len(p.buf) >= threshold {
+			p.flushLocked(r.cfg.maxHintBatches())
+		}
+		p.mu.Unlock()
+		accepted += len(g)
+		r.forwardedAllowed.Add(uint64(len(g)))
+	}
+	return accepted, firstErr
+}
+
+// Flush pushes every peer's pending forward buffer out now. Tests and the
+// shutdown path call it directly; the background loop calls it on a timer.
+func (r *Router) Flush() {
+	maxHints := r.cfg.maxHintBatches()
+	for _, p := range r.peerList {
+		p.mu.Lock()
+		p.flushLocked(maxHints)
+		p.mu.Unlock()
+	}
+}
+
+// wireClientLocked lazily dials the batch-forwarding client; p.mu held.
+func (p *peer) wireClientLocked() (*wire.Client, error) {
+	if p.wc != nil {
+		return p.wc, nil
+	}
+	wc, err := wire.DialWith(p.dial, p.addr)
+	if err != nil {
+		return nil, err
+	}
+	wc.SetTimeout(p.sendTimeout)
+	p.wc = wc
+	return wc, nil
+}
+
+func (p *peer) sendLocked(entries []timeseries.BatchEntry) error {
+	wc, err := p.wireClientLocked()
+	if err != nil {
+		return err
+	}
+	return wc.Send(toWireBatch(p.self, entries))
+}
+
+// flushLocked dispatches the pending buffer: straight to the peer when it
+// is up and no hints are queued, otherwise onto the hint queue — new data
+// must never overtake parked data, or a series' timestamps would arrive out
+// of order and be rejected. A failed send parks its batch at the FRONT of
+// the queue, since it is older than everything already hinted.
+func (p *peer) flushLocked(maxHints int) {
+	if len(p.buf) == 0 {
+		return
+	}
+	entries := p.buf
+	p.buf = nil
+	if !p.up.Load() || len(p.hints) > 0 {
+		p.hintLocked(entries, false, maxHints)
+		return
+	}
+	if err := p.sendLocked(entries); err != nil {
+		p.failedSends++
+		p.up.Store(false)
+		p.hintLocked(entries, true, maxHints)
+		return
+	}
+	p.forwardedBatches++
+	p.forwardedEntries += uint64(len(entries))
+}
+
+func (p *peer) hintLocked(entries []timeseries.BatchEntry, front bool, maxHints int) {
+	if len(p.hints) >= maxHints {
+		if !front {
+			p.droppedHintEntries += uint64(len(entries))
+			return
+		}
+		// A failed send is older than everything queued: make room by
+		// dropping the newest hint rather than the oldest data.
+		last := p.hints[len(p.hints)-1]
+		p.hints = p.hints[:len(p.hints)-1]
+		p.droppedHintEntries += uint64(len(last))
+	}
+	if front {
+		p.hints = append([][]timeseries.BatchEntry{entries}, p.hints...)
+	} else {
+		p.hints = append(p.hints, entries)
+	}
+	p.hintedBatches++
+}
+
+// drainLocked replays hinted batches in FIFO order; it stops at the first
+// failure (the peer relapsed) and reports whether the queue fully drained.
+func (p *peer) drainLocked() bool {
+	for len(p.hints) > 0 {
+		entries := p.hints[0]
+		if err := p.sendLocked(entries); err != nil {
+			p.failedSends++
+			return false
+		}
+		p.hints = p.hints[1:]
+		p.drainedBatches++
+		p.forwardedBatches++
+		p.forwardedEntries += uint64(len(entries))
+	}
+	return true
+}
+
+// toWireBatch packs routed entries into a wire batch, grouping consecutive
+// same-series entries into one record (entries arrive in series runs from
+// the collector, so this usually collapses to one record per series).
+func toWireBatch(agent string, entries []timeseries.BatchEntry) *wire.Batch {
+	b := &wire.Batch{Agent: agent}
+	cur := -1
+	var curKey string
+	for i := range entries {
+		e := &entries[i]
+		k := e.ID.Key()
+		if cur < 0 || k != curKey {
+			b.Records = append(b.Records, wire.Record{ID: e.ID, Kind: e.Kind, Unit: e.Unit})
+			cur = len(b.Records) - 1
+			curKey = k
+		}
+		b.Records[cur].Samples = append(b.Records[cur].Samples, metric.Sample{T: e.T, V: e.V})
+	}
+	return b
+}
+
+// entriesFromBatch flattens a wire batch back into append entries.
+func entriesFromBatch(b *wire.Batch) []timeseries.BatchEntry {
+	n := 0
+	for i := range b.Records {
+		n += len(b.Records[i].Samples)
+	}
+	entries := make([]timeseries.BatchEntry, 0, n)
+	for i := range b.Records {
+		rec := &b.Records[i]
+		for _, sm := range rec.Samples {
+			entries = append(entries, timeseries.BatchEntry{
+				ID: rec.ID, Kind: rec.Kind, Unit: rec.Unit, T: sm.T, V: sm.V,
+			})
+		}
+	}
+	return entries
+}
+
+// applyForwarded lands a batch a peer routed to us. It goes straight to the
+// local appender — the sender already placed it, so re-routing could only
+// disagree (and loop) if configs diverged.
+func (r *Router) applyForwarded(b *wire.Batch) {
+	entries := entriesFromBatch(b)
+	n, _ := r.cfg.Local.AppendBatch(entries)
+	r.receivedBatches.Add(1)
+	r.receivedEntries.Add(uint64(n))
+}
+
+// --- failure detector ---
+
+// CheckPeers probes every peer with a ping. A peer that answers — however
+// slowly — is alive; its hinted batches drain in FIFO order and, once the
+// queue is empty, it is marked up so fresh traffic flows directly again. A
+// peer that does not answer is marked down, parking subsequent traffic in
+// its hint queue. Tests call this directly; Start runs it on a timer.
+func (r *Router) CheckPeers() {
+	for _, p := range r.peerList {
+		r.checkPeer(p)
+	}
+}
+
+func (r *Router) checkPeer(p *peer) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	wc, err := p.wireClientLocked()
+	if err != nil {
+		p.up.Store(false)
+		return
+	}
+	rtt, err := wc.Ping(r.cfg.pingTimeout())
+	if err != nil {
+		p.up.Store(false)
+		return
+	}
+	p.rtt.Store(int64(rtt))
+	if p.drainLocked() {
+		p.up.Store(true)
+	} else {
+		p.up.Store(false)
+	}
+}
+
+// --- background loop ---
+
+// Start launches the maintenance loop: flush forward buffers, probe peers
+// (draining hints when one comes back), and pump replication. Stop halts it.
+func (r *Router) Start(flushEvery, checkEvery time.Duration) {
+	r.bg.Do(func() {
+		if flushEvery <= 0 {
+			flushEvery = 200 * time.Millisecond
+		}
+		if checkEvery <= 0 {
+			checkEvery = time.Second
+		}
+		r.wg.Add(1)
+		go func() {
+			defer r.wg.Done()
+			flushT := time.NewTicker(flushEvery)
+			checkT := time.NewTicker(checkEvery)
+			defer flushT.Stop()
+			defer checkT.Stop()
+			for {
+				select {
+				case <-r.stop:
+					return
+				case <-flushT.C:
+					r.Flush()
+				case <-checkT.C:
+					r.CheckPeers()
+					r.PumpReplication()
+				}
+			}
+		}()
+	})
+}
+
+// Stop halts the background loop (if running) and closes peer connections.
+// Pending forward buffers are flushed one last time first.
+func (r *Router) Stop() {
+	select {
+	case <-r.stop:
+	default:
+		close(r.stop)
+	}
+	r.wg.Wait()
+	r.Flush()
+	for _, p := range r.peerList {
+		p.mu.Lock()
+		if p.wc != nil {
+			_ = p.wc.Close()
+		}
+		p.rc.Close()
+		p.mu.Unlock()
+	}
+}
+
+// --- stats ---
+
+// PeerStats is one remote node as this router sees it.
+type PeerStats struct {
+	ID                 string `json:"id"`
+	Addr               string `json:"addr"`
+	Up                 bool   `json:"up"`
+	RTTMicros          int64  `json:"rtt_us"`
+	ForwardedBatches   uint64 `json:"forwarded_batches"`
+	ForwardedEntries   uint64 `json:"forwarded_entries"`
+	FailedSends        uint64 `json:"failed_sends"`
+	HintedBatches      uint64 `json:"hinted_batches"`
+	DrainedBatches     uint64 `json:"drained_batches"`
+	DroppedHintEntries uint64 `json:"dropped_hint_entries"`
+	PendingHintBatches int    `json:"pending_hint_batches"`
+	PendingBufEntries  int    `json:"pending_buf_entries"`
+}
+
+// ReplicaStats is one leader this node follows.
+type ReplicaStats struct {
+	Leader       string `json:"leader"`
+	Bootstrapped bool   `json:"bootstrapped"`
+	Records      uint64 `json:"records"`
+	LagBytes     int64  `json:"lag_bytes"`
+	Series       int    `json:"series"`
+	Samples      int    `json:"samples"`
+}
+
+// Stats is the cluster section of /stats.
+type Stats struct {
+	Self             string         `json:"self"`
+	Nodes            []string       `json:"nodes"`
+	VNodes           int            `json:"vnodes"`
+	Replication      int            `json:"replication"`
+	LocalEntries     uint64         `json:"local_entries"`
+	ForwardedEntries uint64         `json:"forwarded_entries"`
+	ReceivedBatches  uint64         `json:"received_batches"`
+	ReceivedEntries  uint64         `json:"received_entries"`
+	ScatterQueries   uint64         `json:"scatter_queries"`
+	PartialQueries   uint64         `json:"partial_queries"`
+	ReplicaReads     uint64         `json:"replica_reads"`
+	Peers            []PeerStats    `json:"peers"`
+	Replicas         []ReplicaStats `json:"replicas"`
+}
+
+// Stats snapshots the router's counters.
+func (r *Router) Stats() Stats {
+	st := Stats{
+		Self:             r.self,
+		Nodes:            r.ring.Nodes(),
+		VNodes:           r.ring.VNodes(),
+		Replication:      r.ring.RF(),
+		LocalEntries:     r.localEntries.Load(),
+		ForwardedEntries: r.forwardedAllowed.Load(),
+		ReceivedBatches:  r.receivedBatches.Load(),
+		ReceivedEntries:  r.receivedEntries.Load(),
+		ScatterQueries:   r.scatterQueries.Load(),
+		PartialQueries:   r.partialQueries.Load(),
+		ReplicaReads:     r.replicaReads.Load(),
+	}
+	for _, p := range r.peerList {
+		p.mu.Lock()
+		ps := PeerStats{
+			ID:                 p.id,
+			Addr:               p.addr,
+			Up:                 p.up.Load(),
+			RTTMicros:          p.rtt.Load() / 1000,
+			ForwardedBatches:   p.forwardedBatches,
+			ForwardedEntries:   p.forwardedEntries,
+			FailedSends:        p.failedSends,
+			HintedBatches:      p.hintedBatches,
+			DrainedBatches:     p.drainedBatches,
+			DroppedHintEntries: p.droppedHintEntries,
+			PendingHintBatches: len(p.hints),
+			PendingBufEntries:  len(p.buf),
+		}
+		p.mu.Unlock()
+		st.Peers = append(st.Peers, ps)
+	}
+	leaders := make([]string, 0, len(r.replicas))
+	for l := range r.replicas {
+		leaders = append(leaders, l)
+	}
+	sort.Strings(leaders)
+	for _, l := range leaders {
+		st.Replicas = append(st.Replicas, r.replicas[l].stats())
+	}
+	return st
+}
+
+// PendingHints reports the total hinted batches parked across all peers —
+// the chaos campaign's "handoff fully drained" gauge.
+func (r *Router) PendingHints() int {
+	total := 0
+	for _, p := range r.peerList {
+		p.mu.Lock()
+		total += len(p.hints)
+		p.mu.Unlock()
+	}
+	return total
+}
+
+// DroppedHintEntries reports entries dropped from overflowing hint queues.
+func (r *Router) DroppedHintEntries() uint64 {
+	var total uint64
+	for _, p := range r.peerList {
+		p.mu.Lock()
+		total += p.droppedHintEntries
+		p.mu.Unlock()
+	}
+	return total
+}

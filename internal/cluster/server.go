@@ -1,0 +1,170 @@
+package cluster
+
+import (
+	"bufio"
+	"errors"
+	"fmt"
+	"io"
+	"log"
+	"net"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/wire"
+)
+
+// Server is a node's cluster listener: one port accepting peer traffic of
+// every kind — forwarded ingest batches (wire.FrameBatch), liveness pings,
+// query scatter requests, and replication pulls. Frames on one connection
+// are handled sequentially, so a peer's RPC responses can never interleave.
+type Server struct {
+	router *Router
+	ln     net.Listener
+	wg     sync.WaitGroup
+	closed atomic.Bool
+
+	connMu sync.Mutex
+	conns  map[net.Conn]struct{}
+
+	batches   atomic.Uint64
+	queries   atomic.Uint64
+	replPulls atomic.Uint64
+	pings     atomic.Uint64
+	errors    atomic.Uint64
+}
+
+// NewServer serves cluster traffic for router on an injected listener
+// (in-memory in tests, TCP in odad) and owns it until Close.
+func NewServer(ln net.Listener, router *Router) *Server {
+	s := &Server{router: router, ln: ln, conns: make(map[net.Conn]struct{})}
+	s.wg.Add(1)
+	go s.acceptLoop()
+	return s
+}
+
+// Listen starts a TCP cluster listener on addr.
+func Listen(addr string, router *Router) (*Server, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	return NewServer(ln, router), nil
+}
+
+// Addr returns the bound listen address.
+func (s *Server) Addr() string { return s.ln.Addr().String() }
+
+// Batches returns forwarded ingest batches applied.
+func (s *Server) Batches() uint64 { return s.batches.Load() }
+
+// Queries returns query requests served.
+func (s *Server) Queries() uint64 { return s.queries.Load() }
+
+// ReplPulls returns replication pulls served.
+func (s *Server) ReplPulls() uint64 { return s.replPulls.Load() }
+
+// Pings returns liveness probes answered.
+func (s *Server) Pings() uint64 { return s.pings.Load() }
+
+// Errors returns connections dropped due to protocol errors.
+func (s *Server) Errors() uint64 { return s.errors.Load() }
+
+func (s *Server) acceptLoop() {
+	defer s.wg.Done()
+	for {
+		conn, err := s.ln.Accept()
+		if err != nil {
+			return // listener closed
+		}
+		s.connMu.Lock()
+		if s.closed.Load() {
+			s.connMu.Unlock()
+			conn.Close()
+			continue
+		}
+		s.conns[conn] = struct{}{}
+		s.connMu.Unlock()
+		s.wg.Add(1)
+		go s.serveConn(conn)
+	}
+}
+
+func (s *Server) serveConn(conn net.Conn) {
+	defer s.wg.Done()
+	defer func() {
+		s.connMu.Lock()
+		delete(s.conns, conn)
+		s.connMu.Unlock()
+		conn.Close()
+	}()
+	r := bufio.NewReader(conn)
+	for {
+		ft, payload, err := ReadFrame(r)
+		if err == nil {
+			err = s.handleFrame(conn, ft, payload)
+		}
+		if err != nil {
+			if !errors.Is(err, io.EOF) && !s.closed.Load() {
+				s.errors.Add(1)
+				log.Printf("cluster: connection from %s dropped: %v", conn.RemoteAddr(), err)
+			}
+			return
+		}
+	}
+}
+
+// ReadFrame re-exported for symmetry in tests.
+func ReadFrame(r io.Reader) (uint8, []byte, error) { return wire.ReadFrame(r) }
+
+func (s *Server) handleFrame(conn net.Conn, ft uint8, payload []byte) error {
+	switch ft {
+	case wire.FramePing:
+		if err := wire.WriteFrame(conn, wire.FramePong, payload); err != nil {
+			return err
+		}
+		s.pings.Add(1)
+		return nil
+	case wire.FrameBatch:
+		b, err := wire.DecodeBatch(payload)
+		if err != nil {
+			return err
+		}
+		s.router.applyForwarded(b)
+		s.batches.Add(1)
+		return nil
+	case FrameQueryReq:
+		q, err := decodeQueryRequest(payload)
+		if err != nil {
+			return err
+		}
+		resp := s.router.execQuery(q)
+		s.queries.Add(1)
+		return wire.WriteFrame(conn, FrameQueryResp, encodeQueryResponse(q.Op, resp))
+	case FrameReplPull:
+		q, err := decodeReplPullRequest(payload)
+		if err != nil {
+			return err
+		}
+		resp := s.router.serveReplPull(q)
+		s.replPulls.Add(1)
+		return wire.WriteFrame(conn, FrameReplResp, encodeReplPullResponse(resp))
+	default:
+		return fmt.Errorf("cluster: unexpected frame type %d", ft)
+	}
+}
+
+// Close stops accepting, tears down open peer connections, and waits for
+// in-flight handlers to finish: a frame already read off a connection (in
+// particular a forwarded batch) is fully applied before Close returns, but
+// no further frame is read.
+func (s *Server) Close() error {
+	s.closed.Store(true)
+	err := s.ln.Close()
+	s.connMu.Lock()
+	for conn := range s.conns {
+		conn.Close()
+	}
+	s.connMu.Unlock()
+	s.wg.Wait()
+	return err
+}

@@ -1,0 +1,123 @@
+package queryfront
+
+import (
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"net/url"
+	"testing"
+	"time"
+
+	"repro/internal/timeseries"
+)
+
+// fakeBackend scripts Backend answers so the handler's error/partial/found
+// plumbing can be tested without a real store or cluster.
+type fakeBackend struct {
+	err     error
+	found   bool
+	partial bool
+	value   float64
+	count   int
+	pts     []timeseries.AggPoint
+}
+
+func (f *fakeBackend) Reduce(key string, from, to int64, fn timeseries.AggFunc) (float64, int, int64, bool, bool, error) {
+	return f.value, f.count, 0, f.found, f.partial, f.err
+}
+
+func (f *fakeBackend) AggregateRange(key string, from, to, step int64, fn timeseries.AggFunc) ([]timeseries.AggPoint, int64, bool, bool, error) {
+	return f.pts, 0, f.found, f.partial, f.err
+}
+
+func doQuery(t *testing.T, qf *Front, target string, rangeQ bool) *httptest.ResponseRecorder {
+	t.Helper()
+	rec := httptest.NewRecorder()
+	req := httptest.NewRequest("GET", target, nil)
+	if rangeQ {
+		qf.HandleQueryRange(rec, req)
+	} else {
+		qf.HandleQuery(rec, req)
+	}
+	return rec
+}
+
+// A backend failure must surface as an explicit 503, never as an empty 200
+// a dashboard would render as "no data". Regression for the error paths on
+// both endpoints.
+func TestBackendErrorIs503(t *testing.T) {
+	fb := &fakeBackend{err: errors.New("no peer reachable")}
+	qf := New(fb, 64, time.Minute, 1000, 1000)
+
+	q := "/query?series=" + url.QueryEscape("cpu") + "&from=0&to=1000"
+	if rec := doQuery(t, qf, q, false); rec.Code != http.StatusServiceUnavailable {
+		t.Fatalf("/query on backend error: status %d, want 503 (body %q)", rec.Code, rec.Body.String())
+	}
+	qr := "/query_range?series=" + url.QueryEscape("cpu") + "&from=0&to=1000&step=100"
+	if rec := doQuery(t, qf, qr, true); rec.Code != http.StatusServiceUnavailable {
+		t.Fatalf("/query_range on backend error: status %d, want 503 (body %q)", rec.Code, rec.Body.String())
+	}
+
+	// An error response must not poison the cache: once the backend heals,
+	// the next request serves fresh data, not a cached failure.
+	fb.err = nil
+	fb.found = true
+	fb.value, fb.count = 42, 7
+	rec := doQuery(t, qf, q, false)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("after heal: status %d, want 200", rec.Code)
+	}
+	if rec.Header().Get("X-ODA-Cache") != "miss" {
+		t.Fatalf("after heal: cache header %q, want miss (errors must not be cached)", rec.Header().Get("X-ODA-Cache"))
+	}
+}
+
+// Partial (replica-served) answers carry the X-ODA-Partial marker and are
+// never cached, so a healed owner serves the next request exactly.
+func TestPartialResultMarkedAndUncached(t *testing.T) {
+	fb := &fakeBackend{found: true, partial: true, value: 1, count: 1,
+		pts: []timeseries.AggPoint{{Start: 0, Value: 1}}}
+	qf := New(fb, 64, time.Minute, 1000, 1000)
+
+	q := "/query?series=" + url.QueryEscape("cpu") + "&from=0&to=1000"
+	rec := doQuery(t, qf, q, false)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("status %d: %s", rec.Code, rec.Body.String())
+	}
+	if rec.Header().Get("X-ODA-Partial") != "true" {
+		t.Fatal("partial answer missing X-ODA-Partial header")
+	}
+
+	// Second request: still a cache miss (partials are not cached), and once
+	// the backend reports exact again, the partial marker disappears.
+	fb.partial = false
+	rec = doQuery(t, qf, q, false)
+	if rec.Header().Get("X-ODA-Cache") != "miss" {
+		t.Fatal("partial answer was cached; it must not be")
+	}
+	if rec.Header().Get("X-ODA-Partial") != "" {
+		t.Fatal("exact answer wrongly marked partial")
+	}
+
+	// Exact answers do cache.
+	rec = doQuery(t, qf, q, false)
+	if rec.Header().Get("X-ODA-Cache") != "hit" {
+		t.Fatal("exact answer did not populate the result cache")
+	}
+
+	fb.partial = true
+	qr := "/query_range?series=" + url.QueryEscape("cpu") + "&from=0&to=1000&step=100"
+	rec = doQuery(t, qf, qr, true)
+	if rec.Code != http.StatusOK || rec.Header().Get("X-ODA-Partial") != "true" {
+		t.Fatalf("range partial: status %d, partial header %q", rec.Code, rec.Header().Get("X-ODA-Partial"))
+	}
+}
+
+// Unknown series stays a 404 through the backend indirection.
+func TestUnknownSeriesStill404(t *testing.T) {
+	qf := New(&fakeBackend{found: false}, 64, time.Minute, 1000, 1000)
+	q := "/query?series=" + url.QueryEscape("nope") + "&from=0&to=1000"
+	if rec := doQuery(t, qf, q, false); rec.Code != http.StatusNotFound {
+		t.Fatalf("status %d, want 404", rec.Code)
+	}
+}

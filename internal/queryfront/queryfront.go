@@ -24,11 +24,60 @@ import (
 	"repro/internal/timeseries"
 )
 
-// Front serves /query and /query_range over a store.
+// Backend answers the two query shapes the front door serves. The plain
+// single-store backend (ForStore) executes planned queries directly; a
+// cluster router implements the same contract by routing each series to
+// its owning peer.
+//
+// found=false means the series is unknown (a 404, not an error). A non-nil
+// error means the backend could not answer (a 503 — never an empty 200).
+// partial=true means the answer may be incomplete or stale (e.g. served by
+// a replica while the owner is down); it is surfaced to the client via the
+// X-ODA-Partial header and is never cached. tierStep reports the rollup
+// tier the local planner picked, or 0 when no local plan applies.
+type Backend interface {
+	Reduce(key string, from, to int64, fn timeseries.AggFunc) (value float64, count int, tierStep int64, found, partial bool, err error)
+	AggregateRange(key string, from, to, step int64, fn timeseries.AggFunc) (pts []timeseries.AggPoint, tierStep int64, found, partial bool, err error)
+}
+
+// storeBackend serves queries from one local store: the single-node
+// deployment and the reference behavior the cluster path must match.
+type storeBackend struct{ store *timeseries.Store }
+
+// ForStore adapts a plain store into a query Backend.
+func ForStore(st *timeseries.Store) Backend { return storeBackend{store: st} }
+
+func (sb storeBackend) Reduce(key string, from, to int64, fn timeseries.AggFunc) (float64, int, int64, bool, bool, error) {
+	id, ok := sb.store.IDForKey(key)
+	if !ok {
+		return 0, 0, 0, false, false, nil
+	}
+	plan := sb.store.Plan(id, from, to, 0, fn)
+	v, n, err := sb.store.ReducePlanned(id, from, to, fn)
+	if err != nil {
+		return 0, 0, 0, false, false, err
+	}
+	return v, n, plan.TierStep, true, false, nil
+}
+
+func (sb storeBackend) AggregateRange(key string, from, to, step int64, fn timeseries.AggFunc) ([]timeseries.AggPoint, int64, bool, bool, error) {
+	id, ok := sb.store.IDForKey(key)
+	if !ok {
+		return nil, 0, false, false, nil
+	}
+	plan := sb.store.Plan(id, from, to, step, fn)
+	pts, err := sb.store.AggregatePlanned(id, from, to, step, fn)
+	if err != nil {
+		return nil, 0, false, false, err
+	}
+	return pts, plan.TierStep, true, false, nil
+}
+
+// Front serves /query and /query_range over a backend.
 type Front struct {
-	store  *timeseries.Store
-	cache  *resultcache.Cache
-	quotas *quota.Limiter
+	backend Backend
+	cache   *resultcache.Cache
+	quotas  *quota.Limiter
 }
 
 // Option tunes a Front.
@@ -45,10 +94,10 @@ func WithClock(now func() time.Time) Option {
 	return func(o *options) { o.clock = now }
 }
 
-// New builds a front door: cacheEntries/cacheTTL size the result cache
-// (0 entries disables caching), rate/burst parameterize the per-tenant
-// token buckets.
-func New(store *timeseries.Store, cacheEntries int, cacheTTL time.Duration, rate, burst float64, opts ...Option) *Front {
+// New builds a front door over a backend (wrap a bare store with ForStore):
+// cacheEntries/cacheTTL size the result cache (0 entries disables caching),
+// rate/burst parameterize the per-tenant token buckets.
+func New(backend Backend, cacheEntries int, cacheTTL time.Duration, rate, burst float64, opts ...Option) *Front {
 	var o options
 	for _, opt := range opts {
 		opt(&o)
@@ -60,9 +109,9 @@ func New(store *timeseries.Store, cacheEntries int, cacheTTL time.Duration, rate
 		quotaOpts = append(quotaOpts, quota.WithClock(o.clock))
 	}
 	return &Front{
-		store:  store,
-		cache:  resultcache.New(cacheEntries, cacheTTL, cacheOpts...),
-		quotas: quota.New(rate, burst, quotaOpts...),
+		backend: backend,
+		cache:   resultcache.New(cacheEntries, cacheTTL, cacheOpts...),
+		quotas:  quota.New(rate, burst, quotaOpts...),
 	}
 }
 
@@ -175,14 +224,20 @@ func (qf *Front) serveCached(w http.ResponseWriter, key string) bool {
 	return true
 }
 
-func (qf *Front) finish(w http.ResponseWriter, key string, payload any) {
+func (qf *Front) finish(w http.ResponseWriter, key string, partial bool, payload any) {
 	body, err := json.Marshal(payload)
 	if err != nil {
 		http.Error(w, err.Error(), http.StatusInternalServerError)
 		return
 	}
 	body = append(body, '\n')
-	qf.cache.Put(key, body)
+	if partial {
+		// A degraded answer (replica-served, possibly lagging) is flagged
+		// and never cached: the next request should retry the owner.
+		w.Header().Set("X-ODA-Partial", "true")
+	} else {
+		qf.cache.Put(key, body)
+	}
 	w.Header().Set("Content-Type", "application/json")
 	w.Header().Set("X-ODA-Cache", "miss")
 	_, _ = w.Write(body)
@@ -203,25 +258,26 @@ func (qf *Front) HandleQuery(w http.ResponseWriter, r *http.Request) {
 	if qf.serveCached(w, key) {
 		return
 	}
-	id, ok := qf.store.IDForKey(p.series)
-	if !ok {
+	val, n, tierStep, found, partial, err := qf.backend.Reduce(p.series, p.from, p.to, p.fn)
+	if err != nil {
+		// The backend could not answer (store failure, no peer reachable):
+		// an explicit 503, never an empty-but-200 body a dashboard would
+		// happily render as "no data".
+		http.Error(w, err.Error(), http.StatusServiceUnavailable)
+		return
+	}
+	if !found {
 		http.Error(w, "unknown series "+p.series, http.StatusNotFound)
 		return
 	}
-	plan := qf.store.Plan(id, p.from, p.to, 0, p.fn)
-	val, n, err := qf.store.ReducePlanned(id, p.from, p.to, p.fn)
-	if err != nil {
-		http.Error(w, err.Error(), http.StatusInternalServerError)
-		return
-	}
-	qf.finish(w, key, map[string]any{
+	qf.finish(w, key, partial, map[string]any{
 		"series":    p.series,
 		"from":      p.from,
 		"to":        p.to,
 		"fn":        p.fn,
 		"value":     val,
 		"count":     n,
-		"tier_step": plan.TierStep,
+		"tier_step": tierStep,
 	})
 }
 
@@ -241,15 +297,13 @@ func (qf *Front) HandleQueryRange(w http.ResponseWriter, r *http.Request) {
 	if qf.serveCached(w, key) {
 		return
 	}
-	id, ok := qf.store.IDForKey(p.series)
-	if !ok {
-		http.Error(w, "unknown series "+p.series, http.StatusNotFound)
+	pts, tierStep, found, partial, err := qf.backend.AggregateRange(p.series, p.from, p.to, p.step, p.fn)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusServiceUnavailable)
 		return
 	}
-	plan := qf.store.Plan(id, p.from, p.to, p.step, p.fn)
-	pts, err := qf.store.AggregatePlanned(id, p.from, p.to, p.step, p.fn)
-	if err != nil {
-		http.Error(w, err.Error(), http.StatusInternalServerError)
+	if !found {
+		http.Error(w, "unknown series "+p.series, http.StatusNotFound)
 		return
 	}
 	type point struct {
@@ -260,13 +314,13 @@ func (qf *Front) HandleQueryRange(w http.ResponseWriter, r *http.Request) {
 	for i, ap := range pts {
 		points[i] = point{Start: ap.Start, Value: ap.Value}
 	}
-	qf.finish(w, key, map[string]any{
+	qf.finish(w, key, partial, map[string]any{
 		"series":    p.series,
 		"from":      p.from,
 		"to":        p.to,
 		"step":      p.step,
 		"fn":        p.fn,
-		"tier_step": plan.TierStep,
+		"tier_step": tierStep,
 		"points":    points,
 	})
 }

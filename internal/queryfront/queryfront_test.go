@@ -25,7 +25,7 @@ func queryTestStore(t *testing.T) (*timeseries.Store, metric.ID) {
 
 func TestQueryEndpoint(t *testing.T) {
 	store, id := queryTestStore(t)
-	qf := New(store, 64, time.Minute, 1000, 1000)
+	qf := New(ForStore(store), 64, time.Minute, 1000, 1000)
 
 	get := func(target string, tenant string) *httptest.ResponseRecorder {
 		t.Helper()
@@ -87,7 +87,7 @@ func TestQueryEndpoint(t *testing.T) {
 
 func TestQueryRangeEndpoint(t *testing.T) {
 	store, id := queryTestStore(t)
-	qf := New(store, 64, time.Minute, 1000, 1000)
+	qf := New(ForStore(store), 64, time.Minute, 1000, 1000)
 
 	rec := httptest.NewRecorder()
 	target := "/query_range?series=" + url.QueryEscape(id.Key()) + "&from=0&to=7200000&step=60000&fn=max"
@@ -131,7 +131,7 @@ func TestQueryRangeEndpoint(t *testing.T) {
 
 func TestQueryQuota(t *testing.T) {
 	store, id := queryTestStore(t)
-	qf := New(store, 0, time.Minute, 1, 2) // cache off: every request hits the quota and the store
+	qf := New(ForStore(store), 0, time.Minute, 1, 2) // cache off: every request hits the quota and the store
 
 	code := func(tenant string) int {
 		rec := httptest.NewRecorder()
@@ -157,7 +157,7 @@ func TestQueryQuota(t *testing.T) {
 func TestWithClock(t *testing.T) {
 	store, id := queryTestStore(t)
 	now := time.Unix(0, 0)
-	qf := New(store, 64, 10*time.Second, 1, 1, WithClock(func() time.Time { return now }))
+	qf := New(ForStore(store), 64, 10*time.Second, 1, 1, WithClock(func() time.Time { return now }))
 
 	get := func() (int, string) {
 		rec := httptest.NewRecorder()

@@ -1,0 +1,244 @@
+package timeseries
+
+import (
+	"fmt"
+
+	"repro/internal/metric"
+)
+
+// Partial is a mergeable partial aggregate: the same eight columns a rollup
+// window carries (count/sum/min/max and the true first/last samples), which
+// is exactly the closure the distributed query layer needs. A peer reduces
+// its locally-owned samples to a Partial, ships it over the wire, and the
+// coordinator merges Partials with Merge before finishing the requested
+// function with Value — so only fixed-size aggregates cross the network,
+// never raw samples.
+//
+// The accumulation arithmetic is deliberately identical to every other
+// aggregation path in the store: sums fold left to right (stats.Online and
+// stats.Mean both keep a plain running sum), min/max compare pairwise, mean
+// finishes as Sum/Count and rate as the slope across the true first and
+// last samples. A single-series Partial therefore reproduces Reduce and
+// ReducePlanned bit for bit, and a merge chain in a fixed order is
+// deterministic across runs.
+type Partial struct {
+	Count  int64
+	Sum    float64
+	Min    float64
+	Max    float64
+	FirstT int64
+	FirstV float64
+	LastT  int64
+	LastV  float64
+}
+
+// MergeableAgg reports whether fn resolves exactly from a Partial. Std and
+// P95 need the raw distribution; distributed queries route those to the
+// single peer owning the series instead of merging partials.
+func MergeableAgg(fn AggFunc) bool { return rollupResolvable(fn) }
+
+// addPoint folds one sealed rollup window into the partial. Windows arrive
+// in time order on the planned path, matching the raw accumulation order.
+func (p *Partial) addPoint(rp *rollupPoint) {
+	if p.Count == 0 {
+		p.Min, p.Max = rp.Min, rp.Max
+		p.FirstT, p.FirstV = rp.FirstT, rp.FirstV
+	} else {
+		if rp.Min < p.Min {
+			p.Min = rp.Min
+		}
+		if rp.Max > p.Max {
+			p.Max = rp.Max
+		}
+	}
+	p.Count += rp.Count
+	p.Sum += rp.Sum
+	p.LastT, p.LastV = rp.LastT, rp.LastV
+}
+
+// AddSample folds one raw sample into the partial.
+func (p *Partial) AddSample(t int64, v float64) {
+	if p.Count == 0 {
+		p.Min, p.Max = v, v
+		p.FirstT, p.FirstV = t, v
+	} else {
+		if v < p.Min {
+			p.Min = v
+		}
+		if v > p.Max {
+			p.Max = v
+		}
+	}
+	p.Count++
+	p.Sum += v
+	p.LastT, p.LastV = t, v
+}
+
+// Merge folds q into p. Empty partials are identity elements; first/last
+// resolve by timestamp so merging out-of-time-order partials (different
+// series, different peers) is still exact, and merging in time order
+// reduces to the sequential accumulation the single-store paths perform.
+// Ties keep p's sample, so a fixed merge order gives a fixed result.
+func (p *Partial) Merge(q Partial) {
+	if q.Count == 0 {
+		return
+	}
+	if p.Count == 0 {
+		*p = q
+		return
+	}
+	if q.Min < p.Min {
+		p.Min = q.Min
+	}
+	if q.Max > p.Max {
+		p.Max = q.Max
+	}
+	if q.FirstT < p.FirstT {
+		p.FirstT, p.FirstV = q.FirstT, q.FirstV
+	}
+	if q.LastT > p.LastT {
+		p.LastT, p.LastV = q.LastT, q.LastV
+	}
+	p.Count += q.Count
+	p.Sum += q.Sum
+}
+
+// Value finishes the partial under fn. Only MergeableAgg functions resolve;
+// anything else returns 0 (callers gate on MergeableAgg first).
+func (p *Partial) Value(fn AggFunc) float64 {
+	switch fn {
+	case AggMean:
+		return p.Sum / float64(p.Count)
+	case AggSum:
+		return p.Sum
+	case AggMin:
+		return p.Min
+	case AggMax:
+		return p.Max
+	case AggCount:
+		return float64(p.Count)
+	case AggRate:
+		if p.Count < 2 || p.LastT == p.FirstT {
+			return 0
+		}
+		return (p.LastV - p.FirstV) * 1000 / float64(p.LastT-p.FirstT)
+	}
+	return 0
+}
+
+// ReducePartial reduces one series over [from, to) to its mergeable partial
+// aggregate, planned exactly like ReducePlanned: the sealed rollup prefix
+// merges pre-computed window groups and only the unsealed tail streams raw
+// samples. For any MergeableAgg fn, ReducePartial(...).Value(fn) is
+// bit-identical to ReducePlanned(id, from, to, fn).
+func (s *Store) ReducePartial(id metric.ID, from, to int64) (Partial, error) {
+	ss := s.lookup(id.Key())
+	if ss == nil {
+		return Partial{}, fmt.Errorf("timeseries: unknown series %s", id.Key())
+	}
+	// All mergeable functions share one plan: plan() only consults fn for
+	// rollup resolvability, which AggSum represents.
+	plan := s.plan(ss, from, to, 0, AggSum)
+	var agg Partial
+	tail := from
+	if plan.TierStep != 0 {
+		ts := ss.tierByStep(plan.TierStep)
+		tcur := s.newTierCursor(ss, ts, from, plan.TierTo)
+		var p rollupPoint
+		for {
+			ok, err := nextRollupPoint(tcur, &p)
+			if err != nil {
+				tcur.Close()
+				return Partial{}, err
+			}
+			if !ok {
+				break
+			}
+			agg.addPoint(&p)
+		}
+		tcur.Close()
+		tail = plan.TierTo
+	}
+	rcur := s.newCursor(ss, tail, to)
+	for rcur.Next() {
+		sm := rcur.At()
+		agg.AddSample(sm.T, sm.V)
+	}
+	err := rcur.Err()
+	rcur.Close()
+	if err != nil {
+		return Partial{}, err
+	}
+	return agg, nil
+}
+
+// PartialPoint is one step bucket's mergeable partial aggregate.
+type PartialPoint struct {
+	Start int64
+	Agg   Partial
+}
+
+// AggregatePartials buckets one series over [from, to) into step windows of
+// mergeable partial aggregates, planned exactly like AggregatePlanned. For
+// any MergeableAgg fn, finishing each bucket with Value(fn) reproduces
+// AggregatePlanned(id, from, to, step, fn) bit for bit; empty buckets are
+// omitted, matching the AggPoint contract.
+func (s *Store) AggregatePartials(id metric.ID, from, to, step int64) ([]PartialPoint, error) {
+	if step <= 0 {
+		return nil, fmt.Errorf("timeseries: step must be positive")
+	}
+	ss := s.lookup(id.Key())
+	if ss == nil {
+		return nil, fmt.Errorf("timeseries: unknown series %s", id.Key())
+	}
+	plan := s.plan(ss, from, to, step, AggSum)
+	var out []PartialPoint
+	var b plannedBucket
+	flush := func() {
+		if b.active && b.agg.Count > 0 {
+			out = append(out, PartialPoint{Start: b.start, Agg: b.agg})
+		}
+		b.active = false
+	}
+	tail := from
+	if plan.TierStep != 0 {
+		ts := ss.tierByStep(plan.TierStep)
+		tcur := s.newTierCursor(ss, ts, from, plan.TierTo)
+		var p rollupPoint
+		for {
+			ok, err := nextRollupPoint(tcur, &p)
+			if err != nil {
+				tcur.Close()
+				return nil, err
+			}
+			if !ok {
+				break
+			}
+			bs := from + (p.Start-from)/step*step
+			if !b.active || bs != b.start {
+				flush()
+				b.open(bs)
+			}
+			b.agg.addPoint(&p)
+		}
+		tcur.Close()
+		tail = plan.TierTo
+	}
+	rcur := s.newCursor(ss, tail, to)
+	for rcur.Next() {
+		sm := rcur.At()
+		bs := from + (sm.T-from)/step*step
+		if !b.active || bs != b.start {
+			flush()
+			b.open(bs)
+		}
+		b.agg.AddSample(sm.T, sm.V)
+	}
+	err := rcur.Err()
+	rcur.Close()
+	if err != nil {
+		return nil, err
+	}
+	flush()
+	return out, nil
+}

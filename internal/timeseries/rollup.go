@@ -454,81 +454,19 @@ func nextRollupPoint(cur *Cursor, p *rollupPoint) (bool, error) {
 }
 
 // plannedBucket merges rollup windows and raw samples into one requested
-// aggregation bucket. The accumulation order matches the raw pushdown path
-// (windows and samples arrive in time order, sums fold left to right), so
-// the finished value is what the raw reducers would have produced.
+// aggregation bucket. The accumulation lives in a Partial (the exported
+// mergeable aggregate the cluster layer ships between peers), whose order
+// matches the raw pushdown path (windows and samples arrive in time order,
+// sums fold left to right), so the finished value is what the raw reducers
+// would have produced.
 type plannedBucket struct {
 	active bool
 	start  int64
-	count  int64
-	sum    float64
-	min    float64
-	max    float64
-	firstT int64
-	firstV float64
-	lastT  int64
-	lastV  float64
+	agg    Partial
 }
 
 func (b *plannedBucket) open(start int64) {
 	*b = plannedBucket{active: true, start: start}
-}
-
-func (b *plannedBucket) addPoint(p *rollupPoint) {
-	if b.count == 0 {
-		b.min, b.max = p.Min, p.Max
-		b.firstT, b.firstV = p.FirstT, p.FirstV
-	} else {
-		if p.Min < b.min {
-			b.min = p.Min
-		}
-		if p.Max > b.max {
-			b.max = p.Max
-		}
-	}
-	b.count += p.Count
-	b.sum += p.Sum
-	b.lastT, b.lastV = p.LastT, p.LastV
-}
-
-func (b *plannedBucket) addSample(t int64, v float64) {
-	if b.count == 0 {
-		b.min, b.max = v, v
-		b.firstT, b.firstV = t, v
-	} else {
-		if v < b.min {
-			b.min = v
-		}
-		if v > b.max {
-			b.max = v
-		}
-	}
-	b.count++
-	b.sum += v
-	b.lastT, b.lastV = t, v
-}
-
-// value finishes the bucket under fn. Only rollupResolvable functions reach
-// here; the planner routes everything else to raw.
-func (b *plannedBucket) value(fn AggFunc) float64 {
-	switch fn {
-	case AggMean:
-		return b.sum / float64(b.count)
-	case AggSum:
-		return b.sum
-	case AggMin:
-		return b.min
-	case AggMax:
-		return b.max
-	case AggCount:
-		return float64(b.count)
-	case AggRate:
-		if b.count < 2 || b.lastT == b.firstT {
-			return 0
-		}
-		return (b.lastV - b.firstV) * 1000 / float64(b.lastT-b.firstT)
-	}
-	return 0
 }
 
 // AggregatePlanned is Aggregate served through the query planner: buckets
@@ -555,8 +493,8 @@ func (s *Store) AggregatePlanned(id metric.ID, from, to, step int64, fn AggFunc)
 	var out []AggPoint
 	var b plannedBucket
 	flush := func() {
-		if b.active && b.count > 0 {
-			out = append(out, AggPoint{Start: b.start, Value: b.value(fn)})
+		if b.active && b.agg.Count > 0 {
+			out = append(out, AggPoint{Start: b.start, Value: b.agg.Value(fn)})
 		}
 		b.active = false
 	}
@@ -577,7 +515,7 @@ func (s *Store) AggregatePlanned(id metric.ID, from, to, step int64, fn AggFunc)
 			flush()
 			b.open(bs)
 		}
-		b.addPoint(&p)
+		b.agg.addPoint(&p)
 	}
 	tcur.Close()
 
@@ -589,7 +527,7 @@ func (s *Store) AggregatePlanned(id metric.ID, from, to, step int64, fn AggFunc)
 			flush()
 			b.open(bs)
 		}
-		b.addSample(sm.T, sm.V)
+		b.agg.AddSample(sm.T, sm.V)
 	}
 	err := rcur.Err()
 	rcur.Close()
@@ -637,24 +575,24 @@ func (s *Store) reducePlanned(ss *storedSeries, id metric.ID, from, to int64, fn
 		if !ok {
 			break
 		}
-		b.addPoint(&p)
+		b.agg.addPoint(&p)
 	}
 	tcur.Close()
 
 	rcur := s.newCursor(ss, plan.TierTo, to)
 	for rcur.Next() {
 		sm := rcur.At()
-		b.addSample(sm.T, sm.V)
+		b.agg.AddSample(sm.T, sm.V)
 	}
 	err := rcur.Err()
 	rcur.Close()
 	if err != nil {
 		return 0, 0, err
 	}
-	if b.count == 0 {
+	if b.agg.Count == 0 {
 		return 0, 0, nil
 	}
-	return b.value(fn), int(b.count), nil
+	return b.agg.Value(fn), int(b.agg.Count), nil
 }
 
 // SeriesValuesPlanned returns the values of a series over [from, to) at a

@@ -2,7 +2,10 @@ package wire
 
 import (
 	"bufio"
+	"bytes"
+	"encoding/binary"
 	"errors"
+	"fmt"
 	"io"
 	"log"
 	"net"
@@ -33,6 +36,7 @@ type Server struct {
 	batches atomic.Uint64
 	samples atomic.Uint64
 	errors  atomic.Uint64
+	pings   atomic.Uint64
 }
 
 // NewServer listens on addr ("127.0.0.1:0" picks a free port) and serves
@@ -67,6 +71,9 @@ func (s *Server) Samples() uint64 { return s.samples.Load() }
 // Errors returns the number of connections dropped due to protocol errors.
 func (s *Server) Errors() uint64 { return s.errors.Load() }
 
+// Pings returns the number of ping frames answered.
+func (s *Server) Pings() uint64 { return s.pings.Load() }
+
 func (s *Server) acceptLoop() {
 	defer s.wg.Done()
 	for {
@@ -84,7 +91,25 @@ func (s *Server) serveConn(conn net.Conn) {
 	defer conn.Close()
 	r := bufio.NewReader(conn)
 	for {
-		b, err := ReadBatch(r)
+		ft, payload, err := ReadFrame(r)
+		if err == nil && ft == FramePing {
+			// Answer liveness probes inline: the pong is the only
+			// server-to-client traffic, and this goroutine is the only
+			// writer on the connection, so no write serialization needed.
+			if err := WriteFrame(conn, FramePong, payload); err != nil {
+				return
+			}
+			s.pings.Add(1)
+			continue
+		}
+		var b *Batch
+		if err == nil {
+			if ft != FrameBatch {
+				err = fmt.Errorf("wire: unexpected frame type %d", ft)
+			} else {
+				b, err = DecodeBatch(payload)
+			}
+		}
 		if err != nil {
 			if !errors.Is(err, io.EOF) && !s.closed.Load() {
 				s.errors.Add(1)
@@ -124,6 +149,7 @@ type Client struct {
 	dial    Dialer
 	broken  bool
 	redials atomic.Uint64
+	pingSeq uint64 // nonce for Ping frames, guarded by mu
 
 	timeout     time.Duration
 	deadlineSet bool
@@ -161,6 +187,22 @@ func (c *Client) SetTimeout(d time.Duration) {
 	c.mu.Unlock()
 }
 
+// redialLocked re-establishes a broken connection through the dialer; the
+// caller holds c.mu.
+func (c *Client) redialLocked() error {
+	_ = c.conn.Close()
+	conn, err := c.dial(c.addr)
+	if err != nil {
+		return err
+	}
+	c.conn = conn
+	c.bw = NewBatchWriter(conn)
+	c.deadlineSet = false
+	c.broken = false
+	c.redials.Add(1)
+	return nil
+}
+
 // Send pushes one batch; safe for concurrent use. After a failed Send the
 // connection is considered broken and the next call redials before
 // writing; if the redial fails, that error is returned and the client
@@ -169,16 +211,9 @@ func (c *Client) Send(b *Batch) error {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	if c.broken {
-		_ = c.conn.Close()
-		conn, err := c.dial(c.addr)
-		if err != nil {
+		if err := c.redialLocked(); err != nil {
 			return err
 		}
-		c.conn = conn
-		c.bw = NewBatchWriter(conn)
-		c.deadlineSet = false
-		c.broken = false
-		c.redials.Add(1)
 	}
 	if c.timeout > 0 {
 		if err := c.conn.SetWriteDeadline(time.Now().Add(c.timeout)); err != nil {
@@ -198,6 +233,55 @@ func (c *Client) Send(b *Batch) error {
 		return err
 	}
 	return nil
+}
+
+// Ping sends a liveness probe and waits for the server's echo, returning
+// the round-trip time. It is the failure detector's primitive: a Send is
+// one-way, so its success only proves bytes left this side, while a pong
+// proves the far end is reading and responding — and a pong that arrives
+// slowly (injected latency, long queues) is still a pong, so slowness and
+// death stay distinguishable. timeout bounds the whole round trip (0 waits
+// forever); a timeout or transport error marks the connection broken, and
+// the next Ping/Send redials. Safe for concurrent use with Send.
+func (c *Client) Ping(timeout time.Duration) (time.Duration, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.broken {
+		if err := c.redialLocked(); err != nil {
+			return 0, err
+		}
+	}
+	start := time.Now()
+	var deadline time.Time
+	if timeout > 0 {
+		deadline = start.Add(timeout)
+	}
+	if err := c.conn.SetDeadline(deadline); err != nil {
+		c.broken = true
+		return 0, err
+	}
+	c.pingSeq++
+	var nonce [8]byte
+	binary.BigEndian.PutUint64(nonce[:], c.pingSeq)
+	if err := WriteFrame(c.conn, FramePing, nonce[:]); err != nil {
+		c.broken = true
+		return 0, err
+	}
+	ft, echo, err := ReadFrame(c.conn)
+	if err != nil {
+		c.broken = true
+		return 0, err
+	}
+	if ft != FramePong || !bytes.Equal(echo, nonce[:]) {
+		c.broken = true
+		return 0, fmt.Errorf("wire: unexpected pong (type %d)", ft)
+	}
+	if err := c.conn.SetDeadline(time.Time{}); err != nil {
+		c.broken = true
+		return 0, err
+	}
+	c.deadlineSet = false
+	return time.Since(start), nil
 }
 
 // Close closes the connection.

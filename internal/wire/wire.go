@@ -35,6 +35,13 @@ const (
 
 	// FrameBatch carries a telemetry Batch.
 	FrameBatch uint8 = 1
+	// FramePing is a liveness probe: the server echoes the payload back in
+	// a FramePong. It exists so a failure detector can distinguish a slow
+	// peer (pong arrives late) from a dead one (pong never arrives): batch
+	// sends are one-way, so their success says nothing about the far end.
+	FramePing uint8 = 2
+	// FramePong is the server's echo reply to a FramePing.
+	FramePong uint8 = 3
 
 	headerLen = 12
 	// MaxPayload bounds a frame so a corrupt length cannot allocate
