@@ -12,12 +12,12 @@ CHAOS_SEED ?= 1
 CHAOS_DURATION ?= 5m
 CHAOS_INTENSITY ?= 2
 
-.PHONY: build test race vet bench bench-parallel bench-allocs bench-longwindow bench-cluster cover fuzz-short crash-test lint-footprints chaos-short chaos
+.PHONY: build test race vet bench bench-parallel bench-allocs bench-longwindow bench-cluster bench-ingest cover fuzz-short crash-test lint-footprints chaos-short chaos
 
 build:
 	$(GO) build ./...
 
-test: lint-footprints chaos-short
+test: lint-footprints chaos-short bench-ingest
 	$(GO) test ./...
 
 # Footprint convention gate: every registered prescriptive capability must
@@ -79,6 +79,7 @@ cover:
 fuzz-short:
 	$(GO) test -run xxx -fuzz FuzzBitstreamRoundTrip -fuzztime $(FUZZTIME) ./internal/timeseries
 	$(GO) test -run xxx -fuzz FuzzWireDecode -fuzztime $(FUZZTIME) ./internal/wire
+	$(GO) test -run xxx -fuzz FuzzDictDecode -fuzztime $(FUZZTIME) ./internal/wire
 	$(GO) test -run xxx -fuzz FuzzWALReplay -fuzztime $(FUZZTIME) ./internal/persist
 	$(GO) test -run xxx -fuzz FuzzQueryRangeParse -fuzztime $(FUZZTIME) ./internal/queryfront
 	$(GO) test -run xxx -fuzz FuzzChaosScheduleParse -fuzztime $(FUZZTIME) ./internal/chaos
@@ -122,6 +123,25 @@ bench-longwindow:
 			if (ratio < 50) { printf "FAIL: speedup %.0fx below 50x floor\n", ratio; bad=1 } \
 			if (bad) exit 1; \
 			print "OK: planned path >= 50x and 0 allocs/op" }'
+
+# Series-ref ingest gate for the PR 9 fast path: the ref-addressed append
+# (resolved SeriesRefs, no key building / hashing / registry lookups) must
+# beat the keyed batch path by >= 2x and stay at exactly 0 allocs/op (see
+# BENCH_PR9.json for recorded numbers). Runs as part of `make test` so a
+# regression in the hot ingest loop fails the build.
+bench-ingest:
+	@out=$$($(GO) test -run xxx -bench 'BenchmarkIngestKeyed|BenchmarkIngestRefs' -benchmem -benchtime 2000x ./internal/timeseries); \
+	echo "$$out"; \
+	echo "$$out" | awk ' \
+		/^BenchmarkIngestKeyed/ { keyed=$$3 } \
+		/^BenchmarkIngestRefs/ { refs=$$3; if ($$(NF-1)+0 > 0) { printf "FAIL: ref ingest allocates %s allocs/op (budget 0)\n", $$(NF-1); bad=1 } } \
+		END { \
+			if (keyed == "" || refs == "" || refs+0 == 0) { print "FAIL: ingest benchmarks missing from output"; exit 1 } \
+			ratio = keyed / refs; \
+			printf "ref ingest speedup: %.1fx (keyed %s ns/op / refs %s ns/op)\n", ratio, keyed, refs; \
+			if (ratio < 2) { printf "FAIL: speedup %.1fx below 2x floor\n", ratio; bad=1 } \
+			if (bad) exit 1; \
+			print "OK: ref ingest >= 2x keyed and 0 allocs/op" }'
 
 # Distributed-query cost benchmark: the same scatter-gather ReduceMany
 # against a 1-node cluster (local fast-path) and a 3-node cluster over

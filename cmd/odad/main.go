@@ -99,6 +99,7 @@ func main() {
 	nodeID := flag.String("node-id", "", "this node's cluster identity (requires -peers)")
 	peersFlag := flag.String("peers", "", "static cluster membership as id=host:port,... including this node; this node binds its own entry as the cluster listener")
 	replication := flag.Int("replication", 1, "cluster replication factor (WAL-shipped replicas per node; needs -data-dir to serve followers)")
+	legacyWire := flag.Bool("legacy-wire", false, "disable the series-ref ingest fast path: forward peer batches as v1 keyed frames and append locally by key")
 	flag.Parse()
 
 	if *retainRaw == 0 {
@@ -170,6 +171,7 @@ func main() {
 			Store:          store,
 			Durable:        durable,
 			ReplicaOptions: storeOpts,
+			LegacyWire:     *legacyWire,
 		})
 		if err != nil {
 			log.Fatalf("odad: %v", err)
@@ -189,6 +191,18 @@ func main() {
 			*nodeID, clusterSrv.Addr(), len(peers)-1, router.Ring().RF())
 	} else if *nodeID != "" || *replication != 1 {
 		log.Fatalf("odad: -node-id/-replication need -peers")
+	}
+	// Single-node ingest goes through a ref cache: each series resolves to
+	// an interned handle once, then appends skip key building and map
+	// lookups entirely. Clustered nodes get the same treatment inside the
+	// router's local path.
+	var localRefs *timeseries.RefCache
+	if router == nil && !*legacyWire {
+		if durable != nil {
+			localRefs = timeseries.NewRefCache(durable)
+		} else {
+			localRefs = timeseries.NewRefCache(store)
+		}
 	}
 	var latest atomic.Int64
 
@@ -214,6 +228,8 @@ func main() {
 		switch {
 		case router != nil:
 			_, _ = router.AppendBatch(entries)
+		case localRefs != nil:
+			_, _ = localRefs.AppendBatch(entries)
 		case durable != nil:
 			_, _ = durable.AppendBatch(entries)
 		default:

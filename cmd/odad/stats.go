@@ -33,10 +33,19 @@ func statsPayload(store *timeseries.Store, srv *wire.Server, durable *persist.Du
 		"cursor_pool_news":   news,
 		"cursor_pool_reuse":  gets - news,
 	}
+	rf := store.RefStats()
+	stats["refs"] = map[string]any{
+		"resolves":    rf.Resolves,
+		"ref_samples": rf.RefSamples,
+		"stale_refs":  rf.StaleRefs,
+		"epoch":       rf.Epoch,
+	}
 	if srv != nil {
 		stats["batches"] = srv.Batches()
 		stats["ingest_samples"] = srv.Samples()
 		stats["ingest_errors"] = srv.Errors()
+		stats["dict_defs"] = srv.DictDefs()
+		stats["ref_batches"] = srv.RefBatches()
 	}
 	if durable != nil {
 		st := durable.Stats()

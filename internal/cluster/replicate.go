@@ -34,6 +34,7 @@ type replica struct {
 
 	mu           sync.Mutex
 	store        *timeseries.Store
+	rt           *persist.RefTable // opDefine bindings for the record stream
 	bootstrapped bool
 	seq          uint64 // replication cursor: WAL segment
 	off          int64  // replication cursor: byte offset
@@ -109,6 +110,14 @@ func (r *Router) pumpReplica(rep *replica) error {
 			return err
 		}
 		rep.store = st
+		// Fresh dictionary for the fresh stream: the leader cleared its
+		// WAL-ref table at the snapshot cut, so every ref used after the
+		// cut is re-defined in the records we are about to pull.
+		if rep.rt == nil {
+			rep.rt = persist.NewRefTable()
+		} else {
+			rep.rt.Reset()
+		}
 		rep.seq, rep.off = resp.NextSeq, resp.NextOff
 		rep.lag = resp.LagBytes
 		rep.records = 0
@@ -131,7 +140,7 @@ func (r *Router) pumpReplica(rep *replica) error {
 			return nil
 		}
 		for _, payload := range resp.Records {
-			if err := persist.ApplyRecord(rep.store, payload); err != nil {
+			if err := persist.ApplyRecord(rep.store, rep.rt, payload); err != nil {
 				return err
 			}
 		}
@@ -164,6 +173,7 @@ func (r *Router) ResetReplica(leader string) bool {
 	}
 	rep.mu.Lock()
 	rep.store = nil
+	rep.rt = nil
 	rep.bootstrapped = false
 	rep.seq, rep.off = 0, 0
 	rep.records = 0

@@ -50,6 +50,9 @@ type Config struct {
 	// store configuration — in particular rollup tiers — so planned queries
 	// against a replica behave like the leader's).
 	ReplicaOptions []timeseries.Option
+	// LegacyWire forwards peer batches with the v1 keyed frames instead of
+	// the v2 dictionary protocol — an escape hatch for mixed-version rings.
+	LegacyWire bool
 
 	// FlushEntries is the per-peer forward buffer size that triggers an
 	// automatic flush (0 = 256).
@@ -120,6 +123,10 @@ type Router struct {
 	ring *Ring
 	self string
 
+	// refCache fronts the local appender with the series-ref fast path when
+	// the appender supports it (stores and durable stores both do).
+	refCache *timeseries.RefCache
+
 	peers    map[string]*peer // remote peers only
 	peerList []*peer          // sorted by ID for deterministic iteration
 	replicas map[string]*replica
@@ -148,11 +155,21 @@ type peer struct {
 
 	sendTimeout time.Duration
 
+	legacyWire bool
+
 	mu    sync.Mutex
 	wc    *wire.Client // lazy: the peer may be down at startup
 	rc    *rpcClient
 	buf   []timeseries.BatchEntry
-	hints [][]timeseries.BatchEntry
+	hints [][]hintEntry
+
+	// Hint dictionary: parked entries carry a 4-byte ref into hintDefs
+	// instead of a full metric ID, so a long outage queues samples, not
+	// strings. Defs are interned per peer and live for the peer's lifetime
+	// (bounded by series cardinality), which keeps refs in older parked
+	// batches valid across drains and re-parks.
+	hintRefs map[string]uint32 // series key -> index into hintDefs
+	hintDefs []hintDef
 
 	// counters under mu
 	forwardedBatches   uint64
@@ -161,9 +178,24 @@ type peer struct {
 	hintedBatches      uint64
 	drainedBatches     uint64
 	droppedHintEntries uint64
+	hintSavedBytes     uint64
 
 	up  atomic.Bool
 	rtt atomic.Int64 // last ping round trip, nanoseconds
+}
+
+// hintDef is one interned series definition in a peer's hint dictionary.
+type hintDef struct {
+	id   metric.ID
+	kind metric.Kind
+	unit metric.Unit
+}
+
+// hintEntry is one parked sample: a dictionary ref plus the sample itself.
+type hintEntry struct {
+	ref uint32
+	t   int64
+	v   float64
 }
 
 // New validates the config and builds the router. The ring, peer set and
@@ -201,6 +233,9 @@ func New(cfg Config) (*Router, error) {
 		replicas: make(map[string]*replica),
 		stop:     make(chan struct{}),
 	}
+	if ra, ok := cfg.Local.(timeseries.RefAppender); ok {
+		r.refCache = timeseries.NewRefCache(ra)
+	}
 	for _, id := range ring.Nodes() {
 		if id == cfg.Self {
 			continue
@@ -211,6 +246,7 @@ func New(cfg Config) (*Router, error) {
 			self:        cfg.Self,
 			dial:        cfg.Dial,
 			sendTimeout: cfg.sendTimeout(),
+			legacyWire:  cfg.LegacyWire,
 			rc:          newRPCClient(addr[id], cfg.Dial),
 		}
 		p.up.Store(true) // optimistic until a send or ping says otherwise
@@ -239,17 +275,20 @@ func (r *Router) Ring() *Ring { return r.ring }
 // hinted-handoff drain, or counted in DroppedHintEntries.
 func (r *Router) AppendBatch(entries []timeseries.BatchEntry) (int, error) {
 	if len(r.peers) == 0 {
-		n, err := r.cfg.Local.AppendBatch(entries)
+		n, err := r.appendLocal(entries, nil)
 		r.localEntries.Add(uint64(n))
 		return n, err
 	}
 	var local []timeseries.BatchEntry
+	var localKeys []string // ring-routing keys, reused by the ref cache
 	var groups map[*peer][]timeseries.BatchEntry
 	for i := range entries {
 		e := &entries[i]
-		owner := r.ring.Primary(e.ID.Key())
+		key := e.ID.Key()
+		owner := r.ring.Primary(key)
 		if owner == r.self {
 			local = append(local, *e)
+			localKeys = append(localKeys, key)
 			continue
 		}
 		if groups == nil {
@@ -261,7 +300,7 @@ func (r *Router) AppendBatch(entries []timeseries.BatchEntry) (int, error) {
 	accepted := 0
 	var firstErr error
 	if len(local) > 0 {
-		n, err := r.cfg.Local.AppendBatch(local)
+		n, err := r.appendLocal(local, localKeys)
 		r.localEntries.Add(uint64(n))
 		accepted += n
 		firstErr = err
@@ -278,6 +317,16 @@ func (r *Router) AppendBatch(entries []timeseries.BatchEntry) (int, error) {
 		r.forwardedAllowed.Add(uint64(len(g)))
 	}
 	return accepted, firstErr
+}
+
+// appendLocal lands entries on this node's appender, through the series-ref
+// fast path when the appender supports it. keys[i], when non-nil, must be
+// entries[i].ID.Key() (the ring already serialized them for routing).
+func (r *Router) appendLocal(entries []timeseries.BatchEntry, keys []string) (int, error) {
+	if r.refCache != nil {
+		return r.refCache.AppendBatchKeys(entries, keys)
+	}
+	return r.cfg.Local.AppendBatch(entries)
 }
 
 // Flush pushes every peer's pending forward buffer out now. Tests and the
@@ -301,6 +350,9 @@ func (p *peer) wireClientLocked() (*wire.Client, error) {
 		return nil, err
 	}
 	wc.SetTimeout(p.sendTimeout)
+	if !p.legacyWire {
+		wc.EnableDict()
+	}
 	p.wc = wc
 	return wc, nil
 }
@@ -350,19 +402,56 @@ func (p *peer) hintLocked(entries []timeseries.BatchEntry, front bool, maxHints 
 		p.hints = p.hints[:len(p.hints)-1]
 		p.droppedHintEntries += uint64(len(last))
 	}
+	packed := p.packHintLocked(entries)
 	if front {
-		p.hints = append([][]timeseries.BatchEntry{entries}, p.hints...)
+		p.hints = append([][]hintEntry{packed}, p.hints...)
 	} else {
-		p.hints = append(p.hints, entries)
+		p.hints = append(p.hints, packed)
 	}
 	p.hintedBatches++
+}
+
+// packHintLocked dictionary-encodes a batch for parking: each entry's series
+// is interned into the peer's hint dictionary and the parked form carries
+// only the ref. Every entry whose series was already defined saves its key,
+// unit and kind byte against the 4-byte ref; the running total feeds
+// PeerStats.HintSavedBytes.
+func (p *peer) packHintLocked(entries []timeseries.BatchEntry) []hintEntry {
+	packed := make([]hintEntry, len(entries))
+	for i := range entries {
+		e := &entries[i]
+		key := e.ID.Key()
+		ref, ok := p.hintRefs[key]
+		if !ok {
+			if p.hintRefs == nil {
+				p.hintRefs = make(map[string]uint32)
+			}
+			ref = uint32(len(p.hintDefs))
+			p.hintDefs = append(p.hintDefs, hintDef{id: e.ID, kind: e.Kind, unit: e.Unit})
+			p.hintRefs[key] = ref
+		} else if saved := len(key) + len(e.Unit) + 1 - 4; saved > 0 {
+			p.hintSavedBytes += uint64(saved)
+		}
+		packed[i] = hintEntry{ref: ref, t: e.T, v: e.V}
+	}
+	return packed
+}
+
+// unpackHintLocked rebuilds append entries from a parked batch.
+func (p *peer) unpackHintLocked(batch []hintEntry) []timeseries.BatchEntry {
+	entries := make([]timeseries.BatchEntry, len(batch))
+	for i, h := range batch {
+		d := &p.hintDefs[h.ref]
+		entries[i] = timeseries.BatchEntry{ID: d.id, Kind: d.kind, Unit: d.unit, T: h.t, V: h.v}
+	}
+	return entries
 }
 
 // drainLocked replays hinted batches in FIFO order; it stops at the first
 // failure (the peer relapsed) and reports whether the queue fully drained.
 func (p *peer) drainLocked() bool {
 	for len(p.hints) > 0 {
-		entries := p.hints[0]
+		entries := p.unpackHintLocked(p.hints[0])
 		if err := p.sendLocked(entries); err != nil {
 			p.failedSends++
 			return false
@@ -418,7 +507,7 @@ func entriesFromBatch(b *wire.Batch) []timeseries.BatchEntry {
 // disagree (and loop) if configs diverged.
 func (r *Router) applyForwarded(b *wire.Batch) {
 	entries := entriesFromBatch(b)
-	n, _ := r.cfg.Local.AppendBatch(entries)
+	n, _ := r.appendLocal(entries, nil)
 	r.receivedBatches.Add(1)
 	r.receivedEntries.Add(uint64(n))
 }
@@ -525,6 +614,7 @@ type PeerStats struct {
 	HintedBatches      uint64 `json:"hinted_batches"`
 	DrainedBatches     uint64 `json:"drained_batches"`
 	DroppedHintEntries uint64 `json:"dropped_hint_entries"`
+	HintSavedBytes     uint64 `json:"hint_saved_bytes"`
 	PendingHintBatches int    `json:"pending_hint_batches"`
 	PendingBufEntries  int    `json:"pending_buf_entries"`
 }
@@ -584,6 +674,7 @@ func (r *Router) Stats() Stats {
 			HintedBatches:      p.hintedBatches,
 			DrainedBatches:     p.drainedBatches,
 			DroppedHintEntries: p.droppedHintEntries,
+			HintSavedBytes:     p.hintSavedBytes,
 			PendingHintBatches: len(p.hints),
 			PendingBufEntries:  len(p.buf),
 		}

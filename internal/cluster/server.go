@@ -26,11 +26,13 @@ type Server struct {
 	connMu sync.Mutex
 	conns  map[net.Conn]struct{}
 
-	batches   atomic.Uint64
-	queries   atomic.Uint64
-	replPulls atomic.Uint64
-	pings     atomic.Uint64
-	errors    atomic.Uint64
+	batches    atomic.Uint64
+	refBatches atomic.Uint64
+	dictDefs   atomic.Uint64
+	queries    atomic.Uint64
+	replPulls  atomic.Uint64
+	pings      atomic.Uint64
+	errors     atomic.Uint64
 }
 
 // NewServer serves cluster traffic for router on an injected listener
@@ -56,6 +58,13 @@ func (s *Server) Addr() string { return s.ln.Addr().String() }
 
 // Batches returns forwarded ingest batches applied.
 func (s *Server) Batches() uint64 { return s.batches.Load() }
+
+// RefBatches returns forwarded batches that arrived dictionary-encoded.
+func (s *Server) RefBatches() uint64 { return s.refBatches.Load() }
+
+// DictDefs returns series definitions accepted into per-connection
+// dictionaries.
+func (s *Server) DictDefs() uint64 { return s.dictDefs.Load() }
 
 // Queries returns query requests served.
 func (s *Server) Queries() uint64 { return s.queries.Load() }
@@ -98,10 +107,11 @@ func (s *Server) serveConn(conn net.Conn) {
 		conn.Close()
 	}()
 	r := bufio.NewReader(conn)
+	var dict *wire.ConnDict // lazy: only dict-speaking peers pay for one
 	for {
 		ft, payload, err := ReadFrame(r)
 		if err == nil {
-			err = s.handleFrame(conn, ft, payload)
+			err = s.handleFrame(conn, &dict, ft, payload)
 		}
 		if err != nil {
 			if !errors.Is(err, io.EOF) && !s.closed.Load() {
@@ -116,7 +126,7 @@ func (s *Server) serveConn(conn net.Conn) {
 // ReadFrame re-exported for symmetry in tests.
 func ReadFrame(r io.Reader) (uint8, []byte, error) { return wire.ReadFrame(r) }
 
-func (s *Server) handleFrame(conn net.Conn, ft uint8, payload []byte) error {
+func (s *Server) handleFrame(conn net.Conn, dict **wire.ConnDict, ft uint8, payload []byte) error {
 	switch ft {
 	case wire.FramePing:
 		if err := wire.WriteFrame(conn, wire.FramePong, payload); err != nil {
@@ -131,6 +141,28 @@ func (s *Server) handleFrame(conn net.Conn, ft uint8, payload []byte) error {
 		}
 		s.router.applyForwarded(b)
 		s.batches.Add(1)
+		return nil
+	case wire.FrameDict:
+		if *dict == nil {
+			*dict = wire.NewConnDict()
+		}
+		n, err := (*dict).AddDefs(payload)
+		if err != nil {
+			return err
+		}
+		s.dictDefs.Add(uint64(n))
+		return nil
+	case wire.FrameRefBatch:
+		if *dict == nil {
+			return wire.ErrUnknownRef
+		}
+		b, err := (*dict).DecodeRefBatch(payload)
+		if err != nil {
+			return err
+		}
+		s.router.applyForwarded(b)
+		s.batches.Add(1)
+		s.refBatches.Add(1)
 		return nil
 	case FrameQueryReq:
 		q, err := decodeQueryRequest(payload)

@@ -170,16 +170,46 @@ func (ls Labels) Matches(sel Labels) bool {
 }
 
 // ID identifies a series: a metric name plus its label set.
+//
+// key caches the canonical Key() serialization. It is only populated by
+// NewID/Interned; IDs built with a plain struct literal keep working and
+// serialize on demand. Name and Labels must not be mutated after interning
+// or the cache goes stale.
 type ID struct {
 	Name   string
 	Labels Labels
+
+	key string
+}
+
+// NewID constructs an ID with the canonical key precomputed, so every later
+// Key() call on hot ingest paths is a field read instead of a fresh
+// name+labels serialization.
+func NewID(name string, labels Labels) ID {
+	id := ID{Name: name, Labels: labels}
+	id.key = id.String()
+	return id
+}
+
+// Interned returns a copy of id with the canonical key precomputed (a no-op
+// when it already is).
+func (id ID) Interned() ID {
+	if id.key != "" {
+		return id
+	}
+	return NewID(id.Name, id.Labels)
 }
 
 // String renders the ID as name{labels}.
 func (id ID) String() string { return id.Name + id.Labels.String() }
 
 // Key returns a canonical string usable as a map key.
-func (id ID) Key() string { return id.String() }
+func (id ID) Key() string {
+	if id.key != "" {
+		return id.key
+	}
+	return id.String()
+}
 
 // Series is an ordered run of samples for one metric ID.
 type Series struct {

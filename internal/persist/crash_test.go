@@ -54,135 +54,176 @@ func copyDir(t *testing.T, src string) string {
 func TestTornWriteRecoversExactPrefix(t *testing.T) {
 	for _, policy := range []FsyncPolicy{FsyncAlways, FsyncNever} {
 		for _, rollups := range []bool{false, true} {
-			name := policy.String()
-			if rollups {
-				name += "/rollups"
-			}
-			t.Run(name, func(t *testing.T) {
-				dir := t.TempDir()
-				opts := Options{ChunkSize: 8, Fsync: policy, SegmentSize: 1 << 30} // one segment: offsets stay file offsets
+			for _, useRefs := range []bool{false, true} {
+				name := policy.String()
 				if rollups {
-					// Tier windows small enough to seal (and be retained)
-					// many times within the harness' 30s of traffic, so the
-					// dump comparison covers sealed tier chunks, open
-					// accumulators and per-tier retention cuts.
-					opts.StoreOptions = []timeseries.Option{timeseries.WithRollups(4000, 16000)}
+					name += "/rollups"
 				}
-				d, err := Open(dir, opts)
-				if err != nil {
-					t.Fatal(err)
+				if useRefs {
+					name += "/refs"
 				}
-				segPath := filepath.Join(dir, segmentName(1))
-
-				ids := []metric.ID{testID("power", "n01"), testID("temp", "n02")}
-				type checkpointState struct {
-					offset int64
-					dump   []timeseries.SeriesDump
-				}
-				// states[i] = WAL size and store state after i whole operations.
-				states := []checkpointState{{offset: int64(len(segMagic)), dump: d.Store().Dump()}}
-				const ops = 30
-				for r := 0; r < ops; r++ {
-					now := int64(1000 + r*1000)
-					switch {
-					case r%10 == 7:
-						if _, err := d.Downsample(ids[0], 4000); err != nil {
-							t.Fatal(err)
-						}
-					case r%10 == 9:
-						if _, err := d.Retain(now - 6000); err != nil {
-							t.Fatal(err)
-						}
-					case rollups && r%10 == 5:
-						if _, err := d.RetainTier(4000, now-8000); err != nil {
-							t.Fatal(err)
-						}
-					default:
-						batch := []timeseries.BatchEntry{
-							{ID: ids[0], Kind: metric.Gauge, Unit: metric.UnitWatt, T: now, V: float64(r)},
-							{ID: ids[1], Kind: metric.Gauge, Unit: metric.UnitCelsius, T: now, V: float64(100 - r)},
-						}
-						if n, err := d.AppendBatch(batch); err != nil || n != 2 {
-							t.Fatalf("op %d: %d, %v", r, n, err)
-						}
+				t.Run(name, func(t *testing.T) {
+					dir := t.TempDir()
+					opts := Options{ChunkSize: 8, Fsync: policy, SegmentSize: 1 << 30} // one segment: offsets stay file offsets
+					if rollups {
+						// Tier windows small enough to seal (and be retained)
+						// many times within the harness' 30s of traffic, so the
+						// dump comparison covers sealed tier chunks, open
+						// accumulators and per-tier retention cuts.
+						opts.StoreOptions = []timeseries.Option{timeseries.WithRollups(4000, 16000)}
 					}
-					fi, err := os.Stat(segPath)
+					d, err := Open(dir, opts)
 					if err != nil {
 						t.Fatal(err)
 					}
-					states = append(states, checkpointState{offset: fi.Size(), dump: d.Store().Dump()})
-				}
-				d.Crash()
-				full, err := os.ReadFile(segPath)
-				if err != nil {
-					t.Fatal(err)
-				}
-				if int64(len(full)) != states[len(states)-1].offset {
-					t.Fatalf("offset bookkeeping broken: file %d bytes, recorded %d", len(full), states[len(states)-1].offset)
-				}
+					segPath := filepath.Join(dir, segmentName(1))
 
-				// Tear at every record boundary plus a fan of random offsets.
-				offsets := map[int64]bool{0: true, int64(len(segMagic)): true, int64(len(full)): true}
-				for _, st := range states {
-					offsets[st.offset] = true
-				}
-				rng := rand.New(rand.NewSource(42))
-				for i := 0; i < 60; i++ {
-					offsets[rng.Int63n(int64(len(full))+1)] = true
-				}
-				sorted := make([]int64, 0, len(offsets))
-				for off := range offsets {
-					sorted = append(sorted, off)
-				}
-				sort.Slice(sorted, func(a, b int) bool { return sorted[a] < sorted[b] })
-
-				for _, off := range sorted {
-					crashDir := copyDir(t, dir)
-					if err := os.Truncate(filepath.Join(crashDir, segmentName(1)), off); err != nil {
+					ids := []metric.ID{testID("power", "n01"), testID("temp", "n02")}
+					kinds := []metric.Unit{metric.UnitWatt, metric.UnitCelsius}
+					type checkpointState struct {
+						offset int64
+						dump   []timeseries.SeriesDump
+					}
+					// states[i] = WAL size and store state after i whole operations.
+					// In refs mode every Resolve is its own state: each one logs a
+					// standalone opDefine record, so tears between defines must
+					// recover to the between-define store state.
+					states := []checkpointState{{offset: int64(len(segMagic)), dump: d.Store().Dump()}}
+					recordState := func() {
+						fi, err := os.Stat(segPath)
+						if err != nil {
+							t.Fatal(err)
+						}
+						states = append(states, checkpointState{offset: fi.Size(), dump: d.Store().Dump()})
+					}
+					srefs := make([]timeseries.SeriesRef, len(ids))
+					resolve := func() {
+						for i, id := range ids {
+							ref, err := d.Resolve(id, metric.Gauge, kinds[i])
+							if err != nil {
+								t.Fatal(err)
+							}
+							srefs[i] = ref
+							recordState()
+						}
+					}
+					if useRefs {
+						resolve()
+					}
+					const ops = 30
+					for r := 0; r < ops; r++ {
+						now := int64(1000 + r*1000)
+						bumped := false
+						switch {
+						case r%10 == 7:
+							if _, err := d.Downsample(ids[0], 4000); err != nil {
+								t.Fatal(err)
+							}
+							bumped = true
+						case r%10 == 9:
+							if _, err := d.Retain(now - 6000); err != nil {
+								t.Fatal(err)
+							}
+							bumped = true
+						case rollups && r%10 == 5:
+							if _, err := d.RetainTier(4000, now-8000); err != nil {
+								t.Fatal(err)
+							}
+							bumped = true
+						case useRefs:
+							entries := []timeseries.RefEntry{
+								{Ref: srefs[0], T: now, V: float64(r)},
+								{Ref: srefs[1], T: now, V: float64(100 - r)},
+							}
+							if n, err := d.AppendRefs(entries); err != nil || n != 2 {
+								t.Fatalf("op %d: %d, %v", r, n, err)
+							}
+						default:
+							batch := []timeseries.BatchEntry{
+								{ID: ids[0], Kind: metric.Gauge, Unit: metric.UnitWatt, T: now, V: float64(r)},
+								{ID: ids[1], Kind: metric.Gauge, Unit: metric.UnitCelsius, T: now, V: float64(100 - r)},
+							}
+							if n, err := d.AppendBatch(batch); err != nil || n != 2 {
+								t.Fatalf("op %d: %d, %v", r, n, err)
+							}
+						}
+						recordState()
+						if useRefs && bumped {
+							resolve() // epoch bumped: re-resolve, logging fresh defines
+						}
+					}
+					d.Crash()
+					full, err := os.ReadFile(segPath)
+					if err != nil {
 						t.Fatal(err)
 					}
-					re, err := Open(crashDir, opts)
-					if err != nil {
-						t.Fatalf("offset %d: recovery failed: %v", off, err)
+					if int64(len(full)) != states[len(states)-1].offset {
+						t.Fatalf("offset bookkeeping broken: file %d bytes, recorded %d", len(full), states[len(states)-1].offset)
 					}
-					// Expected state: the last operation fully below the tear.
-					want := states[0]
+
+					// Tear at every record boundary plus a fan of random offsets.
+					offsets := map[int64]bool{0: true, int64(len(segMagic)): true, int64(len(full)): true}
 					for _, st := range states {
-						if st.offset <= off {
-							want = st
+						offsets[st.offset] = true
+					}
+					rng := rand.New(rand.NewSource(42))
+					for i := 0; i < 60; i++ {
+						offsets[rng.Int63n(int64(len(full))+1)] = true
+					}
+					sorted := make([]int64, 0, len(offsets))
+					for off := range offsets {
+						sorted = append(sorted, off)
+					}
+					sort.Slice(sorted, func(a, b int) bool { return sorted[a] < sorted[b] })
+
+					for _, off := range sorted {
+						crashDir := copyDir(t, dir)
+						if err := os.Truncate(filepath.Join(crashDir, segmentName(1)), off); err != nil {
+							t.Fatal(err)
 						}
+						re, err := Open(crashDir, opts)
+						if err != nil {
+							t.Fatalf("offset %d: recovery failed: %v", off, err)
+						}
+						// Expected state: the last operation fully below the tear.
+						want := states[0]
+						for _, st := range states {
+							if st.offset <= off {
+								want = st
+							}
+						}
+						got := re.Store().Dump()
+						if !reflect.DeepEqual(got, want.dump) {
+							t.Fatalf("offset %d: recovered state is not the exact op prefix (want offset %d)", off, want.offset)
+						}
+						st := re.Stats()
+						// A tear exactly on a record boundary leaves nothing to
+						// truncate; so does truncation to zero (an empty file reads
+						// as a clean, freshly created segment).
+						expectTails := 1
+						if off == 0 || want.offset == off {
+							expectTails = 0
+						}
+						if st.TruncatedTails != expectTails {
+							t.Fatalf("offset %d: want %d truncated tails, got %d", off, expectTails, st.TruncatedTails)
+						}
+						// Recovery truncated the torn tail: a second open must be
+						// clean and land on the same state.
+						re.Crash()
+						re2, err := Open(crashDir, opts)
+						if err != nil {
+							t.Fatalf("offset %d: second recovery failed: %v", off, err)
+						}
+						if st2 := re2.Stats(); st2.TruncatedTails != 0 {
+							t.Fatalf("offset %d: first recovery left a torn tail behind", off)
+						}
+						if !reflect.DeepEqual(re2.Store().Dump(), want.dump) {
+							t.Fatalf("offset %d: recovery is not idempotent", off)
+						}
+						re2.Crash()
 					}
-					got := re.Store().Dump()
-					if !reflect.DeepEqual(got, want.dump) {
-						t.Fatalf("offset %d: recovered state is not the exact op prefix (want offset %d)", off, want.offset)
-					}
-					st := re.Stats()
-					// A tear exactly on a record boundary leaves nothing to
-					// truncate; so does truncation to zero (an empty file reads
-					// as a clean, freshly created segment).
-					expectTails := 1
-					if off == 0 || want.offset == off {
-						expectTails = 0
-					}
-					if st.TruncatedTails != expectTails {
-						t.Fatalf("offset %d: want %d truncated tails, got %d", off, expectTails, st.TruncatedTails)
-					}
-					// Recovery truncated the torn tail: a second open must be
-					// clean and land on the same state.
-					re.Crash()
-					re2, err := Open(crashDir, opts)
-					if err != nil {
-						t.Fatalf("offset %d: second recovery failed: %v", off, err)
-					}
-					if st2 := re2.Stats(); st2.TruncatedTails != 0 {
-						t.Fatalf("offset %d: first recovery left a torn tail behind", off)
-					}
-					if !reflect.DeepEqual(re2.Store().Dump(), want.dump) {
-						t.Fatalf("offset %d: recovery is not idempotent", off)
-					}
-					re2.Crash()
-				}
-			})
+				})
+			}
 		}
 	}
 }

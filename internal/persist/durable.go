@@ -80,6 +80,19 @@ type DurableStore struct {
 	opMu   sync.Mutex
 	closed bool
 
+	// WAL-ref dictionary for the ref ingest fast path, guarded by opMu
+	// (checkpoints touch it under the exclusive d.mu instead, which equally
+	// excludes every op). walRefs binds store ref slots — stable for the
+	// life of a store instance — to the uvarint refs used in opDefine /
+	// opAppendRef records; a checkpoint clears it, so post-snapshot
+	// segments are self-contained (every ref they use is re-defined within
+	// them). refEnc/refRecs/refValid are reused encode scratch.
+	walRefs    map[uint32]uint64
+	nextWALRef uint64
+	refEnc     []byte
+	refRecs    []refSample
+	refValid   []timeseries.RefEntry
+
 	ckptMu sync.Mutex // serializes whole checkpoints (ticker vs Close)
 
 	checkpoints   atomic.Uint64
@@ -106,7 +119,7 @@ func Open(dir string, opts Options) (*DurableStore, error) {
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return nil, err
 	}
-	d := &DurableStore{dir: dir, opts: opts, stop: make(chan struct{})}
+	d := &DurableStore{dir: dir, opts: opts, stop: make(chan struct{}), walRefs: make(map[uint32]uint64)}
 
 	// Newest valid snapshot wins; corrupt ones fall back to older, then to
 	// an empty store with full WAL replay.
@@ -134,6 +147,9 @@ func Open(dir string, opts Options) (*DurableStore, error) {
 		return nil, err
 	}
 	maxSeq := startSeq
+	// One RefTable spans the whole ordered replay: opDefine bindings carry
+	// across segment boundaries exactly as the writer laid them down.
+	rt := NewRefTable()
 	for _, sg := range segs {
 		if sg.seq > maxSeq {
 			maxSeq = sg.seq
@@ -145,7 +161,7 @@ func Open(dir string, opts Options) (*DurableStore, error) {
 		if err != nil {
 			return nil, err
 		}
-		res := replaySegment(data, func(rec walRecord) { rec.apply(d.store) })
+		res := replaySegment(data, func(rec walRecord) { rec.apply(d.store, rt) })
 		d.recovery.replayedSegments++
 		d.recovery.replayedRecords += res.records
 		if res.torn {
@@ -262,6 +278,141 @@ func (d *DurableStore) Append(id metric.ID, kind metric.Kind, unit metric.Unit, 
 	return nil
 }
 
+// RefEpoch reports the underlying store's ref generation (see
+// timeseries.Store.RefEpoch).
+func (d *DurableStore) RefEpoch() uint64 { return d.store.RefEpoch() }
+
+// Resolve interns id in the underlying store and returns its ref, logging
+// a WAL series definition the first time this wrapper binds the series (or
+// the first time after a checkpoint cleared the WAL-ref table). Like every
+// mutation, the definition is logged before the series is created, and
+// under FsyncAlways the call returns only after it is durable — the
+// created (possibly still empty) series is part of acknowledged state.
+func (d *DurableStore) Resolve(id metric.ID, kind metric.Kind, unit metric.Unit) (timeseries.SeriesRef, error) {
+	d.mu.RLock()
+	if d.closed {
+		d.mu.RUnlock()
+		return 0, fmt.Errorf("persist: %w", timeseries.ErrStoreClosed)
+	}
+	d.opMu.Lock()
+	sref, seq, err := d.resolveLocked(id, kind, unit)
+	d.opMu.Unlock()
+	d.mu.RUnlock()
+	if err != nil {
+		return 0, err
+	}
+	if seq != 0 {
+		if err := d.ack(seq); err != nil {
+			return sref, err
+		}
+	}
+	return sref, nil
+}
+
+// resolveLocked hands out a ref for id, logging an opDefine when the
+// series has no live WAL-ref binding. The caller holds opMu and d.mu
+// (shared); seq is 0 when nothing was logged.
+func (d *DurableStore) resolveLocked(id metric.ID, kind metric.Kind, unit metric.Unit) (timeseries.SeriesRef, uint64, error) {
+	if sref, ok := d.store.LookupRef(id); ok {
+		if _, bound := d.walRefs[sref.Slot()]; bound {
+			return sref, 0, nil
+		}
+	}
+	d.nextWALRef++
+	d.refEnc = encodeDefine(d.refEnc[:0], d.nextWALRef, id, kind, unit)
+	seq, _, err := d.wal.append(d.refEnc)
+	if err != nil {
+		d.nextWALRef--
+		return 0, 0, err
+	}
+	sref, err := d.store.Resolve(id, kind, unit)
+	if err != nil {
+		return 0, 0, err
+	}
+	d.walRefs[sref.Slot()] = d.nextWALRef
+	return sref, seq, nil
+}
+
+// AppendRefs logs and ingests ref-addressed samples; semantics match
+// timeseries.Store.AppendRefs. Stale refs are rejected before logging, so
+// the WAL carries only samples whose addressing the store accepts and
+// replay reproduces the same outcome; a valid ref with no live WAL
+// binding (possible after a checkpoint cleared the table) gets its
+// definition re-logged on the fly. The per-sample record cost is a small
+// ref uvarint + delta-t + value instead of a full re-encoded ID.
+func (d *DurableStore) AppendRefs(entries []timeseries.RefEntry) (int, error) {
+	if len(entries) == 0 {
+		return 0, nil
+	}
+	d.mu.RLock()
+	if d.closed {
+		d.mu.RUnlock()
+		return 0, fmt.Errorf("persist: %w", timeseries.ErrStoreClosed)
+	}
+	d.opMu.Lock()
+	epoch := d.store.RefEpoch()
+	var firstErr error
+	var lastSeq uint64
+	d.refValid = d.refValid[:0]
+	d.refRecs = d.refRecs[:0]
+	for _, e := range entries {
+		if e.Ref.Epoch() != epoch {
+			if firstErr == nil {
+				firstErr = timeseries.ErrStaleRef
+			}
+			continue
+		}
+		slot := e.Ref.Slot()
+		wr, bound := d.walRefs[slot]
+		if !bound {
+			id, kind, unit, live := d.store.RefInfo(e.Ref)
+			if !live {
+				if firstErr == nil {
+					firstErr = timeseries.ErrStaleRef
+				}
+				continue
+			}
+			d.nextWALRef++
+			wr = d.nextWALRef
+			d.refEnc = encodeDefine(d.refEnc[:0], wr, id, kind, unit)
+			seq, _, err := d.wal.append(d.refEnc)
+			if err != nil {
+				d.opMu.Unlock()
+				d.mu.RUnlock()
+				return 0, err
+			}
+			d.walRefs[slot] = wr
+			lastSeq = seq
+		}
+		d.refValid = append(d.refValid, e)
+		d.refRecs = append(d.refRecs, refSample{ref: wr, t: e.T, v: e.V})
+	}
+	var n int
+	var appErr error
+	if len(d.refRecs) > 0 {
+		d.refEnc = encodeAppendRef(d.refEnc[:0], d.refRecs)
+		seq, _, err := d.wal.append(d.refEnc)
+		if err != nil {
+			d.opMu.Unlock()
+			d.mu.RUnlock()
+			return 0, err
+		}
+		lastSeq = seq
+		n, appErr = d.store.AppendRefs(d.refValid)
+	}
+	d.opMu.Unlock()
+	d.mu.RUnlock()
+	if lastSeq != 0 {
+		if err := d.ack(lastSeq); err != nil {
+			return n, err
+		}
+	}
+	if appErr == nil {
+		appErr = firstErr
+	}
+	return n, appErr
+}
+
 // Downsample logs and applies a downsample; semantics match
 // timeseries.Store.Downsample.
 func (d *DurableStore) Downsample(id metric.ID, step int64) (int, error) {
@@ -323,6 +474,12 @@ func (d *DurableStore) Checkpoint() error {
 	dump := d.store.Dump()
 	chunkSize := d.store.ChunkSize()
 	cutSeq, err := d.wal.rotate()
+	// The snapshot supersedes every opDefine logged so far; clear the
+	// WAL-ref table (safe here: the exclusive d.mu excludes every op) so
+	// post-cut segments re-define each series before first use and replay
+	// never depends on a GC'd segment.
+	clear(d.walRefs)
+	d.nextWALRef = 0
 	d.mu.Unlock()
 	if err != nil {
 		return err

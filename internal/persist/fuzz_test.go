@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"encoding/binary"
 	"hash/crc32"
+	"reflect"
 	"testing"
 
 	"repro/internal/metric"
@@ -39,10 +40,21 @@ func FuzzWALReplay(f *testing.F) {
 		encodeDownsample(nil, metric.ID{Name: "power", Labels: metric.NewLabels("node", "n01")}, 60000),
 		encodeAppend(nil, []timeseries.BatchEntry{{ID: metric.ID{Name: "temp"}, Kind: metric.Gauge, Unit: metric.UnitCelsius, T: 1000, V: 21.5}}),
 	)) // valid multi-record segment
+	defV2, appV2, undefV2, reboundV2 := walRefSeedPayloads()
+	f.Add(frame(defV2, appV2))           // valid v2: define + ref append
+	f.Add(frame(undefV2))                // ref append with no define: refs skipped
+	f.Add(frame(defV2, reboundV2, appV2)) // same WAL ref rebound to a second series
+	truncated := frame(defV2)
+	f.Add(truncated[:len(truncated)-3]) // tear inside a define record
 
 	f.Fuzz(func(t *testing.T, data []byte) {
 		applied := 0
-		res := replaySegment(data, func(walRecord) { applied++ })
+		// Apply every decoded record the way recovery does — through a live
+		// store and ref table — so decode-then-apply can never panic on any
+		// input, v2 ref records included.
+		store := timeseries.NewStore(8)
+		rt := NewRefTable()
+		res := replaySegment(data, func(rec walRecord) { applied++; rec.apply(store, rt) })
 		if res.records != uint64(applied) {
 			t.Fatalf("counted %d records, applied %d", res.records, applied)
 		}
@@ -59,11 +71,28 @@ func FuzzWALReplay(f *testing.F) {
 		// this is exactly what recovery does after truncating a torn tail.
 		if res.offset >= int64(len(segMagic)) && bytes.HasPrefix(data, []byte(segMagic)) {
 			again := 0
-			res2 := replaySegment(data[:res.offset], func(walRecord) { again++ })
+			store2 := timeseries.NewStore(8)
+			rt2 := NewRefTable()
+			res2 := replaySegment(data[:res.offset], func(rec walRecord) { again++; rec.apply(store2, rt2) })
 			if res2.torn || again != applied || res2.offset != res.offset {
 				t.Fatalf("clean prefix replay diverged: torn=%v records=%d/%d offset=%d/%d",
 					res2.torn, again, applied, res2.offset, res.offset)
 			}
+			if !reflect.DeepEqual(store2.Dump(), store.Dump()) {
+				t.Fatal("clean prefix replay produced a different store")
+			}
 		}
 	})
+}
+
+// walRefSeedPayloads builds the deterministic v2 record payloads shared by
+// the fuzz seeds and the committed corpus (gen_corpus_test.go).
+func walRefSeedPayloads() (def, app, undef, rebound []byte) {
+	idA := metric.ID{Name: "node_power_watts", Labels: metric.NewLabels("node", "n042")}
+	idB := metric.ID{Name: "node_cpu_temp_celsius"}
+	def = encodeDefine(nil, 1, idA, metric.Gauge, metric.UnitWatt)
+	app = encodeAppendRef(nil, []refSample{{ref: 1, t: 1000, v: 411.5}, {ref: 1, t: 2000, v: 417.25}})
+	undef = encodeAppendRef(nil, []refSample{{ref: 99, t: 1000, v: 1}})
+	rebound = encodeDefine(nil, 1, idB, metric.Counter, metric.UnitCelsius)
+	return
 }

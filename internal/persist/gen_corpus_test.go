@@ -29,6 +29,9 @@ func TestGenCorpus(t *testing.T) {
 	}
 	badCRC := frame(encodeRetain(nil, 42))
 	badCRC[len(segMagic)+4] ^= 0xFF
+	defV2, appV2, undefV2, reboundV2 := walRefSeedPayloads()
+	truncatedDef := frame(defV2)
+	truncatedDef = truncatedDef[:len(truncatedDef)-3]
 	seeds := map[string][]byte{
 		"seed-empty-segment":    {},
 		"seed-magic-only":       []byte(segMagic),
@@ -39,6 +42,10 @@ func TestGenCorpus(t *testing.T) {
 			encodeDownsample(nil, metric.ID{Name: "power", Labels: metric.NewLabels("node", "n01")}, 60000),
 			encodeAppend(nil, []timeseries.BatchEntry{{ID: metric.ID{Name: "temp"}, Kind: metric.Gauge, Unit: metric.UnitCelsius, T: 1000, V: 21.5}}),
 		),
+		"seed-ref-define-append": frame(defV2, appV2),
+		"seed-ref-undefined":     frame(undefV2),
+		"seed-ref-rebound":       frame(defV2, reboundV2, appV2),
+		"seed-ref-torn-define":   truncatedDef,
 	}
 	dir := filepath.Join("testdata", "fuzz", "FuzzWALReplay")
 	if err := os.MkdirAll(dir, 0o755); err != nil {

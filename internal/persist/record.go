@@ -39,6 +39,8 @@ const (
 	opDownsample = 2 // Downsample(id, step)
 	opRetain     = 3 // Retain(cutoff)
 	opRetainTier = 4 // RetainTier(step, cutoff)
+	opDefine     = 5 // bind a WAL series ref to a full series identity
+	opAppendRef  = 6 // an AppendRefs worth of samples, addressed by WAL ref
 )
 
 // recordHeaderLen is the length + CRC prefix of every WAL record.
@@ -60,17 +62,29 @@ var errCorruptRecord = errors.New("persist: corrupt wal record")
 
 // walRecord is one decoded WAL operation.
 type walRecord struct {
-	op      byte
-	entries []timeseries.BatchEntry // opAppend
-	id      metric.ID               // opDownsample
-	step    int64                   // opDownsample, opRetainTier
-	cutoff  int64                   // opRetain, opRetainTier
+	op         byte
+	entries    []timeseries.BatchEntry // opAppend
+	id         metric.ID               // opDownsample, opDefine
+	step       int64                   // opDownsample, opRetainTier
+	cutoff     int64                   // opRetain, opRetainTier
+	ref        uint64                  // opDefine
+	kind       metric.Kind             // opDefine
+	unit       metric.Unit             // opDefine
+	refEntries []refSample             // opAppendRef
 }
 
-// apply replays one operation onto a store. Errors the original operation
-// already tolerated (out-of-order rejections, unknown series) are tolerated
-// again, so replay reproduces the live store's state exactly.
-func (r *walRecord) apply(store *timeseries.Store) {
+// refSample is one opAppendRef sample: a WAL series ref plus the sample.
+type refSample struct {
+	ref uint64
+	t   int64
+	v   float64
+}
+
+// apply replays one operation onto a store; rt carries the WAL-ref
+// dictionary across records of one replay stream. Errors the original
+// operation already tolerated (out-of-order rejections, unknown series)
+// are tolerated again, so replay reproduces the live store's state exactly.
+func (r *walRecord) apply(store *timeseries.Store, rt *RefTable) {
 	switch r.op {
 	case opAppend:
 		_, _ = store.AppendBatch(r.entries)
@@ -80,7 +94,82 @@ func (r *walRecord) apply(store *timeseries.Store) {
 		store.Retain(r.cutoff)
 	case opRetainTier:
 		store.RetainTier(r.step, r.cutoff)
+	case opDefine:
+		rt.define(store, r.ref, r.id, r.kind, r.unit)
+	case opAppendRef:
+		rt.appendRefs(store, r.refEntries)
 	}
+}
+
+// RefTable is replay-side WAL-ref state: it maps the uvarint refs that
+// opDefine records bind to full series identities, caching the live
+// store's SeriesRef per definition. The cache is epoch-checked against the
+// store before every use — a replayed Downsample/Retain bumps the store
+// epoch mid-stream and the table lazily re-resolves, so ref-based records
+// land on the right series no matter how invalidations interleave.
+// Redefining a ref simply rebinds it (writers re-number from scratch after
+// a checkpoint or restart, so later segments may legitimately reuse small
+// refs); a ref that was never defined is skipped like any other tolerated
+// replay inconsistency. One RefTable serves one ordered replay stream.
+type RefTable struct {
+	epoch uint64
+	defs  map[uint64]refDef
+	buf   []timeseries.RefEntry // scratch for appendRefs
+}
+
+type refDef struct {
+	id   metric.ID
+	kind metric.Kind
+	unit metric.Unit
+	sref timeseries.SeriesRef
+}
+
+// NewRefTable returns an empty replay dictionary.
+func NewRefTable() *RefTable { return &RefTable{defs: make(map[uint64]refDef)} }
+
+// Reset drops all definitions (a replication follower does this when it
+// re-bootstraps from a fresh snapshot).
+func (rt *RefTable) Reset() {
+	clear(rt.defs)
+	rt.epoch = 0
+}
+
+func (rt *RefTable) define(store *timeseries.Store, ref uint64, id metric.ID, kind metric.Kind, unit metric.Unit) {
+	sref, err := store.Resolve(id, kind, unit)
+	if err != nil {
+		return
+	}
+	if len(rt.defs) == 0 {
+		rt.epoch = store.RefEpoch()
+	}
+	rt.defs[ref] = refDef{id: id, kind: kind, unit: unit, sref: sref}
+}
+
+// refresh re-resolves every cached SeriesRef after a store epoch bump; the
+// caller has observed cur != rt.epoch.
+func (rt *RefTable) refresh(store *timeseries.Store, cur uint64) {
+	for ref, d := range rt.defs {
+		if sref, err := store.Resolve(d.id, d.kind, d.unit); err == nil {
+			d.sref = sref
+			rt.defs[ref] = d
+		}
+	}
+	rt.epoch = cur
+}
+
+func (rt *RefTable) appendRefs(store *timeseries.Store, entries []refSample) {
+	if cur := store.RefEpoch(); cur != rt.epoch {
+		rt.refresh(store, cur)
+	}
+	rt.buf = rt.buf[:0]
+	for _, e := range entries {
+		d, ok := rt.defs[e.ref]
+		if !ok {
+			continue // undefined ref: tolerated, like an unknown series
+		}
+		rt.buf = append(rt.buf, timeseries.RefEntry{Ref: d.sref, T: e.t, V: e.v})
+	}
+	_, _ = store.AppendRefs(rt.buf)
 }
 
 // --- payload encoding -------------------------------------------------
@@ -132,6 +221,39 @@ func encodeAppend(buf []byte, entries []timeseries.BatchEntry) []byte {
 		prevT = e.T
 		var vb [8]byte
 		binary.BigEndian.PutUint64(vb[:], math.Float64bits(e.V))
+		buf = append(buf, vb[:]...)
+	}
+	return buf
+}
+
+// encodeDefine serializes an opDefine payload: the WAL ref binding plus
+// the full series identity it stands for from here on.
+func encodeDefine(buf []byte, ref uint64, id metric.ID, kind metric.Kind, unit metric.Unit) []byte {
+	buf = append(buf, opDefine)
+	buf = appendUvarint(buf, ref)
+	buf = appendID(buf, id)
+	buf = append(buf, byte(kind))
+	return appendString(buf, string(unit))
+}
+
+// encodeAppendRef serializes an opAppendRef payload: per sample just a
+// WAL-ref uvarint, a delta-encoded timestamp and the value — the compact
+// form that replaces re-encoding the whole ID per opAppend entry.
+func encodeAppendRef(buf []byte, entries []refSample) []byte {
+	buf = append(buf, opAppendRef)
+	buf = appendUvarint(buf, uint64(len(entries)))
+	var prevT int64
+	for i := range entries {
+		e := &entries[i]
+		buf = appendUvarint(buf, e.ref)
+		if i == 0 {
+			buf = appendVarint(buf, e.t)
+		} else {
+			buf = appendVarint(buf, e.t-prevT)
+		}
+		prevT = e.t
+		var vb [8]byte
+		binary.BigEndian.PutUint64(vb[:], math.Float64bits(e.v))
 		buf = append(buf, vb[:]...)
 	}
 	return buf
@@ -318,6 +440,56 @@ func decodeRecord(payload []byte) (walRecord, error) {
 		}
 		if rec.cutoff, err = p.varint(); err != nil {
 			return rec, err
+		}
+	case opDefine:
+		var err error
+		if rec.ref, err = p.uvarint(); err != nil {
+			return rec, err
+		}
+		if rec.id, err = p.id(); err != nil {
+			return rec, err
+		}
+		kind, err := p.byteVal()
+		if err != nil {
+			return rec, err
+		}
+		rec.kind = metric.Kind(kind)
+		unit, err := p.str()
+		if err != nil {
+			return rec, err
+		}
+		rec.unit = metric.Unit(unit)
+	case opAppendRef:
+		n, err := p.uvarint()
+		if err != nil {
+			return rec, err
+		}
+		// Every ref sample costs at least a ref byte, a timestamp byte and
+		// an 8-byte value; reject implausible counts before allocating.
+		if n > uint64(len(payload))/10 {
+			return rec, fmt.Errorf("persist: implausible ref entry count %d", n)
+		}
+		rec.refEntries = make([]refSample, 0, n)
+		var prevT int64
+		for i := uint64(0); i < n; i++ {
+			var e refSample
+			if e.ref, err = p.uvarint(); err != nil {
+				return rec, err
+			}
+			dt, err := p.varint()
+			if err != nil {
+				return rec, err
+			}
+			if i == 0 {
+				e.t = dt
+			} else {
+				e.t = prevT + dt
+			}
+			prevT = e.t
+			if e.v, err = p.float(); err != nil {
+				return rec, err
+			}
+			rec.refEntries = append(rec.refEntries, e)
 		}
 	default:
 		return rec, fmt.Errorf("persist: unknown op %d", rec.op)

@@ -190,19 +190,28 @@ func (d *DurableStore) ReplicationSnapshot() (chunkSize int, dump []timeseries.S
 	d.wal.mu.Lock()
 	seq, off = d.wal.seq, d.wal.size
 	d.wal.mu.Unlock()
+	// A follower bootstrapping from this dump only sees records after
+	// (seq, off), so opDefine bindings logged before the cut would be
+	// invisible to it. Clear the WAL-ref table (the exclusive d.mu excludes
+	// every op): series re-define on next use, making the post-cut record
+	// stream self-contained for any number of followers.
+	clear(d.walRefs)
+	d.nextWALRef = 0
 	return chunkSize, dump, seq, off, nil
 }
 
 // ApplyRecord decodes one WAL record payload (as streamed by SegmentReader)
-// and applies it to store. Errors the original operation tolerated are
-// tolerated again, so a follower replaying a leader's log converges on the
-// leader's exact state.
-func ApplyRecord(store *timeseries.Store, payload []byte) error {
+// and applies it to store; rt carries opDefine bindings across the records
+// of one ordered stream (use one RefTable per follower session, Reset on
+// re-bootstrap). Errors the original operation tolerated are tolerated
+// again, so a follower replaying a leader's log converges on the leader's
+// exact state.
+func ApplyRecord(store *timeseries.Store, rt *RefTable, payload []byte) error {
 	rec, err := decodeRecord(payload)
 	if err != nil {
 		return err
 	}
-	rec.apply(store)
+	rec.apply(store, rt)
 	return nil
 }
 

@@ -59,6 +59,17 @@ type Store struct {
 	order  []metric.ID            // first-ingest order, for IDs/Select
 	byName map[string][]metric.ID // metric name -> IDs in first-ingest order
 
+	// refSeries maps ref slots (SeriesRef low bits, minus one) to live
+	// series; guarded by regMu, append-only, elements immutable once set, so
+	// a slice-header snapshot stays valid after regMu is released. refEpoch
+	// is the store's current ref generation (see refs.go); resolves,
+	// refSamples and staleRefs feed RefIngestStats.
+	refSeries  []*storedSeries
+	refEpoch   atomic.Uint64
+	resolves   atomic.Uint64
+	refSamples atomic.Uint64
+	staleRefs  atomic.Uint64
+
 	cacheHits   atomic.Uint64
 	cacheMisses atomic.Uint64
 
@@ -88,6 +99,7 @@ type storedSeries struct {
 	id      metric.ID
 	kind    metric.Kind
 	unit    metric.Unit
+	refIdx  uint32 // slot in Store.refSeries; set once under regMu at registration
 	chunks  []*Chunk
 	lastT   int64
 	last    metric.Sample // cached most recent sample, valid when hasLast
@@ -156,6 +168,7 @@ func NewStore(chunkSize int, opts ...Option) *Store {
 		cacheLimit: DefaultQueryCacheChunks,
 		byName:     make(map[string][]metric.ID),
 	}
+	s.refEpoch.Store(newRefEpoch())
 	WithShards(DefaultShards)(s)
 	for _, opt := range opts {
 		opt(s)
@@ -201,7 +214,10 @@ func (s *Store) lookup(key string) *storedSeries {
 }
 
 // getOrCreate returns the series for key, creating and registering it on
-// first use.
+// first use. Registration (order, byName, the ref slot) happens before the
+// series is published in the shard map, so any series reachable via lookup
+// already has a valid refIdx. Shard→registry lock nesting is safe: no path
+// acquires a shard lock while holding regMu.
 func (s *Store) getOrCreate(key string, id metric.ID, kind metric.Kind, unit metric.Unit) *storedSeries {
 	sh := s.shardFor(key)
 	sh.mu.RLock()
@@ -215,13 +231,18 @@ func (s *Store) getOrCreate(key string, id metric.ID, kind metric.Kind, unit met
 		sh.mu.Unlock()
 		return ss
 	}
+	// Stored (and therefore dumped) IDs stay plain: drop any interned key
+	// cache so ref-ingested stores dump DeepEqual-identical to keyed ones.
+	id = metric.ID{Name: id.Name, Labels: id.Labels}
 	ss = &storedSeries{id: id, kind: kind, unit: unit, tiers: s.newTiers()}
-	sh.series[key] = ss
-	sh.mu.Unlock()
 	s.regMu.Lock()
+	ss.refIdx = uint32(len(s.refSeries))
+	s.refSeries = append(s.refSeries, ss)
 	s.order = append(s.order, id)
 	s.byName[id.Name] = append(s.byName[id.Name], id)
 	s.regMu.Unlock()
+	sh.series[key] = ss
+	sh.mu.Unlock()
 	return ss
 }
 
@@ -642,6 +663,9 @@ func (s *Store) Downsample(id metric.ID, step int64) (int, error) {
 			return 0, err
 		}
 	}
+	// The rewrite retires chunks out from under any outstanding series
+	// refs; bump the epoch so AppendRefs callers re-resolve (refs.go).
+	s.bumpRefEpoch()
 	ss.mu.Lock()
 	defer ss.mu.Unlock()
 	ss.cacheMu.Lock()
@@ -672,6 +696,7 @@ func (s *Store) Downsample(id metric.ID, step int64) (int, error) {
 // serving planned queries. Large stores scan shards in parallel (see
 // scanSeries); the per-shard drop counts reduce serially.
 func (s *Store) Retain(cutoff int64) int {
+	s.bumpRefEpoch() // chunks retire under outstanding refs; force re-resolve
 	partial := make([]int, len(s.shards))
 	s.scanSeries(func(shard int, ss *storedSeries) {
 		ss.mu.Lock()

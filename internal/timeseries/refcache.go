@@ -1,0 +1,81 @@
+package timeseries
+
+import (
+	"errors"
+	"sync"
+)
+
+// RefCache adapts keyed batches onto the ref fast path: it memoizes
+// Resolve per series key, so a steady-state AppendBatch through the cache
+// pays one map probe per entry instead of hashing and shard-locking inside
+// the store, and — when the caller already has the keys in hand (the
+// cluster router computes them for ring placement) — nothing else. The
+// cache heals itself across epoch bumps and falls back to the keyed path
+// when the wrapped appender refuses to resolve (e.g. mid-close).
+type RefCache struct {
+	mu    sync.Mutex
+	a     RefAppender
+	epoch uint64
+	refs  map[string]SeriesRef
+	buf   []RefEntry
+}
+
+// NewRefCache wraps a ref-capable appender.
+func NewRefCache(a RefAppender) *RefCache {
+	return &RefCache{a: a, refs: make(map[string]SeriesRef)}
+}
+
+// AppendBatch appends keyed entries through the ref fast path, with the
+// same (appended, first error) contract as the keyed AppendBatch.
+func (c *RefCache) AppendBatch(entries []BatchEntry) (int, error) {
+	return c.AppendBatchKeys(entries, nil)
+}
+
+// AppendBatchKeys is AppendBatch with the series keys precomputed by the
+// caller (keys[i] must equal entries[i].ID.Key(); nil computes them).
+func (c *RefCache) AppendBatchKeys(entries []BatchEntry, keys []string) (int, error) {
+	if len(entries) == 0 {
+		return 0, nil
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for attempt := 0; ; attempt++ {
+		epoch := c.a.RefEpoch()
+		if epoch != c.epoch {
+			clear(c.refs)
+			c.epoch = epoch
+		}
+		c.buf = c.buf[:0]
+		for i := range entries {
+			e := &entries[i]
+			key := ""
+			if keys != nil {
+				key = keys[i]
+			} else {
+				key = e.ID.Key()
+			}
+			ref, ok := c.refs[key]
+			if !ok {
+				var err error
+				ref, err = c.a.Resolve(e.ID, e.Kind, e.Unit)
+				if err != nil {
+					// Resolve refused (store closing, WAL error): hand the
+					// whole batch to the keyed path for its verdict.
+					return c.a.AppendBatch(entries)
+				}
+				c.refs[key] = ref
+			}
+			c.buf = append(c.buf, RefEntry{Ref: ref, T: e.T, V: e.V})
+		}
+		n, err := c.a.AppendRefs(c.buf)
+		// A wholly-stale batch (appended==0) lost a race with an epoch bump
+		// and is safe to retry once after re-resolving; a mixed batch means
+		// the bump landed mid-append and the skipped entries report as
+		// rejections, exactly like out-of-order samples.
+		if err != nil && n == 0 && errors.Is(err, ErrStaleRef) && attempt == 0 {
+			c.epoch = 0 // 0 is never a live epoch: forces re-resolve above
+			continue
+		}
+		return n, err
+	}
+}

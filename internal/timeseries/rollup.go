@@ -259,6 +259,7 @@ func (ts *tierState) sealedRange() (first, last int64, ok bool) {
 // are untouched, so the tiers age out independently: raw days, minutely
 // weeks, hourly years.
 func (s *Store) RetainTier(step, cutoff int64) int {
+	s.bumpRefEpoch() // tier chunks retire under outstanding refs; force re-resolve
 	partial := make([]int, len(s.shards))
 	s.scanSeries(func(shard int, ss *storedSeries) {
 		ss.mu.Lock()

@@ -1,0 +1,273 @@
+package wire
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"math"
+
+	"repro/internal/metric"
+)
+
+// Protocol v2: per-connection series dictionary.
+//
+// A v2 sender defines each series once on a connection with a FrameDict
+// payload, then ships FrameRefBatch payloads that address series by the
+// small uint64 ref it assigned — no per-sample (or even per-batch) name,
+// label or unit re-encoding. Dictionary state is strictly per connection:
+// a redial starts from an empty dictionary on both ends and the client
+// re-defines series as it first uses them again, so renegotiation is
+// implicit in the framing. v1 FrameBatch senders interoperate unchanged.
+//
+// FrameDict payload:
+//
+//	ndefs   uvarint
+//	per def: ref uvarint, name str, nlabels uvarint, {key str, value str}*,
+//	         kind byte, unit str
+//
+// FrameRefBatch payload:
+//
+//	agent    str
+//	nrecords uvarint
+//	per record: ref uvarint, nsamples uvarint,
+//	            samples: varint t (first absolute, then deltas) + 8-byte value
+//
+// Defining a ref twice on one connection and referencing an undefined ref
+// are both protocol errors that drop the connection — a correct client can
+// do neither, so tolerating them would only mask corruption.
+
+// Dictionary protocol errors.
+var (
+	ErrUnknownRef   = errors.New("wire: ref batch references undefined series ref")
+	ErrDictRedefine = errors.New("wire: dictionary redefines existing series ref")
+)
+
+type dictDef struct {
+	id   metric.ID
+	kind metric.Kind
+	unit metric.Unit
+}
+
+// ConnDict is the receive side of the v2 dictionary: one per connection,
+// populated by FrameDict payloads and consumed by DecodeRefBatch. Not safe
+// for concurrent use; frames on one connection are handled sequentially.
+type ConnDict struct {
+	defs map[uint64]dictDef
+}
+
+// NewConnDict returns an empty per-connection dictionary.
+func NewConnDict() *ConnDict { return &ConnDict{defs: make(map[uint64]dictDef)} }
+
+// Len returns how many series the connection has defined.
+func (d *ConnDict) Len() int { return len(d.defs) }
+
+// AddDefs decodes a FrameDict payload into the dictionary and returns how
+// many series it defined.
+func (d *ConnDict) AddDefs(payload []byte) (int, error) {
+	p := &payloadReader{buf: payload}
+	ndefs, err := p.uvarint()
+	if err != nil {
+		return 0, err
+	}
+	if ndefs > uint64(len(payload)) { // sanity: every def needs >= 1 byte
+		return 0, fmt.Errorf("wire: implausible definition count %d", ndefs)
+	}
+	for i := uint64(0); i < ndefs; i++ {
+		ref, err := p.uvarint()
+		if err != nil {
+			return 0, err
+		}
+		name, err := p.str()
+		if err != nil {
+			return 0, err
+		}
+		nlab, err := p.uvarint()
+		if err != nil {
+			return 0, err
+		}
+		if nlab > uint64(len(payload)) {
+			return 0, fmt.Errorf("wire: implausible label count %d", nlab)
+		}
+		var labels metric.Labels
+		if nlab > 0 {
+			kv := make([]string, 0, nlab*2)
+			for li := uint64(0); li < nlab; li++ {
+				k, err := p.str()
+				if err != nil {
+					return 0, err
+				}
+				v, err := p.str()
+				if err != nil {
+					return 0, err
+				}
+				kv = append(kv, k, v)
+			}
+			labels = metric.NewLabels(kv...)
+		}
+		if p.pos >= len(payload) {
+			return 0, io.ErrUnexpectedEOF
+		}
+		kind := metric.Kind(payload[p.pos])
+		p.pos++
+		unit, err := p.str()
+		if err != nil {
+			return 0, err
+		}
+		if _, dup := d.defs[ref]; dup {
+			return 0, fmt.Errorf("%w: ref %d", ErrDictRedefine, ref)
+		}
+		// Intern the ID once per connection: every batch decoded against
+		// this def reuses the cached key on downstream keyed lookups.
+		d.defs[ref] = dictDef{id: metric.NewID(name, labels), kind: kind, unit: metric.Unit(unit)}
+	}
+	if p.pos != len(payload) {
+		return 0, fmt.Errorf("wire: %d trailing bytes after dictionary", len(payload)-p.pos)
+	}
+	return int(ndefs), nil
+}
+
+// DecodeRefBatch parses a FrameRefBatch payload against the dictionary,
+// returning a Batch identical to what a v1 FrameBatch for the same samples
+// would decode to (record IDs come from the dictionary definitions).
+func (d *ConnDict) DecodeRefBatch(payload []byte) (*Batch, error) {
+	p := &payloadReader{buf: payload}
+	agent, err := p.str()
+	if err != nil {
+		return nil, err
+	}
+	nrec, err := p.uvarint()
+	if err != nil {
+		return nil, err
+	}
+	if nrec > uint64(len(payload)) {
+		return nil, fmt.Errorf("wire: implausible record count %d", nrec)
+	}
+	b := &Batch{Agent: agent, Records: make([]Record, 0, nrec)}
+	for ri := uint64(0); ri < nrec; ri++ {
+		ref, err := p.uvarint()
+		if err != nil {
+			return nil, err
+		}
+		def, ok := d.defs[ref]
+		if !ok {
+			return nil, fmt.Errorf("%w: ref %d", ErrUnknownRef, ref)
+		}
+		r := Record{ID: def.id, Kind: def.kind, Unit: def.unit}
+		nsm, err := p.uvarint()
+		if err != nil {
+			return nil, err
+		}
+		if nsm > uint64(len(payload)) {
+			return nil, fmt.Errorf("wire: implausible sample count %d", nsm)
+		}
+		if nsm > 0 {
+			r.Samples = make([]metric.Sample, 0, nsm)
+		}
+		var prevT int64
+		for si := uint64(0); si < nsm; si++ {
+			dt, err := p.varint()
+			if err != nil {
+				return nil, err
+			}
+			t := dt
+			if si > 0 {
+				t = prevT + dt
+			}
+			prevT = t
+			v, err := p.float()
+			if err != nil {
+				return nil, err
+			}
+			r.Samples = append(r.Samples, metric.Sample{T: t, V: v})
+		}
+		b.Records = append(b.Records, r)
+	}
+	if p.pos != len(payload) {
+		return nil, fmt.Errorf("wire: %d trailing bytes after ref batch", len(payload)-p.pos)
+	}
+	return b, nil
+}
+
+// appendDef serializes one dictionary definition.
+func appendDef(dst []byte, ref uint64, r *Record) []byte {
+	dst = appendUvarint(dst, ref)
+	dst = appendString(dst, r.ID.Name)
+	dst = appendUvarint(dst, uint64(len(r.ID.Labels)))
+	for _, l := range r.ID.Labels {
+		dst = appendString(dst, l.Key)
+		dst = appendString(dst, l.Value)
+	}
+	dst = append(dst, byte(r.Kind))
+	dst = appendString(dst, string(r.Unit))
+	return dst
+}
+
+// appendRefBatch serializes a FrameRefBatch payload for b, with every
+// record's ref already present in refs (keyed by ID.Key()).
+func appendRefBatch(dst []byte, b *Batch, refs map[string]uint64) []byte {
+	out := dst
+	out = appendString(out, b.Agent)
+	out = appendUvarint(out, uint64(len(b.Records)))
+	for i := range b.Records {
+		r := &b.Records[i]
+		out = appendUvarint(out, refs[r.ID.Key()])
+		out = appendUvarint(out, uint64(len(r.Samples)))
+		var prevT int64
+		for si, sm := range r.Samples {
+			if si == 0 {
+				out = appendVarint(out, sm.T)
+			} else {
+				out = appendVarint(out, sm.T-prevT)
+			}
+			prevT = sm.T
+			var vb [8]byte
+			binary.BigEndian.PutUint64(vb[:], math.Float64bits(sm.V))
+			out = append(out, vb[:]...)
+		}
+	}
+	return out
+}
+
+// clientDict is the send side of the v2 dictionary: per-connection ref
+// assignments plus reused encode scratch, reset on redial.
+type clientDict struct {
+	refs map[string]uint64
+	next uint64
+	body []byte // definition-body scratch (defs minus the count prefix)
+	defs []byte // FrameDict payload scratch
+	recs []byte // FrameRefBatch payload scratch
+}
+
+func newClientDict() *clientDict { return &clientDict{refs: make(map[string]uint64)} }
+
+// sendDict encodes b as (optional) dictionary definitions plus a ref
+// batch on bw, coalescing both frames into one flush. Steady state — all
+// series already defined on this connection — allocates nothing.
+func (d *clientDict) sendDict(bw *BatchWriter, b *Batch) error {
+	ndefs := 0
+	d.body = d.body[:0]
+	for i := range b.Records {
+		r := &b.Records[i]
+		key := r.ID.Key()
+		if _, ok := d.refs[key]; ok {
+			continue // already defined (possibly earlier in this batch)
+		}
+		d.next++
+		d.refs[key] = d.next
+		d.body = appendDef(d.body, d.next, r)
+		ndefs++
+	}
+	if ndefs > 0 {
+		d.defs = appendUvarint(d.defs[:0], uint64(ndefs))
+		d.defs = append(d.defs, d.body...)
+		if err := bw.writeFrame(Version2, FrameDict, d.defs); err != nil {
+			return err
+		}
+	}
+	d.recs = appendRefBatch(d.recs[:0], b, d.refs)
+	if err := bw.writeFrame(Version2, FrameRefBatch, d.recs); err != nil {
+		return err
+	}
+	return bw.flush()
+}

@@ -84,6 +84,62 @@ func FuzzWireDecode(f *testing.F) {
 	})
 }
 
+// dictFuzzSeeds builds the deterministic v2 seed payloads shared by the
+// fuzz target and the committed corpus (gen_corpus_test.go).
+func dictFuzzSeeds() (defs, batch, dupDefs, undefBatch []byte) {
+	rec1 := Record{
+		ID:   metric.ID{Name: "node_power_watts", Labels: metric.NewLabels("node", "n042")},
+		Kind: metric.Gauge, Unit: metric.UnitWatt,
+		Samples: []metric.Sample{{T: 1_700_000_000_000, V: 411.5}, {T: 1_700_000_060_000, V: 417.25}},
+	}
+	rec2 := Record{
+		ID:   metric.ID{Name: "node_cpu_temp_celsius"},
+		Kind: metric.Counter, Unit: metric.UnitCelsius,
+		Samples: []metric.Sample{{T: -5, V: math.NaN()}},
+	}
+	defs = appendUvarint(nil, 2)
+	defs = appendDef(defs, 1, &rec1)
+	defs = appendDef(defs, 2, &rec2)
+	refs := map[string]uint64{rec1.ID.Key(): 1, rec2.ID.Key(): 2}
+	batch = appendRefBatch(nil, &Batch{Agent: "n042", Records: []Record{rec1, rec2}}, refs)
+	dupDefs = appendUvarint(nil, 2)
+	dupDefs = appendDef(dupDefs, 1, &rec1)
+	dupDefs = appendDef(dupDefs, 1, &rec2) // same ref twice: protocol error
+	undefBatch = appendRefBatch(nil, &Batch{Agent: "n042", Records: []Record{rec1}},
+		map[string]uint64{rec1.ID.Key(): 99})
+	return
+}
+
+// FuzzDictDecode throws arbitrary (dictionary, ref batch) payload pairs at
+// the v2 decoder. Properties: neither AddDefs nor DecodeRefBatch ever
+// panics — undefined refs, duplicate defines, truncated dictionaries and
+// implausible counts must all surface as errors — and any batch that does
+// decode is inside the v1 encoder's domain (it re-encodes and re-decodes
+// cleanly).
+func FuzzDictDecode(f *testing.F) {
+	defs, batch, dupDefs, undefBatch := dictFuzzSeeds()
+	// Seeds mirror the committed corpus in testdata/fuzz/FuzzDictDecode.
+	f.Add(defs, batch)                                                               // valid define + ref batch
+	f.Add([]byte{}, undefBatch)                                                      // undefined ref
+	f.Add(dupDefs, batch)                                                            // duplicate define
+	f.Add(defs[:len(defs)/2], batch)                                                 // truncated dictionary
+	f.Add(defs, batch[:len(batch)/2])                                                // truncated ref batch
+	f.Add([]byte{0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0x01}, batch) // huge count varint
+
+	f.Fuzz(func(t *testing.T, defPayload, batchPayload []byte) {
+		cd := NewConnDict()
+		_, _ = cd.AddDefs(defPayload) // error = dropped conn; no panic is the property
+		b, err := cd.DecodeRefBatch(batchPayload)
+		if err != nil {
+			return
+		}
+		re := EncodeBatch(b)
+		if _, err := DecodeBatch(re); err != nil {
+			t.Fatalf("decoded ref batch is outside the v1 encoder domain: %v", err)
+		}
+	})
+}
+
 func sameLabelSet(a, b metric.Labels) bool {
 	if len(a) != len(b) {
 		return false

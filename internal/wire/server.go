@@ -33,10 +33,12 @@ type Server struct {
 	wg      sync.WaitGroup
 	closed  atomic.Bool
 
-	batches atomic.Uint64
-	samples atomic.Uint64
-	errors  atomic.Uint64
-	pings   atomic.Uint64
+	batches    atomic.Uint64
+	samples    atomic.Uint64
+	errors     atomic.Uint64
+	pings      atomic.Uint64
+	dictDefs   atomic.Uint64
+	refBatches atomic.Uint64
 }
 
 // NewServer listens on addr ("127.0.0.1:0" picks a free port) and serves
@@ -74,6 +76,14 @@ func (s *Server) Errors() uint64 { return s.errors.Load() }
 // Pings returns the number of ping frames answered.
 func (s *Server) Pings() uint64 { return s.pings.Load() }
 
+// DictDefs returns how many v2 dictionary series definitions have been
+// received across all connections.
+func (s *Server) DictDefs() uint64 { return s.dictDefs.Load() }
+
+// RefBatches returns how many batches arrived as v2 ref batches (also
+// counted in Batches).
+func (s *Server) RefBatches() uint64 { return s.refBatches.Load() }
+
 func (s *Server) acceptLoop() {
 	defer s.wg.Done()
 	for {
@@ -90,6 +100,10 @@ func (s *Server) serveConn(conn net.Conn) {
 	defer s.wg.Done()
 	defer conn.Close()
 	r := bufio.NewReader(conn)
+	// The v2 series dictionary is per connection, allocated on first use so
+	// v1-only agents pay nothing. It dies with the connection: a redialing
+	// client starts a fresh dictionary and re-defines series as it goes.
+	var dict *ConnDict
 	for {
 		ft, payload, err := ReadFrame(r)
 		if err == nil && ft == FramePing {
@@ -102,12 +116,29 @@ func (s *Server) serveConn(conn net.Conn) {
 			s.pings.Add(1)
 			continue
 		}
+		if err == nil && ft == FrameDict {
+			if dict == nil {
+				dict = NewConnDict()
+			}
+			var n int
+			if n, err = dict.AddDefs(payload); err == nil {
+				s.dictDefs.Add(uint64(n))
+				continue
+			}
+		}
 		var b *Batch
 		if err == nil {
-			if ft != FrameBatch {
-				err = fmt.Errorf("wire: unexpected frame type %d", ft)
-			} else {
+			switch ft {
+			case FrameBatch:
 				b, err = DecodeBatch(payload)
+			case FrameRefBatch:
+				if dict == nil {
+					err = fmt.Errorf("wire: ref batch before any dictionary frame")
+				} else if b, err = dict.DecodeRefBatch(payload); err == nil {
+					s.refBatches.Add(1)
+				}
+			default:
+				err = fmt.Errorf("wire: unexpected frame type %d", ft)
 			}
 		}
 		if err != nil {
@@ -151,6 +182,12 @@ type Client struct {
 	redials atomic.Uint64
 	pingSeq uint64 // nonce for Ping frames, guarded by mu
 
+	// useDict switches Sends to protocol v2; dict is the per-connection
+	// send-side dictionary, discarded on redial so the new connection
+	// renegotiates from scratch. Both guarded by mu.
+	useDict bool
+	dict    *clientDict
+
 	timeout     time.Duration
 	deadlineSet bool
 }
@@ -177,6 +214,18 @@ func DialWith(dial Dialer, addr string) (*Client, error) {
 // Redials returns how many reconnects Sends have performed.
 func (c *Client) Redials() uint64 { return c.redials.Load() }
 
+// EnableDict switches subsequent Sends to the v2 dictionary protocol:
+// each series is defined once per connection, then shipped as compact
+// ref+delta-t+value records. Redials renegotiate automatically (the fresh
+// connection starts with an empty dictionary on both ends). The far end
+// must understand v2 — all in-repo servers do; leave it off to talk to a
+// v1-only endpoint. Safe for concurrent use with Send.
+func (c *Client) EnableDict() {
+	c.mu.Lock()
+	c.useDict = true
+	c.mu.Unlock()
+}
+
 // SetTimeout bounds each subsequent Send with a write deadline of d,
 // counted from the moment the send starts (0 disables the deadline again).
 // A deadline turns a wedged endpoint into a prompt error instead of an
@@ -197,6 +246,7 @@ func (c *Client) redialLocked() error {
 	}
 	c.conn = conn
 	c.bw = NewBatchWriter(conn)
+	c.dict = nil // dictionary state is per connection: renegotiate from empty
 	c.deadlineSet = false
 	c.broken = false
 	c.redials.Add(1)
@@ -227,6 +277,16 @@ func (c *Client) Send(b *Batch) error {
 			return err
 		}
 		c.deadlineSet = false
+	}
+	if c.useDict {
+		if c.dict == nil {
+			c.dict = newClientDict()
+		}
+		if err := c.dict.sendDict(c.bw, b); err != nil {
+			c.broken = true
+			return err
+		}
+		return nil
 	}
 	if err := c.bw.Send(b); err != nil {
 		c.broken = true

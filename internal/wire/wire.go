@@ -10,10 +10,15 @@
 //	crc32   uint32  IEEE checksum of the payload
 //	payload [length]byte
 //
-// The only payload today is a Batch: a set of records, each carrying a
-// metric ID, kind, unit and a run of (delta-encoded) samples. Strings are
+// The v1 payload is a Batch: a set of records, each carrying a metric ID,
+// kind, unit and a run of (delta-encoded) samples. Strings are
 // length-prefixed with uvarints; integers use varints so the common case
 // (regular cadence, small deltas) stays compact on the wire.
+//
+// Protocol v2 adds a per-connection series dictionary (see dict.go): a
+// FrameDict defines each series once, and FrameRefBatch frames then ship
+// ref + delta-t + value records with no per-sample ID re-encoding. v1
+// frames still decode on a v2 server.
 package wire
 
 import (
@@ -32,6 +37,9 @@ import (
 const (
 	Magic   uint16 = 0x0DA7
 	Version uint8  = 1
+	// Version2 marks frames that participate in the per-connection series
+	// dictionary (FrameDict / FrameRefBatch). Readers accept both versions.
+	Version2 uint8 = 2
 
 	// FrameBatch carries a telemetry Batch.
 	FrameBatch uint8 = 1
@@ -42,6 +50,11 @@ const (
 	FramePing uint8 = 2
 	// FramePong is the server's echo reply to a FramePing.
 	FramePong uint8 = 3
+	// FrameDict defines series in the connection's dictionary (v2).
+	FrameDict uint8 = 4
+	// FrameRefBatch carries a batch whose records address series by
+	// dictionary ref (v2).
+	FrameRefBatch uint8 = 5
 
 	headerLen = 12
 	// MaxPayload bounds a frame so a corrupt length cannot allocate
@@ -261,28 +274,37 @@ func DecodeBatch(payload []byte) (*Batch, error) {
 	return b, nil
 }
 
-// putFrameHeader fills hdr for a payload of the given type. The caller has
-// already checked the MaxPayload bound.
-func putFrameHeader(hdr *[headerLen]byte, frameType uint8, payload []byte) {
+// putFrameHeader fills hdr for a payload of the given version and type.
+// The caller has already checked the MaxPayload bound.
+func putFrameHeader(hdr *[headerLen]byte, version, frameType uint8, payload []byte) {
 	binary.BigEndian.PutUint16(hdr[0:2], Magic)
-	hdr[2] = Version
+	hdr[2] = version
 	hdr[3] = frameType
 	binary.BigEndian.PutUint32(hdr[4:8], uint32(len(payload)))
 	binary.BigEndian.PutUint32(hdr[8:12], crc32.ChecksumIEEE(payload))
 }
 
-// WriteFrame writes a framed payload to w.
+// WriteFrame writes a framed payload to w. Dictionary frame types are
+// stamped v2, everything else v1, so callers never pick a version by hand.
 func WriteFrame(w io.Writer, frameType uint8, payload []byte) error {
 	if len(payload) > MaxPayload {
 		return ErrTooLarge
 	}
 	var hdr [headerLen]byte
-	putFrameHeader(&hdr, frameType, payload)
+	putFrameHeader(&hdr, versionFor(frameType), frameType, payload)
 	if _, err := w.Write(hdr[:]); err != nil {
 		return err
 	}
 	_, err := w.Write(payload)
 	return err
+}
+
+// versionFor maps a frame type to the protocol version it was introduced in.
+func versionFor(frameType uint8) uint8 {
+	if frameType == FrameDict || frameType == FrameRefBatch {
+		return Version2
+	}
+	return Version
 }
 
 // ReadFrame reads one framed payload from r, validating magic, version,
@@ -295,7 +317,7 @@ func ReadFrame(r io.Reader) (frameType uint8, payload []byte, err error) {
 	if binary.BigEndian.Uint16(hdr[0:2]) != Magic {
 		return 0, nil, ErrBadMagic
 	}
-	if hdr[2] != Version {
+	if hdr[2] != Version && hdr[2] != Version2 {
 		return 0, nil, ErrBadVersion
 	}
 	frameType = hdr[3]
@@ -349,15 +371,24 @@ func NewBatchWriter(w io.Writer) *BatchWriter {
 // Send frames, writes and flushes one batch.
 func (bw *BatchWriter) Send(b *Batch) error {
 	bw.buf = AppendBatch(bw.buf[:0], b)
-	if len(bw.buf) > MaxPayload {
-		return ErrTooLarge
-	}
-	putFrameHeader(&bw.hdr, FrameBatch, bw.buf)
-	if _, err := bw.w.Write(bw.hdr[:]); err != nil {
-		return err
-	}
-	if _, err := bw.w.Write(bw.buf); err != nil {
+	if err := bw.writeFrame(Version, FrameBatch, bw.buf); err != nil {
 		return err
 	}
 	return bw.w.Flush()
 }
+
+// writeFrame buffers one framed payload without flushing, so a dictionary
+// frame and its ref batch coalesce into a single flush (dict.go).
+func (bw *BatchWriter) writeFrame(version, frameType uint8, payload []byte) error {
+	if len(payload) > MaxPayload {
+		return ErrTooLarge
+	}
+	putFrameHeader(&bw.hdr, version, frameType, payload)
+	if _, err := bw.w.Write(bw.hdr[:]); err != nil {
+		return err
+	}
+	_, err := bw.w.Write(payload)
+	return err
+}
+
+func (bw *BatchWriter) flush() error { return bw.w.Flush() }
