@@ -12,7 +12,7 @@ CHAOS_SEED ?= 1
 CHAOS_DURATION ?= 5m
 CHAOS_INTENSITY ?= 2
 
-.PHONY: build test race vet bench bench-parallel bench-allocs bench-longwindow bench-cluster bench-ingest cover fuzz-short crash-test lint-footprints chaos-short chaos
+.PHONY: build test race vet bench bench-parallel bench-allocs bench-longwindow bench-cluster bench-rebalance bench-ingest cover fuzz-short crash-test lint-footprints chaos-short chaos
 
 build:
 	$(GO) build ./...
@@ -42,10 +42,13 @@ race: vet lint-footprints chaos-short
 # fault-injection harness (internal/chaos) runs 30s-virtual-time campaigns
 # across collector → wire → store and checks all five end-to-end
 # invariants (sample conservation, byte-identical crash recovery,
-# planner/raw bit-parity, front-door quota/cache consistency, and the
+# planner/raw bit-parity, front-door quota/cache consistency, the
 # kill-one-peer cluster leg: conservation across peers, hinted-handoff
 # drain, replication convergence, degraded-read and post-heal query
-# parity). A failure prints a one-line repro string replayable via
+# parity; and the membership leg: a node joins AND another dies
+# mid-campaign — epoch convergence, 1/N movement bound, per-key
+# durability and post-heal parity). A failure prints a one-line repro
+# string replayable via
 # `odachaos -repro`.
 chaos-short:
 	$(GO) test -race -count=1 ./internal/chaos
@@ -84,6 +87,7 @@ fuzz-short:
 	$(GO) test -run xxx -fuzz FuzzQueryRangeParse -fuzztime $(FUZZTIME) ./internal/queryfront
 	$(GO) test -run xxx -fuzz FuzzChaosScheduleParse -fuzztime $(FUZZTIME) ./internal/chaos
 	$(GO) test -run xxx -fuzz FuzzRingPlacement -fuzztime $(FUZZTIME) ./internal/cluster
+	$(GO) test -run xxx -fuzz FuzzTopologyTransition -fuzztime $(FUZZTIME) ./internal/cluster
 
 vet:
 	$(GO) vet ./...
@@ -150,6 +154,12 @@ bench-ingest:
 # the network (see BENCH_PR8.json for recorded numbers).
 bench-cluster:
 	$(GO) test -run xxx -bench BenchmarkClusterScatterQuery -benchmem -benchtime 2s ./internal/cluster
+
+# The PR 10 membership benches: the full join handoff (snapshot + WAL tail +
+# epoch commit) against a loaded cluster, and the fixed per-node cost of
+# adopting a bumped epoch (see BENCH_PR10.json for recorded numbers).
+bench-rebalance:
+	$(GO) test -run xxx -bench 'BenchmarkJoinHandoff|BenchmarkEpochFlip' -benchmem -benchtime 20x ./internal/cluster
 
 # The PR 1 contention benches; -cpu 1,4 exposes lock-contention scaling
 # (see BENCH_PR1.json for recorded before/after numbers).

@@ -1,0 +1,80 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/url"
+	"strings"
+	"time"
+)
+
+// runCluster implements `odactl cluster join|leave|status`, the operator
+// surface for runtime membership changes against a clustered odad's HTTP
+// endpoint:
+//
+//	odactl cluster status http://node:9901
+//	odactl cluster join   http://joiner:9901 seed-host:9900
+//	odactl cluster leave  http://node:9901
+//
+// join is addressed to the JOINING node and names any current member's
+// cluster (wire) address as the seed; leave is addressed to the node that
+// should hand off its data and depart.
+func runCluster(args []string) error {
+	if len(args) < 2 {
+		return fmt.Errorf("usage: odactl cluster {status URL | join URL SEED | leave URL}")
+	}
+	sub, base := args[0], httpBase(args[1])
+	client := &http.Client{Timeout: 60 * time.Second}
+	switch sub {
+	case "status":
+		resp, err := client.Get(base + "/cluster/status")
+		if err != nil {
+			return err
+		}
+		defer resp.Body.Close()
+		body, _ := io.ReadAll(resp.Body)
+		if resp.StatusCode != http.StatusOK {
+			return fmt.Errorf("%s: %s: %s", base, resp.Status, strings.TrimSpace(string(body)))
+		}
+		var stats map[string]any
+		if err := json.Unmarshal(body, &stats); err != nil {
+			return fmt.Errorf("decode status: %w", err)
+		}
+		fmt.Print(renderStats(stats))
+		return nil
+	case "join":
+		if len(args) != 3 {
+			return fmt.Errorf("usage: odactl cluster join URL SEED (seed = any current member's cluster address)")
+		}
+		return clusterPost(client, base+"/cluster/join?seed="+url.QueryEscape(args[2]))
+	case "leave":
+		return clusterPost(client, base+"/cluster/leave")
+	default:
+		return fmt.Errorf("unknown cluster subcommand %q (want status, join or leave)", sub)
+	}
+}
+
+func clusterPost(client *http.Client, target string) error {
+	resp, err := client.Post(target, "application/json", nil)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	body, _ := io.ReadAll(resp.Body)
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("%s: %s", resp.Status, strings.TrimSpace(string(body)))
+	}
+	fmt.Print(string(body))
+	return nil
+}
+
+// httpBase normalizes an odad HTTP address: bare host:port gets a scheme,
+// trailing slashes drop.
+func httpBase(s string) string {
+	if !strings.Contains(s, "://") {
+		s = "http://" + s
+	}
+	return strings.TrimSuffix(s, "/")
+}

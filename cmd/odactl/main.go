@@ -14,6 +14,9 @@
 //	odactl stats URL   # fetch and render a running odad's /stats document
 //	odactl query -series KEY -from MS -to MS [-step MS] [-fn mean] [-url http://host:9901]
 //	                   # planned query through odad's /query front door
+//	odactl cluster status URL      # topology epoch, members, peer health
+//	odactl cluster join URL SEED   # tell the node at URL to join SEED's cluster
+//	odactl cluster leave URL       # tell the node at URL to hand off and leave
 package main
 
 import (
@@ -28,7 +31,7 @@ import (
 )
 
 func usage() {
-	fmt.Fprintln(os.Stderr, "usage: odactl {grid|survey|types|pillars|systems|works|stats URL|query -series KEY ...}")
+	fmt.Fprintln(os.Stderr, "usage: odactl {grid|survey|types|pillars|systems|works|stats URL|query -series KEY ...|cluster {status|join|leave} URL ...}")
 	os.Exit(2)
 }
 
@@ -38,6 +41,12 @@ func main() {
 	}
 	if os.Args[1] == "query" {
 		if err := runQuery(os.Args[2:]); err != nil {
+			fatal(err)
+		}
+		return
+	}
+	if os.Args[1] == "cluster" {
+		if err := runCluster(os.Args[2:]); err != nil {
 			fatal(err)
 		}
 		return

@@ -33,6 +33,12 @@
 //	GET /analyze      one full-grid ODA sweep over the archive
 //	                  (?window_hours=N, default 6)
 //
+// Clustered nodes (-peers) additionally serve membership administration:
+//
+//	GET  /cluster/status       topology epoch, members, peer health, replicas
+//	POST /cluster/join?seed=A  join the cluster reachable at seed host:port
+//	POST /cluster/leave        hand off this node's data and leave
+//
 // /query and /query_range sit behind a sharded LRU result cache (staleness
 // bounded by -query-cache-ttl) and per-tenant token-bucket quotas
 // (X-ODA-Tenant header, -query-rate/-query-burst; over-quota requests get
@@ -97,10 +103,22 @@ func main() {
 	queryCacheEntries := flag.Int("query-cache-entries", 1024, "result cache capacity (0 = caching off)")
 	queryCacheTTL := flag.Duration("query-cache-ttl", 10*time.Second, "result cache staleness bound")
 	nodeID := flag.String("node-id", "", "this node's cluster identity (requires -peers)")
-	peersFlag := flag.String("peers", "", "static cluster membership as id=host:port,... including this node; this node binds its own entry as the cluster listener")
-	replication := flag.Int("replication", 1, "cluster replication factor (WAL-shipped replicas per node; needs -data-dir to serve followers)")
+	peersFlag := flag.String("peers", "", "initial cluster membership as id=host:port,... including this node; this node binds its own entry as the cluster listener (membership evolves at runtime via odactl cluster join/leave)")
+	replication := flag.Int("replication", 1, "deprecated alias for -rf")
+	rf := flag.Int("rf", 0, "cluster replication factor (WAL-shipped replicas per node; needs -data-dir to serve followers; 0 = -replication's value)")
+	vnodes := flag.Int("vnodes", 0, "virtual nodes per cluster member on the placement ring (0 = default 128; higher = smoother balance, more memory)")
 	legacyWire := flag.Bool("legacy-wire", false, "disable the series-ref ingest fast path: forward peer batches as v1 keyed frames and append locally by key")
 	flag.Parse()
+
+	if *rf == 0 {
+		*rf = *replication
+	}
+	if *rf < 1 {
+		log.Fatalf("odad: -rf must be >= 1, got %d", *rf)
+	}
+	if *vnodes < 0 || *vnodes > 4096 {
+		log.Fatalf("odad: -vnodes must be in [1, 4096] (or 0 for the default), got %d", *vnodes)
+	}
 
 	if *retainRaw == 0 {
 		*retainRaw = *retainHours
@@ -166,7 +184,8 @@ func main() {
 		router, err = cluster.New(cluster.Config{
 			Self:           *nodeID,
 			Peers:          peers,
-			Replication:    *replication,
+			VNodes:         *vnodes,
+			Replication:    *rf,
 			Local:          local,
 			Store:          store,
 			Durable:        durable,
@@ -187,10 +206,10 @@ func main() {
 			log.Fatalf("odad: cluster listen %s: %v", selfAddr, err)
 		}
 		router.Start(0, 0) // default flush/health cadence
-		log.Printf("odad: cluster node %s on %s (%d peers, rf=%d)",
-			*nodeID, clusterSrv.Addr(), len(peers)-1, router.Ring().RF())
-	} else if *nodeID != "" || *replication != 1 {
-		log.Fatalf("odad: -node-id/-replication need -peers")
+		log.Printf("odad: cluster node %s on %s (%d peers, rf=%d, vnodes=%d)",
+			*nodeID, clusterSrv.Addr(), len(peers)-1, router.Ring().RF(), router.Ring().VNodes())
+	} else if *nodeID != "" || *rf != 1 || *vnodes != 0 {
+		log.Fatalf("odad: -node-id/-rf/-vnodes need -peers")
 	}
 	// Single-node ingest goes through a ref cache: each series resolves to
 	// an interned handle once, then appends skip key building and map
@@ -308,6 +327,46 @@ func main() {
 	mux.HandleFunc("/query_range", qf.HandleQueryRange)
 	mux.HandleFunc("/stats", statsHandler(store, srv, durable, grid, qf, router))
 	mux.HandleFunc("/analyze", analyzeHandler(grid, store, latest.Load))
+	// Cluster administration (odactl cluster ...): runtime membership
+	// changes and the live topology/peer view. Mounted only on clustered
+	// nodes — a single-node daemon has no membership to administer.
+	if router != nil {
+		mux.HandleFunc("/cluster/status", func(w http.ResponseWriter, r *http.Request) {
+			w.Header().Set("Content-Type", "application/json")
+			if err := json.NewEncoder(w).Encode(router.Stats()); err != nil {
+				http.Error(w, err.Error(), http.StatusInternalServerError)
+			}
+		})
+		mux.HandleFunc("/cluster/join", func(w http.ResponseWriter, r *http.Request) {
+			if r.Method != http.MethodPost {
+				http.Error(w, "POST required", http.StatusMethodNotAllowed)
+				return
+			}
+			seed := r.URL.Query().Get("seed")
+			if seed == "" {
+				http.Error(w, "missing seed parameter (seed=host:port of any current member)", http.StatusBadRequest)
+				return
+			}
+			if err := router.JoinCluster(seed); err != nil {
+				http.Error(w, err.Error(), http.StatusConflict)
+				return
+			}
+			w.Header().Set("Content-Type", "application/json")
+			fmt.Fprintf(w, "{\"joined\":true,\"epoch\":%d}\n", router.Epoch())
+		})
+		mux.HandleFunc("/cluster/leave", func(w http.ResponseWriter, r *http.Request) {
+			if r.Method != http.MethodPost {
+				http.Error(w, "POST required", http.StatusMethodNotAllowed)
+				return
+			}
+			if err := router.LeaveCluster(); err != nil {
+				http.Error(w, err.Error(), http.StatusConflict)
+				return
+			}
+			w.Header().Set("Content-Type", "application/json")
+			fmt.Fprintf(w, "{\"left\":true,\"epoch\":%d}\n", router.Epoch())
+		})
+	}
 
 	httpSrv := &http.Server{Addr: *httpAddr, Handler: mux}
 	go func() {

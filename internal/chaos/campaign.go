@@ -61,6 +61,10 @@ type Result struct {
 	ClusterDrainedBatches   uint64 `json:"cluster_drained_batches"`
 	ClusterPartialQueries   uint64 `json:"cluster_partial_queries"`
 
+	MembershipEpoch          uint64 `json:"membership_epoch"`
+	MembershipMovedKeys      int    `json:"membership_moved_keys"`
+	MembershipHandoffEntries uint64 `json:"membership_handoff_entries"`
+
 	Fingerprint string  `json:"fingerprint"`
 	Checks      []Check `json:"checks"`
 	Passed      bool    `json:"passed"`
@@ -227,16 +231,20 @@ func Run(cfg Config, dir string) (*Result, error) {
 	// --- Cluster leg: kill-one-peer against a 3-node cluster --------------
 	clusterFails, clusterFP := runClusterLeg(cfg, dir, res)
 
+	// --- Membership leg: join one node, kill another, mid-campaign --------
+	membershipFails, membershipFP := runMembershipLeg(cfg, dir, res)
+
 	// --- Invariant checkers -----------------------------------------------
 	res.record("conservation", checkConservation(agent, durable, serverStore, srv, wsink, srvRejected.Load(), totalReadings, ticks, injected, res.SimFailureEvents))
 	res.record("recovery", recoverFails)
 	res.record("planner-parity", checkPlannerParity(durable.Store(), vstart, vstart+int64(ticks)*1000))
 	res.record("front-door", checkFrontDoor(durable.Store()))
 	res.record("cluster", clusterFails)
+	res.record("membership", membershipFails)
 
 	// --- Fingerprint: the seed-determined portion of the campaign ---------
 	h := fnv.New64a()
-	fmt.Fprintf(h, "%+v|ticks=%d|readings=%d|crashes=%d|sim=%s|cluster=%s", durable.Store().Dump(), ticks, totalReadings, res.Crashes, simFP, clusterFP)
+	fmt.Fprintf(h, "%+v|ticks=%d|readings=%d|crashes=%d|sim=%s|cluster=%s|membership=%s", durable.Store().Dump(), ticks, totalReadings, res.Crashes, simFP, clusterFP, membershipFP)
 	res.Fingerprint = fmt.Sprintf("%016x", h.Sum64())
 
 	if err := durable.Close(); err != nil {

@@ -43,3 +43,60 @@ func BenchmarkClusterScatterQuery(b *testing.B) {
 		})
 	}
 }
+
+// BenchmarkJoinHandoff measures the full cost of a runtime join against a
+// loaded 3-node cluster: snapshot pull from every donor, owed-range import,
+// WAL tail catch-up, epoch commit and the push round. The per-op time is
+// dominated by how much history the joiner must stream, so it tracks the
+// ~1/N movement guarantee directly. Recorded in BENCH_PR10.json; `make
+// bench-rebalance` reruns it.
+func BenchmarkJoinHandoff(b *testing.B) {
+	ids := []string{"n1", "n2", "n3"}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		nodes, fabric := startCluster(b, ids, 2, true, nil)
+		ds := makeDataset(48, 24, int64(41+i))
+		feed(b, nodes, "n1", ds)
+		joiner := newSoloNode(b, fabric, "n4", true)
+		b.StartTimer()
+		if err := joiner.router.JoinCluster("mem://n1"); err != nil {
+			b.Fatalf("JoinCluster: %v", err)
+		}
+		b.StopTimer()
+		if joiner.router.Stats().HandoffEntries == 0 {
+			b.Fatal("join streamed nothing; the benchmark measured an empty handoff")
+		}
+		b.StartTimer()
+	}
+}
+
+// BenchmarkEpochFlip measures adopting a same-membership topology with a
+// bumped epoch: ring rebuild, peer-map rebuild, forward-buffer steal and
+// re-route. This is the fixed cost every node pays on every membership
+// change, so it must stay far below the data-movement cost measured by
+// BenchmarkJoinHandoff. Recorded in BENCH_PR10.json.
+func BenchmarkEpochFlip(b *testing.B) {
+	ids := []string{"n1", "n2", "n3"}
+	nodes, _ := startCluster(b, ids, 2, false, nil)
+	ds := makeDataset(48, 24, 7)
+	feed(b, nodes, "n1", ds)
+	r := nodes["n1"].router
+
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		cur := r.Topology()
+		g, err := cur.WithJoined(Member{ID: "zz-ghost", Addr: "mem://zz-ghost"})
+		if err != nil {
+			b.Fatal(err)
+		}
+		next, err := g.WithLeft("zz-ghost")
+		if err != nil {
+			b.Fatal(err)
+		}
+		if !r.applyTopology(next) {
+			b.Fatal("flip not adopted")
+		}
+	}
+}

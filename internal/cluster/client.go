@@ -58,24 +58,38 @@ func (c *rpcClient) dropLocked() {
 
 // roundTrip sends one frame and reads one response frame, bounding the
 // whole exchange with timeout (0 = no deadline). Any error tears the
-// connection down; the next call redials.
+// connection down; the next call redials. A request-write failure on a
+// conn cached from an earlier call redials and retries once — the peer may
+// have restarted since (no response was in flight, so the retry is safe).
 func (c *rpcClient) roundTrip(reqType uint8, payload []byte, wantType uint8, timeout time.Duration) ([]byte, error) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	if err := c.ensureLocked(); err != nil {
-		return nil, err
-	}
+	cached := c.conn != nil
 	var deadline time.Time
 	if timeout > 0 {
 		deadline = time.Now().Add(timeout)
 	}
-	if err := c.conn.SetDeadline(deadline); err != nil {
-		c.dropLocked()
-		return nil, err
+	send := func() error {
+		if err := c.ensureLocked(); err != nil {
+			return err
+		}
+		if err := c.conn.SetDeadline(deadline); err != nil {
+			c.dropLocked()
+			return err
+		}
+		if err := wire.WriteFrame(c.conn, reqType, payload); err != nil {
+			c.dropLocked()
+			return err
+		}
+		return nil
 	}
-	if err := wire.WriteFrame(c.conn, reqType, payload); err != nil {
-		c.dropLocked()
-		return nil, err
+	if err := send(); err != nil {
+		if !cached {
+			return nil, err
+		}
+		if err := send(); err != nil {
+			return nil, err
+		}
 	}
 	ft, resp, err := wire.ReadFrame(c.br)
 	if err != nil {
@@ -100,6 +114,17 @@ func (c *rpcClient) Close() {
 	c.mu.Unlock()
 }
 
+// epochMismatchError reports that a peer refused a request because it is on
+// a different topology epoch. Callers resolve by exchanging topologies with
+// the peer (fetch if it is newer, push if it is older) and retrying.
+type epochMismatchError struct {
+	peerEpoch uint64
+}
+
+func (e *epochMismatchError) Error() string {
+	return fmt.Sprintf("cluster: peer on topology epoch %d rejected request", e.peerEpoch)
+}
+
 func (c *rpcClient) query(q *queryRequest, timeout time.Duration) (*queryResponse, error) {
 	payload, err := c.roundTrip(FrameQueryReq, encodeQueryRequest(q), FrameQueryResp, timeout)
 	if err != nil {
@@ -111,6 +136,9 @@ func (c *rpcClient) query(q *queryRequest, timeout time.Duration) (*queryRespons
 	}
 	if resp.Err != "" {
 		return nil, fmt.Errorf("cluster: peer query failed: %s", resp.Err)
+	}
+	if resp.EpochMismatch {
+		return nil, &epochMismatchError{peerEpoch: resp.Epoch}
 	}
 	if len(resp.Results) != len(q.Keys) {
 		return nil, fmt.Errorf("cluster: peer returned %d results for %d keys", len(resp.Results), len(q.Keys))
@@ -129,6 +157,65 @@ func (c *rpcClient) replPull(q *replPullRequest, timeout time.Duration) (*replPu
 	}
 	if resp.Err != "" {
 		return nil, fmt.Errorf("cluster: replication pull failed: %s", resp.Err)
+	}
+	if resp.EpochMismatch {
+		return nil, &epochMismatchError{peerEpoch: resp.Epoch}
+	}
+	return resp, nil
+}
+
+// topo fetches the peer's current topology.
+func (c *rpcClient) topo(timeout time.Duration) (*Topology, error) {
+	payload, err := c.roundTrip(FrameTopoReq, nil, FrameTopoResp, timeout)
+	if err != nil {
+		return nil, err
+	}
+	return decodeTopology(payload)
+}
+
+// topoPush offers the peer a topology; it returns the peer's resulting
+// epoch (>= t.Epoch when the push took or the peer was already newer).
+func (c *rpcClient) topoPush(t *Topology, timeout time.Duration) (uint64, error) {
+	payload, err := c.roundTrip(FrameTopoPush, encodeTopology(t), FrameTopoAck, timeout)
+	if err != nil {
+		return 0, err
+	}
+	p := &protoReader{buf: payload}
+	return p.uvarint()
+}
+
+func (c *rpcClient) repair(q *repairRequest, timeout time.Duration) (*repairResponse, error) {
+	payload, err := c.roundTrip(FrameRepairReq, encodeRepairRequest(q), FrameRepairResp, timeout)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := decodeRepairResponse(payload)
+	if err != nil {
+		return nil, err
+	}
+	if resp.Err != "" {
+		return nil, fmt.Errorf("cluster: repair failed: %s", resp.Err)
+	}
+	if resp.EpochMismatch {
+		return nil, &epochMismatchError{peerEpoch: resp.Epoch}
+	}
+	return resp, nil
+}
+
+func (c *rpcClient) repSnap(q *repSnapRequest, timeout time.Duration) (*repSnapResponse, error) {
+	payload, err := c.roundTrip(FrameRepSnapReq, encodeRepSnapRequest(q), FrameRepSnapResp, timeout)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := decodeRepSnapResponse(payload)
+	if err != nil {
+		return nil, err
+	}
+	if resp.Err != "" {
+		return nil, fmt.Errorf("cluster: replica snapshot failed: %s", resp.Err)
+	}
+	if resp.EpochMismatch {
+		return nil, &epochMismatchError{peerEpoch: resp.Epoch}
 	}
 	return resp, nil
 }

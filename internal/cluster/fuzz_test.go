@@ -77,3 +77,119 @@ func FuzzRingPlacement(f *testing.F) {
 		}
 	})
 }
+
+// FuzzTopologyTransition drives a topology through an arbitrary sequence of
+// joins and leaves and checks the membership-change invariants the runtime
+// leans on: every successful transition bumps the epoch by exactly one,
+// membership stays sorted and duplicate-free, a join only moves keys TO the
+// joiner and a leave only moves keys FROM the leaver (the ~1/N movement
+// guarantee), re-adding a member or removing a non-member fails, the last
+// member cannot leave, and the wire encoding round-trips every intermediate
+// value bit-exactly.
+func FuzzTopologyTransition(f *testing.F) {
+	f.Add(uint8(3), uint8(2), []byte{0, 1, 2, 3})
+	f.Add(uint8(1), uint8(1), []byte{0, 0, 0, 1, 1, 1})
+	f.Add(uint8(5), uint8(3), []byte{1, 0, 1, 0, 255, 128})
+	f.Add(uint8(2), uint8(2), []byte{})
+	f.Add(uint8(4), uint8(7), []byte{9, 8, 7, 6, 5, 4, 3, 2, 1, 0})
+
+	keys := make([]string, 24)
+	for i := range keys {
+		keys[i] = fmt.Sprintf("fuzz.metric.%02d{host=h%d}", i, i%5)
+	}
+
+	f.Fuzz(func(t *testing.T, n, rf uint8, ops []byte) {
+		members := make([]Member, int(n)%5+1)
+		for i := range members {
+			id := fmt.Sprintf("seed-%02d", i)
+			members[i] = Member{ID: id, Addr: "mem://" + id}
+		}
+		topo, err := NewTopology(1, members, 16, int(rf)%4+1)
+		if err != nil {
+			t.Fatalf("NewTopology(%d members, rf %d): %v", len(members), int(rf)%4+1, err)
+		}
+		if len(ops) > 24 {
+			ops = ops[:24]
+		}
+		nextID := 0
+		for _, op := range ops {
+			before := topo
+			prim := make(map[string]string, len(keys))
+			for _, k := range keys {
+				prim[k] = before.Ring().Primary(k)
+			}
+			var moverID string // the only node allowed to gain or lose keys
+			if op%2 == 0 {
+				m := Member{ID: fmt.Sprintf("j-%03d", nextID), Addr: fmt.Sprintf("mem://j-%03d", nextID)}
+				nextID++
+				next, err := topo.WithJoined(m)
+				if err != nil {
+					t.Fatalf("WithJoined(%s) on %d members: %v", m.ID, len(topo.Members), err)
+				}
+				if _, err := next.WithJoined(m); err == nil {
+					t.Fatalf("re-joining member %s did not fail", m.ID)
+				}
+				moverID = m.ID
+				topo = next
+				for _, k := range keys {
+					if got := topo.Ring().Primary(k); got != prim[k] && got != moverID {
+						t.Fatalf("join of %s moved key %q %s -> %s (only the joiner may gain keys)",
+							moverID, k, prim[k], got)
+					}
+				}
+			} else {
+				idx := int(op/2) % len(topo.Members)
+				id := topo.Members[idx].ID
+				next, err := topo.WithLeft(id)
+				if len(topo.Members) == 1 {
+					if err == nil {
+						t.Fatal("last member left without error")
+					}
+					continue
+				}
+				if err != nil {
+					t.Fatalf("WithLeft(%s) of %d members: %v", id, len(topo.Members), err)
+				}
+				if _, err := next.WithLeft(id); err == nil {
+					t.Fatalf("removing departed member %s twice did not fail", id)
+				}
+				moverID = id
+				topo = next
+				for _, k := range keys {
+					if got := topo.Ring().Primary(k); got != prim[k] && prim[k] != moverID {
+						t.Fatalf("leave of %s moved key %q %s -> %s (only the leaver's keys may move)",
+							moverID, k, prim[k], got)
+					}
+				}
+			}
+
+			if topo.Epoch != before.Epoch+1 {
+				t.Fatalf("transition bumped epoch %d -> %d, want +1", before.Epoch, topo.Epoch)
+			}
+			seen := map[string]bool{}
+			for i, m := range topo.Members {
+				if m.ID == "" || seen[m.ID] {
+					t.Fatalf("member %d invalid or duplicate: %q", i, m.ID)
+				}
+				seen[m.ID] = true
+				if i > 0 && topo.Members[i-1].ID >= m.ID {
+					t.Fatalf("members unsorted at %d: %q >= %q", i, topo.Members[i-1].ID, m.ID)
+				}
+			}
+
+			rt, err := decodeTopology(encodeTopology(topo))
+			if err != nil {
+				t.Fatalf("round-trip decode: %v", err)
+			}
+			if rt.Epoch != topo.Epoch || rt.VNodes != topo.VNodes || rt.RF != topo.RF ||
+				len(rt.Members) != len(topo.Members) {
+				t.Fatalf("round-trip mismatch: %+v vs %+v", rt, topo)
+			}
+			for i, m := range topo.Members {
+				if rt.Members[i] != m {
+					t.Fatalf("round-trip member %d: %+v vs %+v", i, rt.Members[i], m)
+				}
+			}
+		}
+	})
+}

@@ -25,6 +25,27 @@ const (
 	FrameReplPull uint8 = 18
 	// FrameReplResp carries the shipped records / snapshot.
 	FrameReplResp uint8 = 19
+	// FrameTopoReq asks a peer for its current topology (epoch, members,
+	// ring geometry) — the anti-entropy fetch after an epoch mismatch, and
+	// the first step of a join.
+	FrameTopoReq uint8 = 20
+	// FrameTopoResp carries an encoded Topology.
+	FrameTopoResp uint8 = 21
+	// FrameTopoPush offers a peer a (presumably newer) topology; the peer
+	// adopts it if the epoch is newer than its own.
+	FrameTopoPush uint8 = 22
+	// FrameTopoAck answers a push with the peer's resulting epoch.
+	FrameTopoAck uint8 = 23
+	// FrameRepairReq asks a follower to back-fill its stale replica of a
+	// leader from a fresher follower (read-repair).
+	FrameRepairReq uint8 = 24
+	// FrameRepairResp reports the repair outcome.
+	FrameRepairResp uint8 = 25
+	// FrameRepSnapReq asks a follower for a snapshot of its replica store
+	// of a leader, pinned to its replication cursor.
+	FrameRepSnapReq uint8 = 26
+	// FrameRepSnapResp carries the replica snapshot + cursor.
+	FrameRepSnapResp uint8 = 27
 )
 
 // queryOp selects what a peer computes per key. Mergeable functions ship
@@ -43,6 +64,11 @@ const (
 
 type queryRequest struct {
 	Op queryOp
+	// Epoch is the sender's topology epoch. A peer on a different epoch
+	// rejects the request with EpochMismatch instead of answering against a
+	// divergent placement; 0 skips the check (epoch-agnostic bootstrap
+	// traffic from a node not yet in the membership).
+	Epoch uint64
 	// ReplicaOf selects the peer's replica store of that node instead of
 	// its own primary store — the degraded-read path when an owner is down.
 	ReplicaOf string
@@ -64,11 +90,26 @@ type keyResult struct {
 }
 
 type queryResponse struct {
-	Err     string // non-empty: the whole request failed on the peer
+	Err string // non-empty: the whole request failed on the peer
+	// EpochMismatch: the peer is on a different topology epoch (reported in
+	// Epoch) and refused to answer; the caller resolves via topology
+	// fetch/push and retries.
+	EpochMismatch bool
+	Epoch         uint64
+	// Promoted (replica queries only): the serving follower has promoted
+	// its replica of ReplicaOf to read-primary after sustained leader
+	// death, so the answer is authoritative, not partial.
+	Promoted bool
+	// ReplSeq/ReplOff (replica queries only): the follower's replication
+	// cursor, letting a coordinator detect divergent replicas and trigger
+	// read-repair.
+	ReplSeq uint64
+	ReplOff int64
 	Results []keyResult
 }
 
 type replPullRequest struct {
+	Epoch        uint64 // sender's topology epoch; 0 = epoch-agnostic (join)
 	WantSnapshot bool
 	FromSeq      uint64
 	FromOff      int64
@@ -76,13 +117,48 @@ type replPullRequest struct {
 }
 
 type replPullResponse struct {
-	Err         string
-	SegmentGone bool // cursor fell behind a checkpoint: re-bootstrap
-	Snapshot    []byte
-	NextSeq     uint64
-	NextOff     int64
-	LagBytes    int64
-	Records     [][]byte
+	Err           string
+	EpochMismatch bool
+	Epoch         uint64
+	SegmentGone   bool // cursor fell behind a checkpoint: re-bootstrap
+	Snapshot      []byte
+	NextSeq       uint64
+	NextOff       int64
+	LagBytes      int64
+	Records       [][]byte
+}
+
+// repairRequest asks a follower holding a stale replica of Leader to
+// back-fill it from the fresher follower From (read-repair).
+type repairRequest struct {
+	Epoch  uint64
+	Leader string
+	From   string
+}
+
+type repairResponse struct {
+	Err           string
+	EpochMismatch bool
+	Epoch         uint64
+	Repaired      bool
+}
+
+// repSnapRequest asks a follower for a snapshot of its replica store of
+// Leader, pinned to its replication cursor — the donor side of read-repair.
+type repSnapRequest struct {
+	Epoch  uint64
+	Leader string
+}
+
+type repSnapResponse struct {
+	Err           string
+	EpochMismatch bool
+	Epoch         uint64
+	Snapshot      []byte
+	Seq           uint64
+	Off           int64
+	Records       uint64
+	Lag           int64
 }
 
 // --- encode/decode helpers (same conventions as the wire batch codec) ---
@@ -256,6 +332,7 @@ func (p *protoReader) partial(pa *timeseries.Partial) error {
 func encodeQueryRequest(q *queryRequest) []byte {
 	b := make([]byte, 0, 64)
 	b = append(b, byte(q.Op))
+	b = appendUvarint(b, q.Epoch)
 	b = appendString(b, q.ReplicaOf)
 	b = appendString(b, string(q.Fn))
 	b = appendVarint(b, q.From)
@@ -276,6 +353,9 @@ func decodeQueryRequest(payload []byte) (*queryRequest, error) {
 		return nil, err
 	}
 	q.Op = queryOp(op)
+	if q.Epoch, err = p.uvarint(); err != nil {
+		return nil, err
+	}
 	if q.ReplicaOf, err = p.str(); err != nil {
 		return nil, err
 	}
@@ -316,6 +396,14 @@ func encodeQueryResponse(op queryOp, resp *queryResponse) []byte {
 	if resp.Err != "" {
 		return b
 	}
+	b = appendBool(b, resp.EpochMismatch)
+	b = appendUvarint(b, resp.Epoch)
+	if resp.EpochMismatch {
+		return b
+	}
+	b = appendBool(b, resp.Promoted)
+	b = appendUvarint(b, resp.ReplSeq)
+	b = appendVarint(b, resp.ReplOff)
 	b = appendUvarint(b, uint64(len(resp.Results)))
 	for i := range resp.Results {
 		r := &resp.Results[i]
@@ -360,6 +448,24 @@ func decodeQueryResponse(op queryOp, payload []byte) (*queryResponse, error) {
 	}
 	if resp.Err != "" {
 		return &resp, nil
+	}
+	if resp.EpochMismatch, err = p.boolVal(); err != nil {
+		return nil, err
+	}
+	if resp.Epoch, err = p.uvarint(); err != nil {
+		return nil, err
+	}
+	if resp.EpochMismatch {
+		return &resp, nil
+	}
+	if resp.Promoted, err = p.boolVal(); err != nil {
+		return nil, err
+	}
+	if resp.ReplSeq, err = p.uvarint(); err != nil {
+		return nil, err
+	}
+	if resp.ReplOff, err = p.varint(); err != nil {
+		return nil, err
 	}
 	nr, err := p.count()
 	if err != nil {
@@ -436,6 +542,7 @@ func decodeQueryResponse(op queryOp, payload []byte) (*queryResponse, error) {
 
 func encodeReplPullRequest(q *replPullRequest) []byte {
 	b := make([]byte, 0, 32)
+	b = appendUvarint(b, q.Epoch)
 	b = appendBool(b, q.WantSnapshot)
 	b = appendUvarint(b, q.FromSeq)
 	b = appendVarint(b, q.FromOff)
@@ -447,6 +554,9 @@ func decodeReplPullRequest(payload []byte) (*replPullRequest, error) {
 	p := &protoReader{buf: payload}
 	var q replPullRequest
 	var err error
+	if q.Epoch, err = p.uvarint(); err != nil {
+		return nil, err
+	}
 	if q.WantSnapshot, err = p.boolVal(); err != nil {
 		return nil, err
 	}
@@ -466,6 +576,11 @@ func encodeReplPullResponse(r *replPullResponse) []byte {
 	b := make([]byte, 0, 64)
 	b = appendString(b, r.Err)
 	if r.Err != "" {
+		return b
+	}
+	b = appendBool(b, r.EpochMismatch)
+	b = appendUvarint(b, r.Epoch)
+	if r.EpochMismatch {
 		return b
 	}
 	b = appendBool(b, r.SegmentGone)
@@ -488,6 +603,15 @@ func decodeReplPullResponse(payload []byte) (*replPullResponse, error) {
 		return nil, err
 	}
 	if r.Err != "" {
+		return &r, nil
+	}
+	if r.EpochMismatch, err = p.boolVal(); err != nil {
+		return nil, err
+	}
+	if r.Epoch, err = p.uvarint(); err != nil {
+		return nil, err
+	}
+	if r.EpochMismatch {
 		return &r, nil
 	}
 	if r.SegmentGone, err = p.boolVal(); err != nil {
@@ -516,6 +640,136 @@ func decodeReplPullResponse(payload []byte) (*replPullResponse, error) {
 			return nil, err
 		}
 		r.Records = append(r.Records, rec)
+	}
+	return &r, nil
+}
+
+// --- read-repair ---
+
+func encodeRepairRequest(q *repairRequest) []byte {
+	b := make([]byte, 0, 32)
+	b = appendUvarint(b, q.Epoch)
+	b = appendString(b, q.Leader)
+	b = appendString(b, q.From)
+	return b
+}
+
+func decodeRepairRequest(payload []byte) (*repairRequest, error) {
+	p := &protoReader{buf: payload}
+	var q repairRequest
+	var err error
+	if q.Epoch, err = p.uvarint(); err != nil {
+		return nil, err
+	}
+	if q.Leader, err = p.str(); err != nil {
+		return nil, err
+	}
+	if q.From, err = p.str(); err != nil {
+		return nil, err
+	}
+	return &q, nil
+}
+
+func encodeRepairResponse(r *repairResponse) []byte {
+	b := make([]byte, 0, 16)
+	b = appendString(b, r.Err)
+	b = appendBool(b, r.EpochMismatch)
+	b = appendUvarint(b, r.Epoch)
+	b = appendBool(b, r.Repaired)
+	return b
+}
+
+func decodeRepairResponse(payload []byte) (*repairResponse, error) {
+	p := &protoReader{buf: payload}
+	var r repairResponse
+	var err error
+	if r.Err, err = p.str(); err != nil {
+		return nil, err
+	}
+	if r.EpochMismatch, err = p.boolVal(); err != nil {
+		return nil, err
+	}
+	if r.Epoch, err = p.uvarint(); err != nil {
+		return nil, err
+	}
+	if r.Repaired, err = p.boolVal(); err != nil {
+		return nil, err
+	}
+	return &r, nil
+}
+
+func encodeRepSnapRequest(q *repSnapRequest) []byte {
+	b := make([]byte, 0, 16)
+	b = appendUvarint(b, q.Epoch)
+	b = appendString(b, q.Leader)
+	return b
+}
+
+func decodeRepSnapRequest(payload []byte) (*repSnapRequest, error) {
+	p := &protoReader{buf: payload}
+	var q repSnapRequest
+	var err error
+	if q.Epoch, err = p.uvarint(); err != nil {
+		return nil, err
+	}
+	if q.Leader, err = p.str(); err != nil {
+		return nil, err
+	}
+	return &q, nil
+}
+
+func encodeRepSnapResponse(r *repSnapResponse) []byte {
+	b := make([]byte, 0, 64)
+	b = appendString(b, r.Err)
+	if r.Err != "" {
+		return b
+	}
+	b = appendBool(b, r.EpochMismatch)
+	b = appendUvarint(b, r.Epoch)
+	if r.EpochMismatch {
+		return b
+	}
+	b = appendBytes(b, r.Snapshot)
+	b = appendUvarint(b, r.Seq)
+	b = appendVarint(b, r.Off)
+	b = appendUvarint(b, r.Records)
+	b = appendVarint(b, r.Lag)
+	return b
+}
+
+func decodeRepSnapResponse(payload []byte) (*repSnapResponse, error) {
+	p := &protoReader{buf: payload}
+	var r repSnapResponse
+	var err error
+	if r.Err, err = p.str(); err != nil {
+		return nil, err
+	}
+	if r.Err != "" {
+		return &r, nil
+	}
+	if r.EpochMismatch, err = p.boolVal(); err != nil {
+		return nil, err
+	}
+	if r.Epoch, err = p.uvarint(); err != nil {
+		return nil, err
+	}
+	if r.EpochMismatch {
+		return &r, nil
+	}
+	if r.Snapshot, err = p.bytes(); err != nil {
+		return nil, err
+	}
+	if r.Seq, err = p.uvarint(); err != nil {
+		return nil, err
+	}
+	if r.Off, err = p.varint(); err != nil {
+		return nil, err
+	}
+	if r.Records, err = p.uvarint(); err != nil {
+		return nil, err
+	}
+	if r.Lag, err = p.varint(); err != nil {
+		return nil, err
 	}
 	return &r, nil
 }

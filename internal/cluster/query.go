@@ -33,16 +33,26 @@ import (
 // for remote coordinators and the local coordinator invokes it for itself,
 // so self-served and peer-served results cannot diverge.
 func (r *Router) execQuery(q *queryRequest) *queryResponse {
+	if q.Epoch != 0 {
+		if mine := r.Epoch(); q.Epoch != mine {
+			// The coordinator placed this query under a different topology:
+			// refuse explicitly rather than answer for keys we may not own.
+			return &queryResponse{EpochMismatch: true, Epoch: mine}
+		}
+	}
 	var st *timeseries.Store
+	resp := &queryResponse{}
 	if q.ReplicaOf != "" {
-		rep := r.replicas[q.ReplicaOf]
+		rep := r.replicaFor(q.ReplicaOf)
 		if rep == nil {
 			return &queryResponse{Err: fmt.Sprintf("node %s holds no replica of %s", r.self, q.ReplicaOf)}
 		}
-		st = rep.readStore()
+		var promoted bool
+		st, promoted, resp.ReplSeq, resp.ReplOff = rep.snapshotState()
 		if st == nil {
 			return &queryResponse{Err: fmt.Sprintf("replica of %s on %s not bootstrapped", q.ReplicaOf, r.self)}
 		}
+		resp.Promoted = promoted
 		r.replicaReads.Add(1)
 	} else {
 		st = r.cfg.Store
@@ -52,7 +62,7 @@ func (r *Router) execQuery(q *queryRequest) *queryResponse {
 	default:
 		return &queryResponse{Err: fmt.Sprintf("unknown query op %d", q.Op)}
 	}
-	resp := &queryResponse{Results: make([]keyResult, len(q.Keys))}
+	resp.Results = make([]keyResult, len(q.Keys))
 	for i, key := range q.Keys {
 		res := &resp.Results[i]
 		id, ok := st.IDForKey(key)
@@ -84,43 +94,103 @@ func (r *Router) execQuery(q *queryRequest) *queryResponse {
 }
 
 // queryOwner executes q against the node owning its keys: locally when the
-// owner is self, over RPC otherwise. If the owner fails, each of its
-// followers is tried against their replica-of-owner store; success there
-// reports fallback=true so the caller can flag the result partial.
+// owner is self, over RPC otherwise. If the owner fails, every one of its
+// followers is asked against their replica-of-owner store and the one with
+// the most advanced replication cursor answers; a promoted follower (the
+// failure detector granted it the read lease) answers authoritatively,
+// otherwise fallback=true so the caller can flag the result partial. When
+// the follower cursors disagree, the trailing replicas are back-filled from
+// the freshest one (read repair) so subsequent scatters stop diverging.
+//
+// An epoch-mismatch rejection from the owner triggers a topology exchange:
+// if that adopts a newer topology the query returns errTopologyChanged and
+// the public API retries against fresh placement; if the peer was merely
+// behind, our topology is pushed and the same owner is retried once.
 func (r *Router) queryOwner(owner string, q *queryRequest) (results []keyResult, fallback bool, err error) {
+	q.Epoch = r.Epoch()
 	var primaryErr error
 	if owner == r.self {
 		resp := r.execQuery(q)
-		if resp.Err == "" {
+		if resp.Err == "" && !resp.EpochMismatch {
 			return resp.Results, false, nil
 		}
 		primaryErr = errors.New(resp.Err)
 	} else {
-		resp, err := r.peers[owner].rc.query(q, r.cfg.rpcTimeout())
-		if err == nil {
+		p := r.peer(owner)
+		if p == nil {
+			// The topology moved under us between placement and dispatch.
+			return nil, false, errTopologyChanged
+		}
+		resp, qerr := p.rc.query(q, r.cfg.rpcTimeout())
+		var em *epochMismatchError
+		if errors.As(qerr, &em) {
+			if rerr := r.resolveEpochMismatch(p, em.peerEpoch); rerr != nil {
+				if errors.Is(rerr, errTopologyChanged) {
+					return nil, false, rerr
+				}
+				// exchange failed: the peer went dark mid-conversation; fall
+				// through to the replica fallback below.
+			} else {
+				q.Epoch = r.Epoch()
+				resp, qerr = p.rc.query(q, r.cfg.rpcTimeout())
+			}
+		}
+		if qerr == nil {
 			return resp.Results, false, nil
 		}
-		primaryErr = err
+		primaryErr = qerr
 	}
 	fq := *q
 	fq.ReplicaOf = owner
-	for _, f := range r.ring.Followers(owner) {
+	type followerResult struct {
+		id   string
+		resp *queryResponse
+	}
+	var outs []followerResult
+	for _, f := range r.topo.Load().Ring().Followers(owner) {
 		if f == owner {
 			continue
 		}
 		if f == r.self {
 			resp := r.execQuery(&fq)
-			if resp.Err == "" {
-				return resp.Results, true, nil
+			if resp.Err == "" && !resp.EpochMismatch {
+				outs = append(outs, followerResult{id: f, resp: resp})
 			}
 			continue
 		}
-		resp, err := r.peers[f].rc.query(&fq, r.cfg.rpcTimeout())
-		if err == nil {
-			return resp.Results, true, nil
+		p := r.peer(f)
+		if p == nil {
+			continue
+		}
+		resp, qerr := p.rc.query(&fq, r.cfg.rpcTimeout())
+		if qerr == nil {
+			outs = append(outs, followerResult{id: f, resp: resp})
 		}
 	}
-	return nil, false, primaryErr
+	if len(outs) == 0 {
+		return nil, false, primaryErr
+	}
+	best := 0
+	for i := 1; i < len(outs); i++ {
+		if cursorBehind(outs[best].resp.ReplSeq, outs[best].resp.ReplOff, outs[i].resp.ReplSeq, outs[i].resp.ReplOff) {
+			best = i
+		}
+	}
+	for i := range outs {
+		if i == best {
+			continue
+		}
+		if cursorBehind(outs[i].resp.ReplSeq, outs[i].resp.ReplOff, outs[best].resp.ReplSeq, outs[best].resp.ReplOff) {
+			r.repairReplica(owner, outs[i].id, outs[best].id)
+		}
+	}
+	bestResp := outs[best].resp
+	if bestResp.Promoted {
+		// The lease holder's answer is authoritative, not partial: the
+		// leader has been dead long enough that this replica IS the data.
+		return bestResp.Results, false, nil
+	}
+	return bestResp.Results, true, nil
 }
 
 // --- single-series API (what the HTTP front door asks for) ---
@@ -129,7 +199,22 @@ func (r *Router) queryOwner(owner string, q *queryRequest) (results []keyResult,
 // partial=true means the answer came from a (possibly lagging) replica.
 // The tier step is a local-planner detail, reported only when the series is
 // served by this node's own store.
+//
+// Every public query entry point retries once when a topology epoch flipped
+// mid-query (errTopologyChanged): the retry re-derives placement from the
+// freshly adopted topology, so a query racing a join or leave lands on the
+// new owner instead of failing.
 func (r *Router) Reduce(key string, from, to int64, fn timeseries.AggFunc) (value float64, count int, tierStep int64, found, partial bool, err error) {
+	for attempt := 0; ; attempt++ {
+		value, count, tierStep, found, partial, err = r.reduceOnce(key, from, to, fn)
+		if errors.Is(err, errTopologyChanged) && attempt == 0 {
+			continue
+		}
+		return
+	}
+}
+
+func (r *Router) reduceOnce(key string, from, to int64, fn timeseries.AggFunc) (value float64, count int, tierStep int64, found, partial bool, err error) {
 	q := &queryRequest{From: from, To: to, Keys: []string{key}}
 	if timeseries.MergeableAgg(fn) {
 		q.Op = opReducePartial
@@ -137,7 +222,7 @@ func (r *Router) Reduce(key string, from, to int64, fn timeseries.AggFunc) (valu
 		q.Op = opReduceFull
 		q.Fn = fn
 	}
-	owner := r.ring.Primary(key)
+	owner := r.topo.Load().Ring().Primary(key)
 	if owner != r.self {
 		r.scatterQueries.Add(1)
 	}
@@ -169,6 +254,16 @@ func (r *Router) Reduce(key string, from, to int64, fn timeseries.AggFunc) (valu
 // AggregateRange answers a single-series bucketed aggregation wherever the
 // series lives; semantics mirror Reduce.
 func (r *Router) AggregateRange(key string, from, to, step int64, fn timeseries.AggFunc) (pts []timeseries.AggPoint, tierStep int64, found, partial bool, err error) {
+	for attempt := 0; ; attempt++ {
+		pts, tierStep, found, partial, err = r.aggregateRangeOnce(key, from, to, step, fn)
+		if errors.Is(err, errTopologyChanged) && attempt == 0 {
+			continue
+		}
+		return
+	}
+}
+
+func (r *Router) aggregateRangeOnce(key string, from, to, step int64, fn timeseries.AggFunc) (pts []timeseries.AggPoint, tierStep int64, found, partial bool, err error) {
 	if step <= 0 {
 		return nil, 0, false, false, fmt.Errorf("cluster: step must be positive")
 	}
@@ -179,7 +274,7 @@ func (r *Router) AggregateRange(key string, from, to, step int64, fn timeseries.
 		q.Op = opAggFull
 		q.Fn = fn
 	}
-	owner := r.ring.Primary(key)
+	owner := r.topo.Load().Ring().Primary(key)
 	if owner != r.self {
 		r.scatterQueries.Add(1)
 	}
@@ -208,8 +303,18 @@ func (r *Router) AggregateRange(key string, from, to, step int64, fn timeseries.
 // SeriesValues answers a single-series value sweep (SeriesValuesPlanned)
 // wherever the series lives.
 func (r *Router) SeriesValues(key string, from, to, step int64) (vals []float64, found, partial bool, err error) {
+	for attempt := 0; ; attempt++ {
+		vals, found, partial, err = r.seriesValuesOnce(key, from, to, step)
+		if errors.Is(err, errTopologyChanged) && attempt == 0 {
+			continue
+		}
+		return
+	}
+}
+
+func (r *Router) seriesValuesOnce(key string, from, to, step int64) (vals []float64, found, partial bool, err error) {
 	q := &queryRequest{Op: opSeriesValues, From: from, To: to, Step: step, Keys: []string{key}}
-	owner := r.ring.Primary(key)
+	owner := r.topo.Load().Ring().Primary(key)
 	if owner != r.self {
 		r.scatterQueries.Add(1)
 	}
@@ -227,6 +332,26 @@ func (r *Router) SeriesValues(key string, from, to, step int64) (vals []float64,
 	return res.Values, true, fallback, nil
 }
 
+// ReducePeers is Reduce with degraded-peer attribution: peers names each
+// owner whose answer was served by replica fallback or skipped, so an HTTP
+// front door can tell clients exactly which nodes degraded the result.
+func (r *Router) ReducePeers(key string, from, to int64, fn timeseries.AggFunc) (value float64, count int, tierStep int64, found bool, peers []string, err error) {
+	value, count, tierStep, found, partial, err := r.Reduce(key, from, to, fn)
+	if err == nil && partial {
+		peers = []string{r.topo.Load().Ring().Primary(key)}
+	}
+	return value, count, tierStep, found, peers, err
+}
+
+// AggregateRangePeers is AggregateRange with degraded-peer attribution.
+func (r *Router) AggregateRangePeers(key string, from, to, step int64, fn timeseries.AggFunc) (pts []timeseries.AggPoint, tierStep int64, found bool, peers []string, err error) {
+	pts, tierStep, found, partial, err := r.AggregateRange(key, from, to, step, fn)
+	if err == nil && partial {
+		peers = []string{r.topo.Load().Ring().Primary(key)}
+	}
+	return pts, tierStep, found, peers, err
+}
+
 // --- scatter API (multi-series) ---
 
 // ReduceMany reduces many series to one value by merging per-owner partial
@@ -235,6 +360,16 @@ func (r *Router) SeriesValues(key string, from, to, step int64) (vals []float64,
 // empty list means the answer is exact and bit-identical to MergedReduce
 // over a single store holding every series.
 func (r *Router) ReduceMany(keys []string, from, to int64, fn timeseries.AggFunc) (value float64, count int64, partialPeers []string, err error) {
+	for attempt := 0; ; attempt++ {
+		value, count, partialPeers, err = r.reduceManyOnce(keys, from, to, fn)
+		if errors.Is(err, errTopologyChanged) && attempt == 0 {
+			continue
+		}
+		return
+	}
+}
+
+func (r *Router) reduceManyOnce(keys []string, from, to int64, fn timeseries.AggFunc) (value float64, count int64, partialPeers []string, err error) {
 	if !timeseries.MergeableAgg(fn) {
 		return 0, 0, nil, fmt.Errorf("cluster: %s does not merge across peers (route per series instead)", fn)
 	}
@@ -258,6 +393,16 @@ func (r *Router) ReduceMany(keys []string, from, to int64, fn timeseries.AggFunc
 // AggregateMany buckets many series into shared step windows, merging
 // per-key partial buckets in sorted key order. Semantics as ReduceMany.
 func (r *Router) AggregateMany(keys []string, from, to, step int64, fn timeseries.AggFunc) (pts []timeseries.AggPoint, partialPeers []string, err error) {
+	for attempt := 0; ; attempt++ {
+		pts, partialPeers, err = r.aggregateManyOnce(keys, from, to, step, fn)
+		if errors.Is(err, errTopologyChanged) && attempt == 0 {
+			continue
+		}
+		return
+	}
+}
+
+func (r *Router) aggregateManyOnce(keys []string, from, to, step int64, fn timeseries.AggFunc) (pts []timeseries.AggPoint, partialPeers []string, err error) {
 	if !timeseries.MergeableAgg(fn) {
 		return nil, nil, fmt.Errorf("cluster: %s does not merge across peers (route per series instead)", fn)
 	}
@@ -284,8 +429,9 @@ func (r *Router) AggregateMany(keys []string, from, to, step int64, fn timeserie
 // replica fallback.
 func (r *Router) scatterPartials(op queryOp, keys []string, from, to, step int64) (map[string]*keyResult, []string, error) {
 	groups := make(map[string][]string)
+	ring := r.topo.Load().Ring()
 	for _, k := range keys {
-		owner := r.ring.Primary(k)
+		owner := ring.Primary(k)
 		groups[owner] = append(groups[owner], k) // keys sorted → groups sorted
 	}
 	r.scatterQueries.Add(1)
@@ -315,6 +461,12 @@ func (r *Router) scatterPartials(op queryOp, keys []string, from, to, step int64
 	var partialPeers []string
 	for i := range outs {
 		g := &outs[i]
+		if errors.Is(g.err, errTopologyChanged) {
+			// The epoch flipped under the scatter: the whole placement is
+			// stale, so the caller re-derives groups and retries rather than
+			// degrading this owner's keys to a partial answer.
+			return nil, nil, errTopologyChanged
+		}
 		if g.err != nil {
 			partialPeers = append(partialPeers, g.owner)
 			continue

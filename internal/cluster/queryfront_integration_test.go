@@ -1,0 +1,90 @@
+package cluster
+
+import (
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"net/url"
+	"testing"
+	"time"
+
+	"repro/internal/queryfront"
+)
+
+// TestQueryFrontDegradesThenFails drives the HTTP front door against a real
+// cluster through the failure ladder: a healthy cluster answers exact (no
+// partial header), losing an owner degrades to its replica (200 with the
+// owner named exactly once in X-ODA-Partial), and losing the replica too is
+// an explicit 503 — never an empty 200 a dashboard would render as "no
+// data".
+func TestQueryFrontDegradesThenFails(t *testing.T) {
+	ids := []string{"n1", "n2", "n3"}
+	nodes, fabric := startCluster(t, ids, 2, true, nil)
+	ds := makeDataset(30, 12, 17)
+	feed(t, nodes, "n1", ds)
+	for i := 0; i < 3; i++ {
+		for _, n := range nodes {
+			n.router.PumpReplication()
+		}
+	}
+
+	// Pick a key and the unique node that neither owns nor replicates it:
+	// that node coordinates, so every answer crosses the wire.
+	ring := nodes["n1"].router.Ring()
+	var key, owner, follower, coord string
+	for _, k := range ds.keys {
+		o := ring.Primary(k)
+		fs := ring.Followers(o)
+		if len(fs) != 1 {
+			t.Fatalf("want exactly one follower for %s at rf=2, got %v", o, fs)
+		}
+		for _, id := range ids {
+			if id != o && id != fs[0] {
+				key, owner, follower, coord = k, o, fs[0], id
+			}
+		}
+		if key != "" {
+			break
+		}
+	}
+
+	qf := queryfront.New(nodes[coord].router, 64, time.Minute, 1000, 1000)
+	query := func(from, to int64) *httptest.ResponseRecorder {
+		rec := httptest.NewRecorder()
+		target := fmt.Sprintf("/query?series=%s&from=%d&to=%d", url.QueryEscape(key), from, to)
+		qf.HandleQuery(rec, httptest.NewRequest("GET", target, nil))
+		return rec
+	}
+
+	// Healthy: exact answer, no partial marker. Vary the window per stage so
+	// the result cache never masks a later, degraded answer.
+	rec := query(ds.from, ds.to)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("healthy query: status %d: %s", rec.Code, rec.Body.String())
+	}
+	if h := rec.Header().Get("X-ODA-Partial"); h != "" {
+		t.Fatalf("healthy query marked partial: %q", h)
+	}
+
+	// Owner down: the replica answers, and the header names the owner
+	// exactly once.
+	nodes[owner].kill(fabric)
+	rec = query(ds.from, ds.to+1)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("replica fallback: status %d: %s", rec.Code, rec.Body.String())
+	}
+	if h := rec.Header().Get("X-ODA-Partial"); h != owner {
+		t.Fatalf("X-ODA-Partial = %q, want the dead owner %q exactly once", h, owner)
+	}
+
+	// Owner AND its only replica down: explicit 503 with a reason, never an
+	// empty 200.
+	nodes[follower].kill(fabric)
+	rec = query(ds.from, ds.to+2)
+	if rec.Code != http.StatusServiceUnavailable {
+		t.Fatalf("unreachable key: status %d (body %q), want 503", rec.Code, rec.Body.String())
+	}
+	if rec.Body.Len() == 0 {
+		t.Fatal("503 must carry the failure reason, got an empty body")
+	}
+}

@@ -1,8 +1,8 @@
 package cluster
 
 import (
+	"errors"
 	"fmt"
-	"sort"
 	"sync"
 
 	"repro/internal/persist"
@@ -36,6 +36,8 @@ type replica struct {
 	store        *timeseries.Store
 	rt           *persist.RefTable // opDefine bindings for the record stream
 	bootstrapped bool
+	promoted     bool   // read-primary lease: the leader is dead and this replica answers authoritatively
+	repaired     bool   // installed by read-repair: re-bootstrap from the leader once it heals
 	seq          uint64 // replication cursor: WAL segment
 	off          int64  // replication cursor: byte offset
 	records      uint64 // records applied since bootstrap
@@ -56,12 +58,25 @@ func (rep *replica) readStore() *timeseries.Store {
 	return rep.store
 }
 
+// snapshotState returns the read store together with the promotion flag and
+// replication cursor — what a replica-served query response stamps so the
+// coordinator can compare follower freshness and trust promoted answers.
+func (rep *replica) snapshotState() (st *timeseries.Store, promoted bool, seq uint64, off int64) {
+	rep.mu.Lock()
+	defer rep.mu.Unlock()
+	if !rep.bootstrapped {
+		return nil, false, 0, 0
+	}
+	return rep.store, rep.promoted, rep.seq, rep.off
+}
+
 func (rep *replica) stats() ReplicaStats {
 	rep.mu.Lock()
 	defer rep.mu.Unlock()
 	st := ReplicaStats{
 		Leader:       rep.leader,
 		Bootstrapped: rep.bootstrapped,
+		Promoted:     rep.promoted,
 		Records:      rep.records,
 		LagBytes:     rep.lag,
 	}
@@ -77,28 +92,35 @@ func (rep *replica) stats() ReplicaStats {
 // brings every replica to lag 0, which is what deterministic tests lean on;
 // the background loop calls it periodically.
 func (r *Router) PumpReplication() {
-	leaders := make([]string, 0, len(r.replicas))
-	for l := range r.replicas {
-		leaders = append(leaders, l)
-	}
-	sort.Strings(leaders)
-	for _, l := range leaders {
-		_ = r.pumpReplica(r.replicas[l])
+	for _, rep := range r.replicasSnapshot() {
+		_ = r.pumpReplica(rep)
 	}
 }
 
 // pumpReplica drives one replica's pull loop to the leader's writing edge.
+// Pulls carry this node's topology epoch: a leader on a different epoch
+// rejects the pull, and the resulting topology exchange converges both sides
+// before the next pump retries against the (possibly re-derived) replica set.
 func (r *Router) pumpReplica(rep *replica) error {
-	p := r.peers[rep.leader]
+	p := r.peer(rep.leader)
 	if p == nil {
 		return fmt.Errorf("cluster: no peer for leader %s", rep.leader)
 	}
 	timeout := r.cfg.rpcTimeout()
+	epoch := r.Epoch()
 	rep.mu.Lock()
 	defer rep.mu.Unlock()
-	if !rep.bootstrapped {
-		resp, err := p.rc.replPull(&replPullRequest{WantSnapshot: true}, timeout)
+	// A repaired replica was installed from a fellow follower while the
+	// leader was dead; its cursor is valid but its ref-table bindings are
+	// not, so the first pump after the leader heals restarts from a fresh
+	// leader snapshot.
+	if !rep.bootstrapped || rep.repaired {
+		resp, err := p.rc.replPull(&replPullRequest{Epoch: epoch, WantSnapshot: true}, timeout)
 		if err != nil {
+			var em *epochMismatchError
+			if errors.As(err, &em) {
+				return r.resolveEpochMismatch(p, em.peerEpoch)
+			}
 			return err
 		}
 		chunk, dump, err := persist.DecodeDump(resp.Snapshot)
@@ -122,14 +144,20 @@ func (r *Router) pumpReplica(rep *replica) error {
 		rep.lag = resp.LagBytes
 		rep.records = 0
 		rep.bootstrapped = true
+		rep.repaired = false
 	}
 	for {
 		resp, err := p.rc.replPull(&replPullRequest{
+			Epoch:    epoch,
 			FromSeq:  rep.seq,
 			FromOff:  rep.off,
 			MaxBytes: r.cfg.replPullBytes(),
 		}, timeout)
 		if err != nil {
+			var em *epochMismatchError
+			if errors.As(err, &em) {
+				return r.resolveEpochMismatch(p, em.peerEpoch)
+			}
 			return err
 		}
 		if resp.SegmentGone {
@@ -156,7 +184,7 @@ func (r *Router) pumpReplica(rep *replica) error {
 // ReplicaOf exposes the replica store this node keeps for leader, if it is
 // bootstrapped — diagnostics and the chaos campaign's convergence check.
 func (r *Router) ReplicaOf(leader string) (*timeseries.Store, bool) {
-	rep := r.replicas[leader]
+	rep := r.replicaFor(leader)
 	if rep == nil {
 		return nil, false
 	}
@@ -167,7 +195,7 @@ func (r *Router) ReplicaOf(leader string) (*timeseries.Store, bool) {
 // ResetReplica discards a replica's state, simulating a follower crash
 // (replicas are memory-only); the next pump re-bootstraps from a snapshot.
 func (r *Router) ResetReplica(leader string) bool {
-	rep := r.replicas[leader]
+	rep := r.replicaFor(leader)
 	if rep == nil {
 		return false
 	}
@@ -175,6 +203,8 @@ func (r *Router) ResetReplica(leader string) bool {
 	rep.store = nil
 	rep.rt = nil
 	rep.bootstrapped = false
+	rep.promoted = false
+	rep.repaired = false
 	rep.seq, rep.off = 0, 0
 	rep.records = 0
 	rep.mu.Unlock()
@@ -184,7 +214,7 @@ func (r *Router) ResetReplica(leader string) bool {
 // ReplicationLag reports the last observed byte lag behind leader, or -1 if
 // this node does not follow it (or has not bootstrapped yet).
 func (r *Router) ReplicationLag(leader string) int64 {
-	rep := r.replicas[leader]
+	rep := r.replicaFor(leader)
 	if rep == nil {
 		return -1
 	}
@@ -202,8 +232,15 @@ func (r *Router) ReplicationLag(leader string) int64 {
 // headroom for the response envelope.
 const maxSnapshotPayload = wire.MaxPayload - 4096
 
-// serveReplPull answers a follower's pull against this node's WAL.
+// serveReplPull answers a follower's pull against this node's WAL. Epoch 0
+// skips the topology check — the join handoff streams snapshots and WAL
+// tails across epochs by design.
 func (r *Router) serveReplPull(q *replPullRequest) *replPullResponse {
+	if q.Epoch != 0 {
+		if mine := r.Epoch(); q.Epoch != mine {
+			return &replPullResponse{EpochMismatch: true, Epoch: mine}
+		}
+	}
 	d := r.cfg.Durable
 	if d == nil {
 		return &replPullResponse{Err: fmt.Sprintf("node %s has no durable store; replication unavailable", r.self)}

@@ -30,7 +30,8 @@ type Peer struct {
 type Config struct {
 	// Self is this node's ID; it must appear in Peers.
 	Self string
-	// Peers is the full static membership, including self.
+	// Peers is the initial membership, including self. It seeds topology
+	// epoch 1; joins and leaves evolve the membership at runtime.
 	Peers []Peer
 	// VNodes is the virtual-node count per peer (0 = DefaultVNodes).
 	VNodes int
@@ -68,6 +69,14 @@ type Config struct {
 	RPCTimeout time.Duration
 	// ReplPullBytes is the per-pull WAL byte budget (0 = 1MiB).
 	ReplPullBytes int64
+
+	// SuspectAfter is how many consecutive missed probes turn a peer from
+	// "down" into "suspect" in the failure detector's hysteresis (0 = 2).
+	SuspectAfter int
+	// PromoteAfter is how many consecutive missed probes of a leader let a
+	// caught-up follower promote its replica to read-primary (0 = 5). It
+	// must exceed SuspectAfter so transient blips never promote.
+	PromoteAfter int
 }
 
 func (c *Config) flushEntries() int {
@@ -112,24 +121,70 @@ func (c *Config) replPullBytes() int64 {
 	return c.ReplPullBytes
 }
 
+func (c *Config) suspectAfter() int {
+	if c.SuspectAfter <= 0 {
+		return 2
+	}
+	return c.SuspectAfter
+}
+
+func (c *Config) promoteAfter() int {
+	if c.PromoteAfter <= 0 {
+		return 5
+	}
+	return c.PromoteAfter
+}
+
 // Router is the cluster brain of one node: it places series on the ring,
 // forwards foreign appends to their owners (parking them in a hinted-handoff
 // queue while an owner is down), scatters queries so only partial aggregates
 // cross the wire, and pulls WAL records from the leaders it follows. It
 // implements the collector's batch-appender contract, so it drops into any
 // ingest path a plain store fits.
+//
+// Topology is a runtime value, not construction-time state: the active
+// Topology lives behind an atomic pointer, and applyTopology re-derives the
+// peer set, replica assignments and parked-hint routing whenever a newer
+// epoch arrives (a local join/leave, a peer's push, or anti-entropy after an
+// epoch-mismatch rejection).
 type Router struct {
 	cfg  Config
-	ring *Ring
 	self string
+
+	// topo is the active topology. Reads are lock-free; swaps happen under
+	// mu so the peer/replica maps always correspond to the stored value.
+	topo atomic.Pointer[Topology]
 
 	// refCache fronts the local appender with the series-ref fast path when
 	// the appender supports it (stores and durable stores both do).
 	refCache *timeseries.RefCache
 
+	// mu guards the membership-derived state below. Routing holds it for
+	// read, epoch flips for write — so no entry can buffer into a peer that
+	// the flip is concurrently retiring.
+	mu       sync.RWMutex
 	peers    map[string]*peer // remote peers only
 	peerList []*peer          // sorted by ID for deterministic iteration
 	replicas map[string]*replica
+	// departedDropped accumulates dropped-hint counts of peers removed by
+	// epoch flips, so DroppedHintEntries stays monotonic across membership
+	// changes.
+	departedDropped uint64
+
+	// memberMu serializes join/leave (operator-driven; concurrent membership
+	// changes are out of scope — see DESIGN.md §14).
+	memberMu sync.Mutex
+
+	// Join import barrier. While a join handoff streams history out of the
+	// donors, live forwards park here instead of applying: a forwarded
+	// sample is always newer than the WAL history still in flight for its
+	// series, and the store's monotonic append would reject that history if
+	// the forward landed first. JoinCluster drains the queue — in arrival
+	// order, after the final tail — under joinMu, so any handler that
+	// observes joinParking=false is ordered after the entire queue applied.
+	joinMu      sync.Mutex
+	joinParking bool
+	joinParked  []timeseries.BatchEntry
 
 	localEntries     atomic.Uint64
 	forwardedAllowed atomic.Uint64 // entries accepted for forwarding (sent or hinted)
@@ -138,6 +193,11 @@ type Router struct {
 	scatterQueries   atomic.Uint64
 	partialQueries   atomic.Uint64
 	replicaReads     atomic.Uint64 // queries this node served from a replica store
+	epochFlips       atomic.Uint64 // topology swaps applied
+	reroutedEntries  atomic.Uint64 // entries re-routed after an epoch flip or misdirected forward
+	readRepairs      atomic.Uint64 // stale replicas back-filled from fresher followers
+	promotions       atomic.Uint64 // replica promotions after sustained leader death
+	handoffEntries   atomic.Uint64 // entries imported/exported by join/leave streaming
 
 	stop chan struct{}
 	wg   sync.WaitGroup
@@ -161,7 +221,12 @@ type peer struct {
 	wc    *wire.Client // lazy: the peer may be down at startup
 	rc    *rpcClient
 	buf   []timeseries.BatchEntry
-	hints [][]hintEntry
+	hints []hintBatch
+
+	// misses counts consecutive failed probes — the failure detector's
+	// hysteresis input: suspectAfter misses mark the peer suspect,
+	// promoteAfter misses of a leader let its followers promote.
+	misses int
 
 	// Hint dictionary: parked entries carry a 4-byte ref into hintDefs
 	// instead of a full metric ID, so a long outage queues samples, not
@@ -198,73 +263,209 @@ type hintEntry struct {
 	v   float64
 }
 
-// New validates the config and builds the router. The ring, peer set and
-// replica assignments are fixed for the router's lifetime (static
-// membership); Start launches the background flush/health/replication loop,
-// or tests drive Flush/CheckPeers/PumpReplication manually.
+// hintBatch is one parked batch plus the interning savings it booked, so
+// dropping the batch can reverse its contribution to the byte gauge.
+type hintBatch struct {
+	entries []hintEntry
+	saved   uint64
+}
+
+// New validates the config and builds the router on topology epoch 1.
+// Start launches the background flush/health/replication loop, or tests
+// drive Flush/CheckPeers/PumpReplication manually.
 func New(cfg Config) (*Router, error) {
 	if cfg.Local == nil || cfg.Store == nil {
 		return nil, fmt.Errorf("cluster: config needs Local appender and Store")
 	}
-	ids := make([]string, 0, len(cfg.Peers))
-	addr := make(map[string]string, len(cfg.Peers))
+	members := make([]Member, 0, len(cfg.Peers))
+	seen := make(map[string]bool, len(cfg.Peers))
 	for _, p := range cfg.Peers {
 		if p.ID == "" {
 			return nil, fmt.Errorf("cluster: peer with empty node id")
 		}
-		if _, dup := addr[p.ID]; dup {
+		if seen[p.ID] {
 			return nil, fmt.Errorf("cluster: duplicate node id %q", p.ID)
 		}
-		ids = append(ids, p.ID)
-		addr[p.ID] = p.Addr
+		seen[p.ID] = true
+		members = append(members, Member{ID: p.ID, Addr: p.Addr})
 	}
-	if _, ok := addr[cfg.Self]; !ok {
+	if !seen[cfg.Self] {
 		return nil, fmt.Errorf("cluster: self node %q not in peer set", cfg.Self)
 	}
-	ring, err := NewRing(ids, cfg.VNodes, cfg.Replication)
+	t, err := NewTopology(1, members, cfg.VNodes, cfg.Replication)
 	if err != nil {
 		return nil, err
 	}
 	r := &Router{
 		cfg:      cfg,
-		ring:     ring,
 		self:     cfg.Self,
-		peers:    make(map[string]*peer, len(ids)-1),
+		peers:    make(map[string]*peer),
 		replicas: make(map[string]*replica),
 		stop:     make(chan struct{}),
 	}
 	if ra, ok := cfg.Local.(timeseries.RefAppender); ok {
 		r.refCache = timeseries.NewRefCache(ra)
 	}
-	for _, id := range ring.Nodes() {
-		if id == cfg.Self {
-			continue
-		}
-		p := &peer{
-			id:          id,
-			addr:        addr[id],
-			self:        cfg.Self,
-			dial:        cfg.Dial,
-			sendTimeout: cfg.sendTimeout(),
-			legacyWire:  cfg.LegacyWire,
-			rc:          newRPCClient(addr[id], cfg.Dial),
-		}
-		p.up.Store(true) // optimistic until a send or ping says otherwise
-		r.peers[id] = p
-		r.peerList = append(r.peerList, p)
-	}
-	sort.Slice(r.peerList, func(i, j int) bool { return r.peerList[i].id < r.peerList[j].id })
-	for _, leader := range ring.Leaders(cfg.Self) {
-		r.replicas[leader] = newReplica(leader, cfg.ReplicaOptions)
-	}
+	r.applyTopology(t)
 	return r, nil
+}
+
+// newPeer builds the router's handle for one remote member.
+func (r *Router) newPeer(id, addr string) *peer {
+	p := &peer{
+		id:          id,
+		addr:        addr,
+		self:        r.self,
+		dial:        r.cfg.Dial,
+		sendTimeout: r.cfg.sendTimeout(),
+		legacyWire:  r.cfg.LegacyWire,
+		rc:          newRPCClient(addr, r.cfg.Dial),
+	}
+	p.up.Store(true) // optimistic until a send or ping says otherwise
+	return p
+}
+
+// closeClients tears down both transports of a retired peer.
+func (p *peer) closeClients() {
+	p.mu.Lock()
+	if p.wc != nil {
+		_ = p.wc.Close()
+		p.wc = nil
+	}
+	p.mu.Unlock()
+	p.rc.Close()
 }
 
 // Self returns this node's ID.
 func (r *Router) Self() string { return r.self }
 
-// Ring exposes the placement ring (read-only).
-func (r *Router) Ring() *Ring { return r.ring }
+// Ring exposes the current topology's placement ring (read-only).
+func (r *Router) Ring() *Ring { return r.topo.Load().Ring() }
+
+// Topology returns the active topology value.
+func (r *Router) Topology() *Topology { return r.topo.Load() }
+
+// Epoch returns the active topology epoch.
+func (r *Router) Epoch() uint64 { return r.topo.Load().Epoch }
+
+// peer returns the handle for a member, or nil if it is not in the current
+// membership.
+func (r *Router) peer(id string) *peer {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return r.peers[id]
+}
+
+// peersSnapshot copies the peer list for lock-free iteration.
+func (r *Router) peersSnapshot() []*peer {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return append([]*peer(nil), r.peerList...)
+}
+
+// replicaFor returns the replica this node keeps of leader, or nil.
+func (r *Router) replicaFor(leader string) *replica {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return r.replicas[leader]
+}
+
+// replicasSnapshot returns the replicas in sorted leader order.
+func (r *Router) replicasSnapshot() []*replica {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	leaders := make([]string, 0, len(r.replicas))
+	for l := range r.replicas {
+		leaders = append(leaders, l)
+	}
+	sort.Strings(leaders)
+	out := make([]*replica, 0, len(leaders))
+	for _, l := range leaders {
+		out = append(out, r.replicas[l])
+	}
+	return out
+}
+
+// applyTopology installs t if its epoch is newer than the active one and
+// re-derives every piece of membership-dependent state: the peer set (new
+// members get handles, departed ones are retired), the replica assignments
+// (Leaders under the new ring), and — critically — every parked hint and
+// pending forward buffer, which are stolen and re-routed under the new
+// placement so no sample sits in a queue aimed at a node that no longer
+// owns it. Per-series FIFO order survives the re-route: a series' parked
+// samples live in one queue in order and are re-appended in that order.
+func (r *Router) applyTopology(t *Topology) bool {
+	if t == nil {
+		return false
+	}
+	r.mu.Lock()
+	cur := r.topo.Load()
+	if cur != nil && t.Epoch <= cur.Epoch {
+		r.mu.Unlock()
+		return false
+	}
+	var stolen []timeseries.BatchEntry
+	for _, p := range r.peerList {
+		p.mu.Lock()
+		if len(p.buf) > 0 {
+			stolen = append(stolen, p.buf...)
+			p.buf = nil
+		}
+		for _, h := range p.hints {
+			stolen = append(stolen, p.unpackHintLocked(h.entries)...)
+		}
+		p.hints = nil
+		p.mu.Unlock()
+	}
+	old := r.peers
+	newPeers := make(map[string]*peer, len(t.Members))
+	newList := make([]*peer, 0, len(t.Members))
+	for _, m := range t.Members {
+		if m.ID == r.self {
+			continue
+		}
+		if p := old[m.ID]; p != nil && p.addr == m.Addr {
+			newPeers[m.ID] = p
+			newList = append(newList, p)
+			continue
+		}
+		p := r.newPeer(m.ID, m.Addr)
+		newPeers[m.ID] = p
+		newList = append(newList, p)
+	}
+	sort.Slice(newList, func(i, j int) bool { return newList[i].id < newList[j].id })
+	var departed []*peer
+	for id, p := range old {
+		if newPeers[id] != p {
+			departed = append(departed, p)
+			p.mu.Lock()
+			r.departedDropped += p.droppedHintEntries
+			p.mu.Unlock()
+		}
+	}
+	newReps := make(map[string]*replica)
+	if t.Has(r.self) {
+		for _, leader := range t.Ring().Leaders(r.self) {
+			if rep := r.replicas[leader]; rep != nil {
+				newReps[leader] = rep
+			} else {
+				newReps[leader] = newReplica(leader, r.cfg.ReplicaOptions)
+			}
+		}
+	}
+	r.peers, r.peerList, r.replicas = newPeers, newList, newReps
+	r.topo.Store(t)
+	r.epochFlips.Add(1)
+	r.mu.Unlock()
+	for _, p := range departed {
+		p.closeClients()
+	}
+	if len(stolen) > 0 {
+		r.reroutedEntries.Add(uint64(len(stolen)))
+		_, _ = r.route(stolen, false)
+	}
+	return true
+}
 
 // --- ingest path ---
 
@@ -274,18 +475,32 @@ func (r *Router) Ring() *Ring { return r.ring }
 // once buffered it is the router's responsibility, delivered by a send, a
 // hinted-handoff drain, or counted in DroppedHintEntries.
 func (r *Router) AppendBatch(entries []timeseries.BatchEntry) (int, error) {
+	return r.route(entries, true)
+}
+
+// route is the placement loop behind AppendBatch. count=false re-routes
+// entries that were already accounted for (epoch-flip re-routing, forwarded
+// batches landing after an ownership change) without double-counting them.
+// It holds the membership read-lock end to end, so no entry can buffer into
+// a peer a concurrent epoch flip is retiring.
+func (r *Router) route(entries []timeseries.BatchEntry, count bool) (int, error) {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
 	if len(r.peers) == 0 {
 		n, err := r.appendLocal(entries, nil)
-		r.localEntries.Add(uint64(n))
+		if count {
+			r.localEntries.Add(uint64(n))
+		}
 		return n, err
 	}
+	ring := r.topo.Load().Ring()
 	var local []timeseries.BatchEntry
 	var localKeys []string // ring-routing keys, reused by the ref cache
 	var groups map[*peer][]timeseries.BatchEntry
 	for i := range entries {
 		e := &entries[i]
 		key := e.ID.Key()
-		owner := r.ring.Primary(key)
+		owner := ring.Primary(key)
 		if owner == r.self {
 			local = append(local, *e)
 			localKeys = append(localKeys, key)
@@ -301,7 +516,9 @@ func (r *Router) AppendBatch(entries []timeseries.BatchEntry) (int, error) {
 	var firstErr error
 	if len(local) > 0 {
 		n, err := r.appendLocal(local, localKeys)
-		r.localEntries.Add(uint64(n))
+		if count {
+			r.localEntries.Add(uint64(n))
+		}
 		accepted += n
 		firstErr = err
 	}
@@ -314,7 +531,9 @@ func (r *Router) AppendBatch(entries []timeseries.BatchEntry) (int, error) {
 		}
 		p.mu.Unlock()
 		accepted += len(g)
-		r.forwardedAllowed.Add(uint64(len(g)))
+		if count {
+			r.forwardedAllowed.Add(uint64(len(g)))
+		}
 	}
 	return accepted, firstErr
 }
@@ -333,7 +552,7 @@ func (r *Router) appendLocal(entries []timeseries.BatchEntry, keys []string) (in
 // shutdown path call it directly; the background loop calls it on a timer.
 func (r *Router) Flush() {
 	maxHints := r.cfg.maxHintBatches()
-	for _, p := range r.peerList {
+	for _, p := range r.peersSnapshot() {
 		p.mu.Lock()
 		p.flushLocked(maxHints)
 		p.mu.Unlock()
@@ -397,14 +616,17 @@ func (p *peer) hintLocked(entries []timeseries.BatchEntry, front bool, maxHints 
 			return
 		}
 		// A failed send is older than everything queued: make room by
-		// dropping the newest hint rather than the oldest data.
+		// dropping the newest hint rather than the oldest data. The dropped
+		// batch's interning savings are reversed — a dropped byte was not
+		// saved — so the gauge cannot drift upward across park/drop cycles.
 		last := p.hints[len(p.hints)-1]
 		p.hints = p.hints[:len(p.hints)-1]
-		p.droppedHintEntries += uint64(len(last))
+		p.droppedHintEntries += uint64(len(last.entries))
+		p.hintSavedBytes -= last.saved
 	}
 	packed := p.packHintLocked(entries)
 	if front {
-		p.hints = append([][]hintEntry{packed}, p.hints...)
+		p.hints = append([]hintBatch{packed}, p.hints...)
 	} else {
 		p.hints = append(p.hints, packed)
 	}
@@ -415,9 +637,10 @@ func (p *peer) hintLocked(entries []timeseries.BatchEntry, front bool, maxHints 
 // is interned into the peer's hint dictionary and the parked form carries
 // only the ref. Every entry whose series was already defined saves its key,
 // unit and kind byte against the 4-byte ref; the running total feeds
-// PeerStats.HintSavedBytes.
-func (p *peer) packHintLocked(entries []timeseries.BatchEntry) []hintEntry {
-	packed := make([]hintEntry, len(entries))
+// PeerStats.HintSavedBytes, and the per-batch share is remembered so a
+// dropped batch can give its savings back.
+func (p *peer) packHintLocked(entries []timeseries.BatchEntry) hintBatch {
+	packed := hintBatch{entries: make([]hintEntry, len(entries))}
 	for i := range entries {
 		e := &entries[i]
 		key := e.ID.Key()
@@ -430,10 +653,11 @@ func (p *peer) packHintLocked(entries []timeseries.BatchEntry) []hintEntry {
 			p.hintDefs = append(p.hintDefs, hintDef{id: e.ID, kind: e.Kind, unit: e.Unit})
 			p.hintRefs[key] = ref
 		} else if saved := len(key) + len(e.Unit) + 1 - 4; saved > 0 {
-			p.hintSavedBytes += uint64(saved)
+			packed.saved += uint64(saved)
 		}
-		packed[i] = hintEntry{ref: ref, t: e.T, v: e.V}
+		packed.entries[i] = hintEntry{ref: ref, t: e.T, v: e.V}
 	}
+	p.hintSavedBytes += packed.saved
 	return packed
 }
 
@@ -451,7 +675,7 @@ func (p *peer) unpackHintLocked(batch []hintEntry) []timeseries.BatchEntry {
 // failure (the peer relapsed) and reports whether the queue fully drained.
 func (p *peer) drainLocked() bool {
 	for len(p.hints) > 0 {
-		entries := p.unpackHintLocked(p.hints[0])
+		entries := p.unpackHintLocked(p.hints[0].entries)
 		if err := p.sendLocked(entries); err != nil {
 			p.failedSends++
 			return false
@@ -502,47 +726,148 @@ func entriesFromBatch(b *wire.Batch) []timeseries.BatchEntry {
 	return entries
 }
 
-// applyForwarded lands a batch a peer routed to us. It goes straight to the
-// local appender — the sender already placed it, so re-routing could only
-// disagree (and loop) if configs diverged.
+// applyForwarded lands a batch a peer routed to us. During a join handoff
+// the entries park behind the import barrier (see joinMu) so streamed WAL
+// history lands first; otherwise they deliver immediately.
 func (r *Router) applyForwarded(b *wire.Batch) {
 	entries := entriesFromBatch(b)
-	n, _ := r.appendLocal(entries, nil)
+	r.joinMu.Lock()
+	if r.joinParking {
+		r.joinParked = append(r.joinParked, entries...)
+		r.joinMu.Unlock()
+		r.receivedBatches.Add(1)
+		return
+	}
+	r.joinMu.Unlock()
+	r.deliverForwarded(entries)
 	r.receivedBatches.Add(1)
+}
+
+// deliverForwarded applies forwarded entries: those this node owns under
+// the CURRENT topology go straight to the local appender; entries the
+// sender placed under a stale epoch are re-routed to their actual owner
+// rather than absorbed silently. Re-routing cannot ping-pong: joins move
+// keys only toward the joiner and leaves only off the leaver, so two
+// surviving nodes never disagree about each other — the re-routed hop lands
+// on a node that accepts it under either epoch.
+func (r *Router) deliverForwarded(entries []timeseries.BatchEntry) {
+	ring := r.topo.Load().Ring()
+	var local []timeseries.BatchEntry
+	var localKeys []string
+	var foreign []timeseries.BatchEntry
+	for i := range entries {
+		key := entries[i].ID.Key()
+		if ring.Primary(key) == r.self {
+			local = append(local, entries[i])
+			localKeys = append(localKeys, key)
+		} else {
+			foreign = append(foreign, entries[i])
+		}
+	}
+	n, _ := r.appendLocal(local, localKeys)
 	r.receivedEntries.Add(uint64(n))
+	if len(foreign) > 0 {
+		r.reroutedEntries.Add(uint64(len(foreign)))
+		_, _ = r.route(foreign, false)
+	}
 }
 
 // --- failure detector ---
 
-// CheckPeers probes every peer with a ping. A peer that answers — however
-// slowly — is alive; its hinted batches drain in FIFO order and, once the
-// queue is empty, it is marked up so fresh traffic flows directly again. A
-// peer that does not answer is marked down, parking subsequent traffic in
-// its hint queue. Tests call this directly; Start runs it on a timer.
+// CheckPeers probes every peer with a ping — the heartbeat that drives the
+// lease state machine. A peer that answers — however slowly — is alive; its
+// hinted batches drain in FIFO order and, once the queue is empty, it is
+// marked up so fresh traffic flows directly again. A peer that does not
+// answer is marked down and accrues a miss; consecutive misses escalate
+// down → suspect (SuspectAfter) → dead (PromoteAfter), at which point
+// updateLeases lets a caught-up follower promote its replica of the dead
+// leader to read-primary. A peer recovering from misses also exchanges
+// topologies (anti-entropy), so a node that slept through a membership
+// change converges on the first heartbeat after it heals. Tests call this
+// directly; Start runs it on a timer.
 func (r *Router) CheckPeers() {
-	for _, p := range r.peerList {
+	for _, p := range r.peersSnapshot() {
 		r.checkPeer(p)
 	}
+	r.updateLeases()
 }
 
 func (r *Router) checkPeer(p *peer) {
 	p.mu.Lock()
-	defer p.mu.Unlock()
+	recovering := p.misses > 0
 	wc, err := p.wireClientLocked()
 	if err != nil {
+		p.misses++
 		p.up.Store(false)
+		p.mu.Unlock()
 		return
 	}
 	rtt, err := wc.Ping(r.cfg.pingTimeout())
 	if err != nil {
+		p.misses++
 		p.up.Store(false)
+		p.mu.Unlock()
 		return
 	}
+	p.misses = 0
 	p.rtt.Store(int64(rtt))
 	if p.drainLocked() {
 		p.up.Store(true)
 	} else {
 		p.up.Store(false)
+	}
+	p.mu.Unlock()
+	if recovering {
+		r.syncTopology(p)
+	}
+}
+
+// updateLeases promotes and demotes replicas from the miss counters: a
+// bootstrapped replica of a leader missing PromoteAfter consecutive probes
+// becomes read-primary (queries served from it stop being partial); the
+// first successful probe of the leader demotes it again.
+func (r *Router) updateLeases() {
+	r.mu.RLock()
+	reps := make(map[string]*replica, len(r.replicas))
+	for l, rep := range r.replicas {
+		reps[l] = rep
+	}
+	peers := r.peers
+	r.mu.RUnlock()
+	promoteAfter := r.cfg.promoteAfter()
+	for leader, rep := range reps {
+		p := peers[leader]
+		if p == nil {
+			continue
+		}
+		p.mu.Lock()
+		misses := p.misses
+		p.mu.Unlock()
+		rep.mu.Lock()
+		switch {
+		case misses >= promoteAfter && rep.bootstrapped && !rep.promoted:
+			rep.promoted = true
+			r.promotions.Add(1)
+		case misses == 0 && rep.promoted:
+			rep.promoted = false
+		}
+		rep.mu.Unlock()
+	}
+}
+
+// syncTopology exchanges topologies with a peer: adopt theirs if newer,
+// push ours if theirs is older.
+func (r *Router) syncTopology(p *peer) {
+	t, err := p.rc.topo(r.cfg.rpcTimeout())
+	if err != nil {
+		return
+	}
+	mine := r.topo.Load()
+	switch {
+	case t.Epoch > mine.Epoch:
+		r.applyTopology(t)
+	case t.Epoch < mine.Epoch:
+		_, _ = p.rc.topoPush(mine, r.cfg.rpcTimeout())
 	}
 }
 
@@ -590,7 +915,7 @@ func (r *Router) Stop() {
 	}
 	r.wg.Wait()
 	r.Flush()
-	for _, p := range r.peerList {
+	for _, p := range r.peersSnapshot() {
 		p.mu.Lock()
 		if p.wc != nil {
 			_ = p.wc.Close()
@@ -607,6 +932,8 @@ type PeerStats struct {
 	ID                 string `json:"id"`
 	Addr               string `json:"addr"`
 	Up                 bool   `json:"up"`
+	State              string `json:"state"` // up | down | suspect | dead
+	Misses             int    `json:"misses"`
 	RTTMicros          int64  `json:"rtt_us"`
 	ForwardedBatches   uint64 `json:"forwarded_batches"`
 	ForwardedEntries   uint64 `json:"forwarded_entries"`
@@ -623,6 +950,7 @@ type PeerStats struct {
 type ReplicaStats struct {
 	Leader       string `json:"leader"`
 	Bootstrapped bool   `json:"bootstrapped"`
+	Promoted     bool   `json:"promoted"`
 	Records      uint64 `json:"records"`
 	LagBytes     int64  `json:"lag_bytes"`
 	Series       int    `json:"series"`
@@ -632,7 +960,9 @@ type ReplicaStats struct {
 // Stats is the cluster section of /stats.
 type Stats struct {
 	Self             string         `json:"self"`
+	Epoch            uint64         `json:"epoch"`
 	Nodes            []string       `json:"nodes"`
+	Members          []Member       `json:"members"`
 	VNodes           int            `json:"vnodes"`
 	Replication      int            `json:"replication"`
 	LocalEntries     uint64         `json:"local_entries"`
@@ -642,17 +972,25 @@ type Stats struct {
 	ScatterQueries   uint64         `json:"scatter_queries"`
 	PartialQueries   uint64         `json:"partial_queries"`
 	ReplicaReads     uint64         `json:"replica_reads"`
+	EpochFlips       uint64         `json:"epoch_flips"`
+	ReroutedEntries  uint64         `json:"rerouted_entries"`
+	ReadRepairs      uint64         `json:"read_repairs"`
+	Promotions       uint64         `json:"promotions"`
+	HandoffEntries   uint64         `json:"handoff_entries"`
 	Peers            []PeerStats    `json:"peers"`
 	Replicas         []ReplicaStats `json:"replicas"`
 }
 
 // Stats snapshots the router's counters.
 func (r *Router) Stats() Stats {
+	t := r.topo.Load()
 	st := Stats{
 		Self:             r.self,
-		Nodes:            r.ring.Nodes(),
-		VNodes:           r.ring.VNodes(),
-		Replication:      r.ring.RF(),
+		Epoch:            t.Epoch,
+		Nodes:            t.Ring().Nodes(),
+		Members:          append([]Member(nil), t.Members...),
+		VNodes:           t.Ring().VNodes(),
+		Replication:      t.Ring().RF(),
 		LocalEntries:     r.localEntries.Load(),
 		ForwardedEntries: r.forwardedAllowed.Load(),
 		ReceivedBatches:  r.receivedBatches.Load(),
@@ -660,13 +998,32 @@ func (r *Router) Stats() Stats {
 		ScatterQueries:   r.scatterQueries.Load(),
 		PartialQueries:   r.partialQueries.Load(),
 		ReplicaReads:     r.replicaReads.Load(),
+		EpochFlips:       r.epochFlips.Load(),
+		ReroutedEntries:  r.reroutedEntries.Load(),
+		ReadRepairs:      r.readRepairs.Load(),
+		Promotions:       r.promotions.Load(),
+		HandoffEntries:   r.handoffEntries.Load(),
 	}
-	for _, p := range r.peerList {
+	suspectAfter, promoteAfter := r.cfg.suspectAfter(), r.cfg.promoteAfter()
+	for _, p := range r.peersSnapshot() {
 		p.mu.Lock()
+		state := "up"
+		if !p.up.Load() {
+			switch {
+			case p.misses >= promoteAfter:
+				state = "dead"
+			case p.misses >= suspectAfter:
+				state = "suspect"
+			default:
+				state = "down"
+			}
+		}
 		ps := PeerStats{
 			ID:                 p.id,
 			Addr:               p.addr,
 			Up:                 p.up.Load(),
+			State:              state,
+			Misses:             p.misses,
 			RTTMicros:          p.rtt.Load() / 1000,
 			ForwardedBatches:   p.forwardedBatches,
 			ForwardedEntries:   p.forwardedEntries,
@@ -681,13 +1038,8 @@ func (r *Router) Stats() Stats {
 		p.mu.Unlock()
 		st.Peers = append(st.Peers, ps)
 	}
-	leaders := make([]string, 0, len(r.replicas))
-	for l := range r.replicas {
-		leaders = append(leaders, l)
-	}
-	sort.Strings(leaders)
-	for _, l := range leaders {
-		st.Replicas = append(st.Replicas, r.replicas[l].stats())
+	for _, rep := range r.replicasSnapshot() {
+		st.Replicas = append(st.Replicas, rep.stats())
 	}
 	return st
 }
@@ -696,7 +1048,7 @@ func (r *Router) Stats() Stats {
 // the chaos campaign's "handoff fully drained" gauge.
 func (r *Router) PendingHints() int {
 	total := 0
-	for _, p := range r.peerList {
+	for _, p := range r.peersSnapshot() {
 		p.mu.Lock()
 		total += len(p.hints)
 		p.mu.Unlock()
@@ -704,10 +1056,14 @@ func (r *Router) PendingHints() int {
 	return total
 }
 
-// DroppedHintEntries reports entries dropped from overflowing hint queues.
+// DroppedHintEntries reports entries dropped from overflowing hint queues,
+// including queues of peers since retired by membership changes.
 func (r *Router) DroppedHintEntries() uint64 {
-	var total uint64
-	for _, p := range r.peerList {
+	r.mu.RLock()
+	total := r.departedDropped
+	list := append([]*peer(nil), r.peerList...)
+	r.mu.RUnlock()
+	for _, p := range list {
 		p.mu.Lock()
 		total += p.droppedHintEntries
 		p.mu.Unlock()

@@ -32,6 +32,8 @@ type Server struct {
 	queries    atomic.Uint64
 	replPulls  atomic.Uint64
 	pings      atomic.Uint64
+	topoFrames atomic.Uint64
+	repairs    atomic.Uint64
 	errors     atomic.Uint64
 }
 
@@ -74,6 +76,12 @@ func (s *Server) ReplPulls() uint64 { return s.replPulls.Load() }
 
 // Pings returns liveness probes answered.
 func (s *Server) Pings() uint64 { return s.pings.Load() }
+
+// TopoFrames returns topology fetches and pushes served.
+func (s *Server) TopoFrames() uint64 { return s.topoFrames.Load() }
+
+// Repairs returns read-repair requests served.
+func (s *Server) Repairs() uint64 { return s.repairs.Load() }
 
 // Errors returns connections dropped due to protocol errors.
 func (s *Server) Errors() uint64 { return s.errors.Load() }
@@ -180,6 +188,32 @@ func (s *Server) handleFrame(conn net.Conn, dict **wire.ConnDict, ft uint8, payl
 		resp := s.router.serveReplPull(q)
 		s.replPulls.Add(1)
 		return wire.WriteFrame(conn, FrameReplResp, encodeReplPullResponse(resp))
+	case FrameTopoReq:
+		s.topoFrames.Add(1)
+		return wire.WriteFrame(conn, FrameTopoResp, encodeTopology(s.router.Topology()))
+	case FrameTopoPush:
+		t, err := decodeTopology(payload)
+		if err != nil {
+			return err
+		}
+		s.router.applyTopology(t)
+		s.topoFrames.Add(1)
+		return wire.WriteFrame(conn, FrameTopoAck, appendUvarint(nil, s.router.Epoch()))
+	case FrameRepairReq:
+		q, err := decodeRepairRequest(payload)
+		if err != nil {
+			return err
+		}
+		resp := s.router.serveRepair(q)
+		s.repairs.Add(1)
+		return wire.WriteFrame(conn, FrameRepairResp, encodeRepairResponse(resp))
+	case FrameRepSnapReq:
+		q, err := decodeRepSnapRequest(payload)
+		if err != nil {
+			return err
+		}
+		resp := s.router.serveRepSnap(q)
+		return wire.WriteFrame(conn, FrameRepSnapResp, encodeRepSnapResponse(resp))
 	default:
 		return fmt.Errorf("cluster: unexpected frame type %d", ft)
 	}

@@ -113,6 +113,85 @@ func TestPartialResultMarkedAndUncached(t *testing.T) {
 	}
 }
 
+// fakePeerBackend extends fakeBackend with the PeerBackend surface, scripting
+// which peers degraded the answer.
+type fakePeerBackend struct {
+	fakeBackend
+	peers []string
+}
+
+func (f *fakePeerBackend) ReducePeers(key string, from, to int64, fn timeseries.AggFunc) (float64, int, int64, bool, []string, error) {
+	return f.value, f.count, 0, f.found, f.peers, f.err
+}
+
+func (f *fakePeerBackend) AggregateRangePeers(key string, from, to, step int64, fn timeseries.AggFunc) ([]timeseries.AggPoint, int64, bool, []string, error) {
+	return f.pts, 0, f.found, f.peers, f.err
+}
+
+// A peer-aware backend's degraded answer names each unreachable peer exactly
+// once, sorted, no matter how the backend reports them; with no names the
+// header falls back to "true". Nil peers mean an exact answer: no header.
+func TestPartialHeaderNamesEachPeerOnce(t *testing.T) {
+	fb := &fakePeerBackend{fakeBackend: fakeBackend{found: true, value: 3, count: 2,
+		pts: []timeseries.AggPoint{{Start: 0, Value: 3}}}}
+	qf := New(fb, 64, time.Minute, 1000, 1000)
+
+	fb.peers = []string{"n2", "n1", "n2", "n1", "n2"}
+	q := "/query?series=" + url.QueryEscape("cpu") + "&from=0&to=1000"
+	rec := doQuery(t, qf, q, false)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("status %d: %s", rec.Code, rec.Body.String())
+	}
+	if got := rec.Header().Get("X-ODA-Partial"); got != "n1,n2" {
+		t.Fatalf("X-ODA-Partial = %q, want %q (sorted, each peer once)", got, "n1,n2")
+	}
+
+	qr := "/query_range?series=" + url.QueryEscape("cpu") + "&from=0&to=1000&step=100"
+	if rec = doQuery(t, qf, qr, true); rec.Header().Get("X-ODA-Partial") != "n1,n2" {
+		t.Fatalf("range X-ODA-Partial = %q, want %q", rec.Header().Get("X-ODA-Partial"), "n1,n2")
+	}
+
+	// Exact answer: no peers, no header — and it caches.
+	fb.peers = nil
+	rec = doQuery(t, qf, q, false)
+	if rec.Header().Get("X-ODA-Partial") != "" {
+		t.Fatal("exact peer-backend answer wrongly marked partial")
+	}
+	rec = doQuery(t, qf, q, false)
+	if rec.Header().Get("X-ODA-Cache") != "hit" {
+		t.Fatal("exact peer-backend answer did not cache")
+	}
+
+	// A peer-aware backend that cannot answer at all is still a 503, never
+	// an empty 200.
+	fb.err = errors.New("all owners and fallbacks unreachable")
+	fb.found = false
+	q2 := "/query?series=" + url.QueryEscape("cpu") + "&from=0&to=2000"
+	if rec = doQuery(t, qf, q2, false); rec.Code != http.StatusServiceUnavailable {
+		t.Fatalf("peer backend error: status %d, want 503 (body %q)", rec.Code, rec.Body.String())
+	}
+}
+
+// partialHeader unit coverage: nil names fall back to "true"; duplicates
+// collapse and order is canonical.
+func TestPartialHeaderRendering(t *testing.T) {
+	cases := []struct {
+		in   []string
+		want string
+	}{
+		{nil, "true"},
+		{[]string{}, "true"},
+		{[]string{"b", "a", "b"}, "a,b"},
+		{[]string{"n3"}, "n3"},
+		{[]string{"x", "x", "x"}, "x"},
+	}
+	for _, c := range cases {
+		if got := partialHeader(c.in); got != c.want {
+			t.Fatalf("partialHeader(%v) = %q, want %q", c.in, got, c.want)
+		}
+	}
+}
+
 // Unknown series stays a 404 through the backend indirection.
 func TestUnknownSeriesStill404(t *testing.T) {
 	qf := New(&fakeBackend{found: false}, 64, time.Minute, 1000, 1000)

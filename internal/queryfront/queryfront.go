@@ -15,6 +15,7 @@ import (
 	"fmt"
 	"net/http"
 	"net/url"
+	"sort"
 	"strconv"
 	"strings"
 	"time"
@@ -38,6 +39,18 @@ import (
 type Backend interface {
 	Reduce(key string, from, to int64, fn timeseries.AggFunc) (value float64, count int, tierStep int64, found, partial bool, err error)
 	AggregateRange(key string, from, to, step int64, fn timeseries.AggFunc) (pts []timeseries.AggPoint, tierStep int64, found, partial bool, err error)
+}
+
+// PeerBackend is an optional Backend extension that attributes degraded
+// answers to the peers that caused them. When the backend implements it, the
+// X-ODA-Partial header carries the sorted, deduplicated peer names (each
+// exactly once) instead of the bare "true" — so a dashboard can say WHICH
+// node's data is stale, not just that something is. The cluster router
+// implements it; the single-store backend has no peers and does not.
+type PeerBackend interface {
+	Backend
+	ReducePeers(key string, from, to int64, fn timeseries.AggFunc) (value float64, count int, tierStep int64, found bool, peers []string, err error)
+	AggregateRangePeers(key string, from, to, step int64, fn timeseries.AggFunc) (pts []timeseries.AggPoint, tierStep int64, found bool, peers []string, err error)
 }
 
 // storeBackend serves queries from one local store: the single-node
@@ -224,7 +237,26 @@ func (qf *Front) serveCached(w http.ResponseWriter, key string) bool {
 	return true
 }
 
-func (qf *Front) finish(w http.ResponseWriter, key string, partial bool, payload any) {
+// partialHeader renders the X-ODA-Partial value: the degraded peers, sorted
+// and deduplicated so each appears exactly once, or "true" when the backend
+// cannot name them.
+func partialHeader(peers []string) string {
+	if len(peers) == 0 {
+		return "true"
+	}
+	uniq := append([]string(nil), peers...)
+	sort.Strings(uniq)
+	j := 0
+	for i, p := range uniq {
+		if i == 0 || p != uniq[j-1] {
+			uniq[j] = p
+			j++
+		}
+	}
+	return strings.Join(uniq[:j], ",")
+}
+
+func (qf *Front) finish(w http.ResponseWriter, key string, partial bool, peers []string, payload any) {
 	body, err := json.Marshal(payload)
 	if err != nil {
 		http.Error(w, err.Error(), http.StatusInternalServerError)
@@ -234,7 +266,7 @@ func (qf *Front) finish(w http.ResponseWriter, key string, partial bool, payload
 	if partial {
 		// A degraded answer (replica-served, possibly lagging) is flagged
 		// and never cached: the next request should retry the owner.
-		w.Header().Set("X-ODA-Partial", "true")
+		w.Header().Set("X-ODA-Partial", partialHeader(peers))
 	} else {
 		qf.cache.Put(key, body)
 	}
@@ -258,7 +290,20 @@ func (qf *Front) HandleQuery(w http.ResponseWriter, r *http.Request) {
 	if qf.serveCached(w, key) {
 		return
 	}
-	val, n, tierStep, found, partial, err := qf.backend.Reduce(p.series, p.from, p.to, p.fn)
+	var (
+		val      float64
+		n        int
+		tierStep int64
+		found    bool
+		partial  bool
+		peers    []string
+	)
+	if pb, ok := qf.backend.(PeerBackend); ok {
+		val, n, tierStep, found, peers, err = pb.ReducePeers(p.series, p.from, p.to, p.fn)
+		partial = len(peers) > 0
+	} else {
+		val, n, tierStep, found, partial, err = qf.backend.Reduce(p.series, p.from, p.to, p.fn)
+	}
 	if err != nil {
 		// The backend could not answer (store failure, no peer reachable):
 		// an explicit 503, never an empty-but-200 body a dashboard would
@@ -270,7 +315,7 @@ func (qf *Front) HandleQuery(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, "unknown series "+p.series, http.StatusNotFound)
 		return
 	}
-	qf.finish(w, key, partial, map[string]any{
+	qf.finish(w, key, partial, peers, map[string]any{
 		"series":    p.series,
 		"from":      p.from,
 		"to":        p.to,
@@ -297,7 +342,19 @@ func (qf *Front) HandleQueryRange(w http.ResponseWriter, r *http.Request) {
 	if qf.serveCached(w, key) {
 		return
 	}
-	pts, tierStep, found, partial, err := qf.backend.AggregateRange(p.series, p.from, p.to, p.step, p.fn)
+	var (
+		pts      []timeseries.AggPoint
+		tierStep int64
+		found    bool
+		partial  bool
+		peers    []string
+	)
+	if pb, ok := qf.backend.(PeerBackend); ok {
+		pts, tierStep, found, peers, err = pb.AggregateRangePeers(p.series, p.from, p.to, p.step, p.fn)
+		partial = len(peers) > 0
+	} else {
+		pts, tierStep, found, partial, err = qf.backend.AggregateRange(p.series, p.from, p.to, p.step, p.fn)
+	}
 	if err != nil {
 		http.Error(w, err.Error(), http.StatusServiceUnavailable)
 		return
@@ -314,7 +371,7 @@ func (qf *Front) HandleQueryRange(w http.ResponseWriter, r *http.Request) {
 	for i, ap := range pts {
 		points[i] = point{Start: ap.Start, Value: ap.Value}
 	}
-	qf.finish(w, key, partial, map[string]any{
+	qf.finish(w, key, partial, peers, map[string]any{
 		"series":    p.series,
 		"from":      p.from,
 		"to":        p.to,

@@ -295,6 +295,13 @@ func WriteFrame(w io.Writer, frameType uint8, payload []byte) error {
 	if _, err := w.Write(hdr[:]); err != nil {
 		return err
 	}
+	if len(payload) == 0 {
+		// Never issue a zero-length write: synchronous transports
+		// (net.Pipe) rendezvous even empty writes, and a reader that
+		// already consumed the header won't read again until the next
+		// frame — the empty write would deadlock against the response.
+		return nil
+	}
 	_, err := w.Write(payload)
 	return err
 }
